@@ -1,0 +1,373 @@
+//! HSW94 Divergence Caching (paper, Section 4.7).
+//!
+//! Stale-value approximations: the cache holds a (possibly stale) copy of
+//! the value together with a *divergence limit* `d` — the number of source
+//! updates allowed to go unreflected before the source pushes a refresh.
+//! Precision is inversely proportional to `d`; a query with tolerance `δ`
+//! can be served locally iff the cached guarantee satisfies `d <= δ`.
+//!
+//! Unlike the paper's incremental algorithm, Divergence Caching
+//! "continually resets the precision from scratch using detailed
+//! projections for data access and update patterns … based on past
+//! observations using a moving window scheme where the cache keeps track of
+//! the `k` most recent reads and the source keeps track of the `k` most
+//! recent writes. Based on empirical trials, the window size `k` was set
+//! to 23."
+//!
+//! Reconstruction details (the original HSW94 pseudocode is not in the
+//! paper): at every refresh the system estimates the read rate `λ_r` and
+//! write rate `λ_w` from the timestamp windows, estimates `P(δ < d)` from
+//! a window of recently observed query tolerances, and picks the divergence
+//! limit minimizing the projected cost rate
+//!
+//! ```text
+//! cost(d)        = C_vr·λ_w/(⌊d⌋+1) + C_qr·λ_r·P̂(δ < d)
+//! cost(uncached) = C_qr·λ_r
+//! ```
+//!
+//! over candidates `d ∈ {0} ∪ {observed tolerances} ∪ {uncached}`. This
+//! hands the baseline exactly the information HSW94 assumes it has.
+
+use std::collections::VecDeque;
+
+use apcache_core::cost::CostModel;
+use apcache_core::{Interval, Key, TimeMs, MS_PER_SEC};
+use apcache_sim::error::SimError;
+use apcache_sim::stats::Stats;
+use apcache_sim::system::{CacheSystem, QuerySummary};
+use apcache_workload::query::GeneratedQuery;
+
+/// Configuration of the Divergence Caching baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceConfig {
+    /// Message costs.
+    pub cost: CostModel,
+    /// Sliding window size `k` for reads and writes (paper: 23).
+    pub window_k: usize,
+    /// Window size for observed query tolerances (same order as `k`).
+    pub tolerance_window: usize,
+}
+
+impl Default for DivergenceConfig {
+    fn default() -> Self {
+        DivergenceConfig {
+            cost: CostModel::new(1.0, 2.0).expect("static costs valid"),
+            window_k: 23,
+            tolerance_window: 23,
+        }
+    }
+}
+
+impl DivergenceConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if self.window_k < 2 {
+            return Err(SimError::Config("window k must be >= 2".into()));
+        }
+        if self.tolerance_window == 0 {
+            return Err(SimError::Config("tolerance window must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The caching decision for one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Decision {
+    /// Don't cache: every read is remote.
+    Uncached,
+    /// Cache with divergence limit `d`.
+    Cached(f64),
+}
+
+/// Sliding window of event timestamps with rate estimation.
+#[derive(Debug, Clone)]
+struct RateWindow {
+    times: VecDeque<TimeMs>,
+    cap: usize,
+}
+
+impl RateWindow {
+    fn new(cap: usize) -> Self {
+        RateWindow { times: VecDeque::with_capacity(cap), cap }
+    }
+
+    fn push(&mut self, t: TimeMs) {
+        if self.times.len() == self.cap {
+            self.times.pop_front();
+        }
+        self.times.push_back(t);
+    }
+
+    /// Events per second over the window, or `None` with fewer than two
+    /// observations.
+    fn rate(&self, now: TimeMs) -> Option<f64> {
+        if self.times.len() < 2 {
+            return None;
+        }
+        let oldest = *self.times.front().expect("len >= 2");
+        let span_secs = (now.saturating_sub(oldest)).max(1) as f64 / MS_PER_SEC as f64;
+        Some(self.times.len() as f64 / span_secs)
+    }
+}
+
+#[derive(Debug)]
+struct KeyState {
+    /// Current exact value at the source.
+    value: f64,
+    decision: Decision,
+    /// Updates not yet reflected at the cache.
+    unreflected: u32,
+    reads: RateWindow,
+    writes: RateWindow,
+    tolerances: VecDeque<f64>,
+}
+
+/// The HSW94 Divergence Caching baseline system.
+#[derive(Debug)]
+pub struct DivergenceCachingSystem {
+    cfg: DivergenceConfig,
+    states: Vec<KeyState>,
+}
+
+impl DivergenceCachingSystem {
+    /// Create the system; everything starts uncached.
+    pub fn new(cfg: DivergenceConfig, initial_values: &[f64]) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if initial_values.is_empty() {
+            return Err(SimError::Config("at least one source required".into()));
+        }
+        let states = initial_values
+            .iter()
+            .map(|&v| KeyState {
+                value: v,
+                decision: Decision::Uncached,
+                unreflected: 0,
+                reads: RateWindow::new(cfg.window_k),
+                writes: RateWindow::new(cfg.window_k),
+                tolerances: VecDeque::with_capacity(cfg.tolerance_window),
+            })
+            .collect();
+        Ok(DivergenceCachingSystem { cfg, states })
+    }
+
+    /// The current divergence limit for `key` (`None` when uncached).
+    pub fn divergence_limit(&self, key: Key) -> Option<f64> {
+        match self.states.get(key.0 as usize)?.decision {
+            Decision::Cached(d) => Some(d),
+            Decision::Uncached => None,
+        }
+    }
+
+    /// Recompute the caching decision from scratch using the window
+    /// projections (HSW94's defining behaviour).
+    fn project(cfg: &DivergenceConfig, s: &KeyState, now: TimeMs) -> Decision {
+        let Some(read_rate) = s.reads.rate(now) else {
+            // Too little information: stay as-is conservative (uncached).
+            return s.decision;
+        };
+        let write_rate = s.writes.rate(now).unwrap_or(0.0);
+        let (c_vr, c_qr) = (cfg.cost.c_vr(), cfg.cost.c_qr());
+        let frac_below = |d: f64| {
+            if s.tolerances.is_empty() {
+                // No tolerance information: assume every query demands
+                // exactness, i.e. any d > 0 always misses.
+                if d > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                s.tolerances.iter().filter(|&&t| t < d).count() as f64 / s.tolerances.len() as f64
+            }
+        };
+        let cost_of = |d: f64| {
+            let vr_period_updates = d.floor() + 1.0;
+            c_vr * write_rate / vr_period_updates + c_qr * read_rate * frac_below(d)
+        };
+        let mut best = (Decision::Uncached, c_qr * read_rate);
+        let mut consider = |d: f64| {
+            let cost = cost_of(d);
+            // Strictly cheaper wins; on ties between cached candidates,
+            // prefer the larger limit — it is robust to write bursts the
+            // window has not seen yet and costs nothing for the reads the
+            // window has seen.
+            let better = match best.0 {
+                Decision::Uncached => cost < best.1,
+                Decision::Cached(bd) => cost < best.1 || (cost == best.1 && d > bd),
+            };
+            if better {
+                best = (Decision::Cached(d), cost);
+            }
+        };
+        consider(0.0);
+        for &t in &s.tolerances {
+            if t > 0.0 {
+                consider(t);
+            }
+        }
+        best.0
+    }
+}
+
+impl CacheSystem for DivergenceCachingSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let idx = key.0 as usize;
+        let cfg = self.cfg;
+        let Some(s) = self.states.get_mut(idx) else {
+            return Err(SimError::Config(format!("update for unknown {key}")));
+        };
+        s.value = value;
+        s.writes.push(now);
+        if let Decision::Cached(d) = s.decision {
+            s.unreflected += 1;
+            if f64::from(s.unreflected) > d {
+                // Value-initiated refresh: push the fresh value and reset
+                // the divergence limit from scratch.
+                stats.record_vr(cfg.cost.c_vr());
+                s.unreflected = 0;
+                s.decision = Self::project(&cfg, s, now);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let cfg = self.cfg;
+        let mut remote = 0usize;
+        for &key in &query.keys {
+            let idx = key.0 as usize;
+            let Some(s) = self.states.get_mut(idx) else {
+                return Err(SimError::Config(format!("query for unknown {key}")));
+            };
+            s.reads.push(now);
+            if s.tolerances.len() == cfg.tolerance_window {
+                s.tolerances.pop_front();
+            }
+            s.tolerances.push_back(query.delta);
+            let hit = matches!(s.decision, Decision::Cached(d) if d <= query.delta);
+            if !hit {
+                // Query-initiated refresh / remote read.
+                stats.record_qr(cfg.cost.c_qr());
+                s.unreflected = 0;
+                s.decision = Self::project(&cfg, s, now);
+            }
+            if !hit {
+                remote += 1;
+            }
+        }
+        Ok(QuerySummary { answer: None, refreshes: remote })
+    }
+
+    fn interval_of(&self, _key: Key, _now: TimeMs) -> Option<Interval> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_queries::AggregateKind;
+
+    fn query(key: u32, delta: f64) -> GeneratedQuery {
+        GeneratedQuery { kind: AggregateKind::Sum, keys: vec![Key(key)], delta }
+    }
+
+    fn measuring() -> Stats {
+        let mut s = Stats::new();
+        s.begin_measurement();
+        s
+    }
+
+    #[test]
+    fn validation() {
+        let bad = DivergenceConfig { window_k: 1, ..DivergenceConfig::default() };
+        assert!(DivergenceCachingSystem::new(bad, &[1.0]).is_err());
+        let bad = DivergenceConfig { tolerance_window: 0, ..DivergenceConfig::default() };
+        assert!(DivergenceCachingSystem::new(bad, &[1.0]).is_err());
+        assert!(DivergenceCachingSystem::new(DivergenceConfig::default(), &[]).is_err());
+    }
+
+    #[test]
+    fn starts_uncached_every_read_remote() {
+        let mut sys = DivergenceCachingSystem::new(DivergenceConfig::default(), &[5.0]).unwrap();
+        let mut stats = measuring();
+        sys.on_query(&query(0, 3.0), 1_000, &mut stats).unwrap();
+        assert_eq!(stats.qr_count(), 1);
+    }
+
+    #[test]
+    fn read_heavy_workload_adopts_caching_with_tolerant_divergence() {
+        let mut sys = DivergenceCachingSystem::new(DivergenceConfig::default(), &[5.0]).unwrap();
+        let mut stats = measuring();
+        // Many tolerant reads, few writes → projection should cache with a
+        // nonzero divergence limit.
+        for t in 1..20u64 {
+            sys.on_query(&query(0, 5.0), t * 1_000, &mut stats).unwrap();
+        }
+        let d = sys.divergence_limit(Key(0));
+        assert!(d.is_some(), "expected caching decision, got uncached");
+        assert!(d.unwrap() > 0.0);
+        // Now reads within tolerance are free.
+        let before = stats.qr_count();
+        sys.on_query(&query(0, 5.0), 30_000, &mut stats).unwrap();
+        assert_eq!(stats.qr_count(), before);
+    }
+
+    #[test]
+    fn vr_fires_when_divergence_exceeded() {
+        let mut sys = DivergenceCachingSystem::new(DivergenceConfig::default(), &[5.0]).unwrap();
+        let mut stats = measuring();
+        for t in 1..20u64 {
+            sys.on_query(&query(0, 2.0), t * 1_000, &mut stats).unwrap();
+        }
+        let d = sys.divergence_limit(Key(0)).expect("cached");
+        // Push more updates than the limit allows; exactly one VR per
+        // (⌊d⌋+1) updates.
+        let before_vr = stats.vr_count();
+        let n_updates = (d.floor() as u32 + 1) * 3;
+        for i in 0..n_updates {
+            sys.on_update(Key(0), f64::from(i), 100_000 + u64::from(i) * 1_000, &mut stats)
+                .unwrap();
+        }
+        assert!(stats.vr_count() > before_vr, "no VR after exceeding divergence");
+    }
+
+    #[test]
+    fn write_heavy_workload_abandons_caching() {
+        let mut sys = DivergenceCachingSystem::new(DivergenceConfig::default(), &[0.0]).unwrap();
+        let mut stats = measuring();
+        // Get it cached with exact tolerance (δ=0 reads).
+        for t in 1..10u64 {
+            sys.on_query(&query(0, 0.0), t * 1_000, &mut stats).unwrap();
+        }
+        // Flood with writes: each one (if cached with d=0) is a VR, and
+        // projections should eventually flip to uncached.
+        for i in 0..200u32 {
+            sys.on_update(Key(0), f64::from(i), 20_000 + u64::from(i) * 100, &mut stats).unwrap();
+        }
+        assert_eq!(sys.divergence_limit(Key(0)), None, "should have uncached");
+    }
+
+    #[test]
+    fn rate_window_estimates() {
+        let mut w = RateWindow::new(5);
+        assert_eq!(w.rate(0), None);
+        // One event per second.
+        for t in 0..5u64 {
+            w.push(t * 1_000);
+        }
+        let r = w.rate(5_000).unwrap();
+        assert!((r - 1.0).abs() < 0.1, "rate {r}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # apcache-baselines
+//!
+//! The two baseline systems the SIGMOD 2001 paper compares against, plus
+//! the paper's own algorithm specialized to the baseline's setting:
+//!
+//! * [`exact`] — the WJH97-derived adaptive **exact** caching algorithm of
+//!   Section 4.6: per-value read/write counters, a caching decision
+//!   reevaluated every `x` accesses (`cache iff w·C_vr < r·C_qr`), and
+//!   cost-difference eviction with source notification.
+//! * [`divergence`] — HSW94 Divergence Caching (Section 4.7): stale-value
+//!   approximations whose precision is the number of unreflected updates;
+//!   the divergence limit is recomputed *from scratch* at every refresh
+//!   from sliding-window projections of read/write rates (window `k = 23`).
+//! * [`stale`] — the paper's adaptive algorithm applied to stale-value
+//!   approximations (Section 2.1/4.7): interval widths bound an update
+//!   counter, and the cost factor becomes `θ' = C_vr/C_qr` because the
+//!   escape process is monotonic (`P_vr ∝ 1/W` instead of `1/W²`).
+//!
+//! All three implement [`apcache_sim::system::CacheSystem`], so they run
+//! under the same driver, workloads, and cost accounting as the paper's
+//! system.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod divergence;
+pub mod exact;
+pub mod stale;
+
+pub use divergence::{DivergenceCachingSystem, DivergenceConfig};
+pub use exact::{ExactCachingConfig, ExactCachingSystem};
+pub use stale::{StaleApproxConfig, StaleApproxSystem};

@@ -1,0 +1,258 @@
+//! The paper's adaptive algorithm specialized to stale-value
+//! approximations (Sections 2.1 and 4.7).
+//!
+//! "It was a simple matter to use numeric intervals to bound the number of
+//! updates to the exact source value. We also needed to adjust our formula
+//! for the cost factor to `θ' = C_vr/C_qr`. … No other modifications to
+//! our algorithm were necessary."
+//!
+//! The approximated "value" is the count of source updates not yet
+//! reflected at the cache; the interval on it is `[0, W]`. Because the
+//! counter only moves up, escape is deterministic — `P_vr ∝ 1/W` — which
+//! is where the halved cost factor comes from (see
+//! [`apcache_core::model::MonotonicModel`]).
+
+use apcache_core::cost::CostModel;
+use apcache_core::policy::{AdaptiveParams, AdaptivePolicy, Escape, PrecisionPolicy};
+use apcache_core::{Interval, Key, Rng, TimeMs};
+use apcache_sim::error::SimError;
+use apcache_sim::stats::Stats;
+use apcache_sim::system::{CacheSystem, QuerySummary};
+use apcache_workload::query::GeneratedQuery;
+
+/// Configuration of the stale-value specialization of the paper's
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaleApproxConfig {
+    /// Message costs; the policy runs with `θ' = C_vr/C_qr`.
+    pub cost: CostModel,
+    /// Adaptivity parameter α (the paper uses 1).
+    pub alpha: f64,
+    /// Lower threshold γ0 in update counts (the paper uses 1).
+    pub gamma0: f64,
+    /// Upper threshold γ1 (`∞`, or `= γ0` for exact-tolerance workloads).
+    pub gamma1: f64,
+    /// Starting width in update counts.
+    pub initial_width: f64,
+}
+
+impl Default for StaleApproxConfig {
+    fn default() -> Self {
+        StaleApproxConfig {
+            cost: CostModel::new(1.0, 2.0).expect("static costs valid"),
+            alpha: 1.0,
+            gamma0: 1.0,
+            gamma1: f64::INFINITY,
+            initial_width: 4.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct KeyState {
+    value: f64,
+    policy: AdaptivePolicy,
+    unreflected: u32,
+}
+
+/// The paper's algorithm bounding update counters instead of values.
+#[derive(Debug)]
+pub struct StaleApproxSystem {
+    cost: CostModel,
+    states: Vec<KeyState>,
+    rng: Rng,
+}
+
+impl StaleApproxSystem {
+    /// Create the system with one policy per source.
+    pub fn new(
+        cfg: &StaleApproxConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        if initial_values.is_empty() {
+            return Err(SimError::Config("at least one source required".into()));
+        }
+        let params = AdaptiveParams::monotonic(&cfg.cost, cfg.alpha)?
+            .with_thresholds(cfg.gamma0, cfg.gamma1)?;
+        let states = initial_values
+            .iter()
+            .map(|&v| {
+                Ok(KeyState {
+                    value: v,
+                    policy: AdaptivePolicy::new(params, cfg.initial_width)?,
+                    unreflected: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(StaleApproxSystem { cost: cfg.cost, states, rng: rng.fork() })
+    }
+
+    /// The internal width (divergence bound) for `key`.
+    pub fn internal_width_of(&self, key: Key) -> Option<f64> {
+        self.states.get(key.0 as usize).map(|s| s.policy.internal_width())
+    }
+
+    /// The effective divergence guarantee for `key` (`0` = exact copy,
+    /// `∞` = uncached).
+    pub fn guarantee_of(&self, key: Key) -> Option<f64> {
+        self.states.get(key.0 as usize).map(|s| s.policy.effective_width())
+    }
+}
+
+impl CacheSystem for StaleApproxSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        _now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let Some(s) = self.states.get_mut(key.0 as usize) else {
+            return Err(SimError::Config(format!("update for unknown {key}")));
+        };
+        s.value = value;
+        s.unreflected += 1;
+        // The update counter escaped its interval [0, W]?
+        if f64::from(s.unreflected) > s.policy.effective_width() {
+            stats.record_vr(self.cost.c_vr());
+            s.policy.on_value_refresh(Escape::Above, &mut self.rng);
+            s.unreflected = 0;
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        _now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let mut remote = 0usize;
+        for &key in &query.keys {
+            let Some(s) = self.states.get_mut(key.0 as usize) else {
+                return Err(SimError::Config(format!("query for unknown {key}")));
+            };
+            // The cache's staleness guarantee is the interval width.
+            if s.policy.effective_width() > query.delta {
+                stats.record_qr(self.cost.c_qr());
+                s.policy.on_query_refresh(&mut self.rng);
+                s.unreflected = 0;
+                remote += 1;
+            }
+        }
+        Ok(QuerySummary { answer: None, refreshes: remote })
+    }
+
+    fn interval_of(&self, key: Key, _now: TimeMs) -> Option<Interval> {
+        // The "interval" lives in update-count space: [0, W].
+        let s = self.states.get(key.0 as usize)?;
+        let w = s.policy.effective_width();
+        if w.is_infinite() {
+            None
+        } else {
+            Interval::new(0.0, w).ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_queries::AggregateKind;
+
+    fn query(key: u32, delta: f64) -> GeneratedQuery {
+        GeneratedQuery { kind: AggregateKind::Sum, keys: vec![Key(key)], delta }
+    }
+
+    fn measuring() -> Stats {
+        let mut s = Stats::new();
+        s.begin_measurement();
+        s
+    }
+
+    fn sys(cfg: StaleApproxConfig) -> StaleApproxSystem {
+        StaleApproxSystem::new(&cfg, &[0.0], Rng::seed_from_u64(1)).unwrap()
+    }
+
+    #[test]
+    fn uses_monotonic_cost_factor() {
+        // C_vr=1, C_qr=2 → θ' = 0.5: every QR shrinks, VRs grow with
+        // probability 1/2. Verify statistically through the system.
+        let cfg = StaleApproxConfig { gamma0: 0.0, ..StaleApproxConfig::default() };
+        let mut s = sys(cfg);
+        let mut stats = measuring();
+        let w0 = s.internal_width_of(Key(0)).unwrap();
+        // One QR must shrink deterministically (prob min{1/θ',1} = 1).
+        s.on_query(&query(0, 0.0), 0, &mut stats).unwrap();
+        assert_eq!(s.internal_width_of(Key(0)).unwrap(), w0 / 2.0);
+    }
+
+    #[test]
+    fn vr_fires_every_width_plus_one_updates() {
+        // Fix width at 4 (θ' growth may or may not fire; use alpha=0 so
+        // widths never change and the period is deterministic).
+        let cfg = StaleApproxConfig {
+            alpha: 0.0,
+            gamma0: 0.0,
+            initial_width: 4.0,
+            ..StaleApproxConfig::default()
+        };
+        let mut s = sys(cfg);
+        let mut stats = measuring();
+        for i in 0..20 {
+            s.on_update(Key(0), f64::from(i), 0, &mut stats).unwrap();
+        }
+        // Escape when u > 4, i.e. on updates 5, 10, 15, 20 → 4 VRs.
+        assert_eq!(stats.vr_count(), 4);
+    }
+
+    #[test]
+    fn tolerant_queries_hit_tight_queries_miss() {
+        let cfg = StaleApproxConfig {
+            alpha: 0.0,
+            gamma0: 0.0,
+            initial_width: 4.0,
+            ..StaleApproxConfig::default()
+        };
+        let mut s = sys(cfg);
+        let mut stats = measuring();
+        // δ = 10 >= W = 4: local hit, no cost.
+        s.on_query(&query(0, 10.0), 0, &mut stats).unwrap();
+        assert_eq!(stats.qr_count(), 0);
+        // δ = 2 < W = 4: remote.
+        s.on_query(&query(0, 2.0), 0, &mut stats).unwrap();
+        assert_eq!(stats.qr_count(), 1);
+    }
+
+    #[test]
+    fn gamma0_snaps_to_exact_copy() {
+        // Width 0.5 < γ0 = 1 → effective 0: every update is a VR and every
+        // query (even δ = 0) is a hit.
+        let cfg = StaleApproxConfig { initial_width: 0.5, ..StaleApproxConfig::default() };
+        let mut s = sys(cfg);
+        assert_eq!(s.guarantee_of(Key(0)).unwrap(), 0.0);
+        let mut stats = measuring();
+        s.on_query(&query(0, 0.0), 0, &mut stats).unwrap();
+        assert_eq!(stats.qr_count(), 0, "exact copy must serve δ=0 locally");
+        s.on_update(Key(0), 1.0, 0, &mut stats).unwrap();
+        assert_eq!(stats.vr_count(), 1, "every update must propagate");
+    }
+
+    #[test]
+    fn adapts_width_toward_balance() {
+        // Alternate 1 update per query with tolerant/tight mix; width must
+        // stay positive, finite, and respond to the workload.
+        let mut s = sys(StaleApproxConfig::default());
+        let mut stats = measuring();
+        for i in 0..1000u32 {
+            s.on_update(Key(0), f64::from(i), u64::from(i) * 1_000, &mut stats).unwrap();
+            let delta = if i % 2 == 0 { 1.0 } else { 8.0 };
+            s.on_query(&query(0, delta), u64::from(i) * 1_000 + 500, &mut stats).unwrap();
+        }
+        let w = s.internal_width_of(Key(0)).unwrap();
+        assert!(w.is_finite() && w > 0.0);
+        assert!(stats.vr_count() > 0);
+        assert!(stats.qr_count() > 0);
+    }
+}

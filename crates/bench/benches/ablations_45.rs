@@ -1,0 +1,7 @@
+//! Regenerates the Section 4.5 ablations (unsuccessful variations).
+
+fn main() {
+    for table in apcache_bench::experiments::ablations::run() {
+        table.print();
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (analytic model curves).
+
+fn main() {
+    apcache_bench::experiments::fig02::run().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 and the Section 4.2 optimality grid.
+
+fn main() {
+    apcache_bench::experiments::fig03::run_sweep().print();
+    apcache_bench::experiments::fig03::run_grid().print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 4 and 5 (value + interval time series).
+
+fn main() {
+    for table in apcache_bench::experiments::fig04_05::run() {
+        table.print();
+    }
+}

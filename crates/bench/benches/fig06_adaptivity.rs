@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (adaptivity parameter sweep).
+
+fn main() {
+    apcache_bench::experiments::fig06::run().print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 7-9 (upper threshold settings).
+
+fn main() {
+    for table in apcache_bench::experiments::fig07_09::run() {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 10-13 (comparison against WJH97 exact caching).
+
+fn main() {
+    for table in apcache_bench::experiments::fig10_13::run() {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 14-15 (comparison against Divergence Caching).
+
+fn main() {
+    for table in apcache_bench::experiments::fig14_15::run() {
+        table.print();
+    }
+}

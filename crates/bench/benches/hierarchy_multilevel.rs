@@ -1,0 +1,6 @@
+//! Multi-level caching ablation (paper Section 5 future work): two-level
+//! hierarchy vs flat fan-out as the number of leaf caches grows.
+
+fn main() {
+    apcache_bench::experiments::hierarchy::run().print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the MAX-query comparison (Sections 4.4/4.6).
+
+fn main() {
+    apcache_bench::experiments::max_queries::run().print();
+}

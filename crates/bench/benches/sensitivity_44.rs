@@ -1,0 +1,7 @@
+//! Regenerates the Section 4.4 sensitivity tables (gamma0 and rho).
+
+fn main() {
+    for table in apcache_bench::experiments::sensitivity::run() {
+        table.print();
+    }
+}

@@ -1,0 +1,205 @@
+//! Section 4.5 ablations: the "unsuccessful variations".
+//!
+//! The paper reports three variations that seemed intuitive but did not
+//! beat the main algorithm: uncentered intervals (except on biased data),
+//! time-varying intervals (except linear drift on biased data), and
+//! refresh-history windows `r > 1`. These benches reproduce each
+//! comparison.
+
+use apcache_core::policy::{GrowthLaw, Weighting};
+use apcache_sim::systems::{AdaptiveSystemConfig, PolicyKind, QuerySpec};
+use apcache_workload::query::KindMix;
+use apcache_workload::walk::WalkConfig;
+
+use crate::experiments::common::{
+    paper_trace, run_on_trace, run_on_walks, sum_queries, MASTER_SEED,
+};
+use crate::table::{fmt_num, Table};
+
+const WALK_DURATION: u64 = 20_000;
+const WALK_SOURCES: usize = 8;
+
+fn walk_queries(delta_avg: f64) -> QuerySpec {
+    QuerySpec {
+        period_secs: 1.0,
+        fanout: 4,
+        delta_avg,
+        delta_rho: 1.0,
+        kind_mix: KindMix::SumOnly,
+    }
+}
+
+fn run_policy_on_walks(policy: PolicyKind, walk: WalkConfig, seed: u64) -> f64 {
+    let sys = AdaptiveSystemConfig {
+        policy,
+        gamma0: 0.0,
+        gamma1: f64::INFINITY,
+        ..AdaptiveSystemConfig::default()
+    };
+    run_on_walks(WALK_SOURCES, walk, &sys, walk_queries(40.0), WALK_DURATION, seed)
+        .cost_rate()
+}
+
+fn run_policy_on_trace(policy: PolicyKind, seed: u64) -> f64 {
+    let trace = paper_trace();
+    let sys = AdaptiveSystemConfig {
+        policy,
+        gamma0: 0.0,
+        gamma1: f64::INFINITY,
+        ..AdaptiveSystemConfig::default()
+    };
+    run_on_trace(&trace, &sys, sum_queries(1.0, 100_000.0, 0.5), seed).cost_rate()
+}
+
+/// Centered vs uncentered intervals on unbiased walks, biased walks, and
+/// the network trace.
+pub fn run_uncentered() -> Table {
+    let mut table = Table::new(
+        "Section 4.5a: centered vs uncentered intervals",
+        vec![
+            "workload".into(),
+            "centered".into(),
+            "uncentered".into(),
+            "uncentered/centered %".into(),
+        ],
+    );
+    table.note("paper: uncentered performs worse on unbiased walks and the network data,");
+    table.note("slightly better on strongly biased (always-rising) walks.");
+    let mut seed = MASTER_SEED + 450_000;
+    let mut push = |label: &str, centered: f64, uncentered: f64| {
+        table.push_row(vec![
+            label.into(),
+            fmt_num(centered),
+            fmt_num(uncentered),
+            fmt_num(uncentered / centered * 100.0),
+        ]);
+    };
+    // Unbiased walk.
+    seed += 10;
+    let c = run_policy_on_walks(PolicyKind::Adaptive, WalkConfig::paper_default(), seed);
+    let u = run_policy_on_walks(PolicyKind::Uncentered, WalkConfig::paper_default(), seed);
+    push("unbiased walk", c, u);
+    // Biased walk (mostly upward).
+    seed += 10;
+    let biased = WalkConfig::biased(0.9);
+    let c = run_policy_on_walks(PolicyKind::Adaptive, biased, seed);
+    let u = run_policy_on_walks(PolicyKind::Uncentered, biased, seed);
+    push("biased walk p_up=0.9", c, u);
+    // Network trace.
+    seed += 10;
+    let c = run_policy_on_trace(PolicyKind::Adaptive, seed);
+    let u = run_policy_on_trace(PolicyKind::Uncentered, seed);
+    push("network trace", c, u);
+    table
+}
+
+/// Constant vs time-growing vs drifting intervals.
+pub fn run_time_varying() -> Table {
+    let mut table = Table::new(
+        "Section 4.5b: time-varying intervals",
+        vec!["workload".into(), "variant".into(), "Omega".into(), "vs constant %".into()],
+    );
+    table.note("paper: widths growing as t^(1/2) or t^(1/3) are worse than constant");
+    table.note("intervals on both unbiased walks and the trace; linearly drifting");
+    table.note("endpoints (rate matched to the drift) are the best form for biased data.");
+    let mut seed = MASTER_SEED + 451_000;
+
+    // Unbiased walk: constant vs growth laws.
+    seed += 10;
+    let base = run_policy_on_walks(PolicyKind::Adaptive, WalkConfig::paper_default(), seed);
+    table.push_row(vec!["unbiased walk".into(), "constant".into(), fmt_num(base), "100".into()]);
+    for (label, law) in [
+        ("grow t^1/2", GrowthLaw::sqrt(1.0).expect("valid")),
+        ("grow t^1/3", GrowthLaw::cbrt(1.0).expect("valid")),
+    ] {
+        let omega =
+            run_policy_on_walks(PolicyKind::TimeVarying(law), WalkConfig::paper_default(), seed);
+        table.push_row(vec![
+            "unbiased walk".into(),
+            label.into(),
+            fmt_num(omega),
+            fmt_num(omega / base * 100.0),
+        ]);
+    }
+
+    // Trace: constant vs growth laws.
+    seed += 10;
+    let base_trace = run_policy_on_trace(PolicyKind::Adaptive, seed);
+    table.push_row(vec!["trace".into(), "constant".into(), fmt_num(base_trace), "100".into()]);
+    // Growth coefficient scaled to the trace's value range.
+    let law = GrowthLaw::sqrt(5_000.0).expect("valid");
+    let omega = run_policy_on_trace(PolicyKind::TimeVarying(law), seed);
+    table.push_row(vec![
+        "trace".into(),
+        "grow t^1/2".into(),
+        fmt_num(omega),
+        fmt_num(omega / base_trace * 100.0),
+    ]);
+
+    // Biased walk: constant vs drift-matched linear endpoints.
+    seed += 10;
+    let biased = WalkConfig::biased(0.9);
+    let base_biased = run_policy_on_walks(PolicyKind::Adaptive, biased, seed);
+    table.push_row(vec![
+        "biased walk".into(),
+        "constant".into(),
+        fmt_num(base_biased),
+        "100".into(),
+    ]);
+    let drift = biased.drift();
+    let omega =
+        run_policy_on_walks(PolicyKind::Drifting { rate_per_sec: drift }, biased, seed);
+    table.push_row(vec![
+        "biased walk".into(),
+        format!("drift k={}", fmt_num(drift)),
+        fmt_num(omega),
+        fmt_num(omega / base_biased * 100.0),
+    ]);
+    table
+}
+
+/// Refresh-history windows `r ∈ {1, 3, 7, 15}` (uniform and recency
+/// weighted).
+pub fn run_history() -> Table {
+    let mut table = Table::new(
+        "Section 4.5c: refresh-history window size r",
+        vec!["r".into(), "weighting".into(), "Omega (trace)".into(), "vs r=1 %".into()],
+    );
+    table.note("paper: no history scheme outperformed r=1 (the main algorithm), which is");
+    table.note("also the most adaptive and simplest to implement.");
+    let mut seed = MASTER_SEED + 452_000;
+    seed += 1;
+    let base = run_policy_on_trace(
+        PolicyKind::History { r: 1, weighting: Weighting::Uniform },
+        seed,
+    );
+    table.push_row(vec!["1".into(), "uniform".into(), fmt_num(base), "100".into()]);
+    for r in [3usize, 7, 15] {
+        let omega = run_policy_on_trace(
+            PolicyKind::History { r, weighting: Weighting::Uniform },
+            seed,
+        );
+        table.push_row(vec![
+            r.to_string(),
+            "uniform".into(),
+            fmt_num(omega),
+            fmt_num(omega / base * 100.0),
+        ]);
+    }
+    let omega = run_policy_on_trace(
+        PolicyKind::History { r: 7, weighting: Weighting::Exponential { decay: 0.5 } },
+        seed,
+    );
+    table.push_row(vec![
+        "7".into(),
+        "exp decay 0.5".into(),
+        fmt_num(omega),
+        fmt_num(omega / base * 100.0),
+    ]);
+    table
+}
+
+/// Regenerate every Section 4.5 ablation.
+pub fn run() -> Vec<Table> {
+    vec![run_uncentered(), run_time_varying(), run_history()]
+}

@@ -1,0 +1,55 @@
+//! Figure 2: analytic cost rate and refresh probabilities vs interval
+//! width (`θ = 1`, `K1 = 1`, `K2 = 1/200`).
+
+use apcache_core::cost::CostModel;
+use apcache_core::model::RefreshModel;
+
+use crate::table::{fmt_num, Table};
+
+/// Regenerate Figure 2.
+pub fn run() -> Table {
+    let cost = CostModel::multiversion(); // θ = 1
+    let model = RefreshModel::new(1.0, 1.0 / 200.0, cost).expect("figure 2 constants valid");
+    let mut table = Table::new(
+        "Figure 2: cost rate and refresh probabilities (analytic), theta=1, K1=1, K2=1/200",
+        vec!["W".into(), "P_vr".into(), "P_qr".into(), "Omega".into()],
+    );
+    table.note("paper shape: P_vr ~ 1/W^2 falling, P_qr ~ W rising; Omega minimized exactly");
+    table.note("where the curves cross (W* = (theta*K1/K2)^(1/3) ~ 5.85).");
+    for w10 in 2..=40u32 {
+        let w = f64::from(w10) / 2.0;
+        table.push_row(vec![
+            fmt_num(w),
+            fmt_num(model.p_vr(w)),
+            fmt_num(model.p_qr(w)),
+            fmt_num(model.omega(w)),
+        ]);
+    }
+    let w_star = model.w_star();
+    table.note(format!(
+        "W* = {} with Omega(W*) = {}; P_vr(W*) = {} vs P_qr(W*) = {} (equal at the optimum)",
+        fmt_num(w_star),
+        fmt_num(model.omega_star()),
+        fmt_num(model.p_vr(w_star)),
+        fmt_num(model.p_qr(w_star)),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_table_has_expected_shape() {
+        let t = run();
+        assert_eq!(t.columns.len(), 4);
+        assert!(t.rows.len() > 30);
+        // Omega at the ends is worse than near the middle.
+        let omega = |row: &Vec<String>| row[3].parse::<f64>().unwrap_or(f64::MAX);
+        let first = omega(&t.rows[0]);
+        let mid = t.rows.iter().map(omega).fold(f64::MAX, f64::min);
+        let last = omega(t.rows.last().unwrap());
+        assert!(mid < first && mid < last);
+    }
+}

@@ -1,0 +1,175 @@
+//! Figure 3 (and the Section 4.2 optimality grid): measured refresh
+//! probabilities and cost rate on steady-state random-walk data, and the
+//! adaptive algorithm's convergence to the empirically best fixed width.
+
+use apcache_core::cost::CostModel;
+use apcache_core::Key;
+use apcache_sim::systems::{
+    build_adaptive_simulation, AdaptiveSystemConfig, InitialWidth, PolicyKind, QuerySpec,
+    WorkloadSpec,
+};
+use apcache_sim::SimConfig;
+use apcache_workload::query::KindMix;
+use apcache_workload::walk::WalkConfig;
+
+use crate::experiments::common::MASTER_SEED;
+use crate::table::{fmt_num, Table};
+
+/// Duration for the steady-state runs (long enough that P_vr estimates are
+/// stable at the widths of interest).
+const DURATION_SECS: u64 = 40_000;
+
+fn queries(tq: f64, delta_avg: f64) -> QuerySpec {
+    QuerySpec {
+        period_secs: tq,
+        fanout: 1,
+        delta_avg,
+        delta_rho: 1.0,
+        kind_mix: KindMix::SumOnly,
+    }
+}
+
+fn run_fixed(width: f64, tq: f64, delta_avg: f64, theta: f64, seed: u64) -> (f64, f64, f64) {
+    let sim = SimConfig::builder()
+        .duration_secs(DURATION_SECS)
+        .warmup_secs(DURATION_SECS / 10)
+        .seed(seed)
+        .build()
+        .expect("static config");
+    let sys = AdaptiveSystemConfig {
+        cost: CostModel::from_theta(theta).expect("theta valid"),
+        policy: PolicyKind::Fixed { width },
+        ..AdaptiveSystemConfig::default()
+    };
+    let stats = build_adaptive_simulation(
+        &sim,
+        &sys,
+        WorkloadSpec::random_walks(1, WalkConfig::paper_default()),
+        queries(tq, delta_avg),
+    )
+    .expect("assembles")
+    .run()
+    .expect("runs")
+    .stats;
+    (stats.p_vr(), stats.p_qr(), stats.cost_rate())
+}
+
+fn run_adaptive(tq: f64, delta_avg: f64, theta: f64, alpha: f64, seed: u64) -> (f64, f64) {
+    let sim = SimConfig::builder()
+        .duration_secs(DURATION_SECS)
+        .warmup_secs(DURATION_SECS / 10)
+        .seed(seed)
+        .build()
+        .expect("static config");
+    let sys = AdaptiveSystemConfig {
+        cost: CostModel::from_theta(theta).expect("theta valid"),
+        alpha,
+        initial_width: InitialWidth::Fixed(4.0),
+        ..AdaptiveSystemConfig::default()
+    };
+    let report = build_adaptive_simulation(
+        &sim,
+        &sys,
+        WorkloadSpec::random_walks(1, WalkConfig::paper_default()),
+        queries(tq, delta_avg),
+    )
+    .expect("assembles")
+    .run()
+    .expect("runs");
+    let width = report.system.internal_width_of(Key(0)).expect("source 0 exists");
+    (report.stats.cost_rate(), width)
+}
+
+/// The fixed-width sweep of Figure 3 (`T_q = 2`, `δ_avg = 20`, `ρ = 1`,
+/// `θ = 1`).
+pub fn run_sweep() -> Table {
+    let mut table = Table::new(
+        "Figure 3: measured refresh probabilities and cost rate vs fixed width \
+         (random walk +-U[0.5,1.5], T_q=2, delta_avg=20, rho=1, theta=1)",
+        vec!["W".into(), "P_vr".into(), "P_qr".into(), "Omega".into()],
+    );
+    table.note("paper shape: P_vr proportional to 1/W^2, P_qr proportional to W,");
+    table.note("minimum Omega where the curves cross; adaptive run converges near it.");
+    let widths = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 16.0, 20.0];
+    let mut best = (f64::MAX, 0.0);
+    for (i, &w) in widths.iter().enumerate() {
+        let (pvr, pqr, omega) = run_fixed(w, 2.0, 20.0, 1.0, MASTER_SEED + i as u64);
+        if omega < best.0 {
+            best = (omega, w);
+        }
+        table.push_row(vec![fmt_num(w), fmt_num(pvr), fmt_num(pqr), fmt_num(omega)]);
+    }
+    // Steady-state convergence uses a small alpha: the adaptivity
+    // parameter trades convergence precision against reaction speed
+    // (Figure 6 covers the dynamic case where alpha = 1 wins). The paper's
+    // "converged to W = 3.11, within 1% of optimal" is a steady-state
+    // fine-alpha result; with alpha = 1 the width oscillates one doubling
+    // around the optimum and pays 15-30% (also reported below).
+    let (omega_fine, w_fine) = run_adaptive(2.0, 20.0, 1.0, 0.05, MASTER_SEED + 100);
+    let (omega_coarse, w_coarse) = run_adaptive(2.0, 20.0, 1.0, 1.0, MASTER_SEED + 101);
+    table.note(format!(
+        "best fixed width W={} with Omega={}",
+        fmt_num(best.1),
+        fmt_num(best.0),
+    ));
+    table.note(format!(
+        "adaptive alpha=0.05 converged to W={} with Omega={} ({}% of best fixed)",
+        fmt_num(w_fine),
+        fmt_num(omega_fine),
+        fmt_num(omega_fine / best.0 * 100.0),
+    ));
+    table.note(format!(
+        "adaptive alpha=1 ended at W={} with Omega={} ({}% of best fixed)",
+        fmt_num(w_coarse),
+        fmt_num(omega_coarse),
+        fmt_num(omega_coarse / best.0 * 100.0),
+    ));
+    table
+}
+
+/// The Section 4.2 grid: adaptive-vs-best-fixed over all combinations of
+/// `T_q ∈ {1, 2}`, `δ_avg ∈ {10, 20}`, `θ ∈ {1, 4}` (paper: within 5 % of
+/// optimal in every scenario).
+pub fn run_grid() -> Table {
+    let mut table = Table::new(
+        "Section 4.2 grid: adaptive cost rate relative to the best fixed width",
+        vec![
+            "T_q".into(),
+            "delta_avg".into(),
+            "theta".into(),
+            "best fixed W".into(),
+            "Omega fixed".into(),
+            "Omega adaptive".into(),
+            "adaptive/fixed %".into(),
+        ],
+    );
+    table.note("paper: adaptive within ~5% of the optimal fixed width in all scenarios.");
+    let widths = [1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0];
+    let mut seed = MASTER_SEED + 1_000;
+    for tq in [1.0, 2.0] {
+        for delta_avg in [10.0, 20.0] {
+            for theta in [1.0, 4.0] {
+                let mut best = (f64::MAX, 0.0);
+                for &w in &widths {
+                    seed += 1;
+                    let (_, _, omega) = run_fixed(w, tq, delta_avg, theta, seed);
+                    if omega < best.0 {
+                        best = (omega, w);
+                    }
+                }
+                seed += 1;
+                let (adaptive_omega, _) = run_adaptive(tq, delta_avg, theta, 0.05, seed);
+                table.push_row(vec![
+                    fmt_num(tq),
+                    fmt_num(delta_avg),
+                    fmt_num(theta),
+                    fmt_num(best.1),
+                    fmt_num(best.0),
+                    fmt_num(adaptive_omega),
+                    fmt_num(adaptive_omega / best.0 * 100.0),
+                ]);
+            }
+        }
+    }
+    table
+}

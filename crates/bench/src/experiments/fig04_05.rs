@@ -1,0 +1,135 @@
+//! Figures 4 and 5: source value and cached interval over time, for small
+//! (`δ_avg = 50K`) vs large (`δ_avg = 500K`) precision constraints.
+//!
+//! The paper plots a segment where a host becomes active after a period of
+//! inactivity; the adaptive algorithm picks narrow intervals when
+//! constraints are tight (Fig 4) and wide ones when they are loose (Fig 5).
+
+use apcache_core::Key;
+use apcache_sim::systems::{build_adaptive_simulation, AdaptiveSystemConfig, WorkloadSpec};
+use apcache_workload::trace::TraceSet;
+
+use crate::experiments::common::{paper_trace, sum_queries, trace_sim_config, MASTER_SEED};
+use crate::table::{fmt_num, Table};
+
+/// Locate a host with a long idle stretch followed by activity — the
+/// Figure 4/5 scenario — and the second at which it activates.
+pub fn find_activation(trace: &TraceSet) -> (usize, usize) {
+    let global_peak = trace.peak();
+    let mut best: (usize, usize, f64) = (0, 0, 0.0); // host, activation, score
+    for h in 0..trace.n_hosts() {
+        let series = trace.host(h);
+        let peak = series.iter().copied().fold(0.0f64, f64::max);
+        // The paper plots a *moderate* host (peaking around 250K out of a
+        // 5.2M global max): busy enough to show activity, not so busy
+        // that its own volatility pins the interval width regardless of
+        // the precision constraints.
+        if peak <= 0.01 * global_peak || peak > 0.15 * global_peak {
+            continue;
+        }
+        let mut idle_start = None;
+        for t in 0..series.len() {
+            if series[t] == 0.0 {
+                idle_start.get_or_insert(t);
+            } else if let Some(start) = idle_start.take() {
+                let idle_len = t - start;
+                if idle_len < 120 || t + 500 >= series.len() || t < 700 {
+                    continue;
+                }
+                // Substantial activity must follow the activation.
+                let burst: f64 =
+                    series[t..(t + 300).min(series.len())].iter().sum::<f64>() / 300.0;
+                let score = burst * (idle_len.min(600) as f64);
+                if burst > 0.05 * peak && score > best.2 {
+                    best = (h, t, score);
+                }
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+/// Run one Figure-4/5 style recording.
+fn run_recording(trace: &TraceSet, delta_avg: f64, host: usize, activation: usize) -> Table {
+    let sys = AdaptiveSystemConfig {
+        // Fig 4/5 parameters: alpha=1, gamma0=0, gamma1=inf, theta=1.
+        alpha: 1.0,
+        gamma0: 0.0,
+        gamma1: f64::INFINITY,
+        ..AdaptiveSystemConfig::default()
+    };
+    let report = build_adaptive_simulation(
+        &trace_sim_config(MASTER_SEED),
+        &sys,
+        WorkloadSpec::trace(trace.clone()),
+        sum_queries(1.0, delta_avg, 1.0),
+    )
+    .expect("assembles")
+    .with_recorder(Key(host as u32))
+    .run()
+    .expect("runs");
+
+    let mut table = Table::new(
+        format!(
+            "Figure {}: value and cached interval over time, delta_avg = {} (host {host})",
+            if delta_avg < 100_000.0 { "4" } else { "5" },
+            fmt_num(delta_avg),
+        ),
+        vec!["t (s)".into(), "value".into(), "interval lo".into(), "interval hi".into(),
+             "width".into()],
+    );
+    table.note("paper shape: tight constraints (Fig 4) -> narrow intervals tracking the value;");
+    table.note("loose constraints (Fig 5) -> wide intervals that rarely refresh.");
+    let recorder = report.recorder.expect("recorder attached");
+    let from = activation.saturating_sub(100);
+    let to = (activation + 500).min(trace.duration_secs() - 1);
+    for sample in recorder.samples() {
+        let t = sample.t_secs as usize;
+        if t < from || t > to || t % 20 != 0 {
+            continue;
+        }
+        table.push_row(vec![
+            format!("{t}"),
+            fmt_num(sample.value),
+            fmt_num(sample.lo),
+            fmt_num(sample.hi),
+            fmt_num(sample.hi - sample.lo),
+        ]);
+    }
+    table
+}
+
+/// Regenerate Figures 4 and 5; also reports the mean interval widths so
+/// the narrow-vs-wide contrast is quantified.
+pub fn run() -> Vec<Table> {
+    let trace = paper_trace();
+    let (host, activation) = find_activation(&trace);
+    let fig4 = run_recording(&trace, 50_000.0, host, activation);
+    let fig5 = run_recording(&trace, 500_000.0, host, activation);
+
+    // Quantify the contrast: mean cached width while the host is active
+    // (idle stretches have no value-initiated pressure, so widths there
+    // only decay and say nothing about the chosen precision).
+    let mean_width = |t: &Table| {
+        let widths: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[1].parse::<f64>().map(|v| v > 0.0).unwrap_or(false))
+            .filter_map(|r| r[4].parse::<f64>().ok())
+            .filter(|w| w.is_finite())
+            .collect();
+        widths.iter().sum::<f64>() / widths.len().max(1) as f64
+    };
+    let (m4, m5) = (mean_width(&fig4), mean_width(&fig5));
+    let mut summary = Table::new(
+        "Figures 4 vs 5 summary",
+        vec!["delta_avg".into(), "mean cached width".into()],
+    );
+    summary.note("paper: tight constraints favour narrow intervals (width capped near the");
+    summary.note("per-item budget delta_avg/10 or the host's own slew, whichever binds),");
+    summary.note("loose constraints favour substantially wider ones.");
+    summary.push_row(vec!["50K".into(), fmt_num(m4)]);
+    summary.push_row(vec!["500K".into(), fmt_num(m5)]);
+    summary.push_row(vec!["ratio".into(), fmt_num(m5 / m4)]);
+    vec![fig4, fig5, summary]
+}

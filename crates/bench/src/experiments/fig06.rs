@@ -1,0 +1,80 @@
+//! Figure 6: effect of the adaptivity parameter α on the average cost
+//! rate, across 12 combinations of `θ`, `T_q`, and the constraint range.
+//!
+//! Paper conclusion: `α = 1` (doubling/halving) is a good overall setting.
+
+use crate::experiments::common::{paper_trace, run_on_trace, sum_queries, MASTER_SEED};
+use crate::table::{fmt_num, Table};
+use apcache_core::cost::CostModel;
+use apcache_sim::systems::AdaptiveSystemConfig;
+
+/// The α values swept (the paper plots α ∈ (0, 10]).
+pub const ALPHAS: [f64; 7] = [0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 10.0];
+
+/// The 12 curve configurations: (θ, T_q, δ_min, δ_max) as labelled in the
+/// paper's legend.
+pub const COMBOS: [(f64, f64, f64, f64); 12] = [
+    (1.0, 0.5, 50_000.0, 150_000.0),
+    (1.0, 0.5, 0.0, 100_000.0),
+    (1.0, 1.0, 50_000.0, 150_000.0),
+    (1.0, 1.0, 0.0, 100_000.0),
+    (1.0, 6.0, 50_000.0, 150_000.0),
+    (1.0, 6.0, 0.0, 100_000.0),
+    (4.0, 0.5, 50_000.0, 150_000.0),
+    (4.0, 0.5, 0.0, 100_000.0),
+    (4.0, 1.0, 50_000.0, 150_000.0),
+    (4.0, 1.0, 0.0, 100_000.0),
+    (4.0, 6.0, 50_000.0, 150_000.0),
+    (4.0, 6.0, 0.0, 100_000.0),
+];
+
+/// Regenerate Figure 6.
+pub fn run() -> Table {
+    let trace = paper_trace();
+    let mut columns = vec!["alpha".into()];
+    for (theta, tq, dmin, dmax) in COMBOS {
+        columns.push(format!(
+            "th={theta},Tq={tq},[{}..{}]",
+            fmt_num(dmin),
+            fmt_num(dmax)
+        ));
+    }
+    let mut table = Table::new(
+        "Figure 6: average cost rate Omega vs adaptivity alpha (SUM queries, trace data)",
+        columns,
+    );
+    table.note("paper shape: cost is poor for tiny alpha (too slow to adapt), flat-ish and");
+    table.note("good around alpha=1, and degrades slowly for large alpha; alpha=1 is the");
+    table.note("recommended overall setting.");
+
+    let mut best_alpha_votes: Vec<(f64, f64)> = vec![(f64::MAX, 0.0); COMBOS.len()];
+    let mut seed = MASTER_SEED + 60_000;
+    for &alpha in &ALPHAS {
+        let mut row = vec![fmt_num(alpha)];
+        for (ci, (theta, tq, dmin, dmax)) in COMBOS.iter().enumerate() {
+            let delta_avg = (dmin + dmax) / 2.0;
+            let rho = if delta_avg > 0.0 { (dmax - dmin) / (2.0 * delta_avg) } else { 0.0 };
+            let sys = AdaptiveSystemConfig {
+                cost: CostModel::from_theta(*theta).expect("theta valid"),
+                alpha,
+                gamma0: 0.0,
+                gamma1: f64::INFINITY,
+                ..AdaptiveSystemConfig::default()
+            };
+            seed += 1;
+            let stats = run_on_trace(&trace, &sys, sum_queries(*tq, delta_avg, rho), seed);
+            let omega = stats.cost_rate();
+            if omega < best_alpha_votes[ci].0 {
+                best_alpha_votes[ci] = (omega, alpha);
+            }
+            row.push(fmt_num(omega));
+        }
+        table.push_row(row);
+    }
+    let ones = best_alpha_votes.iter().filter(|(_, a)| (0.5..=2.0).contains(a)).count();
+    table.note(format!(
+        "best alpha per combo: {:?}; {ones}/12 combos have their optimum in [0.5, 2].",
+        best_alpha_votes.iter().map(|(_, a)| *a).collect::<Vec<_>>()
+    ));
+    table
+}

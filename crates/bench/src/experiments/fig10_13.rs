@@ -1,0 +1,153 @@
+//! Figures 10–13: comparison against WJH97 adaptive exact caching for SUM
+//! queries, across query periods, cost factors (`θ ∈ {1, 4}`) and cache
+//! sizes (`κ ∈ {50, 20}`).
+//!
+//! Paper shape:
+//! * ours with `γ1 = γ0` almost precisely matches exact caching under all
+//!   workloads, cache sizes and cost configurations;
+//! * ours with `γ1 = ∞` significantly outperforms exact caching when
+//!   imprecision is allowed (`δ_avg ∈ {100K, 500K}`), at a slight penalty
+//!   for exact-precision SUM workloads (`δ_avg = 0`);
+//! * with a small cache (κ = 20), nonzero constraints help less because
+//!   inexact intervals tend to be evicted.
+
+use apcache_core::cost::CostModel;
+use apcache_baselines::exact::{ExactCachingConfig, ExactCachingSystem};
+use apcache_sim::systems::{AdaptiveSystemConfig, QuerySpec, WorkloadSpec};
+use apcache_sim::Simulation;
+use apcache_workload::trace::TraceSet;
+
+use crate::experiments::common::{
+    paper_trace, run_on_trace, sum_queries, trace_sim_config, MASTER_SEED,
+};
+use crate::table::{fmt_num, Table};
+
+/// Reevaluation periods swept for the exact-caching baseline (the paper
+/// sweeps 3..45 per run and reports the best).
+pub const X_SWEEP: [u32; 6] = [3, 5, 9, 15, 25, 45];
+
+/// Query periods on the x-axis.
+pub const TQS: [f64; 4] = [0.5, 1.0, 2.0, 5.0];
+
+/// Run the WJH97 baseline over the trace and return the measured cost rate.
+pub fn run_exact(
+    trace: &TraceSet,
+    x: u32,
+    theta: f64,
+    capacity: Option<usize>,
+    queries: QuerySpec,
+    seed: u64,
+) -> f64 {
+    let cost = CostModel::from_theta(theta).expect("theta valid");
+    let sim_cfg = trace_sim_config(seed);
+    let mut master = apcache_core::Rng::seed_from_u64(sim_cfg.seed());
+    let workload = WorkloadSpec::trace(trace.clone());
+    let processes = workload.build_processes(&mut master).expect("processes build");
+    let initial: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = ExactCachingSystem::new(
+        ExactCachingConfig { cost, x, cache_capacity: capacity },
+        &initial,
+    )
+    .expect("system builds");
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, initial.len(), master.fork())
+            .expect("query generator builds");
+    Simulation::new(sim_cfg, system, processes, query_gen)
+        .expect("assembles")
+        .run()
+        .expect("runs")
+        .stats
+        .cost_rate()
+}
+
+/// Best-x exact caching cost rate.
+pub fn best_exact(
+    trace: &TraceSet,
+    theta: f64,
+    capacity: Option<usize>,
+    queries: QuerySpec,
+    seed: u64,
+) -> (u32, f64) {
+    let mut best = (0u32, f64::MAX);
+    for (i, &x) in X_SWEEP.iter().enumerate() {
+        let omega = run_exact(trace, x, theta, capacity, queries, seed + i as u64);
+        if omega < best.1 {
+            best = (x, omega);
+        }
+    }
+    best
+}
+
+/// One figure: fixed `θ` and κ, sweeping `T_q`.
+pub fn run_one(theta: f64, capacity: Option<usize>) -> Table {
+    let trace = paper_trace();
+    let kappa = capacity.map(|k| k.to_string()).unwrap_or_else(|| "50".into());
+    let fig = match (theta as u32, capacity) {
+        (1, None) => "10",
+        (4, None) => "11",
+        (1, _) => "12",
+        _ => "13",
+    };
+    let mut table = Table::new(
+        format!("Figure {fig}: vs exact caching, theta = {theta}, kappa = {kappa} (SUM)"),
+        vec![
+            "T_q".into(),
+            "exact caching (best x)".into(),
+            "ours g1=g0".into(),
+            "ours g1=inf d=0".into(),
+            "ours g1=inf d=100K".into(),
+            "ours g1=inf d=500K".into(),
+        ],
+    );
+    table.note("paper shape: column 3 tracks column 2 closely; columns 5-6 beat both when");
+    table.note("imprecision is allowed; column 4 (exact answers from intervals) pays a small");
+    table.note("penalty for SUM. With kappa=20 the delta>0 advantage shrinks (evictions).");
+    let mut seed = MASTER_SEED + 101_300 + theta as u64 * 17 + capacity.unwrap_or(50) as u64;
+    for &tq in &TQS {
+        let mut row = vec![fmt_num(tq)];
+        // Exact caching with the best reevaluation period for this run.
+        seed += 100;
+        let (best_x, omega_exact) =
+            best_exact(&trace, theta, capacity, sum_queries(tq, 0.0, 0.0), seed);
+        row.push(format!("{} (x={best_x})", fmt_num(omega_exact)));
+        // Ours, exact-caching special case.
+        let ours_exact = AdaptiveSystemConfig {
+            cost: CostModel::from_theta(theta).expect("theta valid"),
+            alpha: 1.0,
+            gamma0: 1_000.0,
+            gamma1: 1_000.0,
+            cache_capacity: capacity,
+            ..AdaptiveSystemConfig::default()
+        };
+        seed += 1;
+        let stats = run_on_trace(&trace, &ours_exact, sum_queries(tq, 0.0, 0.0), seed);
+        row.push(fmt_num(stats.cost_rate()));
+        // Ours with gamma1 = inf at three constraint levels.
+        for delta_avg in [0.0, 100_000.0, 500_000.0] {
+            let ours = AdaptiveSystemConfig {
+                cost: CostModel::from_theta(theta).expect("theta valid"),
+                alpha: 1.0,
+                gamma0: 1_000.0,
+                gamma1: f64::INFINITY,
+                cache_capacity: capacity,
+                ..AdaptiveSystemConfig::default()
+            };
+            seed += 1;
+            let rho = if delta_avg > 0.0 { 0.5 } else { 0.0 };
+            let stats = run_on_trace(&trace, &ours, sum_queries(tq, delta_avg, rho), seed);
+            row.push(fmt_num(stats.cost_rate()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Regenerate Figures 10–13.
+pub fn run() -> Vec<Table> {
+    vec![
+        run_one(1.0, None),
+        run_one(4.0, None),
+        run_one(1.0, Some(20)),
+        run_one(4.0, Some(20)),
+    ]
+}

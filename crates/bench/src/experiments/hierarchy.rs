@@ -1,0 +1,83 @@
+//! Multi-level caching experiment (paper Section 5 future work): the
+//! two-level hierarchy of `apcache-hier` vs a flat fan-out deployment,
+//! sweeping the number of leaf caches.
+//!
+//! Expected shape: costs grow with the leaf count in both deployments,
+//! but the hierarchy amortizes the expensive source hop across leaves, so
+//! its advantage widens as leaves are added.
+
+use apcache_core::Rng;
+use apcache_hier::{FlatFanoutSystem, MultiLevelConfig, MultiLevelSystem};
+use apcache_sim::systems::{QuerySpec, WorkloadSpec};
+use apcache_sim::{CacheSystem, SimConfig, Simulation};
+use apcache_workload::query::KindMix;
+use apcache_workload::walk::WalkConfig;
+
+use crate::experiments::common::MASTER_SEED;
+use crate::table::{fmt_num, Table};
+
+const N_SOURCES: usize = 8;
+const DURATION: u64 = 10_000;
+
+fn run_system<S: CacheSystem>(system: S, seed: u64) -> f64 {
+    let cfg = SimConfig::builder()
+        .duration_secs(DURATION)
+        .warmup_secs(DURATION / 10)
+        .seed(seed)
+        .build()
+        .expect("valid");
+    let mut master = Rng::seed_from_u64(cfg.seed());
+    let workload = WorkloadSpec::random_walks(N_SOURCES, WalkConfig::paper_default());
+    let processes = workload.build_processes(&mut master).expect("builds");
+    let queries = QuerySpec {
+        period_secs: 0.5,
+        fanout: 2,
+        delta_avg: 20.0,
+        delta_rho: 1.0,
+        kind_mix: KindMix::SumOnly,
+    };
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, N_SOURCES, master.fork())
+            .expect("builds");
+    Simulation::new(cfg, system, processes, query_gen)
+        .expect("assembles")
+        .run()
+        .expect("runs")
+        .stats
+        .cost_rate()
+}
+
+/// Regenerate the hierarchy-vs-flat sweep.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Multi-level caching (Section 5): two-level hierarchy vs flat fan-out",
+        vec![
+            "leaves".into(),
+            "hierarchy".into(),
+            "flat".into(),
+            "hier/flat %".into(),
+        ],
+    );
+    table.note("expected shape: the hierarchy pays the expensive source hop once per");
+    table.note("refresh regardless of the leaf count, so its relative advantage widens");
+    table.note("as leaves are added (upper hop C=(1,2), lower hop C=(0.25,0.5)).");
+    let mut seed = MASTER_SEED + 550_000;
+    for n_leaves in [1usize, 2, 4, 8, 16] {
+        let cfg = MultiLevelConfig { n_leaves, ..MultiLevelConfig::default() };
+        let initial = vec![0.0; N_SOURCES];
+        seed += 2;
+        let hier = MultiLevelSystem::new(&cfg, &initial, Rng::seed_from_u64(seed))
+            .expect("hier builds");
+        let omega_hier = run_system(hier, seed);
+        let flat = FlatFanoutSystem::new(&cfg, &initial, Rng::seed_from_u64(seed))
+            .expect("flat builds");
+        let omega_flat = run_system(flat, seed + 1);
+        table.push_row(vec![
+            n_leaves.to_string(),
+            fmt_num(omega_hier),
+            fmt_num(omega_flat),
+            fmt_num(omega_hier / omega_flat * 100.0),
+        ]);
+    }
+    table
+}

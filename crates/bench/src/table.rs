@@ -1,0 +1,136 @@
+//! Plain-text table rendering for experiment output.
+
+/// A printable experiment result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table heading (figure number + description).
+    pub title: String,
+    /// Free-form notes: paper-expected shape, parameters, observations.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each row must have `columns.len()` entries).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { title: title.into(), notes: Vec::new(), columns, rows: Vec::new() }
+    }
+
+    /// Attach a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str("   ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_line = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("   ");
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_line(&self.columns, &widths));
+        let rule_len: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str("   ");
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+/// Compact numeric formatting: large magnitudes get thousands separators
+/// dropped in favour of short scientific-ish forms; small ones keep a few
+/// significant digits.
+pub fn fmt_num(x: f64) -> String {
+    if x.is_nan() {
+        return "-".into();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    let a = x.abs();
+    if a >= 100_000.0 {
+        format!("{:.3}e{}", x / 10f64.powi(a.log10().floor() as i32), a.log10().floor() as i32)
+    } else if a >= 100.0 || (x.fract() == 0.0 && a < 100_000.0) {
+        format!("{x:.0}")
+    } else if a >= 1.0 {
+        format!("{x:.2}")
+    } else if a > 0.0 {
+        format!("{x:.4}")
+    } else {
+        "0".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", vec!["a".into(), "long-column".into()]);
+        t.note("a note");
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "x".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo"));
+        assert!(r.contains("a note"));
+        // Right-aligned cells under headers.
+        assert!(r.contains("long-column"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn fmt_num_cases() {
+        assert_eq!(fmt_num(f64::NAN), "-");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(3.14511), "3.15");
+        assert_eq!(fmt_num(0.123456), "0.1235");
+        assert_eq!(fmt_num(250.0), "250");
+        assert!(fmt_num(520_000.0).contains('e'));
+    }
+}

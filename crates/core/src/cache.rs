@@ -1,0 +1,317 @@
+//! Cache-side protocol object.
+//!
+//! A [`Cache`] holds up to `κ` approximations. When space runs out it
+//! evicts the entry with the *widest internal width* — "the least precise
+//! approximations … contribute least to overall cache precision" (paper,
+//! Section 2). Eviction decisions use original (internal) widths, not the
+//! 0/∞ widths produced by thresholds, and no notification is sent to
+//! sources; an evicted approximation that incurs a refresh may be
+//! re-admitted if it is no longer the widest.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::ProtocolError;
+use crate::interval::Interval;
+use crate::policy::ApproxSpec;
+use crate::source::Refresh;
+use crate::{CacheId, Key, TimeMs};
+
+/// A cached approximation plus its eviction ordering key.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The approximation installed by the last refresh.
+    pub spec: ApproxSpec,
+    /// The source policy's internal width at refresh time.
+    pub internal_width: f64,
+}
+
+/// Outcome of applying a refresh message to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The key was already cached; its entry was replaced in place.
+    Updated,
+    /// The key was admitted into spare capacity.
+    Inserted,
+    /// The key was admitted and the given key was evicted to make room.
+    InsertedEvicting(Key),
+    /// The cache is full and the new approximation is at least as wide as
+    /// every resident entry; it stays uncached (paper: "the modified
+    /// approximation may still be the widest and remain uncached").
+    Rejected,
+}
+
+/// Total-order key for widths inside the eviction index. `f64::total_cmp`
+/// gives a total order; constructors reject NaN widths so the exotic
+/// orderings never arise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdWidth(f64);
+
+impl Eq for OrdWidth {}
+
+impl PartialOrd for OrdWidth {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdWidth {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bounded store of interval approximations with widest-first eviction.
+#[derive(Debug)]
+pub struct Cache {
+    id: CacheId,
+    capacity: usize,
+    entries: HashMap<Key, CacheEntry>,
+    /// Secondary index ordered by (internal width, key) for O(log n)
+    /// widest-entry lookup. Kept strictly in sync with `entries`.
+    by_width: BTreeSet<(OrdWidth, Key)>,
+}
+
+impl Cache {
+    /// Create a cache holding at most `capacity >= 1` approximations.
+    pub fn new(id: CacheId, capacity: usize) -> Result<Self, ProtocolError> {
+        if capacity == 0 {
+            return Err(ProtocolError::ZeroCapacity);
+        }
+        Ok(Cache { id, capacity, entries: HashMap::new(), by_width: BTreeSet::new() })
+    }
+
+    /// Create a cache that never evicts (capacity `usize::MAX`).
+    pub fn unbounded(id: CacheId) -> Self {
+        Cache { id, capacity: usize::MAX, entries: HashMap::new(), by_width: BTreeSet::new() }
+    }
+
+    /// This cache's identifier.
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// Configured capacity `κ`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached approximations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is currently cached.
+    pub fn contains(&self, key: Key) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// The cached entry for `key`, if any.
+    pub fn get(&self, key: Key) -> Option<&CacheEntry> {
+        self.entries.get(&key)
+    }
+
+    /// The concrete interval for `key` at time `now`; `None` if uncached.
+    pub fn interval_at(&self, key: Key, now: TimeMs) -> Option<Interval> {
+        self.entries.get(&key).map(|e| e.spec.interval_at(now))
+    }
+
+    /// Width offered for `key` at time `now`. Uncached keys offer no
+    /// information, i.e. infinite width (queries must bypass the cache).
+    pub fn width_at(&self, key: Key, now: TimeMs) -> f64 {
+        match self.entries.get(&key) {
+            Some(e) => e.spec.width_at(now),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Iterate over cached (key, entry) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &CacheEntry)> {
+        self.entries.iter().map(|(k, e)| (*k, e))
+    }
+
+    /// The currently widest entry (the eviction candidate).
+    pub fn widest(&self) -> Option<(Key, f64)> {
+        self.by_width.iter().next_back().map(|&(OrdWidth(w), k)| (k, w))
+    }
+
+    /// Apply a refresh message, enforcing capacity with widest-first
+    /// eviction.
+    pub fn apply_refresh(&mut self, refresh: Refresh) -> AdmitOutcome {
+        let Refresh { key, spec, internal_width } = refresh;
+        debug_assert!(!internal_width.is_nan(), "internal widths are never NaN");
+        let entry = CacheEntry { spec, internal_width };
+        if let Some(existing) = self.entries.get_mut(&key) {
+            self.by_width.remove(&(OrdWidth(existing.internal_width), key));
+            self.by_width.insert((OrdWidth(internal_width), key));
+            *existing = entry;
+            return AdmitOutcome::Updated;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, entry);
+            self.by_width.insert((OrdWidth(internal_width), key));
+            return AdmitOutcome::Inserted;
+        }
+        // Full: admit only if strictly narrower than the widest resident.
+        let Some(&(OrdWidth(max_width), victim)) = self.by_width.iter().next_back() else {
+            // capacity >= 1 and entries empty is handled above.
+            return AdmitOutcome::Rejected;
+        };
+        if internal_width < max_width {
+            self.remove(victim);
+            self.entries.insert(key, entry);
+            self.by_width.insert((OrdWidth(internal_width), key));
+            AdmitOutcome::InsertedEvicting(victim)
+        } else {
+            AdmitOutcome::Rejected
+        }
+    }
+
+    /// Remove an entry (used by eviction and by baseline protocols that
+    /// drop replicas explicitly). Returns the removed entry.
+    pub fn remove(&mut self, key: Key) -> Option<CacheEntry> {
+        let entry = self.entries.remove(&key)?;
+        let removed = self.by_width.remove(&(OrdWidth(entry.internal_width), key));
+        debug_assert!(removed, "width index out of sync for {key}");
+        Some(entry)
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_width.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refresh(key: u32, center: f64, width: f64) -> Refresh {
+        Refresh {
+            key: Key(key),
+            spec: ApproxSpec::constant_centered(center, width),
+            internal_width: width,
+        }
+    }
+
+    #[test]
+    fn capacity_validation() {
+        assert!(Cache::new(CacheId(0), 0).is_err());
+        assert!(Cache::new(CacheId(0), 1).is_ok());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = Cache::new(CacheId(0), 4).unwrap();
+        assert_eq!(c.apply_refresh(refresh(1, 10.0, 2.0)), AdmitOutcome::Inserted);
+        assert!(c.contains(Key(1)));
+        assert_eq!(c.width_at(Key(1), 0), 2.0);
+        assert_eq!(c.width_at(Key(2), 0), f64::INFINITY);
+        let iv = c.interval_at(Key(1), 0).unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (9.0, 11.0));
+    }
+
+    #[test]
+    fn update_in_place_adjusts_width_index() {
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 10.0));
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        assert_eq!(c.widest(), Some((Key(1), 10.0)));
+        assert_eq!(c.apply_refresh(refresh(1, 0.0, 1.0)), AdmitOutcome::Updated);
+        assert_eq!(c.widest(), Some((Key(2), 5.0)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_widest_when_full() {
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 10.0));
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        // Narrower than the widest (10) → evict key 1.
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 7.0)), AdmitOutcome::InsertedEvicting(Key(1)));
+        assert!(!c.contains(Key(1)));
+        assert!(c.contains(Key(2)));
+        assert!(c.contains(Key(3)));
+    }
+
+    #[test]
+    fn rejects_widest_newcomer() {
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 10.0));
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        // As wide as the current widest → stays uncached.
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 10.0)), AdmitOutcome::Rejected);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(Key(3)));
+        // Strictly wider is also rejected.
+        assert_eq!(c.apply_refresh(refresh(4, 0.0, 11.0)), AdmitOutcome::Rejected);
+    }
+
+    #[test]
+    fn eviction_uses_internal_not_effective_width() {
+        // An entry snapped to width 0 (exact) can still be the eviction
+        // victim if its internal width is the largest.
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        let snapped = Refresh {
+            key: Key(1),
+            spec: ApproxSpec::constant_centered(0.0, 0.0), // effective: exact
+            internal_width: 100.0,                         // internal: huge
+        };
+        c.apply_refresh(snapped);
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 7.0)), AdmitOutcome::InsertedEvicting(Key(1)));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = Cache::unbounded(CacheId(0));
+        for i in 0..1000 {
+            assert_eq!(c.apply_refresh(refresh(i, 0.0, i as f64)), AdmitOutcome::Inserted);
+        }
+        assert_eq!(c.len(), 1000);
+    }
+
+    #[test]
+    fn remove_and_clear_keep_index_consistent() {
+        let mut c = Cache::new(CacheId(0), 4).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 3.0));
+        c.apply_refresh(refresh(2, 0.0, 9.0));
+        let e = c.remove(Key(2)).unwrap();
+        assert_eq!(e.internal_width, 9.0);
+        assert_eq!(c.widest(), Some((Key(1), 3.0)));
+        assert!(c.remove(Key(2)).is_none());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.widest(), None);
+    }
+
+    #[test]
+    fn width_ties_break_by_key_deterministically() {
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 5.0));
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        // Tie on width: the larger key sorts last in the BTreeSet and is
+        // the designated victim.
+        assert_eq!(c.widest(), Some((Key(2), 5.0)));
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 4.0)), AdmitOutcome::InsertedEvicting(Key(2)));
+    }
+
+    #[test]
+    fn evicted_entry_readmitted_when_narrower() {
+        // Paper: an evicted approximation that incurs a refresh may be
+        // cached again, evicting another.
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 0.0, 10.0));
+        c.apply_refresh(refresh(2, 0.0, 8.0));
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 9.0)), AdmitOutcome::InsertedEvicting(Key(1)));
+        // Key 1 refreshes again, now narrow → re-admitted, evicting key 3.
+        assert_eq!(c.apply_refresh(refresh(1, 0.0, 2.0)), AdmitOutcome::InsertedEvicting(Key(3)));
+        assert!(c.contains(Key(1)));
+        assert!(c.contains(Key(2)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Refresh cost model.
+//!
+//! The algorithm is parameterized by the cost `C_vr` of a value-initiated
+//! refresh and the cost `C_qr` of a query-initiated refresh (paper,
+//! Section 2). The paper's performance metric is the cost rate
+//! `Ω = C_vr·P_vr + C_qr·P_qr` per simulated second.
+
+use crate::error::ParamError;
+
+/// Refresh costs and derived cost factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    c_vr: f64,
+    c_qr: f64,
+}
+
+impl CostModel {
+    /// Construct a cost model; both costs must be strictly positive and
+    /// finite.
+    pub fn new(c_vr: f64, c_qr: f64) -> Result<Self, ParamError> {
+        if !(c_vr.is_finite() && c_vr > 0.0) {
+            return Err(ParamError::NonPositiveCost { which: "C_vr", value: c_vr });
+        }
+        if !(c_qr.is_finite() && c_qr > 0.0) {
+            return Err(ParamError::NonPositiveCost { which: "C_qr", value: c_qr });
+        }
+        Ok(CostModel { c_vr, c_qr })
+    }
+
+    /// Network model under two-phase locking (paper, Section 4.3): a remote
+    /// read is one round trip (`C_qr = 2` messages) and a consistent update
+    /// installation is two round trips (`C_vr = 4`), giving `θ = 4`.
+    pub fn two_phase_locking() -> Self {
+        CostModel { c_vr: 4.0, c_qr: 2.0 }
+    }
+
+    /// Network model under multiversion / loose consistency (paper,
+    /// Section 4.3): updates are simply sent to the cache (`C_vr = 1`),
+    /// remote reads are one round trip (`C_qr = 2`), giving `θ = 1`.
+    pub fn multiversion() -> Self {
+        CostModel { c_vr: 1.0, c_qr: 2.0 }
+    }
+
+    /// Cost of one value-initiated refresh.
+    #[inline]
+    pub fn c_vr(&self) -> f64 {
+        self.c_vr
+    }
+
+    /// Cost of one query-initiated refresh.
+    #[inline]
+    pub fn c_qr(&self) -> f64 {
+        self.c_qr
+    }
+
+    /// The cost factor `θ = 2·C_vr / C_qr` used by the interval algorithm.
+    ///
+    /// The factor 2 comes from the random-walk analysis (Section 3 /
+    /// Appendix A): for data whose value wanders, `P_vr ∝ 1/W²`, and
+    /// minimizing `Ω(W)` places the optimum where `θ·P_vr = P_qr`.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        2.0 * self.c_vr / self.c_qr
+    }
+
+    /// The cost factor `θ' = C_vr / C_qr` for *monotonic* deviation metrics
+    /// such as Divergence Caching's stale-value approximations (paper,
+    /// Section 4.7): there `P_vr ∝ 1/W`, which shifts the optimum to
+    /// `θ'·P_vr = P_qr`.
+    #[inline]
+    pub fn theta_monotonic(&self) -> f64 {
+        self.c_vr / self.c_qr
+    }
+
+    /// Construct a cost model that yields exactly the given `θ` with
+    /// `C_qr = 2` (the paper's remote-read cost).
+    pub fn from_theta(theta: f64) -> Result<Self, ParamError> {
+        if !(theta.is_finite() && theta > 0.0) {
+            return Err(ParamError::InvalidTheta(theta));
+        }
+        CostModel::new(theta, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_costs() {
+        assert!(CostModel::new(1.0, 2.0).is_ok());
+        assert!(CostModel::new(0.0, 2.0).is_err());
+        assert!(CostModel::new(1.0, -1.0).is_err());
+        assert!(CostModel::new(f64::NAN, 1.0).is_err());
+        assert!(CostModel::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn paper_presets() {
+        let tpl = CostModel::two_phase_locking();
+        assert_eq!(tpl.c_vr(), 4.0);
+        assert_eq!(tpl.c_qr(), 2.0);
+        assert_eq!(tpl.theta(), 4.0);
+
+        let mv = CostModel::multiversion();
+        assert_eq!(mv.c_vr(), 1.0);
+        assert_eq!(mv.c_qr(), 2.0);
+        assert_eq!(mv.theta(), 1.0);
+        assert_eq!(mv.theta_monotonic(), 0.5);
+    }
+
+    #[test]
+    fn from_theta_round_trips() {
+        for theta in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let cm = CostModel::from_theta(theta).unwrap();
+            assert!((cm.theta() - theta).abs() < 1e-12);
+        }
+        assert!(CostModel::from_theta(0.0).is_err());
+        assert!(CostModel::from_theta(f64::NAN).is_err());
+    }
+}

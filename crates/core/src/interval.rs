@@ -1,0 +1,366 @@
+//! Interval approximations to numeric values.
+//!
+//! An interval `[L, H]` is a *valid* approximation of an exact value `V`
+//! iff `L <= V <= H` (paper, Section 2). The paper defines precision as the
+//! reciprocal of the width: a zero-width interval is an exact copy
+//! (infinite precision), an infinite-width interval carries no information
+//! (zero precision).
+
+use crate::error::IntervalError;
+
+/// A closed numeric interval `[lo, hi]`, possibly unbounded on either side.
+///
+/// Invariants (enforced by every constructor):
+/// * `lo <= hi`
+/// * neither bound is NaN
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Construct from explicit bounds.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, IntervalError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        if lo > hi {
+            return Err(IntervalError::Inverted { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The zero-width interval `[v, v]` — an exact copy of `v`.
+    pub fn point(v: f64) -> Result<Self, IntervalError> {
+        if v.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        Ok(Interval { lo: v, hi: v })
+    }
+
+    /// Interval of the given `width` centered on `center`.
+    ///
+    /// `width = 0` yields a point; `width = ∞` yields [`Interval::unbounded`].
+    pub fn centered(center: f64, width: f64) -> Result<Self, IntervalError> {
+        if center.is_nan() || width.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        if width < 0.0 {
+            return Err(IntervalError::NegativeWidth(width));
+        }
+        if width.is_infinite() {
+            return Ok(Interval::unbounded());
+        }
+        let half = width / 2.0;
+        Ok(Interval { lo: center - half, hi: center + half })
+    }
+
+    /// Interval with independent lower and upper half-widths around `center`
+    /// (used by the uncentered policy variant of Section 4.5).
+    pub fn with_half_widths(center: f64, below: f64, above: f64) -> Result<Self, IntervalError> {
+        if center.is_nan() || below.is_nan() || above.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        if below < 0.0 {
+            return Err(IntervalError::NegativeWidth(below));
+        }
+        if above < 0.0 {
+            return Err(IntervalError::NegativeWidth(above));
+        }
+        Ok(Interval { lo: center - below, hi: center + above })
+    }
+
+    /// The interval `(-∞, +∞)` of infinite width — no information at all.
+    pub const fn unbounded() -> Self {
+        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `H - L` (`∞` for unbounded intervals, `0` for points).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Precision as defined in the paper: `1 / width`, with the conventions
+    /// `Prec(point) = ∞` and `Prec(unbounded) = 0`.
+    #[inline]
+    pub fn precision(&self) -> f64 {
+        let w = self.width();
+        if w == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / w
+        }
+    }
+
+    /// Midpoint. `None` when the interval is unbounded on either side
+    /// (the midpoint is undefined there).
+    pub fn center(&self) -> Option<f64> {
+        if self.lo.is_infinite() || self.hi.is_infinite() {
+            return None;
+        }
+        Some(self.lo / 2.0 + self.hi / 2.0)
+    }
+
+    /// Validity test `Valid([L,H], V)` from Section 1.1: true iff
+    /// `L <= V <= H`.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True iff this interval is an exact copy (zero width).
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True iff the interval has infinite width.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.width().is_infinite()
+    }
+
+    /// Minkowski sum `[a+c, b+d]` — the interval bounding `x + y` for
+    /// `x ∈ self`, `y ∈ other`. This is how SUM aggregates propagate bounds.
+    #[inline]
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: sum_toward(self.lo, other.lo, f64::NEG_INFINITY),
+            hi: sum_toward(self.hi, other.hi, f64::INFINITY),
+        }
+    }
+
+    /// Convex hull — the smallest interval containing both inputs.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection, or `None` when the intervals are disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Translate both bounds by `delta`.
+    pub fn translate(&self, delta: f64) -> Result<Interval, IntervalError> {
+        if delta.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        Interval::new(
+            sum_toward(self.lo, delta, f64::NEG_INFINITY),
+            sum_toward(self.hi, delta, f64::INFINITY),
+        )
+    }
+
+    /// Scale both bounds by a nonnegative factor.
+    pub fn scale(&self, factor: f64) -> Result<Interval, IntervalError> {
+        if factor.is_nan() {
+            return Err(IntervalError::NotANumber);
+        }
+        if factor < 0.0 {
+            return Err(IntervalError::NegativeWidth(factor));
+        }
+        if factor == 0.0 {
+            // 0 * ±∞ would be NaN; a zero scale collapses to the point 0.
+            return Interval::point(0.0);
+        }
+        Interval::new(self.lo * factor, self.hi * factor)
+    }
+
+    /// Interval bounding the maximum of two approximated values:
+    /// `[max(l1,l2), max(h1,h2)]`.
+    #[inline]
+    pub fn max_of(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Interval bounding the minimum of two approximated values:
+    /// `[min(l1,l2), min(h1,h2)]`.
+    #[inline]
+    pub fn min_of(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
+    }
+}
+
+/// `a + b`, but when the two addends are opposite infinities the result
+/// saturates toward `toward` instead of producing NaN. Needed because a SUM
+/// over an unbounded interval must stay unbounded, never NaN.
+#[inline]
+fn sum_toward(a: f64, b: f64, toward: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        toward
+    } else {
+        s
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Interval::new(1.0, 2.0).is_ok());
+        assert!(matches!(
+            Interval::new(2.0, 1.0),
+            Err(IntervalError::Inverted { .. })
+        ));
+        assert!(matches!(Interval::new(f64::NAN, 1.0), Err(IntervalError::NotANumber)));
+        assert!(matches!(Interval::point(f64::NAN), Err(IntervalError::NotANumber)));
+        assert!(matches!(
+            Interval::centered(0.0, -1.0),
+            Err(IntervalError::NegativeWidth(_))
+        ));
+    }
+
+    #[test]
+    fn centered_geometry() {
+        let i = Interval::centered(10.0, 4.0).unwrap();
+        assert_eq!(i.lo(), 8.0);
+        assert_eq!(i.hi(), 12.0);
+        assert_eq!(i.width(), 4.0);
+        assert_eq!(i.center(), Some(10.0));
+    }
+
+    #[test]
+    fn centered_zero_width_is_point() {
+        let i = Interval::centered(5.0, 0.0).unwrap();
+        assert!(i.is_exact());
+        assert!(i.contains(5.0));
+        assert!(!i.contains(5.0 + 1e-9));
+        assert_eq!(i.precision(), f64::INFINITY);
+    }
+
+    #[test]
+    fn centered_infinite_width_is_unbounded() {
+        let i = Interval::centered(5.0, f64::INFINITY).unwrap();
+        assert!(i.is_unbounded());
+        assert!(i.contains(1e300));
+        assert!(i.contains(-1e300));
+        assert_eq!(i.precision(), 0.0);
+        assert_eq!(i.center(), None);
+    }
+
+    #[test]
+    fn validity_is_inclusive() {
+        let i = Interval::new(4.0, 6.0).unwrap();
+        assert!(i.contains(4.0));
+        assert!(i.contains(6.0));
+        assert!(i.contains(5.0));
+        assert!(!i.contains(3.999));
+        assert!(!i.contains(6.001));
+    }
+
+    #[test]
+    fn with_half_widths_asymmetric() {
+        let i = Interval::with_half_widths(10.0, 1.0, 3.0).unwrap();
+        assert_eq!(i.lo(), 9.0);
+        assert_eq!(i.hi(), 13.0);
+        assert_eq!(i.width(), 4.0);
+        assert!(Interval::with_half_widths(0.0, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sum_adds_widths() {
+        let a = Interval::new(1.0, 3.0).unwrap();
+        let b = Interval::new(10.0, 14.0).unwrap();
+        let s = a.add(&b);
+        assert_eq!(s.lo(), 11.0);
+        assert_eq!(s.hi(), 17.0);
+        assert_eq!(s.width(), a.width() + b.width());
+    }
+
+    #[test]
+    fn sum_with_unbounded_stays_unbounded_not_nan() {
+        let a = Interval::unbounded();
+        let b = Interval::point(5.0).unwrap();
+        let s = a.add(&b);
+        assert!(s.is_unbounded());
+        assert!(!s.lo().is_nan());
+        let s2 = a.add(&a);
+        assert!(s2.is_unbounded());
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(0.0, 5.0).unwrap();
+        let b = Interval::new(3.0, 8.0).unwrap();
+        let h = a.hull(&b);
+        assert_eq!((h.lo(), h.hi()), (0.0, 8.0));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!((i.lo(), i.hi()), (3.0, 5.0));
+        let c = Interval::new(6.0, 7.0).unwrap();
+        assert!(a.intersect(&c).is_none());
+        // Touching intervals intersect in a point.
+        let d = Interval::new(5.0, 9.0).unwrap();
+        let p = a.intersect(&d).unwrap();
+        assert!(p.is_exact());
+    }
+
+    #[test]
+    fn max_of_semantics() {
+        // max of x in [0,10] and y in [4,6] lies in [4,10].
+        let a = Interval::new(0.0, 10.0).unwrap();
+        let b = Interval::new(4.0, 6.0).unwrap();
+        let m = a.max_of(&b);
+        assert_eq!((m.lo(), m.hi()), (4.0, 10.0));
+    }
+
+    #[test]
+    fn min_of_semantics() {
+        let a = Interval::new(0.0, 10.0).unwrap();
+        let b = Interval::new(4.0, 6.0).unwrap();
+        let m = a.min_of(&b);
+        assert_eq!((m.lo(), m.hi()), (0.0, 6.0));
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let a = Interval::new(2.0, 4.0).unwrap();
+        let t = a.translate(10.0).unwrap();
+        assert_eq!((t.lo(), t.hi()), (12.0, 14.0));
+        let s = a.scale(3.0).unwrap();
+        assert_eq!((s.lo(), s.hi()), (6.0, 12.0));
+        let z = a.scale(0.0).unwrap();
+        assert!(z.is_exact());
+        assert!(a.scale(-1.0).is_err());
+        // Unbounded intervals survive both operations.
+        let u = Interval::unbounded();
+        assert!(u.translate(5.0).unwrap().is_unbounded());
+        assert!(u.scale(2.0).unwrap().is_unbounded());
+        assert!(u.scale(0.0).unwrap().is_exact());
+    }
+
+    #[test]
+    fn display_format() {
+        let i = Interval::new(1.5, 2.5).unwrap();
+        assert_eq!(i.to_string(), "[1.5, 2.5]");
+    }
+}

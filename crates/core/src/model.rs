@@ -1,0 +1,248 @@
+//! Closed-form refresh-probability model (paper, Section 3 & Appendix A).
+//!
+//! For a cached interval of width `W`:
+//!
+//! * `P_vr = K1 / W²` — random-walk data escapes a width-`W` interval at a
+//!   rate quadratic in the precision (Chebyshev bound on a binomial walk);
+//! * `P_qr = K2 · W` — with query precision constraints uniform on
+//!   `[0, δ_max]` and one query every `T_q` seconds,
+//!   `P_qr = (1/T_q)·(W/δ_max)`.
+//!
+//! The cost rate `Ω(W) = C_vr·K1/W² + C_qr·K2·W` is minimized at
+//! `W* = (θ·K1/K2)^(1/3)` where `θ = 2·C_vr/C_qr` — exactly the point where
+//! `θ·P_vr = P_qr`, which is the balance the adaptive algorithm seeks.
+//!
+//! For *monotonic* deviation metrics (stale-value approximations,
+//! Section 4.7) the escape is deterministic, `P_vr = K1/W`, and the optimum
+//! shifts to `W* = (θ'·K1/K2)^(1/2)` with `θ' = C_vr/C_qr`.
+
+use crate::cost::CostModel;
+use crate::error::ParamError;
+
+/// Validated positive finite model constant.
+fn check(which: &'static str, value: f64) -> Result<f64, ParamError> {
+    if !(value.is_finite() && value > 0.0) {
+        return Err(ParamError::InvalidModelConstant { which, value });
+    }
+    Ok(value)
+}
+
+/// The interval (random-walk) refresh model: `P_vr = K1/W²`, `P_qr = K2·W`.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshModel {
+    k1: f64,
+    k2: f64,
+    cost: CostModel,
+}
+
+impl RefreshModel {
+    /// Build a model from its constants.
+    pub fn new(k1: f64, k2: f64, cost: CostModel) -> Result<Self, ParamError> {
+        Ok(RefreshModel { k1: check("K1", k1)?, k2: check("K2", k2)?, cost })
+    }
+
+    /// `K1` constant.
+    pub fn k1(&self) -> f64 {
+        self.k1
+    }
+
+    /// `K2` constant.
+    pub fn k2(&self) -> f64 {
+        self.k2
+    }
+
+    /// Value-initiated refresh probability per time step (capped at 1).
+    pub fn p_vr(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            return 1.0;
+        }
+        (self.k1 / (w * w)).min(1.0)
+    }
+
+    /// Query-initiated refresh probability per time step (capped at 1).
+    pub fn p_qr(&self, w: f64) -> f64 {
+        if w.is_infinite() {
+            return 1.0;
+        }
+        (self.k2 * w).min(1.0)
+    }
+
+    /// Expected cost rate `Ω(W)`.
+    pub fn omega(&self, w: f64) -> f64 {
+        self.cost.c_vr() * self.p_vr(w) + self.cost.c_qr() * self.p_qr(w)
+    }
+
+    /// The optimal width `W* = (θ·K1/K2)^(1/3)`.
+    pub fn w_star(&self) -> f64 {
+        (self.cost.theta() * self.k1 / self.k2).cbrt()
+    }
+
+    /// The minimal cost rate `Ω(W*)`.
+    pub fn omega_star(&self) -> f64 {
+        self.omega(self.w_star())
+    }
+}
+
+/// The monotonic-deviation refresh model of Section 4.7:
+/// `P_vr = K1/W`, `P_qr = K2·W`.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicModel {
+    k1: f64,
+    k2: f64,
+    cost: CostModel,
+}
+
+impl MonotonicModel {
+    /// Build a model from its constants.
+    pub fn new(k1: f64, k2: f64, cost: CostModel) -> Result<Self, ParamError> {
+        Ok(MonotonicModel { k1: check("K1", k1)?, k2: check("K2", k2)?, cost })
+    }
+
+    /// Value-initiated refresh probability per time step (capped at 1).
+    pub fn p_vr(&self, w: f64) -> f64 {
+        if w <= 0.0 {
+            return 1.0;
+        }
+        (self.k1 / w).min(1.0)
+    }
+
+    /// Query-initiated refresh probability per time step (capped at 1).
+    pub fn p_qr(&self, w: f64) -> f64 {
+        (self.k2 * w).min(1.0)
+    }
+
+    /// Expected cost rate `Ω(W)`.
+    pub fn omega(&self, w: f64) -> f64 {
+        self.cost.c_vr() * self.p_vr(w) + self.cost.c_qr() * self.p_qr(w)
+    }
+
+    /// The optimal divergence bound `W* = (θ'·K1/K2)^(1/2)`.
+    pub fn w_star(&self) -> f64 {
+        (self.cost.theta_monotonic() * self.k1 / self.k2).sqrt()
+    }
+}
+
+/// `K1` for a one-dimensional random walk whose per-step displacement is
+/// `±s` (Appendix A): Chebyshev on the binomial walk gives
+/// `P_vr ≈ (2s/W)²` per step, i.e. `K1 = 4·s²`.
+pub fn k1_random_walk(step: f64) -> Result<f64, ParamError> {
+    let s = check("step", step)?;
+    Ok(4.0 * s * s)
+}
+
+/// `K1` for a random walk with uniformly distributed step magnitudes on
+/// `[lo, hi]`: uses the second moment `E[s²] = (hi³ − lo³)/(3(hi − lo))`,
+/// giving `K1 = 4·E[s²]`.
+pub fn k1_uniform_step(lo: f64, hi: f64) -> Result<f64, ParamError> {
+    check("step hi", hi)?;
+    if !(lo.is_finite() && lo >= 0.0 && lo < hi) {
+        return Err(ParamError::InvalidModelConstant { which: "step lo", value: lo });
+    }
+    let second_moment = (hi * hi * hi - lo * lo * lo) / (3.0 * (hi - lo));
+    Ok(4.0 * second_moment)
+}
+
+/// `K2` for queries issued every `tq` seconds with precision constraints
+/// uniform on `[0, delta_max]` (Appendix A): `P_qr = W/(T_q·δ_max)`.
+pub fn k2_uniform_queries(tq: f64, delta_max: f64) -> Result<f64, ParamError> {
+    let tq = check("T_q", tq)?;
+    let dm = check("delta_max", delta_max)?;
+    Ok(1.0 / (tq * dm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RefreshModel {
+        // The Figure 2 constants: K1 = 1, K2 = 1/200, θ = 1.
+        RefreshModel::new(1.0, 1.0 / 200.0, CostModel::multiversion()).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let cost = CostModel::multiversion();
+        assert!(RefreshModel::new(0.0, 1.0, cost).is_err());
+        assert!(RefreshModel::new(1.0, f64::NAN, cost).is_err());
+        assert!(MonotonicModel::new(-1.0, 1.0, cost).is_err());
+    }
+
+    #[test]
+    fn probabilities_have_the_right_shape() {
+        let m = model();
+        // P_vr decreases with W, quadratically.
+        assert!((m.p_vr(2.0) / m.p_vr(4.0) - 4.0).abs() < 1e-12);
+        // P_qr increases linearly.
+        assert!((m.p_qr(4.0) / m.p_qr(2.0) - 2.0).abs() < 1e-12);
+        // Caps.
+        assert_eq!(m.p_vr(0.0), 1.0);
+        assert_eq!(m.p_vr(0.001), 1.0);
+        assert_eq!(m.p_qr(1e9), 1.0);
+    }
+
+    #[test]
+    fn w_star_matches_figure_2() {
+        // W* = (θ·K1/K2)^(1/3) = (1·1·200)^(1/3) ≈ 5.848.
+        let m = model();
+        assert!((m.w_star() - 200f64.cbrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_is_minimized_at_w_star() {
+        let m = model();
+        let w_star = m.w_star();
+        let best = m.omega(w_star);
+        for w in [0.5, 1.0, 2.0, 4.0, 5.0, 7.0, 10.0, 20.0] {
+            assert!(m.omega(w) >= best - 1e-12, "omega({w}) < omega(W*)");
+        }
+    }
+
+    #[test]
+    fn refresh_probabilities_cross_at_w_star_when_theta_is_one() {
+        let m = model();
+        let w = m.w_star();
+        assert!((m.p_vr(w) - m.p_qr(w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_scaled_crossing_for_general_theta() {
+        // θ = 4: the optimum satisfies θ·P_vr = P_qr.
+        let m = RefreshModel::new(1.0, 1.0 / 200.0, CostModel::two_phase_locking()).unwrap();
+        let w = m.w_star();
+        let theta = CostModel::two_phase_locking().theta();
+        assert!((theta * m.p_vr(w) - m.p_qr(w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonic_model_optimum() {
+        let cost = CostModel::new(1.0, 2.0).unwrap(); // θ' = 0.5
+        let m = MonotonicModel::new(1.0, 0.05, cost).unwrap();
+        let w = m.w_star();
+        assert!((w - (0.5_f64 * 1.0 / 0.05).sqrt()).abs() < 1e-12);
+        // θ'·P_vr = P_qr at the optimum.
+        assert!((cost.theta_monotonic() * m.p_vr(w) - m.p_qr(w)).abs() < 1e-12);
+        // And it is the minimum.
+        let best = m.omega(w);
+        for cand in [0.5, 1.0, 2.0, 5.0, 10.0] {
+            assert!(m.omega(cand) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn k1_helpers() {
+        assert_eq!(k1_random_walk(1.0).unwrap(), 4.0);
+        // Uniform [0.5, 1.5]: E[s²] = (1.5³−0.5³)/(3·1) = 3.25/3.
+        let k1 = k1_uniform_step(0.5, 1.5).unwrap();
+        assert!((k1 - 4.0 * 3.25 / 3.0).abs() < 1e-12);
+        assert!(k1_uniform_step(1.5, 0.5).is_err());
+        assert!(k1_random_walk(0.0).is_err());
+    }
+
+    #[test]
+    fn k2_helper() {
+        // T_q = 10 s, δ_max = 20 → K2 = 1/200, the Figure 2 setting.
+        let k2 = k2_uniform_queries(10.0, 20.0).unwrap();
+        assert!((k2 - 1.0 / 200.0).abs() < 1e-15);
+        assert!(k2_uniform_queries(0.0, 20.0).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! The paper's adaptive precision-setting algorithm (Section 2).
+
+use super::{apply_thresholds, clamp_internal, Escape, PrecisionPolicy};
+use crate::cost::CostModel;
+use crate::error::ParamError;
+use crate::rng::Rng;
+
+/// Tunable parameters of the adaptive algorithm (paper, Table 1).
+///
+/// * `θ` — cost factor, `2·C_vr/C_qr` for interval data (or `C_vr/C_qr`
+///   for monotonic deviation metrics, see [`AdaptiveParams::monotonic`]);
+/// * `α ≥ 0` — adaptivity: widths are multiplied/divided by `1 + α`;
+/// * `γ0` — lower threshold: widths below it snap to `0` (exact caching);
+/// * `γ1` — upper threshold: widths at or above it snap to `∞` (no caching).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    theta: f64,
+    alpha: f64,
+    gamma0: f64,
+    gamma1: f64,
+}
+
+impl AdaptiveParams {
+    /// Parameters for interval approximations: `θ = 2·C_vr/C_qr`, no
+    /// thresholds (`γ0 = 0`, `γ1 = ∞`).
+    pub fn new(cost: &CostModel, alpha: f64) -> Result<Self, ParamError> {
+        Self::from_theta(cost.theta(), alpha)
+    }
+
+    /// Parameters for monotonic deviation metrics (stale-value
+    /// approximations, Section 4.7): `θ' = C_vr/C_qr`.
+    pub fn monotonic(cost: &CostModel, alpha: f64) -> Result<Self, ParamError> {
+        Self::from_theta(cost.theta_monotonic(), alpha)
+    }
+
+    /// Parameters from an explicit cost factor.
+    pub fn from_theta(theta: f64, alpha: f64) -> Result<Self, ParamError> {
+        if !(theta.is_finite() && theta > 0.0) {
+            return Err(ParamError::InvalidTheta(theta));
+        }
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(ParamError::InvalidAlpha(alpha));
+        }
+        Ok(AdaptiveParams { theta, alpha, gamma0: 0.0, gamma1: f64::INFINITY })
+    }
+
+    /// Set the snapping thresholds; requires `0 <= γ0 <= γ1`.
+    ///
+    /// `γ1 = γ0` forces every approximation to be exact or absent, which is
+    /// the adaptive *exact* caching special case of Section 4.6.
+    pub fn with_thresholds(mut self, gamma0: f64, gamma1: f64) -> Result<Self, ParamError> {
+        if gamma0.is_nan() || gamma1.is_nan() || gamma0 < 0.0 || gamma0 > gamma1 {
+            return Err(ParamError::InvalidThresholds { gamma0, gamma1 });
+        }
+        self.gamma0 = gamma0;
+        self.gamma1 = gamma1;
+        Ok(self)
+    }
+
+    /// Cost factor θ.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Adaptivity parameter α.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Lower threshold γ0.
+    #[inline]
+    pub fn gamma0(&self) -> f64 {
+        self.gamma0
+    }
+
+    /// Upper threshold γ1.
+    #[inline]
+    pub fn gamma1(&self) -> f64 {
+        self.gamma1
+    }
+
+    /// Probability of growing the width on a value-initiated refresh:
+    /// `min{θ, 1}`.
+    #[inline]
+    pub fn grow_probability(&self) -> f64 {
+        self.theta.min(1.0)
+    }
+
+    /// Probability of shrinking the width on a query-initiated refresh:
+    /// `min{1/θ, 1}`.
+    #[inline]
+    pub fn shrink_probability(&self) -> f64 {
+        (1.0 / self.theta).min(1.0)
+    }
+
+    /// The multiplicative step `1 + α`.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        1.0 + self.alpha
+    }
+}
+
+/// The paper's adaptive precision policy: one internal width `W`, grown by
+/// `(1+α)` with probability `min{θ,1}` on value-initiated refreshes and
+/// shrunk by `(1+α)` with probability `min{1/θ,1}` on query-initiated
+/// refreshes, with threshold snapping applied on the way out.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    params: AdaptiveParams,
+    width: f64,
+}
+
+impl AdaptivePolicy {
+    /// Create a policy with the given starting internal width (must be
+    /// strictly positive and finite so multiplicative adaptation can move
+    /// it in both directions).
+    pub fn new(params: AdaptiveParams, initial_width: f64) -> Result<Self, ParamError> {
+        if !(initial_width.is_finite() && initial_width > 0.0) {
+            return Err(ParamError::InvalidWidth(initial_width));
+        }
+        Ok(AdaptivePolicy { params, width: clamp_internal(initial_width) })
+    }
+
+    /// The parameters this policy runs with.
+    pub fn params(&self) -> &AdaptiveParams {
+        &self.params
+    }
+}
+
+impl PrecisionPolicy for AdaptivePolicy {
+    fn on_value_refresh(&mut self, _escape: Escape, rng: &mut Rng) {
+        if rng.bernoulli(self.params.grow_probability()) {
+            self.width = clamp_internal(self.width * self.params.step());
+        }
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        if rng.bernoulli(self.params.shrink_probability()) {
+            self.width = clamp_internal(self.width / self.params.step());
+        }
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.width
+    }
+
+    fn effective_width(&self) -> f64 {
+        apply_thresholds(self.width, self.params.gamma0, self.params.gamma1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ApproxSpec;
+
+    fn params(theta: f64, alpha: f64) -> AdaptiveParams {
+        AdaptiveParams::from_theta(theta, alpha).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AdaptiveParams::from_theta(0.0, 1.0).is_err());
+        assert!(AdaptiveParams::from_theta(-1.0, 1.0).is_err());
+        assert!(AdaptiveParams::from_theta(1.0, -0.1).is_err());
+        assert!(AdaptiveParams::from_theta(1.0, f64::NAN).is_err());
+        assert!(params(1.0, 1.0).with_thresholds(2.0, 1.0).is_err());
+        assert!(params(1.0, 1.0).with_thresholds(-1.0, 1.0).is_err());
+        assert!(AdaptivePolicy::new(params(1.0, 1.0), 0.0).is_err());
+        assert!(AdaptivePolicy::new(params(1.0, 1.0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn theta_one_always_adjusts() {
+        // θ = 1 ⇒ both probabilities are 1; adjustments are deterministic.
+        let mut p = AdaptivePolicy::new(params(1.0, 1.0), 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(p.internal_width(), 16.0);
+        p.on_query_refresh(&mut rng);
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.internal_width(), 4.0);
+    }
+
+    #[test]
+    fn alpha_zero_never_moves() {
+        let mut p = AdaptivePolicy::new(params(1.0, 0.0), 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng);
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.internal_width(), 8.0);
+    }
+
+    #[test]
+    fn theta_above_one_gates_shrinks() {
+        // θ = 4: every VR grows, QRs shrink with probability 1/4.
+        let par = params(4.0, 1.0);
+        assert_eq!(par.grow_probability(), 1.0);
+        assert_eq!(par.shrink_probability(), 0.25);
+        let mut p = AdaptivePolicy::new(par, 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(42);
+        let n = 100_000;
+        let mut shrinks = 0u32;
+        for _ in 0..n {
+            let before = p.internal_width();
+            p.on_query_refresh(&mut rng);
+            if p.internal_width() < before {
+                shrinks += 1;
+            }
+            // Reset so the clamp never engages.
+            p.width = 8.0;
+        }
+        let rate = f64::from(shrinks) / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn theta_below_one_gates_grows() {
+        // θ' = 0.5 (the divergence-caching factor): every QR shrinks,
+        // VRs grow with probability 0.5.
+        let par = params(0.5, 1.0);
+        assert_eq!(par.grow_probability(), 0.5);
+        assert_eq!(par.shrink_probability(), 1.0);
+        let mut p = AdaptivePolicy::new(par, 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(43);
+        let n = 100_000;
+        let mut grows = 0u32;
+        for _ in 0..n {
+            let before = p.internal_width();
+            p.on_value_refresh(Escape::Below, &mut rng);
+            if p.internal_width() > before {
+                grows += 1;
+            }
+            p.width = 8.0;
+        }
+        let rate = f64::from(grows) / n as f64;
+        assert!((rate - 0.5).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn thresholds_shape_effective_width() {
+        let par = params(1.0, 1.0).with_thresholds(1.0, 100.0).unwrap();
+        let p = AdaptivePolicy::new(par, 0.5).unwrap();
+        assert_eq!(p.effective_width(), 0.0);
+        assert_eq!(p.internal_width(), 0.5); // internal state unaffected
+        let p = AdaptivePolicy::new(par, 50.0).unwrap();
+        assert_eq!(p.effective_width(), 50.0);
+        let p = AdaptivePolicy::new(par, 100.0).unwrap();
+        assert_eq!(p.effective_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn internal_width_recovers_through_thresholds() {
+        // Paper: "The source still retains the original width, and uses it
+        // when setting the next width." A snapped-to-zero policy must grow
+        // back out when VRs arrive.
+        let par = params(1.0, 1.0).with_thresholds(4.0, f64::INFINITY).unwrap();
+        let mut p = AdaptivePolicy::new(par, 3.0).unwrap();
+        let mut rng = Rng::seed_from_u64(9);
+        assert_eq!(p.effective_width(), 0.0);
+        p.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(p.internal_width(), 6.0);
+        assert_eq!(p.effective_width(), 6.0);
+    }
+
+    #[test]
+    fn default_spec_is_centered_constant() {
+        let p = AdaptivePolicy::new(params(1.0, 1.0), 10.0).unwrap();
+        match p.make_spec(100.0, 0) {
+            ApproxSpec::Constant(iv) => {
+                assert_eq!(iv.center(), Some(100.0));
+                assert_eq!(iv.width(), 10.0);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_never_escapes_clamp_band() {
+        let mut p = AdaptivePolicy::new(params(1.0, 10.0), 1.0).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            p.on_value_refresh(Escape::Above, &mut rng);
+        }
+        assert!(p.internal_width().is_finite());
+        for _ in 0..20_000 {
+            p.on_query_refresh(&mut rng);
+        }
+        assert!(p.internal_width() > 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A non-adaptive policy with a fixed interval width.
+//!
+//! Used by the Figure 3 experiment, which sweeps fixed widths to locate the
+//! empirical optimum the adaptive algorithm should converge to ("we turned
+//! off the part of our algorithm that adjusts widths dynamically").
+
+use super::{Escape, PrecisionPolicy};
+use crate::error::ParamError;
+use crate::rng::Rng;
+
+/// Precision policy that always uses the same width.
+///
+/// `width = 0` caches exact copies; `width = ∞` effectively disables
+/// caching.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedWidthPolicy {
+    width: f64,
+}
+
+impl FixedWidthPolicy {
+    /// Create a fixed-width policy. The width must be nonnegative (zero and
+    /// infinity are both meaningful).
+    pub fn new(width: f64) -> Result<Self, ParamError> {
+        if width.is_nan() || width < 0.0 {
+            return Err(ParamError::InvalidWidth(width));
+        }
+        Ok(FixedWidthPolicy { width })
+    }
+}
+
+impl PrecisionPolicy for FixedWidthPolicy {
+    fn on_value_refresh(&mut self, _escape: Escape, _rng: &mut Rng) {}
+
+    fn on_query_refresh(&mut self, _rng: &mut Rng) {}
+
+    fn internal_width(&self) -> f64 {
+        self.width
+    }
+
+    fn effective_width(&self) -> f64 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(FixedWidthPolicy::new(-1.0).is_err());
+        assert!(FixedWidthPolicy::new(f64::NAN).is_err());
+        assert!(FixedWidthPolicy::new(0.0).is_ok());
+        assert!(FixedWidthPolicy::new(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn never_adjusts() {
+        let mut p = FixedWidthPolicy::new(7.0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            p.on_value_refresh(Escape::Above, &mut rng);
+            p.on_query_refresh(&mut rng);
+        }
+        assert_eq!(p.internal_width(), 7.0);
+        assert_eq!(p.effective_width(), 7.0);
+    }
+}

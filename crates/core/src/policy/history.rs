@@ -1,0 +1,225 @@
+//! Refresh-history window (Section 4.5, third unsuccessful variation).
+//!
+//! Instead of reacting to each refresh individually (`r = 1`), this variant
+//! looks at the last `r` refreshes and grows the width if the majority were
+//! value-initiated, shrinking it otherwise. The paper also tried weighting
+//! recent refreshes more heavily; both options are provided. None of these
+//! schemes beat the `r = 1` algorithm in the paper's experiments — the
+//! ablation bench reproduces that comparison.
+
+use std::collections::VecDeque;
+
+use super::{apply_thresholds, clamp_internal, Escape, PrecisionPolicy, RefreshKind};
+use crate::error::ParamError;
+use crate::policy::AdaptiveParams;
+use crate::rng::Rng;
+
+/// How refreshes inside the window are weighted when voting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Weighting {
+    /// Every refresh in the window counts equally.
+    Uniform,
+    /// Refresh `i` positions back is weighted `decay^i` (`0 < decay < 1`),
+    /// so recent refreshes dominate.
+    Exponential {
+        /// Per-position decay factor.
+        decay: f64,
+    },
+}
+
+/// Adaptive policy driven by a majority vote over the last `r` refreshes.
+#[derive(Debug, Clone)]
+pub struct HistoryPolicy {
+    params: AdaptiveParams,
+    width: f64,
+    window: VecDeque<RefreshKind>,
+    r: usize,
+    weighting: Weighting,
+}
+
+impl HistoryPolicy {
+    /// Create a history policy with window size `r >= 1`.
+    ///
+    /// With `r = 1` and uniform weighting this is exactly the paper's main
+    /// algorithm (verified by test and by the ablation bench).
+    pub fn new(
+        params: AdaptiveParams,
+        initial_width: f64,
+        r: usize,
+        weighting: Weighting,
+    ) -> Result<Self, ParamError> {
+        if r == 0 {
+            return Err(ParamError::EmptyHistoryWindow);
+        }
+        if !(initial_width.is_finite() && initial_width > 0.0) {
+            return Err(ParamError::InvalidWidth(initial_width));
+        }
+        if let Weighting::Exponential { decay } = weighting {
+            if !(decay > 0.0 && decay < 1.0) {
+                return Err(ParamError::InvalidModelConstant { which: "decay", value: decay });
+            }
+        }
+        Ok(HistoryPolicy {
+            params,
+            width: clamp_internal(initial_width),
+            window: VecDeque::with_capacity(r),
+            r,
+            weighting,
+        })
+    }
+
+    /// Record a refresh and return whether the (weighted) majority of the
+    /// window is value-initiated. Ties favour shrinking, matching the
+    /// "otherwise, the width is decreased" rule in the paper.
+    fn record_and_vote(&mut self, kind: RefreshKind) -> bool {
+        if self.window.len() == self.r {
+            self.window.pop_front();
+        }
+        self.window.push_back(kind);
+        let mut vr_weight = 0.0;
+        let mut qr_weight = 0.0;
+        // Most recent refresh is at the back; position 0 = most recent.
+        for (i, k) in self.window.iter().rev().enumerate() {
+            let w = match self.weighting {
+                Weighting::Uniform => 1.0,
+                Weighting::Exponential { decay } => decay.powi(i as i32),
+            };
+            match k {
+                RefreshKind::ValueInitiated => vr_weight += w,
+                RefreshKind::QueryInitiated => qr_weight += w,
+            }
+        }
+        vr_weight > qr_weight
+    }
+
+    /// Apply the voted adjustment with the usual θ-gated probabilities.
+    fn adjust(&mut self, majority_vr: bool, rng: &mut Rng) {
+        if majority_vr {
+            if rng.bernoulli(self.params.grow_probability()) {
+                self.width = clamp_internal(self.width * self.params.step());
+            }
+        } else if rng.bernoulli(self.params.shrink_probability()) {
+            self.width = clamp_internal(self.width / self.params.step());
+        }
+    }
+
+    /// Window size `r`.
+    pub fn window_size(&self) -> usize {
+        self.r
+    }
+}
+
+impl PrecisionPolicy for HistoryPolicy {
+    fn on_value_refresh(&mut self, _escape: Escape, rng: &mut Rng) {
+        let majority_vr = self.record_and_vote(RefreshKind::ValueInitiated);
+        self.adjust(majority_vr, rng);
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        let majority_vr = self.record_and_vote(RefreshKind::QueryInitiated);
+        self.adjust(majority_vr, rng);
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.width
+    }
+
+    fn effective_width(&self) -> f64 {
+        apply_thresholds(self.width, self.params.gamma0(), self.params.gamma1())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AdaptivePolicy;
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::from_theta(1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HistoryPolicy::new(params(), 8.0, 0, Weighting::Uniform).is_err());
+        assert!(HistoryPolicy::new(params(), 0.0, 3, Weighting::Uniform).is_err());
+        assert!(
+            HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 1.5 }).is_err()
+        );
+        assert!(
+            HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 0.5 }).is_ok()
+        );
+    }
+
+    #[test]
+    fn r_one_matches_main_algorithm() {
+        let mut hist = HistoryPolicy::new(params(), 8.0, 1, Weighting::Uniform).unwrap();
+        let mut main = AdaptivePolicy::new(params(), 8.0).unwrap();
+        let mut rng_a = Rng::seed_from_u64(77);
+        let mut rng_b = Rng::seed_from_u64(77);
+        for i in 0..1000 {
+            if i % 3 == 0 {
+                hist.on_value_refresh(Escape::Above, &mut rng_a);
+                main.on_value_refresh(Escape::Above, &mut rng_b);
+            } else {
+                hist.on_query_refresh(&mut rng_a);
+                main.on_query_refresh(&mut rng_b);
+            }
+            assert_eq!(hist.internal_width(), main.internal_width(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn majority_vote_with_window_three() {
+        let mut p = HistoryPolicy::new(params(), 8.0, 3, Weighting::Uniform).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        // Window [VR] → majority VR → grow to 16.
+        p.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(p.internal_width(), 16.0);
+        // Window [VR, QR] → tie → shrink to 8.
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.internal_width(), 8.0);
+        // Window [VR, QR, VR] → majority VR → grow even though this event
+        // is... a VR. Grow to 16.
+        p.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(p.internal_width(), 16.0);
+        // Window [QR, VR, QR] → majority QR → shrink.
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.internal_width(), 8.0);
+    }
+
+    #[test]
+    fn vote_can_override_current_event() {
+        // Two VRs then a QR with r=3: majority is still VR, so the width
+        // GROWS on a query-initiated refresh — the defining difference
+        // from the r=1 algorithm.
+        let mut p = HistoryPolicy::new(params(), 8.0, 3, Weighting::Uniform).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng); // 16
+        p.on_value_refresh(Escape::Above, &mut rng); // 32
+        p.on_query_refresh(&mut rng); // majority VR → 64
+        assert_eq!(p.internal_width(), 64.0);
+    }
+
+    #[test]
+    fn exponential_weighting_favours_recent() {
+        // Window [VR, VR, QR] with strong decay: the latest QR outweighs
+        // the two older VRs, so the vote is QR and the width shrinks.
+        let mut p =
+            HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 0.1 }).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng); // 16
+        p.on_value_refresh(Escape::Above, &mut rng); // 32
+        p.on_query_refresh(&mut rng); // weights: QR=1, VR=0.1+0.01 → shrink
+        assert_eq!(p.internal_width(), 16.0);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut p = HistoryPolicy::new(params(), 8.0, 5, Weighting::Uniform).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            p.on_value_refresh(Escape::Above, &mut rng);
+        }
+        assert_eq!(p.window.len(), 5);
+    }
+}

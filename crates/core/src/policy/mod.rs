@@ -1,0 +1,155 @@
+//! Precision-setting policies.
+//!
+//! A *policy* owns the source-side state for one cached approximation — in
+//! the paper's scheme, a single interval width `W` — and decides how that
+//! state changes when refreshes occur:
+//!
+//! * a **value-initiated refresh** signals "the interval was too narrow";
+//! * a **query-initiated refresh** signals "the interval was too wide".
+//!
+//! [`AdaptivePolicy`] implements the paper's algorithm (Section 2).
+//! The remaining implementations are the alternatives evaluated in the
+//! paper: [`FixedWidthPolicy`] (the Figure 3 width sweep),
+//! [`UncenteredPolicy`], [`TimeVaryingPolicy`], [`DriftingPolicy`], and
+//! [`HistoryPolicy`] (the Section 4.5 "unsuccessful variations").
+
+mod adaptive;
+mod fixed;
+mod history;
+mod spec;
+mod time_varying;
+mod uncentered;
+
+pub use adaptive::{AdaptiveParams, AdaptivePolicy};
+pub use fixed::FixedWidthPolicy;
+pub use history::{HistoryPolicy, Weighting};
+pub use spec::ApproxSpec;
+pub use time_varying::{DriftingPolicy, GrowthLaw, TimeVaryingPolicy};
+pub use uncentered::UncenteredPolicy;
+
+use crate::rng::Rng;
+use crate::TimeMs;
+
+/// Which bound the exact value crossed when it escaped its interval.
+///
+/// The centered policies ignore this; the uncentered variant (Section 4.5)
+/// grows only the violated side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Escape {
+    /// The value rose above the upper bound `H`.
+    Above,
+    /// The value fell below the lower bound `L`.
+    Below,
+}
+
+/// The two refresh types of the protocol (paper, Section 1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// The source pushed a refresh because the value escaped its interval.
+    ValueInitiated,
+    /// A query fetched the exact value because the interval was too wide.
+    QueryInitiated,
+}
+
+/// Source-side precision-setting state for one cached approximation.
+///
+/// Implementations must be deterministic given the [`Rng`] stream they are
+/// handed: all randomness flows through the `rng` arguments.
+pub trait PrecisionPolicy: std::fmt::Debug + Send {
+    /// React to a value-initiated refresh (the interval was exceeded on the
+    /// `escape` side).
+    fn on_value_refresh(&mut self, escape: Escape, rng: &mut Rng);
+
+    /// React to a query-initiated refresh.
+    fn on_query_refresh(&mut self, rng: &mut Rng);
+
+    /// The *internal* ("original") width the policy is tracking. This is
+    /// the width the paper's eviction rule orders by, and the quantity the
+    /// thresholds `γ0`/`γ1` are applied to — it keeps adapting even while
+    /// the effective width is snapped to `0` or `∞`.
+    fn internal_width(&self) -> f64;
+
+    /// The width actually offered to the cache after thresholding.
+    fn effective_width(&self) -> f64;
+
+    /// Build the approximation sent to the cache for the current exact
+    /// `value` at time `now`.
+    ///
+    /// The default produces a constant interval of [`effective_width`]
+    /// centered on the value, which is what the paper's main algorithm
+    /// sends; variants override this.
+    ///
+    /// [`effective_width`]: PrecisionPolicy::effective_width
+    fn make_spec(&self, value: f64, now: TimeMs) -> ApproxSpec {
+        let _ = now;
+        ApproxSpec::constant_centered(value, self.effective_width())
+    }
+}
+
+/// Internal width bounds shared by all adaptive policies.
+///
+/// Multiplicative adaptation can never reach zero or infinity on its own;
+/// these clamps keep the width a normal positive float so it can always
+/// recover (the thresholds provide the semantic 0/∞ snapping).
+pub(crate) const MIN_INTERNAL_WIDTH: f64 = 1e-300;
+/// Upper clamp for internal widths (see [`MIN_INTERNAL_WIDTH`]).
+pub(crate) const MAX_INTERNAL_WIDTH: f64 = 1e300;
+
+/// Clamp an internal width into the representable band.
+#[inline]
+pub(crate) fn clamp_internal(w: f64) -> f64 {
+    w.clamp(MIN_INTERNAL_WIDTH, MAX_INTERNAL_WIDTH)
+}
+
+/// Apply the paper's thresholds: widths below `γ0` snap to exactly `0`
+/// (cache an exact copy); widths at or above `γ1` snap to `∞` (effectively
+/// uncached).
+#[inline]
+pub(crate) fn apply_thresholds(w: f64, gamma0: f64, gamma1: f64) -> f64 {
+    if w < gamma0 {
+        0.0
+    } else if w >= gamma1 {
+        f64::INFINITY
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_snap_both_ways() {
+        assert_eq!(apply_thresholds(0.5, 1.0, 100.0), 0.0);
+        assert_eq!(apply_thresholds(50.0, 1.0, 100.0), 50.0);
+        assert_eq!(apply_thresholds(100.0, 1.0, 100.0), f64::INFINITY);
+        assert_eq!(apply_thresholds(150.0, 1.0, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn thresholds_disabled_by_defaults() {
+        // γ0 = 0 never snaps down; γ1 = ∞ never snaps up.
+        assert_eq!(apply_thresholds(1e-250, 0.0, f64::INFINITY), 1e-250);
+        assert_eq!(apply_thresholds(1e250, 0.0, f64::INFINITY), 1e250);
+    }
+
+    #[test]
+    fn equal_thresholds_give_exact_or_nothing() {
+        // γ1 = γ0: every width becomes 0 or ∞ — the exact-caching special
+        // case of Section 4.6.
+        for w in [0.0, 0.5, 0.999, 1.0, 2.0, 1e9] {
+            let eff = apply_thresholds(w, 1.0, 1.0);
+            assert!(eff == 0.0 || eff == f64::INFINITY, "w={w} eff={eff}");
+        }
+        assert_eq!(apply_thresholds(0.999, 1.0, 1.0), 0.0);
+        assert_eq!(apply_thresholds(1.0, 1.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn clamp_keeps_widths_positive_finite() {
+        assert_eq!(clamp_internal(0.0), MIN_INTERNAL_WIDTH);
+        assert_eq!(clamp_internal(f64::INFINITY), MAX_INTERNAL_WIDTH);
+        assert_eq!(clamp_internal(5.0), 5.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Approximation specifications exchanged between sources and caches.
+
+use crate::interval::Interval;
+use crate::{TimeMs, MS_PER_SEC};
+
+/// The approximation a source installs at a cache during a refresh.
+///
+/// The paper's main algorithm always sends a constant interval; the
+/// Section 4.5 variants send intervals whose bounds are functions of time,
+/// so the cache evaluates the spec at its local clock when answering
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApproxSpec {
+    /// A constant interval `[L, H]` (the paper's main scheme).
+    Constant(Interval),
+    /// An interval whose width grows with the age of the refresh:
+    /// `width(t) = base_width + coeff·((t - t0)/1s)^exponent`, centered on
+    /// `center`. Used by the "more approximate over time" variant.
+    Growing {
+        /// Exact value at refresh time (the interval stays centered on it).
+        center: f64,
+        /// Width at `t = t0`.
+        base_width: f64,
+        /// Growth coefficient (width units per second^exponent).
+        coeff: f64,
+        /// Growth exponent (the paper tried 1/2 and 1/3).
+        exponent: f64,
+        /// Refresh timestamp.
+        t0: TimeMs,
+    },
+    /// An interval whose *both* endpoints drift linearly with time:
+    /// `[lo0 + rate·Δt, hi0 + rate·Δt]`. The paper found this the best
+    /// time-varying form for predictably increasing (biased) data.
+    Drifting {
+        /// Lower bound at `t0`.
+        lo0: f64,
+        /// Upper bound at `t0`.
+        hi0: f64,
+        /// Drift rate in value units per second (may be negative).
+        rate_per_sec: f64,
+        /// Refresh timestamp.
+        t0: TimeMs,
+    },
+}
+
+impl ApproxSpec {
+    /// A constant interval of the given width centered on `value`.
+    ///
+    /// Infinite width produces the unbounded interval; a non-finite center
+    /// (which sources reject upstream) degrades safely to unbounded as well.
+    pub fn constant_centered(value: f64, width: f64) -> ApproxSpec {
+        match Interval::centered(value, width) {
+            Ok(iv) => ApproxSpec::Constant(iv),
+            Err(_) => ApproxSpec::Constant(Interval::unbounded()),
+        }
+    }
+
+    /// Seconds elapsed since `t0`, saturating at zero for clock skew.
+    #[inline]
+    fn age_secs(t0: TimeMs, now: TimeMs) -> f64 {
+        now.saturating_sub(t0) as f64 / MS_PER_SEC as f64
+    }
+
+    /// The concrete interval this spec denotes at time `now`.
+    pub fn interval_at(&self, now: TimeMs) -> Interval {
+        match *self {
+            ApproxSpec::Constant(iv) => iv,
+            ApproxSpec::Growing { center, base_width, coeff, exponent, t0 } => {
+                let w = base_width + coeff * Self::age_secs(t0, now).powf(exponent);
+                Interval::centered(center, w).unwrap_or_else(|_| Interval::unbounded())
+            }
+            ApproxSpec::Drifting { lo0, hi0, rate_per_sec, t0 } => {
+                let shift = rate_per_sec * Self::age_secs(t0, now);
+                Interval::new(lo0 + shift, hi0 + shift)
+                    .unwrap_or_else(|_| Interval::unbounded())
+            }
+        }
+    }
+
+    /// Width of the denoted interval at time `now`.
+    #[inline]
+    pub fn width_at(&self, now: TimeMs) -> f64 {
+        self.interval_at(now).width()
+    }
+
+    /// Validity test at time `now` (paper, Section 1.1).
+    #[inline]
+    pub fn contains(&self, value: f64, now: TimeMs) -> bool {
+        self.interval_at(now).contains(value)
+    }
+
+    /// True iff the spec denotes an exact copy at time `now`.
+    pub fn is_exact_at(&self, now: TimeMs) -> bool {
+        self.interval_at(now).is_exact()
+    }
+
+    /// True iff the spec denotes the unbounded interval at time `now`.
+    pub fn is_unbounded_at(&self, now: TimeMs) -> bool {
+        self.interval_at(now).is_unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_spec_is_time_invariant() {
+        let s = ApproxSpec::constant_centered(10.0, 4.0);
+        assert_eq!(s.interval_at(0), s.interval_at(1_000_000));
+        assert_eq!(s.width_at(0), 4.0);
+        assert!(s.contains(8.0, 0));
+        assert!(!s.contains(7.9, 0));
+    }
+
+    #[test]
+    fn constant_infinite_width() {
+        let s = ApproxSpec::constant_centered(10.0, f64::INFINITY);
+        assert!(s.is_unbounded_at(0));
+        assert!(s.contains(1e100, 0));
+    }
+
+    #[test]
+    fn constant_zero_width_is_exact() {
+        let s = ApproxSpec::constant_centered(3.5, 0.0);
+        assert!(s.is_exact_at(0));
+        assert!(s.contains(3.5, 99));
+        assert!(!s.contains(3.6, 99));
+    }
+
+    #[test]
+    fn growing_spec_widens_with_sqrt_age() {
+        let s = ApproxSpec::Growing {
+            center: 0.0,
+            base_width: 2.0,
+            coeff: 3.0,
+            exponent: 0.5,
+            t0: 1_000,
+        };
+        assert_eq!(s.width_at(1_000), 2.0);
+        // After 4 seconds: 2 + 3·4^0.5 = 8.
+        assert!((s.width_at(5_000) - 8.0).abs() < 1e-12);
+        // A point outside the base interval becomes contained as it grows.
+        assert!(!s.contains(2.0, 1_000));
+        assert!(s.contains(2.0, 5_000));
+    }
+
+    #[test]
+    fn growing_spec_saturates_before_t0() {
+        let s = ApproxSpec::Growing {
+            center: 0.0,
+            base_width: 2.0,
+            coeff: 3.0,
+            exponent: 0.5,
+            t0: 10_000,
+        };
+        // Clock skew: evaluating before t0 uses age 0.
+        assert_eq!(s.width_at(0), 2.0);
+    }
+
+    #[test]
+    fn drifting_spec_constant_width_moving_bounds() {
+        let s = ApproxSpec::Drifting { lo0: 0.0, hi0: 10.0, rate_per_sec: 2.0, t0: 0 };
+        let i0 = s.interval_at(0);
+        assert_eq!((i0.lo(), i0.hi()), (0.0, 10.0));
+        let i5 = s.interval_at(5_000);
+        assert_eq!((i5.lo(), i5.hi()), (10.0, 20.0));
+        assert_eq!(s.width_at(5_000), 10.0);
+        // A static value can become invalid purely through time — the
+        // trickiness Section 4.5 warns about.
+        assert!(s.contains(5.0, 0));
+        assert!(!s.contains(5.0, 5_000));
+    }
+}

@@ -1,0 +1,243 @@
+//! Time-varying intervals (Section 4.5, second unsuccessful variation).
+//!
+//! Two forms are evaluated in the paper:
+//!
+//! * [`TimeVaryingPolicy`] — intervals whose width grows with age,
+//!   `width(t) = W + c·t^p` with `p ∈ {1/2, 1/3}`; found to be worse than
+//!   constant intervals on both the network data and unbiased random walks.
+//! * [`DriftingPolicy`] — intervals whose endpoints both increase linearly
+//!   with time (`L(t) = L0 + k·t`, `H(t) = H0 + k·t`); the best
+//!   time-varying form for *biased* (predictably increasing) data.
+
+use super::{ApproxSpec, Escape, PrecisionPolicy};
+use crate::error::ParamError;
+use crate::policy::{AdaptiveParams, AdaptivePolicy};
+use crate::rng::Rng;
+use crate::TimeMs;
+
+/// Growth law for a time-varying interval: `extra_width(t) = coeff·t^exponent`
+/// with `t` in seconds since the refresh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthLaw {
+    coeff: f64,
+    exponent: f64,
+}
+
+impl GrowthLaw {
+    /// Create a growth law; both constants must be positive and finite.
+    pub fn new(coeff: f64, exponent: f64) -> Result<Self, ParamError> {
+        if !(coeff.is_finite() && coeff > 0.0) {
+            return Err(ParamError::InvalidModelConstant { which: "coeff", value: coeff });
+        }
+        if !(exponent.is_finite() && exponent > 0.0) {
+            return Err(ParamError::InvalidModelConstant { which: "exponent", value: exponent });
+        }
+        Ok(GrowthLaw { coeff, exponent })
+    }
+
+    /// Square-root growth (`t^1/2`), one of the two laws the paper tried.
+    pub fn sqrt(coeff: f64) -> Result<Self, ParamError> {
+        Self::new(coeff, 0.5)
+    }
+
+    /// Cube-root growth (`t^1/3`), the other law the paper tried.
+    pub fn cbrt(coeff: f64) -> Result<Self, ParamError> {
+        Self::new(coeff, 1.0 / 3.0)
+    }
+
+    /// Growth coefficient.
+    pub fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    /// Growth exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+/// Adaptive policy whose refreshed intervals widen over time.
+///
+/// Width adaptation on refreshes is identical to [`AdaptivePolicy`]; only
+/// the spec sent to the cache differs.
+#[derive(Debug, Clone)]
+pub struct TimeVaryingPolicy {
+    inner: AdaptivePolicy,
+    law: GrowthLaw,
+}
+
+impl TimeVaryingPolicy {
+    /// Create a time-varying policy with the given base parameters and
+    /// growth law.
+    pub fn new(
+        params: AdaptiveParams,
+        initial_width: f64,
+        law: GrowthLaw,
+    ) -> Result<Self, ParamError> {
+        Ok(TimeVaryingPolicy { inner: AdaptivePolicy::new(params, initial_width)?, law })
+    }
+}
+
+impl PrecisionPolicy for TimeVaryingPolicy {
+    fn on_value_refresh(&mut self, escape: Escape, rng: &mut Rng) {
+        self.inner.on_value_refresh(escape, rng);
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        self.inner.on_query_refresh(rng);
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.inner.internal_width()
+    }
+
+    fn effective_width(&self) -> f64 {
+        self.inner.effective_width()
+    }
+
+    fn make_spec(&self, value: f64, now: TimeMs) -> ApproxSpec {
+        let eff = self.effective_width();
+        if eff == 0.0 || eff.is_infinite() {
+            // Snapped widths stay constant: a growing exact copy makes no
+            // sense and an unbounded interval cannot grow.
+            return ApproxSpec::constant_centered(value, eff);
+        }
+        ApproxSpec::Growing {
+            center: value,
+            base_width: eff,
+            coeff: self.law.coeff,
+            exponent: self.law.exponent,
+            t0: now,
+        }
+    }
+}
+
+/// Adaptive policy whose refreshed intervals drift linearly (for biased
+/// data): both endpoints move at `rate_per_sec`.
+#[derive(Debug, Clone)]
+pub struct DriftingPolicy {
+    inner: AdaptivePolicy,
+    rate_per_sec: f64,
+}
+
+impl DriftingPolicy {
+    /// Create a drifting policy; `rate_per_sec` is the expected drift of
+    /// the underlying value (positive or negative, must be finite).
+    pub fn new(
+        params: AdaptiveParams,
+        initial_width: f64,
+        rate_per_sec: f64,
+    ) -> Result<Self, ParamError> {
+        if !rate_per_sec.is_finite() {
+            return Err(ParamError::InvalidModelConstant {
+                which: "rate_per_sec",
+                value: rate_per_sec,
+            });
+        }
+        Ok(DriftingPolicy { inner: AdaptivePolicy::new(params, initial_width)?, rate_per_sec })
+    }
+
+    /// The configured drift rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+impl PrecisionPolicy for DriftingPolicy {
+    fn on_value_refresh(&mut self, escape: Escape, rng: &mut Rng) {
+        self.inner.on_value_refresh(escape, rng);
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        self.inner.on_query_refresh(rng);
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.inner.internal_width()
+    }
+
+    fn effective_width(&self) -> f64 {
+        self.inner.effective_width()
+    }
+
+    fn make_spec(&self, value: f64, now: TimeMs) -> ApproxSpec {
+        let eff = self.effective_width();
+        if eff == 0.0 || eff.is_infinite() {
+            return ApproxSpec::constant_centered(value, eff);
+        }
+        let half = eff / 2.0;
+        ApproxSpec::Drifting {
+            lo0: value - half,
+            hi0: value + half,
+            rate_per_sec: self.rate_per_sec,
+            t0: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::from_theta(1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn growth_law_validation() {
+        assert!(GrowthLaw::new(0.0, 0.5).is_err());
+        assert!(GrowthLaw::new(1.0, 0.0).is_err());
+        assert!(GrowthLaw::new(1.0, f64::NAN).is_err());
+        let law = GrowthLaw::sqrt(2.0).unwrap();
+        assert_eq!(law.exponent(), 0.5);
+        let law = GrowthLaw::cbrt(2.0).unwrap();
+        assert!((law.exponent() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn growing_spec_has_base_width_at_refresh() {
+        let p = TimeVaryingPolicy::new(params(), 10.0, GrowthLaw::sqrt(1.0).unwrap()).unwrap();
+        let spec = p.make_spec(0.0, 5_000);
+        assert_eq!(spec.width_at(5_000), 10.0);
+        assert!(spec.width_at(9_000) > 10.0);
+    }
+
+    #[test]
+    fn adaptation_matches_adaptive_policy() {
+        let mut tv = TimeVaryingPolicy::new(params(), 8.0, GrowthLaw::sqrt(1.0).unwrap()).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        tv.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(tv.internal_width(), 16.0);
+        tv.on_query_refresh(&mut rng);
+        tv.on_query_refresh(&mut rng);
+        assert_eq!(tv.internal_width(), 4.0);
+    }
+
+    #[test]
+    fn snapped_widths_stay_constant() {
+        let par = params().with_thresholds(20.0, f64::INFINITY).unwrap();
+        let p = TimeVaryingPolicy::new(par, 10.0, GrowthLaw::sqrt(1.0).unwrap()).unwrap();
+        // internal 10 < γ0=20 ⇒ exact copy, and it must not grow.
+        let spec = p.make_spec(3.0, 0);
+        assert!(spec.is_exact_at(0));
+        assert!(spec.is_exact_at(1_000_000));
+    }
+
+    #[test]
+    fn drifting_spec_tracks_rate() {
+        let p = DriftingPolicy::new(params(), 10.0, 2.0).unwrap();
+        let spec = p.make_spec(100.0, 0);
+        let i0 = spec.interval_at(0);
+        assert_eq!((i0.lo(), i0.hi()), (95.0, 105.0));
+        let i10 = spec.interval_at(10_000);
+        assert_eq!((i10.lo(), i10.hi()), (115.0, 125.0));
+    }
+
+    #[test]
+    fn drifting_validation() {
+        assert!(DriftingPolicy::new(params(), 10.0, f64::INFINITY).is_err());
+        assert!(DriftingPolicy::new(params(), 10.0, f64::NAN).is_err());
+        // Negative drift is fine (downward-biased data).
+        assert!(DriftingPolicy::new(params(), 10.0, -3.0).is_ok());
+    }
+}

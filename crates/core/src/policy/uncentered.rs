@@ -1,0 +1,150 @@
+//! Uncentered intervals (Section 4.5, first unsuccessful variation).
+//!
+//! Instead of one width centered on the value, the source maintains an
+//! upper width and a lower width independently. A value-initiated refresh
+//! grows only the violated side (with probability `min{θ,1}`); a
+//! query-initiated refresh shrinks both sides (with probability
+//! `min{1/θ,1}`).
+//!
+//! The paper found this variant *worse* than centered intervals on both
+//! synthetic random walks and the network data, and slightly better only on
+//! biased random walks. It is provided for the Section 4.5 ablation.
+
+use super::{apply_thresholds, clamp_internal, ApproxSpec, Escape, PrecisionPolicy};
+use crate::error::ParamError;
+use crate::interval::Interval;
+use crate::policy::AdaptiveParams;
+use crate::rng::Rng;
+use crate::TimeMs;
+
+/// Adaptive policy with independently adjusted upper and lower half-widths.
+#[derive(Debug, Clone)]
+pub struct UncenteredPolicy {
+    params: AdaptiveParams,
+    below: f64,
+    above: f64,
+}
+
+impl UncenteredPolicy {
+    /// Create with symmetric starting half-widths (each side gets half the
+    /// given total width).
+    pub fn new(params: AdaptiveParams, initial_width: f64) -> Result<Self, ParamError> {
+        if !(initial_width.is_finite() && initial_width > 0.0) {
+            return Err(ParamError::InvalidWidth(initial_width));
+        }
+        let half = clamp_internal(initial_width / 2.0);
+        Ok(UncenteredPolicy { params, below: half, above: half })
+    }
+
+    /// Current lower half-width.
+    pub fn below(&self) -> f64 {
+        self.below
+    }
+
+    /// Current upper half-width.
+    pub fn above(&self) -> f64 {
+        self.above
+    }
+}
+
+impl PrecisionPolicy for UncenteredPolicy {
+    fn on_value_refresh(&mut self, escape: Escape, rng: &mut Rng) {
+        if rng.bernoulli(self.params.grow_probability()) {
+            match escape {
+                Escape::Above => self.above = clamp_internal(self.above * self.params.step()),
+                Escape::Below => self.below = clamp_internal(self.below * self.params.step()),
+            }
+        }
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        if rng.bernoulli(self.params.shrink_probability()) {
+            self.below = clamp_internal(self.below / self.params.step());
+            self.above = clamp_internal(self.above / self.params.step());
+        }
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.below + self.above
+    }
+
+    fn effective_width(&self) -> f64 {
+        apply_thresholds(self.internal_width(), self.params.gamma0(), self.params.gamma1())
+    }
+
+    fn make_spec(&self, value: f64, _now: TimeMs) -> ApproxSpec {
+        let eff = self.effective_width();
+        if eff == 0.0 {
+            return ApproxSpec::constant_centered(value, 0.0);
+        }
+        if eff.is_infinite() {
+            return ApproxSpec::Constant(Interval::unbounded());
+        }
+        match Interval::with_half_widths(value, self.below, self.above) {
+            Ok(iv) => ApproxSpec::Constant(iv),
+            Err(_) => ApproxSpec::Constant(Interval::unbounded()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::from_theta(1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn grows_only_violated_side() {
+        let mut p = UncenteredPolicy::new(params(), 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng);
+        assert_eq!(p.above(), 8.0);
+        assert_eq!(p.below(), 4.0);
+        p.on_value_refresh(Escape::Below, &mut rng);
+        assert_eq!(p.below(), 8.0);
+    }
+
+    #[test]
+    fn shrinks_both_sides() {
+        let mut p = UncenteredPolicy::new(params(), 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.above(), 2.0);
+        assert_eq!(p.below(), 2.0);
+        assert_eq!(p.internal_width(), 4.0);
+    }
+
+    #[test]
+    fn spec_is_asymmetric_after_one_sided_growth() {
+        let mut p = UncenteredPolicy::new(params(), 8.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        p.on_value_refresh(Escape::Above, &mut rng);
+        match p.make_spec(100.0, 0) {
+            ApproxSpec::Constant(iv) => {
+                assert_eq!(iv.lo(), 96.0);
+                assert_eq!(iv.hi(), 108.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thresholds_apply_to_total_width() {
+        let par = params().with_thresholds(5.0, 100.0).unwrap();
+        let p = UncenteredPolicy::new(par, 4.0).unwrap();
+        // total width 4 < γ0=5 ⇒ exact
+        assert_eq!(p.effective_width(), 0.0);
+        match p.make_spec(10.0, 0) {
+            ApproxSpec::Constant(iv) => assert!(iv.is_exact()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UncenteredPolicy::new(params(), 0.0).is_err());
+        assert!(UncenteredPolicy::new(params(), f64::NAN).is_err());
+    }
+}

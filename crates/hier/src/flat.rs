@@ -1,0 +1,178 @@
+//! The flat deployment the hierarchy is compared against: every leaf
+//! talks to the source directly over the full network path, using the
+//! core crate's native multi-cache sources (one registered approximation
+//! per leaf).
+
+use apcache_core::cache::Cache;
+use apcache_core::cost::CostModel;
+use apcache_core::policy::{AdaptiveParams, AdaptivePolicy};
+use apcache_core::source::Source;
+use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
+use apcache_sim::error::SimError;
+use apcache_sim::stats::Stats;
+use apcache_sim::system::{CacheSystem, QuerySummary};
+use apcache_workload::query::GeneratedQuery;
+
+use crate::system::{LeafId, MultiLevelConfig};
+
+/// Flat fan-out: each of the `n_leaves` caches registers directly at the
+/// source; every refresh traverses the full path (upper + lower hop
+/// costs combined).
+#[derive(Debug)]
+pub struct FlatFanoutSystem {
+    full_path: CostModel,
+    n_leaves: usize,
+    sources: Vec<Source>,
+    leaves: Vec<Cache>,
+    rng: Rng,
+}
+
+impl FlatFanoutSystem {
+    /// Assemble the flat deployment from the same configuration as the
+    /// hierarchy (hop costs are summed into one end-to-end cost).
+    pub fn new(
+        cfg: &MultiLevelConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        if cfg.n_leaves == 0 {
+            return Err(SimError::Config("need at least one leaf".into()));
+        }
+        if initial_values.is_empty() {
+            return Err(SimError::Config("at least one source required".into()));
+        }
+        let full_path = CostModel::new(
+            cfg.upper_cost.c_vr() + cfg.lower_cost.c_vr(),
+            cfg.upper_cost.c_qr() + cfg.lower_cost.c_qr(),
+        )?;
+        let params = AdaptiveParams::new(&full_path, cfg.alpha)?
+            .with_thresholds(cfg.gamma0, cfg.gamma1)?;
+        let mut leaves: Vec<Cache> =
+            (0..cfg.n_leaves).map(|l| Cache::unbounded(CacheId(l as u32))).collect();
+        let mut sources = Vec::with_capacity(initial_values.len());
+        for (i, &v) in initial_values.iter().enumerate() {
+            let mut source = Source::new(Key(i as u32), v)?;
+            for (l, leaf) in leaves.iter_mut().enumerate() {
+                let policy = AdaptivePolicy::new(params, cfg.initial_width)?;
+                let refresh = source.register(CacheId(l as u32), Box::new(policy), 0)?;
+                leaf.apply_refresh(refresh);
+            }
+            sources.push(source);
+        }
+        Ok(FlatFanoutSystem { full_path, n_leaves: cfg.n_leaves, sources, leaves, rng: rng.fork() })
+    }
+
+    /// Bounded read of `key` at `leaf`.
+    pub fn read_bounded(
+        &mut self,
+        leaf: LeafId,
+        key: Key,
+        delta: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<Interval, SimError> {
+        let li = leaf.0 as usize;
+        let ki = key.0 as usize;
+        if li >= self.n_leaves || ki >= self.sources.len() {
+            return Err(SimError::Config(format!("unknown leaf {} or {key}", leaf.0)));
+        }
+        let cached = self.leaves[li]
+            .interval_at(key, now)
+            .unwrap_or_else(Interval::unbounded);
+        if cached.width() <= delta {
+            return Ok(cached);
+        }
+        stats.record_qr(self.full_path.c_qr());
+        let resp = self.sources[ki].serve_exact(CacheId(leaf.0), now, &mut self.rng)?;
+        self.leaves[li].apply_refresh(resp.refresh);
+        Ok(Interval::point(resp.value).expect("finite value"))
+    }
+}
+
+impl CacheSystem for FlatFanoutSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let ki = key.0 as usize;
+        let source = self
+            .sources
+            .get_mut(ki)
+            .ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
+        // Every escaped leaf pays the full end-to-end refresh.
+        for (cache_id, refresh) in source.apply_update(value, now, &mut self.rng)? {
+            stats.record_vr(self.full_path.c_vr());
+            self.leaves[cache_id.0 as usize].apply_refresh(refresh);
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let leaf = LeafId(self.rng.below(self.n_leaves as u64) as u32);
+        let before = stats.qr_count();
+        let mut answer: Option<Interval> = None;
+        for &key in &query.keys {
+            let iv = self.read_bounded(leaf, key, query.delta, now, stats)?;
+            answer = Some(match answer {
+                None => iv,
+                Some(a) => a.add(&iv),
+            });
+        }
+        Ok(QuerySummary { answer, refreshes: (stats.qr_count() - before) as usize })
+    }
+
+    fn interval_of(&self, key: Key, now: TimeMs) -> Option<Interval> {
+        self.leaves[0].interval_at(key, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measuring() -> Stats {
+        let mut s = Stats::new();
+        s.begin_measurement();
+        s
+    }
+
+    #[test]
+    fn every_leaf_pays_full_path_on_escape() {
+        let cfg = MultiLevelConfig { n_leaves: 4, ..MultiLevelConfig::default() };
+        let mut sys = FlatFanoutSystem::new(&cfg, &[100.0], Rng::seed_from_u64(1)).unwrap();
+        let mut stats = measuring();
+        sys.on_update(Key(0), 1_000.0, 1_000, &mut stats).unwrap();
+        // All 4 leaves escaped; each refresh costs 1 + 0.25.
+        assert_eq!(stats.vr_count(), 4);
+        assert!((stats.total_cost() - 4.0 * 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_hit_or_pay_full_path() {
+        let cfg = MultiLevelConfig { n_leaves: 2, ..MultiLevelConfig::default() };
+        let mut sys = FlatFanoutSystem::new(&cfg, &[100.0], Rng::seed_from_u64(1)).unwrap();
+        let mut stats = measuring();
+        // Loose read: free.
+        let iv = sys.read_bounded(LeafId(0), Key(0), 1e9, 0, &mut stats).unwrap();
+        assert!(iv.contains(100.0));
+        assert_eq!(stats.qr_count(), 0);
+        // Exact read: one full-path QR (2 + 0.5).
+        let iv = sys.read_bounded(LeafId(0), Key(0), 0.0, 0, &mut stats).unwrap();
+        assert!(iv.is_exact());
+        assert!((stats.total_cost() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = MultiLevelConfig { n_leaves: 0, ..MultiLevelConfig::default() };
+        assert!(FlatFanoutSystem::new(&cfg, &[1.0], Rng::seed_from_u64(0)).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Aggregate kinds and interval bound propagation.
+
+use apcache_core::Interval;
+
+use crate::error::QueryError;
+use crate::planner::ItemBound;
+
+/// The aggregate functions supported by the engine. SUM and MAX are the
+/// query types used throughout the paper's evaluation (Section 4.1); MIN
+/// and AVG follow from the same bound algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateKind {
+    /// Sum of the exact values.
+    Sum,
+    /// Maximum of the exact values.
+    Max,
+    /// Minimum of the exact values.
+    Min,
+    /// Arithmetic mean of the exact values.
+    Avg,
+}
+
+impl AggregateKind {
+    /// Human-readable name, matching the paper's usage.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateKind::Sum => "SUM",
+            AggregateKind::Max => "MAX",
+            AggregateKind::Min => "MIN",
+            AggregateKind::Avg => "AVG",
+        }
+    }
+}
+
+impl std::fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compute the interval guaranteed to contain the aggregate of the exact
+/// values, given a valid interval per item.
+///
+/// * SUM: `[Σ lo_i, Σ hi_i]` (empty sum is the point `0`);
+/// * MAX: `[max lo_i, max hi_i]`;
+/// * MIN: `[min lo_i, min hi_i]`;
+/// * AVG: the SUM interval scaled by `1/n`.
+///
+/// MAX/MIN/AVG over an empty set return [`QueryError::EmptyInput`].
+pub fn answer_interval(kind: AggregateKind, items: &[ItemBound]) -> Result<Interval, QueryError> {
+    match kind {
+        AggregateKind::Sum => {
+            let mut acc = Interval::point(0.0).expect("0 is finite");
+            for item in items {
+                acc = acc.add(&item.interval);
+            }
+            Ok(acc)
+        }
+        AggregateKind::Max => {
+            let mut iter = items.iter();
+            let first = iter.next().ok_or(QueryError::EmptyInput)?;
+            Ok(iter.fold(first.interval, |acc, item| acc.max_of(&item.interval)))
+        }
+        AggregateKind::Min => {
+            let mut iter = items.iter();
+            let first = iter.next().ok_or(QueryError::EmptyInput)?;
+            Ok(iter.fold(first.interval, |acc, item| acc.min_of(&item.interval)))
+        }
+        AggregateKind::Avg => {
+            if items.is_empty() {
+                return Err(QueryError::EmptyInput);
+            }
+            let sum = answer_interval(AggregateKind::Sum, items)?;
+            Ok(sum
+                .scale(1.0 / items.len() as f64)
+                .expect("1/n is positive and finite for n >= 1"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_core::Key;
+
+    fn item(key: u32, lo: f64, hi: f64) -> ItemBound {
+        ItemBound { key: Key(key), interval: Interval::new(lo, hi).unwrap() }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(AggregateKind::Sum.to_string(), "SUM");
+        assert_eq!(AggregateKind::Max.to_string(), "MAX");
+        assert_eq!(AggregateKind::Min.name(), "MIN");
+        assert_eq!(AggregateKind::Avg.name(), "AVG");
+    }
+
+    #[test]
+    fn sum_bounds() {
+        let items = vec![item(0, 1.0, 3.0), item(1, 10.0, 14.0), item(2, -2.0, -1.0)];
+        let a = answer_interval(AggregateKind::Sum, &items).unwrap();
+        assert_eq!((a.lo(), a.hi()), (9.0, 16.0));
+        assert_eq!(a.width(), 2.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero_point() {
+        let a = answer_interval(AggregateKind::Sum, &[]).unwrap();
+        assert!(a.is_exact());
+        assert_eq!(a.lo(), 0.0);
+    }
+
+    #[test]
+    fn sum_with_unbounded_item_is_unbounded() {
+        let items = vec![
+            item(0, 1.0, 3.0),
+            ItemBound { key: Key(1), interval: Interval::unbounded() },
+        ];
+        let a = answer_interval(AggregateKind::Sum, &items).unwrap();
+        assert!(a.is_unbounded());
+    }
+
+    #[test]
+    fn max_bounds() {
+        let items = vec![item(0, 0.0, 10.0), item(1, 4.0, 6.0), item(2, -5.0, -1.0)];
+        let a = answer_interval(AggregateKind::Max, &items).unwrap();
+        assert_eq!((a.lo(), a.hi()), (4.0, 10.0));
+    }
+
+    #[test]
+    fn min_bounds() {
+        let items = vec![item(0, 0.0, 10.0), item(1, 4.0, 6.0), item(2, -5.0, -1.0)];
+        let a = answer_interval(AggregateKind::Min, &items).unwrap();
+        assert_eq!((a.lo(), a.hi()), (-5.0, -1.0));
+    }
+
+    #[test]
+    fn avg_bounds() {
+        let items = vec![item(0, 0.0, 4.0), item(1, 8.0, 12.0)];
+        let a = answer_interval(AggregateKind::Avg, &items).unwrap();
+        assert_eq!((a.lo(), a.hi()), (4.0, 8.0));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        for kind in [AggregateKind::Max, AggregateKind::Min, AggregateKind::Avg] {
+            assert_eq!(answer_interval(kind, &[]), Err(QueryError::EmptyInput));
+        }
+    }
+
+    #[test]
+    fn max_width_can_be_less_than_any_item_width() {
+        // The candidate-elimination effect: a tight winner collapses the
+        // MAX bound even though other items are wide.
+        let items = vec![item(0, 100.0, 101.0), item(1, 0.0, 50.0)];
+        let a = answer_interval(AggregateKind::Max, &items).unwrap();
+        assert_eq!(a.width(), 1.0);
+    }
+}

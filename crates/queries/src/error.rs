@@ -1,0 +1,48 @@
+//! Error types for the query engine.
+
+use std::fmt;
+
+/// Errors raised by the bounded aggregate engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// MAX/MIN/AVG over an empty item set is undefined.
+    EmptyInput,
+    /// A precision constraint was negative or NaN.
+    InvalidConstraint(f64),
+    /// A fetch callback returned a non-finite exact value.
+    NonFiniteFetch {
+        /// The key whose fetch misbehaved.
+        key: apcache_core::Key,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyInput => write!(f, "aggregate over an empty item set is undefined"),
+            QueryError::InvalidConstraint(d) => {
+                write!(f, "precision constraint must be >= 0 (NaN rejected), got {d}")
+            }
+            QueryError::NonFiniteFetch { key, value } => {
+                write!(f, "fetch for {key} returned non-finite value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(QueryError::EmptyInput.to_string().contains("empty"));
+        assert!(QueryError::InvalidConstraint(-2.0).to_string().contains("-2"));
+        let e = QueryError::NonFiniteFetch { key: apcache_core::Key(4), value: f64::NAN };
+        assert!(e.to_string().contains("k4"));
+    }
+}

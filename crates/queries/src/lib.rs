@@ -1,0 +1,104 @@
+//! # apcache-queries
+//!
+//! Bounded aggregate queries over interval-approximate caches, in the style
+//! of TRAPP (Olston & Widom, VLDB 2000 — cited as \[OW00\] by the SIGMOD
+//! 2001 paper this workspace reproduces).
+//!
+//! A query computes an aggregate (SUM, MAX, MIN, AVG) over a set of cached
+//! interval approximations and is accompanied by a *precision constraint*
+//! `δ ≥ 0`: the maximum acceptable width of the answer interval. When the
+//! cached bounds alone cannot meet the constraint, the engine selects
+//! values to fetch exactly from their sources — each fetch is a
+//! *query-initiated refresh* — until the constraint is guaranteed:
+//!
+//! * **SUM** — the answer width is the sum of the item widths, so the
+//!   minimal refresh set is the smallest set of widest items whose removal
+//!   brings the residual sum under `δ` (provably minimal for uniform
+//!   per-fetch cost; verified against brute force in the tests).
+//! * **MAX / MIN** — the engine iteratively fetches the item with the
+//!   largest upper bound (smallest lower bound for MIN) among those still
+//!   *candidates*; items whose upper bound cannot exceed the best known
+//!   lower bound are eliminated without being fetched. This is why
+//!   approximate caching helps MAX queries even when exact answers are
+//!   required (paper, Sections 4.4 and 4.6).
+//! * **AVG** — SUM scaled by `1/n`, with the constraint scaled by `n`.
+//!
+//! The engine is deliberately *cache-agnostic*: it consumes a slice of
+//! [`ItemBound`]s and a fetch callback, so the simulator, the baselines,
+//! and library users can all drive it.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod error;
+pub mod planner;
+pub mod relative;
+
+pub use aggregate::{answer_interval, AggregateKind};
+pub use error::QueryError;
+pub use planner::{evaluate, sum_refresh_set, ItemBound, QueryOutcome};
+pub use relative::{evaluate_relative, satisfies_relative};
+
+/// A query precision constraint: the maximum acceptable width of the
+/// answer interval (paper, Section 4.1). `0` demands an exact answer;
+/// `∞` accepts anything.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PrecisionConstraint(f64);
+
+impl PrecisionConstraint {
+    /// Create a constraint; must be nonnegative (NaN rejected).
+    pub fn new(delta: f64) -> Result<Self, QueryError> {
+        if delta.is_nan() || delta < 0.0 {
+            return Err(QueryError::InvalidConstraint(delta));
+        }
+        Ok(PrecisionConstraint(delta))
+    }
+
+    /// The exact-answer constraint `δ = 0`.
+    pub const fn exact() -> Self {
+        PrecisionConstraint(0.0)
+    }
+
+    /// The anything-goes constraint `δ = ∞`.
+    pub const fn unconstrained() -> Self {
+        PrecisionConstraint(f64::INFINITY)
+    }
+
+    /// The numeric constraint value.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether a result interval of width `w` satisfies this constraint.
+    #[inline]
+    pub fn satisfied_by(&self, w: f64) -> bool {
+        w <= self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_validation() {
+        assert!(PrecisionConstraint::new(-1.0).is_err());
+        assert!(PrecisionConstraint::new(f64::NAN).is_err());
+        assert!(PrecisionConstraint::new(0.0).is_ok());
+        assert!(PrecisionConstraint::new(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = PrecisionConstraint::new(5.0).unwrap();
+        assert!(c.satisfied_by(5.0));
+        assert!(c.satisfied_by(0.0));
+        assert!(!c.satisfied_by(5.1));
+        assert!(PrecisionConstraint::exact().satisfied_by(0.0));
+        assert!(!PrecisionConstraint::exact().satisfied_by(1e-9));
+        assert!(PrecisionConstraint::unconstrained().satisfied_by(f64::INFINITY));
+    }
+}

@@ -1,0 +1,549 @@
+//! Refresh-set selection: which items must be fetched exactly so the
+//! aggregate's answer interval meets the precision constraint.
+
+use apcache_core::{Interval, Key};
+
+use crate::aggregate::{answer_interval, AggregateKind};
+use crate::error::QueryError;
+use crate::PrecisionConstraint;
+
+/// One item visible to a query: a key and the interval the cache currently
+/// offers for it (uncached keys are represented by unbounded intervals).
+#[derive(Debug, Clone)]
+pub struct ItemBound {
+    /// The data value's key.
+    pub key: Key,
+    /// The valid interval the cache holds for it.
+    pub interval: Interval,
+}
+
+impl ItemBound {
+    /// Convenience constructor.
+    pub fn new(key: Key, interval: Interval) -> Self {
+        ItemBound { key, interval }
+    }
+}
+
+/// Result of evaluating a bounded aggregate query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The answer interval; its width is guaranteed to satisfy the
+    /// constraint the query ran with.
+    pub answer: Interval,
+    /// Keys that were fetched exactly (each one is a query-initiated
+    /// refresh), in fetch order.
+    pub refreshed: Vec<Key>,
+}
+
+/// Evaluate a bounded aggregate over `items`, fetching exact values through
+/// `fetch` until the constraint holds.
+///
+/// `fetch(key)` must return the current exact value at the source; the
+/// engine treats the fetched item as a zero-width point from then on. The
+/// caller is responsible for the protocol side effects of the fetch (cost
+/// accounting, installing the replacement approximation, width adaptation).
+///
+/// Guarantees on success:
+/// * `outcome.answer.width() <= constraint.delta()`;
+/// * `outcome.refreshed` is minimal for SUM/AVG (uniform fetch costs);
+///   greedy-with-elimination for MAX/MIN per OW00.
+pub fn evaluate(
+    kind: AggregateKind,
+    constraint: PrecisionConstraint,
+    items: &[ItemBound],
+    fetch: impl FnMut(Key) -> f64,
+) -> Result<QueryOutcome, QueryError> {
+    match kind {
+        AggregateKind::Sum => evaluate_sum(constraint, items, fetch),
+        AggregateKind::Avg => {
+            if items.is_empty() {
+                return Err(QueryError::EmptyInput);
+            }
+            let n = items.len() as f64;
+            // width(AVG) = width(SUM)/n, so constrain the SUM to δ·n and
+            // scale the answer back down.
+            let scaled = PrecisionConstraint::new(constraint.delta() * n)
+                .expect("delta * n is nonnegative");
+            let sum = evaluate_sum(scaled, items, fetch)?;
+            Ok(QueryOutcome {
+                answer: sum.answer.scale(1.0 / n).expect("1/n positive finite"),
+                refreshed: sum.refreshed,
+            })
+        }
+        AggregateKind::Max => evaluate_extremum(constraint, items, fetch, Extremum::Max),
+        AggregateKind::Min => evaluate_extremum(constraint, items, fetch, Extremum::Min),
+    }
+}
+
+/// Plan (without fetching) the minimal refresh set for a SUM query:
+/// the smallest number of items whose removal leaves the residual width sum
+/// within `delta`, chosen widest-first. Returns keys in refresh order.
+pub fn sum_refresh_set(items: &[ItemBound], delta: f64) -> Result<Vec<Key>, QueryError> {
+    if delta.is_nan() || delta < 0.0 {
+        return Err(QueryError::InvalidConstraint(delta));
+    }
+    let order = widest_first(items);
+    // suffix[i] = sum of widths of order[i..]; suffix[k] is the residual
+    // width if the first k (widest) items are refreshed.
+    let k = refresh_count(items, &order, delta);
+    Ok(order[..k].iter().map(|&i| items[i].key).collect())
+}
+
+/// Indices of `items` sorted widest-first, ties broken by key for
+/// determinism.
+fn widest_first(items: &[ItemBound]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .interval
+            .width()
+            .total_cmp(&items[a].interval.width())
+            .then_with(|| items[a].key.cmp(&items[b].key))
+    });
+    order
+}
+
+/// Number of leading items of `order` that must be refreshed so the
+/// residual width sum is `<= delta`.
+fn refresh_count(items: &[ItemBound], order: &[usize], delta: f64) -> usize {
+    let n = order.len();
+    // Residual sums computed back-to-front: suffix[k] = Σ widths of the
+    // items kept when the k widest are refreshed. Infinite widths sit at
+    // the front of `order`, so suffixes behind them stay finite.
+    let mut suffix = vec![0.0f64; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + items[order[i]].interval.width();
+    }
+    (0..=n).find(|&k| suffix[k] <= delta).unwrap_or(n)
+}
+
+fn evaluate_sum(
+    constraint: PrecisionConstraint,
+    items: &[ItemBound],
+    mut fetch: impl FnMut(Key) -> f64,
+) -> Result<QueryOutcome, QueryError> {
+    let order = widest_first(items);
+    let k = refresh_count(items, &order, constraint.delta());
+    let mut working: Vec<Interval> = items.iter().map(|it| it.interval).collect();
+    let mut refreshed = Vec::with_capacity(k);
+    for &idx in &order[..k] {
+        let key = items[idx].key;
+        let value = fetch(key);
+        if !value.is_finite() {
+            return Err(QueryError::NonFiniteFetch { key, value });
+        }
+        working[idx] = Interval::point(value).expect("finite value");
+        refreshed.push(key);
+    }
+    let bounds: Vec<ItemBound> = items
+        .iter()
+        .zip(&working)
+        .map(|(it, iv)| ItemBound::new(it.key, *iv))
+        .collect();
+    let answer = answer_interval(AggregateKind::Sum, &bounds)?;
+    // The residual-sum decision and this recomputation associate the
+    // floating-point additions differently; allow a few ulps of slack.
+    debug_assert!(
+        answer.width() <= constraint.delta() * (1.0 + 1e-12) + 1e-9,
+        "SUM planner failed its guarantee: width={} delta={}",
+        answer.width(),
+        constraint.delta()
+    );
+    Ok(QueryOutcome { answer, refreshed })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Extremum {
+    Max,
+    Min,
+}
+
+fn evaluate_extremum(
+    constraint: PrecisionConstraint,
+    items: &[ItemBound],
+    mut fetch: impl FnMut(Key) -> f64,
+    which: Extremum,
+) -> Result<QueryOutcome, QueryError> {
+    if items.is_empty() {
+        return Err(QueryError::EmptyInput);
+    }
+    let kind = match which {
+        Extremum::Max => AggregateKind::Max,
+        Extremum::Min => AggregateKind::Min,
+    };
+    let mut working: Vec<ItemBound> = items.to_vec();
+    let mut fetched = vec![false; items.len()];
+    let mut refreshed = Vec::new();
+    loop {
+        let answer = answer_interval(kind, &working)?;
+        if constraint.satisfied_by(answer.width()) {
+            return Ok(QueryOutcome { answer, refreshed });
+        }
+        // OW00 CHOOSE step: fetch the unfetched item whose bound extends
+        // the answer furthest — largest hi for MAX, smallest lo for MIN.
+        // Such an item always exists while the width exceeds the
+        // constraint (a fetched point cannot be the extreme bound of a
+        // non-degenerate answer interval).
+        let victim = (0..working.len())
+            .filter(|&i| !fetched[i])
+            .max_by(|&a, &b| {
+                let (wa, wb) = match which {
+                    Extremum::Max => (working[a].interval.hi(), working[b].interval.hi()),
+                    // For MIN we want the smallest lo: compare negated.
+                    Extremum::Min => (-working[a].interval.lo(), -working[b].interval.lo()),
+                };
+                // Ties broken toward the smaller key (max_by keeps the
+                // last max, so order by key descending as secondary).
+                wa.total_cmp(&wb).then_with(|| working[b].key.cmp(&working[a].key))
+            });
+        let Some(idx) = victim else {
+            // All items fetched: the answer is exact, width 0, which
+            // satisfies every constraint — the loop must have exited.
+            debug_assert!(false, "extremum planner exhausted items without converging");
+            let answer = answer_interval(kind, &working)?;
+            return Ok(QueryOutcome { answer, refreshed });
+        };
+        let key = working[idx].key;
+        let value = fetch(key);
+        if !value.is_finite() {
+            return Err(QueryError::NonFiniteFetch { key, value });
+        }
+        working[idx].interval = Interval::point(value).expect("finite value");
+        fetched[idx] = true;
+        refreshed.push(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn item(key: u32, lo: f64, hi: f64) -> ItemBound {
+        ItemBound::new(Key(key), Interval::new(lo, hi).unwrap())
+    }
+
+    fn uncached(key: u32) -> ItemBound {
+        ItemBound::new(Key(key), Interval::unbounded())
+    }
+
+    /// A fetch table: exact values per key, panicking on unknown keys.
+    fn table(vals: &[(u32, f64)]) -> HashMap<Key, f64> {
+        vals.iter().map(|&(k, v)| (Key(k), v)).collect()
+    }
+
+    fn fetcher(t: &HashMap<Key, f64>) -> impl FnMut(Key) -> f64 + '_ {
+        move |k| *t.get(&k).expect("fetch for unknown key")
+    }
+
+    #[test]
+    fn sum_no_refresh_when_constraint_met() {
+        let items = vec![item(0, 0.0, 1.0), item(1, 5.0, 6.0)];
+        let t = table(&[]);
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::new(2.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.refreshed.is_empty());
+        assert_eq!(out.answer.width(), 2.0);
+    }
+
+    #[test]
+    fn sum_refreshes_widest_first() {
+        let items = vec![item(0, 0.0, 8.0), item(1, 0.0, 2.0), item(2, 0.0, 4.0)];
+        let t = table(&[(0, 3.0), (2, 1.0)]);
+        // Total width 14, constraint 3 → refresh key0 (8) then key2 (4),
+        // leaving width 2 <= 3.
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::new(3.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed, vec![Key(0), Key(2)]);
+        assert!(out.answer.width() <= 3.0);
+        // Answer uses the exact values: [3 + 0 + 1, 3 + 2 + 1].
+        assert_eq!((out.answer.lo(), out.answer.hi()), (4.0, 6.0));
+    }
+
+    #[test]
+    fn sum_exact_constraint_refreshes_all_inexact() {
+        let items = vec![item(0, 0.0, 1.0), item(1, 4.0, 4.0), item(2, 2.0, 5.0)];
+        let t = table(&[(0, 0.5), (2, 3.0)]);
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::exact(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        // key1 is already exact and must NOT be refreshed.
+        assert_eq!(out.refreshed.len(), 2);
+        assert!(!out.refreshed.contains(&Key(1)));
+        assert!(out.answer.is_exact());
+        assert_eq!(out.answer.lo(), 0.5 + 4.0 + 3.0);
+    }
+
+    #[test]
+    fn sum_uncached_items_always_fetched_under_finite_constraint() {
+        let items = vec![uncached(0), item(1, 0.0, 1.0)];
+        let t = table(&[(0, 100.0)]);
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::new(1.5).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed, vec![Key(0)]);
+        assert_eq!((out.answer.lo(), out.answer.hi()), (100.0, 101.0));
+    }
+
+    #[test]
+    fn sum_unconstrained_never_fetches() {
+        let items = vec![uncached(0), uncached(1)];
+        let t = table(&[]);
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::unconstrained(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.refreshed.is_empty());
+        assert!(out.answer.is_unbounded());
+    }
+
+    #[test]
+    fn sum_refresh_set_is_minimal_vs_brute_force() {
+        // Exhaustive check on all subsets for several configurations.
+        let cases: Vec<(Vec<f64>, f64)> = vec![
+            (vec![8.0, 2.0, 4.0, 1.0], 3.0),
+            (vec![5.0, 5.0, 5.0], 7.0),
+            (vec![1.0, 1.0, 1.0, 1.0, 1.0], 2.5),
+            (vec![10.0, 0.0, 3.0], 0.0),
+            (vec![2.0], 5.0),
+        ];
+        for (widths, delta) in cases {
+            let items: Vec<ItemBound> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| item(i as u32, 0.0, w))
+                .collect();
+            let chosen = sum_refresh_set(&items, delta).unwrap();
+            // Brute force the minimum subset size achieving the residual.
+            let n = items.len();
+            let mut best = usize::MAX;
+            for mask in 0..(1u32 << n) {
+                let residual: f64 = (0..n)
+                    .filter(|&i| mask & (1 << i) == 0)
+                    .map(|i| widths[i])
+                    .sum();
+                if residual <= delta {
+                    best = best.min(mask.count_ones() as usize);
+                }
+            }
+            assert_eq!(chosen.len(), best, "widths={widths:?} delta={delta}");
+        }
+    }
+
+    #[test]
+    fn max_elimination_avoids_fetches() {
+        // key0 dominates: its lo (100) exceeds every other hi, so a MAX
+        // with δ=1 needs no fetches at all.
+        let items = vec![item(0, 100.0, 101.0), item(1, 0.0, 50.0), item(2, -10.0, 20.0)];
+        let t = table(&[]);
+        let out = evaluate(
+            AggregateKind::Max,
+            PrecisionConstraint::new(1.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.refreshed.is_empty());
+        assert_eq!((out.answer.lo(), out.answer.hi()), (100.0, 101.0));
+    }
+
+    #[test]
+    fn max_exact_fetches_only_candidates() {
+        // δ=0. key0's exact value (100.5) dominates key1's hi (50), so
+        // fetching key0 alone collapses the answer; key1 and key2 are
+        // eliminated without fetches. This is the Section 4.4/4.6 effect.
+        let items = vec![item(0, 99.0, 105.0), item(1, 0.0, 50.0), item(2, -10.0, 20.0)];
+        let t = table(&[(0, 100.5)]);
+        let out = evaluate(
+            AggregateKind::Max,
+            PrecisionConstraint::exact(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed, vec![Key(0)]);
+        assert!(out.answer.is_exact());
+        assert_eq!(out.answer.lo(), 100.5);
+    }
+
+    #[test]
+    fn max_fetches_cascade_when_values_interleave() {
+        // key0's exact value turns out low, exposing key1 as a candidate.
+        let items = vec![item(0, 0.0, 100.0), item(1, 0.0, 60.0)];
+        let t = table(&[(0, 10.0), (1, 55.0)]);
+        let out = evaluate(
+            AggregateKind::Max,
+            PrecisionConstraint::exact(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed, vec![Key(0), Key(1)]);
+        assert_eq!(out.answer.lo(), 55.0);
+    }
+
+    #[test]
+    fn min_is_symmetric_to_max() {
+        let items = vec![item(0, -101.0, -100.0), item(1, -50.0, 0.0)];
+        let t = table(&[]);
+        let out = evaluate(
+            AggregateKind::Min,
+            PrecisionConstraint::new(1.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.refreshed.is_empty());
+        assert_eq!((out.answer.lo(), out.answer.hi()), (-101.0, -100.0));
+    }
+
+    #[test]
+    fn min_fetches_lowest_lower_bound() {
+        let items = vec![item(0, 0.0, 100.0), item(1, 20.0, 30.0)];
+        let t = table(&[(0, 90.0)]);
+        let out = evaluate(
+            AggregateKind::Min,
+            PrecisionConstraint::new(10.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        // key0 has the smallest lo; fetching it (90) leaves MIN bounded by
+        // key1's [20,30] — width 10 meets δ.
+        assert_eq!(out.refreshed, vec![Key(0)]);
+        assert!(out.answer.width() <= 10.0);
+        assert_eq!((out.answer.lo(), out.answer.hi()), (20.0, 30.0));
+    }
+
+    #[test]
+    fn avg_scales_constraint_by_n() {
+        // Two items of width 4 each: SUM width 8, AVG width 4.
+        let items = vec![item(0, 0.0, 4.0), item(1, 10.0, 14.0)];
+        let t = table(&[]);
+        // δ = 4 on AVG is satisfiable with no fetches.
+        let out = evaluate(
+            AggregateKind::Avg,
+            PrecisionConstraint::new(4.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.refreshed.is_empty());
+        assert_eq!((out.answer.lo(), out.answer.hi()), (5.0, 9.0));
+        // δ = 2 on AVG means δ = 4 on the SUM: one fetch leaves residual
+        // width 4, which meets it exactly.
+        let t = table(&[(0, 2.0), (1, 12.0)]);
+        let out = evaluate(
+            AggregateKind::Avg,
+            PrecisionConstraint::new(2.0).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed.len(), 1);
+        assert!(out.answer.width() <= 2.0);
+        // δ = 1.9 forces both fetches (residual 4 > 3.8 after one).
+        let out = evaluate(
+            AggregateKind::Avg,
+            PrecisionConstraint::new(1.9).unwrap(),
+            &items,
+            fetcher(&t),
+        )
+        .unwrap();
+        assert_eq!(out.refreshed.len(), 2);
+        assert!(out.answer.is_exact());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = table(&[]);
+        assert!(evaluate(
+            AggregateKind::Max,
+            PrecisionConstraint::exact(),
+            &[],
+            fetcher(&t)
+        )
+        .is_err());
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::exact(),
+            &[],
+            fetcher(&t),
+        )
+        .unwrap();
+        assert!(out.answer.is_exact());
+        assert_eq!(out.answer.lo(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_fetch_is_an_error() {
+        let items = vec![item(0, 0.0, 10.0)];
+        let out = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::exact(),
+            &items,
+            |_| f64::NAN,
+        );
+        assert!(matches!(out, Err(QueryError::NonFiniteFetch { .. })));
+    }
+
+    #[test]
+    fn sum_planner_deterministic_on_ties() {
+        let items = vec![item(2, 0.0, 5.0), item(0, 0.0, 5.0), item(1, 0.0, 5.0)];
+        let set = sum_refresh_set(&items, 5.0).unwrap();
+        // Two refreshes needed; ties broken by ascending key.
+        assert_eq!(set, vec![Key(0), Key(1)]);
+    }
+
+    #[test]
+    fn max_guarantee_holds_for_random_cases() {
+        // Deterministic pseudo-random micro-fuzz: the planner's guarantee
+        // (answer width <= delta) must hold whatever the exact values are.
+        let mut rng = apcache_core::Rng::seed_from_u64(2024);
+        for case in 0..200 {
+            let n = 1 + (rng.below(8) as usize);
+            let mut items = Vec::new();
+            let mut values = HashMap::new();
+            for i in 0..n {
+                let lo = rng.uniform(-100.0, 100.0);
+                let w = rng.uniform(0.0, 50.0);
+                items.push(item(i as u32, lo, lo + w));
+                values.insert(Key(i as u32), lo + rng.f64() * w);
+            }
+            let delta = rng.uniform(0.0, 30.0);
+            let out = evaluate(
+                AggregateKind::Max,
+                PrecisionConstraint::new(delta).unwrap(),
+                &items,
+                fetcher(&values),
+            )
+            .unwrap();
+            assert!(
+                out.answer.width() <= delta + 1e-9,
+                "case {case}: width {} > delta {delta}",
+                out.answer.width()
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the bounded aggregate planner:
+//! * answers always contain the true aggregate and meet the constraint;
+//! * the SUM refresh set is minimal (checked against brute force);
+//! * AVG is consistent with SUM.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use apcache_core::{Interval, Key};
+use apcache_queries::{evaluate, sum_refresh_set, AggregateKind, ItemBound, PrecisionConstraint};
+
+/// An item: (lo, width, fraction-of-width locating the true exact value).
+fn item_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (-1e6..1e6f64, 0.0..1e4f64, 0.0..=1.0f64)
+}
+
+fn build(items: &[(f64, f64, f64)]) -> (Vec<ItemBound>, HashMap<Key, f64>) {
+    let mut bounds = Vec::new();
+    let mut truth = HashMap::new();
+    for (i, &(lo, w, frac)) in items.iter().enumerate() {
+        let key = Key(i as u32);
+        bounds.push(ItemBound::new(key, Interval::new(lo, lo + w).expect("valid")));
+        truth.insert(key, lo + frac * w);
+    }
+    (bounds, truth)
+}
+
+fn true_aggregate(kind: AggregateKind, truth: &HashMap<Key, f64>, n: usize) -> f64 {
+    let vals: Vec<f64> = (0..n).map(|i| truth[&Key(i as u32)]).collect();
+    match kind {
+        AggregateKind::Sum => vals.iter().sum(),
+        AggregateKind::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggregateKind::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        AggregateKind::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+    }
+}
+
+proptest! {
+    #[test]
+    fn answers_contain_truth_and_meet_constraint(
+        items in proptest::collection::vec(item_strategy(), 1..12),
+        delta in 0.0..1e4f64,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            AggregateKind::Sum,
+            AggregateKind::Max,
+            AggregateKind::Min,
+            AggregateKind::Avg,
+        ][kind_idx];
+        let (bounds, truth) = build(&items);
+        let constraint = PrecisionConstraint::new(delta).unwrap();
+        let out = evaluate(kind, constraint, &bounds, |k| truth[&k]).unwrap();
+        let expected = true_aggregate(kind, &truth, items.len());
+        // Slack for accumulated floating error over sums of ~1e6 values.
+        let slack = 1e-6 * (1.0 + expected.abs());
+        prop_assert!(
+            out.answer.lo() <= expected + slack && expected - slack <= out.answer.hi(),
+            "{kind}: answer {} misses truth {expected}",
+            out.answer
+        );
+        prop_assert!(
+            out.answer.width() <= delta + 1e-6 * (1.0 + delta),
+            "{kind}: width {} exceeds delta {delta}",
+            out.answer.width()
+        );
+        // No duplicate refreshes.
+        let mut seen = out.refreshed.clone();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), out.refreshed.len());
+    }
+
+    #[test]
+    fn sum_refresh_set_is_minimal(
+        widths in proptest::collection::vec(0.0..100.0f64, 1..10),
+        delta in 0.0..300.0f64,
+    ) {
+        let bounds: Vec<ItemBound> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| ItemBound::new(Key(i as u32), Interval::new(0.0, w).unwrap()))
+            .collect();
+        let chosen = sum_refresh_set(&bounds, delta).unwrap();
+        // Validity: the residual meets delta.
+        let residual: f64 = bounds
+            .iter()
+            .filter(|b| !chosen.contains(&b.key))
+            .map(|b| b.interval.width())
+            .sum();
+        prop_assert!(residual <= delta + 1e-9);
+        // Minimality via brute force over all subsets.
+        let n = bounds.len();
+        let mut best = usize::MAX;
+        for mask in 0..(1u32 << n) {
+            let r: f64 = (0..n)
+                .filter(|&i| mask & (1 << i) == 0)
+                .map(|i| widths[i])
+                .sum();
+            if r <= delta {
+                best = best.min(mask.count_ones() as usize);
+            }
+        }
+        prop_assert_eq!(chosen.len(), best);
+    }
+
+    #[test]
+    fn avg_is_sum_scaled(
+        items in proptest::collection::vec(item_strategy(), 1..8),
+        delta in 0.0..1e3f64,
+    ) {
+        let (bounds, truth) = build(&items);
+        let n = items.len() as f64;
+        let avg = evaluate(
+            AggregateKind::Avg,
+            PrecisionConstraint::new(delta).unwrap(),
+            &bounds,
+            |k| truth[&k],
+        )
+        .unwrap();
+        let sum = evaluate(
+            AggregateKind::Sum,
+            PrecisionConstraint::new(delta * n).unwrap(),
+            &bounds,
+            |k| truth[&k],
+        )
+        .unwrap();
+        // Same refresh decisions, scaled answers.
+        prop_assert_eq!(&avg.refreshed, &sum.refreshed);
+        prop_assert!((avg.answer.lo() - sum.answer.lo() / n).abs() < 1e-6 * (1.0 + sum.answer.lo().abs()));
+        prop_assert!((avg.answer.hi() - sum.answer.hi() / n).abs() < 1e-6 * (1.0 + sum.answer.hi().abs()));
+    }
+
+    #[test]
+    fn max_never_fetches_dominated_items(
+        items in proptest::collection::vec(item_strategy(), 2..10),
+    ) {
+        let (bounds, truth) = build(&items);
+        // Find the globally best lower bound.
+        let best_lo = bounds.iter().map(|b| b.interval.lo()).fold(f64::NEG_INFINITY, f64::max);
+        let out = evaluate(
+            AggregateKind::Max,
+            PrecisionConstraint::exact(),
+            &bounds,
+            |k| truth[&k],
+        )
+        .unwrap();
+        // Any item whose hi is strictly below best_lo can never be fetched.
+        for b in &bounds {
+            if b.interval.hi() < best_lo {
+                prop_assert!(
+                    !out.refreshed.contains(&b.key),
+                    "dominated item {} was fetched",
+                    b.key
+                );
+            }
+        }
+        prop_assert!(out.answer.is_exact());
+    }
+}

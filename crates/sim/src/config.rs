@@ -1,0 +1,119 @@
+//! Simulation run configuration.
+
+use crate::error::SimError;
+
+/// Global parameters of a simulation run: how long, how much warm-up to
+/// discard (the paper discards an initial warm-up period in every reported
+/// experiment), and the master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    duration_secs: u64,
+    warmup_secs: u64,
+    seed: u64,
+}
+
+impl SimConfig {
+    /// Start building a configuration. Defaults: two simulated hours
+    /// (7200 s, the paper's trace length), 600 s warm-up, seed 0.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Total simulated duration in seconds.
+    pub fn duration_secs(&self) -> u64 {
+        self.duration_secs
+    }
+
+    /// Warm-up period (statistics discarded) in seconds.
+    pub fn warmup_secs(&self) -> u64 {
+        self.warmup_secs
+    }
+
+    /// Seconds over which statistics are measured.
+    pub fn measured_secs(&self) -> u64 {
+        self.duration_secs - self.warmup_secs
+    }
+
+    /// Master RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    duration_secs: u64,
+    warmup_secs: u64,
+    seed: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder { duration_secs: 7_200, warmup_secs: 600, seed: 0 }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Set the total duration in simulated seconds.
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Set the warm-up period in simulated seconds.
+    pub fn warmup_secs(mut self, secs: u64) -> Self {
+        self.warmup_secs = secs;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        if self.duration_secs == 0 {
+            return Err(SimError::Config("duration must be at least 1 second".into()));
+        }
+        if self.warmup_secs >= self.duration_secs {
+            return Err(SimError::Config(format!(
+                "warmup ({}) must be shorter than the duration ({})",
+                self.warmup_secs, self.duration_secs
+            )));
+        }
+        Ok(SimConfig {
+            duration_secs: self.duration_secs,
+            warmup_secs: self.warmup_secs,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = SimConfig::builder().build().unwrap();
+        assert_eq!(c.duration_secs(), 7_200);
+        assert_eq!(c.warmup_secs(), 600);
+        assert_eq!(c.measured_secs(), 6_600);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(SimConfig::builder().duration_secs(0).build().is_err());
+        assert!(SimConfig::builder().duration_secs(10).warmup_secs(10).build().is_err());
+        assert!(SimConfig::builder().duration_secs(10).warmup_secs(9).build().is_ok());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SimConfig::builder().duration_secs(100).warmup_secs(5).seed(9).build().unwrap();
+        assert_eq!((c.duration_secs(), c.warmup_secs(), c.seed()), (100, 5, 9));
+    }
+}

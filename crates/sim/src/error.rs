@@ -1,0 +1,74 @@
+//! Simulator error type.
+
+use std::fmt;
+
+use apcache_core::error::{ParamError, ProtocolError};
+use apcache_queries::QueryError;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid simulation configuration.
+    Config(String),
+    /// Parameter validation failure from the core crate.
+    Param(ParamError),
+    /// Protocol misuse (source/cache API).
+    Protocol(ProtocolError),
+    /// Query engine failure.
+    Query(QueryError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(m) => write!(f, "invalid simulation config: {m}"),
+            SimError::Param(e) => write!(f, "parameter error: {e}"),
+            SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SimError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(_) => None,
+            SimError::Param(e) => Some(e),
+            SimError::Protocol(e) => Some(e),
+            SimError::Query(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParamError> for SimError {
+    fn from(e: ParamError) -> Self {
+        SimError::Param(e)
+    }
+}
+
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+impl From<QueryError> for SimError {
+    fn from(e: QueryError) -> Self {
+        SimError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SimError = ParamError::InvalidAlpha(-1.0).into();
+        assert!(e.to_string().contains("alpha"));
+        let e: SimError = QueryError::EmptyInput.into();
+        assert!(e.to_string().contains("query"));
+        let e = SimError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

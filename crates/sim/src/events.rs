@@ -1,0 +1,119 @@
+//! Discrete event queue.
+//!
+//! A small binary-heap scheduler with deterministic ordering: events fire
+//! in `(time, class, sequence)` order, so same-timestamp updates always
+//! precede same-timestamp queries, and ties within a class fire in
+//! scheduling order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use apcache_core::TimeMs;
+
+/// Kinds of events the driver schedules. The discriminant doubles as the
+/// same-timestamp priority: updates (0) before queries (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Advance every source process by one second.
+    UpdateTick = 0,
+    /// Execute one query at the cache.
+    Query = 1,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Firing time.
+    pub time: TimeMs,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+type HeapKey = (TimeMs, u8, u64);
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(HeapKey, EventKind)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn schedule(&mut self, time: TimeMs, kind: EventKind) {
+        let class = kind as u8;
+        self.seq += 1;
+        self.heap.push(Reverse(((time, class, self.seq), kind)));
+    }
+
+    /// Pop the next event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(((time, _, _), kind))| Event { time, kind })
+    }
+
+    /// Next firing time without popping.
+    pub fn peek_time(&self) -> Option<TimeMs> {
+        self.heap.peek().map(|Reverse(((time, _, _), _))| *time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3_000, EventKind::Query);
+        q.schedule(1_000, EventKind::UpdateTick);
+        q.schedule(2_000, EventKind::Query);
+        let times: Vec<TimeMs> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn updates_before_queries_at_same_time() {
+        let mut q = EventQueue::new();
+        q.schedule(1_000, EventKind::Query);
+        q.schedule(1_000, EventKind::UpdateTick);
+        assert_eq!(q.pop().unwrap().kind, EventKind::UpdateTick);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Query);
+    }
+
+    #[test]
+    fn same_class_fires_in_scheduling_order() {
+        // Two queries at the same instant: FIFO by sequence number.
+        let mut q = EventQueue::new();
+        q.schedule(1_000, EventKind::Query);
+        q.schedule(1_000, EventKind::Query);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().time, 1_000);
+        assert_eq!(q.pop().unwrap().time, 1_000);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(5_000, EventKind::UpdateTick);
+        assert_eq!(q.peek_time(), Some(5_000));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+}

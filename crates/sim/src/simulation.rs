@@ -1,0 +1,280 @@
+//! The simulation driver.
+//!
+//! Owns the clock, the event queue, the value processes, and the query
+//! generator; routes updates and queries into the system under test and
+//! accounts costs in [`Stats`]. Updates fire every simulated second
+//! (paper: "exact values are updated every time unit (which we set to be
+//! one second)"); queries fire every `T_q` seconds. A value process
+//! returning an unchanged value generates no update event.
+
+use apcache_core::{Key, TimeMs, MS_PER_SEC};
+use apcache_workload::query::QueryGenerator;
+use apcache_workload::walk::ValueProcess;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::events::{EventKind, EventQueue};
+use crate::stats::{Recorder, Stats};
+use crate::system::CacheSystem;
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct Report<S> {
+    /// Cost statistics over the measured (post-warm-up) span.
+    pub stats: Stats,
+    /// Time-series recording, when one was requested.
+    pub recorder: Option<Recorder>,
+    /// The system in its final state, for inspection (e.g. converged
+    /// interval widths).
+    pub system: S,
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation<S> {
+    cfg: SimConfig,
+    system: S,
+    processes: Vec<Box<dyn ValueProcess>>,
+    prev_values: Vec<f64>,
+    query_gen: QueryGenerator,
+    query_period_ms: TimeMs,
+    recorder: Option<Recorder>,
+}
+
+impl<S: CacheSystem> Simulation<S> {
+    /// Assemble a simulation. `processes[i]` drives the value of `Key(i)`.
+    pub fn new(
+        cfg: SimConfig,
+        system: S,
+        processes: Vec<Box<dyn ValueProcess>>,
+        query_gen: QueryGenerator,
+    ) -> Result<Self, SimError> {
+        if processes.is_empty() {
+            return Err(SimError::Config("at least one value process is required".into()));
+        }
+        let period_secs = query_gen.config().period_secs;
+        let query_period_ms = (period_secs * MS_PER_SEC as f64).round() as TimeMs;
+        if query_period_ms == 0 {
+            return Err(SimError::Config(format!(
+                "query period {period_secs}s rounds to zero milliseconds"
+            )));
+        }
+        let prev_values = processes.iter().map(|p| p.value()).collect();
+        Ok(Simulation {
+            cfg,
+            system,
+            processes,
+            prev_values,
+            query_gen,
+            query_period_ms,
+            recorder: None,
+        })
+    }
+
+    /// Attach a time-series recorder watching `key`.
+    pub fn with_recorder(mut self, key: Key) -> Self {
+        self.recorder = Some(Recorder::new(key));
+        self
+    }
+
+    /// Number of sources.
+    pub fn n_sources(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> Result<Report<S>, SimError> {
+        let end_ms = self.cfg.duration_secs() * MS_PER_SEC;
+        let warmup_ms = self.cfg.warmup_secs() * MS_PER_SEC;
+        let mut stats = Stats::new();
+        let mut queue = EventQueue::new();
+        queue.schedule(MS_PER_SEC, EventKind::UpdateTick);
+        queue.schedule(self.query_period_ms, EventKind::Query);
+
+        while let Some(event) = queue.pop() {
+            if event.time > end_ms {
+                break;
+            }
+            if !stats.is_measuring() && event.time > warmup_ms {
+                stats.begin_measurement();
+            }
+            match event.kind {
+                EventKind::UpdateTick => {
+                    self.update_tick(event.time, &mut stats)?;
+                    if event.time + MS_PER_SEC <= end_ms {
+                        queue.schedule(event.time + MS_PER_SEC, EventKind::UpdateTick);
+                    }
+                }
+                EventKind::Query => {
+                    let query = self.query_gen.next_query();
+                    self.system.on_query(&query, event.time, &mut stats)?;
+                    stats.record_query();
+                    if event.time + self.query_period_ms <= end_ms {
+                        queue.schedule(event.time + self.query_period_ms, EventKind::Query);
+                    }
+                }
+            }
+        }
+
+        stats.finalize(self.cfg.measured_secs() as f64);
+        Ok(Report { stats, recorder: self.recorder, system: self.system })
+    }
+
+    /// Advance every process one second; deliver updates for values that
+    /// actually changed; feed the recorder.
+    fn update_tick(&mut self, now: TimeMs, stats: &mut Stats) -> Result<(), SimError> {
+        for (i, process) in self.processes.iter_mut().enumerate() {
+            let value = process.step();
+            if value != self.prev_values[i] {
+                self.prev_values[i] = value;
+                stats.record_update();
+                self.system.on_update(Key(i as u32), value, now, stats)?;
+            }
+        }
+        if let Some(recorder) = &mut self.recorder {
+            let key = recorder.key();
+            let value = self.prev_values[key.0 as usize];
+            let interval = self.system.interval_of(key, now);
+            recorder.record(now, value, interval);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_core::Interval;
+    use apcache_workload::query::{GeneratedQuery, KindMix, QueryConfig};
+    use apcache_workload::walk::ConstantProcess;
+    use apcache_workload::RandomWalk;
+    use apcache_workload::WalkConfig;
+
+    /// A probe system that just counts calls.
+    #[derive(Debug, Default)]
+    struct Probe {
+        updates: usize,
+        queries: usize,
+        last_update_time: TimeMs,
+    }
+
+    impl CacheSystem for Probe {
+        fn on_update(
+            &mut self,
+            _key: Key,
+            _value: f64,
+            now: TimeMs,
+            _stats: &mut Stats,
+        ) -> Result<(), SimError> {
+            self.updates += 1;
+            self.last_update_time = now;
+            Ok(())
+        }
+
+        fn on_query(
+            &mut self,
+            _query: &GeneratedQuery,
+            _now: TimeMs,
+            stats: &mut Stats,
+        ) -> Result<crate::system::QuerySummary, SimError> {
+            self.queries += 1;
+            stats.record_qr(2.0);
+            Ok(crate::system::QuerySummary { answer: None, refreshes: 1 })
+        }
+
+        fn interval_of(&self, _key: Key, _now: TimeMs) -> Option<Interval> {
+            Some(Interval::new(0.0, 1.0).unwrap())
+        }
+    }
+
+    fn query_gen(period: f64, n: usize) -> QueryGenerator {
+        let cfg = QueryConfig {
+            period_secs: period,
+            fanout: 1,
+            delta_avg: 10.0,
+            delta_rho: 0.0,
+            kind_mix: KindMix::SumOnly,
+        };
+        QueryGenerator::new(cfg, n, apcache_core::Rng::seed_from_u64(1)).unwrap()
+    }
+
+    fn walk(seed: u64) -> Box<dyn ValueProcess> {
+        Box::new(RandomWalk::seeded(WalkConfig::paper_default(), seed).unwrap())
+    }
+
+    #[test]
+    fn event_counts_match_schedule() {
+        let cfg = SimConfig::builder().duration_secs(100).warmup_secs(10).build().unwrap();
+        let sim = Simulation::new(cfg, Probe::default(), vec![walk(1)], query_gen(2.0, 1))
+            .unwrap();
+        let report = sim.run().unwrap();
+        // A random walk changes every second: 100 update ticks.
+        assert_eq!(report.system.updates, 100);
+        // Queries at t = 2, 4, ..., 100 → 50.
+        assert_eq!(report.system.queries, 50);
+        // Stats measured only post-warm-up: 45 queries in (10, 100].
+        assert_eq!(report.stats.qr_count(), 45);
+        assert_eq!(report.stats.measured_secs(), 90.0);
+        assert!((report.stats.cost_rate() - 45.0 * 2.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_processes_generate_no_updates() {
+        let cfg = SimConfig::builder().duration_secs(50).warmup_secs(1).build().unwrap();
+        let sim = Simulation::new(
+            cfg,
+            Probe::default(),
+            vec![Box::new(ConstantProcess(5.0))],
+            query_gen(1.0, 1),
+        )
+        .unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.system.updates, 0);
+        assert_eq!(report.stats.update_count(), 0);
+    }
+
+    #[test]
+    fn sub_second_query_periods() {
+        let cfg = SimConfig::builder().duration_secs(10).warmup_secs(1).build().unwrap();
+        let sim = Simulation::new(cfg, Probe::default(), vec![walk(3)], query_gen(0.5, 1))
+            .unwrap();
+        let report = sim.run().unwrap();
+        // Queries at 0.5, 1.0, ..., 10.0 → 20.
+        assert_eq!(report.system.queries, 20);
+    }
+
+    #[test]
+    fn recorder_samples_every_second() {
+        let cfg = SimConfig::builder().duration_secs(30).warmup_secs(1).build().unwrap();
+        let sim = Simulation::new(cfg, Probe::default(), vec![walk(4)], query_gen(1.0, 1))
+            .unwrap()
+            .with_recorder(Key(0));
+        let report = sim.run().unwrap();
+        let samples = report.recorder.unwrap();
+        assert_eq!(samples.samples().len(), 30);
+        assert_eq!(samples.samples()[0].t_secs, 1);
+        assert_eq!(samples.samples()[29].t_secs, 30);
+        // The probe always reports [0,1].
+        assert_eq!(samples.samples()[0].lo, 0.0);
+    }
+
+    #[test]
+    fn empty_process_list_rejected() {
+        let cfg = SimConfig::builder().duration_secs(10).warmup_secs(1).build().unwrap();
+        assert!(Simulation::new(cfg, Probe::default(), vec![], query_gen(1.0, 1)).is_err());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mk = || {
+            let cfg = SimConfig::builder().duration_secs(200).warmup_secs(20).build().unwrap();
+            Simulation::new(cfg, Probe::default(), vec![walk(9)], query_gen(1.0, 1))
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.stats.qr_count(), b.stats.qr_count());
+        assert_eq!(a.system.updates, b.system.updates);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cost statistics and time-series recording.
+
+use apcache_core::{Interval, Key, TimeMs, MS_PER_SEC};
+
+/// Refresh and cost counters for one simulation run.
+///
+/// Counters only accumulate while measurement is enabled; the driver turns
+/// it on once the warm-up period has elapsed, matching the paper's
+/// "measurements taken during an initial warm-up period were discarded".
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    measuring: bool,
+    measured_secs: f64,
+    vr_count: u64,
+    qr_count: u64,
+    vr_cost: f64,
+    qr_cost: f64,
+    query_count: u64,
+    update_count: u64,
+}
+
+impl Stats {
+    /// Fresh, non-measuring statistics.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Enable measurement (called by the driver at the warm-up boundary).
+    pub fn begin_measurement(&mut self) {
+        self.measuring = true;
+    }
+
+    /// Whether measurement is currently enabled.
+    pub fn is_measuring(&self) -> bool {
+        self.measuring
+    }
+
+    /// Record the measured wall-clock span (called once by the driver).
+    pub fn finalize(&mut self, measured_secs: f64) {
+        self.measured_secs = measured_secs;
+    }
+
+    /// Record one value-initiated refresh of the given cost.
+    pub fn record_vr(&mut self, cost: f64) {
+        if self.measuring {
+            self.vr_count += 1;
+            self.vr_cost += cost;
+        }
+    }
+
+    /// Record one query-initiated refresh of the given cost.
+    pub fn record_qr(&mut self, cost: f64) {
+        if self.measuring {
+            self.qr_count += 1;
+            self.qr_cost += cost;
+        }
+    }
+
+    /// Record one executed query.
+    pub fn record_query(&mut self) {
+        if self.measuring {
+            self.query_count += 1;
+        }
+    }
+
+    /// Record one source update (a value actually changing).
+    pub fn record_update(&mut self) {
+        if self.measuring {
+            self.update_count += 1;
+        }
+    }
+
+    /// Number of value-initiated refreshes measured.
+    pub fn vr_count(&self) -> u64 {
+        self.vr_count
+    }
+
+    /// Number of query-initiated refreshes measured.
+    pub fn qr_count(&self) -> u64 {
+        self.qr_count
+    }
+
+    /// Number of queries measured.
+    pub fn query_count(&self) -> u64 {
+        self.query_count
+    }
+
+    /// Number of source updates measured.
+    pub fn update_count(&self) -> u64 {
+        self.update_count
+    }
+
+    /// Total cost of all measured refreshes.
+    pub fn total_cost(&self) -> f64 {
+        self.vr_cost + self.qr_cost
+    }
+
+    /// Measured span in seconds.
+    pub fn measured_secs(&self) -> f64 {
+        self.measured_secs
+    }
+
+    /// The paper's objective: average cost rate `Ω` per simulated second.
+    pub fn cost_rate(&self) -> f64 {
+        if self.measured_secs > 0.0 {
+            self.total_cost() / self.measured_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Measured value-initiated refresh rate per second (`P_vr` when the
+    /// run has a single source, as in the Figure 3 experiment).
+    pub fn p_vr(&self) -> f64 {
+        if self.measured_secs > 0.0 {
+            self.vr_count as f64 / self.measured_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Measured query-initiated refresh rate per second.
+    pub fn p_qr(&self) -> f64 {
+        if self.measured_secs > 0.0 {
+            self.qr_count as f64 / self.measured_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One recorded (time, value, interval) sample for the Figure 4/5 style
+/// time-series plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecorderSample {
+    /// Simulated time in seconds.
+    pub t_secs: u64,
+    /// Exact source value at that time.
+    pub value: f64,
+    /// Cached interval lower bound (NaN when uncached).
+    pub lo: f64,
+    /// Cached interval upper bound (NaN when uncached).
+    pub hi: f64,
+}
+
+/// Records the exact value and cached interval of one key every second.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    key: Key,
+    samples: Vec<RecorderSample>,
+}
+
+impl Recorder {
+    /// Create a recorder watching `key`.
+    pub fn new(key: Key) -> Self {
+        Recorder { key, samples: Vec::new() }
+    }
+
+    /// The watched key.
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// Append a sample (driver API).
+    pub fn record(&mut self, now: TimeMs, value: f64, interval: Option<Interval>) {
+        let (lo, hi) = match interval {
+            Some(iv) => (iv.lo(), iv.hi()),
+            None => (f64::NAN, f64::NAN),
+        };
+        self.samples.push(RecorderSample { t_secs: now / MS_PER_SEC, value, lo, hi });
+    }
+
+    /// All recorded samples in time order.
+    pub fn samples(&self) -> &[RecorderSample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_discards_events() {
+        let mut s = Stats::new();
+        s.record_vr(1.0);
+        s.record_qr(2.0);
+        s.record_query();
+        assert_eq!(s.vr_count(), 0);
+        assert_eq!(s.total_cost(), 0.0);
+        s.begin_measurement();
+        s.record_vr(1.0);
+        s.record_qr(2.0);
+        s.record_query();
+        s.record_update();
+        assert_eq!(s.vr_count(), 1);
+        assert_eq!(s.qr_count(), 1);
+        assert_eq!(s.query_count(), 1);
+        assert_eq!(s.update_count(), 1);
+        assert_eq!(s.total_cost(), 3.0);
+    }
+
+    #[test]
+    fn rates_divide_by_measured_span() {
+        let mut s = Stats::new();
+        s.begin_measurement();
+        for _ in 0..10 {
+            s.record_vr(1.0);
+        }
+        for _ in 0..5 {
+            s.record_qr(2.0);
+        }
+        s.finalize(100.0);
+        assert!((s.cost_rate() - 0.2).abs() < 1e-12);
+        assert!((s.p_vr() - 0.1).abs() < 1e-12);
+        assert!((s.p_qr() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_rates_are_zero() {
+        let s = Stats::new();
+        assert_eq!(s.cost_rate(), 0.0);
+        assert_eq!(s.p_vr(), 0.0);
+    }
+
+    #[test]
+    fn recorder_tracks_intervals_and_gaps() {
+        let mut r = Recorder::new(Key(3));
+        r.record(5_000, 10.0, Some(Interval::new(8.0, 12.0).unwrap()));
+        r.record(6_000, 11.0, None);
+        let s = r.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].t_secs, 5);
+        assert_eq!((s[0].lo, s[0].hi), (8.0, 12.0));
+        assert!(s[1].lo.is_nan());
+        assert_eq!(r.key(), Key(3));
+    }
+}

@@ -1,0 +1,49 @@
+//! The caching-system abstraction the simulator drives.
+
+use apcache_core::{Interval, Key, TimeMs};
+use apcache_workload::query::GeneratedQuery;
+
+use crate::error::SimError;
+use crate::stats::Stats;
+
+/// Summary of one executed query, for assertions and reporting.
+#[derive(Debug, Clone)]
+pub struct QuerySummary {
+    /// The answer interval (absent for systems that don't produce interval
+    /// answers, e.g. exact caching returns points).
+    pub answer: Option<Interval>,
+    /// Number of query-initiated refreshes / remote reads the query caused.
+    pub refreshes: usize,
+}
+
+/// A caching system under evaluation: the paper's adaptive-interval scheme,
+/// WJH97 exact caching, HSW94 divergence caching, or anything else that can
+/// respond to value updates and cache-side queries.
+///
+/// The driver owns the value processes and the query generator; systems own
+/// everything protocol-side (source registries, caches, counters). All
+/// refresh costs must be recorded through `stats` so every system is scored
+/// identically.
+pub trait CacheSystem: Send {
+    /// The value of source `key` changed to `value` at time `now`.
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError>;
+
+    /// Execute a query at the cache at time `now`.
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError>;
+
+    /// The interval the cache currently holds for `key` (for time-series
+    /// recording); `None` when the key is uncached or the system has no
+    /// interval representation.
+    fn interval_of(&self, key: Key, now: TimeMs) -> Option<Interval>;
+}

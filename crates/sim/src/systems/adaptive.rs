@@ -1,0 +1,527 @@
+//! The paper's adaptive-interval caching system, wired for the simulator.
+
+use apcache_core::cache::Cache;
+use apcache_core::cost::CostModel;
+use apcache_core::error::ProtocolError;
+use apcache_core::policy::{
+    AdaptiveParams, AdaptivePolicy, DriftingPolicy, FixedWidthPolicy, GrowthLaw, HistoryPolicy,
+    PrecisionPolicy, TimeVaryingPolicy, UncenteredPolicy, Weighting,
+};
+use apcache_core::source::Source;
+use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
+use apcache_queries::{evaluate, ItemBound, PrecisionConstraint};
+use apcache_workload::query::{GeneratedQuery, QueryConfig};
+use apcache_workload::trace::TraceSet;
+use apcache_workload::walk::{RandomWalk, ValueProcess, WalkConfig};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::simulation::Simulation;
+use crate::stats::Stats;
+use crate::system::{CacheSystem, QuerySummary};
+
+/// The single cache of the paper's simulation environment.
+pub const THE_CACHE: CacheId = CacheId(0);
+
+/// How the starting interval width of each approximation is chosen.
+/// Convergence is insensitive to this (the policy adapts multiplicatively),
+/// which `tests/convergence.rs` verifies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitialWidth {
+    /// The same fixed width for every value.
+    Fixed(f64),
+    /// `max(|value|·frac, floor)` — scales with the data.
+    Relative {
+        /// Fraction of the initial value magnitude.
+        frac: f64,
+        /// Lower bound so zero-valued sources still get a usable width.
+        floor: f64,
+    },
+}
+
+impl InitialWidth {
+    /// The width to start with for a source whose initial value is `v`.
+    pub fn for_value(&self, v: f64) -> f64 {
+        match *self {
+            InitialWidth::Fixed(w) => w,
+            InitialWidth::Relative { frac, floor } => (v.abs() * frac).max(floor),
+        }
+    }
+}
+
+/// Which precision policy each source runs (paper Section 2, plus the
+/// Section 4.5 variants for the ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's algorithm: centered constant intervals.
+    Adaptive,
+    /// Independently adjusted upper/lower widths (Section 4.5).
+    Uncentered,
+    /// Intervals that widen with age (Section 4.5).
+    TimeVarying(GrowthLaw),
+    /// Intervals with linearly drifting endpoints (Section 4.5, for
+    /// biased data).
+    Drifting {
+        /// Expected drift of the data in value units per second.
+        rate_per_sec: f64,
+    },
+    /// Majority vote over the last `r` refreshes (Section 4.5).
+    History {
+        /// Window size.
+        r: usize,
+        /// Vote weighting.
+        weighting: Weighting,
+    },
+    /// Non-adaptive fixed width (the Figure 3 sweep).
+    Fixed {
+        /// The constant interval width.
+        width: f64,
+    },
+}
+
+/// Configuration of the adaptive-interval system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSystemConfig {
+    /// Refresh costs (determines the cost factor θ).
+    pub cost: CostModel,
+    /// Adaptivity parameter α.
+    pub alpha: f64,
+    /// Lower threshold γ0 (widths below snap to exact).
+    pub gamma0: f64,
+    /// Upper threshold γ1 (widths at/above snap to uncached).
+    pub gamma1: f64,
+    /// Cache capacity κ; `None` caches every source (κ = n).
+    pub cache_capacity: Option<usize>,
+    /// Initial interval widths.
+    pub initial_width: InitialWidth,
+    /// Which policy variant runs at the sources.
+    pub policy: PolicyKind,
+}
+
+impl Default for AdaptiveSystemConfig {
+    fn default() -> Self {
+        AdaptiveSystemConfig {
+            cost: CostModel::multiversion(),
+            alpha: 1.0,
+            gamma0: 0.0,
+            gamma1: f64::INFINITY,
+            cache_capacity: None,
+            initial_width: InitialWidth::Relative { frac: 0.1, floor: 1.0 },
+            policy: PolicyKind::Adaptive,
+        }
+    }
+}
+
+impl AdaptiveSystemConfig {
+    /// Build the policy instance for one source.
+    fn make_policy(&self, initial_value: f64) -> Result<Box<dyn PrecisionPolicy>, SimError> {
+        let w0 = self.initial_width.for_value(initial_value);
+        let params = AdaptiveParams::new(&self.cost, self.alpha)?
+            .with_thresholds(self.gamma0, self.gamma1)?;
+        Ok(match self.policy {
+            PolicyKind::Adaptive => Box::new(AdaptivePolicy::new(params, w0)?),
+            PolicyKind::Uncentered => Box::new(UncenteredPolicy::new(params, w0)?),
+            PolicyKind::TimeVarying(law) => Box::new(TimeVaryingPolicy::new(params, w0, law)?),
+            PolicyKind::Drifting { rate_per_sec } => {
+                Box::new(DriftingPolicy::new(params, w0, rate_per_sec)?)
+            }
+            PolicyKind::History { r, weighting } => {
+                Box::new(HistoryPolicy::new(params, w0, r, weighting)?)
+            }
+            PolicyKind::Fixed { width } => Box::new(FixedWidthPolicy::new(width)?),
+        })
+    }
+}
+
+/// The paper's system: sources with precision policies, one bounded cache,
+/// queries answered by the OW00 engine.
+#[derive(Debug)]
+pub struct AdaptiveSystem {
+    cost: CostModel,
+    sources: Vec<Source>,
+    cache: Cache,
+    rng: Rng,
+}
+
+impl AdaptiveSystem {
+    /// Assemble the system for sources with the given initial values.
+    pub fn new(
+        cfg: &AdaptiveSystemConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        if initial_values.is_empty() {
+            return Err(SimError::Config("at least one source required".into()));
+        }
+        let mut cache = match cfg.cache_capacity {
+            Some(k) => Cache::new(THE_CACHE, k)?,
+            None => Cache::unbounded(THE_CACHE),
+        };
+        let mut sources = Vec::with_capacity(initial_values.len());
+        for (i, &v) in initial_values.iter().enumerate() {
+            let mut source = Source::new(Key(i as u32), v)?;
+            let policy = cfg.make_policy(v)?;
+            let refresh = source.register(THE_CACHE, policy, 0)?;
+            // Initial installation flows through the normal admission
+            // logic; with κ < n the cache starts with the first κ entries
+            // and converges from there.
+            cache.apply_refresh(refresh);
+            sources.push(source);
+        }
+        Ok(AdaptiveSystem { cost: cfg.cost, sources, cache, rng: rng.fork() })
+    }
+
+    /// The source policy's internal width for `key` (e.g. the converged
+    /// width after a Figure 3 run).
+    pub fn internal_width_of(&self, key: Key) -> Option<f64> {
+        self.sources.get(key.0 as usize)?.internal_width_for(THE_CACHE)
+    }
+
+    /// The current exact value at the source for `key`.
+    pub fn source_value(&self, key: Key) -> Option<f64> {
+        self.sources.get(key.0 as usize).map(|s| s.value())
+    }
+
+    /// Number of entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether `key` is currently cached.
+    pub fn is_cached(&self, key: Key) -> bool {
+        self.cache.contains(key)
+    }
+}
+
+impl CacheSystem for AdaptiveSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let source = self
+            .sources
+            .get_mut(key.0 as usize)
+            .ok_or(ProtocolError::NotRegistered(THE_CACHE))?;
+        for (_, refresh) in source.apply_update(value, now, &mut self.rng)? {
+            stats.record_vr(self.cost.c_vr());
+            self.cache.apply_refresh(refresh);
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let items: Vec<ItemBound> = query
+            .keys
+            .iter()
+            .map(|&k| {
+                ItemBound::new(
+                    k,
+                    self.cache.interval_at(k, now).unwrap_or_else(Interval::unbounded),
+                )
+            })
+            .collect();
+        let constraint = PrecisionConstraint::new(query.delta)?;
+        // Split borrows so the fetch closure can reach sources, cache, RNG
+        // and stats while `items` stays shared.
+        let sources = &mut self.sources;
+        let cache = &mut self.cache;
+        let rng = &mut self.rng;
+        let cost = self.cost;
+        let mut protocol_error: Option<ProtocolError> = None;
+        let outcome = evaluate(query.kind, constraint, &items, |k| {
+            let Some(source) = sources.get_mut(k.0 as usize) else {
+                protocol_error = Some(ProtocolError::NotRegistered(THE_CACHE));
+                return f64::NAN;
+            };
+            match source.serve_exact(THE_CACHE, now, rng) {
+                Ok(resp) => {
+                    stats.record_qr(cost.c_qr());
+                    cache.apply_refresh(resp.refresh);
+                    resp.value
+                }
+                Err(e) => {
+                    protocol_error = Some(e);
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(e) = protocol_error {
+            return Err(e.into());
+        }
+        let outcome = outcome?;
+        Ok(QuerySummary { answer: Some(outcome.answer), refreshes: outcome.refreshed.len() })
+    }
+
+    fn interval_of(&self, key: Key, now: TimeMs) -> Option<Interval> {
+        self.cache.interval_at(key, now)
+    }
+}
+
+/// The data side of an experiment: what the source values do.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// `n` independent random walks with the given configuration.
+    RandomWalks {
+        /// Number of sources.
+        n: usize,
+        /// Walk parameters.
+        cfg: WalkConfig,
+    },
+    /// Replay a trace set (one source per host).
+    Trace(TraceSet),
+}
+
+impl WorkloadSpec {
+    /// `n` independent random walks.
+    pub fn random_walks(n: usize, cfg: WalkConfig) -> Self {
+        WorkloadSpec::RandomWalks { n, cfg }
+    }
+
+    /// Replay the given traces.
+    pub fn trace(set: TraceSet) -> Self {
+        WorkloadSpec::Trace(set)
+    }
+
+    /// Number of sources this workload drives.
+    pub fn n_sources(&self) -> usize {
+        match self {
+            WorkloadSpec::RandomWalks { n, .. } => *n,
+            WorkloadSpec::Trace(set) => set.n_hosts(),
+        }
+    }
+
+    /// Materialize the value processes, drawing per-process RNG streams
+    /// from `rng`.
+    pub fn build_processes(
+        &self,
+        rng: &mut Rng,
+    ) -> Result<Vec<Box<dyn ValueProcess>>, SimError> {
+        match self {
+            WorkloadSpec::RandomWalks { n, cfg } => {
+                if *n == 0 {
+                    return Err(SimError::Config("need at least one walk".into()));
+                }
+                let mut out: Vec<Box<dyn ValueProcess>> = Vec::with_capacity(*n);
+                for _ in 0..*n {
+                    out.push(Box::new(RandomWalk::new(*cfg, rng.fork())?));
+                }
+                Ok(out)
+            }
+            WorkloadSpec::Trace(set) => {
+                Ok((0..set.n_hosts()).map(|h| Box::new(set.process(h)) as _).collect())
+            }
+        }
+    }
+}
+
+/// Assemble a full simulation of the paper's system: workload → sources
+/// with policies → cache → query load. RNG streams are forked from the
+/// master seed in a fixed order so runs are bit-reproducible.
+pub fn build_adaptive_simulation(
+    sim_cfg: &SimConfig,
+    sys_cfg: &AdaptiveSystemConfig,
+    workload: WorkloadSpec,
+    queries: QueryConfig,
+) -> Result<Simulation<AdaptiveSystem>, SimError> {
+    let mut master = Rng::seed_from_u64(sim_cfg.seed());
+    let processes = workload.build_processes(&mut master)?;
+    let initial_values: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = AdaptiveSystem::new(sys_cfg, &initial_values, master.fork())?;
+    let query_gen = apcache_workload::query::QueryGenerator::new(
+        queries,
+        initial_values.len(),
+        master.fork(),
+    )?;
+    Simulation::new(*sim_cfg, system, processes, query_gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_workload::query::KindMix;
+
+    fn quick_sim_cfg() -> SimConfig {
+        SimConfig::builder().duration_secs(300).warmup_secs(50).seed(11).build().unwrap()
+    }
+
+    fn quick_queries(period: f64, fanout: usize, delta_avg: f64) -> QueryConfig {
+        QueryConfig {
+            period_secs: period,
+            fanout,
+            delta_avg,
+            delta_rho: 1.0,
+            kind_mix: KindMix::SumOnly,
+        }
+    }
+
+    #[test]
+    fn initial_width_modes() {
+        assert_eq!(InitialWidth::Fixed(3.0).for_value(100.0), 3.0);
+        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(100.0), 10.0);
+        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(0.0), 1.0);
+        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(-200.0), 20.0);
+    }
+
+    #[test]
+    fn single_walk_run_produces_both_refresh_kinds() {
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &AdaptiveSystemConfig {
+                initial_width: InitialWidth::Fixed(5.0),
+                ..AdaptiveSystemConfig::default()
+            },
+            WorkloadSpec::random_walks(1, WalkConfig::paper_default()),
+            quick_queries(2.0, 1, 20.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.stats.vr_count() > 0, "no value-initiated refreshes");
+        assert!(report.stats.qr_count() > 0, "no query-initiated refreshes");
+        assert!(report.stats.cost_rate() > 0.0);
+        // The adaptive width stays positive and finite.
+        let w = report.system.internal_width_of(Key(0)).unwrap();
+        assert!(w.is_finite() && w > 0.0);
+    }
+
+    #[test]
+    fn exact_caching_special_case_has_zero_or_infinite_widths() {
+        // γ1 = γ0: every cached interval must be a point (or absent).
+        let cfg = AdaptiveSystemConfig {
+            gamma0: 1.0,
+            gamma1: 1.0,
+            ..AdaptiveSystemConfig::default()
+        };
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &cfg,
+            WorkloadSpec::random_walks(4, WalkConfig::paper_default()),
+            quick_queries(1.0, 2, 10.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let system = &report.system;
+        for k in 0..4 {
+            if let Some(iv) = system.interval_of(Key(k), 300_000) {
+                let w = iv.width();
+                assert!(w == 0.0 || w.is_infinite(), "width {w} violates γ1=γ0");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_limits_cached_entries() {
+        let cfg = AdaptiveSystemConfig {
+            cache_capacity: Some(3),
+            ..AdaptiveSystemConfig::default()
+        };
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &cfg,
+            WorkloadSpec::random_walks(10, WalkConfig::paper_default()),
+            quick_queries(1.0, 5, 50.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.system.cached_entries() <= 3);
+    }
+
+    #[test]
+    fn queries_meet_their_constraints() {
+        // Smoke-check through the full stack: run with a tight constraint
+        // and make sure the system doesn't blow up; the planner guarantee
+        // is separately unit-tested.
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &AdaptiveSystemConfig::default(),
+            WorkloadSpec::random_walks(5, WalkConfig::paper_default()),
+            quick_queries(1.0, 3, 1.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.stats.qr_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg =
+                SimConfig::builder().duration_secs(200).warmup_secs(20).seed(seed).build().unwrap();
+            build_adaptive_simulation(
+                &cfg,
+                &AdaptiveSystemConfig::default(),
+                WorkloadSpec::random_walks(3, WalkConfig::paper_default()),
+                quick_queries(1.0, 2, 15.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.stats.vr_count(), b.stats.vr_count());
+        assert_eq!(a.stats.qr_count(), b.stats.qr_count());
+        assert_eq!(a.stats.total_cost(), b.stats.total_cost());
+        let c = run(6);
+        // Different seed should (virtually always) differ.
+        assert_ne!(
+            (a.stats.vr_count(), a.stats.qr_count()),
+            (c.stats.vr_count(), c.stats.qr_count())
+        );
+    }
+
+    #[test]
+    fn policy_variants_all_run() {
+        for policy in [
+            PolicyKind::Adaptive,
+            PolicyKind::Uncentered,
+            PolicyKind::TimeVarying(GrowthLaw::sqrt(1.0).unwrap()),
+            PolicyKind::Drifting { rate_per_sec: 0.5 },
+            PolicyKind::History { r: 3, weighting: Weighting::Uniform },
+            PolicyKind::Fixed { width: 10.0 },
+        ] {
+            let cfg = AdaptiveSystemConfig { policy, ..AdaptiveSystemConfig::default() };
+            let report = build_adaptive_simulation(
+                &quick_sim_cfg(),
+                &cfg,
+                WorkloadSpec::random_walks(2, WalkConfig::paper_default()),
+                quick_queries(1.0, 2, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert!(report.stats.cost_rate() >= 0.0, "policy {policy:?} failed");
+        }
+    }
+
+    #[test]
+    fn trace_workload_runs() {
+        let set = apcache_workload::trace::TraceSet::generate(
+            &apcache_workload::trace::TraceConfig::small(),
+            3,
+        )
+        .unwrap();
+        let n = set.n_hosts();
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &AdaptiveSystemConfig::default(),
+            WorkloadSpec::trace(set),
+            quick_queries(1.0, n.min(10), 100_000.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.stats.query_count() > 0);
+    }
+}

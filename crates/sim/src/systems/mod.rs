@@ -1,0 +1,18 @@
+//! Concrete caching systems.
+//!
+//! [`AdaptiveSystem`] is the paper's contribution assembled from
+//! `apcache-core` parts: sources running a precision policy per cached
+//! value, a widest-first-eviction cache, and the OW00 bounded-aggregate
+//! engine answering queries. The baselines crate provides additional
+//! implementations of [`crate::system::CacheSystem`].
+
+mod adaptive;
+
+pub use adaptive::{
+    build_adaptive_simulation, AdaptiveSystem, AdaptiveSystemConfig, InitialWidth, PolicyKind,
+    WorkloadSpec,
+};
+
+/// Query workload specification (re-export of the workload crate's config:
+/// period, fanout, constraint distribution, aggregate mix).
+pub use apcache_workload::query::QueryConfig as QuerySpec;

@@ -1,0 +1,26 @@
+//! # apcache-workload
+//!
+//! Workload generators for the SIGMOD 2001 evaluation:
+//!
+//! * [`walk`] — one-dimensional random walks (the synthetic data of
+//!   Section 4.2: every second the value moves by ±U\[0.5, 1.5\]), plus
+//!   biased variants used by the Section 4.5 ablations;
+//! * [`trace`] — synthetic wide-area network traffic traces standing in
+//!   for the Paxson–Floyd \[PF95\] data of Section 4.3 (self-similar ON/OFF
+//!   construction, 1-minute moving-window averages per second, 50 hosts,
+//!   two hours), with CSV import/export so real traces can be substituted;
+//! * [`query`] — the query workload of Section 4.1: every `T_q` seconds a
+//!   SUM or MAX over 10 randomly chosen sources with a precision
+//!   constraint drawn uniformly from `[δ_avg(1−ρ), δ_avg(1+ρ)]`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod query;
+pub mod trace;
+pub mod walk;
+
+pub use query::{GeneratedQuery, KindMix, QueryConfig, QueryGenerator};
+pub use trace::{TraceConfig, TraceError, TraceSet};
+pub use walk::{ConstantProcess, RandomWalk, TraceProcess, ValueProcess, WalkConfig};

@@ -1,0 +1,248 @@
+//! Bounded-aggregate query workload generation (paper, Section 4.1).
+//!
+//! Every `T_q` seconds a query asks for the SUM or MAX of a set of
+//! approximate values (10 randomly selected sources in the trace
+//! experiments), accompanied by a precision constraint `δ` sampled
+//! uniformly from `[δ_min, δ_max] = [δ_avg(1−ρ), δ_avg(1+ρ)]`.
+
+use apcache_core::error::ParamError;
+use apcache_core::{Key, Rng};
+use apcache_queries::AggregateKind;
+
+/// Which aggregate kinds the workload issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindMix {
+    /// Only SUM queries (most of the paper's experiments).
+    SumOnly,
+    /// Only MAX queries (the Section 4.4/4.6 MAX experiments).
+    MaxOnly,
+    /// Only MIN queries (extension).
+    MinOnly,
+    /// Only AVG queries (extension).
+    AvgOnly,
+    /// A fair coin flip between SUM and MAX per query (the paper's
+    /// general description: "each query asks for either the SUM or MAX").
+    SumOrMax,
+}
+
+/// Query workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryConfig {
+    /// Query period `T_q` in seconds (may be fractional, e.g. `0.5`).
+    pub period_secs: f64,
+    /// Number of distinct sources each query reads (10 in the paper's
+    /// trace experiments).
+    pub fanout: usize,
+    /// Average precision constraint `δ_avg`.
+    pub delta_avg: f64,
+    /// Constraint variation `ρ ∈ [0, 1]`: constraints are uniform on
+    /// `[δ_avg(1−ρ), δ_avg(1+ρ)]`.
+    pub delta_rho: f64,
+    /// Aggregate kinds to issue.
+    pub kind_mix: KindMix,
+}
+
+impl QueryConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.period_secs.is_finite() && self.period_secs > 0.0) {
+            return Err(ParamError::InvalidModelConstant {
+                which: "query period",
+                value: self.period_secs,
+            });
+        }
+        if self.fanout == 0 {
+            return Err(ParamError::InvalidModelConstant { which: "query fanout", value: 0.0 });
+        }
+        if !(self.delta_avg.is_finite() && self.delta_avg >= 0.0) {
+            return Err(ParamError::InvalidModelConstant {
+                which: "delta_avg",
+                value: self.delta_avg,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.delta_rho) || self.delta_rho.is_nan() {
+            return Err(ParamError::InvalidModelConstant {
+                which: "delta_rho",
+                value: self.delta_rho,
+            });
+        }
+        Ok(())
+    }
+
+    /// Lower end of the constraint distribution, `δ_avg(1−ρ)`.
+    pub fn delta_min(&self) -> f64 {
+        self.delta_avg * (1.0 - self.delta_rho)
+    }
+
+    /// Upper end of the constraint distribution, `δ_avg(1+ρ)`.
+    pub fn delta_max(&self) -> f64 {
+        self.delta_avg * (1.0 + self.delta_rho)
+    }
+}
+
+/// One generated query.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Aggregate to compute.
+    pub kind: AggregateKind,
+    /// Keys the query reads (distinct).
+    pub keys: Vec<Key>,
+    /// Precision constraint `δ` for this query.
+    pub delta: f64,
+}
+
+/// Deterministic generator of the paper's query workload.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    cfg: QueryConfig,
+    n_sources: usize,
+    rng: Rng,
+}
+
+impl QueryGenerator {
+    /// Create a generator over `n_sources` sources.
+    pub fn new(cfg: QueryConfig, n_sources: usize, rng: Rng) -> Result<Self, ParamError> {
+        cfg.validate()?;
+        if n_sources == 0 {
+            return Err(ParamError::InvalidModelConstant { which: "n_sources", value: 0.0 });
+        }
+        Ok(QueryGenerator { cfg, n_sources, rng })
+    }
+
+    /// The configuration this generator runs with.
+    pub fn config(&self) -> &QueryConfig {
+        &self.cfg
+    }
+
+    /// Produce the next query.
+    pub fn next_query(&mut self) -> GeneratedQuery {
+        let kind = match self.cfg.kind_mix {
+            KindMix::SumOnly => AggregateKind::Sum,
+            KindMix::MaxOnly => AggregateKind::Max,
+            KindMix::MinOnly => AggregateKind::Min,
+            KindMix::AvgOnly => AggregateKind::Avg,
+            KindMix::SumOrMax => {
+                if self.rng.flip() {
+                    AggregateKind::Sum
+                } else {
+                    AggregateKind::Max
+                }
+            }
+        };
+        let keys = self
+            .rng
+            .sample_indices(self.n_sources, self.cfg.fanout)
+            .into_iter()
+            .map(|i| Key(i as u32))
+            .collect();
+        let delta = if self.cfg.delta_avg == 0.0 {
+            0.0
+        } else {
+            self.rng.uniform(self.cfg.delta_min(), self.cfg.delta_max())
+        };
+        GeneratedQuery { kind, keys, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> QueryConfig {
+        QueryConfig {
+            period_secs: 1.0,
+            fanout: 10,
+            delta_avg: 100.0,
+            delta_rho: 0.5,
+            kind_mix: KindMix::SumOnly,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(cfg().validate().is_ok());
+        assert!(QueryConfig { period_secs: 0.0, ..cfg() }.validate().is_err());
+        assert!(QueryConfig { fanout: 0, ..cfg() }.validate().is_err());
+        assert!(QueryConfig { delta_avg: -1.0, ..cfg() }.validate().is_err());
+        assert!(QueryConfig { delta_rho: 1.5, ..cfg() }.validate().is_err());
+        assert!(QueryGenerator::new(cfg(), 0, Rng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn delta_range_derivation() {
+        let c = cfg();
+        assert_eq!(c.delta_min(), 50.0);
+        assert_eq!(c.delta_max(), 150.0);
+        let exact = QueryConfig { delta_avg: 0.0, delta_rho: 1.0, ..cfg() };
+        assert_eq!(exact.delta_min(), 0.0);
+        assert_eq!(exact.delta_max(), 0.0);
+    }
+
+    #[test]
+    fn queries_have_distinct_keys_in_range() {
+        let mut g = QueryGenerator::new(cfg(), 50, Rng::seed_from_u64(1)).unwrap();
+        for _ in 0..100 {
+            let q = g.next_query();
+            assert_eq!(q.kind, AggregateKind::Sum);
+            assert_eq!(q.keys.len(), 10);
+            let mut sorted = q.keys.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10);
+            assert!(q.keys.iter().all(|k| k.0 < 50));
+            assert!((50.0..=150.0).contains(&q.delta));
+        }
+    }
+
+    #[test]
+    fn fanout_larger_than_sources_is_clamped() {
+        let c = QueryConfig { fanout: 10, ..cfg() };
+        let mut g = QueryGenerator::new(c, 3, Rng::seed_from_u64(1)).unwrap();
+        let q = g.next_query();
+        assert_eq!(q.keys.len(), 3);
+    }
+
+    #[test]
+    fn sum_or_max_mix_is_roughly_fair() {
+        let c = QueryConfig { kind_mix: KindMix::SumOrMax, ..cfg() };
+        let mut g = QueryGenerator::new(c, 50, Rng::seed_from_u64(2)).unwrap();
+        let n = 10_000;
+        let sums = (0..n).filter(|_| g.next_query().kind == AggregateKind::Sum).count();
+        let frac = sums as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn zero_delta_avg_always_exact() {
+        let c = QueryConfig { delta_avg: 0.0, delta_rho: 1.0, ..cfg() };
+        let mut g = QueryGenerator::new(c, 50, Rng::seed_from_u64(3)).unwrap();
+        for _ in 0..100 {
+            assert_eq!(g.next_query().delta, 0.0);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = QueryGenerator::new(cfg(), 50, Rng::seed_from_u64(7)).unwrap();
+        let mut b = QueryGenerator::new(cfg(), 50, Rng::seed_from_u64(7)).unwrap();
+        for _ in 0..100 {
+            let qa = a.next_query();
+            let qb = b.next_query();
+            assert_eq!(qa.keys, qb.keys);
+            assert_eq!(qa.delta, qb.delta);
+        }
+    }
+
+    #[test]
+    fn other_kind_mixes() {
+        for (mix, kind) in [
+            (KindMix::MaxOnly, AggregateKind::Max),
+            (KindMix::MinOnly, AggregateKind::Min),
+            (KindMix::AvgOnly, AggregateKind::Avg),
+        ] {
+            let c = QueryConfig { kind_mix: mix, ..cfg() };
+            let mut g = QueryGenerator::new(c, 50, Rng::seed_from_u64(4)).unwrap();
+            assert_eq!(g.next_query().kind, kind);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Synthetic wide-area network traffic traces.
+//!
+//! The paper's real-world experiments (Section 4.3) replay two hours of
+//! Paxson–Floyd \[PF95\] wide-area traces: for each of the 50 most heavily
+//! trafficked hosts, the data value is a one-minute moving-window average
+//! of traffic, sampled every second, ranging from 0 to 5.2·10⁶ bytes/s.
+//! Those traces are not redistributable, so this module generates a
+//! faithful synthetic stand-in — and \[PF95\]'s own result tells us what
+//! "faithful" means: wide-area traffic is *self-similar*, well modelled by
+//! superposing ON/OFF sources with heavy-tailed (Pareto) sojourn times.
+//!
+//! Per host the generator:
+//!
+//! 1. draws a heavy-tailed host intensity (a few hosts dominate, most are
+//!    quiet — matching "the 50 most heavily trafficked hosts" of a larger
+//!    population);
+//! 2. alternates OFF and ON periods with Pareto-distributed durations;
+//!    during ON periods it emits a per-burst rate with per-second jitter;
+//! 3. applies the same one-minute moving average the paper uses;
+//! 4. rescales so the busiest host peaks at `peak_rate` (5.2·10⁶ B/s).
+//!
+//! The long OFF periods reproduce the "host became active after a period
+//! of inactivity" dynamics of Figures 4 and 5. Users with access to real
+//! traces can load them via [`TraceSet::from_csv_str`] /
+//! [`TraceSet::from_csv_path`] instead.
+
+use std::fmt;
+use std::path::Path;
+
+use apcache_core::error::ParamError;
+use apcache_core::Rng;
+
+use crate::walk::TraceProcess;
+
+/// Configuration of the synthetic trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Number of hosts (sources). Paper: 50.
+    pub n_hosts: usize,
+    /// Trace duration in seconds. Paper: two hours = 7200.
+    pub duration_secs: usize,
+    /// Moving-average window in seconds. Paper: one minute = 60.
+    pub window_secs: usize,
+    /// Pareto tail index for ON/OFF durations; `1 < shape <= 2` yields the
+    /// heavy tails behind self-similar aggregate traffic.
+    pub pareto_shape: f64,
+    /// Mean ON-period duration in seconds.
+    pub mean_on_secs: f64,
+    /// Mean OFF-period duration in seconds.
+    pub mean_off_secs: f64,
+    /// Peak traffic level after rescaling (B/s). Paper: 5.2·10⁶.
+    pub peak_rate: f64,
+    /// Pareto tail index for the cross-host intensity distribution
+    /// (smaller = more skew between heavy and light hosts).
+    pub host_skew_shape: f64,
+}
+
+impl TraceConfig {
+    /// Parameters matching the paper's setting: 50 hosts, 2 hours, 60 s
+    /// window, peak 5.2·10⁶ B/s, classical Pareto shape 1.4. ON/OFF
+    /// sojourns are on multi-minute timescales so the minute-averaged
+    /// values slew gently relative to their magnitude, as the paper's
+    /// plotted host does (Figures 4–5).
+    pub fn paper_like() -> Self {
+        TraceConfig {
+            n_hosts: 50,
+            duration_secs: 7_200,
+            window_secs: 60,
+            pareto_shape: 1.4,
+            mean_on_secs: 90.0,
+            mean_off_secs: 240.0,
+            peak_rate: 5.2e6,
+            host_skew_shape: 1.2,
+        }
+    }
+
+    /// A small/fast configuration for tests (short bursts so even short
+    /// traces exercise both ON and OFF periods).
+    pub fn small() -> Self {
+        TraceConfig {
+            n_hosts: 8,
+            duration_secs: 600,
+            mean_on_secs: 20.0,
+            mean_off_secs: 40.0,
+            ..Self::paper_like()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        fn pos(which: &'static str, v: f64) -> Result<(), ParamError> {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ParamError::InvalidModelConstant { which, value: v });
+            }
+            Ok(())
+        }
+        if self.n_hosts == 0 {
+            return Err(ParamError::InvalidModelConstant { which: "n_hosts", value: 0.0 });
+        }
+        if self.duration_secs == 0 {
+            return Err(ParamError::InvalidModelConstant { which: "duration_secs", value: 0.0 });
+        }
+        if self.window_secs == 0 {
+            return Err(ParamError::InvalidModelConstant { which: "window_secs", value: 0.0 });
+        }
+        pos("pareto_shape", self.pareto_shape)?;
+        if self.pareto_shape <= 1.0 {
+            // Mean would be infinite; the generator needs finite means to
+            // target mean_on/mean_off.
+            return Err(ParamError::InvalidModelConstant {
+                which: "pareto_shape",
+                value: self.pareto_shape,
+            });
+        }
+        pos("mean_on_secs", self.mean_on_secs)?;
+        pos("mean_off_secs", self.mean_off_secs)?;
+        pos("peak_rate", self.peak_rate)?;
+        pos("host_skew_shape", self.host_skew_shape)?;
+        Ok(())
+    }
+}
+
+/// Errors loading traces from CSV.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed CSV line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Host series have inconsistent lengths or indices.
+    Inconsistent(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace CSV parse error at line {line}: {message}")
+            }
+            TraceError::Inconsistent(m) => write!(f, "inconsistent trace data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A set of per-host traffic series (one sample per second per host).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSet {
+    /// `hosts[h][t]` = traffic level of host `h` at second `t`.
+    hosts: Vec<Vec<f64>>,
+}
+
+impl TraceSet {
+    /// Generate a synthetic trace set.
+    pub fn generate(cfg: &TraceConfig, seed: u64) -> Result<Self, ParamError> {
+        cfg.validate()?;
+        let mut master = Rng::seed_from_u64(seed ^ 0x7261_6365); // "race"
+        // Heavy-tailed intensity per host, sorted descending so host 0 is
+        // the busiest ("the 50 most heavily trafficked hosts").
+        let mut intensities: Vec<f64> =
+            (0..cfg.n_hosts).map(|_| master.pareto(1.0, cfg.host_skew_shape)).collect();
+        intensities.sort_by(|a, b| b.total_cmp(a));
+        let max_intensity = intensities[0];
+
+        let mut hosts = Vec::with_capacity(cfg.n_hosts);
+        for &intensity in &intensities {
+            let mut rng = master.fork();
+            let raw = generate_raw_host(cfg, intensity / max_intensity, &mut rng);
+            hosts.push(moving_average(&raw, cfg.window_secs));
+        }
+        // Rescale so the global maximum hits peak_rate.
+        let global_max =
+            hosts.iter().flat_map(|h| h.iter().copied()).fold(0.0_f64, f64::max);
+        if global_max > 0.0 {
+            let scale = cfg.peak_rate / global_max;
+            for h in &mut hosts {
+                for v in h.iter_mut() {
+                    *v *= scale;
+                }
+            }
+        }
+        Ok(TraceSet { hosts })
+    }
+
+    /// Build directly from per-host series (used by tests and loaders).
+    pub fn from_series(hosts: Vec<Vec<f64>>) -> Result<Self, TraceError> {
+        if hosts.is_empty() {
+            return Err(TraceError::Inconsistent("no hosts".into()));
+        }
+        let len = hosts[0].len();
+        if len == 0 {
+            return Err(TraceError::Inconsistent("empty series".into()));
+        }
+        for (i, h) in hosts.iter().enumerate() {
+            if h.len() != len {
+                return Err(TraceError::Inconsistent(format!(
+                    "host {i} has {} samples, expected {len}",
+                    h.len()
+                )));
+            }
+            if let Some(bad) = h.iter().find(|v| !v.is_finite()) {
+                return Err(TraceError::Inconsistent(format!(
+                    "host {i} contains non-finite sample {bad}"
+                )));
+            }
+        }
+        Ok(TraceSet { hosts })
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_secs(&self) -> usize {
+        self.hosts[0].len()
+    }
+
+    /// The series for one host.
+    pub fn host(&self, h: usize) -> &[f64] {
+        &self.hosts[h]
+    }
+
+    /// A replayable [`TraceProcess`] for one host.
+    pub fn process(&self, h: usize) -> TraceProcess {
+        TraceProcess::new(self.hosts[h].clone()).expect("validated non-empty finite series")
+    }
+
+    /// Global maximum sample.
+    pub fn peak(&self) -> f64 {
+        self.hosts.iter().flat_map(|h| h.iter().copied()).fold(0.0_f64, f64::max)
+    }
+
+    /// Per-host count of seconds at which the value *changed* — the
+    /// "update" events of the protocol (used by the divergence-caching
+    /// experiments and the WJH97 write counters).
+    pub fn change_counts(&self) -> Vec<usize> {
+        self.hosts
+            .iter()
+            .map(|h| h.windows(2).filter(|w| w[0] != w[1]).count())
+            .collect()
+    }
+
+    /// Serialize as CSV (`host,second,value` with a header row).
+    pub fn to_csv_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.n_hosts() * self.duration_secs() * 16);
+        out.push_str("host,second,value\n");
+        for (h, series) in self.hosts.iter().enumerate() {
+            for (t, v) in series.iter().enumerate() {
+                // Plain decimal keeps the file loadable by anything.
+                let _ = writeln!(out, "{h},{t},{v}");
+            }
+        }
+        out
+    }
+
+    /// Parse the CSV format produced by [`TraceSet::to_csv_string`]
+    /// (also accepts real-trace exports in the same shape).
+    pub fn from_csv_str(s: &str) -> Result<Self, TraceError> {
+        let mut rows: Vec<(usize, usize, f64)> = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("host")) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse_err = |message: String| TraceError::Parse { line: lineno + 1, message };
+            let host: usize = parts
+                .next()
+                .ok_or_else(|| parse_err("missing host".into()))?
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(format!("bad host: {e}")))?;
+            let second: usize = parts
+                .next()
+                .ok_or_else(|| parse_err("missing second".into()))?
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(format!("bad second: {e}")))?;
+            let value: f64 = parts
+                .next()
+                .ok_or_else(|| parse_err("missing value".into()))?
+                .trim()
+                .parse()
+                .map_err(|e| parse_err(format!("bad value: {e}")))?;
+            if !value.is_finite() {
+                return Err(parse_err(format!("non-finite value {value}")));
+            }
+            if parts.next().is_some() {
+                return Err(parse_err("too many fields".into()));
+            }
+            rows.push((host, second, value));
+        }
+        if rows.is_empty() {
+            return Err(TraceError::Inconsistent("no data rows".into()));
+        }
+        let n_hosts = rows.iter().map(|r| r.0).max().expect("nonempty") + 1;
+        let duration = rows.iter().map(|r| r.1).max().expect("nonempty") + 1;
+        let mut hosts = vec![vec![f64::NAN; duration]; n_hosts];
+        for (h, t, v) in rows {
+            hosts[h][t] = v;
+        }
+        for (h, series) in hosts.iter().enumerate() {
+            if let Some(t) = series.iter().position(|v| v.is_nan()) {
+                return Err(TraceError::Inconsistent(format!(
+                    "host {h} is missing second {t}"
+                )));
+            }
+        }
+        Ok(TraceSet { hosts })
+    }
+
+    /// Load a CSV trace file from disk.
+    pub fn from_csv_path(path: &Path) -> Result<Self, TraceError> {
+        let contents = std::fs::read_to_string(path)?;
+        Self::from_csv_str(&contents)
+    }
+
+    /// Write the CSV representation to disk.
+    pub fn to_csv_path(&self, path: &Path) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_csv_string())?;
+        Ok(())
+    }
+}
+
+/// Raw (pre-averaging) per-second traffic for one host.
+fn generate_raw_host(cfg: &TraceConfig, rel_intensity: f64, rng: &mut Rng) -> Vec<f64> {
+    let shape = cfg.pareto_shape;
+    // Pareto(scale, shape) has mean scale·shape/(shape−1); invert for the
+    // requested mean durations.
+    let on_scale = cfg.mean_on_secs * (shape - 1.0) / shape;
+    let off_scale = cfg.mean_off_secs * (shape - 1.0) / shape;
+    let mut raw = vec![0.0f64; cfg.duration_secs];
+    // Busy hosts spend proportionally more time ON; quiet hosts sleep
+    // longer, giving the long-idle-then-activate pattern of Figs 4–5.
+    let off_stretch = 1.0 / rel_intensity.max(0.05);
+    let mut t = 0usize;
+    // Randomize the phase so hosts don't all start in an OFF period edge.
+    let mut in_on = rng.bernoulli(0.3);
+    while t < cfg.duration_secs {
+        if in_on {
+            let dur = rng.pareto(on_scale, shape).round().max(1.0) as usize;
+            // One nominal rate per burst; the lognormal factor spreads
+            // burst sizes over ~2 orders of magnitude, as real flows do.
+            // Within a burst the rate wanders slowly (AR(1) with a long
+            // memory) so the minute-averaged value slews gently instead of
+            // jumping every second.
+            let burst_rate = rel_intensity * (rng.normal_with(0.0, 0.8)).exp();
+            let end = (t + dur).min(cfg.duration_secs);
+            let mut m = 1.0f64;
+            for slot in &mut raw[t..end] {
+                m = 0.97 * m + 0.03 * rng.uniform(0.6, 1.4);
+                *slot = burst_rate * m;
+            }
+            t = end;
+        } else {
+            let dur = rng.pareto(off_scale * off_stretch, shape).round().max(1.0) as usize;
+            t = (t + dur).min(cfg.duration_secs);
+        }
+        in_on = !in_on;
+    }
+    raw
+}
+
+/// One-minute (well, `window`-second) moving average sampled every second,
+/// with partial windows at the start — matching the paper's "one minute
+/// moving window average of network traffic every second".
+fn moving_average(raw: &[f64], window: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut sum = 0.0f64;
+    for t in 0..raw.len() {
+        sum += raw[t];
+        if t >= window {
+            sum -= raw[t - window];
+        }
+        // The running subtract accumulates floating-point error that can
+        // leave a tiny negative residue on idle stretches; clamp so idle
+        // hosts read exactly 0 (and generate no spurious updates).
+        if sum < 1e-9 {
+            sum = 0.0;
+        }
+        let denom = (t + 1).min(window) as f64;
+        out.push(sum / denom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::ValueProcess;
+
+    #[test]
+    fn config_validation() {
+        assert!(TraceConfig::paper_like().validate().is_ok());
+        assert!(TraceConfig { n_hosts: 0, ..TraceConfig::paper_like() }.validate().is_err());
+        assert!(
+            TraceConfig { pareto_shape: 0.9, ..TraceConfig::paper_like() }.validate().is_err()
+        );
+        assert!(
+            TraceConfig { mean_on_secs: 0.0, ..TraceConfig::paper_like() }.validate().is_err()
+        );
+    }
+
+    #[test]
+    fn moving_average_flat_series() {
+        let avg = moving_average(&[2.0; 10], 4);
+        for v in avg {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_step_series() {
+        // Raw: 0,0,0,0,4,4,4,4 with window 4.
+        let avg = moving_average(&[0.0, 0.0, 0.0, 0.0, 4.0, 4.0, 4.0, 4.0], 4);
+        assert_eq!(avg[3], 0.0);
+        assert_eq!(avg[4], 1.0);
+        assert_eq!(avg[5], 2.0);
+        assert_eq!(avg[7], 4.0);
+    }
+
+    #[test]
+    fn generated_trace_has_paper_shape() {
+        let cfg = TraceConfig::small();
+        let t = TraceSet::generate(&cfg, 1).unwrap();
+        assert_eq!(t.n_hosts(), cfg.n_hosts);
+        assert_eq!(t.duration_secs(), cfg.duration_secs);
+        // Nonnegative everywhere, peak at the configured level.
+        for h in 0..t.n_hosts() {
+            assert!(t.host(h).iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+        assert!((t.peak() - cfg.peak_rate).abs() < 1e-6 * cfg.peak_rate);
+    }
+
+    #[test]
+    fn hosts_are_heterogeneous_and_bursty() {
+        let cfg = TraceConfig { n_hosts: 20, duration_secs: 2_000, ..TraceConfig::paper_like() };
+        let t = TraceSet::generate(&cfg, 7).unwrap();
+        let means: Vec<f64> = (0..t.n_hosts())
+            .map(|h| t.host(h).iter().sum::<f64>() / t.duration_secs() as f64)
+            .collect();
+        // Host 0 (busiest) should dominate the median host by a large
+        // factor — heavy-tailed cross-host skew.
+        let mut sorted = means.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        assert!(means[0] > 3.0 * median, "means[0]={} median={median}", means[0]);
+        // Burstiness: at least one host is idle (exactly zero) for a
+        // meaningful stretch.
+        let any_idle = (0..t.n_hosts())
+            .any(|h| t.host(h).iter().filter(|&&v| v == 0.0).count() > cfg.duration_secs / 20);
+        assert!(any_idle, "expected idle stretches in at least one host");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::small();
+        let a = TraceSet::generate(&cfg, 99).unwrap();
+        let b = TraceSet::generate(&cfg, 99).unwrap();
+        assert_eq!(a, b);
+        let c = TraceSet::generate(&cfg, 100).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let cfg = TraceConfig { n_hosts: 3, duration_secs: 50, ..TraceConfig::paper_like() };
+        let t = TraceSet::generate(&cfg, 5).unwrap();
+        let csv = t.to_csv_string();
+        let back = TraceSet::from_csv_str(&csv).unwrap();
+        assert_eq!(t.n_hosts(), back.n_hosts());
+        assert_eq!(t.duration_secs(), back.duration_secs());
+        for h in 0..t.n_hosts() {
+            for (a, b) in t.host(h).iter().zip(back.host(h)) {
+                assert!((a - b).abs() <= a.abs() * 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_error_reporting() {
+        assert!(matches!(
+            TraceSet::from_csv_str(""),
+            Err(TraceError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            TraceSet::from_csv_str("host,second,value\n0,0,abc"),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            TraceSet::from_csv_str("host,second,value\n0,0,1.0,9"),
+            Err(TraceError::Parse { .. })
+        ));
+        // Missing (0,1) sample while host 0 has second 2.
+        assert!(matches!(
+            TraceSet::from_csv_str("host,second,value\n0,0,1.0\n0,2,2.0"),
+            Err(TraceError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn from_series_validation() {
+        assert!(TraceSet::from_series(vec![]).is_err());
+        assert!(TraceSet::from_series(vec![vec![]]).is_err());
+        assert!(TraceSet::from_series(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(TraceSet::from_series(vec![vec![1.0, f64::NAN]]).is_err());
+        assert!(TraceSet::from_series(vec![vec![1.0, 2.0]]).is_ok());
+    }
+
+    #[test]
+    fn process_replays_host_series() {
+        let cfg = TraceConfig { n_hosts: 2, duration_secs: 30, ..TraceConfig::paper_like() };
+        let t = TraceSet::generate(&cfg, 3).unwrap();
+        let mut p = t.process(1);
+        assert_eq!(p.value(), t.host(1)[0]);
+        for expected in &t.host(1)[1..] {
+            assert_eq!(p.step(), *expected);
+        }
+    }
+
+    #[test]
+    fn change_counts_detect_updates() {
+        let t = TraceSet::from_series(vec![
+            vec![1.0, 1.0, 2.0, 2.0, 3.0],
+            vec![5.0, 5.0, 5.0, 5.0, 5.0],
+        ])
+        .unwrap();
+        assert_eq!(t.change_counts(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Value processes: how source values evolve over (one-second) time steps.
+
+use apcache_core::error::ParamError;
+use apcache_core::Rng;
+
+/// A source-value process advanced in one-second steps.
+///
+/// Implementations must be deterministic given their seed.
+pub trait ValueProcess: Send {
+    /// Advance one second and return the new value. The simulator treats a
+    /// returned value equal to the previous one as "no update".
+    fn step(&mut self) -> f64;
+
+    /// The current value (the value returned by the last `step`, or the
+    /// initial value before any step).
+    fn value(&self) -> f64;
+}
+
+/// Configuration of a one-dimensional random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkConfig {
+    /// Starting value.
+    pub initial: f64,
+    /// Minimum step magnitude.
+    pub step_lo: f64,
+    /// Maximum step magnitude.
+    pub step_hi: f64,
+    /// Probability the step is upward (`0.5` = unbiased).
+    pub p_up: f64,
+}
+
+impl WalkConfig {
+    /// The paper's synthetic workload (Section 4.2): every second the
+    /// value moves up or down by an amount uniform on `[0.5, 1.5]`.
+    pub fn paper_default() -> Self {
+        WalkConfig { initial: 0.0, step_lo: 0.5, step_hi: 1.5, p_up: 0.5 }
+    }
+
+    /// A biased walk (Section 4.5's "values much more likely to go up than
+    /// down") with the paper's step magnitudes.
+    pub fn biased(p_up: f64) -> Self {
+        WalkConfig { p_up, ..Self::paper_default() }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !self.initial.is_finite() {
+            return Err(ParamError::InvalidModelConstant {
+                which: "walk initial",
+                value: self.initial,
+            });
+        }
+        if !(self.step_lo.is_finite() && self.step_lo >= 0.0) {
+            return Err(ParamError::InvalidModelConstant {
+                which: "walk step_lo",
+                value: self.step_lo,
+            });
+        }
+        if !(self.step_hi.is_finite() && self.step_hi >= self.step_lo) {
+            return Err(ParamError::InvalidModelConstant {
+                which: "walk step_hi",
+                value: self.step_hi,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.p_up) || self.p_up.is_nan() {
+            return Err(ParamError::InvalidModelConstant { which: "walk p_up", value: self.p_up });
+        }
+        Ok(())
+    }
+
+    /// Second moment `E[s²]` of the step magnitude (used to parameterize
+    /// the analytic model's `K1`).
+    pub fn step_second_moment(&self) -> f64 {
+        let (lo, hi) = (self.step_lo, self.step_hi);
+        if hi == lo {
+            return lo * lo;
+        }
+        (hi * hi * hi - lo * lo * lo) / (3.0 * (hi - lo))
+    }
+
+    /// Expected per-second drift (`0` for an unbiased walk).
+    pub fn drift(&self) -> f64 {
+        let mean_step = (self.step_lo + self.step_hi) / 2.0;
+        (2.0 * self.p_up - 1.0) * mean_step
+    }
+}
+
+/// A one-dimensional random walk value process.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    cfg: WalkConfig,
+    value: f64,
+    rng: Rng,
+}
+
+impl RandomWalk {
+    /// Create a walk with its own RNG stream.
+    pub fn new(cfg: WalkConfig, rng: Rng) -> Result<Self, ParamError> {
+        cfg.validate()?;
+        Ok(RandomWalk { value: cfg.initial, cfg, rng })
+    }
+
+    /// Create a walk seeded directly.
+    pub fn seeded(cfg: WalkConfig, seed: u64) -> Result<Self, ParamError> {
+        Self::new(cfg, Rng::seed_from_u64(seed))
+    }
+}
+
+impl ValueProcess for RandomWalk {
+    fn step(&mut self) -> f64 {
+        let magnitude = self.rng.uniform(self.cfg.step_lo, self.cfg.step_hi);
+        let up = self.rng.bernoulli(self.cfg.p_up);
+        self.value += if up { magnitude } else { -magnitude };
+        self.value
+    }
+
+    fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A process replaying a precomputed series (one sample per second); holds
+/// the last value once the series is exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceProcess {
+    values: Vec<f64>,
+    /// Index of the *next* sample to emit.
+    next: usize,
+    current: f64,
+}
+
+impl TraceProcess {
+    /// Create from a non-empty series. The process starts at the first
+    /// sample; each `step` advances to the next.
+    pub fn new(values: Vec<f64>) -> Result<Self, ParamError> {
+        let Some(&first) = values.first() else {
+            return Err(ParamError::InvalidModelConstant { which: "trace length", value: 0.0 });
+        };
+        if let Some(&bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(ParamError::InvalidModelConstant { which: "trace sample", value: bad });
+        }
+        Ok(TraceProcess { values, next: 1, current: first })
+    }
+
+    /// Number of samples in the underlying series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the replay has reached the final sample.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.values.len()
+    }
+}
+
+impl ValueProcess for TraceProcess {
+    fn step(&mut self) -> f64 {
+        if self.next < self.values.len() {
+            self.current = self.values[self.next];
+            self.next += 1;
+        }
+        self.current
+    }
+
+    fn value(&self) -> f64 {
+        self.current
+    }
+}
+
+/// A process that never changes — useful for tests and as the degenerate
+/// "no updates" workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantProcess(pub f64);
+
+impl ValueProcess for ConstantProcess {
+    fn step(&mut self) -> f64 {
+        self.0
+    }
+
+    fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(WalkConfig::paper_default().validate().is_ok());
+        assert!(WalkConfig { step_lo: -1.0, ..WalkConfig::paper_default() }.validate().is_err());
+        assert!(
+            WalkConfig { step_lo: 2.0, step_hi: 1.0, ..WalkConfig::paper_default() }
+                .validate()
+                .is_err()
+        );
+        assert!(WalkConfig { p_up: 1.5, ..WalkConfig::paper_default() }.validate().is_err());
+        assert!(WalkConfig { initial: f64::NAN, ..WalkConfig::paper_default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn paper_walk_steps_in_range() {
+        let mut w = RandomWalk::seeded(WalkConfig::paper_default(), 1).unwrap();
+        let mut prev = w.value();
+        for _ in 0..10_000 {
+            let v = w.step();
+            let d = (v - prev).abs();
+            assert!((0.5..=1.5).contains(&d), "step magnitude {d}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn unbiased_walk_has_no_drift() {
+        let mut w = RandomWalk::seeded(WalkConfig::paper_default(), 2).unwrap();
+        let n = 200_000;
+        for _ in 0..n {
+            w.step();
+        }
+        // Std dev of the endpoint is ~ sqrt(n·E[s²]) ≈ 466; the mean path
+        // should end well within a few sigma of 0.
+        assert!(w.value().abs() < 2_000.0, "drifted to {}", w.value());
+    }
+
+    #[test]
+    fn biased_walk_drifts_up() {
+        let cfg = WalkConfig::biased(0.9);
+        let mut w = RandomWalk::seeded(cfg, 3).unwrap();
+        let n = 10_000;
+        for _ in 0..n {
+            w.step();
+        }
+        let expected = cfg.drift() * n as f64;
+        assert!(expected > 0.0);
+        assert!((w.value() - expected).abs() < expected * 0.1, "value={}", w.value());
+    }
+
+    #[test]
+    fn second_moment_matches_closed_form() {
+        let cfg = WalkConfig::paper_default();
+        // E[s²] for U[0.5,1.5] = (1.5³ − 0.5³)/3 = 3.25/3.
+        assert!((cfg.step_second_moment() - 3.25 / 3.0).abs() < 1e-12);
+        let degenerate = WalkConfig { step_lo: 2.0, step_hi: 2.0, ..cfg };
+        assert_eq!(degenerate.step_second_moment(), 4.0);
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed() {
+        let mut a = RandomWalk::seeded(WalkConfig::paper_default(), 42).unwrap();
+        let mut b = RandomWalk::seeded(WalkConfig::paper_default(), 42).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn trace_process_replays_and_holds() {
+        let mut t = TraceProcess::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.value(), 1.0);
+        assert_eq!(t.step(), 2.0);
+        assert_eq!(t.step(), 3.0);
+        assert!(t.exhausted());
+        assert_eq!(t.step(), 3.0); // holds last
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn trace_process_validation() {
+        assert!(TraceProcess::new(vec![]).is_err());
+        assert!(TraceProcess::new(vec![1.0, f64::NAN]).is_err());
+        assert!(TraceProcess::new(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn constant_process_never_changes() {
+        let mut c = ConstantProcess(5.0);
+        assert_eq!(c.value(), 5.0);
+        for _ in 0..10 {
+            assert_eq!(c.step(), 5.0);
+        }
+    }
+}

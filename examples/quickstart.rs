@@ -1,0 +1,71 @@
+//! Quickstart: the adaptive precision-setting protocol on one value.
+//!
+//! Walks through the paper's Figure 1 by hand: a source holding an exact
+//! value, a cache holding an interval approximation, a value-initiated
+//! refresh growing the interval, and a query-initiated refresh shrinking
+//! it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use apcache::core::cache::Cache;
+use apcache::core::cost::CostModel;
+use apcache::core::policy::{AdaptiveParams, AdaptivePolicy};
+use apcache::core::source::Source;
+use apcache::core::{CacheId, Key, Rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Costs: updates are pushed (C_vr = 1), remote reads are a round trip
+    // (C_qr = 2), so the cost factor is theta = 2*C_vr/C_qr = 1 and the
+    // width adjusts on every refresh.
+    let cost = CostModel::multiversion();
+    println!("cost model: C_vr = {}, C_qr = {}, theta = {}", cost.c_vr(), cost.c_qr(), cost.theta());
+
+    // The paper's recommended tuning: alpha = 1 doubles/halves the width.
+    let params = AdaptiveParams::new(&cost, 1.0)?;
+    let policy = AdaptivePolicy::new(params, 2.0)?;
+
+    let mut rng = Rng::seed_from_u64(7);
+    let cache_id = CacheId(0);
+    let mut source = Source::new(Key(0), 5.0)?;
+    let mut cache = Cache::new(cache_id, 16)?;
+
+    // Register the cache at the source; install the initial approximation.
+    let refresh = source.register(cache_id, Box::new(policy), 0)?;
+    cache.apply_refresh(refresh);
+    println!("t=0s  value = 5, cached interval = {}", cache.interval_at(Key(0), 0).unwrap());
+
+    // The value drifts inside the interval: nothing happens (cache hit
+    // territory -- approximate reads are free).
+    let refreshes = source.apply_update(5.5, 1_000, &mut rng)?;
+    assert!(refreshes.is_empty());
+    println!("t=1s  value = 5.5, still valid: {}", cache.interval_at(Key(0), 1_000).unwrap());
+
+    // Figure 1(a): the value escapes -> value-initiated refresh; the
+    // source concludes the interval was too narrow and doubles the width.
+    let refreshes = source.apply_update(7.0, 2_000, &mut rng)?;
+    for (_, refresh) in refreshes {
+        println!(
+            "t=2s  value = 7 escaped! value-initiated refresh installs {} (width doubled)",
+            refresh.spec.interval_at(2_000)
+        );
+        cache.apply_refresh(refresh);
+    }
+
+    // Figure 1(b): a query needs more precision than the interval offers
+    // and fetches the exact value -> query-initiated refresh; the source
+    // concludes the interval was too wide and halves the width.
+    let response = source.serve_exact(cache_id, 3_000, &mut rng)?;
+    println!(
+        "t=3s  query fetched exact value {}; query-initiated refresh installs {} (width halved)",
+        response.value,
+        response.refresh.spec.interval_at(3_000)
+    );
+    cache.apply_refresh(response.refresh);
+
+    println!(
+        "internal width now {} — the algorithm keeps balancing the two refresh rates,\n\
+         which is exactly the cost-optimal width (paper, Section 3).",
+        source.internal_width_for(cache_id).unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Stock ticker — approximate caching for dashboards.
+//!
+//! A brokerage dashboard tracks a basket of instruments whose prices
+//! random-walk at the exchange (one source per instrument). The dashboard
+//! needs the *portfolio value* (a SUM) to within a dollar tolerance and
+//! the *top mover* (a MAX) — exact prices are only fetched when the cached
+//! price intervals cannot answer within tolerance.
+//!
+//! Demonstrates driving [`AdaptiveSystem`] directly (no simulator): the
+//! application owns the clock and the query points.
+//!
+//! Run with: `cargo run --release --example stock_ticker`
+
+use apcache::core::{Key, Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::sim::systems::{AdaptiveSystem, AdaptiveSystemConfig, InitialWidth};
+use apcache::sim::{CacheSystem, Stats};
+use apcache::workload::query::GeneratedQuery;
+use apcache::workload::walk::{RandomWalk, ValueProcess, WalkConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: usize = 12; // instruments in the basket
+    let mut rng = Rng::seed_from_u64(0xF00D);
+
+    // Prices start around $100 and move ±[0.05, 0.25] per second.
+    let walk_cfg = WalkConfig { initial: 100.0, step_lo: 0.05, step_hi: 0.25, p_up: 0.5 };
+    let mut prices: Vec<RandomWalk> =
+        (0..N).map(|_| RandomWalk::new(walk_cfg, rng.fork()).expect("valid walk")).collect();
+
+    // Cache tuning: dollar-scale thresholds; alpha=1.
+    let sys_cfg = AdaptiveSystemConfig {
+        alpha: 1.0,
+        gamma0: 0.01,
+        gamma1: f64::INFINITY,
+        initial_width: InitialWidth::Fixed(1.0),
+        ..AdaptiveSystemConfig::default()
+    };
+    let initial: Vec<f64> = prices.iter().map(|p| p.value()).collect();
+    let mut dashboard = AdaptiveSystem::new(&sys_cfg, &initial, rng.fork())?;
+    let mut stats = Stats::new();
+    stats.begin_measurement();
+
+    let all_keys: Vec<Key> = (0..N as u32).map(Key).collect();
+    let mut portfolio_answers = Vec::new();
+    let horizon_secs: u64 = 1_800;
+    for t in 1..=horizon_secs {
+        let now = t * MS_PER_SEC;
+        // Exchange ticks: every instrument moves once a second.
+        for (i, price) in prices.iter_mut().enumerate() {
+            let v = price.step();
+            dashboard.on_update(Key(i as u32), v, now, &mut stats)?;
+        }
+        // Dashboard refresh every 5 s: portfolio value to within $2.50.
+        if t % 5 == 0 {
+            let q = GeneratedQuery {
+                kind: AggregateKind::Sum,
+                keys: all_keys.clone(),
+                delta: 2.50,
+            };
+            let summary = dashboard.on_query(&q, now, &mut stats)?;
+            stats.record_query();
+            if let Some(answer) = summary.answer {
+                portfolio_answers.push((t, answer, summary.refreshes));
+            }
+        }
+        // Top mover every 30 s: which instrument trades highest, to within 50c.
+        if t % 30 == 0 {
+            let q = GeneratedQuery {
+                kind: AggregateKind::Max,
+                keys: all_keys.clone(),
+                delta: 0.50,
+            };
+            dashboard.on_query(&q, now, &mut stats)?;
+            stats.record_query();
+        }
+    }
+    stats.finalize(horizon_secs as f64);
+
+    let (t, answer, refreshes) = portfolio_answers.last().expect("queries ran");
+    println!("after {t} s: portfolio value in [{:.2}, {:.2}] (width {:.2}, {} exact fetches)",
+        answer.lo(), answer.hi(), answer.width(), refreshes);
+    println!(
+        "totals: {} queries, {} value-initiated refreshes, {} exact fetches",
+        stats.query_count(),
+        stats.vr_count(),
+        stats.qr_count()
+    );
+    println!("average message cost rate: {:.3} per second", stats.cost_rate());
+    let naive = N as f64; // push every tick of every instrument
+    println!(
+        "naively streaming every tick would cost {:.1} per second — the interval cache\n\
+         answers the same bounded queries at {:.1}% of that traffic.",
+        naive,
+        stats.cost_rate() / naive * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # apcache — adaptive precision setting for cached approximate values
+//!
+//! Umbrella crate for a full reproduction of **Olston, Loo & Widom,
+//! "Adaptive Precision Setting for Cached Approximate Values"
+//! (ACM SIGMOD 2001)**. It re-exports every sub-crate of the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `apcache-core` | interval algebra, the adaptive precision policy and its variants, source/cache protocol, analytic model, deterministic RNG |
+//! | [`queries`] | `apcache-queries` | bounded aggregate queries (SUM/MAX/MIN/AVG) with refresh-set selection |
+//! | [`workload`] | `apcache-workload` | random walks, synthetic network traffic traces, query workloads |
+//! | [`sim`] | `apcache-sim` | discrete event simulator and cost statistics |
+//! | [`baselines`] | `apcache-baselines` | WJH97 adaptive exact caching, HSW94 divergence caching, stale-value specialization |
+//! | [`hier`] | `apcache-hier` | multi-level cache hierarchies (the paper's Section 5 future work) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apcache::core::cost::CostModel;
+//! use apcache::sim::systems::{AdaptiveSystemConfig, build_adaptive_simulation};
+//! use apcache::sim::SimConfig;
+//! use apcache::workload::walk::WalkConfig;
+//!
+//! // One source performing a random walk, queried every 2 s with
+//! // precision constraints averaging 20.
+//! let sim_cfg = SimConfig::builder()
+//!     .duration_secs(2_000)
+//!     .warmup_secs(200)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let sys_cfg = AdaptiveSystemConfig {
+//!     cost: CostModel::multiversion(),
+//!     alpha: 1.0,
+//!     ..AdaptiveSystemConfig::default()
+//! };
+//! let report = build_adaptive_simulation(
+//!     &sim_cfg,
+//!     &sys_cfg,
+//!     apcache::sim::systems::WorkloadSpec::random_walks(1, WalkConfig::paper_default()),
+//!     apcache::sim::systems::QuerySpec {
+//!         period_secs: 2.0,
+//!         delta_avg: 20.0,
+//!         delta_rho: 1.0,
+//!         fanout: 1,
+//!         kind_mix: apcache::workload::query::KindMix::SumOnly,
+//!     },
+//! )
+//! .unwrap()
+//! .run()
+//! .unwrap();
+//! assert!(report.stats.cost_rate() > 0.0);
+//! ```
+
+pub use apcache_baselines as baselines;
+pub use apcache_core as core;
+pub use apcache_hier as hier;
+pub use apcache_queries as queries;
+pub use apcache_sim as sim;
+pub use apcache_workload as workload;

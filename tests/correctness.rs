@@ -1,0 +1,130 @@
+//! End-to-end correctness: every bounded query answered through the full
+//! stack (sources → policies → cache → OW00 planner) must return an
+//! interval that (a) contains the true aggregate of the exact values and
+//! (b) meets the query's precision constraint.
+
+use apcache::core::{Key, Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::sim::systems::{AdaptiveSystem, AdaptiveSystemConfig, InitialWidth};
+use apcache::sim::{CacheSystem, Stats};
+use apcache::workload::query::GeneratedQuery;
+use apcache::workload::walk::{RandomWalk, ValueProcess, WalkConfig};
+
+fn true_aggregate(kind: AggregateKind, values: &[f64], keys: &[Key]) -> f64 {
+    let picked: Vec<f64> = keys.iter().map(|k| values[k.0 as usize]).collect();
+    match kind {
+        AggregateKind::Sum => picked.iter().sum(),
+        AggregateKind::Max => picked.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggregateKind::Min => picked.iter().copied().fold(f64::INFINITY, f64::min),
+        AggregateKind::Avg => picked.iter().sum::<f64>() / picked.len() as f64,
+    }
+}
+
+/// Drive the system manually, checking every answer against ground truth.
+fn check_kind(kind: AggregateKind, seed: u64) {
+    const N: usize = 8;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut walks: Vec<RandomWalk> = (0..N)
+        .map(|_| RandomWalk::new(WalkConfig::paper_default(), rng.fork()).expect("valid"))
+        .collect();
+    let initial: Vec<f64> = walks.iter().map(|w| w.value()).collect();
+    let sys_cfg = AdaptiveSystemConfig {
+        initial_width: InitialWidth::Fixed(4.0),
+        ..AdaptiveSystemConfig::default()
+    };
+    let mut system = AdaptiveSystem::new(&sys_cfg, &initial, rng.fork()).expect("builds");
+    let mut stats = Stats::new();
+    stats.begin_measurement();
+
+    let mut values = initial;
+    for t in 1..=600u64 {
+        let now = t * MS_PER_SEC;
+        for (i, w) in walks.iter_mut().enumerate() {
+            let v = w.step();
+            values[i] = v;
+            system.on_update(Key(i as u32), v, now, &mut stats).expect("update ok");
+        }
+        // Query with a rotating constraint, including exact.
+        let delta = match t % 4 {
+            0 => 0.0,
+            1 => 1.0,
+            2 => 10.0,
+            _ => 100.0,
+        };
+        let keys: Vec<Key> = rng.sample_indices(N, 4).into_iter().map(|i| Key(i as u32)).collect();
+        let query = GeneratedQuery { kind, keys: keys.clone(), delta };
+        let summary = system.on_query(&query, now, &mut stats).expect("query ok");
+        let answer = summary.answer.expect("adaptive system returns intervals");
+        let truth = true_aggregate(kind, &values, &keys);
+        assert!(
+            answer.contains(truth),
+            "{kind} t={t}: answer {answer} does not contain true value {truth}"
+        );
+        assert!(
+            answer.width() <= delta + 1e-9,
+            "{kind} t={t}: width {} exceeds constraint {delta}",
+            answer.width()
+        );
+    }
+    assert!(stats.qr_count() > 0, "{kind}: expected query-initiated refreshes");
+    assert!(stats.vr_count() > 0, "{kind}: expected value-initiated refreshes");
+}
+
+#[test]
+fn sum_answers_are_sound_and_tight() {
+    check_kind(AggregateKind::Sum, 11);
+}
+
+#[test]
+fn max_answers_are_sound_and_tight() {
+    check_kind(AggregateKind::Max, 22);
+}
+
+#[test]
+fn min_answers_are_sound_and_tight() {
+    check_kind(AggregateKind::Min, 33);
+}
+
+#[test]
+fn avg_answers_are_sound_and_tight() {
+    check_kind(AggregateKind::Avg, 44);
+}
+
+/// The same soundness must hold under cache pressure (evictions) and with
+/// snapping thresholds.
+#[test]
+fn answers_stay_sound_with_small_cache_and_thresholds() {
+    const N: usize = 10;
+    let mut rng = Rng::seed_from_u64(5);
+    let mut walks: Vec<RandomWalk> = (0..N)
+        .map(|_| RandomWalk::new(WalkConfig::paper_default(), rng.fork()).expect("valid"))
+        .collect();
+    let initial: Vec<f64> = walks.iter().map(|w| w.value()).collect();
+    let sys_cfg = AdaptiveSystemConfig {
+        cache_capacity: Some(3),
+        gamma0: 1.0,
+        gamma1: 64.0,
+        initial_width: InitialWidth::Fixed(4.0),
+        ..AdaptiveSystemConfig::default()
+    };
+    let mut system = AdaptiveSystem::new(&sys_cfg, &initial, rng.fork()).expect("builds");
+    let mut stats = Stats::new();
+    stats.begin_measurement();
+    let mut values = initial;
+    for t in 1..=400u64 {
+        let now = t * MS_PER_SEC;
+        for (i, w) in walks.iter_mut().enumerate() {
+            let v = w.step();
+            values[i] = v;
+            system.on_update(Key(i as u32), v, now, &mut stats).expect("update ok");
+        }
+        let keys: Vec<Key> = rng.sample_indices(N, 5).into_iter().map(|i| Key(i as u32)).collect();
+        let query = GeneratedQuery { kind: AggregateKind::Sum, keys: keys.clone(), delta: 5.0 };
+        let summary = system.on_query(&query, now, &mut stats).expect("query ok");
+        let answer = summary.answer.expect("interval answer");
+        let truth: f64 = keys.iter().map(|k| values[k.0 as usize]).sum();
+        assert!(answer.contains(truth), "t={t}: {answer} misses {truth}");
+        assert!(answer.width() <= 5.0 + 1e-9);
+        assert!(system.cached_entries() <= 3, "capacity violated");
+    }
+}

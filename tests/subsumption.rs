@@ -1,0 +1,148 @@
+//! Subsumption of exact caching (Section 4.6 at test scale): with
+//! `γ1 = γ0` the adaptive scheme caches exact copies or nothing, and its
+//! cost is in the same band as the WJH97 baseline on the same workload.
+
+use apcache::baselines::exact::{ExactCachingConfig, ExactCachingSystem};
+use apcache::core::cost::CostModel;
+use apcache::core::{Key, Rng};
+use apcache::sim::systems::{
+    build_adaptive_simulation, AdaptiveSystemConfig, QuerySpec, WorkloadSpec,
+};
+use apcache::sim::{SimConfig, Simulation};
+use apcache::workload::query::{KindMix, QueryGenerator};
+use apcache::workload::trace::{TraceConfig, TraceSet};
+
+fn trace() -> TraceSet {
+    TraceSet::generate(
+        &TraceConfig { n_hosts: 12, duration_secs: 1_500, ..TraceConfig::paper_like() },
+        77,
+    )
+    .expect("valid trace config")
+}
+
+fn sim_cfg() -> SimConfig {
+    SimConfig::builder().duration_secs(1_500).warmup_secs(150).seed(3).build().expect("valid")
+}
+
+fn queries() -> QuerySpec {
+    QuerySpec {
+        period_secs: 1.0,
+        fanout: 5,
+        delta_avg: 0.0,
+        delta_rho: 0.0,
+        kind_mix: KindMix::SumOnly,
+    }
+}
+
+fn run_wjh97(x: u32) -> f64 {
+    let cfg = sim_cfg();
+    let mut master = Rng::seed_from_u64(cfg.seed());
+    let workload = WorkloadSpec::trace(trace());
+    let processes = workload.build_processes(&mut master).expect("builds");
+    let initial: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = ExactCachingSystem::new(
+        ExactCachingConfig { cost: CostModel::multiversion(), x, cache_capacity: None },
+        &initial,
+    )
+    .expect("builds");
+    let query_gen = QueryGenerator::new(queries(), initial.len(), master.fork()).expect("builds");
+    Simulation::new(cfg, system, processes, query_gen)
+        .expect("assembles")
+        .run()
+        .expect("runs")
+        .stats
+        .cost_rate()
+}
+
+fn run_ours_exact() -> (f64, apcache::sim::systems::AdaptiveSystem) {
+    let sys = AdaptiveSystemConfig {
+        gamma0: 1_000.0,
+        gamma1: 1_000.0,
+        ..AdaptiveSystemConfig::default()
+    };
+    let report =
+        build_adaptive_simulation(&sim_cfg(), &sys, WorkloadSpec::trace(trace()), queries())
+            .expect("assembles")
+            .run()
+            .expect("runs");
+    (report.stats.cost_rate(), report.system)
+}
+
+#[test]
+fn gamma_equal_thresholds_cache_exactly_or_not_at_all() {
+    let (_, system) = run_ours_exact();
+    let now = 1_500_000;
+    for k in 0..12u32 {
+        if let Some(iv) = apcache::sim::CacheSystem::interval_of(&system, Key(k), now) {
+            let w = iv.width();
+            assert!(
+                w == 0.0 || w.is_infinite(),
+                "key {k}: width {w} is neither exact nor uncached under gamma1=gamma0"
+            );
+        }
+    }
+}
+
+#[test]
+fn ours_is_in_the_same_cost_band_as_wjh97() {
+    let best_wjh97 =
+        [3u32, 9, 21, 45].into_iter().map(run_wjh97).fold(f64::MAX, f64::min);
+    let (ours, _) = run_ours_exact();
+    assert!(ours > 0.0 && best_wjh97 > 0.0);
+    // The paper reports a near-precise match on 2h runs; at this scale we
+    // assert the same cost band (within 2x either way) — both algorithms
+    // adaptively cache the read-heavy values and drop the write-heavy ones.
+    let ratio = ours / best_wjh97;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "ours {ours} vs WJH97 {best_wjh97}: ratio {ratio} outside the subsumption band"
+    );
+}
+
+#[test]
+fn exact_queries_get_exact_answers_under_subsumption() {
+    // With delta = 0 every query answer must be a point whatever the
+    // caching state is.
+    let sys = AdaptiveSystemConfig {
+        gamma0: 1_000.0,
+        gamma1: 1_000.0,
+        ..AdaptiveSystemConfig::default()
+    };
+    let mut master = Rng::seed_from_u64(9);
+    let workload = WorkloadSpec::trace(trace());
+    let processes = workload.build_processes(&mut master).expect("builds");
+    let initial: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let mut system =
+        apcache::sim::systems::AdaptiveSystem::new(&sys, &initial, master.fork()).expect("builds");
+    let mut stats = apcache::sim::Stats::new();
+    stats.begin_measurement();
+    let mut values = initial;
+    let mut procs = processes;
+    for t in 1..=300u64 {
+        let now = t * 1_000;
+        for (i, p) in procs.iter_mut().enumerate() {
+            let v = p.step();
+            if v != values[i] {
+                values[i] = v;
+                apcache::sim::CacheSystem::on_update(&mut system, Key(i as u32), v, now, &mut stats)
+                    .expect("update ok");
+            }
+        }
+        let keys: Vec<Key> = (0..5).map(Key).collect();
+        let query = apcache::workload::query::GeneratedQuery {
+            kind: apcache::queries::AggregateKind::Sum,
+            keys: keys.clone(),
+            delta: 0.0,
+        };
+        let out = apcache::sim::CacheSystem::on_query(&mut system, &query, now, &mut stats)
+            .expect("query ok");
+        let answer = out.answer.expect("interval answer");
+        assert!(answer.is_exact(), "t={t}: non-exact answer under delta=0");
+        let truth: f64 = keys.iter().map(|k| values[k.0 as usize]).sum();
+        assert!(
+            (answer.lo() - truth).abs() < 1e-6,
+            "t={t}: exact answer {} != truth {truth}",
+            answer.lo()
+        );
+    }
+}
