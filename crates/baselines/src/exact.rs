@@ -143,9 +143,7 @@ impl ExactCachingSystem {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.cached)
-            .min_by(|(ia, a), (ib, b)| {
-                a.cost_diff.total_cmp(&b.cost_diff).then_with(|| ia.cmp(ib))
-            })
+            .min_by(|(ia, a), (ib, b)| a.cost_diff.total_cmp(&b.cost_diff).then_with(|| ia.cmp(ib)))
             .map(|(i, s)| (i, s.cost_diff));
         if let Some((vi, v_diff)) = victim {
             if self.states[idx].cost_diff > v_diff {
@@ -208,15 +206,9 @@ impl CacheSystem for ExactCachingSystem {
         // The exact answer (a point interval), for parity with the
         // approximate systems' reporting.
         let answer = match query.kind {
-            apcache_queries::AggregateKind::Sum => {
-                Some(values.values().sum::<f64>())
-            }
-            apcache_queries::AggregateKind::Max => {
-                values.values().copied().reduce(f64::max)
-            }
-            apcache_queries::AggregateKind::Min => {
-                values.values().copied().reduce(f64::min)
-            }
+            apcache_queries::AggregateKind::Sum => Some(values.values().sum::<f64>()),
+            apcache_queries::AggregateKind::Max => values.values().copied().reduce(f64::max),
+            apcache_queries::AggregateKind::Min => values.values().copied().reduce(f64::min),
             apcache_queries::AggregateKind::Avg => {
                 if values.is_empty() {
                     None

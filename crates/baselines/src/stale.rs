@@ -6,18 +6,24 @@
 //! for the cost factor to `θ' = C_vr/C_qr`. … No other modifications to
 //! our algorithm were necessary."
 //!
-//! The approximated "value" is the count of source updates not yet
-//! reflected at the cache; the interval on it is `[0, W]`. Because the
+//! The approximated "value" is the cumulative count of source updates; the
+//! cached interval bounds how many of them may be unreflected. Because the
 //! counter only moves up, escape is deterministic — `P_vr ∝ 1/W` — which
 //! is where the halved cost factor comes from (see
 //! [`apcache_core::model::MonotonicModel`]).
+//!
+//! Exactly as the paper promises, no private protocol copy is needed: the
+//! system routes the counter through the [`PrecisionStore`] façade with
+//! [`PolicySpec::StaleCounter`] (low-anchored intervals `[c, c+W]`, the
+//! monotonic cost factor), and the store's ordinary read/write protocol
+//! does the rest.
 
 use apcache_core::cost::CostModel;
-use apcache_core::policy::{AdaptiveParams, AdaptivePolicy, Escape, PrecisionPolicy};
 use apcache_core::{Interval, Key, Rng, TimeMs};
 use apcache_sim::error::SimError;
 use apcache_sim::stats::Stats;
 use apcache_sim::system::{CacheSystem, QuerySummary};
+use apcache_store::{Constraint, InitialWidth, PolicySpec, PrecisionStore, StoreBuilder};
 use apcache_workload::query::GeneratedQuery;
 
 /// Configuration of the stale-value specialization of the paper's
@@ -48,19 +54,13 @@ impl Default for StaleApproxConfig {
     }
 }
 
-#[derive(Debug)]
-struct KeyState {
-    value: f64,
-    policy: AdaptivePolicy,
-    unreflected: u32,
-}
-
-/// The paper's algorithm bounding update counters instead of values.
+/// The paper's algorithm bounding update counters instead of values,
+/// served through the [`PrecisionStore`] façade.
 #[derive(Debug)]
 pub struct StaleApproxSystem {
-    cost: CostModel,
-    states: Vec<KeyState>,
-    rng: Rng,
+    store: PrecisionStore<Key>,
+    /// Cumulative update count per source (the approximated "value").
+    counts: Vec<u64>,
 }
 
 impl StaleApproxSystem {
@@ -73,30 +73,35 @@ impl StaleApproxSystem {
         if initial_values.is_empty() {
             return Err(SimError::Config("at least one source required".into()));
         }
-        let params = AdaptiveParams::monotonic(&cfg.cost, cfg.alpha)?
-            .with_thresholds(cfg.gamma0, cfg.gamma1)?;
-        let states = initial_values
-            .iter()
-            .map(|&v| {
-                Ok(KeyState {
-                    value: v,
-                    policy: AdaptivePolicy::new(params, cfg.initial_width)?,
-                    unreflected: 0,
-                })
-            })
-            .collect::<Result<Vec<_>, SimError>>()?;
-        Ok(StaleApproxSystem { cost: cfg.cost, states, rng: rng.fork() })
+        let mut builder: StoreBuilder<Key> = StoreBuilder::new()
+            .cost(cfg.cost)
+            .alpha(cfg.alpha)
+            .thresholds(cfg.gamma0, cfg.gamma1)
+            .initial_width(InitialWidth::Fixed(cfg.initial_width))
+            .default_policy(PolicySpec::StaleCounter)
+            .rng(rng.fork());
+        for i in 0..initial_values.len() {
+            // The store tracks the update counter, which starts at zero for
+            // every source regardless of the data value.
+            builder = builder.source(Key(i as u32), 0.0);
+        }
+        Ok(StaleApproxSystem { store: builder.build()?, counts: vec![0; initial_values.len()] })
+    }
+
+    /// The façade serving the update counters, for inspection.
+    pub fn store(&self) -> &PrecisionStore<Key> {
+        &self.store
     }
 
     /// The internal width (divergence bound) for `key`.
     pub fn internal_width_of(&self, key: Key) -> Option<f64> {
-        self.states.get(key.0 as usize).map(|s| s.policy.internal_width())
+        self.store.internal_width(&key)
     }
 
     /// The effective divergence guarantee for `key` (`0` = exact copy,
     /// `∞` = uncached).
     pub fn guarantee_of(&self, key: Key) -> Option<f64> {
-        self.states.get(key.0 as usize).map(|s| s.policy.effective_width())
+        Some(self.store.cached_interval(&key, 0)?.width())
     }
 }
 
@@ -104,20 +109,17 @@ impl CacheSystem for StaleApproxSystem {
     fn on_update(
         &mut self,
         key: Key,
-        value: f64,
-        _now: TimeMs,
+        _value: f64,
+        now: TimeMs,
         stats: &mut Stats,
     ) -> Result<(), SimError> {
-        let Some(s) = self.states.get_mut(key.0 as usize) else {
+        let Some(count) = self.counts.get_mut(key.0 as usize) else {
             return Err(SimError::Config(format!("update for unknown {key}")));
         };
-        s.value = value;
-        s.unreflected += 1;
-        // The update counter escaped its interval [0, W]?
-        if f64::from(s.unreflected) > s.policy.effective_width() {
-            stats.record_vr(self.cost.c_vr());
-            s.policy.on_value_refresh(Escape::Above, &mut self.rng);
-            s.unreflected = 0;
+        *count += 1;
+        let outcome = self.store.write(&key, *count as f64, now)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.store.cost_model().c_vr());
         }
         Ok(())
     }
@@ -125,29 +127,28 @@ impl CacheSystem for StaleApproxSystem {
     fn on_query(
         &mut self,
         query: &GeneratedQuery,
-        _now: TimeMs,
+        now: TimeMs,
         stats: &mut Stats,
     ) -> Result<QuerySummary, SimError> {
         let mut remote = 0usize;
         for &key in &query.keys {
-            let Some(s) = self.states.get_mut(key.0 as usize) else {
+            if key.0 as usize >= self.counts.len() {
                 return Err(SimError::Config(format!("query for unknown {key}")));
-            };
-            // The cache's staleness guarantee is the interval width.
-            if s.policy.effective_width() > query.delta {
-                stats.record_qr(self.cost.c_qr());
-                s.policy.on_query_refresh(&mut self.rng);
-                s.unreflected = 0;
+            }
+            // The cache's staleness guarantee is the cached interval width;
+            // a read that cannot be served within δ refreshes remotely.
+            let result = self.store.read(&key, Constraint::Absolute(query.delta), now)?;
+            if result.refreshed {
+                stats.record_qr(self.store.cost_model().c_qr());
                 remote += 1;
             }
         }
         Ok(QuerySummary { answer: None, refreshes: remote })
     }
 
-    fn interval_of(&self, key: Key, _now: TimeMs) -> Option<Interval> {
+    fn interval_of(&self, key: Key, now: TimeMs) -> Option<Interval> {
         // The "interval" lives in update-count space: [0, W].
-        let s = self.states.get(key.0 as usize)?;
-        let w = s.policy.effective_width();
+        let w = self.store.cached_interval(&key, now)?.width();
         if w.is_infinite() {
             None
         } else {
@@ -254,5 +255,21 @@ mod tests {
         assert!(w.is_finite() && w > 0.0);
         assert!(stats.vr_count() > 0);
         assert!(stats.qr_count() > 0);
+    }
+
+    #[test]
+    fn facade_metrics_match_stats() {
+        // The store's counters and the simulator's Stats must agree when
+        // measurement covers the whole run.
+        let mut s = sys(StaleApproxConfig::default());
+        let mut stats = measuring();
+        for i in 0..100u32 {
+            s.on_update(Key(0), f64::from(i), u64::from(i) * 1_000, &mut stats).unwrap();
+            s.on_query(&query(0, 2.0), u64::from(i) * 1_000 + 500, &mut stats).unwrap();
+        }
+        let m = s.store().metrics();
+        assert_eq!(m.vr_count(), stats.vr_count());
+        assert_eq!(m.qr_count(), stats.qr_count());
+        assert_eq!(m.total_cost(), stats.total_cost());
     }
 }

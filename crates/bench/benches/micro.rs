@@ -70,8 +70,8 @@ fn bench_planner(c: &mut Criterion) {
     for n in [10usize, 100, 1_000] {
         let items = make_items(n);
         group.bench_with_input(BenchmarkId::new("sum", n), &items, |b, items| {
-            let constraint = PrecisionConstraint::new(50.0 * items.len() as f64 / 4.0)
-                .expect("valid");
+            let constraint =
+                PrecisionConstraint::new(50.0 * items.len() as f64 / 4.0).expect("valid");
             b.iter(|| {
                 black_box(
                     evaluate(AggregateKind::Sum, constraint, items, |k| k.0 as f64)

@@ -20,13 +20,7 @@ const WALK_DURATION: u64 = 20_000;
 const WALK_SOURCES: usize = 8;
 
 fn walk_queries(delta_avg: f64) -> QuerySpec {
-    QuerySpec {
-        period_secs: 1.0,
-        fanout: 4,
-        delta_avg,
-        delta_rho: 1.0,
-        kind_mix: KindMix::SumOnly,
-    }
+    QuerySpec { period_secs: 1.0, fanout: 4, delta_avg, delta_rho: 1.0, kind_mix: KindMix::SumOnly }
 }
 
 fn run_policy_on_walks(policy: PolicyKind, walk: WalkConfig, seed: u64) -> f64 {
@@ -36,8 +30,7 @@ fn run_policy_on_walks(policy: PolicyKind, walk: WalkConfig, seed: u64) -> f64 {
         gamma1: f64::INFINITY,
         ..AdaptiveSystemConfig::default()
     };
-    run_on_walks(WALK_SOURCES, walk, &sys, walk_queries(40.0), WALK_DURATION, seed)
-        .cost_rate()
+    run_on_walks(WALK_SOURCES, walk, &sys, walk_queries(40.0), WALK_DURATION, seed).cost_rate()
 }
 
 fn run_policy_on_trace(policy: PolicyKind, seed: u64) -> f64 {
@@ -147,8 +140,7 @@ pub fn run_time_varying() -> Table {
         "100".into(),
     ]);
     let drift = biased.drift();
-    let omega =
-        run_policy_on_walks(PolicyKind::Drifting { rate_per_sec: drift }, biased, seed);
+    let omega = run_policy_on_walks(PolicyKind::Drifting { rate_per_sec: drift }, biased, seed);
     table.push_row(vec![
         "biased walk".into(),
         format!("drift k={}", fmt_num(drift)),
@@ -169,16 +161,12 @@ pub fn run_history() -> Table {
     table.note("also the most adaptive and simplest to implement.");
     let mut seed = MASTER_SEED + 452_000;
     seed += 1;
-    let base = run_policy_on_trace(
-        PolicyKind::History { r: 1, weighting: Weighting::Uniform },
-        seed,
-    );
+    let base =
+        run_policy_on_trace(PolicyKind::History { r: 1, weighting: Weighting::Uniform }, seed);
     table.push_row(vec!["1".into(), "uniform".into(), fmt_num(base), "100".into()]);
     for r in [3usize, 7, 15] {
-        let omega = run_policy_on_trace(
-            PolicyKind::History { r, weighting: Weighting::Uniform },
-            seed,
-        );
+        let omega =
+            run_policy_on_trace(PolicyKind::History { r, weighting: Weighting::Uniform }, seed);
         table.push_row(vec![
             r.to_string(),
             "uniform".into(),

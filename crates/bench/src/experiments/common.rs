@@ -34,24 +34,12 @@ pub fn trace_sim_config(seed: u64) -> SimConfig {
 
 /// SUM query workload over 10 random sources (the paper's standard).
 pub fn sum_queries(tq: f64, delta_avg: f64, rho: f64) -> QuerySpec {
-    QuerySpec {
-        period_secs: tq,
-        fanout: 10,
-        delta_avg,
-        delta_rho: rho,
-        kind_mix: KindMix::SumOnly,
-    }
+    QuerySpec { period_secs: tq, fanout: 10, delta_avg, delta_rho: rho, kind_mix: KindMix::SumOnly }
 }
 
 /// MAX query workload over 10 random sources.
 pub fn max_queries(tq: f64, delta_avg: f64, rho: f64) -> QuerySpec {
-    QuerySpec {
-        period_secs: tq,
-        fanout: 10,
-        delta_avg,
-        delta_rho: rho,
-        kind_mix: KindMix::MaxOnly,
-    }
+    QuerySpec { period_secs: tq, fanout: 10, delta_avg, delta_rho: rho, kind_mix: KindMix::MaxOnly }
 }
 
 /// Adaptive system config with the paper's recommended settings
@@ -100,11 +88,10 @@ pub fn run_on_walks(
         .seed(seed)
         .build()
         .expect("static sim config valid");
-    let report =
-        build_adaptive_simulation(&cfg, sys, WorkloadSpec::random_walks(n, walk), queries)
-            .expect("walk experiment assembles")
-            .run()
-            .expect("walk experiment runs");
+    let report = build_adaptive_simulation(&cfg, sys, WorkloadSpec::random_walks(n, walk), queries)
+        .expect("walk experiment assembles")
+        .run()
+        .expect("walk experiment runs");
     report.stats
 }
 

@@ -20,13 +20,7 @@ use crate::table::{fmt_num, Table};
 const DURATION_SECS: u64 = 40_000;
 
 fn queries(tq: f64, delta_avg: f64) -> QuerySpec {
-    QuerySpec {
-        period_secs: tq,
-        fanout: 1,
-        delta_avg,
-        delta_rho: 1.0,
-        kind_mix: KindMix::SumOnly,
-    }
+    QuerySpec { period_secs: tq, fanout: 1, delta_avg, delta_rho: 1.0, kind_mix: KindMix::SumOnly }
 }
 
 fn run_fixed(width: f64, tq: f64, delta_avg: f64, theta: f64, seed: u64) -> (f64, f64, f64) {
@@ -107,11 +101,7 @@ pub fn run_sweep() -> Table {
     // around the optimum and pays 15-30% (also reported below).
     let (omega_fine, w_fine) = run_adaptive(2.0, 20.0, 1.0, 0.05, MASTER_SEED + 100);
     let (omega_coarse, w_coarse) = run_adaptive(2.0, 20.0, 1.0, 1.0, MASTER_SEED + 101);
-    table.note(format!(
-        "best fixed width W={} with Omega={}",
-        fmt_num(best.1),
-        fmt_num(best.0),
-    ));
+    table.note(format!("best fixed width W={} with Omega={}", fmt_num(best.1), fmt_num(best.0),));
     table.note(format!(
         "adaptive alpha=0.05 converged to W={} with Omega={} ({}% of best fixed)",
         fmt_num(w_fine),

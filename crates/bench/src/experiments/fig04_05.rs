@@ -37,8 +37,7 @@ pub fn find_activation(trace: &TraceSet) -> (usize, usize) {
                     continue;
                 }
                 // Substantial activity must follow the activation.
-                let burst: f64 =
-                    series[t..(t + 300).min(series.len())].iter().sum::<f64>() / 300.0;
+                let burst: f64 = series[t..(t + 300).min(series.len())].iter().sum::<f64>() / 300.0;
                 let score = burst * (idle_len.min(600) as f64);
                 if burst > 0.05 * peak && score > best.2 {
                     best = (h, t, score);
@@ -75,8 +74,13 @@ fn run_recording(trace: &TraceSet, delta_avg: f64, host: usize, activation: usiz
             if delta_avg < 100_000.0 { "4" } else { "5" },
             fmt_num(delta_avg),
         ),
-        vec!["t (s)".into(), "value".into(), "interval lo".into(), "interval hi".into(),
-             "width".into()],
+        vec![
+            "t (s)".into(),
+            "value".into(),
+            "interval lo".into(),
+            "interval hi".into(),
+            "width".into(),
+        ],
     );
     table.note("paper shape: tight constraints (Fig 4) -> narrow intervals tracking the value;");
     table.note("loose constraints (Fig 5) -> wide intervals that rarely refresh.");
@@ -121,10 +125,8 @@ pub fn run() -> Vec<Table> {
         widths.iter().sum::<f64>() / widths.len().max(1) as f64
     };
     let (m4, m5) = (mean_width(&fig4), mean_width(&fig5));
-    let mut summary = Table::new(
-        "Figures 4 vs 5 summary",
-        vec!["delta_avg".into(), "mean cached width".into()],
-    );
+    let mut summary =
+        Table::new("Figures 4 vs 5 summary", vec!["delta_avg".into(), "mean cached width".into()]);
     summary.note("paper: tight constraints favour narrow intervals (width capped near the");
     summary.note("per-item budget delta_avg/10 or the host's own slew, whichever binds),");
     summary.note("loose constraints favour substantially wider ones.");

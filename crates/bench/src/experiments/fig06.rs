@@ -33,11 +33,7 @@ pub fn run() -> Table {
     let trace = paper_trace();
     let mut columns = vec!["alpha".into()];
     for (theta, tq, dmin, dmax) in COMBOS {
-        columns.push(format!(
-            "th={theta},Tq={tq},[{}..{}]",
-            fmt_num(dmin),
-            fmt_num(dmax)
-        ));
+        columns.push(format!("th={theta},Tq={tq},[{}..{}]", fmt_num(dmin), fmt_num(dmax)));
     }
     let mut table = Table::new(
         "Figure 6: average cost rate Omega vs adaptivity alpha (SUM queries, trace data)",

@@ -27,7 +27,9 @@ pub fn run_one(tq: f64) -> Table {
         "9"
     };
     let mut table = Table::new(
-        format!("Figure {fig}: settings of gamma1, T_q = {tq} (alpha=1, rho=0.5, gamma0=1K, theta=1)"),
+        format!(
+            "Figure {fig}: settings of gamma1, T_q = {tq} (alpha=1, rho=0.5, gamma0=1K, theta=1)"
+        ),
         vec![
             "delta_avg".into(),
             "gamma1=inf".into(),

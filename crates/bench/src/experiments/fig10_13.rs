@@ -11,8 +11,8 @@
 //! * with a small cache (κ = 20), nonzero constraints help less because
 //!   inexact intervals tend to be evicted.
 
-use apcache_core::cost::CostModel;
 use apcache_baselines::exact::{ExactCachingConfig, ExactCachingSystem};
+use apcache_core::cost::CostModel;
 use apcache_sim::systems::{AdaptiveSystemConfig, QuerySpec, WorkloadSpec};
 use apcache_sim::Simulation;
 use apcache_workload::trace::TraceSet;
@@ -44,11 +44,9 @@ pub fn run_exact(
     let workload = WorkloadSpec::trace(trace.clone());
     let processes = workload.build_processes(&mut master).expect("processes build");
     let initial: Vec<f64> = processes.iter().map(|p| p.value()).collect();
-    let system = ExactCachingSystem::new(
-        ExactCachingConfig { cost, x, cache_capacity: capacity },
-        &initial,
-    )
-    .expect("system builds");
+    let system =
+        ExactCachingSystem::new(ExactCachingConfig { cost, x, cache_capacity: capacity }, &initial)
+            .expect("system builds");
     let query_gen =
         apcache_workload::query::QueryGenerator::new(queries, initial.len(), master.fork())
             .expect("query generator builds");
@@ -144,10 +142,5 @@ pub fn run_one(theta: f64, capacity: Option<usize>) -> Table {
 
 /// Regenerate Figures 10–13.
 pub fn run() -> Vec<Table> {
-    vec![
-        run_one(1.0, None),
-        run_one(4.0, None),
-        run_one(1.0, Some(20)),
-        run_one(4.0, Some(20)),
-    ]
+    vec![run_one(1.0, None), run_one(4.0, None), run_one(1.0, Some(20)), run_one(4.0, Some(20))]
 }

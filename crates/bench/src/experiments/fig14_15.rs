@@ -37,22 +37,14 @@ fn stale_queries(tq: f64, delta_avg: f64) -> QuerySpec {
 
 /// Run either stale-approximation system over the trace-driven update
 /// workload (sources update whenever their traffic level changes).
-fn run_system<S: CacheSystem>(
-    trace: &TraceSet,
-    system: S,
-    queries: QuerySpec,
-    seed: u64,
-) -> f64 {
+fn run_system<S: CacheSystem>(trace: &TraceSet, system: S, queries: QuerySpec, seed: u64) -> f64 {
     let sim_cfg = trace_sim_config(seed);
     let mut master = apcache_core::Rng::seed_from_u64(sim_cfg.seed());
     let workload = WorkloadSpec::trace(trace.clone());
     let processes = workload.build_processes(&mut master).expect("processes build");
-    let query_gen = apcache_workload::query::QueryGenerator::new(
-        queries,
-        processes.len(),
-        master.fork(),
-    )
-    .expect("query generator builds");
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, processes.len(), master.fork())
+            .expect("query generator builds");
     Simulation::new(sim_cfg, system, processes, query_gen)
         .expect("assembles")
         .run()
@@ -95,13 +87,8 @@ pub fn run_one(tq: f64) -> Table {
         let omega_dc = run_system(&trace, dc, stale_queries(tq, delta_avg), seed);
 
         let run_ours = |gamma1: f64, seed: u64| {
-            let stale_cfg = StaleApproxConfig {
-                cost,
-                alpha: 1.0,
-                gamma0: 1.0,
-                gamma1,
-                initial_width: 4.0,
-            };
+            let stale_cfg =
+                StaleApproxConfig { cost, alpha: 1.0, gamma0: 1.0, gamma1, initial_width: 4.0 };
             let ours = StaleApproxSystem::new(
                 &stale_cfg,
                 &initial,

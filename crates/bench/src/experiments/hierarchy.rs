@@ -36,9 +36,8 @@ fn run_system<S: CacheSystem>(system: S, seed: u64) -> f64 {
         delta_rho: 1.0,
         kind_mix: KindMix::SumOnly,
     };
-    let query_gen =
-        apcache_workload::query::QueryGenerator::new(queries, N_SOURCES, master.fork())
-            .expect("builds");
+    let query_gen = apcache_workload::query::QueryGenerator::new(queries, N_SOURCES, master.fork())
+        .expect("builds");
     Simulation::new(cfg, system, processes, query_gen)
         .expect("assembles")
         .run()
@@ -51,12 +50,7 @@ fn run_system<S: CacheSystem>(system: S, seed: u64) -> f64 {
 pub fn run() -> Table {
     let mut table = Table::new(
         "Multi-level caching (Section 5): two-level hierarchy vs flat fan-out",
-        vec![
-            "leaves".into(),
-            "hierarchy".into(),
-            "flat".into(),
-            "hier/flat %".into(),
-        ],
+        vec!["leaves".into(), "hierarchy".into(), "flat".into(), "hier/flat %".into()],
     );
     table.note("expected shape: the hierarchy pays the expensive source hop once per");
     table.note("refresh regardless of the leaf count, so its relative advantage widens");
@@ -66,11 +60,11 @@ pub fn run() -> Table {
         let cfg = MultiLevelConfig { n_leaves, ..MultiLevelConfig::default() };
         let initial = vec![0.0; N_SOURCES];
         seed += 2;
-        let hier = MultiLevelSystem::new(&cfg, &initial, Rng::seed_from_u64(seed))
-            .expect("hier builds");
+        let hier =
+            MultiLevelSystem::new(&cfg, &initial, Rng::seed_from_u64(seed)).expect("hier builds");
         let omega_hier = run_system(hier, seed);
-        let flat = FlatFanoutSystem::new(&cfg, &initial, Rng::seed_from_u64(seed))
-            .expect("flat builds");
+        let flat =
+            FlatFanoutSystem::new(&cfg, &initial, Rng::seed_from_u64(seed)).expect("flat builds");
         let omega_flat = run_system(flat, seed + 1);
         table.push_row(vec![
             n_leaves.to_string(),

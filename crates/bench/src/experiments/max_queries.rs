@@ -10,9 +10,7 @@
 use apcache_core::cost::CostModel;
 use apcache_sim::systems::AdaptiveSystemConfig;
 
-use crate::experiments::common::{
-    max_queries, paper_trace, run_on_trace, MASTER_SEED,
-};
+use crate::experiments::common::{max_queries, paper_trace, run_on_trace, MASTER_SEED};
 use crate::experiments::fig10_13::best_exact;
 use crate::table::{fmt_num, Table};
 

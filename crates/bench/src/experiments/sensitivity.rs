@@ -3,9 +3,7 @@
 
 use apcache_sim::systems::AdaptiveSystemConfig;
 
-use crate::experiments::common::{
-    paper_trace, pct_diff, run_on_trace, sum_queries, MASTER_SEED,
-};
+use crate::experiments::common::{paper_trace, pct_diff, run_on_trace, sum_queries, MASTER_SEED};
 use crate::table::{fmt_num, Table};
 
 /// γ0 impact: the paper reports that for constraints in \[5K, 15K\]
@@ -34,11 +32,7 @@ pub fn run_gamma0() -> Table {
         if gamma0 == 0.0 {
             base = omega;
         }
-        table.push_row(vec![
-            fmt_num(gamma0),
-            fmt_num(omega),
-            fmt_num(pct_diff(base, omega)),
-        ]);
+        table.push_row(vec![fmt_num(gamma0), fmt_num(omega), fmt_num(pct_diff(base, omega))]);
     }
     table
 }
@@ -51,12 +45,7 @@ pub fn run_rho() -> Table {
     let trace = paper_trace();
     let mut table = Table::new(
         "Section 4.4: sensitivity to constraint variation rho (T_q=1, gamma0=1K)",
-        vec![
-            "delta_avg".into(),
-            "Omega rho=0".into(),
-            "Omega rho=1".into(),
-            "diff %".into(),
-        ],
+        vec!["delta_avg".into(), "Omega rho=0".into(), "Omega rho=1".into(), "diff %".into()],
     );
     table.note("paper: the degradation from widely spread constraints is small");
     table.note("(1.9% at 100K, 5.5% at 10K, <1% at 5K).");

@@ -228,16 +228,10 @@ mod tests {
     #[test]
     fn constructors_validate() {
         assert!(Interval::new(1.0, 2.0).is_ok());
-        assert!(matches!(
-            Interval::new(2.0, 1.0),
-            Err(IntervalError::Inverted { .. })
-        ));
+        assert!(matches!(Interval::new(2.0, 1.0), Err(IntervalError::Inverted { .. })));
         assert!(matches!(Interval::new(f64::NAN, 1.0), Err(IntervalError::NotANumber)));
         assert!(matches!(Interval::point(f64::NAN), Err(IntervalError::NotANumber)));
-        assert!(matches!(
-            Interval::centered(0.0, -1.0),
-            Err(IntervalError::NegativeWidth(_))
-        ));
+        assert!(matches!(Interval::centered(0.0, -1.0), Err(IntervalError::NegativeWidth(_))));
     }
 
     #[test]

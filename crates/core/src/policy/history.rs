@@ -145,9 +145,7 @@ mod tests {
         assert!(
             HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 1.5 }).is_err()
         );
-        assert!(
-            HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 0.5 }).is_ok()
-        );
+        assert!(HistoryPolicy::new(params(), 8.0, 3, Weighting::Exponential { decay: 0.5 }).is_ok());
     }
 
     #[test]

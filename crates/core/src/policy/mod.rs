@@ -16,6 +16,7 @@
 mod adaptive;
 mod fixed;
 mod history;
+mod monotonic;
 mod spec;
 mod time_varying;
 mod uncentered;
@@ -23,6 +24,7 @@ mod uncentered;
 pub use adaptive::{AdaptiveParams, AdaptivePolicy};
 pub use fixed::FixedWidthPolicy;
 pub use history::{HistoryPolicy, Weighting};
+pub use monotonic::MonotonicPolicy;
 pub use spec::ApproxSpec;
 pub use time_varying::{DriftingPolicy, GrowthLaw, TimeVaryingPolicy};
 pub use uncentered::UncenteredPolicy;

@@ -1,0 +1,126 @@
+//! Low-anchored intervals for monotonic deviation metrics (Sections 2.1
+//! and 4.7).
+//!
+//! Stale-value approximations bound a quantity that only moves *up* — the
+//! number of source updates not yet reflected at the cache. Centering an
+//! interval on such a counter wastes its entire lower half, so this policy
+//! anchors the interval at the current value instead: a refresh at counter
+//! value `V` installs `[V, V + W]`, which stays valid for the next `⌊W⌋`
+//! updates.
+//!
+//! Because escape is deterministic rather than diffusive (`P_vr ∝ 1/W`
+//! instead of `1/W²`), the matching cost factor is the monotonic one,
+//! `θ' = C_vr/C_qr` — construct the parameters with
+//! [`AdaptiveParams::monotonic`]. The width adaptation itself is unchanged
+//! from [`AdaptivePolicy`](super::AdaptivePolicy): grow by `(1+α)` on
+//! value-initiated refreshes, shrink on query-initiated ones.
+
+use super::{AdaptiveParams, AdaptivePolicy, ApproxSpec, Escape, PrecisionPolicy};
+use crate::error::ParamError;
+use crate::interval::Interval;
+use crate::rng::Rng;
+use crate::TimeMs;
+
+/// The adaptive policy with intervals anchored at the value: refreshes
+/// install `[V, V + W]` rather than `[V − W/2, V + W/2]`.
+#[derive(Debug, Clone)]
+pub struct MonotonicPolicy {
+    inner: AdaptivePolicy,
+}
+
+impl MonotonicPolicy {
+    /// Create the policy; `params` should normally carry the monotonic cost
+    /// factor `θ' = C_vr/C_qr` (see [`AdaptiveParams::monotonic`]).
+    pub fn new(params: AdaptiveParams, initial_width: f64) -> Result<Self, ParamError> {
+        Ok(MonotonicPolicy { inner: AdaptivePolicy::new(params, initial_width)? })
+    }
+
+    /// The parameters this policy runs with.
+    pub fn params(&self) -> &AdaptiveParams {
+        self.inner.params()
+    }
+}
+
+impl PrecisionPolicy for MonotonicPolicy {
+    fn on_value_refresh(&mut self, escape: Escape, rng: &mut Rng) {
+        self.inner.on_value_refresh(escape, rng);
+    }
+
+    fn on_query_refresh(&mut self, rng: &mut Rng) {
+        self.inner.on_query_refresh(rng);
+    }
+
+    fn internal_width(&self) -> f64 {
+        self.inner.internal_width()
+    }
+
+    fn effective_width(&self) -> f64 {
+        self.inner.effective_width()
+    }
+
+    fn make_spec(&self, value: f64, _now: TimeMs) -> ApproxSpec {
+        let w = self.effective_width();
+        if w.is_infinite() {
+            return ApproxSpec::Constant(Interval::unbounded());
+        }
+        match Interval::new(value, value + w) {
+            Ok(iv) => ApproxSpec::Constant(iv),
+            Err(_) => ApproxSpec::Constant(Interval::unbounded()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn policy(width: f64) -> MonotonicPolicy {
+        let cost = CostModel::new(1.0, 2.0).unwrap();
+        let params = AdaptiveParams::monotonic(&cost, 1.0).unwrap();
+        MonotonicPolicy::new(params, width).unwrap()
+    }
+
+    #[test]
+    fn spec_is_low_anchored() {
+        let p = policy(4.0);
+        let iv = p.make_spec(10.0, 0).interval_at(0);
+        assert_eq!((iv.lo(), iv.hi()), (10.0, 14.0));
+        // The anchor value itself is always valid.
+        assert!(iv.contains(10.0));
+        // ... and so are the next floor(W) increments, but not W + 1.
+        assert!(iv.contains(14.0));
+        assert!(!iv.contains(14.5));
+    }
+
+    #[test]
+    fn monotonic_theta_shrinks_every_qr() {
+        // θ' = 0.5 < 1 ⇒ shrink probability is 1: deterministic halving.
+        let mut p = policy(8.0);
+        let mut rng = Rng::seed_from_u64(0);
+        p.on_query_refresh(&mut rng);
+        assert_eq!(p.internal_width(), 4.0);
+    }
+
+    #[test]
+    fn snapped_zero_width_is_exact_anchor() {
+        let cost = CostModel::new(1.0, 2.0).unwrap();
+        let params = AdaptiveParams::monotonic(&cost, 1.0)
+            .unwrap()
+            .with_thresholds(1.0, f64::INFINITY)
+            .unwrap();
+        let p = MonotonicPolicy::new(params, 0.5).unwrap();
+        let iv = p.make_spec(3.0, 0).interval_at(0);
+        assert!(iv.is_exact());
+        assert_eq!(iv.lo(), 3.0);
+    }
+
+    #[test]
+    fn snapped_infinite_width_is_unbounded() {
+        let cost = CostModel::new(1.0, 2.0).unwrap();
+        let params =
+            AdaptiveParams::monotonic(&cost, 1.0).unwrap().with_thresholds(0.0, 4.0).unwrap();
+        let p = MonotonicPolicy::new(params, 100.0).unwrap();
+        assert!(p.make_spec(3.0, 0).interval_at(0).is_unbounded());
+    }
+}

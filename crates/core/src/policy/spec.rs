@@ -71,8 +71,7 @@ impl ApproxSpec {
             }
             ApproxSpec::Drifting { lo0, hi0, rate_per_sec, t0 } => {
                 let shift = rate_per_sec * Self::age_secs(t0, now);
-                Interval::new(lo0 + shift, hi0 + shift)
-                    .unwrap_or_else(|_| Interval::unbounded())
+                Interval::new(lo0 + shift, hi0 + shift).unwrap_or_else(|_| Interval::unbounded())
             }
         }
     }

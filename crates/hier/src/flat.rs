@@ -45,8 +45,8 @@ impl FlatFanoutSystem {
             cfg.upper_cost.c_vr() + cfg.lower_cost.c_vr(),
             cfg.upper_cost.c_qr() + cfg.lower_cost.c_qr(),
         )?;
-        let params = AdaptiveParams::new(&full_path, cfg.alpha)?
-            .with_thresholds(cfg.gamma0, cfg.gamma1)?;
+        let params =
+            AdaptiveParams::new(&full_path, cfg.alpha)?.with_thresholds(cfg.gamma0, cfg.gamma1)?;
         let mut leaves: Vec<Cache> =
             (0..cfg.n_leaves).map(|l| Cache::unbounded(CacheId(l as u32))).collect();
         let mut sources = Vec::with_capacity(initial_values.len());
@@ -76,9 +76,7 @@ impl FlatFanoutSystem {
         if li >= self.n_leaves || ki >= self.sources.len() {
             return Err(SimError::Config(format!("unknown leaf {} or {key}", leaf.0)));
         }
-        let cached = self.leaves[li]
-            .interval_at(key, now)
-            .unwrap_or_else(Interval::unbounded);
+        let cached = self.leaves[li].interval_at(key, now).unwrap_or_else(Interval::unbounded);
         if cached.width() <= delta {
             return Ok(cached);
         }
@@ -98,10 +96,8 @@ impl CacheSystem for FlatFanoutSystem {
         stats: &mut Stats,
     ) -> Result<(), SimError> {
         let ki = key.0 as usize;
-        let source = self
-            .sources
-            .get_mut(ki)
-            .ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
+        let source =
+            self.sources.get_mut(ki).ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
         // Every escaped leaf pays the full end-to-end refresh.
         for (cache_id, refresh) in source.apply_update(value, now, &mut self.rng)? {
             stats.record_vr(self.full_path.c_vr());

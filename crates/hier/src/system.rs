@@ -161,10 +161,8 @@ impl MultiLevelSystem {
         let ki = key.0 as usize;
         let li = leaf.0 as usize;
         {
-            let entry = self
-                .entries
-                .get(ki)
-                .ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
+            let entry =
+                self.entries.get(ki).ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
             let approx = entry
                 .leaves
                 .get(li)
@@ -176,10 +174,7 @@ impl MultiLevelSystem {
         }
         // Lower-hop query-initiated refresh: ask the mid tier.
         stats.record_qr(self.cfg.lower_cost.c_qr());
-        let parent = self
-            .mid
-            .interval_at(key, now)
-            .unwrap_or_else(Interval::unbounded);
+        let parent = self.mid.interval_at(key, now).unwrap_or_else(Interval::unbounded);
         if parent.width() <= delta {
             // The mid tier can serve the request from its own interval.
             let entry = &mut self.entries[ki];
@@ -238,10 +233,8 @@ impl MultiLevelSystem {
         stats: &mut Stats,
     ) -> Result<(), SimError> {
         let ki = key.0 as usize;
-        let source = self
-            .sources
-            .get_mut(ki)
-            .ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
+        let source =
+            self.sources.get_mut(ki).ok_or_else(|| SimError::Config(format!("unknown {key}")))?;
         let refreshes = source.apply_update(value, now, &mut self.rng)?;
         let Some((_, refresh)) = refreshes.into_iter().next() else {
             // Still valid at the mid tier ⇒ still valid at every leaf
@@ -337,12 +330,8 @@ mod tests {
         assert!(MultiLevelSystem::new(&cfg, &[1.0], Rng::seed_from_u64(0)).is_err());
         let cfg = MultiLevelConfig { initial_width: 0.0, ..MultiLevelConfig::default() };
         assert!(MultiLevelSystem::new(&cfg, &[1.0], Rng::seed_from_u64(0)).is_err());
-        assert!(MultiLevelSystem::new(
-            &MultiLevelConfig::default(),
-            &[],
-            Rng::seed_from_u64(0)
-        )
-        .is_err());
+        assert!(MultiLevelSystem::new(&MultiLevelConfig::default(), &[], Rng::seed_from_u64(0))
+            .is_err());
     }
 
     #[test]
@@ -362,9 +351,7 @@ mod tests {
         let mut sys = system(2);
         let mut stats = measuring();
         let leaf_width = sys.leaf_interval(LeafId(0), Key(0)).unwrap().width();
-        let iv = sys
-            .read_bounded(LeafId(0), Key(0), leaf_width + 1.0, 0, &mut stats)
-            .unwrap();
+        let iv = sys.read_bounded(LeafId(0), Key(0), leaf_width + 1.0, 0, &mut stats).unwrap();
         assert_eq!(stats.qr_count(), 0);
         assert!(iv.contains(100.0));
     }

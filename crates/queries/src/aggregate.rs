@@ -71,9 +71,7 @@ pub fn answer_interval(kind: AggregateKind, items: &[ItemBound]) -> Result<Inter
                 return Err(QueryError::EmptyInput);
             }
             let sum = answer_interval(AggregateKind::Sum, items)?;
-            Ok(sum
-                .scale(1.0 / items.len() as f64)
-                .expect("1/n is positive and finite for n >= 1"))
+            Ok(sum.scale(1.0 / items.len() as f64).expect("1/n is positive and finite for n >= 1"))
         }
     }
 }
@@ -112,10 +110,8 @@ mod tests {
 
     #[test]
     fn sum_with_unbounded_item_is_unbounded() {
-        let items = vec![
-            item(0, 1.0, 3.0),
-            ItemBound { key: Key(1), interval: Interval::unbounded() },
-        ];
+        let items =
+            vec![item(0, 1.0, 3.0), ItemBound { key: Key(1), interval: Interval::unbounded() }];
         let a = answer_interval(AggregateKind::Sum, &items).unwrap();
         assert!(a.is_unbounded());
     }

@@ -62,8 +62,8 @@ pub fn evaluate(
             let n = items.len() as f64;
             // width(AVG) = width(SUM)/n, so constrain the SUM to δ·n and
             // scale the answer back down.
-            let scaled = PrecisionConstraint::new(constraint.delta() * n)
-                .expect("delta * n is nonnegative");
+            let scaled =
+                PrecisionConstraint::new(constraint.delta() * n).expect("delta * n is nonnegative");
             let sum = evaluate_sum(scaled, items, fetch)?;
             Ok(QueryOutcome {
                 answer: sum.answer.scale(1.0 / n).expect("1/n positive finite"),
@@ -135,11 +135,8 @@ fn evaluate_sum(
         working[idx] = Interval::point(value).expect("finite value");
         refreshed.push(key);
     }
-    let bounds: Vec<ItemBound> = items
-        .iter()
-        .zip(&working)
-        .map(|(it, iv)| ItemBound::new(it.key, *iv))
-        .collect();
+    let bounds: Vec<ItemBound> =
+        items.iter().zip(&working).map(|(it, iv)| ItemBound::new(it.key, *iv)).collect();
     let answer = answer_interval(AggregateKind::Sum, &bounds)?;
     // The residual-sum decision and this recomputation associate the
     // floating-point additions differently; allow a few ulps of slack.
@@ -184,18 +181,16 @@ fn evaluate_extremum(
         // Such an item always exists while the width exceeds the
         // constraint (a fetched point cannot be the extreme bound of a
         // non-degenerate answer interval).
-        let victim = (0..working.len())
-            .filter(|&i| !fetched[i])
-            .max_by(|&a, &b| {
-                let (wa, wb) = match which {
-                    Extremum::Max => (working[a].interval.hi(), working[b].interval.hi()),
-                    // For MIN we want the smallest lo: compare negated.
-                    Extremum::Min => (-working[a].interval.lo(), -working[b].interval.lo()),
-                };
-                // Ties broken toward the smaller key (max_by keeps the
-                // last max, so order by key descending as secondary).
-                wa.total_cmp(&wb).then_with(|| working[b].key.cmp(&working[a].key))
-            });
+        let victim = (0..working.len()).filter(|&i| !fetched[i]).max_by(|&a, &b| {
+            let (wa, wb) = match which {
+                Extremum::Max => (working[a].interval.hi(), working[b].interval.hi()),
+                // For MIN we want the smallest lo: compare negated.
+                Extremum::Min => (-working[a].interval.lo(), -working[b].interval.lo()),
+            };
+            // Ties broken toward the smaller key (max_by keeps the
+            // last max, so order by key descending as secondary).
+            wa.total_cmp(&wb).then_with(|| working[b].key.cmp(&working[a].key))
+        });
         let Some(idx) = victim else {
             // All items fetched: the answer is exact, width 0, which
             // satisfies every constraint — the loop must have exited.
@@ -274,13 +269,8 @@ mod tests {
     fn sum_exact_constraint_refreshes_all_inexact() {
         let items = vec![item(0, 0.0, 1.0), item(1, 4.0, 4.0), item(2, 2.0, 5.0)];
         let t = table(&[(0, 0.5), (2, 3.0)]);
-        let out = evaluate(
-            AggregateKind::Sum,
-            PrecisionConstraint::exact(),
-            &items,
-            fetcher(&t),
-        )
-        .unwrap();
+        let out = evaluate(AggregateKind::Sum, PrecisionConstraint::exact(), &items, fetcher(&t))
+            .unwrap();
         // key1 is already exact and must NOT be refreshed.
         assert_eq!(out.refreshed.len(), 2);
         assert!(!out.refreshed.contains(&Key(1)));
@@ -307,13 +297,9 @@ mod tests {
     fn sum_unconstrained_never_fetches() {
         let items = vec![uncached(0), uncached(1)];
         let t = table(&[]);
-        let out = evaluate(
-            AggregateKind::Sum,
-            PrecisionConstraint::unconstrained(),
-            &items,
-            fetcher(&t),
-        )
-        .unwrap();
+        let out =
+            evaluate(AggregateKind::Sum, PrecisionConstraint::unconstrained(), &items, fetcher(&t))
+                .unwrap();
         assert!(out.refreshed.is_empty());
         assert!(out.answer.is_unbounded());
     }
@@ -329,20 +315,15 @@ mod tests {
             (vec![2.0], 5.0),
         ];
         for (widths, delta) in cases {
-            let items: Vec<ItemBound> = widths
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| item(i as u32, 0.0, w))
-                .collect();
+            let items: Vec<ItemBound> =
+                widths.iter().enumerate().map(|(i, &w)| item(i as u32, 0.0, w)).collect();
             let chosen = sum_refresh_set(&items, delta).unwrap();
             // Brute force the minimum subset size achieving the residual.
             let n = items.len();
             let mut best = usize::MAX;
             for mask in 0..(1u32 << n) {
-                let residual: f64 = (0..n)
-                    .filter(|&i| mask & (1 << i) == 0)
-                    .map(|i| widths[i])
-                    .sum();
+                let residual: f64 =
+                    (0..n).filter(|&i| mask & (1 << i) == 0).map(|i| widths[i]).sum();
                 if residual <= delta {
                     best = best.min(mask.count_ones() as usize);
                 }
@@ -375,13 +356,8 @@ mod tests {
         // eliminated without fetches. This is the Section 4.4/4.6 effect.
         let items = vec![item(0, 99.0, 105.0), item(1, 0.0, 50.0), item(2, -10.0, 20.0)];
         let t = table(&[(0, 100.5)]);
-        let out = evaluate(
-            AggregateKind::Max,
-            PrecisionConstraint::exact(),
-            &items,
-            fetcher(&t),
-        )
-        .unwrap();
+        let out = evaluate(AggregateKind::Max, PrecisionConstraint::exact(), &items, fetcher(&t))
+            .unwrap();
         assert_eq!(out.refreshed, vec![Key(0)]);
         assert!(out.answer.is_exact());
         assert_eq!(out.answer.lo(), 100.5);
@@ -392,13 +368,8 @@ mod tests {
         // key0's exact value turns out low, exposing key1 as a candidate.
         let items = vec![item(0, 0.0, 100.0), item(1, 0.0, 60.0)];
         let t = table(&[(0, 10.0), (1, 55.0)]);
-        let out = evaluate(
-            AggregateKind::Max,
-            PrecisionConstraint::exact(),
-            &items,
-            fetcher(&t),
-        )
-        .unwrap();
+        let out = evaluate(AggregateKind::Max, PrecisionConstraint::exact(), &items, fetcher(&t))
+            .unwrap();
         assert_eq!(out.refreshed, vec![Key(0), Key(1)]);
         assert_eq!(out.answer.lo(), 55.0);
     }
@@ -478,20 +449,11 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let t = table(&[]);
-        assert!(evaluate(
-            AggregateKind::Max,
-            PrecisionConstraint::exact(),
-            &[],
-            fetcher(&t)
-        )
-        .is_err());
-        let out = evaluate(
-            AggregateKind::Sum,
-            PrecisionConstraint::exact(),
-            &[],
-            fetcher(&t),
-        )
-        .unwrap();
+        assert!(
+            evaluate(AggregateKind::Max, PrecisionConstraint::exact(), &[], fetcher(&t)).is_err()
+        );
+        let out =
+            evaluate(AggregateKind::Sum, PrecisionConstraint::exact(), &[], fetcher(&t)).unwrap();
         assert!(out.answer.is_exact());
         assert_eq!(out.answer.lo(), 0.0);
     }
@@ -499,12 +461,7 @@ mod tests {
     #[test]
     fn non_finite_fetch_is_an_error() {
         let items = vec![item(0, 0.0, 10.0)];
-        let out = evaluate(
-            AggregateKind::Sum,
-            PrecisionConstraint::exact(),
-            &items,
-            |_| f64::NAN,
-        );
+        let out = evaluate(AggregateKind::Sum, PrecisionConstraint::exact(), &items, |_| f64::NAN);
         assert!(matches!(out, Err(QueryError::NonFiniteFetch { .. })));
     }
 

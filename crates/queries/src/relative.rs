@@ -68,15 +68,15 @@ pub fn evaluate_relative(
         }
         // Pick the next victim by the kind's usual rule.
         let victim = match kind {
-            AggregateKind::Sum | AggregateKind::Avg => (0..working.len())
-                .filter(|&i| !fetched[i])
-                .max_by(|&a, &b| {
+            AggregateKind::Sum | AggregateKind::Avg => {
+                (0..working.len()).filter(|&i| !fetched[i]).max_by(|&a, &b| {
                     working[a]
                         .interval
                         .width()
                         .total_cmp(&working[b].interval.width())
                         .then_with(|| working[b].key.cmp(&working[a].key))
-                }),
+                })
+            }
             AggregateKind::Max => (0..working.len()).filter(|&i| !fetched[i]).max_by(|&a, &b| {
                 working[a]
                     .interval
@@ -204,12 +204,9 @@ mod tests {
                 vals.insert(Key(i as u32), lo + rng.f64() * w);
             }
             let frac = rng.uniform(0.0, 0.2);
-            for kind in [
-                AggregateKind::Sum,
-                AggregateKind::Max,
-                AggregateKind::Min,
-                AggregateKind::Avg,
-            ] {
+            for kind in
+                [AggregateKind::Sum, AggregateKind::Max, AggregateKind::Min, AggregateKind::Avg]
+            {
                 let out = evaluate_relative(kind, frac, &items, fetcher(&vals)).unwrap();
                 assert!(
                     out.answer.width() <= frac * interval_magnitude(&out.answer) + 1e-9,

@@ -4,6 +4,7 @@ use std::fmt;
 
 use apcache_core::error::{ParamError, ProtocolError};
 use apcache_queries::QueryError;
+use apcache_store::StoreError;
 
 /// Errors raised while configuring or running a simulation.
 #[derive(Debug)]
@@ -16,6 +17,8 @@ pub enum SimError {
     Protocol(ProtocolError),
     /// Query engine failure.
     Query(QueryError),
+    /// Serving façade failure.
+    Store(StoreError),
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +28,7 @@ impl fmt::Display for SimError {
             SimError::Param(e) => write!(f, "parameter error: {e}"),
             SimError::Protocol(e) => write!(f, "protocol error: {e}"),
             SimError::Query(e) => write!(f, "query error: {e}"),
+            SimError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -36,6 +40,7 @@ impl std::error::Error for SimError {
             SimError::Param(e) => Some(e),
             SimError::Protocol(e) => Some(e),
             SimError::Query(e) => Some(e),
+            SimError::Store(e) => Some(e),
         }
     }
 }
@@ -55,6 +60,12 @@ impl From<ProtocolError> for SimError {
 impl From<QueryError> for SimError {
     fn from(e: QueryError) -> Self {
         SimError::Query(e)
+    }
+}
+
+impl From<StoreError> for SimError {
+    fn from(e: StoreError) -> Self {
+        SimError::Store(e)
     }
 }
 

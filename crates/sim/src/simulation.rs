@@ -204,8 +204,7 @@ mod tests {
     #[test]
     fn event_counts_match_schedule() {
         let cfg = SimConfig::builder().duration_secs(100).warmup_secs(10).build().unwrap();
-        let sim = Simulation::new(cfg, Probe::default(), vec![walk(1)], query_gen(2.0, 1))
-            .unwrap();
+        let sim = Simulation::new(cfg, Probe::default(), vec![walk(1)], query_gen(2.0, 1)).unwrap();
         let report = sim.run().unwrap();
         // A random walk changes every second: 100 update ticks.
         assert_eq!(report.system.updates, 100);
@@ -235,8 +234,7 @@ mod tests {
     #[test]
     fn sub_second_query_periods() {
         let cfg = SimConfig::builder().duration_secs(10).warmup_secs(1).build().unwrap();
-        let sim = Simulation::new(cfg, Probe::default(), vec![walk(3)], query_gen(0.5, 1))
-            .unwrap();
+        let sim = Simulation::new(cfg, Probe::default(), vec![walk(3)], query_gen(0.5, 1)).unwrap();
         let report = sim.run().unwrap();
         // Queries at 0.5, 1.0, ..., 10.0 → 20.
         assert_eq!(report.system.queries, 20);

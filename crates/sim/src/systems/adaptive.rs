@@ -1,15 +1,15 @@
 //! The paper's adaptive-interval caching system, wired for the simulator.
+//!
+//! Since the `apcache-store` façade landed, this system owns **no protocol
+//! state of its own**: it drives a [`PrecisionStore`] keyed by the
+//! simulator's [`Key`] and forwards the store's refresh outcomes into the
+//! simulator's cost accounting. The refresh protocol — escape detection,
+//! width adaptation, eviction, refresh-set selection — lives in one place
+//! (the store) for every consumer.
 
-use apcache_core::cache::Cache;
 use apcache_core::cost::CostModel;
-use apcache_core::error::ProtocolError;
-use apcache_core::policy::{
-    AdaptiveParams, AdaptivePolicy, DriftingPolicy, FixedWidthPolicy, GrowthLaw, HistoryPolicy,
-    PrecisionPolicy, TimeVaryingPolicy, UncenteredPolicy, Weighting,
-};
-use apcache_core::source::Source;
-use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
-use apcache_queries::{evaluate, ItemBound, PrecisionConstraint};
+use apcache_core::{Interval, Key, Rng, TimeMs};
+use apcache_store::{Constraint, PolicySpec, PrecisionStore, StoreBuilder};
 use apcache_workload::query::{GeneratedQuery, QueryConfig};
 use apcache_workload::trace::TraceSet;
 use apcache_workload::walk::{RandomWalk, ValueProcess, WalkConfig};
@@ -20,64 +20,13 @@ use crate::simulation::Simulation;
 use crate::stats::Stats;
 use crate::system::{CacheSystem, QuerySummary};
 
-/// The single cache of the paper's simulation environment.
-pub const THE_CACHE: CacheId = CacheId(0);
-
-/// How the starting interval width of each approximation is chosen.
-/// Convergence is insensitive to this (the policy adapts multiplicatively),
-/// which `tests/convergence.rs` verifies.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum InitialWidth {
-    /// The same fixed width for every value.
-    Fixed(f64),
-    /// `max(|value|·frac, floor)` — scales with the data.
-    Relative {
-        /// Fraction of the initial value magnitude.
-        frac: f64,
-        /// Lower bound so zero-valued sources still get a usable width.
-        floor: f64,
-    },
-}
-
-impl InitialWidth {
-    /// The width to start with for a source whose initial value is `v`.
-    pub fn for_value(&self, v: f64) -> f64 {
-        match *self {
-            InitialWidth::Fixed(w) => w,
-            InitialWidth::Relative { frac, floor } => (v.abs() * frac).max(floor),
-        }
-    }
-}
+pub use apcache_store::InitialWidth;
 
 /// Which precision policy each source runs (paper Section 2, plus the
-/// Section 4.5 variants for the ablation experiments).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PolicyKind {
-    /// The paper's algorithm: centered constant intervals.
-    Adaptive,
-    /// Independently adjusted upper/lower widths (Section 4.5).
-    Uncentered,
-    /// Intervals that widen with age (Section 4.5).
-    TimeVarying(GrowthLaw),
-    /// Intervals with linearly drifting endpoints (Section 4.5, for
-    /// biased data).
-    Drifting {
-        /// Expected drift of the data in value units per second.
-        rate_per_sec: f64,
-    },
-    /// Majority vote over the last `r` refreshes (Section 4.5).
-    History {
-        /// Window size.
-        r: usize,
-        /// Vote weighting.
-        weighting: Weighting,
-    },
-    /// Non-adaptive fixed width (the Figure 3 sweep).
-    Fixed {
-        /// The constant interval width.
-        width: f64,
-    },
-}
+/// Section 4.5 variants for the ablation experiments). This is the store's
+/// policy constructor enum, re-exported under its historical simulator
+/// name.
+pub type PolicyKind = PolicySpec;
 
 /// Configuration of the adaptive-interval system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,34 +62,38 @@ impl Default for AdaptiveSystemConfig {
 }
 
 impl AdaptiveSystemConfig {
-    /// Build the policy instance for one source.
-    fn make_policy(&self, initial_value: f64) -> Result<Box<dyn PrecisionPolicy>, SimError> {
-        let w0 = self.initial_width.for_value(initial_value);
-        let params = AdaptiveParams::new(&self.cost, self.alpha)?
-            .with_thresholds(self.gamma0, self.gamma1)?;
-        Ok(match self.policy {
-            PolicyKind::Adaptive => Box::new(AdaptivePolicy::new(params, w0)?),
-            PolicyKind::Uncentered => Box::new(UncenteredPolicy::new(params, w0)?),
-            PolicyKind::TimeVarying(law) => Box::new(TimeVaryingPolicy::new(params, w0, law)?),
-            PolicyKind::Drifting { rate_per_sec } => {
-                Box::new(DriftingPolicy::new(params, w0, rate_per_sec)?)
-            }
-            PolicyKind::History { r, weighting } => {
-                Box::new(HistoryPolicy::new(params, w0, r, weighting)?)
-            }
-            PolicyKind::Fixed { width } => Box::new(FixedWidthPolicy::new(width)?),
-        })
+    /// Assemble the façade this configuration describes, with one source
+    /// per initial value (`Key(0), Key(1), …`).
+    pub fn build_store(
+        &self,
+        initial_values: &[f64],
+        rng: Rng,
+    ) -> Result<PrecisionStore<Key>, SimError> {
+        if initial_values.is_empty() {
+            return Err(SimError::Config("at least one source required".into()));
+        }
+        let mut builder: StoreBuilder<Key> = StoreBuilder::new()
+            .cost(self.cost)
+            .alpha(self.alpha)
+            .thresholds(self.gamma0, self.gamma1)
+            .initial_width(self.initial_width)
+            .default_policy(self.policy)
+            .rng(rng);
+        if let Some(k) = self.cache_capacity {
+            builder = builder.capacity(k);
+        }
+        for (i, &v) in initial_values.iter().enumerate() {
+            builder = builder.source(Key(i as u32), v);
+        }
+        Ok(builder.build()?)
     }
 }
 
-/// The paper's system: sources with precision policies, one bounded cache,
-/// queries answered by the OW00 engine.
+/// The paper's system: the [`PrecisionStore`] façade under the simulator's
+/// cost accounting.
 #[derive(Debug)]
 pub struct AdaptiveSystem {
-    cost: CostModel,
-    sources: Vec<Source>,
-    cache: Cache,
-    rng: Rng,
+    store: PrecisionStore<Key>,
 }
 
 impl AdaptiveSystem {
@@ -150,46 +103,33 @@ impl AdaptiveSystem {
         initial_values: &[f64],
         mut rng: Rng,
     ) -> Result<Self, SimError> {
-        if initial_values.is_empty() {
-            return Err(SimError::Config("at least one source required".into()));
-        }
-        let mut cache = match cfg.cache_capacity {
-            Some(k) => Cache::new(THE_CACHE, k)?,
-            None => Cache::unbounded(THE_CACHE),
-        };
-        let mut sources = Vec::with_capacity(initial_values.len());
-        for (i, &v) in initial_values.iter().enumerate() {
-            let mut source = Source::new(Key(i as u32), v)?;
-            let policy = cfg.make_policy(v)?;
-            let refresh = source.register(THE_CACHE, policy, 0)?;
-            // Initial installation flows through the normal admission
-            // logic; with κ < n the cache starts with the first κ entries
-            // and converges from there.
-            cache.apply_refresh(refresh);
-            sources.push(source);
-        }
-        Ok(AdaptiveSystem { cost: cfg.cost, sources, cache, rng: rng.fork() })
+        Ok(AdaptiveSystem { store: cfg.build_store(initial_values, rng.fork())? })
+    }
+
+    /// The façade under test, for direct inspection.
+    pub fn store(&self) -> &PrecisionStore<Key> {
+        &self.store
     }
 
     /// The source policy's internal width for `key` (e.g. the converged
     /// width after a Figure 3 run).
     pub fn internal_width_of(&self, key: Key) -> Option<f64> {
-        self.sources.get(key.0 as usize)?.internal_width_for(THE_CACHE)
+        self.store.internal_width(&key)
     }
 
     /// The current exact value at the source for `key`.
     pub fn source_value(&self, key: Key) -> Option<f64> {
-        self.sources.get(key.0 as usize).map(|s| s.value())
+        self.store.value(&key)
     }
 
     /// Number of entries currently cached.
     pub fn cached_entries(&self) -> usize {
-        self.cache.len()
+        self.store.cached_len()
     }
 
     /// Whether `key` is currently cached.
     pub fn is_cached(&self, key: Key) -> bool {
-        self.cache.contains(key)
+        self.store.is_cached(&key)
     }
 }
 
@@ -201,13 +141,9 @@ impl CacheSystem for AdaptiveSystem {
         now: TimeMs,
         stats: &mut Stats,
     ) -> Result<(), SimError> {
-        let source = self
-            .sources
-            .get_mut(key.0 as usize)
-            .ok_or(ProtocolError::NotRegistered(THE_CACHE))?;
-        for (_, refresh) in source.apply_update(value, now, &mut self.rng)? {
-            stats.record_vr(self.cost.c_vr());
-            self.cache.apply_refresh(refresh);
+        let outcome = self.store.write(&key, value, now)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.store.cost_model().c_vr());
         }
         Ok(())
     }
@@ -218,50 +154,20 @@ impl CacheSystem for AdaptiveSystem {
         now: TimeMs,
         stats: &mut Stats,
     ) -> Result<QuerySummary, SimError> {
-        let items: Vec<ItemBound> = query
-            .keys
-            .iter()
-            .map(|&k| {
-                ItemBound::new(
-                    k,
-                    self.cache.interval_at(k, now).unwrap_or_else(Interval::unbounded),
-                )
-            })
-            .collect();
-        let constraint = PrecisionConstraint::new(query.delta)?;
-        // Split borrows so the fetch closure can reach sources, cache, RNG
-        // and stats while `items` stays shared.
-        let sources = &mut self.sources;
-        let cache = &mut self.cache;
-        let rng = &mut self.rng;
-        let cost = self.cost;
-        let mut protocol_error: Option<ProtocolError> = None;
-        let outcome = evaluate(query.kind, constraint, &items, |k| {
-            let Some(source) = sources.get_mut(k.0 as usize) else {
-                protocol_error = Some(ProtocolError::NotRegistered(THE_CACHE));
-                return f64::NAN;
-            };
-            match source.serve_exact(THE_CACHE, now, rng) {
-                Ok(resp) => {
-                    stats.record_qr(cost.c_qr());
-                    cache.apply_refresh(resp.refresh);
-                    resp.value
-                }
-                Err(e) => {
-                    protocol_error = Some(e);
-                    f64::NAN
-                }
-            }
-        });
-        if let Some(e) = protocol_error {
-            return Err(e.into());
+        let outcome = self.store.aggregate(
+            query.kind,
+            &query.keys,
+            Constraint::Absolute(query.delta),
+            now,
+        )?;
+        for _ in &outcome.refreshed {
+            stats.record_qr(self.store.cost_model().c_qr());
         }
-        let outcome = outcome?;
         Ok(QuerySummary { answer: Some(outcome.answer), refreshes: outcome.refreshed.len() })
     }
 
     fn interval_of(&self, key: Key, now: TimeMs) -> Option<Interval> {
-        self.cache.interval_at(key, now)
+        self.store.cached_interval(&key, now)
     }
 }
 
@@ -300,10 +206,7 @@ impl WorkloadSpec {
 
     /// Materialize the value processes, drawing per-process RNG streams
     /// from `rng`.
-    pub fn build_processes(
-        &self,
-        rng: &mut Rng,
-    ) -> Result<Vec<Box<dyn ValueProcess>>, SimError> {
+    pub fn build_processes(&self, rng: &mut Rng) -> Result<Vec<Box<dyn ValueProcess>>, SimError> {
         match self {
             WorkloadSpec::RandomWalks { n, cfg } => {
                 if *n == 0 {
@@ -322,9 +225,9 @@ impl WorkloadSpec {
     }
 }
 
-/// Assemble a full simulation of the paper's system: workload → sources
-/// with policies → cache → query load. RNG streams are forked from the
-/// master seed in a fixed order so runs are bit-reproducible.
+/// Assemble a full simulation of the paper's system: workload → store
+/// façade → query load. RNG streams are forked from the master seed in a
+/// fixed order so runs are bit-reproducible.
 pub fn build_adaptive_simulation(
     sim_cfg: &SimConfig,
     sys_cfg: &AdaptiveSystemConfig,
@@ -335,17 +238,16 @@ pub fn build_adaptive_simulation(
     let processes = workload.build_processes(&mut master)?;
     let initial_values: Vec<f64> = processes.iter().map(|p| p.value()).collect();
     let system = AdaptiveSystem::new(sys_cfg, &initial_values, master.fork())?;
-    let query_gen = apcache_workload::query::QueryGenerator::new(
-        queries,
-        initial_values.len(),
-        master.fork(),
-    )?;
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, initial_values.len(), master.fork())?;
     Simulation::new(*sim_cfg, system, processes, query_gen)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apcache_core::policy::GrowthLaw;
+    use apcache_core::policy::Weighting;
     use apcache_workload::query::KindMix;
 
     fn quick_sim_cfg() -> SimConfig {
@@ -360,14 +262,6 @@ mod tests {
             delta_rho: 1.0,
             kind_mix: KindMix::SumOnly,
         }
-    }
-
-    #[test]
-    fn initial_width_modes() {
-        assert_eq!(InitialWidth::Fixed(3.0).for_value(100.0), 3.0);
-        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(100.0), 10.0);
-        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(0.0), 1.0);
-        assert_eq!(InitialWidth::Relative { frac: 0.1, floor: 1.0 }.for_value(-200.0), 20.0);
     }
 
     #[test]
@@ -393,13 +287,31 @@ mod tests {
     }
 
     #[test]
+    fn store_metrics_mirror_simulator_stats() {
+        // The façade's own counters see the whole run (the simulator's
+        // Stats discard warm-up), so store totals >= measured totals.
+        let report = build_adaptive_simulation(
+            &quick_sim_cfg(),
+            &AdaptiveSystemConfig::default(),
+            WorkloadSpec::random_walks(2, WalkConfig::paper_default()),
+            quick_queries(1.0, 2, 10.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let metrics = report.system.store().metrics();
+        assert!(metrics.vr_count() >= report.stats.vr_count());
+        assert!(metrics.qr_count() >= report.stats.qr_count());
+        assert!(metrics.total_cost() >= report.stats.total_cost());
+        // Per-key counters exist for every touched key.
+        assert!(metrics.for_key(&Key(0)).is_some());
+    }
+
+    #[test]
     fn exact_caching_special_case_has_zero_or_infinite_widths() {
         // γ1 = γ0: every cached interval must be a point (or absent).
-        let cfg = AdaptiveSystemConfig {
-            gamma0: 1.0,
-            gamma1: 1.0,
-            ..AdaptiveSystemConfig::default()
-        };
+        let cfg =
+            AdaptiveSystemConfig { gamma0: 1.0, gamma1: 1.0, ..AdaptiveSystemConfig::default() };
         let report = build_adaptive_simulation(
             &quick_sim_cfg(),
             &cfg,
@@ -420,10 +332,8 @@ mod tests {
 
     #[test]
     fn capacity_limits_cached_entries() {
-        let cfg = AdaptiveSystemConfig {
-            cache_capacity: Some(3),
-            ..AdaptiveSystemConfig::default()
-        };
+        let cfg =
+            AdaptiveSystemConfig { cache_capacity: Some(3), ..AdaptiveSystemConfig::default() };
         let report = build_adaptive_simulation(
             &quick_sim_cfg(),
             &cfg,

@@ -1,0 +1,110 @@
+//! Read-side precision constraints.
+
+use apcache_core::Interval;
+use apcache_queries::satisfies_relative;
+
+use crate::error::StoreError;
+
+/// How precise an answer the caller needs.
+///
+/// The store treats a constraint as a *ceiling*, not a target: answers may
+/// be arbitrarily more precise than requested (the engine privately over-
+/// and under-shoots precision so refresh costs amortize across calls).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// The answer interval may be at most `δ` wide (the paper's absolute
+    /// precision constraint; `δ = ∞` accepts any cached bound).
+    Absolute(f64),
+    /// The answer interval must certify a relative error of at most `ρ`
+    /// (e.g. `0.01` = within 1 %): `width ≤ ρ·min|x|` over `x` in the
+    /// interval. Intervals straddling zero certify nothing and force an
+    /// exact fetch — the classical degeneracy of relative bounds.
+    Relative(f64),
+    /// The exact value is required (`δ = 0`).
+    Exact,
+}
+
+impl Constraint {
+    /// Validate the constraint parameter.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        match *self {
+            Constraint::Absolute(delta) => {
+                if delta.is_nan() || delta < 0.0 {
+                    return Err(StoreError::InvalidConstraint(delta));
+                }
+            }
+            Constraint::Relative(frac) => {
+                if !(frac.is_finite() && frac >= 0.0) {
+                    return Err(StoreError::InvalidConstraint(frac));
+                }
+            }
+            Constraint::Exact => {}
+        }
+        Ok(())
+    }
+
+    /// Whether a cached interval already satisfies this constraint (a
+    /// cache hit — no refresh needed).
+    pub fn satisfied_by(&self, interval: &Interval) -> bool {
+        match *self {
+            Constraint::Absolute(delta) => interval.width() <= delta,
+            Constraint::Relative(frac) => satisfies_relative(interval, frac),
+            Constraint::Exact => interval.is_exact(),
+        }
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Constraint::Absolute(delta) => write!(f, "±{}", delta / 2.0),
+            Constraint::Relative(frac) => write!(f, "within {}%", frac * 100.0),
+            Constraint::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Constraint::Absolute(0.0).validate().is_ok());
+        assert!(Constraint::Absolute(f64::INFINITY).validate().is_ok());
+        assert!(Constraint::Absolute(-1.0).validate().is_err());
+        assert!(Constraint::Absolute(f64::NAN).validate().is_err());
+        assert!(Constraint::Relative(0.05).validate().is_ok());
+        assert!(Constraint::Relative(-0.1).validate().is_err());
+        assert!(Constraint::Relative(f64::INFINITY).validate().is_err());
+        assert!(Constraint::Exact.validate().is_ok());
+    }
+
+    #[test]
+    fn absolute_satisfaction() {
+        let iv = Interval::new(10.0, 14.0).unwrap();
+        assert!(Constraint::Absolute(4.0).satisfied_by(&iv));
+        assert!(!Constraint::Absolute(3.9).satisfied_by(&iv));
+        assert!(!Constraint::Exact.satisfied_by(&iv));
+        assert!(Constraint::Exact.satisfied_by(&Interval::point(3.0).unwrap()));
+    }
+
+    #[test]
+    fn relative_satisfaction() {
+        // [100, 104]: width 4, magnitude 100 → 4 %.
+        let iv = Interval::new(100.0, 104.0).unwrap();
+        assert!(Constraint::Relative(0.05).satisfied_by(&iv));
+        assert!(!Constraint::Relative(0.01).satisfied_by(&iv));
+        // Straddling zero certifies nothing (except exactness).
+        let iv = Interval::new(-1.0, 1.0).unwrap();
+        assert!(!Constraint::Relative(10.0).satisfied_by(&iv));
+        assert!(Constraint::Relative(0.0).satisfied_by(&Interval::point(5.0).unwrap()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constraint::Absolute(10.0).to_string(), "±5");
+        assert_eq!(Constraint::Relative(0.05).to_string(), "within 5%");
+        assert_eq!(Constraint::Exact.to_string(), "exact");
+    }
+}

@@ -1,0 +1,90 @@
+//! Store error type.
+
+use std::fmt;
+
+use apcache_core::error::{ParamError, ProtocolError};
+use apcache_queries::QueryError;
+
+/// Errors raised while building or operating a
+/// [`PrecisionStore`](crate::PrecisionStore).
+#[derive(Debug)]
+pub enum StoreError {
+    /// The requested key has no registered source. Keys must be installed
+    /// at build time or via [`PrecisionStore::insert`](crate::PrecisionStore::insert)
+    /// before they can be read or written.
+    UnknownKey,
+    /// The key is already registered (duplicate `source` or `insert`).
+    DuplicateKey,
+    /// A precision constraint parameter was negative or NaN.
+    InvalidConstraint(f64),
+    /// Invalid store configuration.
+    Config(String),
+    /// Parameter validation failure from the core crate.
+    Param(ParamError),
+    /// Refresh protocol misuse (source/cache layer).
+    Protocol(ProtocolError),
+    /// Aggregate query engine failure.
+    Query(QueryError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownKey => write!(f, "no source registered for the requested key"),
+            StoreError::DuplicateKey => write!(f, "a source is already registered for this key"),
+            StoreError::InvalidConstraint(v) => {
+                write!(f, "precision constraint must be >= 0 (NaN rejected), got {v}")
+            }
+            StoreError::Config(m) => write!(f, "invalid store configuration: {m}"),
+            StoreError::Param(e) => write!(f, "parameter error: {e}"),
+            StoreError::Protocol(e) => write!(f, "protocol error: {e}"),
+            StoreError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Param(e) => Some(e),
+            StoreError::Protocol(e) => Some(e),
+            StoreError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for StoreError {
+    fn from(e: ParamError) -> Self {
+        StoreError::Param(e)
+    }
+}
+
+impl From<ProtocolError> for StoreError {
+    fn from(e: ProtocolError) -> Self {
+        StoreError::Protocol(e)
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(e: QueryError) -> Self {
+        StoreError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(StoreError::UnknownKey.to_string().contains("no source"));
+        assert!(StoreError::InvalidConstraint(-1.0).to_string().contains("-1"));
+        let e: StoreError = ParamError::InvalidAlpha(-1.0).into();
+        assert!(e.source().is_some());
+        let e: StoreError = QueryError::EmptyInput.into();
+        assert!(e.to_string().contains("query"));
+        assert!(StoreError::Config("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-key and aggregate serving metrics.
+//!
+//! The counter vocabulary matches the simulator's `Stats` (value-initiated
+//! vs. query-initiated refreshes, message costs), so numbers read off a
+//! production store line up with numbers produced by the experiment
+//! harnesses.
+
+use std::collections::BTreeMap;
+
+/// Refresh and cost counters for one key (or, in
+/// [`StoreMetrics::totals`], the whole store).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyMetrics {
+    /// Point reads served (cache hits + refreshing reads).
+    pub reads: u64,
+    /// Reads answered from the cached interval alone (no message cost).
+    pub cache_hits: u64,
+    /// Writes applied at the source.
+    pub writes: u64,
+    /// Value-initiated refreshes (the value escaped its interval).
+    pub vr_count: u64,
+    /// Query-initiated refreshes (a read/aggregate fetched the exact value).
+    pub qr_count: u64,
+    /// Accumulated cost of value-initiated refreshes (`Σ C_vr`).
+    pub vr_cost: f64,
+    /// Accumulated cost of query-initiated refreshes (`Σ C_qr`).
+    pub qr_cost: f64,
+}
+
+impl KeyMetrics {
+    /// Total message cost charged so far (`Σ C_vr + Σ C_qr` — the paper's
+    /// objective accumulates this per unit time as `Ω`).
+    pub fn total_cost(&self) -> f64 {
+        self.vr_cost + self.qr_cost
+    }
+
+    /// Fraction of point reads served without any message, in `[0, 1]`
+    /// (`1.0` when no reads have happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / self.reads as f64
+        }
+    }
+
+    fn merge_read(&mut self, hit: bool) {
+        self.reads += 1;
+        if hit {
+            self.cache_hits += 1;
+        }
+    }
+
+    fn merge_vr(&mut self, cost: f64) {
+        self.vr_count += 1;
+        self.vr_cost += cost;
+    }
+
+    fn merge_qr(&mut self, cost: f64) {
+        self.qr_count += 1;
+        self.qr_cost += cost;
+    }
+}
+
+/// Serving metrics for a [`PrecisionStore`](crate::PrecisionStore):
+/// aggregate totals plus a per-key breakdown.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics<K> {
+    totals: KeyMetrics,
+    per_key: BTreeMap<K, KeyMetrics>,
+}
+
+impl<K: Ord + Clone> StoreMetrics<K> {
+    pub(crate) fn new() -> Self {
+        StoreMetrics { totals: KeyMetrics::default(), per_key: BTreeMap::new() }
+    }
+
+    /// Store-wide counter totals.
+    pub fn totals(&self) -> &KeyMetrics {
+        &self.totals
+    }
+
+    /// Counters for one key; `None` if the key has never been touched.
+    pub fn for_key(&self, key: &K) -> Option<&KeyMetrics> {
+        self.per_key.get(key)
+    }
+
+    /// Iterate over `(key, counters)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &KeyMetrics)> {
+        self.per_key.iter()
+    }
+
+    /// Total value-initiated refreshes across all keys.
+    pub fn vr_count(&self) -> u64 {
+        self.totals.vr_count
+    }
+
+    /// Total query-initiated refreshes across all keys.
+    pub fn qr_count(&self) -> u64 {
+        self.totals.qr_count
+    }
+
+    /// Total message cost across all keys.
+    pub fn total_cost(&self) -> f64 {
+        self.totals.total_cost()
+    }
+
+    pub(crate) fn record_read(&mut self, key: &K, hit: bool) {
+        self.totals.merge_read(hit);
+        self.per_key.entry(key.clone()).or_default().merge_read(hit);
+    }
+
+    pub(crate) fn record_write(&mut self, key: &K) {
+        self.totals.writes += 1;
+        self.per_key.entry(key.clone()).or_default().writes += 1;
+    }
+
+    pub(crate) fn record_vr(&mut self, key: &K, cost: f64) {
+        self.totals.merge_vr(cost);
+        self.per_key.entry(key.clone()).or_default().merge_vr(cost);
+    }
+
+    pub(crate) fn record_qr(&mut self, key: &K, cost: f64) {
+        self.totals.merge_qr(cost);
+        self.per_key.entry(key.clone()).or_default().merge_qr(cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_track_per_key() {
+        let mut m: StoreMetrics<&str> = StoreMetrics::new();
+        m.record_read(&"a", true);
+        m.record_read(&"a", false);
+        m.record_qr(&"a", 2.0);
+        m.record_write(&"b");
+        m.record_vr(&"b", 1.0);
+        assert_eq!(m.totals().reads, 2);
+        assert_eq!(m.totals().cache_hits, 1);
+        assert_eq!(m.qr_count(), 1);
+        assert_eq!(m.vr_count(), 1);
+        assert_eq!(m.total_cost(), 3.0);
+        let a = m.for_key(&"a").unwrap();
+        assert_eq!((a.reads, a.qr_count), (2, 1));
+        assert_eq!(a.hit_rate(), 0.5);
+        let b = m.for_key(&"b").unwrap();
+        assert_eq!((b.writes, b.vr_count), (1, 1));
+        assert!(m.for_key(&"c").is_none());
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_one() {
+        assert_eq!(KeyMetrics::default().hit_rate(), 1.0);
+        assert_eq!(KeyMetrics::default().total_cost(), 0.0);
+    }
+}

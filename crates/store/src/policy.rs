@@ -1,0 +1,170 @@
+//! Pluggable precision policies and initial-width selection.
+
+use apcache_core::cost::CostModel;
+use apcache_core::error::ParamError;
+use apcache_core::policy::{
+    AdaptiveParams, AdaptivePolicy, DriftingPolicy, FixedWidthPolicy, GrowthLaw, HistoryPolicy,
+    MonotonicPolicy, PrecisionPolicy, TimeVaryingPolicy, UncenteredPolicy, Weighting,
+};
+
+/// How the starting interval width of a new approximation is chosen.
+///
+/// Convergence is insensitive to this — the policies adapt their widths
+/// multiplicatively — so the default merely avoids pathological starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitialWidth {
+    /// The same fixed width for every value.
+    Fixed(f64),
+    /// `max(|value|·frac, floor)` — scales with the data.
+    Relative {
+        /// Fraction of the initial value magnitude.
+        frac: f64,
+        /// Lower bound so zero-valued sources still get a usable width.
+        floor: f64,
+    },
+}
+
+impl InitialWidth {
+    /// The width to start with for a source whose initial value is `v`.
+    pub fn for_value(&self, v: f64) -> f64 {
+        match *self {
+            InitialWidth::Fixed(w) => w,
+            InitialWidth::Relative { frac, floor } => (v.abs() * frac).max(floor),
+        }
+    }
+}
+
+impl Default for InitialWidth {
+    fn default() -> Self {
+        InitialWidth::Relative { frac: 0.1, floor: 1.0 }
+    }
+}
+
+/// Constructor enum for every precision-policy variant in the workspace —
+/// the paper's main algorithm (Section 2), the Section 4.5 ablation
+/// variants, and the stale-value specialization (Sections 2.1/4.7).
+///
+/// A `PolicySpec` is a *recipe*: [`PolicySpec::build`] instantiates the
+/// dyn-compatible [`PrecisionPolicy`] object for one key, deriving the cost
+/// factor θ from the store's [`CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicySpec {
+    /// The paper's algorithm: centered constant intervals, adaptive width.
+    #[default]
+    Adaptive,
+    /// Independently adjusted upper/lower half-widths (Section 4.5).
+    Uncentered,
+    /// Intervals that widen with the age of the refresh (Section 4.5).
+    TimeVarying(GrowthLaw),
+    /// Intervals with linearly drifting endpoints (Section 4.5, for
+    /// predictably biased data).
+    Drifting {
+        /// Expected drift of the data in value units per second.
+        rate_per_sec: f64,
+    },
+    /// Majority vote over the last `r` refreshes (Section 4.5).
+    History {
+        /// Window size.
+        r: usize,
+        /// Vote weighting.
+        weighting: Weighting,
+    },
+    /// Non-adaptive fixed width (the Figure 3 sweep).
+    Fixed {
+        /// The constant interval width.
+        width: f64,
+    },
+    /// The stale-value specialization (Sections 2.1/4.7): low-anchored
+    /// intervals `[V, V+W]` over a monotonically increasing deviation
+    /// metric, with the monotonic cost factor `θ' = C_vr/C_qr`.
+    StaleCounter,
+}
+
+impl PolicySpec {
+    /// Instantiate the policy object for one key.
+    ///
+    /// `cost`, `alpha`, and the thresholds come from the store
+    /// configuration; `initial_width` from its [`InitialWidth`] rule.
+    pub fn build(
+        &self,
+        cost: &CostModel,
+        alpha: f64,
+        gamma0: f64,
+        gamma1: f64,
+        initial_width: f64,
+    ) -> Result<Box<dyn PrecisionPolicy>, ParamError> {
+        let params = match self {
+            PolicySpec::StaleCounter => AdaptiveParams::monotonic(cost, alpha)?,
+            _ => AdaptiveParams::new(cost, alpha)?,
+        }
+        .with_thresholds(gamma0, gamma1)?;
+        Ok(match *self {
+            PolicySpec::Adaptive => Box::new(AdaptivePolicy::new(params, initial_width)?),
+            PolicySpec::Uncentered => Box::new(UncenteredPolicy::new(params, initial_width)?),
+            PolicySpec::TimeVarying(law) => {
+                Box::new(TimeVaryingPolicy::new(params, initial_width, law)?)
+            }
+            PolicySpec::Drifting { rate_per_sec } => {
+                Box::new(DriftingPolicy::new(params, initial_width, rate_per_sec)?)
+            }
+            PolicySpec::History { r, weighting } => {
+                Box::new(HistoryPolicy::new(params, initial_width, r, weighting)?)
+            }
+            PolicySpec::Fixed { width } => Box::new(FixedWidthPolicy::new(width)?),
+            PolicySpec::StaleCounter => Box::new(MonotonicPolicy::new(params, initial_width)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_width_modes() {
+        assert_eq!(InitialWidth::Fixed(3.0).for_value(100.0), 3.0);
+        let rel = InitialWidth::Relative { frac: 0.1, floor: 1.0 };
+        assert_eq!(rel.for_value(100.0), 10.0);
+        assert_eq!(rel.for_value(0.0), 1.0);
+        assert_eq!(rel.for_value(-200.0), 20.0);
+        assert_eq!(InitialWidth::default().for_value(50.0), 5.0);
+    }
+
+    #[test]
+    fn every_variant_builds() {
+        let cost = CostModel::multiversion();
+        for spec in [
+            PolicySpec::Adaptive,
+            PolicySpec::Uncentered,
+            PolicySpec::TimeVarying(GrowthLaw::sqrt(1.0).unwrap()),
+            PolicySpec::Drifting { rate_per_sec: 0.5 },
+            PolicySpec::History { r: 3, weighting: Weighting::Uniform },
+            PolicySpec::Fixed { width: 10.0 },
+            PolicySpec::StaleCounter,
+        ] {
+            let policy = spec.build(&cost, 1.0, 0.0, f64::INFINITY, 8.0).unwrap();
+            assert!(policy.internal_width() > 0.0, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn stale_counter_uses_monotonic_theta() {
+        // C_vr = 1, C_qr = 2 ⇒ θ' = 0.5: one query refresh always shrinks.
+        let cost = CostModel::multiversion();
+        let mut policy =
+            PolicySpec::StaleCounter.build(&cost, 1.0, 0.0, f64::INFINITY, 8.0).unwrap();
+        let mut rng = apcache_core::Rng::seed_from_u64(0);
+        policy.on_query_refresh(&mut rng);
+        assert_eq!(policy.internal_width(), 4.0);
+    }
+
+    #[test]
+    fn invalid_parameters_surface() {
+        let cost = CostModel::multiversion();
+        assert!(PolicySpec::Adaptive.build(&cost, -1.0, 0.0, f64::INFINITY, 8.0).is_err());
+        assert!(PolicySpec::Adaptive.build(&cost, 1.0, 2.0, 1.0, 8.0).is_err());
+        assert!(PolicySpec::Fixed { width: -1.0 }
+            .build(&cost, 1.0, 0.0, f64::INFINITY, 8.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,680 @@
+//! The `PrecisionStore` façade and its builder.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use apcache_core::cache::Cache;
+use apcache_core::cost::CostModel;
+use apcache_core::error::ProtocolError;
+use apcache_core::source::Source;
+use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
+use apcache_queries::{evaluate, evaluate_relative, AggregateKind, ItemBound, PrecisionConstraint};
+
+use crate::constraint::Constraint;
+use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
+use crate::policy::{InitialWidth, PolicySpec};
+
+/// The store's single logical cache in the refresh protocol.
+const STORE_CACHE: CacheId = CacheId(0);
+
+/// An answer to a point read: the cached interval when it was precise
+/// enough, or the exact value when a refresh was needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Answer {
+    /// A valid interval `[L, H]` guaranteed to contain the exact value.
+    Interval(Interval),
+    /// The exact value, fetched from the source.
+    Exact(f64),
+}
+
+impl Answer {
+    /// The answer as an interval (a point interval for exact answers).
+    pub fn interval(&self) -> Interval {
+        match *self {
+            Answer::Interval(iv) => iv,
+            Answer::Exact(v) => Interval::point(v).expect("sources only hold finite values"),
+        }
+    }
+
+    /// Width of the answer (0 for exact answers).
+    pub fn width(&self) -> f64 {
+        self.interval().width()
+    }
+
+    /// Whether the answer is exact.
+    pub fn is_exact(&self) -> bool {
+        self.interval().is_exact()
+    }
+
+    /// Whether `v` is consistent with this answer.
+    pub fn contains(&self, v: f64) -> bool {
+        self.interval().contains(v)
+    }
+
+    /// A point estimate: the exact value, or the interval midpoint (`None`
+    /// for half-/unbounded intervals, which have no finite midpoint).
+    pub fn estimate(&self) -> Option<f64> {
+        match *self {
+            Answer::Exact(v) => Some(v),
+            Answer::Interval(iv) => iv.center(),
+        }
+    }
+}
+
+impl std::fmt::Display for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Answer::Exact(v) => write!(f, "={v}"),
+            Answer::Interval(iv) => write!(f, "{iv}"),
+        }
+    }
+}
+
+/// Result of [`PrecisionStore::read`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadResult {
+    /// The answer; always satisfies the constraint the read ran with.
+    pub answer: Answer,
+    /// Whether the read triggered a query-initiated refresh (and therefore
+    /// paid `C_qr` and shrank the key's interval width).
+    pub refreshed: bool,
+}
+
+/// Result of [`PrecisionStore::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Number of value-initiated refreshes the write caused (0 when the new
+    /// value stayed inside the cached interval, 1 when it escaped).
+    pub refreshes: usize,
+}
+
+impl WriteOutcome {
+    /// Whether the write escaped the cached interval.
+    pub fn escaped(&self) -> bool {
+        self.refreshes > 0
+    }
+}
+
+/// Result of [`PrecisionStore::aggregate`].
+#[derive(Debug, Clone)]
+pub struct AggregateOutcome<K> {
+    /// The answer interval; its width satisfies the constraint the query
+    /// ran with.
+    pub answer: Interval,
+    /// Keys that were fetched exactly (query-initiated refreshes), in
+    /// fetch order.
+    pub refreshed: Vec<K>,
+}
+
+/// Builder for [`PrecisionStore`]: cost model, adaptivity, thresholds,
+/// cache capacity, and the initial key population.
+///
+/// ```
+/// use apcache_store::{Constraint, PolicySpec, StoreBuilder};
+/// use apcache_core::cost::CostModel;
+///
+/// let mut store = StoreBuilder::new()
+///     .cost(CostModel::multiversion())
+///     .alpha(1.0)
+///     .thresholds(0.0, f64::INFINITY)
+///     .source("alpha", 10.0)
+///     .source_with_policy("beta", 20.0, PolicySpec::Fixed { width: 4.0 })
+///     .build()
+///     .unwrap();
+/// assert!(store.read(&"beta", Constraint::Absolute(4.0), 0).unwrap().answer.contains(20.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuilder<K> {
+    cost: CostModel,
+    alpha: f64,
+    gamma0: f64,
+    gamma1: f64,
+    capacity: Option<usize>,
+    initial_width: InitialWidth,
+    default_policy: PolicySpec,
+    rng: Rng,
+    sources: Vec<(K, f64, Option<PolicySpec>)>,
+}
+
+impl<K> Default for StoreBuilder<K> {
+    fn default() -> Self {
+        StoreBuilder {
+            cost: CostModel::multiversion(),
+            alpha: 1.0,
+            gamma0: 0.0,
+            gamma1: f64::INFINITY,
+            capacity: None,
+            initial_width: InitialWidth::default(),
+            default_policy: PolicySpec::Adaptive,
+            rng: Rng::seed_from_u64(0),
+            sources: Vec::new(),
+        }
+    }
+}
+
+impl<K: Hash + Ord + Clone> StoreBuilder<K> {
+    /// Start from the paper's recommended tuning: multiversion costs
+    /// (`θ = 1`), `α = 1`, no thresholds, unbounded cache.
+    pub fn new() -> Self {
+        StoreBuilder::default()
+    }
+
+    /// Refresh cost model (determines the cost factor θ).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Adaptivity parameter α (widths move by a factor of `1 + α`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Snapping thresholds: widths below `γ0` become exact copies, widths
+    /// at or above `γ1` become uncached.
+    pub fn thresholds(mut self, gamma0: f64, gamma1: f64) -> Self {
+        self.gamma0 = gamma0;
+        self.gamma1 = gamma1;
+        self
+    }
+
+    /// Cache capacity κ (widest-first eviction); unbounded by default.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Rule for choosing starting interval widths.
+    pub fn initial_width(mut self, rule: InitialWidth) -> Self {
+        self.initial_width = rule;
+        self
+    }
+
+    /// Policy used for keys without a per-key override.
+    pub fn default_policy(mut self, spec: PolicySpec) -> Self {
+        self.default_policy = spec;
+        self
+    }
+
+    /// Random stream for the policies' probabilistic width adjustments
+    /// (store operation is deterministic given this stream).
+    pub fn rng(mut self, rng: Rng) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Register a source with the default policy.
+    pub fn source(mut self, key: K, initial_value: f64) -> Self {
+        self.sources.push((key, initial_value, None));
+        self
+    }
+
+    /// Register a source with a per-key policy override.
+    pub fn source_with_policy(mut self, key: K, initial_value: f64, spec: PolicySpec) -> Self {
+        self.sources.push((key, initial_value, Some(spec)));
+        self
+    }
+
+    /// Assemble the store, installing every registered source's initial
+    /// approximation at time 0.
+    pub fn build(self) -> Result<PrecisionStore<K>, StoreError> {
+        let cache = match self.capacity {
+            Some(k) => Cache::new(STORE_CACHE, k)?,
+            None => Cache::unbounded(STORE_CACHE),
+        };
+        let mut store = PrecisionStore {
+            cost: self.cost,
+            alpha: self.alpha,
+            gamma0: self.gamma0,
+            gamma1: self.gamma1,
+            initial_width: self.initial_width,
+            default_policy: self.default_policy,
+            keys: Vec::new(),
+            index: HashMap::new(),
+            sources: Vec::new(),
+            cache,
+            rng: self.rng,
+            metrics: StoreMetrics::new(),
+        };
+        for (key, value, spec) in self.sources {
+            store.insert_inner(key, value, spec, 0)?;
+        }
+        Ok(store)
+    }
+}
+
+/// The unified serving façade: a precision-parameterized key-value store
+/// running the SIGMOD 2001 refresh protocol behind four verbs —
+/// [`read`](PrecisionStore::read), [`write`](PrecisionStore::write),
+/// [`aggregate`](PrecisionStore::aggregate), and
+/// [`metrics`](PrecisionStore::metrics).
+///
+/// Keys are generic; internally they are interned to dense protocol ids so
+/// the core source/cache objects stay allocation-light.
+#[derive(Debug)]
+pub struct PrecisionStore<K> {
+    cost: CostModel,
+    alpha: f64,
+    gamma0: f64,
+    gamma1: f64,
+    initial_width: InitialWidth,
+    default_policy: PolicySpec,
+    /// Interned id → application key.
+    keys: Vec<K>,
+    /// Application key → interned id.
+    index: HashMap<K, u32>,
+    /// One protocol source per key, indexed by interned id.
+    sources: Vec<Source>,
+    cache: Cache,
+    rng: Rng,
+    metrics: StoreMetrics<K>,
+}
+
+impl<K: Hash + Ord + Clone> PrecisionStore<K> {
+    /// Entry point: a builder with the paper's recommended tuning.
+    pub fn builder() -> StoreBuilder<K> {
+        StoreBuilder::new()
+    }
+
+    fn id_of(&self, key: &K) -> Result<u32, StoreError> {
+        self.index.get(key).copied().ok_or(StoreError::UnknownKey)
+    }
+
+    fn insert_inner(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: Option<PolicySpec>,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        if self.index.contains_key(&key) {
+            return Err(StoreError::DuplicateKey);
+        }
+        let id = u32::try_from(self.keys.len())
+            .map_err(|_| StoreError::Config("store key space exhausted (u32 ids)".into()))?;
+        let spec = spec.unwrap_or(self.default_policy);
+        let policy = spec.build(
+            &self.cost,
+            self.alpha,
+            self.gamma0,
+            self.gamma1,
+            self.initial_width.for_value(value),
+        )?;
+        let mut source = Source::new(Key(id), value)?;
+        let refresh = source.register(STORE_CACHE, policy, now)?;
+        self.cache.apply_refresh(refresh);
+        self.sources.push(source);
+        self.index.insert(key.clone(), id);
+        self.keys.push(key);
+        Ok(())
+    }
+
+    /// Register a new source after construction, with the default policy.
+    pub fn insert(&mut self, key: K, value: f64, now: TimeMs) -> Result<(), StoreError> {
+        self.insert_inner(key, value, None, now)
+    }
+
+    /// Register a new source after construction, with a per-key policy.
+    pub fn insert_with_policy(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: PolicySpec,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        self.insert_inner(key, value, Some(spec), now)
+    }
+
+    /// Read `key` to the given precision.
+    ///
+    /// If the cached interval already satisfies the constraint, it is
+    /// returned at zero message cost. Otherwise the store performs one
+    /// query-initiated refresh: the exact value is fetched (cost `C_qr`),
+    /// a narrower approximation is installed, and the policy shrinks its
+    /// width (`W ← W/(1+α)` with probability `min{1/θ, 1}`).
+    pub fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, StoreError> {
+        constraint.validate()?;
+        let id = self.id_of(key)?;
+        // An uncached (e.g. evicted) key offers the unbounded interval; a
+        // constraint loose enough to accept it is still a hit, matching
+        // the aggregate planner's unconstrained behavior.
+        let interval = self.cache.interval_at(Key(id), now).unwrap_or_else(Interval::unbounded);
+        if constraint.satisfied_by(&interval) {
+            self.metrics.record_read(key, true);
+            return Ok(ReadResult { answer: Answer::Interval(interval), refreshed: false });
+        }
+        let response = self.sources[id as usize].serve_exact(STORE_CACHE, now, &mut self.rng)?;
+        self.cache.apply_refresh(response.refresh);
+        self.metrics.record_read(key, false);
+        self.metrics.record_qr(key, self.cost.c_qr());
+        Ok(ReadResult { answer: Answer::Exact(response.value), refreshed: true })
+    }
+
+    /// Push a new exact value for `key` (the source side of the protocol).
+    ///
+    /// If the value escapes the cached interval, one value-initiated
+    /// refresh re-centers the approximation (cost `C_vr`) and the policy
+    /// grows its width (`W ← W·(1+α)` with probability `min{θ, 1}`).
+    pub fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        let id = self.id_of(key)?;
+        let refreshes = self.sources[id as usize].apply_update(value, now, &mut self.rng)?;
+        self.metrics.record_write(key);
+        let n = refreshes.len();
+        for (_, refresh) in refreshes {
+            self.metrics.record_vr(key, self.cost.c_vr());
+            self.cache.apply_refresh(refresh);
+        }
+        Ok(WriteOutcome { refreshes: n })
+    }
+
+    /// Bounded aggregate over `keys`: SUM/MAX/MIN/AVG to the given
+    /// precision, fetching exactly (and only) the keys the
+    /// `apcache-queries` planner selects.
+    pub fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError> {
+        constraint.validate()?;
+        let ids: Vec<u32> = keys.iter().map(|k| self.id_of(k)).collect::<Result<_, _>>()?;
+        let items: Vec<ItemBound> = ids
+            .iter()
+            .map(|&id| {
+                ItemBound::new(
+                    Key(id),
+                    self.cache.interval_at(Key(id), now).unwrap_or_else(Interval::unbounded),
+                )
+            })
+            .collect();
+        // Split borrows so the fetch closure can reach sources, cache, RNG,
+        // and metrics while `items` stays shared.
+        let sources = &mut self.sources;
+        let cache = &mut self.cache;
+        let rng = &mut self.rng;
+        let metrics = &mut self.metrics;
+        let key_names = &self.keys;
+        let cost = self.cost;
+        let mut protocol_error: Option<ProtocolError> = None;
+        let fetch = |k: Key| -> f64 {
+            match sources[k.0 as usize].serve_exact(STORE_CACHE, now, rng) {
+                Ok(resp) => {
+                    metrics.record_qr(&key_names[k.0 as usize], cost.c_qr());
+                    cache.apply_refresh(resp.refresh);
+                    resp.value
+                }
+                Err(e) => {
+                    protocol_error = Some(e);
+                    f64::NAN
+                }
+            }
+        };
+        let outcome = match constraint {
+            Constraint::Absolute(delta) => {
+                let pc = PrecisionConstraint::new(delta)?;
+                evaluate(kind, pc, &items, fetch)
+            }
+            Constraint::Exact => evaluate(kind, PrecisionConstraint::exact(), &items, fetch),
+            Constraint::Relative(frac) => evaluate_relative(kind, frac, &items, fetch),
+        };
+        if let Some(e) = protocol_error {
+            return Err(e.into());
+        }
+        let outcome = outcome?;
+        let refreshed =
+            outcome.refreshed.into_iter().map(|k| self.keys[k.0 as usize].clone()).collect();
+        Ok(AggregateOutcome { answer: outcome.answer, refreshed })
+    }
+
+    /// Serving metrics: per-key and aggregate refresh/cost counters.
+    pub fn metrics(&self) -> &StoreMetrics<K> {
+        &self.metrics
+    }
+
+    /// The refresh cost model the store charges against.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the store has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `key` has a registered source.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Iterate over the registered keys in registration order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.keys.iter()
+    }
+
+    /// Number of keys currently resident in the cache (≤ capacity κ).
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether `key` is currently resident in the cache.
+    pub fn is_cached(&self, key: &K) -> bool {
+        self.id_of(key).map(|id| self.cache.contains(Key(id))).unwrap_or(false)
+    }
+
+    /// The interval the cache currently holds for `key` at time `now`
+    /// (`None` when uncached or unknown).
+    pub fn cached_interval(&self, key: &K, now: TimeMs) -> Option<Interval> {
+        let id = self.id_of(key).ok()?;
+        self.cache.interval_at(Key(id), now)
+    }
+
+    /// The policy's internal ("original") width for `key` — the quantity
+    /// the `W ← W·(1+α)` / `W ← W/(1+α)` adaptation moves.
+    pub fn internal_width(&self, key: &K) -> Option<f64> {
+        let id = self.id_of(key).ok()?;
+        self.sources[id as usize].internal_width_for(STORE_CACHE)
+    }
+
+    /// The source-side exact value for `key` (the server's view; reading it
+    /// through this accessor models no network cost).
+    pub fn value(&self, key: &K) -> Option<f64> {
+        let id = self.id_of(key).ok()?;
+        Some(self.sources[id as usize].value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PrecisionStore<&'static str> {
+        StoreBuilder::new()
+            .initial_width(InitialWidth::Fixed(10.0))
+            .source("a", 100.0)
+            .source("b", 200.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn read_hits_when_precise_enough() {
+        let mut s = store();
+        let r = s.read(&"a", Constraint::Absolute(10.0), 0).unwrap();
+        assert!(!r.refreshed);
+        assert_eq!(r.answer.interval(), Interval::new(95.0, 105.0).unwrap());
+        assert_eq!(s.metrics().qr_count(), 0);
+        assert_eq!(s.metrics().for_key(&"a").unwrap().cache_hits, 1);
+    }
+
+    #[test]
+    fn read_refreshes_when_too_wide() {
+        let mut s = store();
+        let r = s.read(&"a", Constraint::Absolute(5.0), 0).unwrap();
+        assert!(r.refreshed);
+        assert_eq!(r.answer, Answer::Exact(100.0));
+        assert_eq!(s.metrics().qr_count(), 1);
+        // θ = 1: the shrink is deterministic.
+        assert_eq!(s.internal_width(&"a"), Some(5.0));
+    }
+
+    #[test]
+    fn exact_and_relative_constraints() {
+        let mut s = store();
+        let r = s.read(&"a", Constraint::Exact, 0).unwrap();
+        assert_eq!(r.answer, Answer::Exact(100.0));
+        // [95, 105] certifies 10/95 ≈ 10.5 % but not 5 %.
+        let r = s.read(&"b", Constraint::Relative(0.1), 0).unwrap();
+        assert!(!r.refreshed);
+        let r = s.read(&"b", Constraint::Relative(0.01), 0).unwrap();
+        assert!(r.refreshed);
+    }
+
+    #[test]
+    fn write_inside_interval_is_free() {
+        let mut s = store();
+        let w = s.write(&"a", 103.0, 1_000).unwrap();
+        assert!(!w.escaped());
+        assert_eq!(s.metrics().vr_count(), 0);
+        // The cached interval is unchanged; the source value moved.
+        assert_eq!(s.value(&"a"), Some(103.0));
+        assert_eq!(s.cached_interval(&"a", 1_000), Some(Interval::new(95.0, 105.0).unwrap()));
+    }
+
+    #[test]
+    fn write_escape_triggers_vr_and_growth() {
+        let mut s = store();
+        let w = s.write(&"a", 110.0, 1_000).unwrap();
+        assert!(w.escaped());
+        assert_eq!(s.metrics().vr_count(), 1);
+        assert_eq!(s.internal_width(&"a"), Some(20.0));
+        let iv = s.cached_interval(&"a", 1_000).unwrap();
+        assert!(iv.contains(110.0));
+    }
+
+    #[test]
+    fn aggregate_fetches_planner_selection() {
+        let mut s = store();
+        // Two widths of 10: SUM width 20. δ = 12 needs exactly one fetch.
+        let out =
+            s.aggregate(AggregateKind::Sum, &["a", "b"], Constraint::Absolute(12.0), 0).unwrap();
+        assert_eq!(out.refreshed.len(), 1);
+        assert!(out.answer.width() <= 12.0);
+        assert!(out.answer.contains(300.0));
+        assert_eq!(s.metrics().qr_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_relative_and_exact() {
+        let mut s = store();
+        let out =
+            s.aggregate(AggregateKind::Sum, &["a", "b"], Constraint::Relative(0.2), 0).unwrap();
+        assert!(out.refreshed.is_empty());
+        let out = s.aggregate(AggregateKind::Max, &["a", "b"], Constraint::Exact, 0).unwrap();
+        assert!(out.answer.is_exact());
+        assert_eq!(out.answer.lo(), 200.0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_error() {
+        let mut s = store();
+        assert!(matches!(s.read(&"zzz", Constraint::Exact, 0), Err(StoreError::UnknownKey)));
+        assert!(matches!(s.write(&"zzz", 0.0, 0), Err(StoreError::UnknownKey)));
+        assert!(matches!(
+            s.aggregate(AggregateKind::Sum, &["a", "zzz"], Constraint::Exact, 0),
+            Err(StoreError::UnknownKey)
+        ));
+        assert!(matches!(s.insert("a", 0.0, 0), Err(StoreError::DuplicateKey)));
+    }
+
+    #[test]
+    fn invalid_constraints_error() {
+        let mut s = store();
+        assert!(s.read(&"a", Constraint::Absolute(-1.0), 0).is_err());
+        assert!(s.read(&"a", Constraint::Relative(f64::NAN), 0).is_err());
+        assert!(s
+            .aggregate(AggregateKind::Sum, &["a"], Constraint::Absolute(f64::NAN), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn insert_after_build_and_capacity() {
+        let mut s: PrecisionStore<u64> = StoreBuilder::new()
+            .capacity(2)
+            .initial_width(InitialWidth::Fixed(4.0))
+            .build()
+            .unwrap();
+        for i in 0..5u64 {
+            s.insert(i, i as f64, 0).unwrap();
+        }
+        assert_eq!(s.len(), 5);
+        assert!(s.cached_len() <= 2);
+        // An unconstrained read of an evicted key is a (useless but free)
+        // hit on the unbounded interval — mirroring the aggregate
+        // planner's unconstrained contract.
+        let victim = (0..5u64).find(|k| !s.is_cached(k)).unwrap();
+        let r = s.read(&victim, Constraint::Absolute(f64::INFINITY), 0).unwrap();
+        assert!(!r.refreshed);
+        assert!(r.answer.interval().is_unbounded());
+        assert_eq!(s.metrics().qr_count(), 0);
+        // Any finite constraint forces the refresh.
+        let r = s.read(&victim, Constraint::Absolute(100.0), 0).unwrap();
+        assert!(r.refreshed);
+        assert!(r.answer.contains(victim as f64));
+    }
+
+    #[test]
+    fn non_finite_writes_rejected() {
+        let mut s = store();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(s.write(&"a", bad, 0).is_err());
+        }
+        // Rejected writes are not counted as applied.
+        assert!(s.metrics().for_key(&"a").is_none());
+        // The store stays usable, and successful writes do count.
+        assert!(s.write(&"a", 1.0, 0).is_ok());
+        assert_eq!(s.metrics().for_key(&"a").unwrap().writes, 1);
+    }
+
+    #[test]
+    fn generic_string_keys_work() {
+        let mut s: PrecisionStore<String> =
+            StoreBuilder::new().source("temp/室内".to_string(), 21.5).build().unwrap();
+        let r = s.read(&"temp/室内".to_string(), Constraint::Exact, 0).unwrap();
+        assert_eq!(r.answer, Answer::Exact(21.5));
+    }
+
+    #[test]
+    fn deterministic_given_rng_stream() {
+        let run = |seed: u64| {
+            let mut s: PrecisionStore<u32> = StoreBuilder::new()
+                .rng(Rng::seed_from_u64(seed))
+                .initial_width(InitialWidth::Fixed(8.0))
+                .cost(CostModel::two_phase_locking())
+                .source(0, 0.0)
+                .build()
+                .unwrap();
+            for t in 1..200u64 {
+                s.write(&0, (t as f64).sin() * 20.0, t * 1_000).unwrap();
+                if t % 3 == 0 {
+                    s.read(&0, Constraint::Absolute(5.0), t * 1_000).unwrap();
+                }
+            }
+            (s.metrics().vr_count(), s.metrics().qr_count(), s.internal_width(&0).unwrap())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

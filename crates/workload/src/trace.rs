@@ -175,6 +175,7 @@ impl TraceSet {
     pub fn generate(cfg: &TraceConfig, seed: u64) -> Result<Self, ParamError> {
         cfg.validate()?;
         let mut master = Rng::seed_from_u64(seed ^ 0x7261_6365); // "race"
+
         // Heavy-tailed intensity per host, sorted descending so host 0 is
         // the busiest ("the 50 most heavily trafficked hosts").
         let mut intensities: Vec<f64> =
@@ -189,8 +190,7 @@ impl TraceSet {
             hosts.push(moving_average(&raw, cfg.window_secs));
         }
         // Rescale so the global maximum hits peak_rate.
-        let global_max =
-            hosts.iter().flat_map(|h| h.iter().copied()).fold(0.0_f64, f64::max);
+        let global_max = hosts.iter().flat_map(|h| h.iter().copied()).fold(0.0_f64, f64::max);
         if global_max > 0.0 {
             let scale = cfg.peak_rate / global_max;
             for h in &mut hosts {
@@ -256,10 +256,7 @@ impl TraceSet {
     /// "update" events of the protocol (used by the divergence-caching
     /// experiments and the WJH97 write counters).
     pub fn change_counts(&self) -> Vec<usize> {
-        self.hosts
-            .iter()
-            .map(|h| h.windows(2).filter(|w| w[0] != w[1]).count())
-            .collect()
+        self.hosts.iter().map(|h| h.windows(2).filter(|w| w[0] != w[1]).count()).collect()
     }
 
     /// Serialize as CSV (`host,second,value` with a header row).
@@ -324,9 +321,7 @@ impl TraceSet {
         }
         for (h, series) in hosts.iter().enumerate() {
             if let Some(t) = series.iter().position(|v| v.is_nan()) {
-                return Err(TraceError::Inconsistent(format!(
-                    "host {h} is missing second {t}"
-                )));
+                return Err(TraceError::Inconsistent(format!("host {h} is missing second {t}")));
             }
         }
         Ok(TraceSet { hosts })
@@ -416,12 +411,8 @@ mod tests {
     fn config_validation() {
         assert!(TraceConfig::paper_like().validate().is_ok());
         assert!(TraceConfig { n_hosts: 0, ..TraceConfig::paper_like() }.validate().is_err());
-        assert!(
-            TraceConfig { pareto_shape: 0.9, ..TraceConfig::paper_like() }.validate().is_err()
-        );
-        assert!(
-            TraceConfig { mean_on_secs: 0.0, ..TraceConfig::paper_like() }.validate().is_err()
-        );
+        assert!(TraceConfig { pareto_shape: 0.9, ..TraceConfig::paper_like() }.validate().is_err());
+        assert!(TraceConfig { mean_on_secs: 0.0, ..TraceConfig::paper_like() }.validate().is_err());
     }
 
     #[test]
@@ -502,10 +493,7 @@ mod tests {
 
     #[test]
     fn csv_error_reporting() {
-        assert!(matches!(
-            TraceSet::from_csv_str(""),
-            Err(TraceError::Inconsistent(_))
-        ));
+        assert!(matches!(TraceSet::from_csv_str(""), Err(TraceError::Inconsistent(_))));
         assert!(matches!(
             TraceSet::from_csv_str("host,second,value\n0,0,abc"),
             Err(TraceError::Parse { line: 2, .. })

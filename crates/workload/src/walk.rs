@@ -195,11 +195,9 @@ mod tests {
     fn config_validation() {
         assert!(WalkConfig::paper_default().validate().is_ok());
         assert!(WalkConfig { step_lo: -1.0, ..WalkConfig::paper_default() }.validate().is_err());
-        assert!(
-            WalkConfig { step_lo: 2.0, step_hi: 1.0, ..WalkConfig::paper_default() }
-                .validate()
-                .is_err()
-        );
+        assert!(WalkConfig { step_lo: 2.0, step_hi: 1.0, ..WalkConfig::paper_default() }
+            .validate()
+            .is_err());
         assert!(WalkConfig { p_up: 1.5, ..WalkConfig::paper_default() }.validate().is_err());
         assert!(WalkConfig { initial: f64::NAN, ..WalkConfig::paper_default() }
             .validate()

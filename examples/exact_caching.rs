@@ -37,16 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let processes = workload.build_processes(&mut master)?;
         let initial: Vec<f64> = processes.iter().map(|p| p.value()).collect();
         let system = ExactCachingSystem::new(
-            ExactCachingConfig {
-                cost: CostModel::multiversion(),
-                x,
-                cache_capacity: None,
-            },
+            ExactCachingConfig { cost: CostModel::multiversion(), x, cache_capacity: None },
             &initial,
         )?;
         let query_gen = QueryGenerator::new(queries, initial.len(), master.fork())?;
-        let stats =
-            Simulation::new(sim_cfg, system, processes, query_gen)?.run()?.stats;
+        let stats = Simulation::new(sim_cfg, system, processes, query_gen)?.run()?.stats;
         if stats.cost_rate() < best.1 {
             best = (x, stats.cost_rate());
         }
@@ -79,13 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..AdaptiveSystemConfig::default()
     };
     let loose = QuerySpec { delta_avg: 100_000.0, delta_rho: 0.5, ..queries };
-    let report = build_adaptive_simulation(
-        &sim_cfg,
-        &ours_approx,
-        WorkloadSpec::trace(trace),
-        loose,
-    )?
-    .run()?;
+    let report =
+        build_adaptive_simulation(&sim_cfg, &ours_approx, WorkloadSpec::trace(trace), loose)?
+            .run()?;
     println!(
         "ours with gamma1 = inf, delta=100K: cost rate {:.3}  ({:.1}x cheaper than exact)",
         report.stats.cost_rate(),

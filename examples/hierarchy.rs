@@ -41,10 +41,7 @@ fn drive<S: CacheSystem>(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "{:>8} {:>16} {:>16} {:>10}",
-        "leaves", "hierarchy cost", "flat cost", "saving"
-    );
+    println!("{:>8} {:>16} {:>16} {:>10}", "leaves", "hierarchy cost", "flat cost", "saving");
     for n_leaves in [1usize, 2, 4, 8, 16] {
         let cfg = MultiLevelConfig { n_leaves, ..MultiLevelConfig::default() };
         let initial = [0.0, 0.0, 0.0, 0.0];

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sim_cfg = SimConfig::builder().duration_secs(7_200).warmup_secs(600).seed(1).build()?;
 
-    println!("\n{:>22} {:>12} {:>10} {:>10} {:>10}", "precision constraint", "cost rate", "VRs", "QRs", "saving");
+    println!(
+        "\n{:>22} {:>12} {:>10} {:>10} {:>10}",
+        "precision constraint", "cost rate", "VRs", "QRs", "saving"
+    );
     let mut exact_cost = None;
     for delta_avg in [0.0, 50_000.0, 500_000.0] {
         let queries = QuerySpec {

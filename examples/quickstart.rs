@@ -1,71 +1,76 @@
-//! Quickstart: the adaptive precision-setting protocol on one value.
+//! Quickstart: the `PrecisionStore` façade on one value.
 //!
-//! Walks through the paper's Figure 1 by hand: a source holding an exact
-//! value, a cache holding an interval approximation, a value-initiated
-//! refresh growing the interval, and a query-initiated refresh shrinking
-//! it.
+//! Walks through the paper's Figure 1 against the public API: an
+//! application reads a value "to within ±δ" and pushes updates; behind the
+//! façade a value-initiated refresh grows the cached interval and a
+//! query-initiated refresh shrinks it, steering each key's precision to
+//! the cost-optimal width.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use apcache::core::cache::Cache;
 use apcache::core::cost::CostModel;
-use apcache::core::policy::{AdaptiveParams, AdaptivePolicy};
-use apcache::core::source::Source;
-use apcache::core::{CacheId, Key, Rng};
+use apcache::store::{Constraint, InitialWidth, StoreBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Costs: updates are pushed (C_vr = 1), remote reads are a round trip
     // (C_qr = 2), so the cost factor is theta = 2*C_vr/C_qr = 1 and the
-    // width adjusts on every refresh.
+    // width adjusts on every refresh. alpha = 1 doubles/halves widths —
+    // the paper's recommended tuning.
     let cost = CostModel::multiversion();
-    println!("cost model: C_vr = {}, C_qr = {}, theta = {}", cost.c_vr(), cost.c_qr(), cost.theta());
-
-    // The paper's recommended tuning: alpha = 1 doubles/halves the width.
-    let params = AdaptiveParams::new(&cost, 1.0)?;
-    let policy = AdaptivePolicy::new(params, 2.0)?;
-
-    let mut rng = Rng::seed_from_u64(7);
-    let cache_id = CacheId(0);
-    let mut source = Source::new(Key(0), 5.0)?;
-    let mut cache = Cache::new(cache_id, 16)?;
-
-    // Register the cache at the source; install the initial approximation.
-    let refresh = source.register(cache_id, Box::new(policy), 0)?;
-    cache.apply_refresh(refresh);
-    println!("t=0s  value = 5, cached interval = {}", cache.interval_at(Key(0), 0).unwrap());
-
-    // The value drifts inside the interval: nothing happens (cache hit
-    // territory -- approximate reads are free).
-    let refreshes = source.apply_update(5.5, 1_000, &mut rng)?;
-    assert!(refreshes.is_empty());
-    println!("t=1s  value = 5.5, still valid: {}", cache.interval_at(Key(0), 1_000).unwrap());
-
-    // Figure 1(a): the value escapes -> value-initiated refresh; the
-    // source concludes the interval was too narrow and doubles the width.
-    let refreshes = source.apply_update(7.0, 2_000, &mut rng)?;
-    for (_, refresh) in refreshes {
-        println!(
-            "t=2s  value = 7 escaped! value-initiated refresh installs {} (width doubled)",
-            refresh.spec.interval_at(2_000)
-        );
-        cache.apply_refresh(refresh);
-    }
-
-    // Figure 1(b): a query needs more precision than the interval offers
-    // and fetches the exact value -> query-initiated refresh; the source
-    // concludes the interval was too wide and halves the width.
-    let response = source.serve_exact(cache_id, 3_000, &mut rng)?;
     println!(
-        "t=3s  query fetched exact value {}; query-initiated refresh installs {} (width halved)",
-        response.value,
-        response.refresh.spec.interval_at(3_000)
+        "cost model: C_vr = {}, C_qr = {}, theta = {}",
+        cost.c_vr(),
+        cost.c_qr(),
+        cost.theta()
     );
-    cache.apply_refresh(response.refresh);
 
+    let mut store = StoreBuilder::new()
+        .cost(cost)
+        .alpha(1.0)
+        .initial_width(InitialWidth::Fixed(2.0))
+        .source("sensor", 5.0)
+        .build()?;
+
+    // A tolerant read is answered from the cached interval — no messages.
+    let r = store.read(&"sensor", Constraint::Absolute(2.0), 0)?;
+    println!("t=0s  read ±1 -> {} (cache hit, zero cost)", r.answer);
+
+    // The value drifts inside the interval: nothing happens (writes in
+    // [L, H] are free).
+    let w = store.write(&"sensor", 5.5, 1_000)?;
+    assert!(!w.escaped());
+    println!("t=1s  write 5.5 stayed inside {}", store.cached_interval(&"sensor", 1_000).unwrap());
+
+    // Figure 1(a): the value escapes -> value-initiated refresh; the store
+    // concludes the interval was too narrow and doubles the width.
+    let w = store.write(&"sensor", 7.0, 2_000)?;
+    assert!(w.escaped());
+    println!(
+        "t=2s  write 7 escaped! value-initiated refresh installs {} (width doubled)",
+        store.cached_interval(&"sensor", 2_000).unwrap()
+    );
+
+    // Figure 1(b): a read needs more precision than the interval offers
+    // and fetches the exact value -> query-initiated refresh; the store
+    // concludes the interval was too wide and halves the width.
+    let r = store.read(&"sensor", Constraint::Absolute(1.0), 3_000)?;
+    assert!(r.refreshed);
+    println!(
+        "t=3s  read ±0.5 fetched exact value {}; query-initiated refresh installs {} (width halved)",
+        r.answer,
+        store.cached_interval(&"sensor", 3_000).unwrap()
+    );
+    assert!(r.answer.width() <= 1.0, "answer must satisfy the precision constraint");
+
+    let m = store.metrics();
     println!(
         "internal width now {} — the algorithm keeps balancing the two refresh rates,\n\
-         which is exactly the cost-optimal width (paper, Section 3).",
-        source.internal_width_for(cache_id).unwrap()
+         which is exactly the cost-optimal width (paper, Section 3).\n\
+         metrics: {} VRs + {} QRs, total cost {}",
+        store.internal_width(&"sensor").unwrap(),
+        m.vr_count(),
+        m.qr_count(),
+        m.total_cost()
     );
     Ok(())
 }

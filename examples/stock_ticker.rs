@@ -52,11 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Dashboard refresh every 5 s: portfolio value to within $2.50.
         if t % 5 == 0 {
-            let q = GeneratedQuery {
-                kind: AggregateKind::Sum,
-                keys: all_keys.clone(),
-                delta: 2.50,
-            };
+            let q =
+                GeneratedQuery { kind: AggregateKind::Sum, keys: all_keys.clone(), delta: 2.50 };
             let summary = dashboard.on_query(&q, now, &mut stats)?;
             stats.record_query();
             if let Some(answer) = summary.answer {
@@ -65,11 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Top mover every 30 s: which instrument trades highest, to within 50c.
         if t % 30 == 0 {
-            let q = GeneratedQuery {
-                kind: AggregateKind::Max,
-                keys: all_keys.clone(),
-                delta: 0.50,
-            };
+            let q =
+                GeneratedQuery { kind: AggregateKind::Max, keys: all_keys.clone(), delta: 0.50 };
             dashboard.on_query(&q, now, &mut stats)?;
             stats.record_query();
         }
@@ -77,8 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stats.finalize(horizon_secs as f64);
 
     let (t, answer, refreshes) = portfolio_answers.last().expect("queries ran");
-    println!("after {t} s: portfolio value in [{:.2}, {:.2}] (width {:.2}, {} exact fetches)",
-        answer.lo(), answer.hi(), answer.width(), refreshes);
+    println!(
+        "after {t} s: portfolio value in [{:.2}, {:.2}] (width {:.2}, {} exact fetches)",
+        answer.lo(),
+        answer.hi(),
+        answer.width(),
+        refreshes
+    );
     println!(
         "totals: {} queries, {} value-initiated refreshes, {} exact fetches",
         stats.query_count(),

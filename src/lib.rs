@@ -6,6 +6,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`store`] | `apcache-store` | **the serving façade**: `PrecisionStore` — precision-parameterized reads, writes, bounded aggregates, and metrics over generic keys |
 //! | [`core`] | `apcache-core` | interval algebra, the adaptive precision policy and its variants, source/cache protocol, analytic model, deterministic RNG |
 //! | [`queries`] | `apcache-queries` | bounded aggregate queries (SUM/MAX/MIN/AVG) with refresh-set selection |
 //! | [`workload`] | `apcache-workload` | random walks, synthetic network traffic traces, query workloads |
@@ -13,48 +14,65 @@
 //! | [`baselines`] | `apcache-baselines` | WJH97 adaptive exact caching, HSW94 divergence caching, stale-value specialization |
 //! | [`hier`] | `apcache-hier` | multi-level cache hierarchies (the paper's Section 5 future work) |
 //!
+//! Applications talk to [`store::PrecisionStore`]; the simulator, the
+//! baselines, and the experiment harnesses drive the same façade so there
+//! is exactly one implementation of the refresh protocol.
+//!
 //! ## Quickstart
 //!
-//! ```
-//! use apcache::core::cost::CostModel;
-//! use apcache::sim::systems::{AdaptiveSystemConfig, build_adaptive_simulation};
-//! use apcache::sim::SimConfig;
-//! use apcache::workload::walk::WalkConfig;
+//! Ask for a value *to within ±δ*: the store answers from its cached
+//! interval when that is precise enough (free), and otherwise refreshes
+//! exactly once, adapting each key's precision to its traffic as it goes.
 //!
-//! // One source performing a random walk, queried every 2 s with
-//! // precision constraints averaging 20.
-//! let sim_cfg = SimConfig::builder()
-//!     .duration_secs(2_000)
-//!     .warmup_secs(200)
-//!     .seed(7)
+//! ```
+//! use apcache::store::{Constraint, StoreBuilder};
+//!
+//! // Two sensors; sources register with an exact starting value.
+//! let mut store = StoreBuilder::new()
+//!     .source("cpu_load", 40.0)
+//!     .source("queue_depth", 1_200.0)
 //!     .build()
 //!     .unwrap();
-//! let sys_cfg = AdaptiveSystemConfig {
-//!     cost: CostModel::multiversion(),
-//!     alpha: 1.0,
-//!     ..AdaptiveSystemConfig::default()
-//! };
-//! let report = build_adaptive_simulation(
-//!     &sim_cfg,
-//!     &sys_cfg,
-//!     apcache::sim::systems::WorkloadSpec::random_walks(1, WalkConfig::paper_default()),
-//!     apcache::sim::systems::QuerySpec {
-//!         period_secs: 2.0,
-//!         delta_avg: 20.0,
-//!         delta_rho: 1.0,
-//!         fanout: 1,
-//!         kind_mix: apcache::workload::query::KindMix::SumOnly,
-//!     },
-//! )
-//! .unwrap()
-//! .run()
-//! .unwrap();
-//! assert!(report.stats.cost_rate() > 0.0);
+//!
+//! // A tolerant read is served from the cached interval at zero cost.
+//! let r = store.read(&"cpu_load", Constraint::Absolute(10.0), 0).unwrap();
+//! assert!(!r.refreshed);
+//! assert!(r.answer.width() <= 10.0);
+//! assert!(r.answer.contains(40.0));
+//!
+//! // A tight read triggers one query-initiated refresh: the exact value
+//! // comes back and the key's interval narrows (W ← W/(1+α)).
+//! let r = store.read(&"cpu_load", Constraint::Exact, 1_000).unwrap();
+//! assert_eq!(r.answer.estimate(), Some(40.0));
+//! assert!(r.refreshed);
+//!
+//! // Writes inside the interval are free; escaping writes refresh and
+//! // widen (W ← W·(1+α)).
+//! let w = store.write(&"queue_depth", 1_201.0, 2_000).unwrap();
+//! assert!(!w.escaped());
+//!
+//! // Bounded aggregates fetch only the keys the planner selects.
+//! use apcache::queries::AggregateKind;
+//! let out = store
+//!     .aggregate(AggregateKind::Sum, &["cpu_load", "queue_depth"], Constraint::Absolute(50.0), 3_000)
+//!     .unwrap();
+//! assert!(out.answer.width() <= 50.0);
+//! assert_eq!(out.refreshed, vec!["queue_depth"]); // the widest item
+//!
+//! // Refresh traffic and costs are accounted per key.
+//! assert_eq!(store.metrics().qr_count(), 2);
+//! assert_eq!(store.metrics().for_key(&"cpu_load").unwrap().qr_count, 1);
 //! ```
+//!
+//! To *evaluate* a configuration under synthetic load instead, assemble a
+//! simulation (the paper's Section 4 environment) with
+//! [`sim::systems::build_adaptive_simulation`] — it drives the same
+//! `PrecisionStore` through the event loop and reports the cost rate `Ω`.
 
 pub use apcache_baselines as baselines;
 pub use apcache_core as core;
 pub use apcache_hier as hier;
 pub use apcache_queries as queries;
 pub use apcache_sim as sim;
+pub use apcache_store as store;
 pub use apcache_workload as workload;

@@ -33,11 +33,8 @@ fn queries_for_unknown_keys_error_cleanly() {
         AdaptiveSystem::new(&AdaptiveSystemConfig::default(), &[1.0], Rng::seed_from_u64(0))
             .expect("builds");
     let mut stats = Stats::new();
-    let query = GeneratedQuery {
-        kind: AggregateKind::Sum,
-        keys: vec![Key(0), Key(99)],
-        delta: 0.0,
-    };
+    let query =
+        GeneratedQuery { kind: AggregateKind::Sum, keys: vec![Key(0), Key(99)], delta: 0.0 };
     // Key 99 has no source: the planner's fetch fails and the error
     // propagates as a protocol error (not a panic, not a NaN answer).
     assert!(system.on_query(&query, 0, &mut stats).is_err());
@@ -48,12 +45,7 @@ fn planner_reports_broken_fetchers() {
     let items =
         vec![ItemBound::new(Key(0), apcache::core::Interval::new(0.0, 10.0).expect("valid"))];
     for bad in [f64::NAN, f64::INFINITY] {
-        let out = evaluate(
-            AggregateKind::Sum,
-            PrecisionConstraint::exact(),
-            &items,
-            |_| bad,
-        );
+        let out = evaluate(AggregateKind::Sum, PrecisionConstraint::exact(), &items, |_| bad);
         assert!(matches!(out, Err(QueryError::NonFiniteFetch { .. })));
     }
 }
@@ -67,10 +59,8 @@ fn source_misuse_is_structured() {
     // Serving a cache that never registered.
     assert!(source.serve_exact(CacheId(3), 0, &mut rng).is_err());
     // Double registration.
-    let p1: Box<dyn PrecisionPolicy> =
-        Box::new(AdaptivePolicy::new(params, 1.0).expect("valid"));
-    let p2: Box<dyn PrecisionPolicy> =
-        Box::new(AdaptivePolicy::new(params, 1.0).expect("valid"));
+    let p1: Box<dyn PrecisionPolicy> = Box::new(AdaptivePolicy::new(params, 1.0).expect("valid"));
+    let p2: Box<dyn PrecisionPolicy> = Box::new(AdaptivePolicy::new(params, 1.0).expect("valid"));
     assert!(source.register(CacheId(0), p1, 0).is_ok());
     assert!(source.register(CacheId(0), p2, 0).is_err());
 }
@@ -90,36 +80,25 @@ fn config_validation_is_exhaustive_at_the_boundaries() {
     assert!(p.with_thresholds(f64::NAN, 1.0).is_err());
     assert!(p.with_thresholds(0.0, f64::NAN).is_err());
     // System assembly.
-    assert!(AdaptiveSystem::new(
-        &AdaptiveSystemConfig::default(),
-        &[],
-        Rng::seed_from_u64(0)
-    )
-    .is_err());
+    assert!(
+        AdaptiveSystem::new(&AdaptiveSystemConfig::default(), &[], Rng::seed_from_u64(0)).is_err()
+    );
     let bad_alpha = AdaptiveSystemConfig { alpha: -1.0, ..AdaptiveSystemConfig::default() };
     assert!(AdaptiveSystem::new(&bad_alpha, &[1.0], Rng::seed_from_u64(0)).is_err());
-    let bad_gamma = AdaptiveSystemConfig {
-        gamma0: 5.0,
-        gamma1: 1.0,
-        ..AdaptiveSystemConfig::default()
-    };
+    let bad_gamma =
+        AdaptiveSystemConfig { gamma0: 5.0, gamma1: 1.0, ..AdaptiveSystemConfig::default() };
     assert!(AdaptiveSystem::new(&bad_gamma, &[1.0], Rng::seed_from_u64(0)).is_err());
-    let zero_cache = AdaptiveSystemConfig {
-        cache_capacity: Some(0),
-        ..AdaptiveSystemConfig::default()
-    };
+    let zero_cache =
+        AdaptiveSystemConfig { cache_capacity: Some(0), ..AdaptiveSystemConfig::default() };
     assert!(AdaptiveSystem::new(&zero_cache, &[1.0], Rng::seed_from_u64(0)).is_err());
 }
 
 #[test]
 fn hierarchy_misuse_is_structured() {
     use apcache::hier::{LeafId, MultiLevelConfig, MultiLevelSystem};
-    let mut sys = MultiLevelSystem::new(
-        &MultiLevelConfig::default(),
-        &[1.0],
-        Rng::seed_from_u64(0),
-    )
-    .expect("builds");
+    let mut sys =
+        MultiLevelSystem::new(&MultiLevelConfig::default(), &[1.0], Rng::seed_from_u64(0))
+            .expect("builds");
     let mut stats = Stats::new();
     assert!(sys.read_bounded(LeafId(99), Key(0), 1.0, 0, &mut stats).is_err());
     assert!(sys.read_bounded(LeafId(0), Key(99), 1.0, 0, &mut stats).is_err());

@@ -1,0 +1,184 @@
+//! End-to-end contract of the `PrecisionStore` façade:
+//!
+//! * a read with a constraint the cache cannot meet triggers **exactly
+//!   one** query-initiated refresh and narrows the key's interval;
+//! * a write escaping `[L, H]` triggers a value-initiated refresh and
+//!   widens the key's interval;
+//! * every answer — read or aggregate, hit or refresh — contains the true
+//!   value.
+
+use apcache::core::cost::CostModel;
+use apcache::core::{Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::store::{Answer, Constraint, InitialWidth, PolicySpec, StoreBuilder, StoreError};
+use apcache::workload::walk::{RandomWalk, ValueProcess, WalkConfig};
+
+/// θ = 1 (multiversion costs) makes every width adjustment deterministic,
+/// so the narrowing/widening assertions are exact.
+fn deterministic_store() -> apcache::store::PrecisionStore<&'static str> {
+    StoreBuilder::new()
+        .cost(CostModel::multiversion())
+        .alpha(1.0)
+        .initial_width(InitialWidth::Fixed(8.0))
+        .source("a", 100.0)
+        .source("b", -40.0)
+        .build()
+        .expect("valid store")
+}
+
+#[test]
+fn tight_read_triggers_exactly_one_refresh_and_narrows() {
+    let mut store = deterministic_store();
+    let before = store.internal_width(&"a").unwrap();
+    assert_eq!(before, 8.0);
+
+    // Tighter than the cached ±4 interval: one QR, exact answer.
+    let result = store.read(&"a", Constraint::Absolute(2.0), 0).unwrap();
+    assert!(result.refreshed);
+    assert_eq!(result.answer, Answer::Exact(100.0));
+    assert_eq!(store.metrics().qr_count(), 1, "exactly one query-initiated refresh");
+    assert_eq!(store.metrics().for_key(&"a").unwrap().qr_count, 1);
+
+    // The width shrank by (1+α) and the fresh interval reflects it.
+    assert_eq!(store.internal_width(&"a").unwrap(), 4.0);
+    assert_eq!(store.cached_interval(&"a", 0).unwrap().width(), 4.0);
+
+    // The shrunken interval now serves the same constraint for free.
+    let result = store.read(&"a", Constraint::Absolute(4.0), 1_000).unwrap();
+    assert!(!result.refreshed);
+    assert_eq!(store.metrics().qr_count(), 1, "no further refresh");
+}
+
+#[test]
+fn escaping_write_triggers_refresh_and_widens() {
+    let mut store = deterministic_store();
+
+    // Inside [96, 104]: no refresh, no width change.
+    let outcome = store.write(&"a", 103.0, 1_000).unwrap();
+    assert!(!outcome.escaped());
+    assert_eq!(store.metrics().vr_count(), 0);
+    assert_eq!(store.internal_width(&"a").unwrap(), 8.0);
+
+    // Escape above 104: one VR, width doubles, interval re-centers.
+    let outcome = store.write(&"a", 110.0, 2_000).unwrap();
+    assert_eq!(outcome.refreshes, 1);
+    assert_eq!(store.metrics().vr_count(), 1);
+    assert_eq!(store.internal_width(&"a").unwrap(), 16.0);
+    let interval = store.cached_interval(&"a", 2_000).unwrap();
+    assert!(interval.contains(110.0));
+    assert_eq!(interval.width(), 16.0);
+
+    // Escape below also detected.
+    let outcome = store.write(&"b", -100.0, 3_000).unwrap();
+    assert!(outcome.escaped());
+    assert!(store.cached_interval(&"b", 3_000).unwrap().contains(-100.0));
+}
+
+#[test]
+fn relative_and_exact_constraints_route_correctly() {
+    let mut store = deterministic_store();
+    // [96, 104] certifies 8/96 ≈ 8.3 %: a 10 % read is a hit.
+    let result = store.read(&"a", Constraint::Relative(0.10), 0).unwrap();
+    assert!(!result.refreshed);
+    // A 1 % read is not, and must come back exact-or-narrow enough.
+    let result = store.read(&"a", Constraint::Relative(0.01), 0).unwrap();
+    assert!(result.refreshed);
+    assert_eq!(result.answer.estimate(), Some(100.0));
+    // Exact always reflects the true source value.
+    store.write(&"a", 101.0, 1_000).unwrap();
+    let result = store.read(&"a", Constraint::Exact, 1_000).unwrap();
+    assert_eq!(result.answer, Answer::Exact(101.0));
+}
+
+#[test]
+fn answers_always_contain_the_true_value() {
+    // Drive random-walk traffic through reads, writes, and aggregates with
+    // mixed constraints; every answer must contain the ground truth.
+    const N: usize = 6;
+    let mut rng = Rng::seed_from_u64(2026);
+    let mut walks: Vec<RandomWalk> = (0..N)
+        .map(|_| RandomWalk::new(WalkConfig::paper_default(), rng.fork()).expect("valid walk"))
+        .collect();
+    let keys: Vec<u32> = (0..N as u32).collect();
+    let mut store = StoreBuilder::new()
+        .rng(rng.fork())
+        .initial_width(InitialWidth::Fixed(6.0))
+        .build()
+        .expect("valid store");
+    for (i, walk) in walks.iter().enumerate() {
+        store.insert(i as u32, walk.value(), 0).unwrap();
+    }
+
+    for t in 1..=500u64 {
+        let now = t * MS_PER_SEC;
+        let mut truth = Vec::with_capacity(N);
+        for (i, walk) in walks.iter_mut().enumerate() {
+            let v = walk.step();
+            store.write(&(i as u32), v, now).unwrap();
+            truth.push(v);
+        }
+
+        // Point read with a rotating constraint.
+        let key = (t % N as u64) as u32;
+        let constraint = match t % 3 {
+            0 => Constraint::Absolute(5.0),
+            1 => Constraint::Relative(0.05),
+            _ => Constraint::Exact,
+        };
+        let result = store.read(&key, constraint, now).unwrap();
+        assert!(
+            result.answer.contains(truth[key as usize]),
+            "t={t}: read answer {} misses true value {}",
+            result.answer,
+            truth[key as usize]
+        );
+
+        // Aggregate over all keys every 5 ticks.
+        if t % 5 == 0 {
+            for (kind, agg_truth) in [
+                (AggregateKind::Sum, truth.iter().sum::<f64>()),
+                (AggregateKind::Max, truth.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+                (AggregateKind::Min, truth.iter().copied().fold(f64::INFINITY, f64::min)),
+            ] {
+                let out = store.aggregate(kind, &keys, Constraint::Absolute(8.0), now).unwrap();
+                assert!(out.answer.width() <= 8.0 + 1e-9);
+                assert!(
+                    out.answer.contains(agg_truth),
+                    "t={t}: {kind:?} answer {} misses {agg_truth}",
+                    out.answer
+                );
+            }
+        }
+    }
+    // The workload produced refreshes of both kinds.
+    assert!(store.metrics().vr_count() > 0);
+    assert!(store.metrics().qr_count() > 0);
+}
+
+#[test]
+fn per_key_policies_coexist() {
+    let mut store = StoreBuilder::new()
+        .initial_width(InitialWidth::Fixed(8.0))
+        .source("adaptive", 10.0)
+        .source_with_policy("frozen", 20.0, PolicySpec::Fixed { width: 8.0 })
+        .build()
+        .unwrap();
+    // One tight read each: the adaptive key narrows, the fixed key stays.
+    store.read(&"adaptive", Constraint::Exact, 0).unwrap();
+    store.read(&"frozen", Constraint::Exact, 0).unwrap();
+    assert_eq!(store.internal_width(&"adaptive").unwrap(), 4.0);
+    assert_eq!(store.internal_width(&"frozen").unwrap(), 8.0);
+}
+
+#[test]
+fn unknown_keys_surface_clean_errors() {
+    let mut store = deterministic_store();
+    assert!(matches!(store.read(&"nope", Constraint::Exact, 0), Err(StoreError::UnknownKey)));
+    assert!(matches!(store.write(&"nope", 1.0, 0), Err(StoreError::UnknownKey)));
+    assert!(matches!(
+        store.aggregate(AggregateKind::Sum, &["a", "nope"], Constraint::Exact, 0),
+        Err(StoreError::UnknownKey)
+    ));
+    // A failed aggregate charges nothing.
+    assert_eq!(store.metrics().total_cost(), 0.0);
+}

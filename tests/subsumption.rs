@@ -85,8 +85,7 @@ fn gamma_equal_thresholds_cache_exactly_or_not_at_all() {
 
 #[test]
 fn ours_is_in_the_same_cost_band_as_wjh97() {
-    let best_wjh97 =
-        [3u32, 9, 21, 45].into_iter().map(run_wjh97).fold(f64::MAX, f64::min);
+    let best_wjh97 = [3u32, 9, 21, 45].into_iter().map(run_wjh97).fold(f64::MAX, f64::min);
     let (ours, _) = run_ours_exact();
     assert!(ours > 0.0 && best_wjh97 > 0.0);
     // The paper reports a near-precise match on 2h runs; at this scale we
@@ -124,8 +123,14 @@ fn exact_queries_get_exact_answers_under_subsumption() {
             let v = p.step();
             if v != values[i] {
                 values[i] = v;
-                apcache::sim::CacheSystem::on_update(&mut system, Key(i as u32), v, now, &mut stats)
-                    .expect("update ok");
+                apcache::sim::CacheSystem::on_update(
+                    &mut system,
+                    Key(i as u32),
+                    v,
+                    now,
+                    &mut stats,
+                )
+                .expect("update ok");
             }
         }
         let keys: Vec<Key> = (0..5).map(Key).collect();
