@@ -1,0 +1,5 @@
+//! Regenerates the sharded-deployment throughput/cost sweep (1/2/4/8 shards).
+
+fn main() {
+    apcache_bench::experiments::sharded::run().print();
+}

@@ -17,3 +17,4 @@ pub mod fig14_15;
 pub mod hierarchy;
 pub mod max_queries;
 pub mod sensitivity;
+pub mod sharded;

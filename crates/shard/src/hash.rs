@@ -1,0 +1,175 @@
+//! Stable hashing for ring placement and key routing.
+//!
+//! Routing must be deterministic across runs and processes, so the router
+//! cannot use `std::collections::hash_map::RandomState` (randomly seeded
+//! per process). Instead keys are hashed with FNV-1a (64-bit), a tiny
+//! dependency-free algorithm with a published reference construction, and
+//! the result is passed through the SplitMix64 finalizer to spread FNV's
+//! weak low bits over the whole ring space.
+
+use std::hash::Hasher;
+
+use apcache_core::rng::SplitMix64;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`Hasher`] implementing 64-bit FNV-1a. Deterministic: no per-process
+/// seeding, and integer writes are pinned to little-endian so the same
+/// key routes identically on every architecture (the std `Hasher`
+/// defaults feed native-endian bytes, which would break cross-process
+/// routing once sources and caches span machines).
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64 { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.write(&n.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write(&n.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, n: u128) {
+        self.write(&n.to_le_bytes());
+    }
+
+    // usize/isize widths vary by platform; hash them as 64-bit so a key
+    // routes identically on 32- and 64-bit hosts.
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_i128(&mut self, n: i128) {
+        self.write_u128(n as u128);
+    }
+
+    fn write_isize(&mut self, n: isize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Mix a raw 64-bit hash through the SplitMix64 finalizer so that inputs
+/// differing in few bits land far apart on the ring.
+pub fn mix(h: u64) -> u64 {
+    let mut sm = SplitMix64::new(h);
+    sm.next_u64()
+}
+
+/// The ring position of key `key`: FNV-1a over its `Hash` encoding,
+/// finalized with [`mix`].
+pub fn key_point<K: std::hash::Hash>(key: &K) -> u64 {
+    let mut hasher = Fnv1a64::default();
+    key.hash(&mut hasher);
+    mix(hasher.finish())
+}
+
+/// The ring position of virtual node `vnode` of shard `shard`.
+pub fn vnode_point(shard: u32, vnode: u32) -> u64 {
+    mix((u64::from(shard) << 32) | u64::from(vnode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors (empty string, "a", "foobar").
+        let hash = |s: &str| {
+            let mut h = Fnv1a64::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_point_is_deterministic_and_spread() {
+        assert_eq!(key_point(&"alpha"), key_point(&"alpha"));
+        assert_ne!(key_point(&"alpha"), key_point(&"beta"));
+        // Sequential integers must not land sequentially on the ring.
+        let a = key_point(&0u64);
+        let b = key_point(&1u64);
+        assert!(a.abs_diff(b) > u64::MAX / 1_000_000);
+    }
+
+    #[test]
+    fn integer_keys_hash_as_little_endian_bytes() {
+        // The overrides must make `Hash` on integers equivalent to feeding
+        // the little-endian encoding, regardless of the host's endianness.
+        let via_hash = {
+            let mut h = Fnv1a64::default();
+            std::hash::Hash::hash(&0xDEAD_BEEF_u32, &mut h);
+            h.finish()
+        };
+        let via_bytes = {
+            let mut h = Fnv1a64::default();
+            h.write(&[0xEF, 0xBE, 0xAD, 0xDE]);
+            h.finish()
+        };
+        assert_eq!(via_hash, via_bytes);
+        // usize hashes with 64-bit width so 32- and 64-bit hosts agree.
+        let a = {
+            let mut h = Fnv1a64::default();
+            std::hash::Hash::hash(&7usize, &mut h);
+            h.finish()
+        };
+        let b = {
+            let mut h = Fnv1a64::default();
+            std::hash::Hash::hash(&7u64, &mut h);
+            h.finish()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vnode_points_are_distinct() {
+        let mut points: Vec<u64> =
+            (0..8u32).flat_map(|s| (0..128u32).map(move |v| vnode_point(s, v))).collect();
+        let n = points.len();
+        points.sort_unstable();
+        points.dedup();
+        assert_eq!(points.len(), n, "vnode point collision");
+    }
+}

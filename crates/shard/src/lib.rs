@@ -1,0 +1,79 @@
+//! # apcache-shard
+//!
+//! The **scale-out layer** of the workspace: partition the key space of a
+//! [`PrecisionStore`](apcache_store::PrecisionStore) fleet with a
+//! consistent-hash ring, behind the same four verbs callers already know —
+//! so an application written against one store serves the same traffic
+//! from `N` shards by changing one builder line.
+//!
+//! * [`ShardRouter`] — a 64-bit consistent-hash ring with configurable
+//!   virtual nodes per shard. Stable shard ids, deterministic routing
+//!   (FNV-1a + SplitMix64 finalizer, no per-process seeding), and the
+//!   classical elasticity property: adding a shard moves roughly
+//!   `keys/(n+1)` keys, all of them **to** the new shard; removing one
+//!   only moves the keys it owned.
+//! * [`ShardedStore`] — `N` `PrecisionStore` shards behind the ring.
+//!   Point [`read`](ShardedStore::read)s and
+//!   [`write`](ShardedStore::write)s route to the owning shard and behave
+//!   exactly as on a single store (per-key protocol state is
+//!   shard-local). [`aggregate`](ShardedStore::aggregate) fans out to the
+//!   shards owning keys of the query and merges the bounded partial
+//!   answers with interval arithmetic — the precision constraint is split
+//!   so the merged answer still satisfies it.
+//!   [`metrics`](ShardedStore::metrics) returns per-shard
+//!   [`StoreMetrics`](apcache_store::StoreMetrics) plus a merged rollup.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use apcache_shard::{AggregateKind, Constraint, ShardedStoreBuilder};
+//!
+//! let mut fleet = ShardedStoreBuilder::new()
+//!     .shards(4)
+//!     .vnodes(64)
+//!     .source("cpu_load", 40.0)
+//!     .source("mem_used", 900.0)
+//!     .source("disk_io", 120.0)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Callers are shard-oblivious: same verbs, same semantics.
+//! let r = fleet.read(&"cpu_load", Constraint::Absolute(5.0), 0).unwrap();
+//! assert!(r.answer.contains(40.0));
+//! fleet.write(&"mem_used", 905.0, 1_000).unwrap();
+//!
+//! // Aggregates fan out and merge; the bound still holds.
+//! let out = fleet
+//!     .aggregate(
+//!         AggregateKind::Sum,
+//!         &["cpu_load", "mem_used", "disk_io"],
+//!         Constraint::Absolute(50.0),
+//!         2_000,
+//!     )
+//!     .unwrap();
+//! assert!(out.answer.width() <= 50.0 + 1e-9);
+//! assert!(out.answer.contains(40.0 + 905.0 + 120.0));
+//!
+//! // Per-shard metrics plus the deployment-wide rollup.
+//! let m = fleet.metrics();
+//! assert_eq!(m.per_shard().len(), 4);
+//! assert_eq!(m.merged().totals().reads, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod hash;
+pub mod router;
+pub mod store;
+
+pub use router::ShardRouter;
+pub use store::{ShardedMetrics, ShardedStore, ShardedStoreBuilder, DEFAULT_VNODES};
+
+// Re-export the façade vocabulary so sharded callers need one import root.
+pub use apcache_queries::AggregateKind;
+pub use apcache_store::{
+    AggregateOutcome, Answer, Constraint, InitialWidth, PolicySpec, ReadResult, StoreError,
+    StoreMetrics, WriteOutcome,
+};

@@ -1,0 +1,228 @@
+//! Consistent-hash routing of keys to shards.
+//!
+//! The router places every shard at `vnodes` pseudo-random points on a
+//! 64-bit hash ring; a key routes to the shard owning the first point at
+//! or after the key's own hash (wrapping at the top). Virtual nodes smooth
+//! the partition sizes; the classical consistent-hashing property holds:
+//! adding a shard only moves keys **to** the new shard (roughly a `1/(n+1)`
+//! fraction of them), and removing a shard only moves the keys it owned.
+
+use std::hash::Hash;
+
+use apcache_store::StoreError;
+
+use crate::hash::{key_point, vnode_point};
+
+/// A consistent-hash ring mapping keys to shard ids.
+///
+/// Shard ids are stable `u32`s: they never change when other shards are
+/// added or removed, so callers can keep per-shard state in a map keyed by
+/// id (or, for the common fixed-fleet case where ids are `0..n`, in a
+/// vector indexed by id).
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// Live shard ids in creation order.
+    shards: Vec<u32>,
+    /// Next id to assign in [`ShardRouter::add_shard`].
+    next_id: u32,
+    /// Virtual nodes per shard.
+    vnodes: u32,
+    /// `(point, shard id)` sorted by `(point, id)`.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardRouter {
+    /// A ring over shards `0..n_shards`, each with `vnodes` virtual nodes.
+    pub fn new(n_shards: usize, vnodes: usize) -> Result<Self, StoreError> {
+        if n_shards == 0 {
+            return Err(StoreError::Config("a shard ring needs at least one shard".into()));
+        }
+        if vnodes == 0 {
+            return Err(StoreError::Config("each shard needs at least one virtual node".into()));
+        }
+        let n = u32::try_from(n_shards)
+            .map_err(|_| StoreError::Config("shard count exceeds u32".into()))?;
+        let v = u32::try_from(vnodes)
+            .map_err(|_| StoreError::Config("vnode count exceeds u32".into()))?;
+        let mut router =
+            ShardRouter { shards: (0..n).collect(), next_id: n, vnodes: v, ring: Vec::new() };
+        router.rebuild_ring();
+        Ok(router)
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.ring.clear();
+        self.ring.reserve(self.shards.len() * self.vnodes as usize);
+        for &id in &self.shards {
+            for v in 0..self.vnodes {
+                self.ring.push((vnode_point(id, v), id));
+            }
+        }
+        self.ring.sort_unstable();
+    }
+
+    /// The shard id owning `key`.
+    pub fn route<K: Hash>(&self, key: &K) -> u32 {
+        let point = key_point(key);
+        let idx = self.ring.partition_point(|&(p, _)| p < point);
+        let idx = if idx == self.ring.len() { 0 } else { idx };
+        self.ring[idx].1
+    }
+
+    /// Add a shard; returns its (fresh, never recycled) id.
+    pub fn add_shard(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.shards.push(id);
+        for v in 0..self.vnodes {
+            self.ring.push((vnode_point(id, v), id));
+        }
+        self.ring.sort_unstable();
+        id
+    }
+
+    /// Remove a shard from the ring. Its keys redistribute to the ring
+    /// successors; every other key keeps its shard. The last shard cannot
+    /// be removed (an empty ring routes nothing).
+    pub fn remove_shard(&mut self, id: u32) -> Result<(), StoreError> {
+        if !self.shards.contains(&id) {
+            return Err(StoreError::Config(format!("shard {id} is not on the ring")));
+        }
+        if self.shards.len() == 1 {
+            return Err(StoreError::Config("cannot remove the last shard".into()));
+        }
+        self.shards.retain(|&s| s != id);
+        self.ring.retain(|&(_, s)| s != id);
+        Ok(())
+    }
+
+    /// Live shard ids, in creation order.
+    pub fn shard_ids(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards (never true for a built router).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routes(router: &ShardRouter, n_keys: usize) -> Vec<u32> {
+        (0..n_keys as u64).map(|k| router.route(&k)).collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(ShardRouter::new(0, 8).is_err());
+        assert!(ShardRouter::new(4, 0).is_err());
+        assert!(ShardRouter::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_instances() {
+        // Satellite: vnode counts of 1 and 128 both route deterministically
+        // across runs (no per-process seeding anywhere in the path).
+        for vnodes in [1usize, 128] {
+            let a = ShardRouter::new(4, vnodes).unwrap();
+            let b = ShardRouter::new(4, vnodes).unwrap();
+            assert_eq!(routes(&a, 10_000), routes(&b, 10_000), "vnodes={vnodes}");
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let r = ShardRouter::new(1, 64).unwrap();
+        assert!(routes(&r, 1_000).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn vnodes_balance_the_partitions() {
+        let r = ShardRouter::new(4, 128).unwrap();
+        let mut counts = [0usize; 4];
+        for s in routes(&r, 40_000) {
+            counts[s as usize] += 1;
+        }
+        // Perfect balance is 10k per shard; 128 vnodes should hold every
+        // shard within a factor of ~1.5 of fair share.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((6_000..=15_000).contains(&c), "shard {s} owns {c} of 40000");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_few_keys_and_only_to_it() {
+        const KEYS: usize = 10_000;
+        for n in [2usize, 4, 8] {
+            let mut r = ShardRouter::new(n, 64).unwrap();
+            let before = routes(&r, KEYS);
+            let new_id = r.add_shard();
+            let after = routes(&r, KEYS);
+            let mut moved = 0usize;
+            for (b, a) in before.iter().zip(&after) {
+                if b != a {
+                    // Consistent hashing: a remapped key can only have moved
+                    // to the shard that just joined.
+                    assert_eq!(*a, new_id, "key moved between pre-existing shards");
+                    moved += 1;
+                }
+            }
+            // Expected share is KEYS/(n+1); allow vnode-placement variance
+            // up to the satellite's "keys/N + slack" ceiling.
+            let ceiling = KEYS / n + KEYS / 10;
+            assert!(moved <= ceiling, "n={n}: moved {moved} > ceiling {ceiling}");
+            assert!(moved > 0, "n={n}: the new shard received nothing");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_never_loses_a_key() {
+        const KEYS: usize = 10_000;
+        let mut r = ShardRouter::new(4, 64).unwrap();
+        let before = routes(&r, KEYS);
+        r.remove_shard(2).unwrap();
+        assert_eq!(r.shard_ids(), &[0, 1, 3]);
+        let after = routes(&r, KEYS);
+        for (k, (b, a)) in before.iter().zip(&after).enumerate() {
+            // Every key still routes somewhere live…
+            assert!(r.shard_ids().contains(a), "key {k} routed to dead shard {a}");
+            // …and keys that were not on the removed shard stay put.
+            if *b != 2 {
+                assert_eq!(b, a, "key {k} moved although its shard survived");
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_round_trips() {
+        let mut r = ShardRouter::new(3, 32).unwrap();
+        let before = routes(&r, 5_000);
+        let id = r.add_shard();
+        r.remove_shard(id).unwrap();
+        assert_eq!(before, routes(&r, 5_000));
+    }
+
+    #[test]
+    fn remove_guards() {
+        let mut r = ShardRouter::new(1, 8).unwrap();
+        assert!(r.remove_shard(0).is_err(), "cannot drop the last shard");
+        assert!(r.remove_shard(77).is_err(), "unknown id rejected");
+        let mut r = ShardRouter::new(2, 8).unwrap();
+        r.remove_shard(0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(routes(&r, 100).iter().all(|&s| s == 1));
+    }
+}

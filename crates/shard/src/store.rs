@@ -1,0 +1,710 @@
+//! The sharded serving façade: N `PrecisionStore` shards behind one ring.
+
+use std::hash::Hash;
+
+use apcache_core::cost::CostModel;
+use apcache_core::{Interval, Rng, TimeMs};
+use apcache_queries::relative::interval_magnitude;
+use apcache_queries::{satisfies_relative, AggregateKind, QueryError};
+use apcache_store::{
+    AggregateOutcome, Constraint, InitialWidth, PolicySpec, PrecisionStore, ReadResult,
+    StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
+};
+
+use crate::router::ShardRouter;
+
+/// Builder for [`ShardedStore`]: the same protocol knobs as
+/// [`StoreBuilder`], plus the deployment shape (shard count, virtual
+/// nodes per shard) and a master seed that derives one independent RNG
+/// stream per shard.
+///
+/// ```
+/// use apcache_shard::{Constraint, ShardedStoreBuilder};
+///
+/// let mut store = ShardedStoreBuilder::new()
+///     .shards(4)
+///     .source("alpha", 10.0)
+///     .source("beta", 20.0)
+///     .build()
+///     .unwrap();
+/// assert!(store.read(&"beta", Constraint::Absolute(10.0), 0).unwrap().answer.contains(20.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedStoreBuilder<K> {
+    proto: StoreBuilder<K>,
+    shards: usize,
+    vnodes: usize,
+    rng: Rng,
+    sources: Vec<(K, f64, Option<PolicySpec>)>,
+}
+
+impl<K> Default for ShardedStoreBuilder<K> {
+    fn default() -> Self {
+        ShardedStoreBuilder {
+            proto: StoreBuilder::default(),
+            shards: 1,
+            vnodes: DEFAULT_VNODES,
+            rng: Rng::seed_from_u64(0),
+            sources: Vec::new(),
+        }
+    }
+}
+
+/// Default virtual nodes per shard: enough to keep partitions within a
+/// few tens of percent of fair share for typical fleet sizes.
+pub const DEFAULT_VNODES: usize = 64;
+
+impl<K: Hash + Ord + Clone> ShardedStoreBuilder<K> {
+    /// Start from the paper's recommended tuning on a single shard.
+    pub fn new() -> Self {
+        ShardedStoreBuilder::default()
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Virtual nodes per shard on the routing ring (≥ 1).
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Refresh cost model (determines the cost factor θ) for every shard.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.proto = self.proto.cost(cost);
+        self
+    }
+
+    /// Adaptivity parameter α for every shard.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.proto = self.proto.alpha(alpha);
+        self
+    }
+
+    /// Snapping thresholds γ0 / γ1 for every shard.
+    pub fn thresholds(mut self, gamma0: f64, gamma1: f64) -> Self {
+        self.proto = self.proto.thresholds(gamma0, gamma1);
+        self
+    }
+
+    /// Cache capacity κ **per shard** (widest-first eviction); unbounded
+    /// by default. A fleet of `n` shards caches up to `n·κ` keys total.
+    pub fn capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.proto = self.proto.capacity(capacity);
+        self
+    }
+
+    /// Rule for choosing starting interval widths.
+    pub fn initial_width(mut self, rule: InitialWidth) -> Self {
+        self.proto = self.proto.initial_width(rule);
+        self
+    }
+
+    /// Policy used for keys without a per-key override.
+    pub fn default_policy(mut self, spec: PolicySpec) -> Self {
+        self.proto = self.proto.default_policy(spec);
+        self
+    }
+
+    /// Master random stream; each shard gets an independent fork, so a
+    /// shard's behavior never depends on how many siblings it has.
+    pub fn rng(mut self, rng: Rng) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Register a source with the default policy (routed at build time).
+    pub fn source(mut self, key: K, initial_value: f64) -> Self {
+        self.sources.push((key, initial_value, None));
+        self
+    }
+
+    /// Register a source with a per-key policy override.
+    pub fn source_with_policy(mut self, key: K, initial_value: f64, spec: PolicySpec) -> Self {
+        self.sources.push((key, initial_value, Some(spec)));
+        self
+    }
+
+    /// Assemble the fleet: build the ring, route every registered source
+    /// to its owning shard, and construct the per-shard stores.
+    pub fn build(mut self) -> Result<ShardedStore<K>, StoreError> {
+        let router = ShardRouter::new(self.shards, self.vnodes)?;
+        // Duplicate registrations route to the same shard, so the per-shard
+        // builder's own DuplicateKey check covers the whole fleet.
+        let mut builders: Vec<StoreBuilder<K>> =
+            (0..self.shards).map(|_| self.proto.clone().rng(self.rng.fork())).collect();
+        for (key, value, spec) in self.sources {
+            let shard = router.route(&key) as usize;
+            // Take/put-back instead of clone: the builder accumulates its
+            // routed sources, so cloning here would be quadratic in fleet
+            // size.
+            let b = std::mem::take(&mut builders[shard]);
+            builders[shard] = match spec {
+                Some(spec) => b.source_with_policy(key, value, spec),
+                None => b.source(key, value),
+            };
+        }
+        let shards =
+            builders.into_iter().map(StoreBuilder::build).collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedStore { router, shards })
+    }
+}
+
+/// A deployment-wide view of serving metrics: one [`StoreMetrics`] per
+/// shard (borrowed from the live stores) plus their merged rollup
+/// (materialized at construction).
+#[derive(Debug, Clone)]
+pub struct ShardedMetrics<'a, K> {
+    per_shard: Vec<&'a StoreMetrics<K>>,
+    merged: StoreMetrics<K>,
+}
+
+impl<'a, K: Ord + Clone> ShardedMetrics<'a, K> {
+    /// The merged rollup: every counter summed across shards.
+    pub fn merged(&self) -> &StoreMetrics<K> {
+        &self.merged
+    }
+
+    /// Per-shard metrics, indexed by shard id.
+    pub fn per_shard(&self) -> &[&'a StoreMetrics<K>] {
+        &self.per_shard
+    }
+
+    /// Metrics of one shard.
+    pub fn shard(&self, shard: usize) -> Option<&'a StoreMetrics<K>> {
+        self.per_shard.get(shard).copied()
+    }
+}
+
+/// A shard-oblivious façade over `N` [`PrecisionStore`]s: the same four
+/// verbs — [`read`](ShardedStore::read), [`write`](ShardedStore::write),
+/// [`aggregate`](ShardedStore::aggregate),
+/// [`metrics`](ShardedStore::metrics) — with keys partitioned across the
+/// shards by a consistent-hash ring.
+///
+/// Point reads and writes route to the owning shard and behave exactly as
+/// on a single store (per-key protocol state is shard-local). Aggregates
+/// fan out to the shards owning keys of the requested set and merge the
+/// bounded partial answers with interval arithmetic:
+///
+/// * **SUM** — the precision budget δ is split across shards in
+///   proportion to their key count, and the partial sums add:
+///   `width(Σ) = Σ width_s ≤ Σ δ·n_s/n = δ`.
+/// * **AVG** — evaluated as a SUM with budget `δ·n`, scaled by `1/n`.
+/// * **MAX / MIN** — every shard receives the full budget δ; the merged
+///   extremum `[max L_s, max H_s]` is at most as wide as the partial
+///   answer of the shard holding the winner, so the bound composes.
+/// * **Exact / Relative** — exact fans out exactly; a relative constraint
+///   runs a bounded refinement (probe → per-shard local certificates →
+///   derived absolute budget, see
+///   [`aggregate_relative`](ShardedStore::aggregate)) that fetches only
+///   as much as the certificate needs, degenerating to exactness only
+///   when the aggregate genuinely hugs zero — the classical relative-
+///   bound degeneracy the single store shares.
+///
+/// When every requested key lives on one shard the query is delegated
+/// with the original constraint unchanged, so single-shard deployments
+/// (and colliding key sets) behave bit-for-bit like an unsharded store.
+#[derive(Debug)]
+pub struct ShardedStore<K> {
+    router: ShardRouter,
+    shards: Vec<PrecisionStore<K>>,
+}
+
+impl<K: Hash + Ord + Clone> ShardedStore<K> {
+    /// Entry point: a builder with the paper's recommended tuning.
+    pub fn builder() -> ShardedStoreBuilder<K> {
+        ShardedStoreBuilder::new()
+    }
+
+    /// The shard id that owns `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.router.route(key) as usize
+    }
+
+    /// Read `key` to the given precision on its owning shard.
+    pub fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, StoreError> {
+        let shard = self.shard_of(key);
+        self.shards[shard].read(key, constraint, now)
+    }
+
+    /// Push a new exact value for `key` to its owning shard.
+    pub fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        let shard = self.shard_of(key);
+        self.shards[shard].write(key, value, now)
+    }
+
+    /// Register a new source after construction, with the default policy.
+    pub fn insert(&mut self, key: K, value: f64, now: TimeMs) -> Result<(), StoreError> {
+        let shard = self.shard_of(&key);
+        self.shards[shard].insert(key, value, now)
+    }
+
+    /// Register a new source after construction, with a per-key policy.
+    pub fn insert_with_policy(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: PolicySpec,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        let shard = self.shard_of(&key);
+        self.shards[shard].insert_with_policy(key, value, spec, now)
+    }
+
+    /// Partition `keys` by owning shard, preserving the order within each
+    /// shard. Errors if any key is unknown — checked up front so a failed
+    /// aggregate never charges any shard.
+    fn partition(&self, keys: &[K]) -> Result<Vec<(usize, Vec<K>)>, StoreError> {
+        let mut per_shard: Vec<Vec<K>> = vec![Vec::new(); self.shards.len()];
+        for key in keys {
+            let shard = self.shard_of(key);
+            if !self.shards[shard].contains_key(key) {
+                return Err(StoreError::UnknownKey);
+            }
+            per_shard[shard].push(key.clone());
+        }
+        Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
+    }
+
+    /// Fan an aggregate out with a per-shard constraint chosen by `split`,
+    /// then fold the partial answers with `combine`.
+    fn fan_out(
+        &mut self,
+        kind: AggregateKind,
+        parts: &[(usize, Vec<K>)],
+        split: impl Fn(usize) -> Constraint,
+        now: TimeMs,
+    ) -> Result<(Vec<Interval>, Vec<K>), StoreError> {
+        let mut partials = Vec::with_capacity(parts.len());
+        let mut refreshed = Vec::new();
+        for (shard, keys) in parts {
+            let out = self.shards[*shard].aggregate(kind, keys, split(keys.len()), now)?;
+            partials.push(out.answer);
+            refreshed.extend(out.refreshed);
+        }
+        Ok((partials, refreshed))
+    }
+
+    /// Fan out with an absolute precision budget `delta`, split per kind:
+    /// SUM gives each shard its proportional share `δ·n_s/n`; AVG is
+    /// delegated as SUM against the n-scaled budget `δ·n` (divided by n
+    /// once, at the merge — per-shard averages would need a weighted
+    /// recombination instead); MAX/MIN hand every shard the full budget
+    /// (the merged extremum is no wider than the winning shard's answer).
+    /// `delta = 0` is the exact fan-out.
+    fn fan_out_absolute(
+        &mut self,
+        kind: AggregateKind,
+        parts: &[(usize, Vec<K>)],
+        delta: f64,
+        n: usize,
+        now: TimeMs,
+    ) -> Result<(Vec<Interval>, Vec<K>), StoreError> {
+        match kind {
+            AggregateKind::Sum => self.fan_out(
+                kind,
+                parts,
+                |n_s| Constraint::Absolute(delta * n_s as f64 / n as f64),
+                now,
+            ),
+            AggregateKind::Avg => self.fan_out(
+                AggregateKind::Sum,
+                parts,
+                |n_s| Constraint::Absolute(delta * n_s as f64),
+                now,
+            ),
+            AggregateKind::Max | AggregateKind::Min => {
+                self.fan_out(kind, parts, |_| Constraint::Absolute(delta), now)
+            }
+        }
+    }
+
+    /// Bounded aggregate over `keys`, fanned out to the owning shards and
+    /// merged with interval arithmetic (see the type-level docs for the
+    /// per-kind composition rules).
+    pub fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError> {
+        constraint.validate()?;
+        if keys.is_empty() {
+            // Mirror the single store: SUM of nothing is the point 0,
+            // everything else is undefined.
+            return match kind {
+                AggregateKind::Sum => Ok(AggregateOutcome {
+                    answer: Interval::point(0.0).expect("0 is finite"),
+                    refreshed: Vec::new(),
+                }),
+                _ => Err(QueryError::EmptyInput.into()),
+            };
+        }
+        let parts = self.partition(keys)?;
+        // All keys on one shard: delegate untouched, matching an unsharded
+        // store exactly (this also covers single-shard deployments).
+        if let [(shard, shard_keys)] = parts.as_slice() {
+            return self.shards[*shard].aggregate(kind, shard_keys, constraint, now);
+        }
+        let n = keys.len();
+        let (partials, refreshed) = match constraint {
+            Constraint::Exact => self.fan_out_absolute(kind, &parts, 0.0, n, now)?,
+            Constraint::Absolute(delta) => self.fan_out_absolute(kind, &parts, delta, n, now)?,
+            Constraint::Relative(frac) => {
+                return self.aggregate_relative(kind, &parts, frac, n, now);
+            }
+        };
+        let answer = merge_partials(kind, &partials, n)?;
+        Ok(AggregateOutcome { answer, refreshed })
+    }
+
+    /// Cross-shard relative aggregate, in at most three bounded rounds:
+    ///
+    /// 1. **Probe** the shards' cached bounds (no fetches). Certified → a
+    ///    free answer.
+    /// 2. If the probe's magnitude is positive, convert ρ to the absolute
+    ///    budget `ρ·mag(probe)` — sound because refreshes only shrink the
+    ///    answer interval, so its magnitude only grows. Otherwise (the
+    ///    probe straddles zero or an uncached key left it unbounded), let
+    ///    every shard certify ρ **locally**: each runs its own
+    ///    widest-first relative plan, which cheaply resolves exactly the
+    ///    wild items instead of fetching the whole key set.
+    /// 3. Re-merge; if the locally-certified bounds still miss the global
+    ///    certificate, finish with the budget conversion — at this point a
+    ///    zero magnitude means the aggregate genuinely hugs zero, where no
+    ///    finite ρ can be certified short of exactness (the same
+    ///    degeneracy the single store's planner hits).
+    fn aggregate_relative(
+        &mut self,
+        kind: AggregateKind,
+        parts: &[(usize, Vec<K>)],
+        frac: f64,
+        n: usize,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError> {
+        let shard_kind = if kind == AggregateKind::Avg { AggregateKind::Sum } else { kind };
+        let (partials, _) =
+            self.fan_out(shard_kind, parts, |_| Constraint::Absolute(f64::INFINITY), now)?;
+        let mut merged = merge_partials(kind, &partials, n)?;
+        if satisfies_relative(&merged, frac) {
+            return Ok(AggregateOutcome { answer: merged, refreshed: Vec::new() });
+        }
+        let mut refreshed = Vec::new();
+        if interval_magnitude(&merged) == 0.0 {
+            let (partials, r) =
+                self.fan_out(shard_kind, parts, |_| Constraint::Relative(frac), now)?;
+            merged = merge_partials(kind, &partials, n)?;
+            refreshed.extend(r);
+            if satisfies_relative(&merged, frac) {
+                return Ok(AggregateOutcome { answer: merged, refreshed });
+            }
+        }
+        let budget = frac * interval_magnitude(&merged);
+        let (partials, r) = self.fan_out_absolute(kind, parts, budget, n, now)?;
+        refreshed.extend(r);
+        let answer = merge_partials(kind, &partials, n)?;
+        Ok(AggregateOutcome { answer, refreshed })
+    }
+
+    /// Deployment metrics: per-shard [`StoreMetrics`] (borrowed, free) and
+    /// their merged rollup (built here — O(keys touched), so monitoring
+    /// loops that only need one shard should use
+    /// [`ShardedMetrics::shard`] rather than re-merging per scrape).
+    pub fn metrics(&self) -> ShardedMetrics<'_, K> {
+        let per_shard: Vec<&StoreMetrics<K>> = self.shards.iter().map(|s| s.metrics()).collect();
+        let mut merged = StoreMetrics::new();
+        for m in &per_shard {
+            merged.merge(m);
+        }
+        ShardedMetrics { per_shard, merged }
+    }
+
+    /// The refresh cost model the shards charge against.
+    pub fn cost_model(&self) -> &CostModel {
+        self.shards[0].cost_model()
+    }
+
+    /// The routing ring.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct (read-only) access to one shard, e.g. for tests and
+    /// inspection tooling.
+    pub fn shard(&self, shard: usize) -> Option<&PrecisionStore<K>> {
+        self.shards.get(shard)
+    }
+
+    /// Total number of registered sources across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(PrecisionStore::len).sum()
+    }
+
+    /// Whether no shard has any source.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(PrecisionStore::is_empty)
+    }
+
+    /// Whether `key` has a registered source (on its owning shard).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].contains_key(key)
+    }
+
+    /// Iterate over every registered key, shard by shard (registration
+    /// order within each shard).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.shards.iter().flat_map(|s| s.keys())
+    }
+
+    /// Total number of keys resident across the shard caches.
+    pub fn cached_len(&self) -> usize {
+        self.shards.iter().map(PrecisionStore::cached_len).sum()
+    }
+
+    /// The interval the owning shard's cache currently holds for `key`.
+    pub fn cached_interval(&self, key: &K, now: TimeMs) -> Option<Interval> {
+        self.shards[self.shard_of(key)].cached_interval(key, now)
+    }
+
+    /// The policy's internal width for `key` on its owning shard.
+    pub fn internal_width(&self, key: &K) -> Option<f64> {
+        self.shards[self.shard_of(key)].internal_width(key)
+    }
+
+    /// The source-side exact value for `key` on its owning shard.
+    pub fn value(&self, key: &K) -> Option<f64> {
+        self.shards[self.shard_of(key)].value(key)
+    }
+}
+
+/// Fold per-shard partial answers into the deployment-wide interval.
+fn merge_partials(
+    kind: AggregateKind,
+    partials: &[Interval],
+    n_keys: usize,
+) -> Result<Interval, StoreError> {
+    let mut iter = partials.iter();
+    let first = *iter.next().ok_or(QueryError::EmptyInput)?;
+    let merged = match kind {
+        AggregateKind::Sum => iter.fold(first, |acc, iv| acc.add(iv)),
+        AggregateKind::Max => iter.fold(first, |acc, iv| acc.max_of(iv)),
+        AggregateKind::Min => iter.fold(first, |acc, iv| acc.min_of(iv)),
+        AggregateKind::Avg => {
+            let sum = iter.fold(first, |acc, iv| acc.add(iv));
+            sum.scale(1.0 / n_keys as f64)
+                .map_err(|_| StoreError::Config("AVG scale failed".into()))?
+        }
+    };
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(shards: usize, n_keys: u64) -> ShardedStore<u64> {
+        let mut b = ShardedStoreBuilder::new()
+            .shards(shards)
+            .vnodes(32)
+            .initial_width(InitialWidth::Fixed(10.0));
+        for k in 0..n_keys {
+            b = b.source(k, 100.0 * k as f64);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let s = fleet(4, 64);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.shard_count(), 4);
+        let occupied = (0..4).filter(|&i| !s.shard(i).unwrap().is_empty()).count();
+        assert!(occupied >= 2, "64 keys landed on {occupied} shard(s)");
+        // Every key is findable and routed consistently.
+        for k in 0..64u64 {
+            assert!(s.contains_key(&k));
+            assert!(s.shard(s.shard_of(&k)).unwrap().contains_key(&k));
+        }
+        assert_eq!(s.keys().count(), 64);
+    }
+
+    #[test]
+    fn reads_and_writes_route_to_owning_shard() {
+        let mut s = fleet(4, 8);
+        let shard = s.shard_of(&3);
+        let r = s.read(&3, Constraint::Absolute(10.0), 0).unwrap();
+        assert!(!r.refreshed);
+        assert!(r.answer.contains(300.0));
+        s.write(&3, 600.0, 1_000).unwrap(); // escapes [295, 305]
+        let m = s.metrics();
+        assert_eq!(m.shard(shard).unwrap().totals().reads, 1);
+        assert_eq!(m.shard(shard).unwrap().vr_count(), 1);
+        assert_eq!(m.merged().totals().reads, 1);
+        assert_eq!(m.merged().vr_count(), 1);
+        // Untouched shards report nothing.
+        let touched: u64 = m.per_shard().iter().map(|sm| sm.totals().reads).sum();
+        assert_eq!(touched, 1);
+    }
+
+    #[test]
+    fn sum_aggregate_meets_budget_across_shards() {
+        let mut s = fleet(4, 16);
+        let keys: Vec<u64> = (0..16).collect();
+        let truth: f64 = (0..16).map(|k| 100.0 * k as f64).sum();
+        for delta in [1_000.0, 40.0, 8.0, 0.0] {
+            let out =
+                s.aggregate(AggregateKind::Sum, &keys, Constraint::Absolute(delta), 0).unwrap();
+            assert!(out.answer.width() <= delta + 1e-9, "delta={delta}");
+            assert!(out.answer.contains(truth), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn extrema_and_avg_compose_across_shards() {
+        let mut s = fleet(4, 12);
+        let keys: Vec<u64> = (0..12).collect();
+        let out = s.aggregate(AggregateKind::Max, &keys, Constraint::Absolute(5.0), 0).unwrap();
+        assert!(out.answer.width() <= 5.0 + 1e-9);
+        assert!(out.answer.contains(1_100.0));
+        let out = s.aggregate(AggregateKind::Min, &keys, Constraint::Absolute(5.0), 0).unwrap();
+        assert!(out.answer.contains(0.0));
+        let avg_truth = (0..12).map(|k| 100.0 * k as f64).sum::<f64>() / 12.0;
+        let out = s.aggregate(AggregateKind::Avg, &keys, Constraint::Absolute(2.0), 0).unwrap();
+        assert!(out.answer.width() <= 2.0 + 1e-9);
+        assert!(out.answer.contains(avg_truth));
+        let out = s.aggregate(AggregateKind::Avg, &keys, Constraint::Exact, 0).unwrap();
+        assert!(out.answer.width() <= 1e-9);
+        assert!(out.answer.contains(avg_truth));
+    }
+
+    #[test]
+    fn relative_aggregate_probes_then_escalates() {
+        let mut s = fleet(4, 8);
+        let keys: Vec<u64> = (0..8).collect();
+        let truth: f64 = (0..8).map(|k| 100.0 * k as f64).sum();
+        // Loose ρ: the cached bounds certify it, nothing is fetched.
+        let out = s.aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.5), 0).unwrap();
+        assert!(out.refreshed.is_empty());
+        assert!(out.answer.contains(truth));
+        assert_eq!(s.metrics().merged().qr_count(), 0);
+        // Tight ρ: escalation fetches and returns a certified answer.
+        let out = s.aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.001), 0).unwrap();
+        assert!(!out.refreshed.is_empty());
+        assert!(satisfies_relative(&out.answer, 0.001));
+        assert!(out.answer.contains(truth));
+    }
+
+    #[test]
+    fn relative_aggregate_with_wild_bounds_avoids_full_exact_fanout() {
+        // Sources far from zero, but one key straddles zero and drags the
+        // probe's magnitude to 0. The refinement must resolve the wild
+        // items via per-shard local plans instead of fetching all keys.
+        let mut b =
+            ShardedStoreBuilder::new().shards(4).vnodes(32).initial_width(InitialWidth::Fixed(4.0));
+        for k in 0..32u64 {
+            b = b.source(k, 1_000.0 + k as f64);
+        }
+        // Key 99's interval [−2, 2] straddles zero.
+        b = b.source(99, 0.0);
+        let mut s = b.build().unwrap();
+        let keys: Vec<u64> = (0..32).chain([99]).collect();
+        let truth: f64 = (0..32).map(|k| 1_000.0 + k as f64).sum();
+        let out = s.aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.01), 0).unwrap();
+        assert!(satisfies_relative(&out.answer, 0.01));
+        assert!(out.answer.contains(truth));
+        // The certificate needs only a fraction of the keys, not all 33:
+        // the local round resolves the straddling item, the budget round
+        // narrows the rest only as far as ρ demands.
+        assert!(
+            out.refreshed.len() < keys.len(),
+            "fetched {} of {} keys — degenerated to a full exact fan-out",
+            out.refreshed.len(),
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn empty_aggregates_mirror_single_store() {
+        let mut s = fleet(2, 4);
+        let none: &[u64] = &[];
+        let out = s.aggregate(AggregateKind::Sum, none, Constraint::Absolute(1.0), 0).unwrap();
+        assert_eq!((out.answer.lo(), out.answer.hi()), (0.0, 0.0));
+        assert!(out.refreshed.is_empty());
+        for kind in [AggregateKind::Max, AggregateKind::Min, AggregateKind::Avg] {
+            assert!(matches!(
+                s.aggregate(kind, none, Constraint::Absolute(1.0), 0),
+                Err(StoreError::Query(QueryError::EmptyInput))
+            ));
+        }
+    }
+
+    #[test]
+    fn unknown_keys_error_without_charging_any_shard() {
+        let mut s = fleet(4, 4);
+        assert!(matches!(s.read(&99, Constraint::Exact, 0), Err(StoreError::UnknownKey)));
+        assert!(matches!(s.write(&99, 0.0, 0), Err(StoreError::UnknownKey)));
+        assert!(matches!(
+            s.aggregate(AggregateKind::Sum, &[0, 99], Constraint::Exact, 0),
+            Err(StoreError::UnknownKey)
+        ));
+        assert_eq!(s.metrics().merged().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn insert_after_build_routes_consistently() {
+        let mut s = fleet(4, 0);
+        assert!(s.is_empty());
+        for k in 0..10u64 {
+            s.insert(k, k as f64, 0).unwrap();
+        }
+        assert!(matches!(s.insert(5, 0.0, 0), Err(StoreError::DuplicateKey)));
+        s.insert_with_policy(10, 10.0, PolicySpec::Fixed { width: 2.0 }, 0).unwrap();
+        assert_eq!(s.len(), 11);
+        let r = s.read(&10, Constraint::Absolute(2.0), 0).unwrap();
+        assert!(!r.refreshed);
+    }
+
+    #[test]
+    fn duplicate_sources_rejected_at_build() {
+        let err =
+            ShardedStoreBuilder::new().shards(4).source("dup", 1.0).source("dup", 2.0).build();
+        assert!(matches!(err, Err(StoreError::DuplicateKey)));
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards_and_vnodes() {
+        assert!(ShardedStoreBuilder::<u64>::new().shards(0).build().is_err());
+        assert!(ShardedStoreBuilder::<u64>::new().vnodes(0).build().is_err());
+    }
+
+    #[test]
+    fn capacity_is_per_shard() {
+        let mut b = ShardedStoreBuilder::new()
+            .shards(4)
+            .capacity_per_shard(2)
+            .initial_width(InitialWidth::Fixed(4.0));
+        for k in 0..40u64 {
+            b = b.source(k, k as f64);
+        }
+        let s = b.build().unwrap();
+        assert!(s.cached_len() <= 8, "cached {} > 4 shards * capacity 2", s.cached_len());
+        for i in 0..4 {
+            assert!(s.shard(i).unwrap().cached_len() <= 2);
+        }
+    }
+}

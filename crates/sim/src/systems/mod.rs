@@ -7,11 +7,13 @@
 //! implementations of [`crate::system::CacheSystem`].
 
 mod adaptive;
+mod sharded;
 
 pub use adaptive::{
     build_adaptive_simulation, AdaptiveSystem, AdaptiveSystemConfig, InitialWidth, PolicyKind,
     WorkloadSpec,
 };
+pub use sharded::{build_sharded_simulation, ShardedAdaptiveSystem, ShardedSystemConfig};
 
 /// Query workload specification (re-export of the workload crate's config:
 /// period, fanout, constraint distribution, aggregate mix).

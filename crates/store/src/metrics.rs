@@ -44,6 +44,20 @@ impl KeyMetrics {
         }
     }
 
+    /// Add `other`'s counters into `self` (every field is additive).
+    ///
+    /// Used to roll several stores' metrics up into one view — e.g. the
+    /// per-shard → deployment-wide rollup of a sharded deployment.
+    pub fn merge(&mut self, other: &KeyMetrics) {
+        self.reads += other.reads;
+        self.cache_hits += other.cache_hits;
+        self.writes += other.writes;
+        self.vr_count += other.vr_count;
+        self.qr_count += other.qr_count;
+        self.vr_cost += other.vr_cost;
+        self.qr_cost += other.qr_cost;
+    }
+
     fn merge_read(&mut self, hit: bool) {
         self.reads += 1;
         if hit {
@@ -70,9 +84,32 @@ pub struct StoreMetrics<K> {
     per_key: BTreeMap<K, KeyMetrics>,
 }
 
+impl<K: Ord + Clone> Default for StoreMetrics<K> {
+    fn default() -> Self {
+        StoreMetrics::new()
+    }
+}
+
 impl<K: Ord + Clone> StoreMetrics<K> {
-    pub(crate) fn new() -> Self {
+    /// An empty metrics view (all counters zero, no keys). Useful as the
+    /// identity element when rolling several stores' metrics up with
+    /// [`StoreMetrics::merge`].
+    pub fn new() -> Self {
         StoreMetrics { totals: KeyMetrics::default(), per_key: BTreeMap::new() }
+    }
+
+    /// Add `other`'s counters into `self`: totals and every per-key entry
+    /// are summed field-wise (keys present in either side appear in the
+    /// result).
+    ///
+    /// This is the rollup path for multi-store deployments — a sharded
+    /// store merges its shards' metrics into one deployment-wide view, and
+    /// a cache hierarchy can merge per-level stores the same way.
+    pub fn merge(&mut self, other: &StoreMetrics<K>) {
+        self.totals.merge(&other.totals);
+        for (key, m) in other.per_key.iter() {
+            self.per_key.entry(key.clone()).or_default().merge(m);
+        }
     }
 
     /// Store-wide counter totals.
@@ -156,5 +193,88 @@ mod tests {
     fn empty_hit_rate_is_one() {
         assert_eq!(KeyMetrics::default().hit_rate(), 1.0);
         assert_eq!(KeyMetrics::default().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn key_metrics_merge_is_field_wise_addition() {
+        let a = KeyMetrics {
+            reads: 3,
+            cache_hits: 2,
+            writes: 5,
+            vr_count: 1,
+            qr_count: 1,
+            vr_cost: 2.0,
+            qr_cost: 1.0,
+        };
+        let b = KeyMetrics {
+            reads: 7,
+            cache_hits: 4,
+            writes: 1,
+            vr_count: 2,
+            qr_count: 3,
+            vr_cost: 4.0,
+            qr_cost: 6.0,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.reads, 10);
+        assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.writes, 6);
+        assert_eq!(merged.vr_count, 3);
+        assert_eq!(merged.qr_count, 4);
+        assert_eq!(merged.total_cost(), a.total_cost() + b.total_cost());
+        // Identity: merging the zero element changes nothing.
+        let before = merged;
+        merged.merge(&KeyMetrics::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn store_metrics_merge_sums_totals_and_unions_keys() {
+        let mut left: StoreMetrics<&str> = StoreMetrics::new();
+        left.record_read(&"shared", true);
+        left.record_qr(&"shared", 2.0);
+        left.record_write(&"only_left");
+        let mut right: StoreMetrics<&str> = StoreMetrics::new();
+        right.record_read(&"shared", false);
+        right.record_vr(&"only_right", 1.5);
+        right.record_write(&"only_right");
+
+        left.merge(&right);
+        // Totals are additive across the two sides.
+        assert_eq!(left.totals().reads, 2);
+        assert_eq!(left.totals().cache_hits, 1);
+        assert_eq!(left.totals().writes, 2);
+        assert_eq!(left.total_cost(), 3.5);
+        // Shared keys sum; one-sided keys appear unchanged.
+        let shared = left.for_key(&"shared").unwrap();
+        assert_eq!((shared.reads, shared.cache_hits, shared.qr_count), (2, 1, 1));
+        assert_eq!(left.for_key(&"only_left").unwrap().writes, 1);
+        let r = left.for_key(&"only_right").unwrap();
+        assert_eq!((r.writes, r.vr_count), (1, 1));
+        assert_eq!(left.iter().count(), 3);
+        // The per-key sums must re-add to the merged totals.
+        let mut rollup = KeyMetrics::default();
+        for (_, m) in left.iter() {
+            rollup.merge(m);
+        }
+        assert_eq!(&rollup, left.totals());
+    }
+
+    #[test]
+    fn merge_order_is_immaterial() {
+        let mut a: StoreMetrics<u32> = StoreMetrics::new();
+        a.record_read(&1, true);
+        a.record_qr(&1, 2.0);
+        let mut b: StoreMetrics<u32> = StoreMetrics::new();
+        b.record_write(&2);
+        b.record_vr(&2, 1.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.totals(), ba.totals());
+        assert_eq!(ab.for_key(&1), ba.for_key(&1));
+        assert_eq!(ab.for_key(&2), ba.for_key(&2));
     }
 }

@@ -1,0 +1,68 @@
+//! Scaling out: the same four verbs, served by a shard fleet.
+//!
+//! Builds a 4-shard `ShardedStore` behind a consistent-hash ring, drives
+//! reads/writes/aggregates exactly as the single-store quickstart does,
+//! then inspects where keys landed and how the per-shard metrics roll up.
+//!
+//! Run with: `cargo run --example sharded_deployment`
+
+use apcache::queries::AggregateKind;
+use apcache::shard::{Constraint, InitialWidth, ShardedStoreBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sixteen sensors partitioned across four shards. Callers never see
+    // the ring: the builder line `.shards(4)` is the entire difference
+    // from a single-store deployment.
+    let mut builder =
+        ShardedStoreBuilder::new().shards(4).vnodes(64).initial_width(InitialWidth::Fixed(4.0));
+    for i in 0..16u32 {
+        builder = builder.source(format!("sensor/{i:02}"), 100.0 + f64::from(i));
+    }
+    let mut fleet = builder.build()?;
+
+    println!("fleet: {} keys on {} shards", fleet.len(), fleet.shard_count());
+    for s in 0..fleet.shard_count() {
+        let shard = fleet.shard(s).unwrap();
+        let keys: Vec<&String> = shard.keys().collect();
+        println!("  shard {s}: {:2} keys {keys:?}", shard.len());
+    }
+
+    // Point traffic routes to the owning shard; semantics are unchanged.
+    let r = fleet.read(&"sensor/03".to_string(), Constraint::Absolute(4.0), 0)?;
+    println!("\nread sensor/03 ±2 -> {} (hit on shard {})", r.answer, {
+        fleet.shard_of(&"sensor/03".to_string())
+    });
+    let w = fleet.write(&"sensor/03".to_string(), 150.0, 1_000)?;
+    println!("write sensor/03 = 150 escaped: {}", w.escaped());
+
+    // Aggregates fan out to every shard owning a requested key and merge
+    // the bounded partial answers; the constraint still holds end-to-end.
+    let keys: Vec<String> = (0..16).map(|i| format!("sensor/{i:02}")).collect();
+    let out = fleet.aggregate(AggregateKind::Sum, &keys, Constraint::Absolute(20.0), 2_000)?;
+    println!(
+        "\nSUM over all 16 keys ±10 -> {} ({} keys fetched exactly)",
+        out.answer,
+        out.refreshed.len()
+    );
+    assert!(out.answer.width() <= 20.0 + 1e-9);
+
+    // metrics() exposes both views: one rollup, per-shard breakdowns.
+    let m = fleet.metrics();
+    println!(
+        "\nmerged: {} reads / {} writes / {} QRs / {} VRs, total cost {}",
+        m.merged().totals().reads,
+        m.merged().totals().writes,
+        m.merged().qr_count(),
+        m.merged().vr_count(),
+        m.merged().total_cost()
+    );
+    for (s, sm) in m.per_shard().iter().enumerate() {
+        println!(
+            "  shard {s}: {} reads, {} QRs, cost {}",
+            sm.totals().reads,
+            sm.qr_count(),
+            sm.total_cost()
+        );
+    }
+    Ok(())
+}

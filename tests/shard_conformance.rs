@@ -1,0 +1,291 @@
+//! Sharded-vs-single conformance: a `ShardedStore` with N shards and a
+//! plain `PrecisionStore`, driven by the same seeded RNG and the same
+//! read/write trace, must be indistinguishable to callers —
+//!
+//! * every point read returns the identical answer (hit or refresh);
+//! * every write reports the identical escape count;
+//! * per-key protocol state (internal widths, cached intervals) ends
+//!   identical, and total costs match within the paper's amortization
+//!   bounds (exactly, for θ = 1, where width adaptation is deterministic);
+//! * aggregates fanned out across shards stay within the requested
+//!   precision and contain the ground truth, and key sets that collide on
+//!   one shard reproduce the single-store plan bit-for-bit;
+//! * the routing ring is stable: deterministic across instances, and
+//!   elastic growth/shrink only moves the keys it must.
+
+use apcache::core::cost::CostModel;
+use apcache::core::{Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::shard::{ShardRouter, ShardedStore, ShardedStoreBuilder};
+use apcache::store::{Constraint, InitialWidth, PrecisionStore, StoreBuilder};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const VNODES: usize = 64;
+const N_KEYS: u32 = 48;
+const TICKS: u64 = 400;
+const SEED: u64 = 0x5EED_2001;
+
+fn key(i: u32) -> String {
+    format!("sensor/{i:03}")
+}
+
+/// One operation of the shared trace, pre-generated so every system under
+/// test replays byte-identical traffic.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: String, value: f64, now: u64 },
+    Read { key: String, constraint: Constraint, now: u64 },
+}
+
+/// A deterministic mixed trace: every key follows its own random walk;
+/// reads rotate through absolute/relative/exact constraints.
+fn point_trace(seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * i as f64).collect();
+    let mut ops = Vec::new();
+    for t in 1..=TICKS {
+        let now = t * MS_PER_SEC;
+        for i in 0..N_KEYS {
+            values[i as usize] += rng.normal_with(0.0, 4.0);
+            ops.push(Op::Write { key: key(i), value: values[i as usize], now });
+        }
+        for _ in 0..3 {
+            let i = rng.below(u64::from(N_KEYS)) as u32;
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(1.0, 20.0)),
+                1 => Constraint::Relative(0.05),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Read { key: key(i), constraint, now });
+        }
+    }
+    ops
+}
+
+fn single_store(cost: CostModel) -> PrecisionStore<String> {
+    let mut b = StoreBuilder::new()
+        .cost(cost)
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 1))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b.build().expect("single store config valid")
+}
+
+fn sharded_store(shards: usize, cost: CostModel) -> ShardedStore<String> {
+    let mut b = ShardedStoreBuilder::new()
+        .shards(shards)
+        .vnodes(VNODES)
+        .cost(cost)
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 2))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b.build().expect("sharded store config valid")
+}
+
+/// θ = 1: width adaptation is deterministic, so a sharded fleet must
+/// replay the trace **identically** to the single store — every answer,
+/// every escape, every counter, every final width.
+#[test]
+fn point_ops_identical_for_every_shard_count() {
+    let trace = point_trace(SEED);
+    for &n in &SHARD_COUNTS {
+        let mut single = single_store(CostModel::multiversion());
+        let mut sharded = sharded_store(n, CostModel::multiversion());
+        for (op_no, op) in trace.iter().enumerate() {
+            match op {
+                Op::Write { key, value, now } => {
+                    let a = single.write(key, *value, *now).expect("known key");
+                    let b = sharded.write(key, *value, *now).expect("known key");
+                    assert_eq!(a, b, "shards={n} op={op_no}: write escape mismatch on {key}");
+                }
+                Op::Read { key, constraint, now } => {
+                    let a = single.read(key, *constraint, *now).expect("known key");
+                    let b = sharded.read(key, *constraint, *now).expect("known key");
+                    assert_eq!(a, b, "shards={n} op={op_no}: read mismatch on {key}");
+                }
+            }
+        }
+        // Final per-key protocol state is identical.
+        for i in 0..N_KEYS {
+            let k = key(i);
+            assert_eq!(
+                single.internal_width(&k),
+                sharded.internal_width(&k),
+                "shards={n}: width diverged on {k}"
+            );
+            assert_eq!(single.value(&k), sharded.value(&k));
+            assert_eq!(
+                single.cached_interval(&k, TICKS * MS_PER_SEC),
+                sharded.cached_interval(&k, TICKS * MS_PER_SEC)
+            );
+        }
+        // Metrics rollup matches the single store's totals exactly.
+        let sm = sharded.metrics();
+        let merged = sm.merged().totals();
+        let totals = single.metrics().totals();
+        assert_eq!(totals, merged, "shards={n}: merged totals diverged");
+        // …and the per-shard views add up to the rollup.
+        let shard_reads: u64 = sm.per_shard().iter().map(|m| m.totals().reads).sum();
+        assert_eq!(shard_reads, merged.reads);
+    }
+}
+
+/// θ ≠ 1: adaptation is probabilistic and each shard owns an independent
+/// RNG stream, so exact equality is not defined — but the protocol's
+/// amortization argument (costs move by at most a factor of (1+α) per
+/// refresh decision) keeps the two deployments' total costs within a
+/// constant factor on the same trace.
+#[test]
+fn costs_within_amortization_bounds_for_probabilistic_theta() {
+    let trace = point_trace(SEED ^ 0xABCD);
+    let alpha = 1.0f64;
+    let bound = (1.0 + alpha) * (1.0 + alpha);
+    for &n in &SHARD_COUNTS {
+        let mut single = single_store(CostModel::two_phase_locking());
+        let mut sharded = sharded_store(n, CostModel::two_phase_locking());
+        for op in &trace {
+            match op {
+                Op::Write { key, value, now } => {
+                    single.write(key, *value, *now).expect("known key");
+                    sharded.write(key, *value, *now).expect("known key");
+                }
+                Op::Read { key, constraint, now } => {
+                    let a = single.read(key, *constraint, *now).expect("known key");
+                    let b = sharded.read(key, *constraint, *now).expect("known key");
+                    // Whatever the widths did, both answers must contain
+                    // the (shared) true value.
+                    let truth = single.value(key).unwrap();
+                    assert!(a.answer.contains(truth));
+                    assert!(b.answer.contains(truth));
+                }
+            }
+        }
+        let single_cost = single.metrics().total_cost();
+        let sharded_cost = sharded.metrics().merged().total_cost();
+        assert!(single_cost > 0.0 && sharded_cost > 0.0);
+        let ratio = sharded_cost / single_cost;
+        assert!(
+            (1.0 / bound..=bound).contains(&ratio),
+            "shards={n}: cost ratio {ratio:.3} outside amortization bound {bound}"
+        );
+    }
+}
+
+/// Aggregates fanned out across shards keep the bounded-answer contract:
+/// within the constraint, containing the ground truth — for every kind
+/// and every shard count.
+#[test]
+fn fanned_out_aggregates_stay_bounded_and_valid() {
+    let keys: Vec<String> = (0..N_KEYS).map(key).collect();
+    let truth: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * i as f64).collect();
+    let sum: f64 = truth.iter().sum();
+    let max = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = truth.iter().cloned().fold(f64::INFINITY, f64::min);
+    let avg = sum / truth.len() as f64;
+    for &n in &SHARD_COUNTS {
+        for delta in [200.0, 24.0, 4.0, 0.0] {
+            let mut sharded = sharded_store(n, CostModel::multiversion());
+            for (kind, expected) in [
+                (AggregateKind::Sum, sum),
+                (AggregateKind::Max, max),
+                (AggregateKind::Min, min),
+                (AggregateKind::Avg, avg),
+            ] {
+                let out = sharded
+                    .aggregate(kind, &keys, Constraint::Absolute(delta), 0)
+                    .expect("known keys");
+                assert!(
+                    out.answer.width() <= delta + 1e-9,
+                    "shards={n} {kind:?} δ={delta}: width {} too wide",
+                    out.answer.width()
+                );
+                assert!(
+                    out.answer.contains(expected),
+                    "shards={n} {kind:?} δ={delta}: {} misses truth {expected}",
+                    out.answer
+                );
+            }
+        }
+    }
+}
+
+/// Keys that collide on the ring (all owned by one shard) must reproduce
+/// the single store's aggregate plan bit-for-bit: same answer interval,
+/// same refresh set, in the same order.
+#[test]
+fn colliding_key_sets_reproduce_single_store_plans() {
+    let router = ShardRouter::new(4, VNODES).expect("ring valid");
+    let colliding: Vec<String> = (0..N_KEYS).map(key).filter(|k| router.route(k) == 0).collect();
+    assert!(
+        colliding.len() >= 4,
+        "expected several of {N_KEYS} keys on shard 0, got {}",
+        colliding.len()
+    );
+    let mut single = single_store(CostModel::multiversion());
+    let mut sharded = sharded_store(4, CostModel::multiversion());
+    for (i, delta) in [50.0, 10.0, 2.0, 0.0].into_iter().enumerate() {
+        let now = i as u64 * MS_PER_SEC;
+        let a = single
+            .aggregate(AggregateKind::Sum, &colliding, Constraint::Absolute(delta), now)
+            .expect("known keys");
+        let b = sharded
+            .aggregate(AggregateKind::Sum, &colliding, Constraint::Absolute(delta), now)
+            .expect("known keys");
+        assert_eq!(a.answer, b.answer, "δ={delta}: answers diverged");
+        assert_eq!(a.refreshed, b.refreshed, "δ={delta}: refresh plans diverged");
+    }
+    // The other shards saw none of this traffic.
+    let m = sharded.metrics();
+    for s in 1..4 {
+        assert_eq!(m.shard(s).unwrap().qr_count(), 0, "shard {s} was charged");
+    }
+}
+
+/// Ring stability (the acceptance-criteria properties, via the umbrella
+/// crate): deterministic routing for extreme vnode counts, bounded
+/// remapping on growth, and no lost keys on shrink.
+#[test]
+fn ring_stability_properties_hold() {
+    let keys: Vec<String> = (0..2_000u32).map(key).collect();
+    // Determinism for vnode counts 1 and 128.
+    for vnodes in [1usize, 128] {
+        let a = ShardRouter::new(5, vnodes).unwrap();
+        let b = ShardRouter::new(5, vnodes).unwrap();
+        for k in &keys {
+            assert_eq!(a.route(k), b.route(k), "vnodes={vnodes}: nondeterministic route");
+        }
+    }
+    // Growth: remapped keys only move to the new shard, bounded count.
+    for n in [2usize, 4, 8] {
+        let mut router = ShardRouter::new(n, VNODES).unwrap();
+        let before: Vec<u32> = keys.iter().map(|k| router.route(k)).collect();
+        let new_id = router.add_shard();
+        let mut moved = 0;
+        for (k, old) in keys.iter().zip(&before) {
+            let now = router.route(k);
+            if now != *old {
+                assert_eq!(now, new_id, "n={n}: key moved between surviving shards");
+                moved += 1;
+            }
+        }
+        let ceiling = keys.len() / n + keys.len() / 10;
+        assert!(moved <= ceiling, "n={n}: {moved} keys moved, ceiling {ceiling}");
+    }
+    // Shrink: nothing is lost, untouched keys stay put.
+    let mut router = ShardRouter::new(4, VNODES).unwrap();
+    let before: Vec<u32> = keys.iter().map(|k| router.route(k)).collect();
+    router.remove_shard(1).unwrap();
+    for (k, old) in keys.iter().zip(&before) {
+        let now = router.route(k);
+        assert!(router.shard_ids().contains(&now), "key routed to removed shard");
+        if *old != 1 {
+            assert_eq!(now, *old, "survivor key moved on shrink");
+        }
+    }
+}

@@ -171,6 +171,111 @@ fn per_key_policies_coexist() {
 }
 
 #[test]
+fn relative_constraints_degenerate_around_zero() {
+    // A zero-valued source's interval straddles 0, so no finite relative
+    // error can be certified: every Relative read must refresh, however
+    // loose, and the exact answer 0 is returned.
+    let mut store = StoreBuilder::new()
+        .initial_width(InitialWidth::Fixed(8.0))
+        .source("zero", 0.0)
+        .source("near_zero", 0.5)
+        .build()
+        .unwrap();
+    for rho in [0.01, 1.0, 100.0] {
+        let result = store.read(&"zero", Constraint::Relative(rho), 0).unwrap();
+        assert!(result.refreshed, "ρ={rho}: straddling interval certified a relative bound");
+        assert_eq!(result.answer, Answer::Exact(0.0));
+    }
+    // Each refresh halves the width (θ=1, α=1): 8 → 4 → 2 → 1. The
+    // interval still straddles zero, so the degeneracy is permanent.
+    assert_eq!(store.internal_width(&"zero").unwrap(), 1.0);
+    // A near-zero source behaves the same while its interval straddles 0
+    // ([−3.5, 4.5] does), even though its value is nonzero.
+    let result = store.read(&"near_zero", Constraint::Relative(10.0), 0).unwrap();
+    assert!(result.refreshed);
+    assert_eq!(result.answer, Answer::Exact(0.5));
+    // Writes that move the value away from zero eventually yield an
+    // interval clear of 0, and relative reads become satisfiable again.
+    store.write(&"near_zero", 100.0, 1_000).unwrap();
+    let result = store.read(&"near_zero", Constraint::Relative(0.5), 1_000).unwrap();
+    assert!(!result.refreshed, "interval clear of zero should certify ρ=0.5");
+}
+
+#[test]
+fn aggregate_over_empty_key_set() {
+    let mut store = deterministic_store();
+    let no_keys: &[&str] = &[];
+    // SUM of nothing is the point 0 — free, nothing fetched.
+    let out = store.aggregate(AggregateKind::Sum, no_keys, Constraint::Absolute(1.0), 0).unwrap();
+    assert_eq!((out.answer.lo(), out.answer.hi()), (0.0, 0.0));
+    assert!(out.refreshed.is_empty());
+    // MAX/MIN/AVG of nothing are undefined and must error cleanly…
+    for kind in [AggregateKind::Max, AggregateKind::Min, AggregateKind::Avg] {
+        assert!(
+            matches!(
+                store.aggregate(kind, no_keys, Constraint::Absolute(1.0), 0),
+                Err(StoreError::Query(_))
+            ),
+            "{kind:?} over [] should be a query error"
+        );
+    }
+    // …without charging anything.
+    assert_eq!(store.metrics().total_cost(), 0.0);
+    assert_eq!(store.metrics().qr_count(), 0);
+}
+
+#[test]
+fn read_on_missing_key_leaves_store_untouched() {
+    // An empty store rejects every verb with UnknownKey and records no
+    // traffic at all — a failed routing decision must not pollute metrics.
+    let mut store: apcache::store::PrecisionStore<String> = StoreBuilder::new().build().unwrap();
+    assert!(store.is_empty());
+    assert!(matches!(
+        store.read(&"ghost".to_string(), Constraint::Absolute(1.0), 0),
+        Err(StoreError::UnknownKey)
+    ));
+    assert_eq!(store.metrics().totals().reads, 0);
+    assert!(store.metrics().for_key(&"ghost".to_string()).is_none());
+    assert!(store.cached_interval(&"ghost".to_string(), 0).is_none());
+    assert!(store.value(&"ghost".to_string()).is_none());
+    // Inserting afterwards works and the key serves normally.
+    store.insert("ghost".to_string(), 7.0, 0).unwrap();
+    let r = store.read(&"ghost".to_string(), Constraint::Exact, 0).unwrap();
+    assert_eq!(r.answer, Answer::Exact(7.0));
+}
+
+#[test]
+fn metrics_after_capacity_bounded_build() {
+    // κ = 2 with five sources: three registrations were evicted at build
+    // time. Eviction is not traffic — metrics must start empty — and
+    // reads on evicted keys are real refreshes that get accounted.
+    let mut store: apcache::store::PrecisionStore<u32> = StoreBuilder::new()
+        .capacity(2)
+        .initial_width(InitialWidth::Fixed(4.0))
+        .source(0, 0.0)
+        .source(1, 10.0)
+        .source(2, 20.0)
+        .source(3, 30.0)
+        .source(4, 40.0)
+        .build()
+        .unwrap();
+    assert_eq!(store.len(), 5);
+    assert!(store.cached_len() <= 2);
+    let m = store.metrics();
+    assert_eq!(m.totals(), &apcache::store::KeyMetrics::default());
+    assert_eq!(m.iter().count(), 0, "build-time eviction recorded traffic");
+    // A finite-constraint read of an evicted key refreshes and is counted.
+    let victim = (0..5u32).find(|k| !store.is_cached(k)).unwrap();
+    let r = store.read(&victim, Constraint::Absolute(2.0), 0).unwrap();
+    assert!(r.refreshed);
+    let m = store.metrics();
+    assert_eq!(m.qr_count(), 1);
+    assert_eq!(m.for_key(&victim).unwrap().reads, 1);
+    assert_eq!(m.for_key(&victim).unwrap().cache_hits, 0);
+    assert!(m.total_cost() > 0.0);
+}
+
+#[test]
 fn unknown_keys_surface_clean_errors() {
     let mut store = deterministic_store();
     assert!(matches!(store.read(&"nope", Constraint::Exact, 0), Err(StoreError::UnknownKey)));
