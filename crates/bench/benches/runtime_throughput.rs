@@ -1,0 +1,7 @@
+//! Regenerates the concurrent-runtime throughput sweep (clients × shards).
+
+fn main() {
+    for table in apcache_bench::experiments::runtime::run() {
+        table.print();
+    }
+}

@@ -7,8 +7,15 @@
 //! 0/∞ widths produced by thresholds, and no notification is sent to
 //! sources; an evicted approximation that incurs a refresh may be
 //! re-admitted if it is no longer the widest.
+//!
+//! Entries are stored in a dense slot table indexed by the key's protocol
+//! id — [`Key`]s are interned, dense ids throughout the workspace (the
+//! store allocates them `0, 1, 2, …`), so the hot read path costs one
+//! bounds-checked index instead of a hash lookup. Callers minting their
+//! own [`Key`]s should keep the ids dense: the table grows to the largest
+//! id ever cached.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use crate::error::ProtocolError;
 use crate::interval::Interval;
@@ -61,13 +68,19 @@ impl Ord for OrdWidth {
 }
 
 /// Bounded store of interval approximations with widest-first eviction.
+///
+/// Keyed by dense interned ids: `slots[key.0]` holds the entry, so reads
+/// are one bounds-checked index (no hashing on the hot path).
 #[derive(Debug)]
 pub struct Cache {
     id: CacheId,
     capacity: usize,
-    entries: HashMap<Key, CacheEntry>,
+    /// Dense slot table indexed by `Key::0`; `None` marks uncached ids.
+    slots: Vec<Option<CacheEntry>>,
+    /// Number of occupied slots (`<= capacity`).
+    len: usize,
     /// Secondary index ordered by (internal width, key) for O(log n)
-    /// widest-entry lookup. Kept strictly in sync with `entries`.
+    /// widest-entry lookup. Kept strictly in sync with `slots`.
     by_width: BTreeSet<(OrdWidth, Key)>,
 }
 
@@ -77,12 +90,12 @@ impl Cache {
         if capacity == 0 {
             return Err(ProtocolError::ZeroCapacity);
         }
-        Ok(Cache { id, capacity, entries: HashMap::new(), by_width: BTreeSet::new() })
+        Ok(Cache { id, capacity, slots: Vec::new(), len: 0, by_width: BTreeSet::new() })
     }
 
     /// Create a cache that never evicts (capacity `usize::MAX`).
     pub fn unbounded(id: CacheId) -> Self {
-        Cache { id, capacity: usize::MAX, entries: HashMap::new(), by_width: BTreeSet::new() }
+        Cache { id, capacity: usize::MAX, slots: Vec::new(), len: 0, by_width: BTreeSet::new() }
     }
 
     /// This cache's identifier.
@@ -97,41 +110,46 @@ impl Cache {
 
     /// Number of cached approximations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether `key` is currently cached.
     pub fn contains(&self, key: Key) -> bool {
-        self.entries.contains_key(&key)
+        self.get(key).is_some()
     }
 
     /// The cached entry for `key`, if any.
+    #[inline]
     pub fn get(&self, key: Key) -> Option<&CacheEntry> {
-        self.entries.get(&key)
+        self.slots.get(key.0 as usize).and_then(Option::as_ref)
     }
 
     /// The concrete interval for `key` at time `now`; `None` if uncached.
+    #[inline]
     pub fn interval_at(&self, key: Key, now: TimeMs) -> Option<Interval> {
-        self.entries.get(&key).map(|e| e.spec.interval_at(now))
+        self.get(key).map(|e| e.spec.interval_at(now))
     }
 
     /// Width offered for `key` at time `now`. Uncached keys offer no
     /// information, i.e. infinite width (queries must bypass the cache).
     pub fn width_at(&self, key: Key, now: TimeMs) -> f64 {
-        match self.entries.get(&key) {
+        match self.get(key) {
             Some(e) => e.spec.width_at(now),
             None => f64::INFINITY,
         }
     }
 
-    /// Iterate over cached (key, entry) pairs in unspecified order.
+    /// Iterate over cached (key, entry) pairs in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &CacheEntry)> {
-        self.entries.iter().map(|(k, e)| (*k, e))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (Key(i as u32), e)))
     }
 
     /// The currently widest entry (the eviction candidate).
@@ -145,15 +163,15 @@ impl Cache {
         let Refresh { key, spec, internal_width } = refresh;
         debug_assert!(!internal_width.is_nan(), "internal widths are never NaN");
         let entry = CacheEntry { spec, internal_width };
-        if let Some(existing) = self.entries.get_mut(&key) {
+        let slot = key.0 as usize;
+        if let Some(existing) = self.slots.get_mut(slot).and_then(Option::as_mut) {
             self.by_width.remove(&(OrdWidth(existing.internal_width), key));
             self.by_width.insert((OrdWidth(internal_width), key));
             *existing = entry;
             return AdmitOutcome::Updated;
         }
-        if self.entries.len() < self.capacity {
-            self.entries.insert(key, entry);
-            self.by_width.insert((OrdWidth(internal_width), key));
+        if self.len < self.capacity {
+            self.install(key, entry);
             return AdmitOutcome::Inserted;
         }
         // Full: admit only if strictly narrower than the widest resident.
@@ -163,26 +181,39 @@ impl Cache {
         };
         if internal_width < max_width {
             self.remove(victim);
-            self.entries.insert(key, entry);
-            self.by_width.insert((OrdWidth(internal_width), key));
+            self.install(key, entry);
             AdmitOutcome::InsertedEvicting(victim)
         } else {
             AdmitOutcome::Rejected
         }
     }
 
+    /// Place `entry` into the (empty) slot for `key`, growing the table to
+    /// reach the id if needed, and index its width.
+    fn install(&mut self, key: Key, entry: CacheEntry) {
+        let slot = key.0 as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        self.by_width.insert((OrdWidth(entry.internal_width), key));
+        self.slots[slot] = Some(entry);
+        self.len += 1;
+    }
+
     /// Remove an entry (used by eviction and by baseline protocols that
     /// drop replicas explicitly). Returns the removed entry.
     pub fn remove(&mut self, key: Key) -> Option<CacheEntry> {
-        let entry = self.entries.remove(&key)?;
+        let entry = self.slots.get_mut(key.0 as usize)?.take()?;
+        self.len -= 1;
         let removed = self.by_width.remove(&(OrdWidth(entry.internal_width), key));
         debug_assert!(removed, "width index out of sync for {key}");
         Some(entry)
     }
 
-    /// Drop every entry.
+    /// Drop every entry (the slot table keeps its allocation).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.iter_mut().for_each(|slot| *slot = None);
+        self.len = 0;
         self.by_width.clear();
     }
 }

@@ -1,0 +1,63 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use apcache_store::StoreError;
+
+/// Errors raised by the concurrent runtime, on top of the store's own.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The underlying store rejected the request (unknown key, invalid
+    /// constraint, protocol misuse, …) — the same errors the synchronous
+    /// façades raise.
+    Store(StoreError),
+    /// The runtime has been shut down: the shard's mailbox no longer
+    /// accepts requests.
+    Closed,
+    /// The owning shard's actor exited without answering (it panicked or
+    /// was torn down mid-request).
+    ActorGone,
+    /// An actor thread could not be spawned at launch.
+    Spawn(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Store(e) => write!(f, "store error: {e}"),
+            RuntimeError::Closed => write!(f, "runtime is shut down (mailbox closed)"),
+            RuntimeError::ActorGone => write!(f, "shard actor exited without replying"),
+            RuntimeError::Spawn(m) => write!(f, "failed to spawn shard actor: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for RuntimeError {
+    fn from(e: StoreError) -> Self {
+        RuntimeError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_sources() {
+        let e: RuntimeError = StoreError::UnknownKey.into();
+        assert!(e.to_string().contains("store error"));
+        assert!(e.source().is_some());
+        assert!(RuntimeError::Closed.to_string().contains("shut down"));
+        assert!(RuntimeError::ActorGone.source().is_none());
+    }
+}

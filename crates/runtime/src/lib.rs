@@ -1,0 +1,256 @@
+//! # apcache-runtime
+//!
+//! The **concurrent serving layer** of the workspace: an actor-per-shard
+//! runtime that turns the synchronous [`ShardedStore`] fleet into a
+//! non-blocking front-end for many client threads — hand-rolled on `std`
+//! threads, mutexes, and condvars only (no async executor), so it builds
+//! offline anywhere the rest of the workspace does.
+//!
+//! ## Design
+//!
+//! * **One OS-thread actor per shard.** Each actor exclusively owns one
+//!   [`PrecisionStore`](apcache_store::PrecisionStore), which therefore
+//!   stays exactly as single-threaded and lock-free as the paper's
+//!   per-cache protocol; all concurrency lives in the mailboxes. This is
+//!   the classical isolation of per-domain precision state: protocol
+//!   state never crosses a thread boundary, messages do.
+//! * **Bounded mailboxes with backpressure.** Every actor drains a FIFO
+//!   [`mailbox`](mailbox::mailbox) of [`Request`]s; producers that
+//!   outrun a shard park on its full mailbox until the actor catches up.
+//!   [`RuntimeHandle::write_nowait`] is the fire-and-forget path: it pays
+//!   only the admission toll, never waits for the outcome.
+//! * **Scatter/gather aggregates.** A deployment-wide aggregate splits
+//!   its precision budget by the rules in [`apcache_shard::plan`]
+//!   (`δ·n_s/n` for SUM, `δ·n_s` for AVG-as-SUM, full `δ` for MAX/MIN),
+//!   enqueues every shard's leg before awaiting any reply (the shards
+//!   work concurrently), and merges the bounded partial answers with the
+//!   same interval arithmetic as [`ShardedStore`] — including the
+//!   Relative probe → local-certificates → derived-budget refinement as
+//!   up to three scatter/gather rounds. Actors never message each other,
+//!   so the runtime has no deadlock cycles by construction.
+//! * **Draining shutdown.** [`Runtime::shutdown`] acknowledges, per
+//!   shard, that every previously enqueued request has been served, then
+//!   closes the mailboxes and joins the actors — no accepted write is
+//!   ever lost. [`Runtime::into_store`] additionally hands back the
+//!   reassembled [`ShardedStore`] in the runtime's exact final state.
+//!
+//! With a single client the runtime is **bit-identical** to a
+//! [`ShardedStore`] under θ = 1 (see `tests/runtime_conformance.rs`): the
+//! mailboxes impose the caller's order per shard, the budget splits and
+//! merge folds are the same code, and the single-shard delegation path is
+//! preserved.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use apcache_runtime::Runtime;
+//! use apcache_shard::{AggregateKind, Constraint, ShardedStoreBuilder};
+//!
+//! let store = ShardedStoreBuilder::new()
+//!     .shards(4)
+//!     .source("cpu_load", 40.0)
+//!     .source("mem_used", 900.0)
+//!     .source("disk_io", 120.0)
+//!     .build()
+//!     .unwrap();
+//! let runtime = Runtime::launch(store).unwrap();
+//!
+//! // Clone one handle per client thread; all verbs are thread-safe.
+//! let handle = runtime.handle();
+//! let reader = {
+//!     let handle = handle.clone();
+//!     std::thread::spawn(move || {
+//!         handle.read(&"cpu_load", Constraint::Absolute(5.0), 0).unwrap()
+//!     })
+//! };
+//! handle.write_nowait(&"mem_used", 905.0, 0).unwrap(); // fire-and-forget
+//! assert!(reader.join().unwrap().answer.contains(40.0));
+//!
+//! // Aggregates scatter to the shard actors and gather the merged bound.
+//! let out = handle
+//!     .aggregate(
+//!         AggregateKind::Sum,
+//!         &["cpu_load", "mem_used", "disk_io"],
+//!         Constraint::Absolute(50.0),
+//!         1_000,
+//!     )
+//!     .unwrap();
+//! assert!(out.answer.width() <= 50.0 + 1e-9);
+//!
+//! // Draining shutdown: the write above is guaranteed applied.
+//! let store = runtime.into_store().unwrap();
+//! assert_eq!(store.value(&"mem_used"), Some(905.0));
+//! ```
+//!
+//! [`ShardedStore`]: apcache_shard::ShardedStore
+//! [`Request`]: request::Request
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod mailbox;
+pub mod oneshot;
+pub mod request;
+pub mod runtime;
+
+pub use error::RuntimeError;
+pub use request::Request;
+pub use runtime::{
+    Runtime, RuntimeConfig, RuntimeHandle, RuntimeMetrics, DEFAULT_MAILBOX_CAPACITY,
+};
+
+// Re-export the serving vocabulary so runtime callers need one import root.
+pub use apcache_queries::AggregateKind;
+pub use apcache_shard::{ShardRouter, ShardedStore, ShardedStoreBuilder};
+pub use apcache_store::{
+    AggregateOutcome, Answer, Constraint, InitialWidth, PolicySpec, ReadResult, StoreError,
+    StoreMetrics, WriteOutcome,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_core::Rng;
+
+    fn fleet(shards: usize, n_keys: u64) -> ShardedStore<u64> {
+        let mut b = ShardedStoreBuilder::new()
+            .shards(shards)
+            .rng(Rng::seed_from_u64(7))
+            .initial_width(InitialWidth::Fixed(10.0));
+        for k in 0..n_keys {
+            b = b.source(k, 100.0 * k as f64);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reads_writes_and_metrics_route_to_actors() {
+        let runtime = Runtime::launch(fleet(4, 16)).unwrap();
+        let h = runtime.handle();
+        assert_eq!(h.shard_count(), 4);
+        assert_eq!(h.len(), 16);
+        let r = h.read(&3, Constraint::Absolute(10.0), 0).unwrap();
+        assert!(!r.refreshed);
+        assert!(r.answer.contains(300.0));
+        let w = h.write(&3, 600.0, 1_000).unwrap(); // escapes [295, 305]
+        assert!(w.escaped());
+        h.write_nowait(&5, 501.0, 1_000).unwrap();
+        let m = h.metrics().unwrap();
+        assert_eq!(m.merged().totals().reads, 1);
+        assert_eq!(m.merged().vr_count(), 1);
+        assert_eq!(m.per_shard().len(), 4);
+        // The fire-and-forget write has been applied once we observe the
+        // final store.
+        let store = runtime.into_store().unwrap();
+        assert_eq!(store.value(&5), Some(501.0));
+        assert_eq!(store.value(&3), Some(600.0));
+    }
+
+    #[test]
+    fn unknown_keys_rejected_without_messaging_any_actor() {
+        let runtime = Runtime::launch(fleet(2, 4)).unwrap();
+        let h = runtime.handle();
+        assert!(matches!(
+            h.read(&99, Constraint::Exact, 0),
+            Err(RuntimeError::Store(StoreError::UnknownKey))
+        ));
+        assert!(matches!(h.write(&99, 0.0, 0), Err(RuntimeError::Store(StoreError::UnknownKey))));
+        assert!(matches!(
+            h.write_nowait(&99, 0.0, 0),
+            Err(RuntimeError::Store(StoreError::UnknownKey))
+        ));
+        assert!(h.write_nowait(&0, f64::NAN, 0).is_err());
+        assert!(matches!(
+            h.aggregate(AggregateKind::Sum, &[0, 99], Constraint::Exact, 0),
+            Err(RuntimeError::Store(StoreError::UnknownKey))
+        ));
+        assert_eq!(h.metrics().unwrap().merged().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_scatter_and_merge_within_budget() {
+        let runtime = Runtime::launch(fleet(4, 16)).unwrap();
+        let h = runtime.handle();
+        let keys: Vec<u64> = (0..16).collect();
+        let truth: f64 = (0..16).map(|k| 100.0 * k as f64).sum();
+        for delta in [1_000.0, 40.0, 8.0, 0.0] {
+            let out =
+                h.aggregate(AggregateKind::Sum, &keys, Constraint::Absolute(delta), 0).unwrap();
+            assert!(out.answer.width() <= delta + 1e-9, "delta={delta}");
+            assert!(out.answer.contains(truth), "delta={delta}");
+        }
+        // Relative: loose ρ certified from cache, tight ρ escalates.
+        let out = h.aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.5), 0).unwrap();
+        assert!(out.refreshed.is_empty());
+        let out = h.aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.001), 0).unwrap();
+        assert!(!out.refreshed.is_empty());
+        assert!(out.answer.contains(truth));
+        // Empty aggregates mirror the synchronous façades.
+        let none: &[u64] = &[];
+        let out = h.aggregate(AggregateKind::Sum, none, Constraint::Absolute(1.0), 0).unwrap();
+        assert_eq!((out.answer.lo(), out.answer.hi()), (0.0, 0.0));
+        assert!(h.aggregate(AggregateKind::Avg, none, Constraint::Absolute(1.0), 0).is_err());
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handles_error_after_shutdown() {
+        let runtime = Runtime::launch(fleet(2, 4)).unwrap();
+        let h = runtime.handle();
+        runtime.shutdown().unwrap();
+        assert!(matches!(h.read(&0, Constraint::Exact, 0), Err(RuntimeError::Closed)));
+        assert!(matches!(h.write_nowait(&0, 1.0, 0), Err(RuntimeError::Closed)));
+        assert!(matches!(h.metrics(), Err(RuntimeError::Closed)));
+    }
+
+    #[test]
+    fn concurrent_clients_on_disjoint_keys_all_land() {
+        let runtime = Runtime::launch(fleet(4, 64)).unwrap();
+        let clients: Vec<_> = (0..8u64)
+            .map(|c| {
+                let h = runtime.handle();
+                std::thread::spawn(move || {
+                    let mine: Vec<u64> = (0..64).filter(|k| k % 8 == c).collect();
+                    for t in 1..=50u64 {
+                        for &k in &mine {
+                            h.write_nowait(&k, k as f64 + t as f64, t * 1_000).unwrap();
+                        }
+                        let r =
+                            h.read(&mine[(t % 8) as usize], Constraint::Exact, t * 1_000).unwrap();
+                        assert!(r.answer.is_exact());
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let m = runtime.handle().metrics().unwrap();
+        assert_eq!(m.merged().totals().writes, 8 * 50 * 8);
+        assert_eq!(m.merged().totals().reads, 8 * 50);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn tiny_mailboxes_exercise_backpressure_without_deadlock() {
+        let runtime =
+            Runtime::launch_with(fleet(2, 8), RuntimeConfig { mailbox_capacity: 1 }).unwrap();
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = runtime.handle();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        h.write_nowait(&(i % 8), (w * 1_000 + i) as f64, i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let store = runtime.into_store().unwrap();
+        assert_eq!(store.metrics().merged().totals().writes, 4 * 500);
+    }
+}

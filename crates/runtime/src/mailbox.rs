@@ -1,0 +1,245 @@
+//! A bounded MPSC mailbox built on `std` primitives only.
+//!
+//! One mailbox feeds each shard actor. Senders are cheap to clone and
+//! **park when the queue is full** — that is the runtime's backpressure:
+//! a client thread producing faster than a shard can drain blocks until
+//! the actor catches up, instead of growing an unbounded queue. Closing
+//! the mailbox fails further sends but lets the receiver drain what was
+//! already queued, so shutdown never drops an accepted request.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`MailboxSender::send`] on a closed mailbox; carries
+/// the rejected message back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+struct Core<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the queue gains an item or closes (receiver side).
+    not_empty: Condvar,
+    /// Signalled when the queue loses an item or closes (sender side).
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Create a mailbox holding at most `capacity >= 1` queued messages.
+pub fn mailbox<T>(capacity: usize) -> (MailboxSender<T>, MailboxReceiver<T>) {
+    let core = Arc::new(Core {
+        state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (MailboxSender { core: Arc::clone(&core) }, MailboxReceiver { core })
+}
+
+/// The producing half: cloneable, blocking on a full queue.
+pub struct MailboxSender<T> {
+    core: Arc<Core<T>>,
+}
+
+impl<T> Clone for MailboxSender<T> {
+    fn clone(&self) -> Self {
+        MailboxSender { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<T> MailboxSender<T> {
+    /// Enqueue `msg`, parking while the mailbox is full. Fails (returning
+    /// the message) once the mailbox is closed.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.core.state.lock().expect("mailbox lock poisoned");
+        loop {
+            if state.closed {
+                return Err(SendError(msg));
+            }
+            if state.queue.len() < self.core.capacity {
+                state.queue.push_back(msg);
+                drop(state);
+                self.core.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.core.not_full.wait(state).expect("mailbox lock poisoned");
+        }
+    }
+
+    /// Close the mailbox: further sends fail, the receiver drains what is
+    /// already queued and then sees the end of the stream.
+    pub fn close(&self) {
+        let mut state = self.core.state.lock().expect("mailbox lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.core.not_empty.notify_all();
+        self.core.not_full.notify_all();
+    }
+
+    /// Number of messages currently queued (a racy snapshot, for
+    /// monitoring and tests).
+    pub fn len(&self) -> usize {
+        self.core.state.lock().expect("mailbox lock poisoned").queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The consuming half: exactly one per mailbox (the shard actor).
+pub struct MailboxReceiver<T> {
+    core: Arc<Core<T>>,
+}
+
+impl<T> MailboxReceiver<T> {
+    /// Dequeue the next message in FIFO order, parking while the mailbox
+    /// is empty. Returns `None` once the mailbox is closed **and** fully
+    /// drained — the actor's signal to exit.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.core.state.lock().expect("mailbox lock poisoned");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.core.not_full.notify_one();
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.core.not_empty.wait(state).expect("mailbox lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for MailboxReceiver<T> {
+    /// A dying receiver — the actor exited, possibly by panic — closes
+    /// the mailbox and discards whatever is still queued. Dropping the
+    /// queued requests drops their reply senders, so clients blocked on
+    /// replies observe the dropped-reply error instead of waiting forever,
+    /// and parked producers wake to a closed-mailbox error.
+    fn drop(&mut self) {
+        // The state lock is never held across a panic site (senders and
+        // recv release it before returning), but stay abort-safe inside
+        // Drop anyway: a poisoned lock still yields the guard.
+        let mut state = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        let leftovers: Vec<T> = state.queue.drain(..).collect();
+        drop(state);
+        self.core.not_empty.notify_all();
+        self.core.not_full.notify_all();
+        // Reply senders inside the leftovers drop here, outside the lock.
+        drop(leftovers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_a_sender() {
+        let (tx, rx) = mailbox(8);
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn full_mailbox_parks_sender_until_drained() {
+        let (tx, rx) = mailbox(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(3).map_err(|_| ()).unwrap())
+        };
+        // The producer cannot finish while the queue is full.
+        thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "send returned despite a full mailbox");
+        assert_eq!(rx.recv(), Some(1));
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn close_fails_sends_but_drains_queue() {
+        let (tx, rx) = mailbox(4);
+        tx.send("kept").unwrap();
+        tx.close();
+        assert!(matches!(tx.send("dropped"), Err(SendError("dropped"))));
+        assert_eq!(rx.recv(), Some("kept"));
+        assert_eq!(rx.recv(), None);
+        // recv after the end stays at the end.
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn close_wakes_parked_sender() {
+        let (tx, _rx) = mailbox(1);
+        tx.send(0).unwrap();
+        let parked = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(1).is_err())
+        };
+        thread::sleep(Duration::from_millis(20));
+        tx.close();
+        assert!(parked.join().unwrap(), "parked send must fail on close");
+    }
+
+    #[test]
+    fn dropped_receiver_closes_and_drains() {
+        // Simulates an actor dying (panic or exit) with requests queued:
+        // the queued messages are dropped (releasing any reply senders
+        // inside them) and parked/later senders error out.
+        let (tx, rx) = mailbox(2);
+        let (reply, reply_rx) = crate::oneshot::reply_slot::<u32>();
+        assert!(tx.send(Some(reply)).is_ok());
+        assert!(tx.send(None).is_ok());
+        let parked = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(None).is_err())
+        };
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(parked.join().unwrap(), "parked send must fail when the receiver dies");
+        assert!(matches!(tx.send(None), Err(SendError(None))));
+        // The queued reply sender was dropped, so the waiter is released.
+        assert!(reply_rx.recv().is_err());
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_everything() {
+        let (tx, rx) = mailbox(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut seen = Vec::with_capacity(400);
+        for _ in 0..400 {
+            seen.push(rx.recv().unwrap());
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,113 @@
+//! One-shot reply slots for request/response over the mailboxes.
+//!
+//! Every blocking verb enqueues a request carrying a [`ReplySender`]; the
+//! shard actor fulfills it and the caller blocks on the paired
+//! [`ReplyReceiver`]. If the sender is dropped unfulfilled — the actor
+//! exited or panicked with the request still queued — the receiver wakes
+//! with [`ReplyDropped`] instead of hanging forever.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The reply's producing half was dropped without sending a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyDropped;
+
+enum State<T> {
+    Pending,
+    Sent(T),
+    Dropped,
+}
+
+struct Core<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// Create a connected reply pair.
+pub fn reply_slot<T>() -> (ReplySender<T>, ReplyReceiver<T>) {
+    let core = Arc::new(Core { state: Mutex::new(State::Pending), cv: Condvar::new() });
+    (ReplySender { core: Arc::clone(&core) }, ReplyReceiver { core })
+}
+
+/// The fulfilling half, held inside the queued request.
+pub struct ReplySender<T> {
+    core: Arc<Core<T>>,
+}
+
+impl<T> ReplySender<T> {
+    /// Fulfill the reply and wake the waiting caller. (The subsequent
+    /// `Drop` of `self` is a no-op: it only marks *pending* slots as
+    /// dropped, never overwrites a sent value.)
+    pub fn send(self, value: T) {
+        let mut state = self.core.state.lock().expect("reply lock poisoned");
+        *state = State::Sent(value);
+        drop(state);
+        self.core.cv.notify_one();
+    }
+}
+
+impl<T> Drop for ReplySender<T> {
+    fn drop(&mut self) {
+        let mut state = self.core.state.lock().expect("reply lock poisoned");
+        if matches!(*state, State::Pending) {
+            *state = State::Dropped;
+            drop(state);
+            self.core.cv.notify_one();
+        }
+    }
+}
+
+/// The waiting half, held by the caller.
+pub struct ReplyReceiver<T> {
+    core: Arc<Core<T>>,
+}
+
+impl<T> ReplyReceiver<T> {
+    /// Block until the reply arrives (or its sender is dropped).
+    pub fn recv(self) -> Result<T, ReplyDropped> {
+        let mut state = self.core.state.lock().expect("reply lock poisoned");
+        loop {
+            match std::mem::replace(&mut *state, State::Dropped) {
+                State::Sent(value) => return Ok(value),
+                State::Dropped => return Err(ReplyDropped),
+                State::Pending => {
+                    *state = State::Pending;
+                    state = self.core.cv.wait(state).expect("reply lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_recv() {
+        let (tx, rx) = reply_slot();
+        tx.send(42);
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn recv_blocks_until_sent() {
+        let (tx, rx) = reply_slot();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished());
+        tx.send("late");
+        assert_eq!(t.join().unwrap(), Ok("late"));
+    }
+
+    #[test]
+    fn dropped_sender_wakes_receiver_with_error() {
+        let (tx, rx) = reply_slot::<u32>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(ReplyDropped));
+    }
+}

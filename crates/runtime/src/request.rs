@@ -1,0 +1,79 @@
+//! The mailbox protocol between [`RuntimeHandle`](crate::RuntimeHandle)
+//! and the shard actors.
+
+use apcache_core::TimeMs;
+use apcache_queries::AggregateKind;
+use apcache_store::{
+    AggregateOutcome, Constraint, ReadResult, StoreError, StoreMetrics, WriteOutcome,
+};
+
+use crate::oneshot::ReplySender;
+
+/// One message in a shard actor's mailbox.
+///
+/// Every variant maps onto a `PrecisionStore` verb on the shard's own
+/// store; cross-shard operations (deployment-wide aggregates, the merged
+/// metrics rollup) are composed by the handle out of these per-shard
+/// messages — the actors themselves never talk to each other, which is
+/// what keeps the runtime deadlock-free by construction.
+pub enum Request<K> {
+    /// Point read to the given precision.
+    Read {
+        /// Key to read (owned by this shard).
+        key: K,
+        /// Required precision.
+        constraint: Constraint,
+        /// Logical time of the read.
+        now: TimeMs,
+        /// Where the answer goes.
+        reply: ReplySender<Result<ReadResult, StoreError>>,
+    },
+    /// A new exact value arrives at the source. `reply: None` is the
+    /// fire-and-forget path: the caller paid its backpressure toll at the
+    /// mailbox and does not wait for the outcome.
+    Write {
+        /// Key to write (owned by this shard).
+        key: K,
+        /// The new exact value.
+        value: f64,
+        /// Logical time of the write.
+        now: TimeMs,
+        /// Where the outcome goes; `None` for fire-and-forget.
+        reply: Option<ReplySender<Result<WriteOutcome, StoreError>>>,
+    },
+    /// A batch of writes for this shard, applied in order.
+    WriteBatch {
+        /// `(key, value)` pairs, all owned by this shard.
+        items: Vec<(K, f64)>,
+        /// Logical time of the batch.
+        now: TimeMs,
+        /// Where the summed outcome goes.
+        reply: ReplySender<Result<WriteOutcome, StoreError>>,
+    },
+    /// One shard-local leg of a deployment-wide aggregate (the handle
+    /// splits the budget and merges the partial answers).
+    Aggregate {
+        /// The shard-local aggregate kind (AVG arrives as SUM).
+        kind: AggregateKind,
+        /// The queried keys owned by this shard.
+        keys: Vec<K>,
+        /// This shard's slice of the precision budget.
+        constraint: Constraint,
+        /// Logical time of the query.
+        now: TimeMs,
+        /// Where the partial answer goes.
+        reply: ReplySender<Result<AggregateOutcome<K>, StoreError>>,
+    },
+    /// Snapshot this shard's serving metrics.
+    Metrics {
+        /// Where the snapshot goes.
+        reply: ReplySender<StoreMetrics<K>>,
+    },
+    /// Orderly shutdown marker: the actor acknowledges that every request
+    /// enqueued before this one has been fully processed. (The actor
+    /// keeps draining afterwards until its mailbox is closed and empty.)
+    Shutdown {
+        /// Acknowledged once the preceding requests have drained.
+        ack: ReplySender<()>,
+    },
+}

@@ -1,0 +1,467 @@
+//! The actor-per-shard runtime: launch, handle, actors, shutdown.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread;
+
+use apcache_core::{Interval, TimeMs};
+use apcache_queries::AggregateKind;
+use apcache_shard::plan::{empty_aggregate, evaluate_constraint};
+use apcache_shard::{ShardRouter, ShardedStore};
+use apcache_store::{
+    AggregateOutcome, Constraint, PrecisionStore, ReadResult, StoreError, StoreMetrics,
+    WriteOutcome,
+};
+
+use crate::error::RuntimeError;
+use crate::mailbox::{mailbox, MailboxSender};
+use crate::oneshot::{reply_slot, ReplyReceiver};
+use crate::request::Request;
+
+/// Tuning for [`Runtime::launch_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Mailbox capacity per shard actor: how many requests may queue
+    /// before senders park (the backpressure bound). Values below 1 are
+    /// treated as 1.
+    pub mailbox_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { mailbox_capacity: DEFAULT_MAILBOX_CAPACITY }
+    }
+}
+
+/// Default per-shard mailbox capacity: deep enough to keep an actor busy
+/// under bursts, shallow enough that a stalled shard pushes back on its
+/// producers within microseconds of work.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 1_024;
+
+/// What the handle shares: the ring, one mailbox sender per shard, and
+/// the immutable key directory (the runtime serves a fixed key population
+/// registered at build time; elastic key insertion is a follow-on).
+struct Shared<K> {
+    router: ShardRouter,
+    senders: Vec<MailboxSender<Request<K>>>,
+    keys: HashSet<K>,
+}
+
+/// The owner of the shard actors: spawns them on launch, joins them on
+/// shutdown. Cloneable [`RuntimeHandle`]s (from
+/// [`handle`](Runtime::handle)) do the actual serving from any thread.
+pub struct Runtime<K> {
+    shared: Arc<Shared<K>>,
+    threads: Vec<thread::JoinHandle<PrecisionStore<K>>>,
+}
+
+impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
+    /// Launch one actor thread per shard of `store`, with default tuning.
+    pub fn launch(store: ShardedStore<K>) -> Result<Self, RuntimeError> {
+        Runtime::launch_with(store, RuntimeConfig::default())
+    }
+
+    /// Launch one actor thread per shard of `store`. Each actor takes
+    /// ownership of its `PrecisionStore` — the store stays single-threaded
+    /// and lock-free; all concurrency lives in the mailboxes.
+    pub fn launch_with(store: ShardedStore<K>, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
+        let keys: HashSet<K> = store.keys().cloned().collect();
+        let (router, shards) = store.into_parts();
+        let mut senders: Vec<MailboxSender<Request<K>>> = Vec::with_capacity(shards.len());
+        let mut threads: Vec<thread::JoinHandle<PrecisionStore<K>>> =
+            Vec::with_capacity(shards.len());
+        for (i, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx) = mailbox::<Request<K>>(cfg.mailbox_capacity);
+            let spawned =
+                thread::Builder::new().name(format!("apcache-shard-{i}")).spawn(move || {
+                    while let Some(request) = rx.recv() {
+                        serve(&mut shard, request);
+                    }
+                    shard
+                });
+            let thread = match spawned {
+                Ok(thread) => thread,
+                Err(e) => {
+                    // Unwind a partial launch: closing the mailboxes ends
+                    // the already-running actors (recv returns None), so
+                    // no thread is left parked forever.
+                    for sender in &senders {
+                        sender.close();
+                    }
+                    for thread in threads {
+                        let _ = thread.join();
+                    }
+                    return Err(RuntimeError::Spawn(e.to_string()));
+                }
+            };
+            senders.push(tx);
+            threads.push(thread);
+        }
+        Ok(Runtime { shared: Arc::new(Shared { router, senders, keys }), threads })
+    }
+
+    /// A cheaply-cloneable serving handle (share freely across client
+    /// threads).
+    pub fn handle(&self) -> RuntimeHandle<K> {
+        RuntimeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Number of shard actors.
+    pub fn shard_count(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// Drain and stop the actors: every request enqueued before this call
+    /// is fully processed (acknowledged per shard), further sends fail
+    /// with [`RuntimeError::Closed`], and the actor threads are joined.
+    pub fn shutdown(mut self) -> Result<(), RuntimeError> {
+        self.finish().map(|_| ())
+    }
+
+    /// Shut down (draining, as [`shutdown`](Runtime::shutdown)) and
+    /// reassemble the synchronous [`ShardedStore`] from the actors'
+    /// stores — the runtime's exact final state, e.g. for conformance
+    /// checks or for relaunching with a different topology.
+    pub fn into_store(mut self) -> Result<ShardedStore<K>, RuntimeError> {
+        let shards = self.finish()?;
+        ShardedStore::from_parts(self.shared.router.clone(), shards).map_err(RuntimeError::Store)
+    }
+
+    /// Common shutdown path: mark the end of each mailbox, wait for the
+    /// drain acknowledgements, join the actors.
+    fn finish(&mut self) -> Result<Vec<PrecisionStore<K>>, RuntimeError> {
+        let mut acks = Vec::with_capacity(self.shared.senders.len());
+        for sender in &self.shared.senders {
+            let (tx, rx) = reply_slot();
+            // A closed mailbox means this shard already finished.
+            if sender.send(Request::Shutdown { ack: tx }).is_ok() {
+                acks.push(rx);
+            }
+            sender.close();
+        }
+        for ack in acks {
+            // ReplyDropped here means the actor died before draining; the
+            // join below surfaces it.
+            let _ = ack.recv();
+        }
+        let mut shards = Vec::with_capacity(self.threads.len());
+        for thread in self.threads.drain(..) {
+            shards.push(thread.join().map_err(|_| RuntimeError::ActorGone)?);
+        }
+        Ok(shards)
+    }
+}
+
+impl<K> Drop for Runtime<K> {
+    fn drop(&mut self) {
+        // Explicit shutdown()/into_store() already drained `threads`; an
+        // abandoned runtime still closes its mailboxes (draining them) and
+        // joins, so actor threads never outlive the owner.
+        for sender in &self.shared.senders {
+            sender.close();
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One shard actor's request dispatch (runs on the actor thread; the
+/// actor never blocks on anything but its own mailbox, so actors cannot
+/// deadlock each other).
+fn serve<K: Hash + Ord + Clone>(store: &mut PrecisionStore<K>, request: Request<K>) {
+    match request {
+        Request::Read { key, constraint, now, reply } => {
+            reply.send(store.read(&key, constraint, now));
+        }
+        Request::Write { key, value, now, reply } => {
+            let outcome = store.write(&key, value, now);
+            if let Some(reply) = reply {
+                reply.send(outcome);
+            }
+        }
+        Request::WriteBatch { items, now, reply } => {
+            reply.send(store.write_batch(&items, now));
+        }
+        Request::Aggregate { kind, keys, constraint, now, reply } => {
+            reply.send(store.aggregate(kind, &keys, constraint, now));
+        }
+        Request::Metrics { reply } => {
+            reply.send(store.metrics().clone());
+        }
+        Request::Shutdown { ack } => {
+            ack.send(());
+        }
+    }
+}
+
+/// Deployment metrics gathered from the actors: per-shard snapshots plus
+/// their merged rollup (owned clones — unlike
+/// [`ShardedMetrics`](apcache_shard::ShardedMetrics), the live counters
+/// stay on the actor threads).
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics<K> {
+    per_shard: Vec<StoreMetrics<K>>,
+    merged: StoreMetrics<K>,
+}
+
+impl<K: Ord + Clone> RuntimeMetrics<K> {
+    /// The merged rollup: every counter summed across shards.
+    pub fn merged(&self) -> &StoreMetrics<K> {
+        &self.merged
+    }
+
+    /// Per-shard snapshots, indexed by shard id.
+    pub fn per_shard(&self) -> &[StoreMetrics<K>] {
+        &self.per_shard
+    }
+
+    /// Metrics of one shard.
+    pub fn shard(&self, shard: usize) -> Option<&StoreMetrics<K>> {
+        self.per_shard.get(shard)
+    }
+}
+
+/// A cheaply-cloneable client of the runtime: routes every request to the
+/// owning shard's mailbox and blocks on the reply (or, for
+/// [`write_nowait`](RuntimeHandle::write_nowait), only on mailbox
+/// admission). Clone one per client thread.
+pub struct RuntimeHandle<K> {
+    shared: Arc<Shared<K>>,
+}
+
+impl<K> Clone for RuntimeHandle<K> {
+    fn clone(&self) -> Self {
+        RuntimeHandle { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
+    /// Number of shard actors.
+    pub fn shard_count(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The shard id that owns `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.shared.router.route(key) as usize
+    }
+
+    /// Whether `key` was registered when the runtime launched.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shared.keys.contains(key)
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.shared.keys.len()
+    }
+
+    /// Whether the runtime serves no sources.
+    pub fn is_empty(&self) -> bool {
+        self.shared.keys.is_empty()
+    }
+
+    /// Resolve the owning shard, rejecting unregistered keys before any
+    /// message is sent (mirrors `ShardedStore`, which never charges a
+    /// shard for an unroutable request).
+    fn owning_shard(&self, key: &K) -> Result<usize, RuntimeError> {
+        if !self.shared.keys.contains(key) {
+            return Err(RuntimeError::Store(StoreError::UnknownKey));
+        }
+        Ok(self.shard_of(key))
+    }
+
+    /// Enqueue a request on `shard`'s mailbox, parking if it is full.
+    fn send(&self, shard: usize, request: Request<K>) -> Result<(), RuntimeError> {
+        self.shared.senders[shard].send(request).map_err(|_| RuntimeError::Closed)
+    }
+
+    /// Block on a reply, mapping an unfulfilled slot to the dead-actor
+    /// error.
+    fn wait<T>(rx: ReplyReceiver<Result<T, StoreError>>) -> Result<T, RuntimeError> {
+        rx.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)
+    }
+
+    /// Read `key` to the given precision on its owning shard (blocking).
+    pub fn read(
+        &self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, RuntimeError> {
+        let shard = self.owning_shard(key)?;
+        let (tx, rx) = reply_slot();
+        self.send(shard, Request::Read { key: key.clone(), constraint, now, reply: tx })?;
+        Self::wait(rx)
+    }
+
+    /// Push a new exact value for `key` and wait for the outcome.
+    pub fn write(&self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, RuntimeError> {
+        let shard = self.owning_shard(key)?;
+        let (tx, rx) = reply_slot();
+        self.send(shard, Request::Write { key: key.clone(), value, now, reply: Some(tx) })?;
+        Self::wait(rx)
+    }
+
+    /// Fire-and-forget write: validated and enqueued (parking while the
+    /// shard's mailbox is full — that is the backpressure), then the
+    /// caller moves on. The write is applied in mailbox order; a draining
+    /// shutdown still processes it.
+    pub fn write_nowait(&self, key: &K, value: f64, now: TimeMs) -> Result<(), RuntimeError> {
+        if !value.is_finite() {
+            return Err(RuntimeError::Store(
+                apcache_core::error::ProtocolError::NonFiniteValue(value).into(),
+            ));
+        }
+        let shard = self.owning_shard(key)?;
+        self.send(shard, Request::Write { key: key.clone(), value, now, reply: None })
+    }
+
+    /// Apply a batch of writes with one routing pass: items are validated
+    /// up front (unknown keys, non-finite values — a batch failing
+    /// validation sends nothing), grouped by owning shard, scattered as
+    /// one [`Request::WriteBatch`] per shard, and the outcomes gathered
+    /// and summed. Shards apply their items in slice order, concurrently
+    /// with each other.
+    ///
+    /// Unlike [`ShardedStore::write_batch`], atomicity covers only the
+    /// validation phase: if the runtime is shut down mid-scatter, legs
+    /// already accepted by their mailboxes are still applied (the drain
+    /// guarantee) while the caller sees [`RuntimeError::Closed`].
+    pub fn write_batch(
+        &self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, RuntimeError> {
+        let mut per_shard: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shard_count()];
+        for (key, value) in items {
+            if !value.is_finite() {
+                return Err(RuntimeError::Store(
+                    apcache_core::error::ProtocolError::NonFiniteValue(*value).into(),
+                ));
+            }
+            let shard = self.owning_shard(key)?;
+            per_shard[shard].push((key.clone(), *value));
+        }
+        let mut pending = Vec::new();
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = reply_slot();
+            self.send(shard, Request::WriteBatch { items: batch, now, reply: tx })?;
+            pending.push(rx);
+        }
+        let mut refreshes = 0;
+        for rx in pending {
+            refreshes += Self::wait(rx)?.refreshes;
+        }
+        Ok(WriteOutcome { refreshes })
+    }
+
+    /// Partition `keys` by owning shard (slice order preserved within each
+    /// shard), validating every key up front.
+    fn partition(&self, keys: &[K]) -> Result<Vec<(usize, Vec<K>)>, RuntimeError> {
+        let mut per_shard: Vec<Vec<K>> = vec![Vec::new(); self.shard_count()];
+        for key in keys {
+            let shard = self.owning_shard(key)?;
+            per_shard[shard].push(key.clone());
+        }
+        Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
+    }
+
+    /// Scatter one shard-local aggregate leg per part (all legs enqueued
+    /// before any reply is awaited, so the shards run them concurrently)
+    /// and gather the partial answers in part order — the same order the
+    /// synchronous `ShardedStore` folds, so merged answers and refresh
+    /// lists come out identical. This is the runtime's
+    /// [`plan::FanOut`](apcache_shard::plan::FanOut) primitive.
+    fn scatter(
+        &self,
+        local_kind: AggregateKind,
+        parts: &[(usize, Vec<K>)],
+        split: &dyn Fn(usize) -> Constraint,
+        now: TimeMs,
+    ) -> Result<(Vec<Interval>, Vec<K>), RuntimeError> {
+        let mut pending = Vec::with_capacity(parts.len());
+        for (shard, keys) in parts {
+            let (tx, rx) = reply_slot();
+            self.send(
+                *shard,
+                Request::Aggregate {
+                    kind: local_kind,
+                    keys: keys.clone(),
+                    constraint: split(keys.len()),
+                    now,
+                    reply: tx,
+                },
+            )?;
+            pending.push(rx);
+        }
+        let mut partials = Vec::with_capacity(parts.len());
+        let mut refreshed = Vec::new();
+        for rx in pending {
+            let outcome = Self::wait(rx)?;
+            partials.push(outcome.answer);
+            refreshed.extend(outcome.refreshed);
+        }
+        Ok((partials, refreshed))
+    }
+
+    /// Bounded aggregate over `keys`, scattered to the owning shard actors
+    /// and gathered with the same interval arithmetic as
+    /// [`ShardedStore::aggregate`]. The constraint dispatch — including
+    /// the Relative probe → local-certificates → derived-budget
+    /// refinement, which here runs as up to three scatter/gather rounds —
+    /// is [`plan::evaluate_constraint`](apcache_shard::plan::evaluate_constraint),
+    /// literally the same code the synchronous façade folds with, so the
+    /// two cannot drift.
+    pub fn aggregate(
+        &self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, RuntimeError> {
+        constraint.validate().map_err(RuntimeError::Store)?;
+        if keys.is_empty() {
+            return empty_aggregate(kind).map_err(RuntimeError::Store);
+        }
+        let parts = self.partition(keys)?;
+        // All keys on one shard: delegate untouched, matching an unsharded
+        // store bit-for-bit (also covers single-shard runtimes).
+        if let [(shard, shard_keys)] = parts.as_slice() {
+            let (tx, rx) = reply_slot();
+            self.send(
+                *shard,
+                Request::Aggregate { kind, keys: shard_keys.clone(), constraint, now, reply: tx },
+            )?;
+            return Self::wait(rx);
+        }
+        evaluate_constraint(kind, constraint, keys.len(), &mut |local_kind, split| {
+            self.scatter(local_kind, &parts, split, now)
+        })
+    }
+
+    /// Snapshot deployment metrics: per-shard counters gathered from the
+    /// actors plus their merged rollup.
+    pub fn metrics(&self) -> Result<RuntimeMetrics<K>, RuntimeError> {
+        let mut pending = Vec::with_capacity(self.shard_count());
+        for shard in 0..self.shard_count() {
+            let (tx, rx) = reply_slot();
+            self.send(shard, Request::Metrics { reply: tx })?;
+            pending.push(rx);
+        }
+        let mut per_shard = Vec::with_capacity(pending.len());
+        for rx in pending {
+            per_shard.push(rx.recv().map_err(|_| RuntimeError::ActorGone)?);
+        }
+        let mut merged = StoreMetrics::new();
+        for m in &per_shard {
+            merged.merge(m);
+        }
+        Ok(RuntimeMetrics { per_shard, merged })
+    }
+}

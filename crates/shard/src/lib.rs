@@ -65,6 +65,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod hash;
+pub mod plan;
 pub mod router;
 pub mod store;
 

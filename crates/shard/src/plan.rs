@@ -1,0 +1,230 @@
+//! Scatter/gather arithmetic for deployment-wide aggregates.
+//!
+//! A query over keys spread across `N` shards fans out as one per-shard
+//! sub-query and merges the bounded partial answers with interval
+//! arithmetic. This module is the single home of that arithmetic — which
+//! aggregate kind each shard evaluates locally, what slice of the
+//! precision budget it receives, and how the partial answers fold back
+//! into the deployment-wide interval — shared by the synchronous
+//! [`ShardedStore`](crate::ShardedStore) and by the actor runtime
+//! (`apcache-runtime`), whose scatter/gather rounds must compose answers
+//! by exactly the same rules to stay conformant.
+
+use apcache_core::Interval;
+use apcache_queries::relative::interval_magnitude;
+use apcache_queries::{satisfies_relative, AggregateKind, QueryError};
+use apcache_store::{AggregateOutcome, Constraint, StoreError};
+
+/// The aggregate kind a shard evaluates locally on behalf of a
+/// deployment-wide `kind`: AVG is delegated as SUM — the partial sums add
+/// across shards and are divided by `n` once, at the merge (per-shard
+/// averages would need a weighted recombination instead). Every other
+/// kind passes through.
+pub fn shard_kind(kind: AggregateKind) -> AggregateKind {
+    if kind == AggregateKind::Avg {
+        AggregateKind::Sum
+    } else {
+        kind
+    }
+}
+
+/// The absolute constraint handed to a shard holding `n_shard` of the
+/// query's `n_total` keys, given the deployment-wide budget `delta`
+/// (`0` requests exactness; pair with [`shard_kind`] for the kind the
+/// shard should evaluate):
+///
+/// * **SUM** — the proportional share `δ·n_s/n`; the partial widths add,
+///   so `width(Σ) ≤ Σ δ·n_s/n = δ`.
+/// * **AVG** — evaluated as SUM against the n-scaled budget, so the
+///   share is `(δ·n)·n_s/n = δ·n_s`.
+/// * **MAX / MIN** — the full budget `δ`: the merged extremum is at most
+///   as wide as the partial answer of the shard holding the winner.
+pub fn shard_constraint(
+    kind: AggregateKind,
+    delta: f64,
+    n_total: usize,
+    n_shard: usize,
+) -> Constraint {
+    match kind {
+        AggregateKind::Sum => Constraint::Absolute(delta * n_shard as f64 / n_total as f64),
+        AggregateKind::Avg => Constraint::Absolute(delta * n_shard as f64),
+        AggregateKind::Max | AggregateKind::Min => Constraint::Absolute(delta),
+    }
+}
+
+/// Fold per-shard partial answers into the deployment-wide interval.
+///
+/// `partials` must have been produced under [`shard_kind`]; `n_keys` is
+/// the query's total key count (AVG divides its merged SUM by it here,
+/// exactly once).
+pub fn merge_partials(
+    kind: AggregateKind,
+    partials: &[Interval],
+    n_keys: usize,
+) -> Result<Interval, StoreError> {
+    let mut iter = partials.iter();
+    let first = *iter.next().ok_or(QueryError::EmptyInput)?;
+    let merged = match kind {
+        AggregateKind::Sum => iter.fold(first, |acc, iv| acc.add(iv)),
+        AggregateKind::Max => iter.fold(first, |acc, iv| acc.max_of(iv)),
+        AggregateKind::Min => iter.fold(first, |acc, iv| acc.min_of(iv)),
+        AggregateKind::Avg => {
+            let sum = iter.fold(first, |acc, iv| acc.add(iv));
+            sum.scale(1.0 / n_keys as f64)
+                .map_err(|_| StoreError::Config("AVG scale failed".into()))?
+        }
+    };
+    Ok(merged)
+}
+
+/// The deployment-wide answer for an aggregate over **no keys**, shared
+/// by both façades so the edge-case semantics cannot drift: SUM of
+/// nothing is the point interval `0`; MAX/MIN/AVG of nothing are
+/// undefined ([`QueryError::EmptyInput`]) — mirroring the single store.
+pub fn empty_aggregate<K>(kind: AggregateKind) -> Result<AggregateOutcome<K>, StoreError> {
+    match kind {
+        AggregateKind::Sum => Ok(AggregateOutcome {
+            answer: Interval::point(0.0).expect("0 is finite"),
+            refreshed: Vec::new(),
+        }),
+        _ => Err(QueryError::EmptyInput.into()),
+    }
+}
+
+/// The fan-out primitive [`evaluate_constraint`] drives: run one
+/// shard-local aggregate leg per part — `(local_kind, split)` where
+/// `split(n_shard)` is that leg's constraint — and return the partial
+/// answers in part order plus the keys fetched exactly.
+pub type FanOut<'a, K, E> = dyn FnMut(AggregateKind, &dyn Fn(usize) -> Constraint) -> Result<(Vec<Interval>, Vec<K>), E>
+    + 'a;
+
+/// Evaluate a multi-shard aggregate over an abstract fan-out primitive:
+/// dispatch the constraint, run the rounds, merge the partial answers.
+///
+/// This is the refinement state machine both façades share —
+/// [`ShardedStore`](crate::ShardedStore) supplies a fan-out that calls
+/// its shards directly; the actor runtime supplies one scatter/gather
+/// round per call — so their answers and refresh plans cannot drift:
+///
+/// * **Exact / Absolute(δ)** — one fan-out with the per-kind budget
+///   split ([`shard_constraint`]), one merge.
+/// * **Relative(ρ)** — at most three bounded rounds: (1) **probe** the
+///   cached bounds (infinite budget — no fetches); certified → free
+///   answer. (2) If the probe's magnitude collapsed to zero (an interval
+///   straddling zero or an uncached key), let every shard certify ρ
+///   **locally**, which cheaply resolves exactly the wild items. (3)
+///   Convert ρ to the absolute budget `ρ·mag` — sound because refreshes
+///   only shrink the answer interval, so its magnitude only grows — and
+///   finish with the absolute fan-out. A zero magnitude at step 3 means
+///   the aggregate genuinely hugs zero, where no finite ρ short of
+///   exactness can be certified (the single store's planner shares this
+///   degeneracy).
+pub fn evaluate_constraint<K, E: From<StoreError>>(
+    kind: AggregateKind,
+    constraint: Constraint,
+    n: usize,
+    fan_out: &mut FanOut<'_, K, E>,
+) -> Result<AggregateOutcome<K>, E> {
+    let frac = match constraint {
+        Constraint::Exact => return absolute_round(kind, 0.0, n, fan_out),
+        Constraint::Absolute(delta) => return absolute_round(kind, delta, n, fan_out),
+        Constraint::Relative(frac) => frac,
+    };
+    let local = shard_kind(kind);
+    let (partials, _) = fan_out(local, &|_| Constraint::Absolute(f64::INFINITY))?;
+    let mut merged = merge_partials(kind, &partials, n)?;
+    if satisfies_relative(&merged, frac) {
+        return Ok(AggregateOutcome { answer: merged, refreshed: Vec::new() });
+    }
+    let mut refreshed = Vec::new();
+    if interval_magnitude(&merged) == 0.0 {
+        let (partials, r) = fan_out(local, &|_| Constraint::Relative(frac))?;
+        merged = merge_partials(kind, &partials, n)?;
+        refreshed.extend(r);
+        if satisfies_relative(&merged, frac) {
+            return Ok(AggregateOutcome { answer: merged, refreshed });
+        }
+    }
+    let budget = frac * interval_magnitude(&merged);
+    let mut outcome = absolute_round(kind, budget, n, fan_out)?;
+    refreshed.extend(outcome.refreshed);
+    outcome.refreshed = refreshed;
+    Ok(outcome)
+}
+
+/// One absolute fan-out (`delta = 0` is exact) and its merge.
+fn absolute_round<K, E: From<StoreError>>(
+    kind: AggregateKind,
+    delta: f64,
+    n: usize,
+    fan_out: &mut FanOut<'_, K, E>,
+) -> Result<AggregateOutcome<K>, E> {
+    let (partials, refreshed) =
+        fan_out(shard_kind(kind), &|n_s| shard_constraint(kind, delta, n, n_s))?;
+    let answer = merge_partials(kind, &partials, n)?;
+    Ok(AggregateOutcome { answer, refreshed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn avg_delegates_as_sum() {
+        assert_eq!(shard_kind(AggregateKind::Avg), AggregateKind::Sum);
+        for kind in [AggregateKind::Sum, AggregateKind::Max, AggregateKind::Min] {
+            assert_eq!(shard_kind(kind), kind);
+        }
+    }
+
+    #[test]
+    fn split_budgets_recompose_to_delta() {
+        // SUM: shares over any partition of n sum to δ.
+        let (n, delta) = (10, 8.0);
+        for split in [[3, 7], [5, 5], [1, 9]] {
+            let total: f64 = split
+                .iter()
+                .map(|&n_s| match shard_constraint(AggregateKind::Sum, delta, n, n_s) {
+                    Constraint::Absolute(d) => d,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .sum();
+            assert!((total - delta).abs() < 1e-12);
+        }
+        // AVG: shares sum to δ·n (scaled back down by merge_partials).
+        let total: f64 = [4, 6]
+            .iter()
+            .map(|&n_s| match shard_constraint(AggregateKind::Avg, delta, n, n_s) {
+                Constraint::Absolute(d) => d,
+                other => panic!("unexpected {other:?}"),
+            })
+            .sum();
+        assert!((total - delta * n as f64).abs() < 1e-12);
+        // Extrema: every shard gets the full budget.
+        for kind in [AggregateKind::Max, AggregateKind::Min] {
+            assert_eq!(shard_constraint(kind, delta, n, 3), Constraint::Absolute(delta));
+        }
+    }
+
+    #[test]
+    fn merges_compose_per_kind() {
+        let parts = [iv(1.0, 2.0), iv(10.0, 11.0)];
+        let sum = merge_partials(AggregateKind::Sum, &parts, 4).unwrap();
+        assert_eq!((sum.lo(), sum.hi()), (11.0, 13.0));
+        let max = merge_partials(AggregateKind::Max, &parts, 4).unwrap();
+        assert_eq!((max.lo(), max.hi()), (10.0, 11.0));
+        let min = merge_partials(AggregateKind::Min, &parts, 4).unwrap();
+        assert_eq!((min.lo(), min.hi()), (1.0, 2.0));
+        let avg = merge_partials(AggregateKind::Avg, &parts, 4).unwrap();
+        assert!((avg.lo() - 11.0 / 4.0).abs() < 1e-12);
+        assert!((avg.hi() - 13.0 / 4.0).abs() < 1e-12);
+        assert!(matches!(
+            merge_partials(AggregateKind::Sum, &[], 0),
+            Err(StoreError::Query(QueryError::EmptyInput))
+        ));
+    }
+}

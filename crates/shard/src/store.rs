@@ -4,13 +4,13 @@ use std::hash::Hash;
 
 use apcache_core::cost::CostModel;
 use apcache_core::{Interval, Rng, TimeMs};
-use apcache_queries::relative::interval_magnitude;
-use apcache_queries::{satisfies_relative, AggregateKind, QueryError};
+use apcache_queries::AggregateKind;
 use apcache_store::{
     AggregateOutcome, Constraint, InitialWidth, PolicySpec, PrecisionStore, ReadResult,
     StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
 };
 
+use crate::plan::{empty_aggregate, evaluate_constraint};
 use crate::router::ShardRouter;
 
 /// Builder for [`ShardedStore`]: the same protocol knobs as
@@ -242,6 +242,40 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         self.shards[shard].write(key, value, now)
     }
 
+    /// Apply a batch of writes with one routing pass: items are grouped by
+    /// owning shard (slice order preserved within each shard) and handed
+    /// to the shards as per-shard batches.
+    ///
+    /// Per-key protocol state is shard-local and a shard sees its items in
+    /// slice order, so the outcome is identical to routing each write
+    /// individually. The whole batch is validated up front (unknown keys,
+    /// non-finite values), so a failed batch applies no write on any
+    /// shard; the returned outcome sums the per-write refresh counts.
+    pub fn write_batch(
+        &mut self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, StoreError> {
+        let mut per_shard: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shards.len()];
+        for (key, value) in items {
+            if !value.is_finite() {
+                return Err(apcache_core::error::ProtocolError::NonFiniteValue(*value).into());
+            }
+            let shard = self.shard_of(key);
+            if !self.shards[shard].contains_key(key) {
+                return Err(StoreError::UnknownKey);
+            }
+            per_shard[shard].push((key.clone(), *value));
+        }
+        let mut refreshes = 0;
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                refreshes += self.shards[shard].write_batch(&batch, now)?.refreshes;
+            }
+        }
+        Ok(WriteOutcome { refreshes })
+    }
+
     /// Register a new source after construction, with the default policy.
     pub fn insert(&mut self, key: K, value: f64, now: TimeMs) -> Result<(), StoreError> {
         let shard = self.shard_of(&key);
@@ -275,13 +309,14 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
     }
 
-    /// Fan an aggregate out with a per-shard constraint chosen by `split`,
-    /// then fold the partial answers with `combine`.
+    /// Fan an aggregate out with a per-shard constraint chosen by `split`
+    /// (the [`plan::FanOut`](crate::plan::FanOut) primitive, evaluated by
+    /// direct calls shard after shard).
     fn fan_out(
         &mut self,
         kind: AggregateKind,
         parts: &[(usize, Vec<K>)],
-        split: impl Fn(usize) -> Constraint,
+        split: &dyn Fn(usize) -> Constraint,
         now: TimeMs,
     ) -> Result<(Vec<Interval>, Vec<K>), StoreError> {
         let mut partials = Vec::with_capacity(parts.len());
@@ -294,43 +329,12 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         Ok((partials, refreshed))
     }
 
-    /// Fan out with an absolute precision budget `delta`, split per kind:
-    /// SUM gives each shard its proportional share `δ·n_s/n`; AVG is
-    /// delegated as SUM against the n-scaled budget `δ·n` (divided by n
-    /// once, at the merge — per-shard averages would need a weighted
-    /// recombination instead); MAX/MIN hand every shard the full budget
-    /// (the merged extremum is no wider than the winning shard's answer).
-    /// `delta = 0` is the exact fan-out.
-    fn fan_out_absolute(
-        &mut self,
-        kind: AggregateKind,
-        parts: &[(usize, Vec<K>)],
-        delta: f64,
-        n: usize,
-        now: TimeMs,
-    ) -> Result<(Vec<Interval>, Vec<K>), StoreError> {
-        match kind {
-            AggregateKind::Sum => self.fan_out(
-                kind,
-                parts,
-                |n_s| Constraint::Absolute(delta * n_s as f64 / n as f64),
-                now,
-            ),
-            AggregateKind::Avg => self.fan_out(
-                AggregateKind::Sum,
-                parts,
-                |n_s| Constraint::Absolute(delta * n_s as f64),
-                now,
-            ),
-            AggregateKind::Max | AggregateKind::Min => {
-                self.fan_out(kind, parts, |_| Constraint::Absolute(delta), now)
-            }
-        }
-    }
-
     /// Bounded aggregate over `keys`, fanned out to the owning shards and
     /// merged with interval arithmetic (see the type-level docs for the
-    /// per-kind composition rules).
+    /// per-kind composition rules). The constraint dispatch — including
+    /// the Relative probe → local-certificates → budget refinement — is
+    /// [`plan::evaluate_constraint`](crate::plan::evaluate_constraint),
+    /// shared with the actor runtime so the two façades cannot drift.
     pub fn aggregate(
         &mut self,
         kind: AggregateKind,
@@ -340,15 +344,7 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
     ) -> Result<AggregateOutcome<K>, StoreError> {
         constraint.validate()?;
         if keys.is_empty() {
-            // Mirror the single store: SUM of nothing is the point 0,
-            // everything else is undefined.
-            return match kind {
-                AggregateKind::Sum => Ok(AggregateOutcome {
-                    answer: Interval::point(0.0).expect("0 is finite"),
-                    refreshed: Vec::new(),
-                }),
-                _ => Err(QueryError::EmptyInput.into()),
-            };
+            return empty_aggregate(kind);
         }
         let parts = self.partition(keys)?;
         // All keys on one shard: delegate untouched, matching an unsharded
@@ -356,64 +352,9 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         if let [(shard, shard_keys)] = parts.as_slice() {
             return self.shards[*shard].aggregate(kind, shard_keys, constraint, now);
         }
-        let n = keys.len();
-        let (partials, refreshed) = match constraint {
-            Constraint::Exact => self.fan_out_absolute(kind, &parts, 0.0, n, now)?,
-            Constraint::Absolute(delta) => self.fan_out_absolute(kind, &parts, delta, n, now)?,
-            Constraint::Relative(frac) => {
-                return self.aggregate_relative(kind, &parts, frac, n, now);
-            }
-        };
-        let answer = merge_partials(kind, &partials, n)?;
-        Ok(AggregateOutcome { answer, refreshed })
-    }
-
-    /// Cross-shard relative aggregate, in at most three bounded rounds:
-    ///
-    /// 1. **Probe** the shards' cached bounds (no fetches). Certified → a
-    ///    free answer.
-    /// 2. If the probe's magnitude is positive, convert ρ to the absolute
-    ///    budget `ρ·mag(probe)` — sound because refreshes only shrink the
-    ///    answer interval, so its magnitude only grows. Otherwise (the
-    ///    probe straddles zero or an uncached key left it unbounded), let
-    ///    every shard certify ρ **locally**: each runs its own
-    ///    widest-first relative plan, which cheaply resolves exactly the
-    ///    wild items instead of fetching the whole key set.
-    /// 3. Re-merge; if the locally-certified bounds still miss the global
-    ///    certificate, finish with the budget conversion — at this point a
-    ///    zero magnitude means the aggregate genuinely hugs zero, where no
-    ///    finite ρ can be certified short of exactness (the same
-    ///    degeneracy the single store's planner hits).
-    fn aggregate_relative(
-        &mut self,
-        kind: AggregateKind,
-        parts: &[(usize, Vec<K>)],
-        frac: f64,
-        n: usize,
-        now: TimeMs,
-    ) -> Result<AggregateOutcome<K>, StoreError> {
-        let shard_kind = if kind == AggregateKind::Avg { AggregateKind::Sum } else { kind };
-        let (partials, _) =
-            self.fan_out(shard_kind, parts, |_| Constraint::Absolute(f64::INFINITY), now)?;
-        let mut merged = merge_partials(kind, &partials, n)?;
-        if satisfies_relative(&merged, frac) {
-            return Ok(AggregateOutcome { answer: merged, refreshed: Vec::new() });
-        }
-        let mut refreshed = Vec::new();
-        if interval_magnitude(&merged) == 0.0 {
-            let (partials, r) =
-                self.fan_out(shard_kind, parts, |_| Constraint::Relative(frac), now)?;
-            merged = merge_partials(kind, &partials, n)?;
-            refreshed.extend(r);
-            if satisfies_relative(&merged, frac) {
-                return Ok(AggregateOutcome { answer: merged, refreshed });
-            }
-        }
-        let budget = frac * interval_magnitude(&merged);
-        let (partials, r) = self.fan_out_absolute(kind, parts, budget, n, now)?;
-        refreshed.extend(r);
-        let answer = merge_partials(kind, &partials, n)?;
-        Ok(AggregateOutcome { answer, refreshed })
+        evaluate_constraint(kind, constraint, keys.len(), &mut |local_kind, split| {
+            self.fan_out(local_kind, &parts, split, now)
+        })
     }
 
     /// Deployment metrics: per-shard [`StoreMetrics`] (borrowed, free) and
@@ -437,6 +378,33 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
     /// The routing ring.
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// Decompose the façade into its routing ring and shard stores — the
+    /// entry point for deployments that give each shard its own executor
+    /// (the actor runtime moves every store onto its own thread and keeps
+    /// the ring on the routing side).
+    pub fn into_parts(self) -> (ShardRouter, Vec<PrecisionStore<K>>) {
+        (self.router, self.shards)
+    }
+
+    /// Reassemble a façade from parts produced by
+    /// [`into_parts`](ShardedStore::into_parts). The ring must address
+    /// exactly `shards.len()` shards (ids `0..n`, as built by
+    /// [`ShardedStoreBuilder`]) or routing would index out of bounds.
+    pub fn from_parts(
+        router: ShardRouter,
+        shards: Vec<PrecisionStore<K>>,
+    ) -> Result<Self, StoreError> {
+        let dense = router.shard_ids().iter().enumerate().all(|(i, &id)| id as usize == i);
+        if router.len() != shards.len() || !dense {
+            return Err(StoreError::Config(format!(
+                "ring addresses shards {:?} but {} store(s) were supplied",
+                router.shard_ids(),
+                shards.len()
+            )));
+        }
+        Ok(ShardedStore { router, shards })
     }
 
     /// Number of shards in the fleet.
@@ -492,30 +460,10 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
     }
 }
 
-/// Fold per-shard partial answers into the deployment-wide interval.
-fn merge_partials(
-    kind: AggregateKind,
-    partials: &[Interval],
-    n_keys: usize,
-) -> Result<Interval, StoreError> {
-    let mut iter = partials.iter();
-    let first = *iter.next().ok_or(QueryError::EmptyInput)?;
-    let merged = match kind {
-        AggregateKind::Sum => iter.fold(first, |acc, iv| acc.add(iv)),
-        AggregateKind::Max => iter.fold(first, |acc, iv| acc.max_of(iv)),
-        AggregateKind::Min => iter.fold(first, |acc, iv| acc.min_of(iv)),
-        AggregateKind::Avg => {
-            let sum = iter.fold(first, |acc, iv| acc.add(iv));
-            sum.scale(1.0 / n_keys as f64)
-                .map_err(|_| StoreError::Config("AVG scale failed".into()))?
-        }
-    };
-    Ok(merged)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apcache_queries::{satisfies_relative, QueryError};
 
     fn fleet(shards: usize, n_keys: u64) -> ShardedStore<u64> {
         let mut b = ShardedStoreBuilder::new()
@@ -677,6 +625,53 @@ mod tests {
         assert_eq!(s.len(), 11);
         let r = s.read(&10, Constraint::Absolute(2.0), 0).unwrap();
         assert!(!r.refreshed);
+    }
+
+    #[test]
+    fn write_batch_matches_routed_writes() {
+        let mut batched = fleet(4, 16);
+        let mut routed = fleet(4, 16);
+        let updates: Vec<(u64, f64)> = (0..16u64).map(|k| (k, 1_000.0 + k as f64)).collect();
+        let out = batched.write_batch(&updates, 1_000).unwrap();
+        let mut refreshes = 0;
+        for (k, v) in &updates {
+            refreshes += routed.write(k, *v, 1_000).unwrap().refreshes;
+        }
+        assert_eq!(out.refreshes, refreshes);
+        for k in 0..16u64 {
+            assert_eq!(batched.value(&k), routed.value(&k));
+            assert_eq!(batched.internal_width(&k), routed.internal_width(&k));
+            assert_eq!(batched.cached_interval(&k, 1_000), routed.cached_interval(&k, 1_000));
+        }
+        assert_eq!(batched.metrics().merged().totals(), routed.metrics().merged().totals());
+    }
+
+    #[test]
+    fn write_batch_is_all_or_nothing_across_shards() {
+        let mut s = fleet(4, 8);
+        assert!(matches!(s.write_batch(&[(0, 1.0), (99, 2.0)], 0), Err(StoreError::UnknownKey)));
+        assert!(s.write_batch(&[(0, 1.0), (1, f64::INFINITY)], 0).is_err());
+        // No shard applied anything.
+        assert_eq!(s.metrics().merged().totals().writes, 0);
+        assert_eq!(s.value(&0), Some(0.0));
+        assert_eq!(s.write_batch(&[], 0).unwrap().refreshes, 0);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_state() {
+        let mut s = fleet(4, 12);
+        s.write(&3, 777.0, 0).unwrap();
+        let reads = s.metrics().merged().totals().reads;
+        let (router, shards) = s.into_parts();
+        assert_eq!(shards.len(), 4);
+        let s = ShardedStore::from_parts(router, shards).unwrap();
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.value(&3), Some(777.0));
+        assert_eq!(s.metrics().merged().totals().reads, reads);
+        // Mismatched parts are rejected.
+        let (router, mut shards) = s.into_parts();
+        shards.pop();
+        assert!(matches!(ShardedStore::from_parts(router, shards), Err(StoreError::Config(_))));
     }
 
     #[test]

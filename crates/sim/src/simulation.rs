@@ -119,16 +119,20 @@ impl<S: CacheSystem> Simulation<S> {
         Ok(Report { stats, recorder: self.recorder, system: self.system })
     }
 
-    /// Advance every process one second; deliver updates for values that
-    /// actually changed; feed the recorder.
+    /// Advance every process one second; deliver the values that actually
+    /// changed as one batch; feed the recorder.
     fn update_tick(&mut self, now: TimeMs, stats: &mut Stats) -> Result<(), SimError> {
+        let mut batch = Vec::new();
         for (i, process) in self.processes.iter_mut().enumerate() {
             let value = process.step();
             if value != self.prev_values[i] {
                 self.prev_values[i] = value;
                 stats.record_update();
-                self.system.on_update(Key(i as u32), value, now, stats)?;
+                batch.push((Key(i as u32), value));
             }
+        }
+        if !batch.is_empty() {
+            self.system.on_update_batch(&batch, now, stats)?;
         }
         if let Some(recorder) = &mut self.recorder {
             let key = recorder.key();

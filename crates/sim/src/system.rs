@@ -34,6 +34,26 @@ pub trait CacheSystem: Send {
         stats: &mut Stats,
     ) -> Result<(), SimError>;
 
+    /// One simulation tick's worth of value changes, in slice order.
+    ///
+    /// The driver delivers each tick as one batch (the paper's
+    /// environment updates every source once per time unit), so systems
+    /// backed by a batch-capable store can route the whole tick in one
+    /// pass. The default forwards to [`on_update`](CacheSystem::on_update)
+    /// per item, which every implementation must remain equivalent to —
+    /// batching is a delivery optimization, never a semantic change.
+    fn on_update_batch(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        for &(key, value) in updates {
+            self.on_update(key, value, now, stats)?;
+        }
+        Ok(())
+    }
+
     /// Execute a query at the cache at time `now`.
     fn on_query(
         &mut self,

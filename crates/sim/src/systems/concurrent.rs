@@ -1,0 +1,371 @@
+//! The concurrently-served deployment: the paper's system behind the
+//! actor-per-shard runtime (`apcache-runtime`), with real client threads.
+//!
+//! Two ways to drive it:
+//!
+//! * Through the standard single-threaded [`Simulation`] loop, via the
+//!   [`CacheSystem`] impl — every event goes through the actor mailboxes
+//!   and back, so this checks the runtime against
+//!   [`ShardedAdaptiveSystem`](super::ShardedAdaptiveSystem) under the
+//!   exact same workload (`build_concurrent_simulation` forks RNG streams
+//!   in the same order).
+//! * Through [`drive_concurrent_clients`], which spawns `clients` OS
+//!   threads, partitions the key space round-robin among them, and
+//!   replays a deterministic per-client tick loop of fire-and-forget
+//!   writes, reads, and scatter/gather aggregates — the "many client
+//!   tasks interleave" scenario the runtime exists for.
+
+use apcache_core::cost::CostModel;
+use apcache_core::{Interval, Key, Rng, TimeMs, MS_PER_SEC};
+use apcache_runtime::{Runtime, RuntimeConfig, RuntimeError, RuntimeHandle};
+use apcache_shard::AggregateKind;
+use apcache_store::{Constraint, StoreMetrics};
+use apcache_workload::query::GeneratedQuery;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::simulation::Simulation;
+use crate::stats::Stats;
+use crate::system::{CacheSystem, QuerySummary};
+use crate::systems::adaptive::WorkloadSpec;
+use crate::systems::sharded::ShardedSystemConfig;
+
+/// Configuration of a concurrently-served deployment: the sharded fleet
+/// shape plus the runtime's mailbox depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcurrentSystemConfig {
+    /// Fleet shape and per-shard protocol knobs.
+    pub base: ShardedSystemConfig,
+    /// Mailbox capacity per shard actor (the backpressure bound).
+    pub mailbox_capacity: usize,
+}
+
+impl Default for ConcurrentSystemConfig {
+    fn default() -> Self {
+        ConcurrentSystemConfig {
+            base: ShardedSystemConfig::default(),
+            mailbox_capacity: apcache_runtime::DEFAULT_MAILBOX_CAPACITY,
+        }
+    }
+}
+
+/// The paper's system served by shard actors: a [`Runtime`] over the
+/// [`ShardedStore`](apcache_shard::ShardedStore) fleet, under the
+/// simulator's cost accounting.
+pub struct ConcurrentAdaptiveSystem {
+    runtime: Runtime<Key>,
+    handle: RuntimeHandle<Key>,
+    cost: CostModel,
+}
+
+impl ConcurrentAdaptiveSystem {
+    /// Build the fleet and launch one actor per shard.
+    pub fn new(
+        cfg: &ConcurrentSystemConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        let store = cfg.base.build_store(initial_values, rng.fork())?;
+        let cost = *store.cost_model();
+        let runtime =
+            Runtime::launch_with(store, RuntimeConfig { mailbox_capacity: cfg.mailbox_capacity })
+                .map_err(runtime_error)?;
+        let handle = runtime.handle();
+        Ok(ConcurrentAdaptiveSystem { runtime, handle, cost })
+    }
+
+    /// A serving handle (clone one per client thread).
+    pub fn handle(&self) -> RuntimeHandle<Key> {
+        self.runtime.handle()
+    }
+
+    /// Number of shard actors.
+    pub fn shard_count(&self) -> usize {
+        self.runtime.shard_count()
+    }
+
+    /// Drain the actors and return the merged deployment metrics.
+    pub fn shutdown(self) -> Result<StoreMetrics<Key>, SimError> {
+        let store = self.runtime.into_store().map_err(runtime_error)?;
+        Ok(store.metrics().merged().clone())
+    }
+}
+
+/// Runtime errors surface as store/config errors in the simulator's
+/// vocabulary.
+fn runtime_error(e: RuntimeError) -> SimError {
+    match e {
+        RuntimeError::Store(e) => SimError::Store(e),
+        other => SimError::Config(other.to_string()),
+    }
+}
+
+impl CacheSystem for ConcurrentAdaptiveSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.handle.write(&key, value, now).map_err(runtime_error)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.cost.c_vr());
+        }
+        Ok(())
+    }
+
+    fn on_update_batch(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.handle.write_batch(updates, now).map_err(runtime_error)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.cost.c_vr());
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let outcome = self
+            .handle
+            .aggregate(query.kind, &query.keys, Constraint::Absolute(query.delta), now)
+            .map_err(runtime_error)?;
+        for _ in &outcome.refreshed {
+            stats.record_qr(self.cost.c_qr());
+        }
+        Ok(QuerySummary { answer: Some(outcome.answer), refreshes: outcome.refreshed.len() })
+    }
+
+    fn interval_of(&self, _key: Key, _now: TimeMs) -> Option<Interval> {
+        // Cached intervals live on the actor threads; the runtime exposes
+        // no passive peek (a read would perturb the protocol), so the
+        // recorder sees no interval trace for this system.
+        None
+    }
+}
+
+/// Assemble a full simulation of the runtime-backed deployment. RNG
+/// streams fork from the master seed in the same order as
+/// [`build_sharded_simulation`](super::build_sharded_simulation), so a
+/// run replays the identical workload — under θ = 1 the two must agree
+/// exactly.
+pub fn build_concurrent_simulation(
+    sim_cfg: &SimConfig,
+    sys_cfg: &ConcurrentSystemConfig,
+    workload: WorkloadSpec,
+    queries: apcache_workload::query::QueryConfig,
+) -> Result<Simulation<ConcurrentAdaptiveSystem>, SimError> {
+    let mut master = Rng::seed_from_u64(sim_cfg.seed());
+    let processes = workload.build_processes(&mut master)?;
+    let initial_values: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = ConcurrentAdaptiveSystem::new(sys_cfg, &initial_values, master.fork())?;
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, initial_values.len(), master.fork())?;
+    Simulation::new(*sim_cfg, system, processes, query_gen)
+}
+
+/// Load profile for [`drive_concurrent_clients`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcurrentLoad {
+    /// Number of client threads (keys are partitioned round-robin).
+    pub clients: usize,
+    /// Ticks each client replays (one write per owned key per tick).
+    pub ticks: u64,
+    /// Probability per tick that a client issues a point read.
+    pub read_fraction: f64,
+    /// Period (in ticks) of each client's aggregate over its own keys;
+    /// `0` disables aggregates.
+    pub aggregate_every: u64,
+    /// Absolute precision budget of reads and aggregates.
+    pub delta: f64,
+}
+
+/// Totals observed by a multi-client drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentRunTotals {
+    /// Fire-and-forget writes enqueued (all guaranteed applied).
+    pub writes: u64,
+    /// Blocking point reads served.
+    pub reads: u64,
+    /// Scatter/gather aggregates served.
+    pub aggregates: u64,
+}
+
+/// Drive `system` from `load.clients` OS threads: each client owns the
+/// keys `k ≡ c (mod clients)` and replays a deterministic tick loop —
+/// fire-and-forget writes of a per-key sine walk (backpressure parks the
+/// client when a shard falls behind), periodic bounded reads, and
+/// periodic scatter/gather aggregates over its own keys. Returns the
+/// clients' combined op totals. Reads and aggregates are blocking; the
+/// tail of fire-and-forget writes is only guaranteed applied after the
+/// runtime's draining shutdown.
+pub fn drive_concurrent_clients(
+    system: &ConcurrentAdaptiveSystem,
+    load: ConcurrentLoad,
+) -> Result<ConcurrentRunTotals, SimError> {
+    if load.clients == 0 {
+        return Err(SimError::Config("at least one client required".into()));
+    }
+    let n_keys = system.handle.len();
+    if n_keys == 0 {
+        return Err(SimError::Config("at least one source required".into()));
+    }
+    let totals = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|c| {
+                let handle = system.handle();
+                scope.spawn(move || -> Result<ConcurrentRunTotals, RuntimeError> {
+                    let mine: Vec<Key> = (0..n_keys)
+                        .filter(|k| k % load.clients == c)
+                        .map(|k| Key(k as u32))
+                        .collect();
+                    let mut totals = ConcurrentRunTotals { writes: 0, reads: 0, aggregates: 0 };
+                    if mine.is_empty() {
+                        return Ok(totals);
+                    }
+                    let mut rng = Rng::seed_from_u64(0xC0C0 + c as u64);
+                    for t in 1..=load.ticks {
+                        let now = t * MS_PER_SEC;
+                        for key in &mine {
+                            let value = (t as f64 / 7.0 + key.0 as f64).sin() * 50.0 + key.0 as f64;
+                            handle.write_nowait(key, value, now)?;
+                            totals.writes += 1;
+                        }
+                        if rng.bernoulli(load.read_fraction) {
+                            let key = mine[(t % mine.len() as u64) as usize];
+                            handle.read(&key, Constraint::Absolute(load.delta), now)?;
+                            totals.reads += 1;
+                        }
+                        if load.aggregate_every > 0 && t % load.aggregate_every == 0 {
+                            handle.aggregate(
+                                AggregateKind::Sum,
+                                &mine,
+                                Constraint::Absolute(load.delta * mine.len() as f64),
+                                now,
+                            )?;
+                            totals.aggregates += 1;
+                        }
+                    }
+                    Ok(totals)
+                })
+            })
+            .collect();
+        let mut totals = ConcurrentRunTotals { writes: 0, reads: 0, aggregates: 0 };
+        for worker in workers {
+            let t = worker.join().expect("client thread panicked")?;
+            totals.writes += t.writes;
+            totals.reads += t.reads;
+            totals.aggregates += t.aggregates;
+        }
+        Ok::<_, RuntimeError>(totals)
+    })
+    .map_err(runtime_error)?;
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::adaptive::AdaptiveSystemConfig;
+    use crate::systems::{build_sharded_simulation, ShardedSystemConfig};
+    use apcache_workload::query::{KindMix, QueryConfig};
+    use apcache_workload::walk::WalkConfig;
+
+    fn quick_sim_cfg(seed: u64) -> SimConfig {
+        SimConfig::builder().duration_secs(200).warmup_secs(20).seed(seed).build().unwrap()
+    }
+
+    fn quick_queries(period: f64, fanout: usize, delta_avg: f64) -> QueryConfig {
+        QueryConfig {
+            period_secs: period,
+            fanout,
+            delta_avg,
+            delta_rho: 1.0,
+            kind_mix: KindMix::SumOnly,
+        }
+    }
+
+    #[test]
+    fn runtime_backed_simulation_matches_sharded_store_exactly() {
+        // θ = 1 (multiversion costs): adaptation is deterministic, the
+        // workloads are identical, and every event round-trips through the
+        // actor mailboxes — the runtime must reproduce the synchronous
+        // sharded run to the last counter.
+        for shards in [1, 2, 4] {
+            let sharded_cfg = ShardedSystemConfig {
+                shards,
+                base: AdaptiveSystemConfig::default(),
+                ..ShardedSystemConfig::default()
+            };
+            let sync = build_sharded_simulation(
+                &quick_sim_cfg(23),
+                &sharded_cfg,
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            let concurrent = build_concurrent_simulation(
+                &quick_sim_cfg(23),
+                &ConcurrentSystemConfig { base: sharded_cfg, ..ConcurrentSystemConfig::default() },
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(sync.stats.vr_count(), concurrent.stats.vr_count(), "shards={shards}");
+            assert_eq!(sync.stats.qr_count(), concurrent.stats.qr_count(), "shards={shards}");
+            assert_eq!(sync.stats.total_cost(), concurrent.stats.total_cost(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn multi_client_drive_applies_every_write() {
+        let cfg = ConcurrentSystemConfig {
+            base: ShardedSystemConfig { shards: 4, ..ShardedSystemConfig::default() },
+            mailbox_capacity: 64,
+        };
+        let initial: Vec<f64> = (0..24).map(|k| k as f64).collect();
+        let system = ConcurrentAdaptiveSystem::new(&cfg, &initial, Rng::seed_from_u64(3)).unwrap();
+        let load = ConcurrentLoad {
+            clients: 6,
+            ticks: 40,
+            read_fraction: 0.5,
+            aggregate_every: 8,
+            delta: 10.0,
+        };
+        let totals = drive_concurrent_clients(&system, load).unwrap();
+        assert_eq!(totals.writes, 24 * 40);
+        assert_eq!(totals.aggregates, 6 * (40 / 8));
+        let metrics = system.shutdown().unwrap();
+        // The draining shutdown guarantees every fire-and-forget write
+        // reached its shard's store.
+        assert_eq!(metrics.totals().writes, 24 * 40);
+        assert_eq!(metrics.totals().reads, totals.reads);
+    }
+
+    #[test]
+    fn zero_clients_rejected() {
+        let cfg = ConcurrentSystemConfig::default();
+        let system =
+            ConcurrentAdaptiveSystem::new(&cfg, &[1.0, 2.0], Rng::seed_from_u64(4)).unwrap();
+        let load = ConcurrentLoad {
+            clients: 0,
+            ticks: 1,
+            read_fraction: 0.0,
+            aggregate_every: 0,
+            delta: 1.0,
+        };
+        assert!(drive_concurrent_clients(&system, load).is_err());
+    }
+}

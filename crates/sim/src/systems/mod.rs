@@ -7,11 +7,16 @@
 //! implementations of [`crate::system::CacheSystem`].
 
 mod adaptive;
+mod concurrent;
 mod sharded;
 
 pub use adaptive::{
     build_adaptive_simulation, AdaptiveSystem, AdaptiveSystemConfig, InitialWidth, PolicyKind,
     WorkloadSpec,
+};
+pub use concurrent::{
+    build_concurrent_simulation, drive_concurrent_clients, ConcurrentAdaptiveSystem,
+    ConcurrentLoad, ConcurrentRunTotals, ConcurrentSystemConfig,
 };
 pub use sharded::{build_sharded_simulation, ShardedAdaptiveSystem, ShardedSystemConfig};
 

@@ -137,6 +137,19 @@ impl CacheSystem for ShardedAdaptiveSystem {
         Ok(())
     }
 
+    fn on_update_batch(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.store.write_batch(updates, now)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.store.cost_model().c_vr());
+        }
+        Ok(())
+    }
+
     fn on_query(
         &mut self,
         query: &GeneratedQuery,

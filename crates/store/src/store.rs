@@ -374,6 +374,41 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         Ok(WriteOutcome { refreshes: n })
     }
 
+    /// Apply a batch of writes in order, resolving every key in one pass.
+    ///
+    /// Semantically identical to calling [`write`](PrecisionStore::write)
+    /// for each `(key, value)` pair in slice order — escape detection and
+    /// width adaptation see the same sequence — but the whole batch is
+    /// validated up front (unknown keys, non-finite values), so a failed
+    /// batch applies **no** write, matching the all-or-nothing contract of
+    /// [`aggregate`](PrecisionStore::aggregate). The returned outcome sums
+    /// the per-write refresh counts; tick-style workloads (a simulator
+    /// updating every source once per tick) use this to push one batch per
+    /// tick instead of `n` routed calls.
+    pub fn write_batch(
+        &mut self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, StoreError> {
+        let ids: Vec<u32> = items.iter().map(|(k, _)| self.id_of(k)).collect::<Result<_, _>>()?;
+        for &(_, value) in items {
+            if !value.is_finite() {
+                return Err(ProtocolError::NonFiniteValue(value).into());
+            }
+        }
+        let mut total = 0;
+        for (&id, (key, value)) in ids.iter().zip(items) {
+            let refreshes = self.sources[id as usize].apply_update(*value, now, &mut self.rng)?;
+            self.metrics.record_write(key);
+            total += refreshes.len();
+            for (_, refresh) in refreshes {
+                self.metrics.record_vr(key, self.cost.c_vr());
+                self.cache.apply_refresh(refresh);
+            }
+        }
+        Ok(WriteOutcome { refreshes: total })
+    }
+
     /// Bounded aggregate over `keys`: SUM/MAX/MIN/AVG to the given
     /// precision, fetching exactly (and only) the keys the
     /// `apcache-queries` planner selects.
@@ -646,6 +681,59 @@ mod tests {
         // The store stays usable, and successful writes do count.
         assert!(s.write(&"a", 1.0, 0).is_ok());
         assert_eq!(s.metrics().for_key(&"a").unwrap().writes, 1);
+    }
+
+    #[test]
+    fn write_batch_matches_sequential_writes() {
+        let mut batched = store();
+        let mut sequential = store();
+        let updates = [("a", 104.0), ("b", 250.0), ("a", 112.0)];
+        let out = batched.write_batch(&updates, 1_000).unwrap();
+        let mut refreshes = 0;
+        for (k, v) in updates {
+            refreshes += sequential.write(&k, v, 1_000).unwrap().refreshes;
+        }
+        assert_eq!(out.refreshes, refreshes);
+        assert!(out.escaped());
+        for k in ["a", "b"] {
+            assert_eq!(batched.value(&k), sequential.value(&k));
+            assert_eq!(batched.internal_width(&k), sequential.internal_width(&k));
+            assert_eq!(batched.cached_interval(&k, 1_000), sequential.cached_interval(&k, 1_000));
+        }
+        assert_eq!(batched.metrics().totals(), sequential.metrics().totals());
+    }
+
+    #[test]
+    fn write_batch_is_all_or_nothing() {
+        let mut s = store();
+        // Unknown key in the middle: nothing before it applies either.
+        assert!(matches!(
+            s.write_batch(&[("a", 1.0), ("zzz", 2.0)], 0),
+            Err(StoreError::UnknownKey)
+        ));
+        // Non-finite value: likewise rejected before any write.
+        assert!(s.write_batch(&[("a", 1.0), ("b", f64::NAN)], 0).is_err());
+        assert!(s.metrics().for_key(&"a").is_none());
+        assert_eq!(s.value(&"a"), Some(100.0));
+        // An empty batch is a no-op.
+        assert_eq!(s.write_batch(&[], 0).unwrap().refreshes, 0);
+    }
+
+    #[test]
+    fn request_and_reply_types_are_send() {
+        // The concurrent runtime ships these across actor threads; keep
+        // them Send + Sync (and 'static for owned reply payloads). The
+        // store itself only needs Send — each shard actor owns its store
+        // exclusively, so Sync is never required.
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        fn assert_send<T: Send + 'static>() {}
+        assert_send_sync::<Constraint>();
+        assert_send_sync::<ReadResult>();
+        assert_send_sync::<WriteOutcome>();
+        assert_send_sync::<AggregateOutcome<String>>();
+        assert_send_sync::<StoreMetrics<String>>();
+        assert_send_sync::<StoreError>();
+        assert_send::<PrecisionStore<String>>();
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Ad-hoc hot-path timing harness (ignored by default; run with
+//! `cargo test -p apcache-store --release --test hotpath_timing -- --ignored --nocapture`).
+
+use std::time::Instant;
+
+use apcache_store::{Constraint, InitialWidth, StoreBuilder};
+
+#[test]
+#[ignore = "timing harness, not a correctness test"]
+fn read_hit_hot_path() {
+    const KEYS: u64 = 10_000;
+    const OPS: u64 = 20_000_000;
+    let mut b = StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0));
+    for k in 0..KEYS {
+        b = b.source(k, k as f64);
+    }
+    let mut store = b.build().unwrap();
+    // Warm up, then time OPS read hits (constraint always satisfied).
+    let mut acc = 0.0f64;
+    for k in 0..KEYS {
+        acc += store.read(&k, Constraint::Absolute(20.0), 0).unwrap().answer.width();
+    }
+    let started = Instant::now();
+    for i in 0..OPS {
+        let k = i % KEYS;
+        acc += store.read(&k, Constraint::Absolute(20.0), 0).unwrap().answer.width();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "read-hit hot path: {:.1} ns/op, {:.2} Mops/s (acc={acc})",
+        elapsed / OPS as f64 * 1e9,
+        OPS as f64 / elapsed / 1e6
+    );
+}

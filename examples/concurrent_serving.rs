@@ -1,0 +1,93 @@
+//! Concurrent serving: the shard fleet behind actor mailboxes.
+//!
+//! Launches an actor-per-shard `Runtime` over a 4-shard `ShardedStore`,
+//! then serves it from real threads: four writers streaming
+//! fire-and-forget updates (bounded mailboxes park them if a shard falls
+//! behind), two readers issuing bounded point reads, and the main thread
+//! running scatter/gather aggregates. A draining shutdown hands back the
+//! final `ShardedStore` with every accepted write applied.
+//!
+//! Run with: `cargo run --example concurrent_serving`
+
+use apcache::queries::AggregateKind;
+use apcache::runtime::{Runtime, RuntimeConfig};
+use apcache::shard::{Constraint, InitialWidth, ShardedStoreBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sixteen sensors on four shards, exactly as in the sharded example —
+    // the runtime wraps the same store.
+    let mut builder =
+        ShardedStoreBuilder::new().shards(4).vnodes(64).initial_width(InitialWidth::Fixed(4.0));
+    for i in 0..16u32 {
+        builder = builder.source(format!("sensor/{i:02}"), 100.0 + f64::from(i));
+    }
+    let runtime = Runtime::launch_with(builder.build()?, RuntimeConfig { mailbox_capacity: 256 })?;
+    println!("runtime: {} shard actors serving 16 keys", runtime.shard_count());
+
+    const TICKS: u64 = 500;
+    std::thread::scope(|scope| {
+        // Four writers, four sensors each: new measurements stream in as
+        // fire-and-forget writes — the caller never waits for the refresh
+        // decision, it only pays backpressure at the mailbox.
+        for w in 0..4u32 {
+            let h = runtime.handle();
+            scope.spawn(move || {
+                for t in 1..=TICKS {
+                    for i in (w * 4)..(w * 4 + 4) {
+                        let key = format!("sensor/{i:02}");
+                        let value = 100.0 + f64::from(i) + (t as f64 / 9.0).sin() * 10.0;
+                        h.write_nowait(&key, value, t).expect("accepted while running");
+                    }
+                }
+            });
+        }
+        // Two readers polling bounded point reads concurrently.
+        for r in 0..2u32 {
+            let h = runtime.handle();
+            scope.spawn(move || {
+                for t in 1..=TICKS {
+                    let key = format!("sensor/{:02}", (t as u32 * 3 + r) % 16);
+                    let res = h.read(&key, Constraint::Absolute(8.0), t).expect("known key");
+                    assert!(res.answer.width() <= 8.0);
+                }
+            });
+        }
+        // The main thread interleaves scatter/gather aggregates: the
+        // precision budget splits across the shard actors and the partial
+        // answers merge back under the same bound.
+        let h = runtime.handle();
+        let keys: Vec<String> = (0..16).map(|i| format!("sensor/{i:02}")).collect();
+        for t in 1..=10u64 {
+            let out = h
+                .aggregate(AggregateKind::Sum, &keys, Constraint::Absolute(40.0), t * 50)
+                .expect("known keys");
+            assert!(out.answer.width() <= 40.0 + 1e-9);
+            if t % 5 == 0 {
+                println!("SUM over 16 keys ±20 at t={:4} -> {}", t * 50, out.answer);
+            }
+        }
+    });
+
+    // Live metrics while the actors still run…
+    let m = runtime.handle().metrics()?;
+    println!(
+        "\nlive: {} reads / {} writes / {} QRs / {} VRs across {} shards",
+        m.merged().totals().reads,
+        m.merged().totals().writes,
+        m.merged().qr_count(),
+        m.merged().vr_count(),
+        m.per_shard().len()
+    );
+
+    // …then a draining shutdown: every accepted fire-and-forget write is
+    // applied before the actors exit, and the synchronous store comes
+    // back for inspection.
+    let store = runtime.into_store()?;
+    println!(
+        "drained: {} writes applied, sensor/05 = {:?}",
+        store.metrics().merged().totals().writes,
+        store.value(&"sensor/05".to_string())
+    );
+    assert_eq!(store.metrics().merged().totals().writes, 4 * 4 * TICKS);
+    Ok(())
+}

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`store`] | `apcache-store` | **the serving façade**: `PrecisionStore` — precision-parameterized reads, writes, bounded aggregates, and metrics over generic keys |
 //! | [`shard`] | `apcache-shard` | **the scale-out layer**: `ShardedStore` — consistent-hash routing over `PrecisionStore` shards, same four verbs, merged metrics |
+//! | [`runtime`] | `apcache-runtime` | **the concurrent serving layer**: `Runtime` — one actor thread per shard, bounded mailboxes with backpressure, scatter/gather aggregates |
 //! | [`core`] | `apcache-core` | interval algebra, the adaptive precision policy and its variants, source/cache protocol, analytic model, deterministic RNG |
 //! | [`queries`] | `apcache-queries` | bounded aggregate queries (SUM/MAX/MIN/AVG) with refresh-set selection |
 //! | [`workload`] | `apcache-workload` | random walks, synthetic network traffic traces, query workloads |
@@ -74,6 +75,7 @@ pub use apcache_baselines as baselines;
 pub use apcache_core as core;
 pub use apcache_hier as hier;
 pub use apcache_queries as queries;
+pub use apcache_runtime as runtime;
 pub use apcache_shard as shard;
 pub use apcache_sim as sim;
 pub use apcache_store as store;

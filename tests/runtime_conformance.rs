@@ -1,0 +1,274 @@
+//! Runtime-vs-sharded conformance: the actor-per-shard runtime must be
+//! indistinguishable from the synchronous `ShardedStore` it wraps —
+//!
+//! * with a **single client**, every read, write escape count, aggregate
+//!   answer and refresh plan is bit-identical under θ = 1 for every
+//!   swept shard count, and the final per-key protocol state (internal
+//!   widths, cached intervals, source values) and metric totals agree
+//!   exactly (checked by draining the runtime back into a store);
+//! * with **N clients on disjoint key sets**, each client's per-key
+//!   results still match a single-threaded reference replay — per-key
+//!   protocol state is key-local and θ = 1 adaptation is deterministic,
+//!   so interleaving across keys must not leak between them;
+//! * **shutdown drains**: every fire-and-forget write that was accepted
+//!   into a mailbox is applied before the actors exit — no lost writes,
+//!   even with tiny mailboxes and producers racing the shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use apcache::core::{Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use apcache::shard::{ShardedStore, ShardedStoreBuilder};
+use apcache::store::{Constraint, InitialWidth, ReadResult, WriteOutcome};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const VNODES: usize = 64;
+const N_KEYS: u32 = 32;
+const TICKS: u64 = 200;
+const SEED: u64 = 0xAC70_2001;
+
+fn key(i: u32) -> String {
+    format!("sensor/{i:03}")
+}
+
+/// One operation of the shared trace, pre-generated so both systems
+/// replay byte-identical traffic.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: String, value: f64, now: u64 },
+    Read { key: String, constraint: Constraint, now: u64 },
+    Aggregate { keys: Vec<String>, constraint: Constraint, now: u64 },
+}
+
+/// A deterministic mixed trace over all keys: per-key random walks,
+/// rotating read constraints, periodic multi-shard aggregates.
+fn trace(seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * i as f64).collect();
+    let mut ops = Vec::new();
+    for t in 1..=TICKS {
+        let now = t * MS_PER_SEC;
+        for i in 0..N_KEYS {
+            values[i as usize] += rng.normal_with(0.0, 4.0);
+            ops.push(Op::Write { key: key(i), value: values[i as usize], now });
+        }
+        for _ in 0..3 {
+            let i = rng.below(u64::from(N_KEYS)) as u32;
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(1.0, 20.0)),
+                1 => Constraint::Relative(0.05),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Read { key: key(i), constraint, now });
+        }
+        if t % 10 == 0 {
+            let fanout = 4 + rng.below(12) as u32;
+            let keys = (0..fanout).map(|j| key((j * 7 + t as u32) % N_KEYS)).collect();
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(5.0, 100.0)),
+                1 => Constraint::Relative(0.02),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Aggregate { keys, constraint, now });
+        }
+    }
+    ops
+}
+
+fn fleet(shards: usize) -> ShardedStore<String> {
+    let mut b = ShardedStoreBuilder::new()
+        .shards(shards)
+        .vnodes(VNODES)
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 2))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b.build().expect("fleet config valid")
+}
+
+/// θ = 1 (multiversion costs, the builder default): width adaptation is
+/// deterministic, so one client driving the runtime must replay the trace
+/// **identically** to the synchronous sharded store — every answer, every
+/// escape, every aggregate plan, every final width and counter.
+#[test]
+fn single_client_bit_identical_for_every_shard_count() {
+    let ops = trace(SEED);
+    for &n in &SHARD_COUNTS {
+        let mut sync = fleet(n);
+        let runtime = Runtime::launch(fleet(n)).expect("runtime launches");
+        let h = runtime.handle();
+        for (op_no, op) in ops.iter().enumerate() {
+            match op {
+                Op::Write { key, value, now } => {
+                    let a = sync.write(key, *value, *now).expect("known key");
+                    let b = h.write(key, *value, *now).expect("known key");
+                    assert_eq!(a, b, "shards={n} op={op_no}: write escape mismatch on {key}");
+                }
+                Op::Read { key, constraint, now } => {
+                    let a = sync.read(key, *constraint, *now).expect("known key");
+                    let b = h.read(key, *constraint, *now).expect("known key");
+                    assert_eq!(a, b, "shards={n} op={op_no}: read mismatch on {key}");
+                }
+                Op::Aggregate { keys, constraint, now } => {
+                    let a = sync.aggregate(AggregateKind::Sum, keys, *constraint, *now).unwrap();
+                    let b = h.aggregate(AggregateKind::Sum, keys, *constraint, *now).unwrap();
+                    assert_eq!(a.answer, b.answer, "shards={n} op={op_no}: answers diverged");
+                    assert_eq!(a.refreshed, b.refreshed, "shards={n} op={op_no}: plans diverged");
+                }
+            }
+        }
+        // Metrics rollups agree while the runtime is still live…
+        let live = h.metrics().expect("actors alive");
+        assert_eq!(
+            live.merged().totals(),
+            sync.metrics().merged().totals(),
+            "shards={n}: live metric totals diverged"
+        );
+        // …and the drained store is in the identical final state.
+        let drained = runtime.into_store().expect("clean shutdown");
+        for i in 0..N_KEYS {
+            let k = key(i);
+            assert_eq!(
+                sync.internal_width(&k),
+                drained.internal_width(&k),
+                "shards={n}: width diverged on {k}"
+            );
+            assert_eq!(sync.value(&k), drained.value(&k), "shards={n}: value diverged on {k}");
+            assert_eq!(
+                sync.cached_interval(&k, TICKS * MS_PER_SEC),
+                drained.cached_interval(&k, TICKS * MS_PER_SEC),
+                "shards={n}: cached interval diverged on {k}"
+            );
+        }
+    }
+}
+
+/// N clients on disjoint key sets: per-key traffic is key-local and θ = 1
+/// adaptation is deterministic, so whatever the interleaving across keys,
+/// each client must observe exactly the results a single-threaded replay
+/// of its own ops produces.
+#[test]
+fn concurrent_disjoint_clients_match_reference_replay() {
+    const CLIENTS: u32 = 4;
+    // Per-client op sequences over its own keys (i ≡ c mod CLIENTS).
+    let client_ops = |c: u32| -> Vec<Op> {
+        let mut rng = Rng::seed_from_u64(SEED + u64::from(c));
+        let mine: Vec<u32> = (0..N_KEYS).filter(|i| i % CLIENTS == c).collect();
+        let mut values: Vec<f64> = mine.iter().map(|&i| 10.0 * i as f64).collect();
+        let mut ops = Vec::new();
+        for t in 1..=TICKS {
+            let now = t * MS_PER_SEC;
+            for (j, &i) in mine.iter().enumerate() {
+                values[j] += rng.normal_with(0.0, 4.0);
+                ops.push(Op::Write { key: key(i), value: values[j], now });
+            }
+            let j = rng.below(mine.len() as u64) as usize;
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(1.0, 20.0)),
+                1 => Constraint::Relative(0.05),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Read { key: key(mine[j]), constraint, now });
+        }
+        ops
+    };
+    /// The per-op results one client observes (reads and write escapes),
+    /// in op order.
+    #[derive(Debug, PartialEq)]
+    enum Outcome {
+        Read(ReadResult),
+        Write(WriteOutcome),
+    }
+    let replay = |c: u32, exec: &mut dyn FnMut(&Op) -> Option<Outcome>| -> Vec<Outcome> {
+        client_ops(c).iter().filter_map(exec).collect()
+    };
+    // The reference: a synchronous store replays each client's ops alone
+    // (on a store that still registers ALL keys, so routing and initial
+    // state match the concurrent deployment).
+    let reference = |c: u32| -> Vec<Outcome> {
+        let mut store = fleet(4);
+        replay(c, &mut |op| match op {
+            Op::Write { key, value, now } => {
+                Some(Outcome::Write(store.write(key, *value, *now).expect("known key")))
+            }
+            Op::Read { key, constraint, now } => {
+                Some(Outcome::Read(store.read(key, *constraint, *now).expect("known key")))
+            }
+            Op::Aggregate { .. } => None,
+        })
+    };
+    let runtime = Runtime::launch(fleet(4)).expect("runtime launches");
+    let observed: Vec<(u32, Vec<Outcome>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let h = runtime.handle();
+                scope.spawn(move || {
+                    // Blocking writes so the client sees its escape
+                    // counts; key disjointness means no other client can
+                    // perturb them.
+                    let results = replay(c, &mut |op| match op {
+                        Op::Write { key, value, now } => {
+                            Some(Outcome::Write(h.write(key, *value, *now).expect("known key")))
+                        }
+                        Op::Read { key, constraint, now } => {
+                            Some(Outcome::Read(h.read(key, *constraint, *now).expect("known key")))
+                        }
+                        Op::Aggregate { .. } => None,
+                    });
+                    (c, results)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+    runtime.shutdown().expect("clean shutdown");
+    for (c, results) in observed {
+        assert_eq!(results, reference(c), "client {c}: concurrent results diverged");
+    }
+}
+
+/// Shutdown drains: producers race the teardown; whatever each producer
+/// successfully enqueued must be applied — the drained store's write
+/// counter equals the number of accepted sends exactly.
+#[test]
+fn shutdown_drains_all_accepted_writes() {
+    let runtime = Runtime::launch_with(fleet(4), RuntimeConfig { mailbox_capacity: 4 })
+        .expect("runtime launches");
+    let accepted = Arc::new(AtomicU64::new(0));
+    let stop_count = 600u64;
+    let handles: Vec<_> = (0..4u32)
+        .map(|c| {
+            let h = runtime.handle();
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                for i in 0..stop_count {
+                    let k = key((i as u32 * 4 + c) % N_KEYS);
+                    match h.write_nowait(&k, i as f64, i) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(RuntimeError::Closed) => break,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    // Let the producers get going, then tear down while their mailboxes
+    // are (with capacity 4) almost certainly non-empty.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let store = runtime.into_store().expect("drained shutdown");
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let applied = store.metrics().merged().totals().writes;
+    assert_eq!(
+        applied,
+        accepted.load(Ordering::SeqCst),
+        "accepted fire-and-forget writes were lost (or invented) in shutdown"
+    );
+}
