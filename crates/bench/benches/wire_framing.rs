@@ -1,0 +1,8 @@
+//! Regenerates the wire-protocol measurements: frame encode/decode ns/op
+//! and the loopback round-trip throughput table.
+
+fn main() {
+    for table in apcache_bench::experiments::wire::run() {
+        table.print();
+    }
+}

@@ -19,3 +19,4 @@ pub mod max_queries;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;
+pub mod wire;

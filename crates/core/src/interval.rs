@@ -200,6 +200,25 @@ impl Interval {
     pub fn min_of(&self, other: &Interval) -> Interval {
         Interval { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
     }
+
+    /// The raw IEEE-754 bit patterns `(lo, hi)` of the bounds.
+    ///
+    /// This is the wire representation: serializing bounds as bits (rather
+    /// than as decimal text) makes `Interval::from_bits(iv.to_bits())` an
+    /// exact identity for every constructible interval, including ±∞
+    /// bounds and signed zeros.
+    #[inline]
+    pub fn to_bits(&self) -> (u64, u64) {
+        (self.lo.to_bits(), self.hi.to_bits())
+    }
+
+    /// Reconstruct an interval from the bit patterns produced by
+    /// [`Interval::to_bits`], re-validating the invariants (no NaN bound,
+    /// `lo <= hi`) so arbitrary bytes off a wire cannot forge an invalid
+    /// interval.
+    pub fn from_bits(lo: u64, hi: u64) -> Result<Self, IntervalError> {
+        Interval::new(f64::from_bits(lo), f64::from_bits(hi))
+    }
 }
 
 /// `a + b`, but when the two addends are opposite infinities the result
@@ -356,5 +375,36 @@ mod tests {
     fn display_format() {
         let i = Interval::new(1.5, 2.5).unwrap();
         assert_eq!(i.to_string(), "[1.5, 2.5]");
+    }
+
+    #[test]
+    fn bits_round_trip_is_exact() {
+        let cases = [
+            Interval::new(1.5, 2.5).unwrap(),
+            Interval::point(-0.0).unwrap(),
+            Interval::new(-0.0, 0.0).unwrap(),
+            Interval::new(f64::MIN, f64::MAX).unwrap(),
+            Interval::new(f64::NEG_INFINITY, 3.0).unwrap(),
+            Interval::new(3.0, f64::INFINITY).unwrap(),
+            Interval::unbounded(),
+            Interval::new(5e-324, 1e-300).unwrap(), // subnormal lower bound
+        ];
+        for iv in cases {
+            let (lo, hi) = iv.to_bits();
+            let back = Interval::from_bits(lo, hi).unwrap();
+            // Bit-identical, not merely ==: signed zeros must survive.
+            assert_eq!(back.to_bits(), (lo, hi));
+            assert_eq!(back, iv);
+        }
+    }
+
+    #[test]
+    fn from_bits_revalidates() {
+        let nan = f64::NAN.to_bits();
+        assert!(matches!(Interval::from_bits(nan, 0), Err(IntervalError::NotANumber)));
+        assert!(matches!(Interval::from_bits(0, nan), Err(IntervalError::NotANumber)));
+        let two = 2.0f64.to_bits();
+        let one = 1.0f64.to_bits();
+        assert!(matches!(Interval::from_bits(two, one), Err(IntervalError::Inverted { .. })));
     }
 }

@@ -16,7 +16,7 @@ use crate::{CacheId, Key, TimeMs};
 /// A refresh message from a source to a cache: a new approximation for
 /// `key`, plus the internal ("original") width the cache uses for its
 /// eviction ordering.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Refresh {
     /// The data value being refreshed.
     pub key: Key,
@@ -30,7 +30,7 @@ pub struct Refresh {
 
 /// Response to a query-initiated refresh: the exact value plus the new
 /// approximation for subsequent queries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExactResponse {
     /// The exact value at the source at read time.
     pub value: f64,

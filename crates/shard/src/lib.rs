@@ -21,7 +21,7 @@
 //!   answers with interval arithmetic — the precision constraint is split
 //!   so the merged answer still satisfies it.
 //!   [`metrics`](ShardedStore::metrics) returns per-shard
-//!   [`StoreMetrics`](apcache_store::StoreMetrics) plus a merged rollup.
+//!   [`apcache_store::StoreMetrics`] plus a merged rollup.
 //!
 //! ## Quick example
 //!

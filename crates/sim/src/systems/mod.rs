@@ -8,6 +8,7 @@
 
 mod adaptive;
 mod concurrent;
+mod remote;
 mod sharded;
 
 pub use adaptive::{
@@ -18,6 +19,7 @@ pub use concurrent::{
     build_concurrent_simulation, drive_concurrent_clients, ConcurrentAdaptiveSystem,
     ConcurrentLoad, ConcurrentRunTotals, ConcurrentSystemConfig,
 };
+pub use remote::{build_remote_simulation, RemoteAdaptiveSystem};
 pub use sharded::{build_sharded_simulation, ShardedAdaptiveSystem, ShardedSystemConfig};
 
 /// Query workload specification (re-export of the workload crate's config:

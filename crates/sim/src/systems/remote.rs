@@ -1,0 +1,258 @@
+//! The remotely-served deployment: the paper's system behind the wire
+//! protocol (`apcache-wire`), with the simulator as the client.
+//!
+//! A [`ShardedStore`](apcache_shard::ShardedStore) fleet is moved onto a
+//! server thread and served frame-by-frame over an in-process loopback
+//! transport; the simulator drives a [`RemoteStoreClient`] through the
+//! standard [`CacheSystem`] event loop. Every update and every query is
+//! encoded, shipped, decoded, dispatched, and answered through the full
+//! codec stack — so a run of this system checks the wire end-to-end
+//! against [`ShardedAdaptiveSystem`](super::ShardedAdaptiveSystem) under
+//! the exact same workload (`build_remote_simulation` forks RNG streams in
+//! the same order).
+
+use std::thread;
+
+use apcache_core::cost::CostModel;
+use apcache_core::{Interval, Key, Rng, TimeMs};
+use apcache_shard::ShardedStore;
+use apcache_store::{Constraint, StoreMetrics};
+use apcache_wire::{
+    loopback, LoopbackTransport, RemoteError, RemoteStoreClient, ServerExit, StoreServer,
+};
+use apcache_workload::query::GeneratedQuery;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::simulation::Simulation;
+use crate::stats::Stats;
+use crate::system::{CacheSystem, QuerySummary};
+use crate::systems::adaptive::WorkloadSpec;
+use crate::systems::sharded::ShardedSystemConfig;
+
+/// The paper's system on the far side of a wire: a served
+/// [`ShardedStore`] fleet driven through frames, under the simulator's
+/// cost accounting.
+pub struct RemoteAdaptiveSystem {
+    client: Option<RemoteStoreClient<Key, LoopbackTransport>>,
+    server: Option<thread::JoinHandle<Result<ShardedStore<Key>, SimError>>>,
+    cost: CostModel,
+}
+
+/// Wire/remote errors surface in the simulator's vocabulary.
+fn remote_error(e: RemoteError) -> SimError {
+    SimError::Config(e.to_string())
+}
+
+impl RemoteAdaptiveSystem {
+    /// Build the fleet, move it onto a serving thread, and connect the
+    /// loopback client.
+    pub fn new(
+        cfg: &ShardedSystemConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        let store = cfg.build_store(initial_values, rng.fork())?;
+        let cost = *store.cost_model();
+        let (mut server_end, client_end) = loopback();
+        let server = thread::Builder::new()
+            .name("apcache-wire-sim".into())
+            .spawn(move || {
+                let mut server = StoreServer::new(store);
+                match server.serve::<Key, _>(&mut server_end) {
+                    Ok(ServerExit::Shutdown | ServerExit::Disconnected) => {
+                        Ok(server.into_service())
+                    }
+                    Err(e) => Err(SimError::Config(format!("wire serving failed: {e}"))),
+                }
+            })
+            .map_err(|e| SimError::Config(format!("failed to spawn server thread: {e}")))?;
+        Ok(RemoteAdaptiveSystem {
+            client: Some(RemoteStoreClient::new(client_end)),
+            server: Some(server),
+            cost,
+        })
+    }
+
+    fn client(&mut self) -> &mut RemoteStoreClient<Key, LoopbackTransport> {
+        self.client.as_mut().expect("client lives until shutdown()")
+    }
+
+    /// End the session and take the served store back — its final
+    /// protocol state (widths, intervals, counters) for inspection.
+    pub fn shutdown(mut self) -> Result<ShardedStore<Key>, SimError> {
+        let client = self.client.take().expect("shutdown runs once");
+        client.shutdown().map_err(remote_error)?;
+        let server = self.server.take().expect("server thread present");
+        server.join().map_err(|_| SimError::Config("server thread panicked".into()))?
+    }
+
+    /// Deployment-wide metrics observed through the wire.
+    pub fn remote_metrics(&mut self) -> Result<StoreMetrics<Key>, SimError> {
+        self.client().metrics().map_err(remote_error)
+    }
+}
+
+impl Drop for RemoteAdaptiveSystem {
+    fn drop(&mut self) {
+        // An abandoned system (no explicit shutdown) still hangs up: the
+        // dropped client closes the loopback, the server sees a clean
+        // disconnect and exits, and the join keeps the thread from
+        // outliving its owner.
+        drop(self.client.take());
+        if let Some(server) = self.server.take() {
+            let _ = server.join();
+        }
+    }
+}
+
+impl CacheSystem for RemoteAdaptiveSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.client().write(&key, value, now).map_err(remote_error)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.cost.c_vr());
+        }
+        Ok(())
+    }
+
+    fn on_update_batch(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.client().write_batch(updates, now).map_err(remote_error)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.cost.c_vr());
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let outcome = self
+            .client()
+            .aggregate(query.kind, &query.keys, Constraint::Absolute(query.delta), now)
+            .map_err(remote_error)?;
+        for _ in &outcome.refreshed {
+            stats.record_qr(self.cost.c_qr());
+        }
+        Ok(QuerySummary { answer: Some(outcome.answer), refreshes: outcome.refreshed.len() })
+    }
+
+    fn interval_of(&self, _key: Key, _now: TimeMs) -> Option<Interval> {
+        // Cached intervals live on the server thread; the wire offers no
+        // passive peek (a read would perturb the protocol), so the
+        // recorder sees no interval trace for this system.
+        None
+    }
+}
+
+/// Assemble a full simulation of the wire-served deployment. RNG streams
+/// fork from the master seed in the same order as
+/// [`build_sharded_simulation`](super::build_sharded_simulation), so a run
+/// replays the identical workload — under θ = 1 the two must agree
+/// exactly, frame codec and all.
+pub fn build_remote_simulation(
+    sim_cfg: &SimConfig,
+    sys_cfg: &ShardedSystemConfig,
+    workload: WorkloadSpec,
+    queries: apcache_workload::query::QueryConfig,
+) -> Result<Simulation<RemoteAdaptiveSystem>, SimError> {
+    let mut master = Rng::seed_from_u64(sim_cfg.seed());
+    let processes = workload.build_processes(&mut master)?;
+    let initial_values: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = RemoteAdaptiveSystem::new(sys_cfg, &initial_values, master.fork())?;
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, initial_values.len(), master.fork())?;
+    Simulation::new(*sim_cfg, system, processes, query_gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::adaptive::AdaptiveSystemConfig;
+    use crate::systems::build_sharded_simulation;
+    use apcache_workload::query::{KindMix, QueryConfig};
+    use apcache_workload::walk::WalkConfig;
+
+    fn quick_sim_cfg(seed: u64) -> SimConfig {
+        SimConfig::builder().duration_secs(200).warmup_secs(20).seed(seed).build().unwrap()
+    }
+
+    fn quick_queries(period: f64, fanout: usize, delta_avg: f64) -> QueryConfig {
+        QueryConfig {
+            period_secs: period,
+            fanout,
+            delta_avg,
+            delta_rho: 1.0,
+            kind_mix: KindMix::SumOnly,
+        }
+    }
+
+    #[test]
+    fn wire_served_simulation_matches_sharded_store_exactly() {
+        // θ = 1: adaptation is deterministic and the workloads replay
+        // identically, so pushing every event through encode → frame →
+        // decode → dispatch must not change a single counter.
+        for shards in [1, 2] {
+            let sharded_cfg = ShardedSystemConfig {
+                shards,
+                base: AdaptiveSystemConfig::default(),
+                ..ShardedSystemConfig::default()
+            };
+            let local = build_sharded_simulation(
+                &quick_sim_cfg(29),
+                &sharded_cfg,
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            let remote = build_remote_simulation(
+                &quick_sim_cfg(29),
+                &sharded_cfg,
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(local.stats.vr_count(), remote.stats.vr_count(), "shards={shards}");
+            assert_eq!(local.stats.qr_count(), remote.stats.qr_count(), "shards={shards}");
+            assert_eq!(local.stats.total_cost(), remote.stats.total_cost(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_the_served_store_with_its_state() {
+        let cfg = ShardedSystemConfig { shards: 2, ..ShardedSystemConfig::default() };
+        let mut system =
+            RemoteAdaptiveSystem::new(&cfg, &[1.0, 2.0, 3.0], Rng::seed_from_u64(5)).unwrap();
+        let mut stats = Stats::new();
+        system.on_update(Key(0), 500.0, 1_000, &mut stats).unwrap(); // escapes
+        let remote_metrics = system.remote_metrics().unwrap();
+        let store = system.shutdown().unwrap();
+        assert_eq!(store.value(&Key(0)), Some(500.0));
+        assert_eq!(store.metrics().merged().totals(), remote_metrics.totals());
+        assert_eq!(remote_metrics.totals().writes, 1);
+    }
+
+    #[test]
+    fn dropping_without_shutdown_does_not_hang() {
+        let cfg = ShardedSystemConfig::default();
+        let system = RemoteAdaptiveSystem::new(&cfg, &[1.0], Rng::seed_from_u64(6)).unwrap();
+        drop(system); // Drop impl hangs up and joins the server thread.
+    }
+}

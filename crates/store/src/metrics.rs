@@ -78,7 +78,7 @@ impl KeyMetrics {
 
 /// Serving metrics for a [`PrecisionStore`](crate::PrecisionStore):
 /// aggregate totals plus a per-key breakdown.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreMetrics<K> {
     totals: KeyMetrics,
     per_key: BTreeMap<K, KeyMetrics>,
@@ -96,6 +96,22 @@ impl<K: Ord + Clone> StoreMetrics<K> {
     /// [`StoreMetrics::merge`].
     pub fn new() -> Self {
         StoreMetrics { totals: KeyMetrics::default(), per_key: BTreeMap::new() }
+    }
+
+    /// Reassemble a metrics view from an explicit totals line plus per-key
+    /// entries — the decode half of a serialized snapshot (the wire layer
+    /// ships metrics as `totals` + `(key, counters)` pairs).
+    ///
+    /// The totals are taken as given rather than re-summed from the
+    /// entries: the cost counters are `f64` accumulators, so re-adding
+    /// them in key order could differ in the low bits from the original
+    /// accumulation order and a round-tripped snapshot would no longer be
+    /// bit-identical to its source.
+    pub fn from_parts(
+        totals: KeyMetrics,
+        per_key: impl IntoIterator<Item = (K, KeyMetrics)>,
+    ) -> Self {
+        StoreMetrics { totals, per_key: per_key.into_iter().collect() }
     }
 
     /// Add `other`'s counters into `self`: totals and every per-key entry
@@ -259,6 +275,25 @@ mod tests {
             rollup.merge(m);
         }
         assert_eq!(&rollup, left.totals());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_snapshot() {
+        let mut m: StoreMetrics<&str> = StoreMetrics::new();
+        m.record_read(&"a", true);
+        m.record_qr(&"a", 0.1);
+        m.record_qr(&"b", 0.2);
+        m.record_write(&"b");
+        let rebuilt = StoreMetrics::from_parts(
+            *m.totals(),
+            m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+        );
+        assert_eq!(rebuilt, m);
+        // Totals are trusted, not re-derived.
+        let skewed: StoreMetrics<&str> =
+            StoreMetrics::from_parts(KeyMetrics { reads: 99, ..KeyMetrics::default() }, []);
+        assert_eq!(skewed.totals().reads, 99);
+        assert_eq!(skewed.iter().count(), 0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! The client side of the wire: the same four serving verbs as the local
+//! façades, executed against a remote [`StoreServer`](crate::StoreServer)
+//! through any [`Transport`].
+
+use std::marker::PhantomData;
+
+use apcache_core::{Interval, TimeMs};
+use apcache_queries::AggregateKind;
+use apcache_store::{Constraint, ReadResult, StoreMetrics, WriteOutcome};
+
+use crate::codec::WireKey;
+use crate::error::{RemoteError, WireError};
+use crate::message::{decode_message, encode_to_vec, WireMessage, WireRequest, WireResponse};
+use crate::transport::Transport;
+
+/// A store client that speaks the frame protocol: every verb encodes one
+/// request frame, ships it, and blocks for the paired response frame.
+///
+/// The verb surface mirrors
+/// [`RuntimeHandle`](apcache_runtime::RuntimeHandle), so code written
+/// against a local deployment ports by swapping the handle for a client —
+/// the conformance suite (`tests/wire_conformance.rs`) holds the two
+/// bit-identical under θ = 1.
+#[derive(Debug)]
+pub struct RemoteStoreClient<K, T> {
+    transport: T,
+    _keys: PhantomData<fn() -> K>,
+}
+
+impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
+    /// Wrap a connected transport.
+    pub fn new(transport: T) -> Self {
+        RemoteStoreClient { transport, _keys: PhantomData }
+    }
+
+    /// Ship one request and block for its response frame.
+    fn call(&mut self, request: WireRequest<K>) -> Result<WireResponse<K>, RemoteError> {
+        let body = encode_to_vec(&WireMessage::Request(request));
+        self.transport.send(&body)?;
+        let reply = self.transport.recv()?;
+        match decode_message::<K>(&reply)? {
+            WireMessage::Response(response) => Ok(response),
+            _ => Err(WireError::UnexpectedResponse("a response frame").into()),
+        }
+    }
+
+    /// Read `key` to the given precision on the remote store.
+    pub fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, RemoteError> {
+        match self.call(WireRequest::Read { key: key.clone(), constraint, now })? {
+            WireResponse::Read(result) => Ok(result),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Read").into()),
+        }
+    }
+
+    /// Push a new exact value for `key` and wait for the outcome.
+    pub fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, RemoteError> {
+        match self.call(WireRequest::Write { key: key.clone(), value, now })? {
+            WireResponse::Write(outcome) => Ok(outcome),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Write").into()),
+        }
+    }
+
+    /// Apply a batch of writes in slice order as one frame.
+    pub fn write_batch(
+        &mut self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, RemoteError> {
+        match self.call(WireRequest::WriteBatch { items: items.to_vec(), now })? {
+            WireResponse::Write(outcome) => Ok(outcome),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("WriteBatch").into()),
+        }
+    }
+
+    /// Bounded aggregate over `keys` on the remote store.
+    pub fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<RemoteAggregateOutcome<K>, RemoteError> {
+        match self.call(WireRequest::Aggregate { kind, keys: keys.to_vec(), constraint, now })? {
+            WireResponse::Aggregate { answer, refreshed } => {
+                Ok(RemoteAggregateOutcome { answer, refreshed })
+            }
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Aggregate").into()),
+        }
+    }
+
+    /// Snapshot the remote store's serving metrics.
+    pub fn metrics(&mut self) -> Result<StoreMetrics<K>, RemoteError> {
+        match self.call(WireRequest::Metrics)? {
+            WireResponse::Metrics(metrics) => Ok(metrics),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Metrics").into()),
+        }
+    }
+
+    /// End the session: the server acknowledges, stops serving this
+    /// connection, and (for drained single-connection servers) hands its
+    /// store back to whoever spawned it.
+    pub fn shutdown(mut self) -> Result<(), RemoteError> {
+        match self.call(WireRequest::Shutdown)? {
+            WireResponse::ShutdownAck => Ok(()),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("ShutdownAck").into()),
+        }
+    }
+}
+
+/// Answer to a remote aggregate: the interval plus the keys the server
+/// fetched exactly (in fetch order) — the wire twin of
+/// [`AggregateOutcome`](apcache_store::AggregateOutcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteAggregateOutcome<K> {
+    /// The answer interval; satisfies the constraint the query ran with.
+    pub answer: Interval,
+    /// Keys fetched exactly, in fetch order.
+    pub refreshed: Vec<K>,
+}

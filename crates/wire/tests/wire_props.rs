@@ -1,0 +1,225 @@
+//! Property-based round-trip suite: `decode(encode(x)) == x` for
+//! arbitrary protocol values, including ±∞ interval bounds and NaN
+//! payloads in fields that permit them.
+//!
+//! Gated behind `proptest-tests` (the offline build environment cannot
+//! fetch `proptest`); the networked CI runner injects the dev-dependency
+//! and runs `cargo test -p apcache-wire --features proptest-tests`.
+
+use proptest::prelude::*;
+
+use apcache_core::policy::ApproxSpec;
+use apcache_core::{ExactResponse, Interval, Key, Refresh};
+use apcache_queries::AggregateKind;
+use apcache_store::{Answer, Constraint, KeyMetrics, ReadResult, StoreMetrics, WriteOutcome};
+use apcache_wire::{
+    decode_message, encode_to_vec, FaultKind, WireFault, WireMessage, WireRequest, WireResponse,
+};
+
+/// Any f64 bound except NaN (interval constructors reject NaN).
+fn bound() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1e300..1e300f64,
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(-0.0f64),
+        1 => Just(5e-324f64),
+    ]
+}
+
+/// Any finite value, plus NaN where the protocol carries raw bits.
+fn raw_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        6 => -1e300..1e300f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(-0.0f64),
+    ]
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (bound(), bound()).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Interval::new(lo, hi).expect("ordered non-NaN bounds are a valid interval")
+    })
+}
+
+fn spec() -> impl Strategy<Value = ApproxSpec> {
+    prop_oneof![
+        interval().prop_map(ApproxSpec::Constant),
+        (-1e12..1e12f64, 0.0..1e9f64, 0.0..1e6f64, 0.1..3.0f64, any::<u64>()).prop_map(
+            |(center, base_width, coeff, exponent, t0)| ApproxSpec::Growing {
+                center,
+                base_width,
+                coeff,
+                exponent,
+                t0,
+            }
+        ),
+        (-1e12..1e12f64, 0.0..1e9f64, -1e6..1e6f64, any::<u64>()).prop_map(
+            |(lo0, width, rate_per_sec, t0)| ApproxSpec::Drifting {
+                lo0,
+                hi0: lo0 + width,
+                rate_per_sec,
+                t0,
+            }
+        ),
+    ]
+}
+
+fn refresh() -> impl Strategy<Value = Refresh> {
+    (any::<u32>(), spec(), 0.0..1e12f64).prop_map(|(key, spec, internal_width)| Refresh {
+        key: Key(key),
+        spec,
+        internal_width,
+    })
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        raw_value().prop_map(Constraint::Absolute),
+        raw_value().prop_map(Constraint::Relative),
+        Just(Constraint::Exact),
+    ]
+}
+
+fn kind() -> impl Strategy<Value = AggregateKind> {
+    prop_oneof![
+        Just(AggregateKind::Sum),
+        Just(AggregateKind::Max),
+        Just(AggregateKind::Min),
+        Just(AggregateKind::Avg),
+    ]
+}
+
+fn wire_key() -> impl Strategy<Value = String> {
+    // Arbitrary UTF-8, including empty and multibyte.
+    ".{0,24}"
+}
+
+fn key_metrics() -> impl Strategy<Value = KeyMetrics> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0.0..1e12f64,
+        0.0..1e12f64,
+    )
+        .prop_map(|(reads, cache_hits, writes, vr_count, qr_count, vr_cost, qr_cost)| {
+            KeyMetrics { reads, cache_hits, writes, vr_count, qr_count, vr_cost, qr_cost }
+        })
+}
+
+fn store_metrics() -> impl Strategy<Value = StoreMetrics<String>> {
+    (key_metrics(), prop::collection::btree_map(wire_key(), key_metrics(), 0..8))
+        .prop_map(|(totals, per_key)| StoreMetrics::from_parts(totals, per_key))
+}
+
+fn request() -> impl Strategy<Value = WireRequest<String>> {
+    prop_oneof![
+        (wire_key(), constraint(), any::<u64>())
+            .prop_map(|(key, constraint, now)| WireRequest::Read { key, constraint, now }),
+        (wire_key(), raw_value(), any::<u64>()).prop_map(|(key, value, now)| WireRequest::Write {
+            key,
+            value,
+            now
+        }),
+        (prop::collection::vec((wire_key(), raw_value()), 0..16), any::<u64>())
+            .prop_map(|(items, now)| WireRequest::WriteBatch { items, now }),
+        (kind(), prop::collection::vec(wire_key(), 0..16), constraint(), any::<u64>()).prop_map(
+            |(kind, keys, constraint, now)| WireRequest::Aggregate { kind, keys, constraint, now }
+        ),
+        Just(WireRequest::Metrics),
+        Just(WireRequest::Shutdown),
+    ]
+}
+
+fn fault() -> impl Strategy<Value = WireFault> {
+    (
+        prop_oneof![
+            Just(FaultKind::UnknownKey),
+            Just(FaultKind::DuplicateKey),
+            Just(FaultKind::InvalidConstraint),
+            Just(FaultKind::Config),
+            Just(FaultKind::Param),
+            Just(FaultKind::Protocol),
+            Just(FaultKind::Query),
+            Just(FaultKind::Closed),
+            Just(FaultKind::ActorGone),
+            Just(FaultKind::Unsupported),
+        ],
+        ".{0,48}",
+    )
+        .prop_map(|(kind, detail)| WireFault { kind, detail })
+}
+
+fn response() -> impl Strategy<Value = WireResponse<String>> {
+    prop_oneof![
+        (interval(), any::<bool>()).prop_map(|(iv, refreshed)| WireResponse::Read(ReadResult {
+            answer: Answer::Interval(iv),
+            refreshed,
+        })),
+        (-1e300..1e300f64, any::<bool>()).prop_map(|(v, refreshed)| WireResponse::Read(
+            ReadResult { answer: Answer::Exact(v), refreshed }
+        )),
+        (0usize..1_000_000).prop_map(|refreshes| WireResponse::Write(WriteOutcome { refreshes })),
+        (interval(), prop::collection::vec(wire_key(), 0..16))
+            .prop_map(|(answer, refreshed)| WireResponse::Aggregate { answer, refreshed }),
+        store_metrics().prop_map(WireResponse::Metrics),
+        Just(WireResponse::ShutdownAck),
+        fault().prop_map(WireResponse::Error),
+    ]
+}
+
+fn message() -> impl Strategy<Value = WireMessage<String>> {
+    prop_oneof![
+        refresh().prop_map(WireMessage::Refresh),
+        (raw_value(), refresh())
+            .prop_map(|(value, refresh)| WireMessage::Exact(ExactResponse { value, refresh })),
+        request().prop_map(WireMessage::Request),
+        response().prop_map(WireMessage::Response),
+    ]
+}
+
+/// Structural equality that treats NaN payload fields as equal when their
+/// bit patterns match — `PartialEq` on f64 makes `NaN != NaN`, but the
+/// wire contract is *bit* fidelity.
+fn bits_equal(a: &WireMessage<String>, b: &WireMessage<String>) -> bool {
+    // Canonical encoding: equal bytes ⇔ equal bits in every field.
+    encode_to_vec(a) == encode_to_vec(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn round_trip_is_identity(msg in message()) {
+        let body = encode_to_vec(&msg);
+        let back: WireMessage<String> = decode_message(&body).expect("own encoding decodes");
+        prop_assert!(bits_equal(&back, &msg), "round trip changed bits: {msg:?} -> {back:?}");
+        // Re-encoding is byte-identical (canonical form).
+        prop_assert_eq!(encode_to_vec(&back), body);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_random_bytes(blob in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_message::<String>(&blob);
+        let _ = decode_message::<u64>(&blob);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_frames(
+        msg in message(),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut body = encode_to_vec(&msg);
+        if !body.is_empty() {
+            let i = pos.index(body.len());
+            body[i] ^= flip;
+            let _ = decode_message::<String>(&body);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`store`] | `apcache-store` | **the serving façade**: `PrecisionStore` — precision-parameterized reads, writes, bounded aggregates, and metrics over generic keys |
 //! | [`shard`] | `apcache-shard` | **the scale-out layer**: `ShardedStore` — consistent-hash routing over `PrecisionStore` shards, same four verbs, merged metrics |
 //! | [`runtime`] | `apcache-runtime` | **the concurrent serving layer**: `Runtime` — one actor thread per shard, bounded mailboxes with backpressure, scatter/gather aggregates |
+//! | [`wire`] | `apcache-wire` | **the cross-process layer**: a compact binary frame protocol with loopback/TCP transports, `RemoteStoreClient` ↔ `StoreServer` |
 //! | [`core`] | `apcache-core` | interval algebra, the adaptive precision policy and its variants, source/cache protocol, analytic model, deterministic RNG |
 //! | [`queries`] | `apcache-queries` | bounded aggregate queries (SUM/MAX/MIN/AVG) with refresh-set selection |
 //! | [`workload`] | `apcache-workload` | random walks, synthetic network traffic traces, query workloads |
@@ -79,4 +80,5 @@ pub use apcache_runtime as runtime;
 pub use apcache_shard as shard;
 pub use apcache_sim as sim;
 pub use apcache_store as store;
+pub use apcache_wire as wire;
 pub use apcache_workload as workload;

@@ -1,0 +1,287 @@
+//! Wire-vs-local conformance: a `RemoteStoreClient` talking through the
+//! frame protocol must be indistinguishable from the `ShardedStore` the
+//! server wraps —
+//!
+//! * over the **in-process loopback** (paired byte queues) *and* over a
+//!   **real localhost TCP socket**, every read answer, write escape
+//!   count, aggregate answer and refresh plan is bit-identical to a
+//!   local replay under θ = 1, for every swept shard count;
+//! * the remote **metrics snapshot** equals the local rollup exactly,
+//!   and the **drained server store** (handed back after the client's
+//!   `Shutdown`) is in the identical final protocol state — internal
+//!   widths, source values, cached intervals, counter totals;
+//! * **errors conform** too: unknown keys and invalid constraints come
+//!   back as faults with the matching category;
+//! * the **decoder never panics**: random byte blobs and mutations of
+//!   valid frames (the malformed-frame suite) always produce `WireError`.
+
+use std::net::TcpListener;
+use std::thread;
+
+use apcache::core::{Rng, MS_PER_SEC};
+use apcache::queries::AggregateKind;
+use apcache::shard::{ShardedStore, ShardedStoreBuilder};
+use apcache::store::{Constraint, InitialWidth};
+use apcache::wire::{
+    decode_message, encode_to_vec, loopback, FaultKind, RemoteError, RemoteStoreClient, ServerExit,
+    StoreServer, TcpTransport, Transport, WireMessage, WireRequest,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const VNODES: usize = 64;
+const N_KEYS: u32 = 24;
+const TICKS: u64 = 150;
+const SEED: u64 = 0xA9CA_2001;
+
+fn key(i: u32) -> String {
+    format!("sensor/{i:03}")
+}
+
+/// One operation of the shared trace, pre-generated so the local store
+/// and the remote client replay byte-identical traffic.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: String, value: f64, now: u64 },
+    WriteBatch { items: Vec<(String, f64)>, now: u64 },
+    Read { key: String, constraint: Constraint, now: u64 },
+    Aggregate { kind: AggregateKind, keys: Vec<String>, constraint: Constraint, now: u64 },
+}
+
+/// A deterministic mixed trace: per-key random walks delivered partly as
+/// batches, rotating read constraints, periodic multi-shard aggregates of
+/// every kind.
+fn trace(seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * i as f64).collect();
+    let mut ops = Vec::new();
+    for t in 1..=TICKS {
+        let now = t * MS_PER_SEC;
+        let mut batch = Vec::new();
+        for i in 0..N_KEYS {
+            values[i as usize] += rng.normal_with(0.0, 4.0);
+            if i % 3 == 0 {
+                ops.push(Op::Write { key: key(i), value: values[i as usize], now });
+            } else {
+                batch.push((key(i), values[i as usize]));
+            }
+        }
+        ops.push(Op::WriteBatch { items: batch, now });
+        for _ in 0..3 {
+            let i = rng.below(u64::from(N_KEYS)) as u32;
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(1.0, 20.0)),
+                1 => Constraint::Relative(0.05),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Read { key: key(i), constraint, now });
+        }
+        if t % 10 == 0 {
+            let fanout = 4 + rng.below(10) as u32;
+            let keys: Vec<String> = (0..fanout).map(|j| key((j * 7 + t as u32) % N_KEYS)).collect();
+            let kind = match rng.below(4) {
+                0 => AggregateKind::Sum,
+                1 => AggregateKind::Max,
+                2 => AggregateKind::Min,
+                _ => AggregateKind::Avg,
+            };
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(5.0, 100.0)),
+                1 => Constraint::Relative(0.02),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Aggregate { kind, keys, constraint, now });
+        }
+    }
+    ops
+}
+
+fn fleet(shards: usize) -> ShardedStore<String> {
+    let mut b = ShardedStoreBuilder::new()
+        .shards(shards)
+        .vnodes(VNODES)
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 2))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b.build().expect("fleet config valid")
+}
+
+/// Replay the trace through `client` and `local` in lockstep, asserting
+/// per-op bit-identity; then check metrics, errors, shutdown, and the
+/// drained server store. `label` names the transport for diagnostics.
+fn assert_remote_conforms<T: Transport>(
+    mut client: RemoteStoreClient<String, T>,
+    server: thread::JoinHandle<(ServerExit, ShardedStore<String>)>,
+    mut local: ShardedStore<String>,
+    shards: usize,
+    label: &str,
+) {
+    for (op_no, op) in trace(SEED).iter().enumerate() {
+        match op {
+            Op::Write { key, value, now } => {
+                let a = local.write(key, *value, *now).expect("known key");
+                let b = client.write(key, *value, *now).expect("known key");
+                assert_eq!(a, b, "{label} shards={shards} op={op_no}: write escape mismatch");
+            }
+            Op::WriteBatch { items, now } => {
+                let a = local.write_batch(items, *now).expect("known keys");
+                let b = client.write_batch(items, *now).expect("known keys");
+                assert_eq!(a, b, "{label} shards={shards} op={op_no}: batch outcome mismatch");
+            }
+            Op::Read { key, constraint, now } => {
+                let a = local.read(key, *constraint, *now).expect("known key");
+                let b = client.read(key, *constraint, *now).expect("known key");
+                assert_eq!(a, b, "{label} shards={shards} op={op_no}: read mismatch on {key}");
+            }
+            Op::Aggregate { kind, keys, constraint, now } => {
+                let a = local.aggregate(*kind, keys, *constraint, *now).expect("known keys");
+                let b = client.aggregate(*kind, keys, *constraint, *now).expect("known keys");
+                assert_eq!(
+                    a.answer, b.answer,
+                    "{label} shards={shards} op={op_no}: answers diverged"
+                );
+                assert_eq!(
+                    a.refreshed, b.refreshed,
+                    "{label} shards={shards} op={op_no}: refresh plans diverged"
+                );
+            }
+        }
+    }
+
+    // The remote metrics snapshot equals the local rollup exactly
+    // (f64 cost accumulators included — they crossed the wire as bits).
+    let remote_metrics = client.metrics().expect("metrics served");
+    assert_eq!(
+        &remote_metrics,
+        local.metrics().merged(),
+        "{label} shards={shards}: metric snapshots diverged"
+    );
+
+    // Errors conform: unknown key and invalid constraint come back as
+    // category-matched faults while the local store errors directly.
+    let missing = "sensor/999".to_string();
+    assert!(local.read(&missing, Constraint::Exact, 0).is_err());
+    match client.read(&missing, Constraint::Exact, 0) {
+        Err(RemoteError::Remote(fault)) => assert_eq!(fault.kind, FaultKind::UnknownKey),
+        other => panic!("{label}: expected UnknownKey fault, got {other:?}"),
+    }
+    assert!(local.read(&key(0), Constraint::Absolute(-1.0), 0).is_err());
+    match client.read(&key(0), Constraint::Absolute(-1.0), 0) {
+        Err(RemoteError::Remote(fault)) => assert_eq!(fault.kind, FaultKind::InvalidConstraint),
+        other => panic!("{label}: expected InvalidConstraint fault, got {other:?}"),
+    }
+
+    // Shutdown, then compare the drained server store's full protocol
+    // state against the local replay.
+    client.shutdown().expect("clean shutdown");
+    let (exit, drained) = server.join().expect("server thread");
+    assert_eq!(exit, ServerExit::Shutdown, "{label} shards={shards}");
+    let horizon = TICKS * MS_PER_SEC;
+    for i in 0..N_KEYS {
+        let k = key(i);
+        assert_eq!(
+            local.internal_width(&k),
+            drained.internal_width(&k),
+            "{label} shards={shards}: width diverged on {k}"
+        );
+        assert_eq!(
+            local.value(&k),
+            drained.value(&k),
+            "{label} shards={shards}: source value diverged on {k}"
+        );
+        assert_eq!(
+            local.cached_interval(&k, horizon),
+            drained.cached_interval(&k, horizon),
+            "{label} shards={shards}: cached interval diverged on {k}"
+        );
+    }
+    assert_eq!(
+        local.metrics().merged(),
+        drained.metrics().merged(),
+        "{label} shards={shards}: drained counters diverged"
+    );
+}
+
+/// θ = 1 (multiversion costs, the builder default): adaptation is
+/// deterministic, so the remote client must replay the trace identically
+/// to the local store — through in-process byte queues.
+#[test]
+fn loopback_client_bit_identical_for_every_shard_count() {
+    for &shards in &SHARD_COUNTS {
+        let (mut server_end, client_end) = loopback();
+        let server = thread::spawn(move || {
+            let mut server = StoreServer::new(fleet(shards));
+            let exit = server.serve::<String, _>(&mut server_end).expect("serving succeeds");
+            (exit, server.into_service())
+        });
+        let client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_end);
+        assert_remote_conforms(client, server, fleet(shards), shards, "loopback");
+    }
+}
+
+/// The same conformance through a real localhost TCP socket: kernel
+/// buffering, Nagle-off small frames, actual byte-stream fragmentation.
+#[test]
+fn tcp_client_bit_identical_for_every_shard_count() {
+    for &shards in &SHARD_COUNTS {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = thread::spawn(move || {
+            let mut transport = TcpTransport::accept(&listener).expect("accept");
+            let mut server = StoreServer::new(fleet(shards));
+            let exit = server.serve::<String, _>(&mut transport).expect("serving succeeds");
+            (exit, server.into_service())
+        });
+        let client: RemoteStoreClient<String, _> =
+            RemoteStoreClient::new(TcpTransport::connect(addr).expect("connect"));
+        assert_remote_conforms(client, server, fleet(shards), shards, "tcp");
+    }
+}
+
+/// The malformed-frame suite: the decoder must map arbitrary bytes onto
+/// `WireError` — random blobs, truncations, and bit-flips of every valid
+/// frame shape the conformance trace produces. A panic anywhere fails the
+/// test by aborting it.
+#[test]
+fn decoder_never_panics_on_arbitrary_bytes() {
+    // Valid frames drawn from the real trace vocabulary.
+    let mut seeds: Vec<Vec<u8>> = Vec::new();
+    for op in trace(SEED).into_iter().take(40) {
+        let msg: WireMessage<String> = match op {
+            Op::Write { key, value, now } => {
+                WireMessage::Request(WireRequest::Write { key, value, now })
+            }
+            Op::WriteBatch { items, now } => {
+                WireMessage::Request(WireRequest::WriteBatch { items, now })
+            }
+            Op::Read { key, constraint, now } => {
+                WireMessage::Request(WireRequest::Read { key, constraint, now })
+            }
+            Op::Aggregate { kind, keys, constraint, now } => {
+                WireMessage::Request(WireRequest::Aggregate { kind, keys, constraint, now })
+            }
+        };
+        seeds.push(encode_to_vec(&msg));
+    }
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xF);
+    // Truncations and single-byte mutations of valid frames.
+    for frame in &seeds {
+        for cut in 0..frame.len() {
+            assert!(decode_message::<String>(&frame[..cut]).is_err());
+        }
+        for _ in 0..64 {
+            let mut mutated = frame.clone();
+            let pos = rng.below(mutated.len() as u64) as usize;
+            mutated[pos] ^= 1 << rng.below(8);
+            let _ = decode_message::<String>(&mutated);
+        }
+    }
+    // Pure noise.
+    for _ in 0..10_000 {
+        let len = rng.below(128) as usize;
+        let blob: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let _ = decode_message::<String>(&blob);
+    }
+}
