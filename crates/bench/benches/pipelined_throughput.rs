@@ -1,0 +1,9 @@
+//! Regenerates the pipelined wire-protocol measurement: loopback
+//! round-trip throughput by in-flight window × shard count, with the
+//! window = 1 row as the strict call-reply (PR 4-equivalent) baseline.
+
+fn main() {
+    for table in apcache_bench::experiments::pipelined::run() {
+        table.print();
+    }
+}

@@ -16,6 +16,7 @@ pub mod fig10_13;
 pub mod fig14_15;
 pub mod hierarchy;
 pub mod max_queries;
+pub mod pipelined;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;

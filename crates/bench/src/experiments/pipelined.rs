@@ -1,0 +1,122 @@
+//! Pipelined wire throughput: loopback round-trip ops/s as a function of
+//! the client's in-flight window × shard count.
+//!
+//! Not a paper figure — this harness measures the v2 protocol's
+//! pipelining win over the strict call-reply baseline. The full stack
+//! runs on every op: client codec → frame → pipelined reader → ticketed
+//! runtime submission → shard actor → completion queue → drainer →
+//! frame → client codec. At `window = 1` the client degenerates to the
+//! v1 call-reply discipline (one op in flight, the PR 4-equivalent
+//! baseline); at `window ≥ 8` submission overlaps serving, so the
+//! per-op client↔server hand-off cost amortizes across the window — the
+//! acceptance bar is window ≥ 8 throughput strictly above window = 1 on
+//! the same run.
+
+use std::thread;
+use std::time::Instant;
+
+use apcache_core::Rng;
+use apcache_runtime::Runtime;
+use apcache_shard::{ShardedStore, ShardedStoreBuilder};
+use apcache_store::{Constraint, InitialWidth};
+use apcache_wire::{loopback, serve_pipelined, RemoteStoreClient, Ticket};
+
+use crate::experiments::common::MASTER_SEED;
+use crate::table::{fmt_num, Table};
+
+const KEYS: u64 = 512;
+const OPS: u64 = 40_000;
+const WINDOWS: [usize; 4] = [1, 4, 8, 32];
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn build_fleet(shards: usize) -> ShardedStore<u64> {
+    let mut b = ShardedStoreBuilder::new()
+        .shards(shards)
+        .rng(Rng::seed_from_u64(MASTER_SEED))
+        .initial_width(InitialWidth::Fixed(10.0));
+    for k in 0..KEYS {
+        b = b.source(k, (k % 977) as f64);
+    }
+    b.build().expect("fleet config valid")
+}
+
+/// Ops/s for a 50/50 read/write mix driven through a `window`-deep
+/// pipelined client against a `shards`-actor runtime over loopback.
+fn drive(shards: usize, window: usize) -> f64 {
+    let runtime = Runtime::launch(build_fleet(shards)).expect("runtime launches");
+    let handle = runtime.handle();
+    let (server_end, client_end) = loopback();
+    let server = thread::spawn(move || serve_pipelined(server_end, handle).expect("serves"));
+    let mut client: RemoteStoreClient<u64, _> = RemoteStoreClient::with_window(client_end, window);
+    let mut rng = Rng::seed_from_u64(MASTER_SEED ^ 0x91BE);
+    let ops: Vec<(u64, f64, bool)> = (0..OPS)
+        .map(|_| (rng.below(KEYS), rng.uniform(0.0, 1_000.0), rng.bernoulli(0.5)))
+        .collect();
+    // Keep `window` tickets in flight: submit ahead, harvest the oldest
+    // once the pipeline is full (submission itself also backpressures).
+    let mut in_flight: std::collections::VecDeque<(Ticket, bool)> =
+        std::collections::VecDeque::with_capacity(window);
+    let started = Instant::now();
+    for (i, &(key, value, is_read)) in ops.iter().enumerate() {
+        let now = i as u64;
+        if in_flight.len() >= window {
+            let (ticket, was_read) = in_flight.pop_front().expect("non-empty");
+            if was_read {
+                client.wait_read(ticket).expect("known key");
+            } else {
+                client.wait_write(ticket).expect("known key");
+            }
+        }
+        let ticket = if is_read {
+            client.submit_read(&key, Constraint::Absolute(25.0), now).expect("submit")
+        } else {
+            client.submit_write(&key, value, now).expect("submit")
+        };
+        in_flight.push_back((ticket, is_read));
+    }
+    for (ticket, was_read) in in_flight.drain(..) {
+        if was_read {
+            client.wait_read(ticket).expect("known key");
+        } else {
+            client.wait_write(ticket).expect("known key");
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    client.shutdown().expect("clean shutdown");
+    server.join().expect("server thread");
+    drop(runtime);
+    OPS as f64 / elapsed
+}
+
+/// Regenerate the pipelined-throughput table (window × shards sweep).
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "Pipelined loopback throughput: Kops/s by window (rows) x shards (columns)",
+        std::iter::once("window".to_string())
+            .chain(SHARDS.iter().map(|s| format!("{s} shard(s)")))
+            .chain(std::iter::once("vs window=1".to_string()))
+            .collect(),
+    );
+    table.note("50/50 read/write mix through the full pipelined stack:");
+    table.note("codec -> pipelined reader -> ticketed runtime -> drainer.");
+    table.note("window=1 is the strict call-reply (v1/PR 4) baseline; the");
+    table.note("acceptance bar is window>=8 strictly above it per column.");
+    table.note("1-core hosts amortize hand-off cost, not true parallelism.");
+    let mut baseline = vec![0.0f64; SHARDS.len()];
+    for (wi, &window) in WINDOWS.iter().enumerate() {
+        let mut row = vec![window.to_string()];
+        let mut speedups = Vec::new();
+        for (si, &shards) in SHARDS.iter().enumerate() {
+            let ops_per_sec = drive(shards, window);
+            if wi == 0 {
+                baseline[si] = ops_per_sec;
+            }
+            speedups.push(ops_per_sec / baseline[si]);
+            row.push(fmt_num(ops_per_sec / 1e3));
+        }
+        let avg: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        row.push(format!("{:.2}x", avg));
+        table.push_row(row);
+    }
+    vec![table]
+}

@@ -8,14 +8,22 @@
 //! sources; an evicted approximation that incurs a refresh may be
 //! re-admitted if it is no longer the widest.
 //!
-//! Entries are stored in a dense slot table indexed by the key's protocol
-//! id — [`Key`]s are interned, dense ids throughout the workspace (the
-//! store allocates them `0, 1, 2, …`), so the hot read path costs one
-//! bounds-checked index instead of a hash lookup. Callers minting their
-//! own [`Key`]s should keep the ids dense: the table grows to the largest
-//! id ever cached.
+//! **Unbounded** caches store entries in a dense slot table indexed by
+//! the key's protocol id — [`Key`]s are interned, dense ids throughout
+//! the workspace (the store allocates them `0, 1, 2, …`), so the hot
+//! read path costs one bounds-checked index instead of a hash lookup.
+//! Callers minting their own [`Key`]s should keep the ids dense: the
+//! table grows to the largest id ever cached.
+//!
+//! **κ-bounded** caches route through an id → slot indirection instead:
+//! at most `κ` slots are ever allocated, reused through a free list, so
+//! eviction churn over a million-key registered population keeps the
+//! cache's footprint at O(κ), not O(largest id) — the dense table would
+//! otherwise grow to the whole key space while holding κ residents. The
+//! lookup pays one hash, which a bounded cache already tolerates (its
+//! misses dominate); the unbounded hot path keeps the dense table.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::error::ProtocolError;
 use crate::interval::Interval;
@@ -67,17 +75,40 @@ impl Ord for OrdWidth {
     }
 }
 
+/// Entry storage: dense for unbounded caches (id-indexed, zero hashing
+/// on the hot path), indirected for κ-bounded caches (at most κ slots
+/// ever allocated, ids resolved through a resident-only hash index).
+#[derive(Debug)]
+enum Slots {
+    /// Dense slot table indexed by `Key::0`; `None` marks uncached ids.
+    /// Grows to the largest id ever cached — only safe when the cache
+    /// holds (close to) the whole registered population anyway.
+    Dense(Vec<Option<CacheEntry>>),
+    /// κ-bounded indirection: `index[id] → slot`, `entries[slot]` holds
+    /// `(key, entry)`, and vacated slots are recycled through `free`.
+    /// `entries.len()` never exceeds κ, whatever the id range.
+    Bounded {
+        /// Resident ids only: `Key::0` → slot in `entries`.
+        index: HashMap<u32, u32>,
+        /// Slot storage; `None` marks a freed slot awaiting reuse.
+        entries: Vec<Option<(Key, CacheEntry)>>,
+        /// Freed slot indices, popped before `entries` grows.
+        free: Vec<u32>,
+    },
+}
+
 /// Bounded store of interval approximations with widest-first eviction.
 ///
-/// Keyed by dense interned ids: `slots[key.0]` holds the entry, so reads
-/// are one bounds-checked index (no hashing on the hot path).
+/// Unbounded caches key a dense slot table by interned id, so reads are
+/// one bounds-checked index (no hashing on the hot path); κ-bounded
+/// caches resolve ids through an indirection whose storage stays O(κ)
+/// regardless of the registered key population (see the module docs).
 #[derive(Debug)]
 pub struct Cache {
     id: CacheId,
     capacity: usize,
-    /// Dense slot table indexed by `Key::0`; `None` marks uncached ids.
-    slots: Vec<Option<CacheEntry>>,
-    /// Number of occupied slots (`<= capacity`).
+    slots: Slots,
+    /// Number of resident approximations (`<= capacity`).
     len: usize,
     /// Secondary index ordered by (internal width, key) for O(log n)
     /// widest-entry lookup. Kept strictly in sync with `slots`.
@@ -86,16 +117,32 @@ pub struct Cache {
 
 impl Cache {
     /// Create a cache holding at most `capacity >= 1` approximations.
+    /// Bounded caches store entries behind an id → slot indirection so
+    /// their footprint is O(κ) even under eviction churn across a huge
+    /// key space.
     pub fn new(id: CacheId, capacity: usize) -> Result<Self, ProtocolError> {
         if capacity == 0 {
             return Err(ProtocolError::ZeroCapacity);
         }
-        Ok(Cache { id, capacity, slots: Vec::new(), len: 0, by_width: BTreeSet::new() })
+        let slots = if capacity == usize::MAX {
+            Slots::Dense(Vec::new())
+        } else {
+            Slots::Bounded { index: HashMap::new(), entries: Vec::new(), free: Vec::new() }
+        };
+        Ok(Cache { id, capacity, slots, len: 0, by_width: BTreeSet::new() })
     }
 
-    /// Create a cache that never evicts (capacity `usize::MAX`).
+    /// Create a cache that never evicts (capacity `usize::MAX`), stored
+    /// densely: the whole population is expected to become resident, so
+    /// the id-indexed table is the fastest and tightest layout.
     pub fn unbounded(id: CacheId) -> Self {
-        Cache { id, capacity: usize::MAX, slots: Vec::new(), len: 0, by_width: BTreeSet::new() }
+        Cache {
+            id,
+            capacity: usize::MAX,
+            slots: Slots::Dense(Vec::new()),
+            len: 0,
+            by_width: BTreeSet::new(),
+        }
     }
 
     /// This cache's identifier.
@@ -126,7 +173,24 @@ impl Cache {
     /// The cached entry for `key`, if any.
     #[inline]
     pub fn get(&self, key: Key) -> Option<&CacheEntry> {
-        self.slots.get(key.0 as usize).and_then(Option::as_ref)
+        match &self.slots {
+            Slots::Dense(slots) => slots.get(key.0 as usize).and_then(Option::as_ref),
+            Slots::Bounded { index, entries, .. } => index
+                .get(&key.0)
+                .and_then(|&slot| entries[slot as usize].as_ref())
+                .map(|(_, entry)| entry),
+        }
+    }
+
+    /// Mutable access to the cached entry for `key`, if any.
+    fn get_mut(&mut self, key: Key) -> Option<&mut CacheEntry> {
+        match &mut self.slots {
+            Slots::Dense(slots) => slots.get_mut(key.0 as usize).and_then(Option::as_mut),
+            Slots::Bounded { index, entries, .. } => index
+                .get(&key.0)
+                .and_then(|&slot| entries[slot as usize].as_mut())
+                .map(|(_, entry)| entry),
+        }
     }
 
     /// The concrete interval for `key` at time `now`; `None` if uncached.
@@ -145,11 +209,35 @@ impl Cache {
     }
 
     /// Iterate over cached (key, entry) pairs in ascending key order.
+    /// (Bounded caches sort their κ residents per call; the dense table
+    /// iterates in place.)
     pub fn iter(&self) -> impl Iterator<Item = (Key, &CacheEntry)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| slot.as_ref().map(|e| (Key(i as u32), e)))
+        let mut pairs: Vec<(Key, &CacheEntry)> = match &self.slots {
+            Slots::Dense(slots) => slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| slot.as_ref().map(|e| (Key(i as u32), e)))
+                .collect(),
+            Slots::Bounded { entries, .. } => {
+                entries.iter().filter_map(|slot| slot.as_ref().map(|(k, e)| (*k, e))).collect()
+            }
+        };
+        if matches!(self.slots, Slots::Bounded { .. }) {
+            pairs.sort_unstable_by_key(|(k, _)| *k);
+        }
+        pairs.into_iter()
+    }
+
+    /// Number of slots the entry storage has allocated — the footprint
+    /// diagnostic the κ-bound regression test asserts on: for bounded
+    /// caches this never exceeds κ, however large the id space the cache
+    /// has churned through; for unbounded caches it tracks the largest
+    /// cached id (the whole population is expected resident).
+    pub fn slot_table_len(&self) -> usize {
+        match &self.slots {
+            Slots::Dense(slots) => slots.len(),
+            Slots::Bounded { entries, .. } => entries.len(),
+        }
     }
 
     /// The currently widest entry (the eviction candidate).
@@ -163,11 +251,11 @@ impl Cache {
         let Refresh { key, spec, internal_width } = refresh;
         debug_assert!(!internal_width.is_nan(), "internal widths are never NaN");
         let entry = CacheEntry { spec, internal_width };
-        let slot = key.0 as usize;
-        if let Some(existing) = self.slots.get_mut(slot).and_then(Option::as_mut) {
-            self.by_width.remove(&(OrdWidth(existing.internal_width), key));
-            self.by_width.insert((OrdWidth(internal_width), key));
+        if let Some(existing) = self.get_mut(key) {
+            let old_width = existing.internal_width;
             *existing = entry;
+            self.by_width.remove(&(OrdWidth(old_width), key));
+            self.by_width.insert((OrdWidth(internal_width), key));
             return AdmitOutcome::Updated;
         }
         if self.len < self.capacity {
@@ -188,31 +276,62 @@ impl Cache {
         }
     }
 
-    /// Place `entry` into the (empty) slot for `key`, growing the table to
-    /// reach the id if needed, and index its width.
+    /// Place `entry` into the (vacant) slot for `key` and index its
+    /// width. Dense tables grow to reach the id; bounded tables recycle a
+    /// freed slot before allocating, so their storage stays ≤ κ.
     fn install(&mut self, key: Key, entry: CacheEntry) {
-        let slot = key.0 as usize;
-        if slot >= self.slots.len() {
-            self.slots.resize_with(slot + 1, || None);
-        }
         self.by_width.insert((OrdWidth(entry.internal_width), key));
-        self.slots[slot] = Some(entry);
+        match &mut self.slots {
+            Slots::Dense(slots) => {
+                let slot = key.0 as usize;
+                if slot >= slots.len() {
+                    slots.resize_with(slot + 1, || None);
+                }
+                slots[slot] = Some(entry);
+            }
+            Slots::Bounded { index, entries, free } => {
+                let slot = match free.pop() {
+                    Some(slot) => slot,
+                    None => {
+                        entries.push(None);
+                        (entries.len() - 1) as u32
+                    }
+                };
+                entries[slot as usize] = Some((key, entry));
+                index.insert(key.0, slot);
+            }
+        }
         self.len += 1;
     }
 
     /// Remove an entry (used by eviction and by baseline protocols that
     /// drop replicas explicitly). Returns the removed entry.
     pub fn remove(&mut self, key: Key) -> Option<CacheEntry> {
-        let entry = self.slots.get_mut(key.0 as usize)?.take()?;
+        let entry = match &mut self.slots {
+            Slots::Dense(slots) => slots.get_mut(key.0 as usize)?.take()?,
+            Slots::Bounded { index, entries, free } => {
+                let slot = index.remove(&key.0)?;
+                free.push(slot);
+                entries[slot as usize].take().expect("indexed slot occupied").1
+            }
+        };
         self.len -= 1;
         let removed = self.by_width.remove(&(OrdWidth(entry.internal_width), key));
         debug_assert!(removed, "width index out of sync for {key}");
         Some(entry)
     }
 
-    /// Drop every entry (the slot table keeps its allocation).
+    /// Drop every entry (the slot storage keeps its allocation).
     pub fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|slot| *slot = None);
+        match &mut self.slots {
+            Slots::Dense(slots) => slots.iter_mut().for_each(|slot| *slot = None),
+            Slots::Bounded { index, entries, free } => {
+                index.clear();
+                free.clear();
+                free.extend(0..entries.len() as u32);
+                entries.iter_mut().for_each(|slot| *slot = None);
+            }
+        }
         self.len = 0;
         self.by_width.clear();
     }
@@ -330,6 +449,61 @@ mod tests {
         // the designated victim.
         assert_eq!(c.widest(), Some((Key(2), 5.0)));
         assert_eq!(c.apply_refresh(refresh(3, 0.0, 4.0)), AdmitOutcome::InsertedEvicting(Key(2)));
+    }
+
+    #[test]
+    fn bounded_slot_storage_stays_within_kappa_under_churn() {
+        // The κ-bound regression (ROADMAP "capacity-bounded caches at
+        // million-key scale"): a κ=8 cache churned across a ~1M-id key
+        // space must keep its slot storage at O(κ), not O(largest id).
+        const KAPPA: usize = 8;
+        let mut c = Cache::new(CacheId(0), KAPPA).unwrap();
+        let mut admitted = 0u64;
+        for round in 0u32..2_000 {
+            // Ever-increasing ids, ever-narrowing widths, so each refresh
+            // evicts the widest resident — maximum churn.
+            let id = round * 499 + 1; // sparse ids up to ~1M
+            let width = 1_000.0 / f64::from(round + 1);
+            match c.apply_refresh(refresh(id, 0.0, width)) {
+                AdmitOutcome::Inserted | AdmitOutcome::InsertedEvicting(_) => admitted += 1,
+                AdmitOutcome::Updated | AdmitOutcome::Rejected => {}
+            }
+            assert!(c.len() <= KAPPA);
+            assert!(
+                c.slot_table_len() <= KAPPA,
+                "slot storage {} exceeded κ={KAPPA} at round {round}",
+                c.slot_table_len()
+            );
+        }
+        assert!(admitted >= 1_000, "churn actually exercised eviction");
+        assert_eq!(c.len(), KAPPA);
+        // The width index survived the churn: residents and index agree.
+        assert_eq!(c.iter().count(), KAPPA);
+        let widest = c.widest().unwrap();
+        assert!(c.contains(widest.0));
+        // clear() recycles the slots instead of leaking them.
+        c.clear();
+        assert_eq!(c.len(), 0);
+        c.apply_refresh(refresh(999_983, 0.0, 1.0));
+        assert!(c.slot_table_len() <= KAPPA);
+        // An unbounded cache keeps the dense layout (and its id-sized
+        // table) — the documented trade.
+        let mut dense = Cache::unbounded(CacheId(1));
+        dense.apply_refresh(refresh(10_000, 0.0, 1.0));
+        assert_eq!(dense.slot_table_len(), 10_001);
+    }
+
+    #[test]
+    fn bounded_iter_is_key_ordered_after_churn() {
+        let mut c = Cache::new(CacheId(0), 4).unwrap();
+        for id in [70u32, 10, 50, 30, 90, 20] {
+            c.apply_refresh(refresh(id, 0.0, f64::from(id)));
+        }
+        let keys: Vec<u32> = c.iter().map(|(k, _)| k.0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 4);
     }
 
     #[test]

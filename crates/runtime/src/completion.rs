@@ -1,0 +1,567 @@
+//! Tickets, completions, and the per-handle completion queue.
+//!
+//! The ticketed submission surface decouples *issuing* a request from
+//! *settling* its outcome: every `submit_*` verb on
+//! [`RuntimeHandle`](crate::RuntimeHandle) enqueues work on the shard
+//! actors and immediately returns a [`Ticket`] — a monotonically
+//! assigned request id — while the outcome lands later, out of order, in
+//! the handle's [`CompletionQueue`]. Clients harvest with
+//! [`poll`](CompletionQueue::poll) (non-blocking),
+//! [`wait`](CompletionQueue::wait) (next completion, any ticket), or
+//! [`wait_ticket`](CompletionQueue::wait_ticket) (one specific ticket);
+//! the blocking verbs are nothing but `submit` + `wait_ticket`, so the
+//! two surfaces cannot diverge.
+//!
+//! Internally every submitted operation is a set of *legs* — one mailbox
+//! message per involved shard. Single-shard verbs complete directly when
+//! their leg replies; scatter verbs (batch writes, metrics) fold their
+//! legs as they land; deployment-wide aggregates park an
+//! [`AggregatePlan`] here and re-issue its refinement rounds from
+//! whichever client thread harvests next — the probe → escalate rounds
+//! interleave with unrelated traffic instead of holding a caller. Actors
+//! only ever *push* leg replies (a brief lock, never a blocking wait),
+//! so the queue adds no deadlock cycles to the runtime.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+use apcache_core::{Interval, TimeMs};
+use apcache_shard::plan::{AggregatePlan, RoundSpec};
+use apcache_store::{AggregateOutcome, ReadResult, StoreError, StoreMetrics, WriteOutcome};
+
+use crate::error::RuntimeError;
+use crate::mailbox::MailboxSender;
+use crate::request::Request;
+use crate::runtime::RuntimeMetrics;
+
+/// A monotonically assigned request id, returned by the `submit_*` verbs
+/// and redeemed at the handle's [`CompletionQueue`]. Tickets are never
+/// reused within a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
+/// The settled result of a submitted request, tagged by verb.
+#[derive(Debug)]
+pub enum Outcome<K> {
+    /// Outcome of [`submit_read`](crate::RuntimeHandle::submit_read).
+    Read(ReadResult),
+    /// Outcome of [`submit_write`](crate::RuntimeHandle::submit_write)
+    /// or [`submit_write_batch`](crate::RuntimeHandle::submit_write_batch).
+    Write(WriteOutcome),
+    /// Outcome of [`submit_aggregate`](crate::RuntimeHandle::submit_aggregate).
+    Aggregate(AggregateOutcome<K>),
+    /// Outcome of [`submit_metrics`](crate::RuntimeHandle::submit_metrics).
+    Metrics(RuntimeMetrics<K>),
+}
+
+/// One harvested completion: the ticket it settles and what happened.
+#[derive(Debug)]
+pub struct Completion<K> {
+    /// The ticket returned by the originating `submit_*` call.
+    pub ticket: Ticket,
+    /// The request's outcome — the same success/error surface the
+    /// blocking verbs expose.
+    pub outcome: Result<Outcome<K>, RuntimeError>,
+}
+
+/// One shard actor's reply to one leg of a submitted request. The actor
+/// wraps its store's verb result verbatim; the queue does the folding.
+#[derive(Debug)]
+pub enum LegReply<K> {
+    /// Reply to a [`Request::Read`] leg.
+    Read(Result<ReadResult, StoreError>),
+    /// Reply to a [`Request::Write`] / [`Request::WriteBatch`] leg.
+    Write(Result<WriteOutcome, StoreError>),
+    /// Reply to a [`Request::Aggregate`] leg.
+    Aggregate(Result<AggregateOutcome<K>, StoreError>),
+    /// Reply to a [`Request::Metrics`] leg.
+    Metrics(StoreMetrics<K>),
+}
+
+/// The fulfilling half of one leg, carried inside the queued [`Request`].
+/// Dropping it unfulfilled (the actor died with the request queued)
+/// settles the owning ticket with [`RuntimeError::ActorGone`] instead of
+/// stranding a waiter.
+pub struct LegSender<K> {
+    core: Arc<QueueCore<K>>,
+    ticket: u64,
+    leg: u32,
+    fulfilled: bool,
+}
+
+impl<K: Ord + Clone> LegSender<K> {
+    /// Fulfill this leg (runs on the actor thread: one brief lock, one
+    /// condvar notify — never a blocking wait).
+    pub fn send(mut self, reply: LegReply<K>) {
+        self.fulfilled = true;
+        self.core.leg_arrived(self.ticket, self.leg, reply);
+    }
+}
+
+impl<K> Drop for LegSender<K> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.core.leg_dropped(self.ticket, self.leg);
+        }
+    }
+}
+
+impl<K> fmt::Debug for LegSender<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LegSender({}#{})", Ticket(self.ticket), self.leg)
+    }
+}
+
+/// A multi-shard aggregate in flight: the shared refinement state
+/// machine plus this round's partial answers.
+struct AggOp<K> {
+    plan: AggregatePlan<K>,
+    /// `(shard, keys)` parts, fixed for the query's lifetime; every round
+    /// fans one leg per part, and merges fold in part order — the same
+    /// order the synchronous façades use.
+    parts: Vec<(usize, Vec<K>)>,
+    now: TimeMs,
+    partials: Vec<Option<Interval>>,
+    fetched: Vec<Vec<K>>,
+    remaining: usize,
+    /// A harvesting thread is currently issuing the next round's legs
+    /// (outside the lock); it re-checks completion when it finishes.
+    advancing: bool,
+}
+
+/// What the queue tracks per outstanding ticket.
+enum OpState<K> {
+    /// One leg; its reply maps directly onto the completion.
+    Direct,
+    /// Scattered batch write: remaining legs and the folded refresh count.
+    Batch { remaining: usize, refreshes: usize },
+    /// Metrics gather: one leg per shard, slotted by shard id.
+    Metrics { slots: Vec<Option<StoreMetrics<K>>>, remaining: usize },
+    /// Multi-shard aggregate refinement.
+    Aggregate(Box<AggOp<K>>),
+}
+
+struct QueueState<K> {
+    next_ticket: u64,
+    ops: HashMap<u64, OpState<K>>,
+    ready: VecDeque<Completion<K>>,
+    /// Aggregates whose current round has fully landed and whose plan
+    /// must be advanced (fed + next round issued) by a harvester.
+    runnable: Vec<u64>,
+}
+
+struct QueueCore<K> {
+    state: Mutex<QueueState<K>>,
+    cv: Condvar,
+    senders: Vec<MailboxSender<Request<K>>>,
+}
+
+/// The harvest side of a handle's ticketed submissions: an out-of-order
+/// completion queue in the io_uring mold. Cloning shares the queue (e.g.
+/// to dedicate a harvester thread); a *handle* clone, by contrast, gets a
+/// fresh queue — each logical client owns its completions.
+pub struct CompletionQueue<K> {
+    core: Arc<QueueCore<K>>,
+}
+
+impl<K> Clone for CompletionQueue<K> {
+    fn clone(&self) -> Self {
+        CompletionQueue { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<K> QueueCore<K> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<K>> {
+        self.state.lock().expect("completion queue lock poisoned")
+    }
+
+    /// A leg's sender was dropped unfulfilled: the owning actor exited or
+    /// was torn down with the request still queued. Whatever the op, its
+    /// caller can no longer get a complete answer — settle as
+    /// [`RuntimeError::ActorGone`]. (Bound-free so [`LegSender`]'s `Drop`
+    /// can call it for any `K`.)
+    fn leg_dropped(&self, ticket: u64, _leg: u32) {
+        let mut st = self.lock();
+        if st.ops.remove(&ticket).is_some() {
+            st.ready.push_back(Completion {
+                ticket: Ticket(ticket),
+                outcome: Err(RuntimeError::ActorGone),
+            });
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl<K: Ord + Clone> QueueCore<K> {
+    /// A leg replied. Folds it into its op; completes the ticket when the
+    /// op is done. Runs on actor threads — must never block.
+    fn leg_arrived(&self, ticket: u64, leg: u32, reply: LegReply<K>) {
+        let mut st = self.lock();
+        let Some(op) = st.ops.get_mut(&ticket) else {
+            return; // op already settled (earlier leg error); straggler
+        };
+        let mut round_complete = false;
+        // A reply kind that does not match the op kind cannot be
+        // constructed by the actors (each Request variant maps onto
+        // exactly one LegReply variant); the mismatch arms settle
+        // defensively as ActorGone rather than panicking on an actor
+        // thread.
+        let settled: Option<Result<Outcome<K>, RuntimeError>> = match op {
+            OpState::Direct => Some(match reply {
+                LegReply::Read(r) => r.map(Outcome::Read).map_err(RuntimeError::Store),
+                LegReply::Write(r) => r.map(Outcome::Write).map_err(RuntimeError::Store),
+                LegReply::Aggregate(r) => r.map(Outcome::Aggregate).map_err(RuntimeError::Store),
+                LegReply::Metrics(m) => Ok(Outcome::Metrics(RuntimeMetrics::from_shards(vec![m]))),
+            }),
+            OpState::Batch { remaining, refreshes } => match reply {
+                LegReply::Write(Ok(outcome)) => {
+                    *refreshes += outcome.refreshes;
+                    *remaining -= 1;
+                    (*remaining == 0)
+                        .then(|| Ok(Outcome::Write(WriteOutcome { refreshes: *refreshes })))
+                }
+                LegReply::Write(Err(e)) => Some(Err(RuntimeError::Store(e))),
+                _ => Some(Err(RuntimeError::ActorGone)),
+            },
+            OpState::Metrics { slots, remaining } => match reply {
+                LegReply::Metrics(m) => {
+                    slots[leg as usize] = Some(m);
+                    *remaining -= 1;
+                    (*remaining == 0).then(|| {
+                        let per_shard: Vec<StoreMetrics<K>> = slots
+                            .iter_mut()
+                            .map(|slot| slot.take().expect("all metric legs landed"))
+                            .collect();
+                        Ok(Outcome::Metrics(RuntimeMetrics::from_shards(per_shard)))
+                    })
+                }
+                _ => Some(Err(RuntimeError::ActorGone)),
+            },
+            OpState::Aggregate(agg) => match reply {
+                LegReply::Aggregate(Ok(outcome)) => {
+                    agg.partials[leg as usize] = Some(outcome.answer);
+                    agg.fetched[leg as usize] = outcome.refreshed;
+                    agg.remaining -= 1;
+                    round_complete = agg.remaining == 0 && !agg.advancing;
+                    None
+                }
+                LegReply::Aggregate(Err(e)) => Some(Err(RuntimeError::Store(e))),
+                _ => Some(Err(RuntimeError::ActorGone)),
+            },
+        };
+        let mut wake = false;
+        if let Some(outcome) = settled {
+            st.ops.remove(&ticket);
+            st.ready.push_back(Completion { ticket: Ticket(ticket), outcome });
+            wake = true;
+        } else if round_complete {
+            st.runnable.push(ticket);
+            wake = true;
+        }
+        drop(st);
+        if wake {
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
+    pub(crate) fn new(senders: Vec<MailboxSender<Request<K>>>) -> Self {
+        CompletionQueue {
+            core: Arc::new(QueueCore {
+                state: Mutex::new(QueueState {
+                    next_ticket: 1,
+                    ops: HashMap::new(),
+                    ready: VecDeque::new(),
+                    runnable: Vec::new(),
+                }),
+                cv: Condvar::new(),
+                senders,
+            }),
+        }
+    }
+
+    /// Register a new op and hand back its ticket (still locked state).
+    fn register(&self, op: OpState<K>) -> u64 {
+        let mut st = self.core.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.ops.insert(ticket, op);
+        ticket
+    }
+
+    fn leg(&self, ticket: u64, leg: u32) -> LegSender<K> {
+        LegSender { core: Arc::clone(&self.core), ticket, leg, fulfilled: false }
+    }
+
+    /// Abort a registered op whose leg could not be enqueued (closed
+    /// mailbox): unregister first so the rejected request's dropped
+    /// [`LegSender`] does not settle the ticket, then surface `Closed`.
+    fn abort_submit<T>(&self, ticket: u64, rejected: T) -> Result<Ticket, RuntimeError> {
+        self.core.lock().ops.remove(&ticket);
+        drop(rejected);
+        Err(RuntimeError::Closed)
+    }
+
+    /// Submit a single-leg op to `shard`.
+    pub(crate) fn submit_direct(
+        &self,
+        shard: usize,
+        build: impl FnOnce(LegSender<K>) -> Request<K>,
+    ) -> Result<Ticket, RuntimeError> {
+        let ticket = self.register(OpState::Direct);
+        match self.core.senders[shard].send(build(self.leg(ticket, 0))) {
+            Ok(()) => Ok(Ticket(ticket)),
+            Err(rejected) => self.abort_submit(ticket, rejected),
+        }
+    }
+
+    /// Submit a scattered batch write: one [`Request::WriteBatch`] leg
+    /// per `(shard, items)` part.
+    pub(crate) fn submit_batch(
+        &self,
+        parts: Vec<(usize, Vec<(K, f64)>)>,
+        now: TimeMs,
+    ) -> Result<Ticket, RuntimeError> {
+        let ticket = self.register(OpState::Batch { remaining: parts.len(), refreshes: 0 });
+        for (leg, (shard, items)) in parts.into_iter().enumerate() {
+            let reply = self.leg(ticket, leg as u32);
+            if let Err(rejected) =
+                self.core.senders[shard].send(Request::WriteBatch { items, now, reply })
+            {
+                return self.abort_submit(ticket, rejected);
+            }
+        }
+        Ok(Ticket(ticket))
+    }
+
+    /// Submit a metrics gather: one [`Request::Metrics`] leg per shard.
+    pub(crate) fn submit_metrics(&self) -> Result<Ticket, RuntimeError> {
+        let shards = self.core.senders.len();
+        let ticket =
+            self.register(OpState::Metrics { slots: vec![None; shards], remaining: shards });
+        for shard in 0..shards {
+            let reply = self.leg(ticket, shard as u32);
+            if let Err(rejected) = self.core.senders[shard].send(Request::Metrics { reply }) {
+                return self.abort_submit(ticket, rejected);
+            }
+        }
+        Ok(Ticket(ticket))
+    }
+
+    /// Submit a multi-shard aggregate: parks the [`AggregatePlan`] and
+    /// issues its first round.
+    pub(crate) fn submit_aggregate(
+        &self,
+        plan: AggregatePlan<K>,
+        round: RoundSpec,
+        parts: Vec<(usize, Vec<K>)>,
+        now: TimeMs,
+    ) -> Result<Ticket, RuntimeError> {
+        let n_parts = parts.len();
+        let op = AggOp {
+            plan,
+            parts,
+            now,
+            partials: vec![None; n_parts],
+            fetched: vec![Vec::new(); n_parts],
+            remaining: n_parts,
+            advancing: false,
+        };
+        let ticket = self.register(OpState::Aggregate(Box::new(op)));
+        self.issue_round(ticket, round).map(|()| Ticket(ticket))
+    }
+
+    /// Send one aggregate round's legs (one per part), outside the lock.
+    /// On a closed mailbox the op is settled/aborted with `Closed`.
+    fn issue_round(&self, ticket: u64, round: RoundSpec) -> Result<(), RuntimeError> {
+        // Snapshot the legs to send under the lock, then send unlocked —
+        // a full mailbox parks the sender, and parking while holding the
+        // queue lock would stop actors from delivering replies.
+        let (sends, now) = {
+            let st = self.core.lock();
+            let Some(OpState::Aggregate(agg)) = st.ops.get(&ticket) else {
+                return Ok(()); // settled concurrently (leg error)
+            };
+            let sends: Vec<(usize, Vec<K>, apcache_store::Constraint)> = agg
+                .parts
+                .iter()
+                .map(|(shard, keys)| {
+                    (*shard, keys.clone(), round.budget.constraint_for(keys.len()))
+                })
+                .collect();
+            (sends, agg.now)
+        };
+        for (leg, (shard, keys, constraint)) in sends.into_iter().enumerate() {
+            let reply = self.leg(ticket, leg as u32);
+            let request =
+                Request::Aggregate { kind: round.local_kind, keys, constraint, now, reply };
+            if let Err(rejected) = self.core.senders[shard].send(request) {
+                return self.abort_submit(ticket, rejected).map(|_| ());
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete a ticket immediately (no legs — e.g. the empty-SUM
+    /// aggregate, answered locally like the synchronous façades).
+    pub(crate) fn complete_immediately(&self, outcome: Outcome<K>) -> Ticket {
+        let mut st = self.core.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.ready.push_back(Completion { ticket: Ticket(ticket), outcome: Ok(outcome) });
+        drop(st);
+        self.core.cv.notify_all();
+        Ticket(ticket)
+    }
+
+    /// Advance every aggregate whose round has fully landed: feed the
+    /// plan, and either settle the ticket or issue the next round. Runs
+    /// on harvesting client threads (never on actors).
+    fn advance(&self) {
+        loop {
+            let mut st = self.core.lock();
+            let Some(ticket) = st.runnable.pop() else { return };
+            let Some(OpState::Aggregate(agg)) = st.ops.get_mut(&ticket) else { continue };
+            if agg.advancing {
+                continue; // the issuing thread re-checks on finish
+            }
+            let partials: Vec<Interval> =
+                agg.partials.iter_mut().map(|p| p.take().expect("round complete")).collect();
+            let fetched: Vec<K> = agg.fetched.iter_mut().flat_map(std::mem::take).collect();
+            match agg.plan.feed(&partials, fetched) {
+                Err(e) => {
+                    st.ops.remove(&ticket);
+                    st.ready.push_back(Completion {
+                        ticket: Ticket(ticket),
+                        outcome: Err(RuntimeError::Store(e)),
+                    });
+                    drop(st);
+                    self.core.cv.notify_all();
+                }
+                Ok(None) => {
+                    let Some(OpState::Aggregate(agg)) = st.ops.remove(&ticket) else {
+                        unreachable!("op verified above")
+                    };
+                    let outcome =
+                        agg.plan.finish().map(Outcome::Aggregate).map_err(RuntimeError::Store);
+                    st.ready.push_back(Completion { ticket: Ticket(ticket), outcome });
+                    drop(st);
+                    self.core.cv.notify_all();
+                }
+                Ok(Some(round)) => {
+                    let n_parts = agg.parts.len();
+                    agg.remaining = n_parts;
+                    agg.partials = vec![None; n_parts];
+                    agg.fetched = vec![Vec::new(); n_parts];
+                    agg.advancing = true;
+                    drop(st);
+                    if self.issue_round(ticket, round).is_err() {
+                        // The mailboxes closed between rounds: issue_round
+                        // already unregistered the op, but — unlike the
+                        // submit paths, where the error returns to the
+                        // submitter — this ticket is already out in the
+                        // wild, so it MUST settle: deliver Closed as its
+                        // completion instead of losing it silently.
+                        let mut st = self.core.lock();
+                        st.ready.push_back(Completion {
+                            ticket: Ticket(ticket),
+                            outcome: Err(RuntimeError::Closed),
+                        });
+                        drop(st);
+                        self.core.cv.notify_all();
+                        continue;
+                    }
+                    let mut st = self.core.lock();
+                    if let Some(OpState::Aggregate(agg)) = st.ops.get_mut(&ticket) {
+                        agg.advancing = false;
+                        if agg.remaining == 0 {
+                            st.runnable.push(ticket);
+                            drop(st);
+                            self.core.cv.notify_all();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Harvest the next finished completion without blocking. Advances
+    /// pending aggregate rounds first, so progress never depends on a
+    /// parked thread.
+    pub fn poll(&self) -> Option<Completion<K>> {
+        self.advance();
+        self.core.lock().ready.pop_front()
+    }
+
+    /// Block until the next completion (any ticket) is ready. Returns
+    /// `None` when nothing is outstanding — a queue with no submitted
+    /// work has nothing to wait for.
+    pub fn wait(&self) -> Option<Completion<K>> {
+        loop {
+            self.advance();
+            let mut st = self.core.lock();
+            loop {
+                if let Some(completion) = st.ready.pop_front() {
+                    return Some(completion);
+                }
+                if st.ops.is_empty() {
+                    return None;
+                }
+                if !st.runnable.is_empty() {
+                    break; // advance() outside the lock
+                }
+                st = self.core.cv.wait(st).expect("completion queue lock poisoned");
+            }
+        }
+    }
+
+    /// Block until `ticket` specifically completes and return its
+    /// outcome, leaving other completions queued for `poll`/`wait`.
+    /// Fails with [`RuntimeError::UnknownTicket`] if this queue never
+    /// issued the ticket or it was already harvested.
+    pub fn wait_ticket(&self, ticket: Ticket) -> Result<Outcome<K>, RuntimeError> {
+        loop {
+            self.advance();
+            let mut st = self.core.lock();
+            loop {
+                if let Some(pos) = st.ready.iter().position(|c| c.ticket == ticket) {
+                    let completion = st.ready.remove(pos).expect("position valid");
+                    return completion.outcome;
+                }
+                if !st.ops.contains_key(&ticket.0) {
+                    return Err(RuntimeError::UnknownTicket(ticket));
+                }
+                if !st.runnable.is_empty() {
+                    break; // advance() outside the lock
+                }
+                st = self.core.cv.wait(st).expect("completion queue lock poisoned");
+            }
+        }
+    }
+
+    /// Number of submitted tickets not yet settled.
+    pub fn outstanding(&self) -> usize {
+        self.core.lock().ops.len()
+    }
+
+    /// Number of settled completions not yet harvested.
+    pub fn ready_len(&self) -> usize {
+        self.core.lock().ready.len()
+    }
+}
+
+impl<K> fmt::Debug for CompletionQueue<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionQueue").finish_non_exhaustive()
+    }
+}

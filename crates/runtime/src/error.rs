@@ -4,6 +4,8 @@ use std::fmt;
 
 use apcache_store::StoreError;
 
+use crate::completion::Ticket;
+
 /// Errors raised by the concurrent runtime, on top of the store's own.
 #[derive(Debug)]
 pub enum RuntimeError {
@@ -19,6 +21,10 @@ pub enum RuntimeError {
     ActorGone,
     /// An actor thread could not be spawned at launch.
     Spawn(String),
+    /// A completion was requested for a ticket this queue never issued —
+    /// or one whose completion was already harvested (tickets settle
+    /// exactly once).
+    UnknownTicket(Ticket),
 }
 
 impl fmt::Display for RuntimeError {
@@ -28,6 +34,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Closed => write!(f, "runtime is shut down (mailbox closed)"),
             RuntimeError::ActorGone => write!(f, "shard actor exited without replying"),
             RuntimeError::Spawn(m) => write!(f, "failed to spawn shard actor: {m}"),
+            RuntimeError::UnknownTicket(t) => {
+                write!(f, "{t} was never issued by this queue or was already harvested")
+            }
         }
     }
 }

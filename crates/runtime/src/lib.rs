@@ -19,15 +19,27 @@
 //!   outrun a shard park on its full mailbox until the actor catches up.
 //!   [`RuntimeHandle::write_nowait`] is the fire-and-forget path: it pays
 //!   only the admission toll, never waits for the outcome.
+//! * **Tickets and completions.** Every verb has a non-blocking
+//!   `submit_*` form returning a [`Ticket`]; outcomes land out of order
+//!   in the handle's [`CompletionQueue`], harvested with
+//!   [`poll`](CompletionQueue::poll) / [`wait`](CompletionQueue::wait) /
+//!   [`wait_ticket`](CompletionQueue::wait_ticket) — an io_uring-style
+//!   split of *issuing* from *settling* that decouples logical client
+//!   count from thread count. The blocking verbs are `submit` +
+//!   `wait_ticket` wrappers, nothing more.
 //! * **Scatter/gather aggregates.** A deployment-wide aggregate splits
 //!   its precision budget by the rules in [`apcache_shard::plan`]
 //!   (`δ·n_s/n` for SUM, `δ·n_s` for AVG-as-SUM, full `δ` for MAX/MIN),
 //!   enqueues every shard's leg before awaiting any reply (the shards
 //!   work concurrently), and merges the bounded partial answers with the
-//!   same interval arithmetic as [`ShardedStore`] — including the
-//!   Relative probe → local-certificates → derived-budget refinement as
-//!   up to three scatter/gather rounds. Actors never message each other,
-//!   so the runtime has no deadlock cycles by construction.
+//!   same interval arithmetic as [`ShardedStore`] — the shared
+//!   [`AggregatePlan`](apcache_shard::plan::AggregatePlan) state machine
+//!   runs the Relative probe → local-certificates → derived-budget
+//!   refinement as up to three rounds of submitted tickets, parked in
+//!   the completion queue and advanced by whichever thread harvests, so
+//!   a long refinement interleaves with unrelated traffic instead of
+//!   holding a client thread. Actors never message each other, so the
+//!   runtime has no deadlock cycles by construction.
 //! * **Draining shutdown.** [`Runtime::shutdown`] acknowledges, per
 //!   shard, that every previously enqueued request has been served, then
 //!   closes the mailboxes and joins the actors — no accepted write is
@@ -89,12 +101,14 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+pub mod completion;
 pub mod error;
 pub mod mailbox;
 pub mod oneshot;
 pub mod request;
 pub mod runtime;
 
+pub use completion::{Completion, CompletionQueue, Outcome, Ticket};
 pub use error::RuntimeError;
 pub use request::Request;
 pub use runtime::{
@@ -230,6 +244,133 @@ mod tests {
         let m = runtime.handle().metrics().unwrap();
         assert_eq!(m.merged().totals().writes, 8 * 50 * 8);
         assert_eq!(m.merged().totals().reads, 8 * 50);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn tickets_settle_out_of_order_on_one_thread() {
+        let runtime = Runtime::launch(fleet(4, 16)).unwrap();
+        let h = runtime.handle();
+        // Fill a window of heterogeneous submissions without blocking.
+        let writes: Vec<Ticket> =
+            (0..16).map(|k| h.submit_write(&k, 1_000.0 + k as f64, 500).unwrap()).collect();
+        let reads: Vec<Ticket> =
+            (0..16).map(|k| h.submit_read(&k, Constraint::Absolute(5.0), 500).unwrap()).collect();
+        let keys: Vec<u64> = (0..16).collect();
+        let agg = h.submit_aggregate(AggregateKind::Sum, &keys, Constraint::Exact, 500).unwrap();
+        let m = h.submit_metrics().unwrap();
+        // Tickets are monotone within the queue.
+        let mut all: Vec<u64> = writes.iter().chain(&reads).map(|t| t.0).collect();
+        all.push(agg.0);
+        all.push(m.0);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        // Harvest out of order: the aggregate first, then whatever comes.
+        match h.wait_ticket(agg).unwrap() {
+            Outcome::Aggregate(out) => {
+                assert!(out.answer.is_exact());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut harvested = 0;
+        while let Some(completion) = h.wait() {
+            completion.outcome.unwrap();
+            harvested += 1;
+        }
+        assert_eq!(harvested, 16 + 16 + 1); // writes + reads + metrics
+        assert_eq!(h.completions().outstanding(), 0);
+        // Settled tickets cannot be redeemed twice.
+        assert!(matches!(h.wait_ticket(agg), Err(RuntimeError::UnknownTicket(t)) if t == agg));
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn blocking_verbs_and_tickets_share_one_queue_without_stealing() {
+        let runtime = Runtime::launch(fleet(2, 8)).unwrap();
+        let h = runtime.handle();
+        // A pending ticket survives interleaved blocking calls on the
+        // same handle: wait_ticket targets its own completion only.
+        let pending = h.submit_read(&3, Constraint::Absolute(1e9), 100).unwrap();
+        for t in 1..=10u64 {
+            h.write(&(t % 8), t as f64 * 3.0, t * 1_000).unwrap();
+        }
+        let keys: Vec<u64> = (0..8).collect();
+        h.aggregate(AggregateKind::Max, &keys, Constraint::Relative(0.01), 20_000).unwrap();
+        match h.wait_ticket(pending).unwrap() {
+            Outcome::Read(r) => assert!(r.answer.contains(300.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Handle clones are independent logical clients: their queues
+        // and ticket sequences do not interfere.
+        let other = h.clone();
+        let t_other = other.submit_read(&0, Constraint::Exact, 30_000).unwrap();
+        assert!(matches!(h.wait_ticket(t_other), Err(RuntimeError::UnknownTicket(_))));
+        assert!(matches!(other.wait_ticket(t_other).unwrap(), Outcome::Read(_)));
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn relative_aggregate_rounds_interleave_with_unrelated_tickets() {
+        // A tight-ρ multi-shard Relative aggregate needs escalation
+        // rounds; submitting unrelated traffic after it and harvesting
+        // everything must settle all tickets (the rounds advance from
+        // the harvesting calls, not from a parked client thread).
+        let runtime = Runtime::launch(fleet(4, 16)).unwrap();
+        let h = runtime.handle();
+        let keys: Vec<u64> = (0..16).collect();
+        let agg =
+            h.submit_aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.001), 0).unwrap();
+        let unrelated: Vec<Ticket> =
+            (0..16).map(|k| h.submit_read(&k, Constraint::Absolute(50.0), 0).unwrap()).collect();
+        for t in unrelated {
+            assert!(matches!(h.wait_ticket(t).unwrap(), Outcome::Read(_)));
+        }
+        match h.wait_ticket(agg).unwrap() {
+            Outcome::Aggregate(out) => {
+                assert!(!out.refreshed.is_empty(), "tight rho must escalate");
+                let truth: f64 = (0..16).map(|k| 100.0 * k as f64).sum();
+                assert!(out.answer.contains(truth));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn aggregate_ticket_settles_closed_when_shutdown_lands_between_rounds() {
+        // A tight-ρ multi-shard aggregate needs an escalation round.
+        // Shut the runtime down after round 1 has drained but before any
+        // harvest advances the plan: issuing round 2 then fails on the
+        // closed mailboxes, and the ticket must settle with Closed — not
+        // vanish (the regression was wait_ticket reporting UnknownTicket
+        // and wait() seeing an idle queue).
+        let runtime = Runtime::launch(fleet(4, 16)).unwrap();
+        let h = runtime.handle();
+        let keys: Vec<u64> = (0..16).collect();
+        let agg =
+            h.submit_aggregate(AggregateKind::Sum, &keys, Constraint::Relative(0.0001), 0).unwrap();
+        runtime.shutdown().unwrap(); // drains the probe legs, closes mailboxes
+        match h.wait_ticket(agg) {
+            Err(RuntimeError::Closed) => {}
+            other => panic!("ticket lost across shutdown: {other:?}"),
+        }
+        assert_eq!(h.completions().outstanding(), 0);
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_wait_drains_to_none() {
+        let runtime = Runtime::launch(fleet(2, 4)).unwrap();
+        let h = runtime.handle();
+        assert!(h.wait().is_none(), "empty queue has nothing to wait for");
+        let t = h.submit_write(&0, 5.0, 0).unwrap();
+        // Poll until it settles (the actor runs concurrently).
+        let completion = loop {
+            if let Some(c) = h.poll() {
+                break c;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(completion.ticket, t);
+        assert!(h.poll().is_none());
         runtime.shutdown().unwrap();
     }
 

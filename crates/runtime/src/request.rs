@@ -3,19 +3,24 @@
 
 use apcache_core::TimeMs;
 use apcache_queries::AggregateKind;
-use apcache_store::{
-    AggregateOutcome, Constraint, ReadResult, StoreError, StoreMetrics, WriteOutcome,
-};
+use apcache_store::Constraint;
 
+use crate::completion::LegSender;
 use crate::oneshot::ReplySender;
 
 /// One message in a shard actor's mailbox.
 ///
 /// Every variant maps onto a `PrecisionStore` verb on the shard's own
-/// store; cross-shard operations (deployment-wide aggregates, the merged
-/// metrics rollup) are composed by the handle out of these per-shard
-/// messages — the actors themselves never talk to each other, which is
-/// what keeps the runtime deadlock-free by construction.
+/// store; cross-shard operations (deployment-wide aggregates, batch
+/// writes, the merged metrics rollup) are composed by the handle out of
+/// these per-shard messages — the actors themselves never talk to each
+/// other, which is what keeps the runtime deadlock-free by construction.
+///
+/// Each verb-carrying variant holds a [`LegSender`]: the actor fulfills
+/// it with the store's result, and the handle's completion queue folds
+/// the legs into [`Completion`](crate::Completion)s — whether the caller
+/// is harvesting tickets out of order or blocking in a `submit` +
+/// `wait_ticket` wrapper.
 pub enum Request<K> {
     /// Point read to the given precision.
     Read {
@@ -26,7 +31,7 @@ pub enum Request<K> {
         /// Logical time of the read.
         now: TimeMs,
         /// Where the answer goes.
-        reply: ReplySender<Result<ReadResult, StoreError>>,
+        reply: LegSender<K>,
     },
     /// A new exact value arrives at the source. `reply: None` is the
     /// fire-and-forget path: the caller paid its backpressure toll at the
@@ -39,7 +44,7 @@ pub enum Request<K> {
         /// Logical time of the write.
         now: TimeMs,
         /// Where the outcome goes; `None` for fire-and-forget.
-        reply: Option<ReplySender<Result<WriteOutcome, StoreError>>>,
+        reply: Option<LegSender<K>>,
     },
     /// A batch of writes for this shard, applied in order.
     WriteBatch {
@@ -48,10 +53,11 @@ pub enum Request<K> {
         /// Logical time of the batch.
         now: TimeMs,
         /// Where the summed outcome goes.
-        reply: ReplySender<Result<WriteOutcome, StoreError>>,
+        reply: LegSender<K>,
     },
-    /// One shard-local leg of a deployment-wide aggregate (the handle
-    /// splits the budget and merges the partial answers).
+    /// One shard-local leg of a deployment-wide aggregate (the
+    /// completion queue splits the budget and merges the partial
+    /// answers by the shared [`plan`](apcache_shard::plan) rules).
     Aggregate {
         /// The shard-local aggregate kind (AVG arrives as SUM).
         kind: AggregateKind,
@@ -62,12 +68,12 @@ pub enum Request<K> {
         /// Logical time of the query.
         now: TimeMs,
         /// Where the partial answer goes.
-        reply: ReplySender<Result<AggregateOutcome<K>, StoreError>>,
+        reply: LegSender<K>,
     },
     /// Snapshot this shard's serving metrics.
     Metrics {
         /// Where the snapshot goes.
-        reply: ReplySender<StoreMetrics<K>>,
+        reply: LegSender<K>,
     },
     /// Orderly shutdown marker: the actor acknowledges that every request
     /// enqueued before this one has been fully processed. (The actor

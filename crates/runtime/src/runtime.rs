@@ -5,18 +5,19 @@ use std::hash::Hash;
 use std::sync::Arc;
 use std::thread;
 
-use apcache_core::{Interval, TimeMs};
+use apcache_core::TimeMs;
 use apcache_queries::AggregateKind;
-use apcache_shard::plan::{empty_aggregate, evaluate_constraint};
+use apcache_shard::plan::{empty_aggregate, AggregatePlan};
 use apcache_shard::{ShardRouter, ShardedStore};
 use apcache_store::{
     AggregateOutcome, Constraint, PrecisionStore, ReadResult, StoreError, StoreMetrics,
     WriteOutcome,
 };
 
+use crate::completion::{Completion, CompletionQueue, LegReply, Outcome, Ticket};
 use crate::error::RuntimeError;
 use crate::mailbox::{mailbox, MailboxSender};
-use crate::oneshot::{reply_slot, ReplyReceiver};
+use crate::oneshot::reply_slot;
 use crate::request::Request;
 
 /// Tuning for [`Runtime::launch_with`].
@@ -101,10 +102,12 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
         Ok(Runtime { shared: Arc::new(Shared { router, senders, keys }), threads })
     }
 
-    /// A cheaply-cloneable serving handle (share freely across client
-    /// threads).
+    /// A serving handle with its own fresh completion queue (share a
+    /// handle's *clone* per client thread; each clone is an independent
+    /// logical client).
     pub fn handle(&self) -> RuntimeHandle<K> {
-        RuntimeHandle { shared: Arc::clone(&self.shared) }
+        let queue = CompletionQueue::new(self.shared.senders.clone());
+        RuntimeHandle { shared: Arc::clone(&self.shared), queue }
     }
 
     /// Number of shard actors.
@@ -168,27 +171,28 @@ impl<K> Drop for Runtime<K> {
 }
 
 /// One shard actor's request dispatch (runs on the actor thread; the
-/// actor never blocks on anything but its own mailbox, so actors cannot
-/// deadlock each other).
+/// actor never blocks on anything but its own mailbox — leg replies are
+/// non-blocking pushes into the submitting handle's completion queue —
+/// so actors cannot deadlock each other).
 fn serve<K: Hash + Ord + Clone>(store: &mut PrecisionStore<K>, request: Request<K>) {
     match request {
         Request::Read { key, constraint, now, reply } => {
-            reply.send(store.read(&key, constraint, now));
+            reply.send(LegReply::Read(store.read(&key, constraint, now)));
         }
         Request::Write { key, value, now, reply } => {
             let outcome = store.write(&key, value, now);
             if let Some(reply) = reply {
-                reply.send(outcome);
+                reply.send(LegReply::Write(outcome));
             }
         }
         Request::WriteBatch { items, now, reply } => {
-            reply.send(store.write_batch(&items, now));
+            reply.send(LegReply::Write(store.write_batch(&items, now)));
         }
         Request::Aggregate { kind, keys, constraint, now, reply } => {
-            reply.send(store.aggregate(kind, &keys, constraint, now));
+            reply.send(LegReply::Aggregate(store.aggregate(kind, &keys, constraint, now)));
         }
         Request::Metrics { reply } => {
-            reply.send(store.metrics().clone());
+            reply.send(LegReply::Metrics(store.metrics().clone()));
         }
         Request::Shutdown { ack } => {
             ack.send(());
@@ -207,6 +211,16 @@ pub struct RuntimeMetrics<K> {
 }
 
 impl<K: Ord + Clone> RuntimeMetrics<K> {
+    /// Assemble from per-shard snapshots in shard-id order, computing the
+    /// merged rollup.
+    pub(crate) fn from_shards(per_shard: Vec<StoreMetrics<K>>) -> Self {
+        let mut merged = StoreMetrics::new();
+        for m in &per_shard {
+            merged.merge(m);
+        }
+        RuntimeMetrics { per_shard, merged }
+    }
+
     /// The merged rollup: every counter summed across shards.
     pub fn merged(&self) -> &StoreMetrics<K> {
         &self.merged
@@ -223,17 +237,33 @@ impl<K: Ord + Clone> RuntimeMetrics<K> {
     }
 }
 
-/// A cheaply-cloneable client of the runtime: routes every request to the
-/// owning shard's mailbox and blocks on the reply (or, for
-/// [`write_nowait`](RuntimeHandle::write_nowait), only on mailbox
-/// admission). Clone one per client thread.
+/// A cheaply-cloneable client of the runtime.
+///
+/// Every verb exists in two forms:
+///
+/// * **`submit_*`** — non-blocking: route the request to the owning
+///   shard's mailbox (parking only on mailbox admission, the
+///   backpressure toll) and return a [`Ticket`]. Outcomes are harvested
+///   out of order from the handle's [`CompletionQueue`] via
+///   [`poll`](RuntimeHandle::poll) / [`wait`](RuntimeHandle::wait) /
+///   [`wait_ticket`](RuntimeHandle::wait_ticket) — so one thread can
+///   multiplex arbitrarily many logical requests.
+/// * **blocking** — `submit` + `wait_ticket`, nothing more; the
+///   convenience form for call-reply code.
+///
+/// Cloning a handle creates an independent logical client with its own
+/// completion queue and ticket sequence (tickets are queue-scoped).
 pub struct RuntimeHandle<K> {
     shared: Arc<Shared<K>>,
+    queue: CompletionQueue<K>,
 }
 
-impl<K> Clone for RuntimeHandle<K> {
+impl<K: Hash + Ord + Clone + Send + 'static> Clone for RuntimeHandle<K> {
     fn clone(&self) -> Self {
-        RuntimeHandle { shared: Arc::clone(&self.shared) }
+        RuntimeHandle {
+            shared: Arc::clone(&self.shared),
+            queue: CompletionQueue::new(self.shared.senders.clone()),
+        }
     }
 }
 
@@ -263,6 +293,30 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         self.shared.keys.is_empty()
     }
 
+    /// This handle's completion queue — clone it to hand the harvesting
+    /// side to a dedicated reactor thread while others submit.
+    pub fn completions(&self) -> &CompletionQueue<K> {
+        &self.queue
+    }
+
+    /// Harvest the next finished completion without blocking (see
+    /// [`CompletionQueue::poll`]).
+    pub fn poll(&self) -> Option<Completion<K>> {
+        self.queue.poll()
+    }
+
+    /// Block for the next completion, any ticket; `None` when nothing is
+    /// outstanding (see [`CompletionQueue::wait`]).
+    pub fn wait(&self) -> Option<Completion<K>> {
+        self.queue.wait()
+    }
+
+    /// Block for one specific ticket's outcome (see
+    /// [`CompletionQueue::wait_ticket`]).
+    pub fn wait_ticket(&self, ticket: Ticket) -> Result<Outcome<K>, RuntimeError> {
+        self.queue.wait_ticket(ticket)
+    }
+
     /// Resolve the owning shard, rejecting unregistered keys before any
     /// message is sent (mirrors `ShardedStore`, which never charges a
     /// shard for an unroutable request).
@@ -273,68 +327,42 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         Ok(self.shard_of(key))
     }
 
-    /// Enqueue a request on `shard`'s mailbox, parking if it is full.
-    fn send(&self, shard: usize, request: Request<K>) -> Result<(), RuntimeError> {
-        self.shared.senders[shard].send(request).map_err(|_| RuntimeError::Closed)
-    }
+    // -----------------------------------------------------------------
+    // Submission surface: every verb as a ticket.
+    // -----------------------------------------------------------------
 
-    /// Block on a reply, mapping an unfulfilled slot to the dead-actor
-    /// error.
-    fn wait<T>(rx: ReplyReceiver<Result<T, StoreError>>) -> Result<T, RuntimeError> {
-        rx.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)
-    }
-
-    /// Read `key` to the given precision on its owning shard (blocking).
-    pub fn read(
+    /// Submit a point read; harvest a [`Outcome::Read`].
+    pub fn submit_read(
         &self,
         key: &K,
         constraint: Constraint,
         now: TimeMs,
-    ) -> Result<ReadResult, RuntimeError> {
+    ) -> Result<Ticket, RuntimeError> {
         let shard = self.owning_shard(key)?;
-        let (tx, rx) = reply_slot();
-        self.send(shard, Request::Read { key: key.clone(), constraint, now, reply: tx })?;
-        Self::wait(rx)
+        let key = key.clone();
+        self.queue.submit_direct(shard, move |reply| Request::Read { key, constraint, now, reply })
     }
 
-    /// Push a new exact value for `key` and wait for the outcome.
-    pub fn write(&self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, RuntimeError> {
+    /// Submit a write; harvest a [`Outcome::Write`].
+    pub fn submit_write(&self, key: &K, value: f64, now: TimeMs) -> Result<Ticket, RuntimeError> {
         let shard = self.owning_shard(key)?;
-        let (tx, rx) = reply_slot();
-        self.send(shard, Request::Write { key: key.clone(), value, now, reply: Some(tx) })?;
-        Self::wait(rx)
+        let key = key.clone();
+        self.queue.submit_direct(shard, move |reply| Request::Write {
+            key,
+            value,
+            now,
+            reply: Some(reply),
+        })
     }
 
-    /// Fire-and-forget write: validated and enqueued (parking while the
-    /// shard's mailbox is full — that is the backpressure), then the
-    /// caller moves on. The write is applied in mailbox order; a draining
-    /// shutdown still processes it.
-    pub fn write_nowait(&self, key: &K, value: f64, now: TimeMs) -> Result<(), RuntimeError> {
-        if !value.is_finite() {
-            return Err(RuntimeError::Store(
-                apcache_core::error::ProtocolError::NonFiniteValue(value).into(),
-            ));
-        }
-        let shard = self.owning_shard(key)?;
-        self.send(shard, Request::Write { key: key.clone(), value, now, reply: None })
-    }
-
-    /// Apply a batch of writes with one routing pass: items are validated
-    /// up front (unknown keys, non-finite values — a batch failing
-    /// validation sends nothing), grouped by owning shard, scattered as
-    /// one [`Request::WriteBatch`] per shard, and the outcomes gathered
-    /// and summed. Shards apply their items in slice order, concurrently
-    /// with each other.
-    ///
-    /// Unlike [`ShardedStore::write_batch`], atomicity covers only the
-    /// validation phase: if the runtime is shut down mid-scatter, legs
-    /// already accepted by their mailboxes are still applied (the drain
-    /// guarantee) while the caller sees [`RuntimeError::Closed`].
-    pub fn write_batch(
+    /// Submit a batch of writes (validated up front, one scattered leg
+    /// per owning shard, applied in slice order within each shard);
+    /// harvest a [`Outcome::Write`] with the summed refresh count.
+    pub fn submit_write_batch(
         &self,
         items: &[(K, f64)],
         now: TimeMs,
-    ) -> Result<WriteOutcome, RuntimeError> {
+    ) -> Result<Ticket, RuntimeError> {
         let mut per_shard: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shard_count()];
         for (key, value) in items {
             if !value.is_finite() {
@@ -345,20 +373,119 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
             let shard = self.owning_shard(key)?;
             per_shard[shard].push((key.clone(), *value));
         }
-        let mut pending = Vec::new();
-        for (shard, batch) in per_shard.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let (tx, rx) = reply_slot();
-            self.send(shard, Request::WriteBatch { items: batch, now, reply: tx })?;
-            pending.push(rx);
+        let parts: Vec<(usize, Vec<(K, f64)>)> =
+            per_shard.into_iter().enumerate().filter(|(_, items)| !items.is_empty()).collect();
+        if parts.is_empty() {
+            // An empty batch refreshes nothing; settle it locally.
+            return Ok(self
+                .queue
+                .complete_immediately(Outcome::Write(WriteOutcome { refreshes: 0 })));
         }
-        let mut refreshes = 0;
-        for rx in pending {
-            refreshes += Self::wait(rx)?.refreshes;
+        self.queue.submit_batch(parts, now)
+    }
+
+    /// Submit a deployment-wide bounded aggregate; harvest a
+    /// [`Outcome::Aggregate`].
+    ///
+    /// Single-shard key sets delegate the whole constraint to the owning
+    /// actor untouched (bit-identical to the unsharded store); multi-
+    /// shard sets park an [`AggregatePlan`] in the completion queue, so
+    /// the Relative probe → escalate rounds run as submitted tickets that
+    /// interleave with this handle's other traffic instead of holding the
+    /// client thread.
+    pub fn submit_aggregate(
+        &self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<Ticket, RuntimeError> {
+        constraint.validate().map_err(RuntimeError::Store)?;
+        if keys.is_empty() {
+            let outcome = empty_aggregate(kind).map_err(RuntimeError::Store)?;
+            return Ok(self.queue.complete_immediately(Outcome::Aggregate(outcome)));
         }
-        Ok(WriteOutcome { refreshes })
+        let parts = self.partition(keys)?;
+        if let [(shard, shard_keys)] = parts.as_slice() {
+            let (shard, keys) = (*shard, shard_keys.clone());
+            return self.queue.submit_direct(shard, move |reply| Request::Aggregate {
+                kind,
+                keys,
+                constraint,
+                now,
+                reply,
+            });
+        }
+        let (plan, round) =
+            AggregatePlan::start(kind, constraint, keys.len()).map_err(RuntimeError::Store)?;
+        self.queue.submit_aggregate(plan, round, parts, now)
+    }
+
+    /// Submit a deployment-metrics gather (one leg per shard); harvest a
+    /// [`Outcome::Metrics`].
+    pub fn submit_metrics(&self) -> Result<Ticket, RuntimeError> {
+        self.queue.submit_metrics()
+    }
+
+    // -----------------------------------------------------------------
+    // Blocking surface: submit + wait_ticket, nothing else.
+    // -----------------------------------------------------------------
+
+    /// Read `key` to the given precision on its owning shard (blocking:
+    /// [`submit_read`](RuntimeHandle::submit_read) +
+    /// [`wait_ticket`](RuntimeHandle::wait_ticket)).
+    pub fn read(
+        &self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, RuntimeError> {
+        match self.wait_ticket(self.submit_read(key, constraint, now)?)? {
+            Outcome::Read(result) => Ok(result),
+            _ => unreachable!("read tickets settle as read outcomes"),
+        }
+    }
+
+    /// Push a new exact value for `key` and wait for the outcome.
+    pub fn write(&self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, RuntimeError> {
+        match self.wait_ticket(self.submit_write(key, value, now)?)? {
+            Outcome::Write(outcome) => Ok(outcome),
+            _ => unreachable!("write tickets settle as write outcomes"),
+        }
+    }
+
+    /// Fire-and-forget write: validated and enqueued (parking while the
+    /// shard's mailbox is full — that is the backpressure), then the
+    /// caller moves on without a ticket. The write is applied in mailbox
+    /// order; a draining shutdown still processes it.
+    pub fn write_nowait(&self, key: &K, value: f64, now: TimeMs) -> Result<(), RuntimeError> {
+        if !value.is_finite() {
+            return Err(RuntimeError::Store(
+                apcache_core::error::ProtocolError::NonFiniteValue(value).into(),
+            ));
+        }
+        let shard = self.owning_shard(key)?;
+        self.shared.senders[shard]
+            .send(Request::Write { key: key.clone(), value, now, reply: None })
+            .map_err(|_| RuntimeError::Closed)
+    }
+
+    /// Apply a batch of writes with one routing pass (blocking form of
+    /// [`submit_write_batch`](RuntimeHandle::submit_write_batch)).
+    ///
+    /// Unlike [`ShardedStore::write_batch`], atomicity covers only the
+    /// validation phase: if the runtime is shut down mid-scatter, legs
+    /// already accepted by their mailboxes are still applied (the drain
+    /// guarantee) while the caller sees [`RuntimeError::Closed`].
+    pub fn write_batch(
+        &self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, RuntimeError> {
+        match self.wait_ticket(self.submit_write_batch(items, now)?)? {
+            Outcome::Write(outcome) => Ok(outcome),
+            _ => unreachable!("batch tickets settle as write outcomes"),
+        }
     }
 
     /// Partition `keys` by owning shard (slice order preserved within each
@@ -372,52 +499,12 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
     }
 
-    /// Scatter one shard-local aggregate leg per part (all legs enqueued
-    /// before any reply is awaited, so the shards run them concurrently)
-    /// and gather the partial answers in part order — the same order the
-    /// synchronous `ShardedStore` folds, so merged answers and refresh
-    /// lists come out identical. This is the runtime's
-    /// [`plan::FanOut`](apcache_shard::plan::FanOut) primitive.
-    fn scatter(
-        &self,
-        local_kind: AggregateKind,
-        parts: &[(usize, Vec<K>)],
-        split: &dyn Fn(usize) -> Constraint,
-        now: TimeMs,
-    ) -> Result<(Vec<Interval>, Vec<K>), RuntimeError> {
-        let mut pending = Vec::with_capacity(parts.len());
-        for (shard, keys) in parts {
-            let (tx, rx) = reply_slot();
-            self.send(
-                *shard,
-                Request::Aggregate {
-                    kind: local_kind,
-                    keys: keys.clone(),
-                    constraint: split(keys.len()),
-                    now,
-                    reply: tx,
-                },
-            )?;
-            pending.push(rx);
-        }
-        let mut partials = Vec::with_capacity(parts.len());
-        let mut refreshed = Vec::new();
-        for rx in pending {
-            let outcome = Self::wait(rx)?;
-            partials.push(outcome.answer);
-            refreshed.extend(outcome.refreshed);
-        }
-        Ok((partials, refreshed))
-    }
-
-    /// Bounded aggregate over `keys`, scattered to the owning shard actors
-    /// and gathered with the same interval arithmetic as
-    /// [`ShardedStore::aggregate`]. The constraint dispatch — including
-    /// the Relative probe → local-certificates → derived-budget
-    /// refinement, which here runs as up to three scatter/gather rounds —
-    /// is [`plan::evaluate_constraint`](apcache_shard::plan::evaluate_constraint),
-    /// literally the same code the synchronous façade folds with, so the
-    /// two cannot drift.
+    /// Bounded aggregate over `keys` (blocking form of
+    /// [`submit_aggregate`](RuntimeHandle::submit_aggregate)): the
+    /// constraint dispatch — including the Relative probe →
+    /// local-certificates → derived-budget refinement — is the shared
+    /// [`AggregatePlan`], literally the same state machine the
+    /// synchronous façade folds with, so the two cannot drift.
     pub fn aggregate(
         &self,
         kind: AggregateKind,
@@ -425,43 +512,18 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         constraint: Constraint,
         now: TimeMs,
     ) -> Result<AggregateOutcome<K>, RuntimeError> {
-        constraint.validate().map_err(RuntimeError::Store)?;
-        if keys.is_empty() {
-            return empty_aggregate(kind).map_err(RuntimeError::Store);
+        match self.wait_ticket(self.submit_aggregate(kind, keys, constraint, now)?)? {
+            Outcome::Aggregate(outcome) => Ok(outcome),
+            _ => unreachable!("aggregate tickets settle as aggregate outcomes"),
         }
-        let parts = self.partition(keys)?;
-        // All keys on one shard: delegate untouched, matching an unsharded
-        // store bit-for-bit (also covers single-shard runtimes).
-        if let [(shard, shard_keys)] = parts.as_slice() {
-            let (tx, rx) = reply_slot();
-            self.send(
-                *shard,
-                Request::Aggregate { kind, keys: shard_keys.clone(), constraint, now, reply: tx },
-            )?;
-            return Self::wait(rx);
-        }
-        evaluate_constraint(kind, constraint, keys.len(), &mut |local_kind, split| {
-            self.scatter(local_kind, &parts, split, now)
-        })
     }
 
-    /// Snapshot deployment metrics: per-shard counters gathered from the
-    /// actors plus their merged rollup.
+    /// Snapshot deployment metrics (blocking form of
+    /// [`submit_metrics`](RuntimeHandle::submit_metrics)).
     pub fn metrics(&self) -> Result<RuntimeMetrics<K>, RuntimeError> {
-        let mut pending = Vec::with_capacity(self.shard_count());
-        for shard in 0..self.shard_count() {
-            let (tx, rx) = reply_slot();
-            self.send(shard, Request::Metrics { reply: tx })?;
-            pending.push(rx);
+        match self.wait_ticket(self.submit_metrics()?)? {
+            Outcome::Metrics(metrics) => Ok(metrics),
+            _ => unreachable!("metrics tickets settle as metrics outcomes"),
         }
-        let mut per_shard = Vec::with_capacity(pending.len());
-        for rx in pending {
-            per_shard.push(rx.recv().map_err(|_| RuntimeError::ActorGone)?);
-        }
-        let mut merged = StoreMetrics::new();
-        for m in &per_shard {
-            merged.merge(m);
-        }
-        Ok(RuntimeMetrics { per_shard, merged })
     }
 }

@@ -9,6 +9,14 @@
 //! [`ShardedStore`](crate::ShardedStore) and by the actor runtime
 //! (`apcache-runtime`), whose scatter/gather rounds must compose answers
 //! by exactly the same rules to stay conformant.
+//!
+//! The constraint dispatch lives in [`AggregatePlan`], an explicit,
+//! *resumable* state machine: callers ask for the next [`RoundSpec`],
+//! run the fan-out however they like (inline shard calls, mailbox
+//! messages, submitted tickets), and [`feed`](AggregatePlan::feed) the
+//! partial answers back until the plan completes. The blocking driver
+//! [`evaluate_constraint`] is a thin loop over the same machine, so the
+//! synchronous and ticketed paths cannot drift.
 
 use apcache_core::Interval;
 use apcache_queries::relative::interval_magnitude;
@@ -91,6 +99,194 @@ pub fn empty_aggregate<K>(kind: AggregateKind) -> Result<AggregateOutcome<K>, St
     }
 }
 
+/// How one scatter/gather round slices the precision budget across the
+/// shards that hold the query's keys. Plain data (no closures), so a
+/// pending round can be parked inside a completion queue and re-issued by
+/// whichever thread harvests it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetRule {
+    /// Every shard receives the same constraint (the Relative probe's
+    /// infinite budget, or the local-certification round's `ρ`).
+    Uniform(Constraint),
+    /// Per-kind absolute split: each leg receives
+    /// [`shard_constraint`]`(kind, delta, n_total, n_shard)`.
+    Split {
+        /// The deployment-wide aggregate kind (pre-[`shard_kind`]).
+        kind: AggregateKind,
+        /// The deployment-wide absolute budget (`0` = exact).
+        delta: f64,
+        /// The query's total key count.
+        n_total: usize,
+    },
+}
+
+impl BudgetRule {
+    /// The constraint for a leg whose shard holds `n_shard` of the keys.
+    pub fn constraint_for(&self, n_shard: usize) -> Constraint {
+        match *self {
+            BudgetRule::Uniform(c) => c,
+            BudgetRule::Split { kind, delta, n_total } => {
+                shard_constraint(kind, delta, n_total, n_shard)
+            }
+        }
+    }
+}
+
+/// One scatter/gather round: the aggregate kind every shard evaluates
+/// locally and the budget rule that slices the constraint per leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSpec {
+    /// Shard-local aggregate kind (AVG travels as SUM).
+    pub local_kind: AggregateKind,
+    /// Budget slicing for this round's legs.
+    pub budget: BudgetRule,
+}
+
+/// Where the refinement stands: which round's partials the plan is
+/// waiting for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PlanState {
+    /// Waiting on the final absolute round; its merge is the answer.
+    AwaitFinal,
+    /// Waiting on the Relative probe (infinite budget — no fetches).
+    AwaitProbe(f64),
+    /// Waiting on the local-certification round (`ρ` at every shard).
+    AwaitLocal(f64),
+    /// The answer is in.
+    Done,
+}
+
+/// The multi-shard constraint-refinement state machine.
+///
+/// * **Exact / Absolute(δ)** — one round with the per-kind budget split
+///   ([`shard_constraint`]), one merge.
+/// * **Relative(ρ)** — at most three bounded rounds: (1) **probe** the
+///   cached bounds (infinite budget — no fetches); certified → free
+///   answer. (2) If the probe's magnitude collapsed to zero (an interval
+///   straddling zero or an uncached key), let every shard certify ρ
+///   **locally**, which cheaply resolves exactly the wild items. (3)
+///   Convert ρ to the absolute budget `ρ·mag` — sound because refreshes
+///   only shrink the answer interval, so its magnitude only grows — and
+///   finish with the absolute round. A zero magnitude at step 3 means
+///   the aggregate genuinely hugs zero, where no finite ρ short of
+///   exactness can be certified (the single store's planner shares this
+///   degeneracy).
+///
+/// Drive it with [`start`](AggregatePlan::start) →
+/// ([`feed`](AggregatePlan::feed) until `None`) →
+/// [`finish`](AggregatePlan::finish); the rounds may execute on any
+/// substrate — inline shard calls, mailboxes, submitted tickets — and
+/// *interleave with unrelated traffic*, because all refinement state
+/// lives here, not on a parked client thread.
+#[derive(Debug)]
+pub struct AggregatePlan<K> {
+    kind: AggregateKind,
+    n: usize,
+    state: PlanState,
+    refreshed: Vec<K>,
+    answer: Option<Interval>,
+}
+
+impl<K> AggregatePlan<K> {
+    /// Open a plan for an aggregate over `n >= 1` keys (empty queries are
+    /// [`empty_aggregate`]'s business) and return the first round to run.
+    pub fn start(
+        kind: AggregateKind,
+        constraint: Constraint,
+        n: usize,
+    ) -> Result<(Self, RoundSpec), StoreError> {
+        if n == 0 {
+            return Err(QueryError::EmptyInput.into());
+        }
+        let (state, round) = match constraint {
+            Constraint::Exact => (PlanState::AwaitFinal, final_round(kind, 0.0, n)),
+            Constraint::Absolute(delta) => (PlanState::AwaitFinal, final_round(kind, delta, n)),
+            Constraint::Relative(frac) => (
+                PlanState::AwaitProbe(frac),
+                RoundSpec {
+                    local_kind: shard_kind(kind),
+                    budget: BudgetRule::Uniform(Constraint::Absolute(f64::INFINITY)),
+                },
+            ),
+        };
+        let plan = AggregatePlan { kind, n, state, refreshed: Vec::new(), answer: None };
+        Ok((plan, round))
+    }
+
+    /// Feed the completed round's partial answers (in part order — the
+    /// same order every round fans out in) and the keys it fetched
+    /// exactly. Returns the next round to run, or `None` when the plan is
+    /// done and [`finish`](AggregatePlan::finish) may be called.
+    pub fn feed(
+        &mut self,
+        partials: &[Interval],
+        refreshed: Vec<K>,
+    ) -> Result<Option<RoundSpec>, StoreError> {
+        let merged = merge_partials(self.kind, partials, self.n)?;
+        match self.state {
+            PlanState::AwaitFinal => {
+                self.refreshed.extend(refreshed);
+                self.answer = Some(merged);
+                self.state = PlanState::Done;
+                Ok(None)
+            }
+            PlanState::AwaitProbe(frac) => {
+                // The probe runs under an infinite budget: it fetches
+                // nothing, so its refresh list is discarded (it is empty).
+                if satisfies_relative(&merged, frac) {
+                    self.answer = Some(merged);
+                    self.state = PlanState::Done;
+                    return Ok(None);
+                }
+                if interval_magnitude(&merged) == 0.0 {
+                    self.state = PlanState::AwaitLocal(frac);
+                    return Ok(Some(RoundSpec {
+                        local_kind: shard_kind(self.kind),
+                        budget: BudgetRule::Uniform(Constraint::Relative(frac)),
+                    }));
+                }
+                self.state = PlanState::AwaitFinal;
+                Ok(Some(final_round(self.kind, frac * interval_magnitude(&merged), self.n)))
+            }
+            PlanState::AwaitLocal(frac) => {
+                self.refreshed.extend(refreshed);
+                if satisfies_relative(&merged, frac) {
+                    self.answer = Some(merged);
+                    self.state = PlanState::Done;
+                    return Ok(None);
+                }
+                self.state = PlanState::AwaitFinal;
+                Ok(Some(final_round(self.kind, frac * interval_magnitude(&merged), self.n)))
+            }
+            PlanState::Done => {
+                Err(StoreError::Config("aggregate plan fed after completion".into()))
+            }
+        }
+    }
+
+    /// Whether the answer is in.
+    pub fn is_done(&self) -> bool {
+        self.state == PlanState::Done
+    }
+
+    /// The completed outcome: the merged answer interval plus every key
+    /// fetched exactly, in fetch order across rounds.
+    pub fn finish(self) -> Result<AggregateOutcome<K>, StoreError> {
+        match self.answer {
+            Some(answer) => Ok(AggregateOutcome { answer, refreshed: self.refreshed }),
+            None => Err(StoreError::Config("aggregate plan finished before completion".into())),
+        }
+    }
+}
+
+/// The final absolute round (`delta = 0` is exact).
+fn final_round(kind: AggregateKind, delta: f64, n: usize) -> RoundSpec {
+    RoundSpec {
+        local_kind: shard_kind(kind),
+        budget: BudgetRule::Split { kind, delta, n_total: n },
+    }
+}
+
 /// The fan-out primitive [`evaluate_constraint`] drives: run one
 /// shard-local aggregate leg per part — `(local_kind, split)` where
 /// `split(n_shard)` is that leg's constraint — and return the partial
@@ -99,70 +295,27 @@ pub type FanOut<'a, K, E> = dyn FnMut(AggregateKind, &dyn Fn(usize) -> Constrain
     + 'a;
 
 /// Evaluate a multi-shard aggregate over an abstract fan-out primitive:
-/// dispatch the constraint, run the rounds, merge the partial answers.
-///
-/// This is the refinement state machine both façades share —
-/// [`ShardedStore`](crate::ShardedStore) supplies a fan-out that calls
-/// its shards directly; the actor runtime supplies one scatter/gather
-/// round per call — so their answers and refresh plans cannot drift:
-///
-/// * **Exact / Absolute(δ)** — one fan-out with the per-kind budget
-///   split ([`shard_constraint`]), one merge.
-/// * **Relative(ρ)** — at most three bounded rounds: (1) **probe** the
-///   cached bounds (infinite budget — no fetches); certified → free
-///   answer. (2) If the probe's magnitude collapsed to zero (an interval
-///   straddling zero or an uncached key), let every shard certify ρ
-///   **locally**, which cheaply resolves exactly the wild items. (3)
-///   Convert ρ to the absolute budget `ρ·mag` — sound because refreshes
-///   only shrink the answer interval, so its magnitude only grows — and
-///   finish with the absolute fan-out. A zero magnitude at step 3 means
-///   the aggregate genuinely hugs zero, where no finite ρ short of
-///   exactness can be certified (the single store's planner shares this
-///   degeneracy).
+/// the blocking driver of [`AggregatePlan`] — ask for a round, run it,
+/// feed the partials, repeat. [`ShardedStore`](crate::ShardedStore)
+/// supplies a fan-out that calls its shards directly; the actor runtime's
+/// blocking verbs go through its ticketed submission path, which advances
+/// the *same* state machine — so the answers and refresh plans of every
+/// façade are computed by literally the same code.
 pub fn evaluate_constraint<K, E: From<StoreError>>(
     kind: AggregateKind,
     constraint: Constraint,
     n: usize,
     fan_out: &mut FanOut<'_, K, E>,
 ) -> Result<AggregateOutcome<K>, E> {
-    let frac = match constraint {
-        Constraint::Exact => return absolute_round(kind, 0.0, n, fan_out),
-        Constraint::Absolute(delta) => return absolute_round(kind, delta, n, fan_out),
-        Constraint::Relative(frac) => frac,
-    };
-    let local = shard_kind(kind);
-    let (partials, _) = fan_out(local, &|_| Constraint::Absolute(f64::INFINITY))?;
-    let mut merged = merge_partials(kind, &partials, n)?;
-    if satisfies_relative(&merged, frac) {
-        return Ok(AggregateOutcome { answer: merged, refreshed: Vec::new() });
-    }
-    let mut refreshed = Vec::new();
-    if interval_magnitude(&merged) == 0.0 {
-        let (partials, r) = fan_out(local, &|_| Constraint::Relative(frac))?;
-        merged = merge_partials(kind, &partials, n)?;
-        refreshed.extend(r);
-        if satisfies_relative(&merged, frac) {
-            return Ok(AggregateOutcome { answer: merged, refreshed });
+    let (mut plan, mut round) = AggregatePlan::start(kind, constraint, n).map_err(E::from)?;
+    loop {
+        let budget = round.budget;
+        let (partials, refreshed) = fan_out(round.local_kind, &|n_s| budget.constraint_for(n_s))?;
+        match plan.feed(&partials, refreshed).map_err(E::from)? {
+            Some(next) => round = next,
+            None => return plan.finish().map_err(E::from),
         }
     }
-    let budget = frac * interval_magnitude(&merged);
-    let mut outcome = absolute_round(kind, budget, n, fan_out)?;
-    refreshed.extend(outcome.refreshed);
-    outcome.refreshed = refreshed;
-    Ok(outcome)
-}
-
-/// One absolute fan-out (`delta = 0` is exact) and its merge.
-fn absolute_round<K, E: From<StoreError>>(
-    kind: AggregateKind,
-    delta: f64,
-    n: usize,
-    fan_out: &mut FanOut<'_, K, E>,
-) -> Result<AggregateOutcome<K>, E> {
-    let (partials, refreshed) =
-        fan_out(shard_kind(kind), &|n_s| shard_constraint(kind, delta, n, n_s))?;
-    let answer = merge_partials(kind, &partials, n)?;
-    Ok(AggregateOutcome { answer, refreshed })
 }
 
 #[cfg(test)]
@@ -226,5 +379,85 @@ mod tests {
             merge_partials(AggregateKind::Sum, &[], 0),
             Err(StoreError::Query(QueryError::EmptyInput))
         ));
+    }
+
+    #[test]
+    fn budget_rules_reproduce_the_split_functions() {
+        let uniform = BudgetRule::Uniform(Constraint::Relative(0.1));
+        assert_eq!(uniform.constraint_for(3), Constraint::Relative(0.1));
+        let split = BudgetRule::Split { kind: AggregateKind::Sum, delta: 8.0, n_total: 10 };
+        assert_eq!(split.constraint_for(5), shard_constraint(AggregateKind::Sum, 8.0, 10, 5));
+    }
+
+    #[test]
+    fn absolute_plan_is_one_round() {
+        let (mut plan, round) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Absolute(4.0), 4).unwrap();
+        assert_eq!(round.local_kind, AggregateKind::Sum);
+        assert_eq!(round.budget.constraint_for(2), Constraint::Absolute(2.0));
+        assert!(!plan.is_done());
+        let next = plan.feed(&[iv(0.0, 2.0), iv(5.0, 7.0)], vec![1, 2]).unwrap();
+        assert!(next.is_none());
+        assert!(plan.is_done());
+        let out = plan.finish().unwrap();
+        assert_eq!((out.answer.lo(), out.answer.hi()), (5.0, 9.0));
+        assert_eq!(out.refreshed, vec![1, 2]);
+    }
+
+    #[test]
+    fn relative_plan_certifies_from_the_probe() {
+        let (mut plan, round) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Relative(0.5), 2).unwrap();
+        assert_eq!(
+            round.budget.constraint_for(1),
+            Constraint::Absolute(f64::INFINITY),
+            "probe runs under an infinite budget"
+        );
+        // width 2 on magnitude 10: certified at ρ = 0.5.
+        assert!(plan.feed(&[iv(9.0, 11.0)], vec![]).unwrap().is_none());
+        let out = plan.finish().unwrap();
+        assert!(out.refreshed.is_empty());
+    }
+
+    #[test]
+    fn relative_plan_escalates_to_a_derived_budget() {
+        let (mut plan, _) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Relative(0.01), 2).unwrap();
+        // Probe fails (width 2, magnitude 9): escalate to δ = 0.01·9.
+        let next = plan.feed(&[iv(9.0, 11.0)], vec![]).unwrap().expect("escalates");
+        match next.budget {
+            BudgetRule::Split { kind: AggregateKind::Sum, delta, n_total: 2 } => {
+                assert!((delta - 0.09).abs() < 1e-12)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(plan.feed(&[iv(9.955, 10.045)], vec![7]).unwrap().is_none());
+        let out = plan.finish().unwrap();
+        assert_eq!(out.refreshed, vec![7]);
+    }
+
+    #[test]
+    fn relative_plan_runs_the_local_round_on_zero_magnitude() {
+        let (mut plan, _) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Relative(0.1), 2).unwrap();
+        // Probe straddles zero → magnitude 0 → local certification round.
+        let next = plan.feed(&[iv(-5.0, 5.0)], vec![]).unwrap().expect("local round");
+        assert_eq!(next.budget, BudgetRule::Uniform(Constraint::Relative(0.1)));
+        // Shards certify locally and the merge now sits away from zero.
+        assert!(plan.feed(&[iv(9.9, 10.1)], vec![3]).unwrap().is_none());
+        let out = plan.finish().unwrap();
+        assert_eq!(out.refreshed, vec![3]);
+    }
+
+    #[test]
+    fn misuse_is_an_error_not_a_panic() {
+        assert!(AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Exact, 0).is_err());
+        let (mut plan, _) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Exact, 1).unwrap();
+        assert!(plan.feed(&[iv(1.0, 1.0)], vec![]).unwrap().is_none());
+        assert!(plan.feed(&[iv(1.0, 1.0)], vec![]).is_err(), "feeding a done plan");
+        let (plan, _) =
+            AggregatePlan::<u64>::start(AggregateKind::Sum, Constraint::Exact, 1).unwrap();
+        assert!(plan.finish().is_err(), "finishing an unfed plan");
     }
 }

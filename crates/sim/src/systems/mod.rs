@@ -8,6 +8,7 @@
 
 mod adaptive;
 mod concurrent;
+mod pipelined;
 mod remote;
 mod sharded;
 
@@ -19,6 +20,7 @@ pub use concurrent::{
     build_concurrent_simulation, drive_concurrent_clients, ConcurrentAdaptiveSystem,
     ConcurrentLoad, ConcurrentRunTotals, ConcurrentSystemConfig,
 };
+pub use pipelined::{build_pipelined_simulation, PipelinedRemoteSystem, PipelinedSystemConfig};
 pub use remote::{build_remote_simulation, RemoteAdaptiveSystem};
 pub use sharded::{build_sharded_simulation, ShardedAdaptiveSystem, ShardedSystemConfig};
 

@@ -1,0 +1,293 @@
+//! The pipelined remote deployment: the actor runtime behind the v2
+//! wire protocol, driven through a windowed [`RemoteStoreClient`].
+//!
+//! Where [`RemoteAdaptiveSystem`](super::RemoteAdaptiveSystem) speaks
+//! strict call-reply to a sequential `StoreServer`, this system runs the
+//! full pipelined stack: a [`Runtime`] (one actor per shard) fronted by
+//! [`serve_pipelined`] over an in-process loopback transport, with the
+//! simulator's tick updates **submitted as a window of tickets** and
+//! harvested out of order — every update and query still crosses the
+//! codec, but requests overlap on the connection and on the shard actors
+//! exactly as the million-user deployment's would. Under θ = 1 a run is
+//! bit-identical to [`ShardedAdaptiveSystem`](super::ShardedAdaptiveSystem)
+//! (`build_pipelined_simulation` forks RNG streams in the same order).
+
+use std::thread;
+
+use apcache_core::cost::CostModel;
+use apcache_core::{Interval, Key, Rng, TimeMs};
+use apcache_runtime::Runtime;
+use apcache_shard::ShardedStore;
+use apcache_store::Constraint;
+use apcache_wire::{
+    loopback, serve_pipelined, LoopbackTransport, RemoteError, RemoteStoreClient, ServerExit,
+};
+use apcache_workload::query::GeneratedQuery;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::simulation::Simulation;
+use crate::stats::Stats;
+use crate::system::{CacheSystem, QuerySummary};
+use crate::systems::adaptive::WorkloadSpec;
+use crate::systems::sharded::ShardedSystemConfig;
+
+/// Configuration of the pipelined remote deployment.
+#[derive(Debug, Clone)]
+pub struct PipelinedSystemConfig {
+    /// The fleet behind the wire (shards, vnodes, per-shard protocol).
+    pub base: ShardedSystemConfig,
+    /// The client's in-flight window (1 = strict call-reply).
+    pub window: usize,
+}
+
+impl Default for PipelinedSystemConfig {
+    fn default() -> Self {
+        PipelinedSystemConfig { base: ShardedSystemConfig::default(), window: 8 }
+    }
+}
+
+/// The paper's system behind a pipelined wire: runtime actors served
+/// out of order, driven through a windowed client, under the simulator's
+/// cost accounting.
+pub struct PipelinedRemoteSystem {
+    client: Option<RemoteStoreClient<Key, LoopbackTransport>>,
+    runtime: Option<Runtime<Key>>,
+    server: Option<thread::JoinHandle<Result<ServerExit, SimError>>>,
+    cost: CostModel,
+}
+
+/// Wire/remote errors surface in the simulator's vocabulary.
+fn remote_error(e: RemoteError) -> SimError {
+    SimError::Config(e.to_string())
+}
+
+impl PipelinedRemoteSystem {
+    /// Build the fleet, launch the actor runtime, put the pipelined
+    /// server in front of it, and connect the windowed loopback client.
+    pub fn new(
+        cfg: &PipelinedSystemConfig,
+        initial_values: &[f64],
+        mut rng: Rng,
+    ) -> Result<Self, SimError> {
+        let store = cfg.base.build_store(initial_values, rng.fork())?;
+        let cost = *store.cost_model();
+        let runtime = Runtime::launch(store)
+            .map_err(|e| SimError::Config(format!("runtime launch failed: {e}")))?;
+        let handle = runtime.handle();
+        let (server_end, client_end) = loopback();
+        let server = thread::Builder::new()
+            .name("apcache-wire-pipelined-sim".into())
+            .spawn(move || {
+                serve_pipelined(server_end, handle)
+                    .map_err(|e| SimError::Config(format!("pipelined serving failed: {e}")))
+            })
+            .map_err(|e| SimError::Config(format!("failed to spawn server thread: {e}")))?;
+        Ok(PipelinedRemoteSystem {
+            client: Some(RemoteStoreClient::with_window(client_end, cfg.window)),
+            runtime: Some(runtime),
+            server: Some(server),
+            cost,
+        })
+    }
+
+    fn client(&mut self) -> &mut RemoteStoreClient<Key, LoopbackTransport> {
+        self.client.as_mut().expect("client lives until shutdown()")
+    }
+
+    /// End the session and take the drained fleet back — its final
+    /// protocol state (widths, intervals, counters) for inspection.
+    pub fn shutdown(mut self) -> Result<ShardedStore<Key>, SimError> {
+        let client = self.client.take().expect("shutdown runs once");
+        client.shutdown().map_err(remote_error)?;
+        let server = self.server.take().expect("server thread present");
+        let exit =
+            server.join().map_err(|_| SimError::Config("server thread panicked".into()))??;
+        debug_assert_eq!(exit, ServerExit::Shutdown);
+        let runtime = self.runtime.take().expect("runtime present");
+        runtime.into_store().map_err(|e| SimError::Config(format!("runtime drain failed: {e}")))
+    }
+}
+
+impl Drop for PipelinedRemoteSystem {
+    fn drop(&mut self) {
+        // An abandoned system still hangs up: dropping the client closes
+        // the loopback, the pipelined reader sees a clean disconnect, the
+        // drainer follows, and the runtime joins its actors.
+        drop(self.client.take());
+        if let Some(server) = self.server.take() {
+            let _ = server.join();
+        }
+        drop(self.runtime.take());
+    }
+}
+
+impl CacheSystem for PipelinedRemoteSystem {
+    fn on_update(
+        &mut self,
+        key: Key,
+        value: f64,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        let outcome = self.client().write(&key, value, now).map_err(remote_error)?;
+        for _ in 0..outcome.refreshes {
+            stats.record_vr(self.cost.c_vr());
+        }
+        Ok(())
+    }
+
+    fn on_update_batch(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        // The pipelined path: every update of the tick is submitted as
+        // its own ticket (filling the window before the first response is
+        // read) and the outcomes harvested afterwards, out of order.
+        // Submission order fixes each shard's mailbox order, so the
+        // result is bit-identical to the batched sequential path.
+        let c_vr = self.cost.c_vr();
+        let client = self.client();
+        let mut tickets = Vec::with_capacity(updates.len());
+        for (key, value) in updates {
+            tickets.push(client.submit_write(key, *value, now).map_err(remote_error)?);
+        }
+        for ticket in tickets {
+            let outcome = client.wait_write(ticket).map_err(remote_error)?;
+            for _ in 0..outcome.refreshes {
+                stats.record_vr(c_vr);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_query(
+        &mut self,
+        query: &GeneratedQuery,
+        now: TimeMs,
+        stats: &mut Stats,
+    ) -> Result<QuerySummary, SimError> {
+        let outcome = self
+            .client()
+            .aggregate(query.kind, &query.keys, Constraint::Absolute(query.delta), now)
+            .map_err(remote_error)?;
+        for _ in &outcome.refreshed {
+            stats.record_qr(self.cost.c_qr());
+        }
+        Ok(QuerySummary { answer: Some(outcome.answer), refreshes: outcome.refreshed.len() })
+    }
+
+    fn interval_of(&self, _key: Key, _now: TimeMs) -> Option<Interval> {
+        // Cached intervals live on the actor threads; the wire offers no
+        // passive peek (a read would perturb the protocol), so the
+        // recorder sees no interval trace for this system.
+        None
+    }
+}
+
+/// Assemble a full simulation of the pipelined deployment. RNG streams
+/// fork from the master seed in the same order as
+/// [`build_sharded_simulation`](super::build_sharded_simulation), so a
+/// run replays the identical workload — under θ = 1 the two must agree
+/// exactly, window, codec, out-of-order serving and all.
+pub fn build_pipelined_simulation(
+    sim_cfg: &SimConfig,
+    sys_cfg: &PipelinedSystemConfig,
+    workload: WorkloadSpec,
+    queries: apcache_workload::query::QueryConfig,
+) -> Result<Simulation<PipelinedRemoteSystem>, SimError> {
+    let mut master = Rng::seed_from_u64(sim_cfg.seed());
+    let processes = workload.build_processes(&mut master)?;
+    let initial_values: Vec<f64> = processes.iter().map(|p| p.value()).collect();
+    let system = PipelinedRemoteSystem::new(sys_cfg, &initial_values, master.fork())?;
+    let query_gen =
+        apcache_workload::query::QueryGenerator::new(queries, initial_values.len(), master.fork())?;
+    Simulation::new(*sim_cfg, system, processes, query_gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::adaptive::AdaptiveSystemConfig;
+    use crate::systems::build_sharded_simulation;
+    use apcache_workload::query::{KindMix, QueryConfig};
+    use apcache_workload::walk::WalkConfig;
+
+    fn quick_sim_cfg(seed: u64) -> SimConfig {
+        SimConfig::builder().duration_secs(200).warmup_secs(20).seed(seed).build().unwrap()
+    }
+
+    fn quick_queries(period: f64, fanout: usize, delta_avg: f64) -> QueryConfig {
+        QueryConfig {
+            period_secs: period,
+            fanout,
+            delta_avg,
+            delta_rho: 1.0,
+            kind_mix: KindMix::SumOnly,
+        }
+    }
+
+    #[test]
+    fn pipelined_simulation_matches_sharded_store_exactly() {
+        // θ = 1: adaptation is deterministic and the workloads replay
+        // identically, so pushing every event through submit → frame →
+        // out-of-order serving → harvest must not change a counter, at
+        // any window size.
+        for (shards, window) in [(1, 1), (1, 8), (2, 8), (2, 32)] {
+            let sharded_cfg = ShardedSystemConfig {
+                shards,
+                base: AdaptiveSystemConfig::default(),
+                ..ShardedSystemConfig::default()
+            };
+            let local = build_sharded_simulation(
+                &quick_sim_cfg(31),
+                &sharded_cfg,
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            let pipelined = build_pipelined_simulation(
+                &quick_sim_cfg(31),
+                &PipelinedSystemConfig { base: sharded_cfg, window },
+                WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+                quick_queries(1.0, 4, 20.0),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            let tag = format!("shards={shards} window={window}");
+            assert_eq!(local.stats.vr_count(), pipelined.stats.vr_count(), "{tag}");
+            assert_eq!(local.stats.qr_count(), pipelined.stats.qr_count(), "{tag}");
+            assert_eq!(local.stats.total_cost(), pipelined.stats.total_cost(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_the_drained_fleet_with_its_state() {
+        let cfg = PipelinedSystemConfig {
+            base: ShardedSystemConfig { shards: 2, ..ShardedSystemConfig::default() },
+            window: 4,
+        };
+        let mut system =
+            PipelinedRemoteSystem::new(&cfg, &[1.0, 2.0, 3.0], Rng::seed_from_u64(5)).unwrap();
+        let mut stats = Stats::new();
+        system
+            .on_update_batch(&[(Key(0), 500.0), (Key(1), 2.0), (Key(2), 700.0)], 1_000, &mut stats)
+            .unwrap();
+        let store = system.shutdown().unwrap();
+        assert_eq!(store.value(&Key(0)), Some(500.0));
+        assert_eq!(store.value(&Key(2)), Some(700.0));
+        assert_eq!(store.metrics().merged().totals().writes, 3);
+    }
+
+    #[test]
+    fn dropping_without_shutdown_does_not_hang() {
+        let cfg = PipelinedSystemConfig::default();
+        let system = PipelinedRemoteSystem::new(&cfg, &[1.0], Rng::seed_from_u64(6)).unwrap();
+        drop(system); // Drop impl hangs up and joins server + actors.
+    }
+}

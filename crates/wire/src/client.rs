@@ -1,7 +1,23 @@
-//! The client side of the wire: the same four serving verbs as the local
-//! façades, executed against a remote [`StoreServer`](crate::StoreServer)
-//! through any [`Transport`].
+//! The client side of the wire: the same serving verbs as the local
+//! façades, executed against a remote server through any [`Transport`] —
+//! **pipelined**: a window of requests rides one connection in flight at
+//! once, correlated by the v2 frame header's request id.
+//!
+//! Every verb exists in two forms, mirroring
+//! [`RuntimeHandle`](apcache_runtime::RuntimeHandle):
+//!
+//! * **`submit_*`** — stamp the next request id, ship the frame, and
+//!   return a [`Ticket`] without waiting. Submission only blocks when
+//!   the in-flight window is full (one response is harvested to make
+//!   room — that is the client's backpressure).
+//! * **blocking** — `submit_*` + `wait_*`, nothing more.
+//!
+//! Responses may return **out of order** (a pipelined server fronting
+//! the actor runtime answers whichever shard finishes first); harvested
+//! responses for other tickets are parked until their `wait_*` call.
 
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::marker::PhantomData;
 
 use apcache_core::{Interval, TimeMs};
@@ -10,39 +26,225 @@ use apcache_store::{Constraint, ReadResult, StoreMetrics, WriteOutcome};
 
 use crate::codec::WireKey;
 use crate::error::{RemoteError, WireError};
-use crate::message::{decode_message, encode_to_vec, WireMessage, WireRequest, WireResponse};
+use crate::message::{decode_frame, frame_to_vec, WireMessage, WireRequest, WireResponse};
 use crate::transport::Transport;
 
-/// A store client that speaks the frame protocol: every verb encodes one
-/// request frame, ships it, and blocks for the paired response frame.
+/// Default in-flight window: deep enough to amortize round trips, small
+/// enough that a stalled server pushes back quickly.
+pub const DEFAULT_WINDOW: usize = 32;
+
+/// A request id issued by [`RemoteStoreClient`]'s `submit_*` verbs and
+/// redeemed with the matching `wait_*` verb. Client-scoped and never
+/// reused; it is the same number that rides the v2 frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire-ticket#{}", self.0)
+    }
+}
+
+/// A store client that speaks the frame protocol with pipelining: up to
+/// `window` requests in flight over one transport, responses harvested
+/// out of order by request id.
 ///
-/// The verb surface mirrors
-/// [`RuntimeHandle`](apcache_runtime::RuntimeHandle), so code written
-/// against a local deployment ports by swapping the handle for a client —
-/// the conformance suite (`tests/wire_conformance.rs`) holds the two
-/// bit-identical under θ = 1.
+/// With `window == 1` the client degenerates to the strict call-reply
+/// behavior of the v1 protocol (every submit drains the previous
+/// response first), which is what the blocking verbs ride; the
+/// conformance suites hold both windows bit-identical to a local
+/// [`ShardedStore`](apcache_shard::ShardedStore) under θ = 1.
 #[derive(Debug)]
 pub struct RemoteStoreClient<K, T> {
     transport: T,
+    next_id: u64,
+    window: usize,
+    /// Ids shipped but not yet answered.
+    in_flight: HashSet<u64>,
+    /// Answered out of order, awaiting their `wait_*` call.
+    parked: HashMap<u64, WireResponse<K>>,
     _keys: PhantomData<fn() -> K>,
 }
 
 impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
-    /// Wrap a connected transport.
+    /// Wrap a connected transport with the [`DEFAULT_WINDOW`].
     pub fn new(transport: T) -> Self {
-        RemoteStoreClient { transport, _keys: PhantomData }
+        Self::with_window(transport, DEFAULT_WINDOW)
     }
 
-    /// Ship one request and block for its response frame.
-    fn call(&mut self, request: WireRequest<K>) -> Result<WireResponse<K>, RemoteError> {
-        let body = encode_to_vec(&WireMessage::Request(request));
-        self.transport.send(&body)?;
-        let reply = self.transport.recv()?;
-        match decode_message::<K>(&reply)? {
-            WireMessage::Response(response) => Ok(response),
-            _ => Err(WireError::UnexpectedResponse("a response frame").into()),
+    /// Wrap a connected transport with an explicit in-flight window
+    /// (values below 1 are treated as 1).
+    pub fn with_window(transport: T, window: usize) -> Self {
+        RemoteStoreClient {
+            transport,
+            next_id: 1,
+            window: window.max(1),
+            in_flight: HashSet::new(),
+            parked: HashMap::new(),
+            _keys: PhantomData,
         }
     }
+
+    /// The configured in-flight window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests shipped but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether `ticket`'s response has already been harvested (its
+    /// `wait_*` call will return without touching the transport).
+    pub fn is_ready(&self, ticket: Ticket) -> bool {
+        self.parked.contains_key(&ticket.0)
+    }
+
+    /// Receive one response frame and park it under its request id.
+    fn harvest_one(&mut self) -> Result<(), RemoteError> {
+        let body = self.transport.recv()?;
+        let frame = decode_frame::<K>(&body)?;
+        let WireMessage::Response(response) = frame.msg else {
+            return Err(WireError::UnexpectedResponse("a response frame").into());
+        };
+        if !self.in_flight.remove(&frame.request_id) {
+            return Err(WireError::UnknownRequestId { id: frame.request_id }.into());
+        }
+        self.parked.insert(frame.request_id, response);
+        Ok(())
+    }
+
+    /// Ship one request under the next id, harvesting a response first if
+    /// the window is full.
+    fn submit(&mut self, request: WireRequest<K>) -> Result<Ticket, RemoteError> {
+        while self.in_flight.len() >= self.window {
+            self.harvest_one()?;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = frame_to_vec(id, &WireMessage::Request(request));
+        self.transport.send(&body)?;
+        self.in_flight.insert(id);
+        Ok(Ticket(id))
+    }
+
+    /// Block until `ticket`'s response arrives (harvesting — and parking
+    /// — any other responses that come first).
+    fn wait_response(&mut self, ticket: Ticket) -> Result<WireResponse<K>, RemoteError> {
+        loop {
+            if let Some(response) = self.parked.remove(&ticket.0) {
+                return Ok(response);
+            }
+            if !self.in_flight.contains(&ticket.0) {
+                return Err(WireError::UnknownRequestId { id: ticket.0 }.into());
+            }
+            self.harvest_one()?;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Submission surface.
+    // -----------------------------------------------------------------
+
+    /// Submit a point read; redeem with
+    /// [`wait_read`](RemoteStoreClient::wait_read).
+    pub fn submit_read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Read { key: key.clone(), constraint, now })
+    }
+
+    /// Submit a write; redeem with
+    /// [`wait_write`](RemoteStoreClient::wait_write).
+    pub fn submit_write(
+        &mut self,
+        key: &K,
+        value: f64,
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Write { key: key.clone(), value, now })
+    }
+
+    /// Submit a batch of writes (applied in slice order server-side);
+    /// redeem with [`wait_write`](RemoteStoreClient::wait_write).
+    pub fn submit_write_batch(
+        &mut self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::WriteBatch { items: items.to_vec(), now })
+    }
+
+    /// Submit a bounded aggregate; redeem with
+    /// [`wait_aggregate`](RemoteStoreClient::wait_aggregate).
+    pub fn submit_aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Aggregate { kind, keys: keys.to_vec(), constraint, now })
+    }
+
+    /// Submit a metrics snapshot request; redeem with
+    /// [`wait_metrics`](RemoteStoreClient::wait_metrics).
+    pub fn submit_metrics(&mut self) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Metrics)
+    }
+
+    // -----------------------------------------------------------------
+    // Harvest surface.
+    // -----------------------------------------------------------------
+
+    /// Redeem a read ticket.
+    pub fn wait_read(&mut self, ticket: Ticket) -> Result<ReadResult, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Read(result) => Ok(result),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Read").into()),
+        }
+    }
+
+    /// Redeem a write or write-batch ticket.
+    pub fn wait_write(&mut self, ticket: Ticket) -> Result<WriteOutcome, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Write(outcome) => Ok(outcome),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Write").into()),
+        }
+    }
+
+    /// Redeem an aggregate ticket.
+    pub fn wait_aggregate(
+        &mut self,
+        ticket: Ticket,
+    ) -> Result<RemoteAggregateOutcome<K>, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Aggregate { answer, refreshed } => {
+                Ok(RemoteAggregateOutcome { answer, refreshed })
+            }
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Aggregate").into()),
+        }
+    }
+
+    /// Redeem a metrics ticket.
+    pub fn wait_metrics(&mut self, ticket: Ticket) -> Result<StoreMetrics<K>, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Metrics(metrics) => Ok(metrics),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Metrics").into()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Blocking surface: submit + wait, nothing else.
+    // -----------------------------------------------------------------
 
     /// Read `key` to the given precision on the remote store.
     pub fn read(
@@ -51,20 +253,14 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         constraint: Constraint,
         now: TimeMs,
     ) -> Result<ReadResult, RemoteError> {
-        match self.call(WireRequest::Read { key: key.clone(), constraint, now })? {
-            WireResponse::Read(result) => Ok(result),
-            WireResponse::Error(fault) => Err(fault.into()),
-            _ => Err(WireError::UnexpectedResponse("Read").into()),
-        }
+        let ticket = self.submit_read(key, constraint, now)?;
+        self.wait_read(ticket)
     }
 
     /// Push a new exact value for `key` and wait for the outcome.
     pub fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, RemoteError> {
-        match self.call(WireRequest::Write { key: key.clone(), value, now })? {
-            WireResponse::Write(outcome) => Ok(outcome),
-            WireResponse::Error(fault) => Err(fault.into()),
-            _ => Err(WireError::UnexpectedResponse("Write").into()),
-        }
+        let ticket = self.submit_write(key, value, now)?;
+        self.wait_write(ticket)
     }
 
     /// Apply a batch of writes in slice order as one frame.
@@ -73,11 +269,8 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         items: &[(K, f64)],
         now: TimeMs,
     ) -> Result<WriteOutcome, RemoteError> {
-        match self.call(WireRequest::WriteBatch { items: items.to_vec(), now })? {
-            WireResponse::Write(outcome) => Ok(outcome),
-            WireResponse::Error(fault) => Err(fault.into()),
-            _ => Err(WireError::UnexpectedResponse("WriteBatch").into()),
-        }
+        let ticket = self.submit_write_batch(items, now)?;
+        self.wait_write(ticket)
     }
 
     /// Bounded aggregate over `keys` on the remote store.
@@ -88,29 +281,39 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         constraint: Constraint,
         now: TimeMs,
     ) -> Result<RemoteAggregateOutcome<K>, RemoteError> {
-        match self.call(WireRequest::Aggregate { kind, keys: keys.to_vec(), constraint, now })? {
-            WireResponse::Aggregate { answer, refreshed } => {
-                Ok(RemoteAggregateOutcome { answer, refreshed })
-            }
-            WireResponse::Error(fault) => Err(fault.into()),
-            _ => Err(WireError::UnexpectedResponse("Aggregate").into()),
-        }
+        let ticket = self.submit_aggregate(kind, keys, constraint, now)?;
+        self.wait_aggregate(ticket)
     }
 
     /// Snapshot the remote store's serving metrics.
     pub fn metrics(&mut self) -> Result<StoreMetrics<K>, RemoteError> {
-        match self.call(WireRequest::Metrics)? {
-            WireResponse::Metrics(metrics) => Ok(metrics),
-            WireResponse::Error(fault) => Err(fault.into()),
-            _ => Err(WireError::UnexpectedResponse("Metrics").into()),
-        }
+        let ticket = self.submit_metrics()?;
+        self.wait_metrics(ticket)
     }
 
-    /// End the session: the server acknowledges, stops serving this
-    /// connection, and (for drained single-connection servers) hands its
-    /// store back to whoever spawned it.
+    /// End the session: drain every in-flight ticket (their outcomes are
+    /// discarded), send `Shutdown`, and await the acknowledgement.
+    ///
+    /// The transport is torn down on **every** path — acknowledged, drain
+    /// failure, or a dead peer — so a failed shutdown can never leak a
+    /// live connection: `serve_connections`' teardown joins its
+    /// connection threads and relies on each one seeing EOF.
     pub fn shutdown(mut self) -> Result<(), RemoteError> {
-        match self.call(WireRequest::Shutdown)? {
+        let result = self.try_shutdown();
+        // `self` (and with it the transport) drops here whatever
+        // `result` says; the explicit drop documents that the close is
+        // the fix for leaking connections on error paths, not a
+        // side effect.
+        drop(self);
+        result
+    }
+
+    fn try_shutdown(&mut self) -> Result<(), RemoteError> {
+        while !self.in_flight.is_empty() {
+            self.harvest_one()?;
+        }
+        let ticket = self.submit(WireRequest::Shutdown)?;
+        match self.wait_response(ticket)? {
             WireResponse::ShutdownAck => Ok(()),
             WireResponse::Error(fault) => Err(fault.into()),
             _ => Err(WireError::UnexpectedResponse("ShutdownAck").into()),

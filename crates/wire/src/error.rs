@@ -55,6 +55,13 @@ pub enum WireError {
     /// The peer answered a request with the wrong response kind — the
     /// stream is desynchronized.
     UnexpectedResponse(&'static str),
+    /// A response carried a request id that is not in flight on this
+    /// connection (never issued, or already answered) — the pipelining
+    /// correlation is broken.
+    UnknownRequestId {
+        /// The offending id.
+        id: u64,
+    },
     /// The connection closed cleanly at a frame boundary.
     Closed,
     /// An I/O failure underneath the transport (stringified: `io::Error`
@@ -83,6 +90,9 @@ impl fmt::Display for WireError {
             WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::UnexpectedResponse(expected) => {
                 write!(f, "peer sent the wrong response kind (expected {expected})")
+            }
+            WireError::UnknownRequestId { id } => {
+                write!(f, "response for request id {id} which is not in flight")
             }
             WireError::Closed => write!(f, "connection closed"),
             WireError::Io(m) => write!(f, "transport I/O error: {m}"),
@@ -214,6 +224,9 @@ impl From<RuntimeError> for WireFault {
             RuntimeError::Closed => WireFault::new(FaultKind::Closed, e.to_string()),
             RuntimeError::ActorGone => WireFault::new(FaultKind::ActorGone, e.to_string()),
             RuntimeError::Spawn(_) => WireFault::new(FaultKind::Config, e.to_string()),
+            // A lost ticket is a serving-side bookkeeping failure; the
+            // client sees the runtime as unable to answer.
+            RuntimeError::UnknownTicket(_) => WireFault::new(FaultKind::ActorGone, e.to_string()),
         }
     }
 }

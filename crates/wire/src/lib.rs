@@ -24,12 +24,20 @@
 //! * [`transport`] — the [`Transport`] trait with an in-process
 //!   [`loopback`] pair (paired byte queues, for tests and benches) and a
 //!   [`TcpTransport`] over real sockets;
-//! * [`client`] / [`server`] — [`RemoteStoreClient`] speaks the four
-//!   serving verbs over any transport; [`StoreServer`] fronts a
+//! * [`client`] / [`server`] — [`RemoteStoreClient`] speaks the serving
+//!   verbs over any transport, **pipelined**: `submit_*` stamps each
+//!   request with the v2 header's request id and returns a
+//!   [`Ticket`]; up to a window of requests ride the
+//!   connection at once and are harvested out of order with `wait_*`
+//!   (the blocking verbs are submit + wait). [`StoreServer`] fronts a
 //!   [`PrecisionStore`](apcache_store::PrecisionStore), a
 //!   [`ShardedStore`](apcache_shard::ShardedStore), or a live
 //!   [`RuntimeHandle`](apcache_runtime::RuntimeHandle) behind the same
-//!   [`StoreService`] trait.
+//!   [`StoreService`] trait (in-order dispatch), while
+//!   [`serve_pipelined`] / [`serve_connections`] front the runtime's
+//!   ticketed surface and reply **out of order** as the shard actors
+//!   finish. Version 1 frames still decode (as request id 0), and
+//!   servers answer v1 peers in v1.
 //!
 //! Decoding is **defensive**: arbitrary bytes produce a [`WireError`]
 //! (length caps, unknown-tag, truncation, trailing-garbage) — never a
@@ -72,15 +80,16 @@ pub mod message;
 pub mod server;
 pub mod transport;
 
-pub use client::{RemoteAggregateOutcome, RemoteStoreClient};
+pub use client::{RemoteAggregateOutcome, RemoteStoreClient, Ticket, DEFAULT_WINDOW};
 pub use codec::WireKey;
 pub use error::{FaultKind, RemoteError, WireError, WireFault};
 pub use message::{
-    decode_message, encode_message, encode_to_vec, WireMessage, WireRequest, WireResponse, MAGIC,
-    VERSION,
+    decode_frame, decode_message, encode_frame, encode_frame_v1, encode_message, encode_to_vec,
+    encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireMessage, WireRequest,
+    WireResponse, MAGIC, VERSION, VERSION_V1,
 };
-pub use server::{serve_connections, ServerExit, StoreServer, StoreService};
+pub use server::{serve_connections, serve_pipelined, ServerExit, StoreServer, StoreService};
 pub use transport::{
-    frame_bytes, loopback, split_frame, LoopbackTransport, StreamTransport, TcpTransport,
-    Transport, MAX_FRAME_LEN,
+    frame_bytes, loopback, split_frame, LoopbackTransport, SplitStream, StreamTransport,
+    TcpTransport, Transport, MAX_FRAME_LEN,
 };

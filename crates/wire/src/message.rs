@@ -12,11 +12,18 @@
 //!   client ↔ store verbs (`Read`, `Write`, `WriteBatch`, `Aggregate`,
 //!   `Metrics`, `Shutdown`) with their outcomes.
 //!
-//! Every frame body is `magic ∥ version ∥ tag ∥ fields`; the transport
-//! adds a `u32` length prefix. Encoding is hand-rolled fixed-width
-//! little-endian (see [`codec`](crate::codec)) so `decode(encode(x)) == x`
-//! bit-for-bit, and decoding is defensive: arbitrary bytes produce a
-//! [`WireError`], never a panic.
+//! Every v2 frame body is `magic ∥ version ∥ tag ∥ request_id ∥ fields`;
+//! the transport adds a `u32` length prefix. The **request id** is the
+//! pipelining header: clients stamp each request with a monotonically
+//! assigned id and servers echo it on the paired response, so one
+//! connection can carry a whole window of in-flight requests and answer
+//! them out of order. Version 1 frames (no id field — the strictly
+//! call-reply protocol of the previous release) still **decode**: a v1
+//! frame reads as request id 0, and [`decode_frame`] reports the version
+//! it saw so a server can answer a v1 peer in v1. Encoding is
+//! hand-rolled fixed-width little-endian (see [`codec`](crate::codec))
+//! so `decode(encode(x)) == x` bit-for-bit, and decoding is defensive:
+//! arbitrary bytes produce a [`WireError`], never a panic.
 
 use apcache_core::policy::ApproxSpec;
 use apcache_core::{ExactResponse, Interval, Key, Refresh, TimeMs};
@@ -30,8 +37,12 @@ use crate::error::{FaultKind, WireError, WireFault};
 
 /// First byte of every frame body.
 pub const MAGIC: u8 = 0xA7;
-/// Protocol version this codec speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this codec emits: v2, whose header carries a `u64`
+/// request id after the message tag.
+pub const VERSION: u8 = 2;
+/// The previous protocol version (no request-id header). Still accepted
+/// by [`decode_frame`] — a v1 frame decodes as request id 0.
+pub const VERSION_V1: u8 = 1;
 
 const MSG_REFRESH: u8 = 1;
 const MSG_EXACT: u8 = 2;
@@ -356,108 +367,195 @@ fn read_keys<K: WireKey>(r: &mut Reader<'_>) -> Result<Vec<K>, WireError> {
 // Frame codecs.
 // ---------------------------------------------------------------------
 
-/// Encode `msg` as one frame body (magic ∥ version ∥ tag ∥ fields),
-/// appended to `buf`. The transport adds the length prefix.
-pub fn encode_message<K: WireKey + Ord + Clone>(msg: &WireMessage<K>, buf: &mut Vec<u8>) {
-    put_u8(buf, MAGIC);
-    put_u8(buf, VERSION);
-    match msg {
-        WireMessage::Refresh(refresh) => {
-            put_u8(buf, MSG_REFRESH);
-            put_refresh(buf, refresh);
-        }
-        WireMessage::Exact(exact) => {
-            put_u8(buf, MSG_EXACT);
-            put_f64(buf, exact.value);
-            put_refresh(buf, &exact.refresh);
-        }
-        WireMessage::Request(req) => {
-            put_u8(buf, MSG_REQUEST);
-            match req {
-                WireRequest::Read { key, constraint, now } => {
-                    put_u8(buf, VERB_READ);
-                    key.encode_key(buf);
-                    put_constraint(buf, constraint);
-                    put_u64(buf, *now);
-                }
-                WireRequest::Write { key, value, now } => {
-                    put_u8(buf, VERB_WRITE);
-                    key.encode_key(buf);
-                    put_f64(buf, *value);
-                    put_u64(buf, *now);
-                }
-                WireRequest::WriteBatch { items, now } => {
-                    put_u8(buf, VERB_WRITE_BATCH);
-                    put_seq(buf, items.len());
-                    for (key, value) in items {
-                        key.encode_key(buf);
-                        put_f64(buf, *value);
-                    }
-                    put_u64(buf, *now);
-                }
-                WireRequest::Aggregate { kind, keys, constraint, now } => {
-                    put_u8(buf, VERB_AGGREGATE);
-                    put_kind(buf, *kind);
-                    put_keys(buf, keys);
-                    put_constraint(buf, constraint);
-                    put_u64(buf, *now);
-                }
-                WireRequest::Metrics => put_u8(buf, VERB_METRICS),
-                WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
-            }
-        }
-        WireMessage::Response(resp) => {
-            put_u8(buf, MSG_RESPONSE);
-            match resp {
-                WireResponse::Read(result) => {
-                    put_u8(buf, RESP_READ);
-                    put_answer(buf, &result.answer);
-                    put_bool(buf, result.refreshed);
-                }
-                WireResponse::Write(outcome) => {
-                    put_u8(buf, RESP_WRITE);
-                    put_u64(buf, outcome.refreshes as u64);
-                }
-                WireResponse::Aggregate { answer, refreshed } => {
-                    put_u8(buf, RESP_AGGREGATE);
-                    put_interval(buf, answer);
-                    put_keys(buf, refreshed);
-                }
-                WireResponse::Metrics(metrics) => {
-                    put_u8(buf, RESP_METRICS);
-                    put_store_metrics(buf, metrics);
-                }
-                WireResponse::ShutdownAck => put_u8(buf, RESP_SHUTDOWN_ACK),
-                WireResponse::Error(fault) => {
-                    put_u8(buf, RESP_ERROR);
-                    put_fault(buf, fault);
-                }
-            }
-        }
-    }
+/// Encode `msg` as one v2 frame body
+/// (magic ∥ version ∥ tag ∥ request_id ∥ fields), appended to `buf`. The
+/// transport adds the length prefix. `request_id` correlates a response
+/// with its request across a pipelined connection; push frames and
+/// un-pipelined callers use 0.
+pub fn encode_frame<K: WireKey + Ord + Clone>(
+    request_id: u64,
+    msg: &WireMessage<K>,
+    buf: &mut Vec<u8>,
+) {
+    encode_with_version(VERSION, request_id, msg, buf);
 }
 
-/// Convenience: encode into a fresh buffer.
-pub fn encode_to_vec<K: WireKey + Ord + Clone>(msg: &WireMessage<K>) -> Vec<u8> {
+/// Encode `msg` as a *version 1* frame body (no request-id field) — for
+/// answering peers that spoke v1, and for the compatibility tests.
+pub fn encode_frame_v1<K: WireKey + Ord + Clone>(msg: &WireMessage<K>, buf: &mut Vec<u8>) {
+    encode_with_version(VERSION_V1, 0, msg, buf);
+}
+
+/// Encode one frame at the requested `version`. The id is written only
+/// for v2 (v1 frames have no slot for it).
+pub fn encode_versioned<K: WireKey + Ord + Clone>(
+    version: u8,
+    request_id: u64,
+    msg: &WireMessage<K>,
+    buf: &mut Vec<u8>,
+) {
+    encode_with_version(version, request_id, msg, buf);
+}
+
+/// Convenience: one frame at `version` into a fresh buffer.
+pub fn versioned_to_vec<K: WireKey + Ord + Clone>(
+    version: u8,
+    request_id: u64,
+    msg: &WireMessage<K>,
+) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
-    encode_message(msg, &mut buf);
+    encode_with_version(version, request_id, msg, &mut buf);
     buf
 }
 
-/// Decode one frame body produced by [`encode_message`]. Strict: the
-/// whole input must be consumed ([`WireError::TrailingBytes`] otherwise),
-/// and any malformed input returns a [`WireError`] — never a panic.
+/// Convenience: encode a v2 frame into a fresh buffer.
+pub fn frame_to_vec<K: WireKey + Ord + Clone>(request_id: u64, msg: &WireMessage<K>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    encode_frame(request_id, msg, &mut buf);
+    buf
+}
+
+fn encode_with_version<K: WireKey + Ord + Clone>(
+    version: u8,
+    request_id: u64,
+    msg: &WireMessage<K>,
+    buf: &mut Vec<u8>,
+) {
+    put_u8(buf, MAGIC);
+    put_u8(buf, version);
+    let tag = match msg {
+        WireMessage::Refresh(_) => MSG_REFRESH,
+        WireMessage::Exact(_) => MSG_EXACT,
+        WireMessage::Request(_) => MSG_REQUEST,
+        WireMessage::Response(_) => MSG_RESPONSE,
+    };
+    put_u8(buf, tag);
+    if version >= VERSION {
+        // The pipelining header: v1 frames have no slot for it.
+        put_u64(buf, request_id);
+    }
+    match msg {
+        WireMessage::Refresh(refresh) => {
+            put_refresh(buf, refresh);
+        }
+        WireMessage::Exact(exact) => {
+            put_f64(buf, exact.value);
+            put_refresh(buf, &exact.refresh);
+        }
+        WireMessage::Request(req) => match req {
+            WireRequest::Read { key, constraint, now } => {
+                put_u8(buf, VERB_READ);
+                key.encode_key(buf);
+                put_constraint(buf, constraint);
+                put_u64(buf, *now);
+            }
+            WireRequest::Write { key, value, now } => {
+                put_u8(buf, VERB_WRITE);
+                key.encode_key(buf);
+                put_f64(buf, *value);
+                put_u64(buf, *now);
+            }
+            WireRequest::WriteBatch { items, now } => {
+                put_u8(buf, VERB_WRITE_BATCH);
+                put_seq(buf, items.len());
+                for (key, value) in items {
+                    key.encode_key(buf);
+                    put_f64(buf, *value);
+                }
+                put_u64(buf, *now);
+            }
+            WireRequest::Aggregate { kind, keys, constraint, now } => {
+                put_u8(buf, VERB_AGGREGATE);
+                put_kind(buf, *kind);
+                put_keys(buf, keys);
+                put_constraint(buf, constraint);
+                put_u64(buf, *now);
+            }
+            WireRequest::Metrics => put_u8(buf, VERB_METRICS),
+            WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
+        },
+        WireMessage::Response(resp) => match resp {
+            WireResponse::Read(result) => {
+                put_u8(buf, RESP_READ);
+                put_answer(buf, &result.answer);
+                put_bool(buf, result.refreshed);
+            }
+            WireResponse::Write(outcome) => {
+                put_u8(buf, RESP_WRITE);
+                put_u64(buf, outcome.refreshes as u64);
+            }
+            WireResponse::Aggregate { answer, refreshed } => {
+                put_u8(buf, RESP_AGGREGATE);
+                put_interval(buf, answer);
+                put_keys(buf, refreshed);
+            }
+            WireResponse::Metrics(metrics) => {
+                put_u8(buf, RESP_METRICS);
+                put_store_metrics(buf, metrics);
+            }
+            WireResponse::ShutdownAck => put_u8(buf, RESP_SHUTDOWN_ACK),
+            WireResponse::Error(fault) => {
+                put_u8(buf, RESP_ERROR);
+                put_fault(buf, fault);
+            }
+        },
+    }
+}
+
+/// Encode `msg` as one frame body with request id 0 — the un-pipelined
+/// convenience form (push frames, tests, benches).
+pub fn encode_message<K: WireKey + Ord + Clone>(msg: &WireMessage<K>, buf: &mut Vec<u8>) {
+    encode_frame(0, msg, buf);
+}
+
+/// Convenience: encode (request id 0) into a fresh buffer.
+pub fn encode_to_vec<K: WireKey + Ord + Clone>(msg: &WireMessage<K>) -> Vec<u8> {
+    frame_to_vec(0, msg)
+}
+
+/// One decoded frame: the message, the request id that correlates it
+/// across a pipelined connection (0 for v1 frames, which predate the
+/// header), and the version the peer spoke (so servers can answer v1
+/// peers in v1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame<K> {
+    /// The pipelining correlation id (0 on v1 frames).
+    pub request_id: u64,
+    /// The protocol version the frame was encoded at.
+    pub version: u8,
+    /// The decoded message.
+    pub msg: WireMessage<K>,
+}
+
+/// Decode one frame body's message, discarding the pipelining header —
+/// the v1-shaped convenience decoder (see [`decode_frame`] for the id).
 pub fn decode_message<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<WireMessage<K>, WireError> {
+    decode_frame(body).map(|frame| frame.msg)
+}
+
+/// Decode one frame body produced by [`encode_frame`] (v2) **or** by the
+/// previous release's v1 encoder — v1 frames carry no request id and
+/// decode as id 0. Strict: the whole input must be consumed
+/// ([`WireError::TrailingBytes`] otherwise), and any malformed input
+/// returns a [`WireError`] — never a panic.
+pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFrame<K>, WireError> {
     let mut r = Reader::new(body);
     let magic = r.u8()?;
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(WireError::BadVersion(version));
     }
-    let msg = match r.u8()? {
+    let tag = r.u8()?;
+    if !(MSG_REFRESH..=MSG_RESPONSE).contains(&tag) {
+        // Rejected before the request-id field: a bogus tag means the
+        // stream is junk, and the header that follows it is too.
+        return Err(WireError::UnknownTag { context: "message", tag });
+    }
+    let request_id = if version >= VERSION { r.u64()? } else { 0 };
+    let msg = match tag {
         MSG_REFRESH => WireMessage::Refresh(read_refresh(&mut r)?),
         MSG_EXACT => {
             let value = r.f64()?;
@@ -513,7 +611,7 @@ pub fn decode_message<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<WireMessa
         tag => return Err(WireError::UnknownTag { context: "message", tag }),
     };
     r.finish()?;
-    Ok(msg)
+    Ok(DecodedFrame { request_id, version, msg })
 }
 
 #[cfg(test)]
@@ -659,11 +757,82 @@ mod tests {
     fn nan_interval_bounds_are_rejected() {
         // Hand-build a Refresh frame whose interval smuggles a NaN bound.
         let mut body = vec![MAGIC, VERSION, MSG_REFRESH];
+        put_u64(&mut body, 0); // request id (v2 header)
         put_u32(&mut body, 1); // key
         put_u8(&mut body, 0); // ApproxSpec::Constant
         put_u64(&mut body, f64::NAN.to_bits());
         put_u64(&mut body, 1.0f64.to_bits());
         put_f64(&mut body, 4.0); // internal width
         assert!(matches!(decode_message::<String>(&body), Err(WireError::InvalidPayload(_))));
+    }
+
+    #[test]
+    fn request_ids_ride_the_header_and_round_trip() {
+        let msg: WireMessage<String> = WireMessage::Request(WireRequest::Read {
+            key: "k".into(),
+            constraint: Constraint::Exact,
+            now: 9,
+        });
+        for id in [0u64, 1, 42, u64::MAX] {
+            let body = frame_to_vec(id, &msg);
+            let frame = decode_frame::<String>(&body).unwrap();
+            assert_eq!(frame.request_id, id);
+            assert_eq!(frame.version, VERSION);
+            assert_eq!(frame.msg, msg);
+            // Canonical: re-encoding reproduces the bytes.
+            assert_eq!(frame_to_vec(frame.request_id, &frame.msg), body);
+        }
+        // The id sits in the header, not the fields: two ids differ only
+        // in the 8 bytes after the tag.
+        let a = frame_to_vec(1, &msg);
+        let b = frame_to_vec(2, &msg);
+        assert_eq!(a[..3], b[..3]);
+        assert_eq!(a[11..], b[11..]);
+        assert_ne!(a[3..11], b[3..11]);
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // Every message family, encoded with the previous release's
+        // layout (no request-id header), decodes as request id 0 and
+        // reports version 1 so a server can reply in kind.
+        let messages: Vec<WireMessage<String>> = vec![
+            WireMessage::Refresh(Refresh {
+                key: Key(3),
+                spec: ApproxSpec::Constant(Interval::new(1.0, 2.0).unwrap()),
+                internal_width: 1.0,
+            }),
+            WireMessage::Request(WireRequest::Read {
+                key: "a".into(),
+                constraint: Constraint::Absolute(2.0),
+                now: 7,
+            }),
+            WireMessage::Request(WireRequest::Shutdown),
+            WireMessage::Response(WireResponse::Write(WriteOutcome { refreshes: 1 })),
+            WireMessage::Response(WireResponse::ShutdownAck),
+        ];
+        for msg in messages {
+            let mut v1 = Vec::new();
+            encode_frame_v1(&msg, &mut v1);
+            assert_eq!(v1[1], VERSION_V1);
+            let frame = decode_frame::<String>(&v1).unwrap();
+            assert_eq!(frame.request_id, 0);
+            assert_eq!(frame.version, VERSION_V1);
+            assert_eq!(frame.msg, msg);
+            // And the v1 re-encode is canonical too.
+            assert_eq!(versioned_to_vec(VERSION_V1, 0, &frame.msg), v1);
+            // The v2 encoding of the same message is 8 bytes longer —
+            // exactly the id field.
+            assert_eq!(frame_to_vec(0, &frame.msg).len(), v1.len() + 8);
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_still_rejected() {
+        let mut body = encode_to_vec::<String>(&WireMessage::Request(WireRequest::Metrics));
+        body[1] = 3; // a future version
+        assert_eq!(decode_frame::<String>(&body), Err(WireError::BadVersion(3)));
+        body[1] = 0;
+        assert_eq!(decode_frame::<String>(&body), Err(WireError::BadVersion(0)));
     }
 }

@@ -2,6 +2,7 @@
 //! workspace's store façades and a [`StoreServer`] loop that decodes
 //! requests off a [`Transport`], dispatches them, and ships outcomes back.
 
+use std::collections::HashMap;
 use std::hash::Hash;
 use std::net::TcpListener;
 use std::thread;
@@ -14,8 +15,8 @@ use apcache_store::{Constraint, PrecisionStore, ReadResult, StoreMetrics, WriteO
 
 use crate::codec::WireKey;
 use crate::error::{WireError, WireFault};
-use crate::message::{decode_message, encode_to_vec, WireMessage, WireRequest, WireResponse};
-use crate::transport::{TcpTransport, Transport};
+use crate::message::{decode_frame, versioned_to_vec, WireMessage, WireRequest, WireResponse};
+use crate::transport::{SplitStream, StreamTransport, TcpTransport, Transport};
 
 /// The four serving verbs plus metrics, as a trait so one server loop can
 /// front any of the workspace's store layers: a single
@@ -198,7 +199,16 @@ impl<S> StoreServer<S> {
     }
 
     /// Serve `transport` until the client sends `Shutdown`, disconnects,
-    /// or the stream desynchronizes.
+    /// or the stream desynchronizes. Requests are dispatched strictly in
+    /// arrival order on this thread, and responses echo each request's
+    /// id and version. This loop is built for **call-reply clients**:
+    /// because it stops reading while it dispatches and sends, a client
+    /// that pushes a deep window of large frames without draining
+    /// responses can fill both sockets' kernel buffers and deadlock the
+    /// pair (each side blocked in `send`, neither reading). Windowed
+    /// clients should talk to [`serve_pipelined`] /
+    /// [`serve_connections`], whose split reader/writer threads keep
+    /// both directions moving and reply out of order.
     ///
     /// Malformed frames are fatal to the *connection* (after a framing
     /// error the byte stream cannot be trusted), but dispatch-level
@@ -217,7 +227,12 @@ impl<S> StoreServer<S> {
                 Err(WireError::Closed) => return Ok(ServerExit::Disconnected),
                 Err(e) => return Err(e),
             };
-            let request = match decode_message::<K>(&body)? {
+            let frame = decode_frame::<K>(&body)?;
+            // Responses are encoded at the version the request arrived
+            // in, echoing its id: a v1 peer gets v1 replies it can
+            // decode, a v2 peer gets its correlation header back.
+            let (id, version) = (frame.request_id, frame.version);
+            let request = match frame.msg {
                 WireMessage::Request(request) => request,
                 // A peer pushing paper-vocabulary frames (Refresh /
                 // ExactResponse) at a serving endpoint is answered with a
@@ -228,9 +243,11 @@ impl<S> StoreServer<S> {
                         crate::error::FaultKind::Unsupported,
                         "this endpoint serves requests; push frames have no meaning here",
                     );
-                    transport.send(&encode_to_vec::<K>(&WireMessage::Response(
-                        WireResponse::Error(fault),
-                    )))?;
+                    transport.send(&versioned_to_vec::<K>(
+                        version,
+                        id,
+                        &WireMessage::Response(WireResponse::Error(fault)),
+                    ))?;
                     continue;
                 }
             };
@@ -264,20 +281,299 @@ impl<S> StoreServer<S> {
                     Err(fault) => WireResponse::Error(fault),
                 },
                 WireRequest::Shutdown => {
-                    transport.send(&encode_to_vec::<K>(&WireMessage::Response(
-                        WireResponse::ShutdownAck,
-                    )))?;
+                    transport.send(&versioned_to_vec::<K>(
+                        version,
+                        id,
+                        &WireMessage::Response(WireResponse::ShutdownAck),
+                    ))?;
                     return Ok(ServerExit::Shutdown);
                 }
             };
-            transport.send(&encode_to_vec(&WireMessage::Response(response)))?;
+            transport.send(&versioned_to_vec(version, id, &WireMessage::Response(response)))?;
+        }
+    }
+}
+
+/// What the pipelined reader tells the drainer about each decoded frame.
+enum ConnEvent<K> {
+    /// A request was submitted to the runtime under `ticket`.
+    Submitted { ticket: apcache_runtime::Ticket, request_id: u64, version: u8 },
+    /// A request was answered without touching the runtime (validation
+    /// fault, push frame at a serving endpoint); ship it as-is.
+    Immediate { request_id: u64, version: u8, response: WireResponse<K> },
+    /// No more requests will arrive. `ack` carries the id/version of a
+    /// client `Shutdown` to acknowledge once everything outstanding has
+    /// been answered; `None` is a plain disconnect.
+    End { ack: Option<(u64, u8)> },
+}
+
+/// Serve one connection in front of the actor runtime with **pipelined,
+/// out-of-order replies**: requests are decoded and submitted to
+/// `handle`'s ticketed surface as fast as they arrive (the reader — this
+/// thread), while a drainer thread harvests the handle's completion
+/// queue and ships each response the moment its shard finishes, tagged
+/// with the originating request id. A window of client requests
+/// therefore overlaps on the server exactly as it does on the wire —
+/// one connection, many in-flight requests, no head-of-line blocking
+/// across shards.
+///
+/// A client `Shutdown` is acknowledged only after every outstanding
+/// request has been answered, then the connection ends with
+/// [`ServerExit::Shutdown`]. Dispatch-level faults travel back as error
+/// frames (out of order like any other response); malformed frames
+/// remain fatal to the connection.
+pub fn serve_pipelined<K, S>(
+    transport: StreamTransport<S>,
+    handle: RuntimeHandle<K>,
+) -> Result<ServerExit, WireError>
+where
+    K: WireKey + Hash + Ord + Clone + Send + Sync + 'static,
+    S: SplitStream + 'static,
+{
+    use std::sync::mpsc;
+
+    let writer = transport.try_split()?;
+    let mut reader = transport;
+    let handle = std::sync::Arc::new(handle);
+    let (evt_tx, evt_rx) = mpsc::channel::<ConnEvent<K>>();
+    let drainer = {
+        let handle = std::sync::Arc::clone(&handle);
+        thread::Builder::new()
+            .name("apcache-wire-drain".into())
+            .spawn(move || drain_completions(writer, &handle, &evt_rx))
+            .map_err(|e| WireError::Io(e.to_string()))?
+    };
+
+    // The reader loop: decode, submit, hand the ticket to the drainer.
+    let mut fatal: Option<WireError> = None;
+    loop {
+        let body = match reader.recv() {
+            Ok(body) => body,
+            Err(WireError::Closed) => {
+                let _ = evt_tx.send(ConnEvent::End { ack: None });
+                break;
+            }
+            Err(e) => {
+                fatal = Some(e);
+                let _ = evt_tx.send(ConnEvent::End { ack: None });
+                break;
+            }
+        };
+        let frame = match decode_frame::<K>(&body) {
+            Ok(frame) => frame,
+            Err(e) => {
+                fatal = Some(e);
+                let _ = evt_tx.send(ConnEvent::End { ack: None });
+                break;
+            }
+        };
+        let (request_id, version) = (frame.request_id, frame.version);
+        let request = match frame.msg {
+            WireMessage::Request(request) => request,
+            WireMessage::Refresh(_) | WireMessage::Exact(_) | WireMessage::Response(_) => {
+                let fault = WireFault::new(
+                    crate::error::FaultKind::Unsupported,
+                    "this endpoint serves requests; push frames have no meaning here",
+                );
+                let _ = evt_tx.send(ConnEvent::Immediate {
+                    request_id,
+                    version,
+                    response: WireResponse::Error(fault),
+                });
+                continue;
+            }
+        };
+        let submitted = match request {
+            WireRequest::Read { key, constraint, now } => handle.submit_read(&key, constraint, now),
+            WireRequest::Write { key, value, now } => handle.submit_write(&key, value, now),
+            WireRequest::WriteBatch { items, now } => handle.submit_write_batch(&items, now),
+            WireRequest::Aggregate { kind, keys, constraint, now } => {
+                handle.submit_aggregate(kind, &keys, constraint, now)
+            }
+            WireRequest::Metrics => handle.submit_metrics(),
+            WireRequest::Shutdown => {
+                let _ = evt_tx.send(ConnEvent::End { ack: Some((request_id, version)) });
+                break;
+            }
+        };
+        let event = match submitted {
+            Ok(ticket) => ConnEvent::Submitted { ticket, request_id, version },
+            Err(e) => ConnEvent::Immediate {
+                request_id,
+                version,
+                response: WireResponse::Error(WireFault::from(e)),
+            },
+        };
+        let _ = evt_tx.send(event);
+    }
+    drop(evt_tx);
+    let drained = drainer.join().map_err(|_| WireError::Closed)?;
+    match fatal {
+        Some(e) => Err(e),
+        None => drained,
+    }
+}
+
+/// The drainer half of [`serve_pipelined`]: harvest completions off the
+/// handle's queue and ship each as a response frame under its request
+/// id, until the reader signals the end and everything outstanding has
+/// been answered.
+fn drain_completions<K, S>(
+    mut writer: StreamTransport<S>,
+    handle: &RuntimeHandle<K>,
+    events: &std::sync::mpsc::Receiver<ConnEvent<K>>,
+) -> Result<ServerExit, WireError>
+where
+    K: WireKey + Hash + Ord + Clone + Send + Sync + 'static,
+    S: SplitStream,
+{
+    use std::sync::mpsc::TryRecvError;
+
+    // Runtime ticket → (request id, version) of the frame that caused it.
+    let mut in_flight: HashMap<apcache_runtime::Ticket, (u64, u8)> = HashMap::new();
+    let mut end: Option<Option<(u64, u8)>> = None;
+    // An `Err` out of `apply` (or any later send) means a response could
+    // not be shipped: the peer hung up mid-window. On this side that is
+    // a clean disconnect, exactly like an EOF on the reader — work
+    // already submitted still executes on the actors; only its answers
+    // have nowhere to go.
+    let apply = |event: ConnEvent<K>,
+                 in_flight: &mut HashMap<apcache_runtime::Ticket, (u64, u8)>,
+                 end: &mut Option<Option<(u64, u8)>>,
+                 writer: &mut StreamTransport<S>|
+     -> Result<(), WireError> {
+        match event {
+            ConnEvent::Submitted { ticket, request_id, version } => {
+                in_flight.insert(ticket, (request_id, version));
+            }
+            ConnEvent::Immediate { request_id, version, response } => {
+                writer.send(&versioned_to_vec(
+                    version,
+                    request_id,
+                    &WireMessage::Response(response),
+                ))?;
+            }
+            ConnEvent::End { ack } => {
+                end.get_or_insert(ack);
+            }
+        }
+        Ok(())
+    };
+    loop {
+        // Absorb whatever the reader has queued, without blocking.
+        loop {
+            match events.try_recv() {
+                Ok(event) => {
+                    if apply(event, &mut in_flight, &mut end, &mut writer).is_err() {
+                        return Ok(ServerExit::Disconnected);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    end.get_or_insert(None);
+                    break;
+                }
+            }
+        }
+        if in_flight.is_empty() {
+            match end {
+                Some(Some((request_id, version))) => {
+                    let ack = versioned_to_vec::<K>(
+                        version,
+                        request_id,
+                        &WireMessage::Response(WireResponse::ShutdownAck),
+                    );
+                    return Ok(if writer.send(&ack).is_ok() {
+                        ServerExit::Shutdown
+                    } else {
+                        ServerExit::Disconnected
+                    });
+                }
+                Some(None) => return Ok(ServerExit::Disconnected),
+                None => {
+                    // Idle connection: block until the reader has news.
+                    match events.recv() {
+                        Ok(event) => {
+                            if apply(event, &mut in_flight, &mut end, &mut writer).is_err() {
+                                return Ok(ServerExit::Disconnected);
+                            }
+                        }
+                        Err(_) => {
+                            end.get_or_insert(None);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        // Work is outstanding: block on the completion queue.
+        let Some(completion) = handle.completions().wait() else {
+            // The queue has nothing outstanding and nothing ready, yet
+            // tickets are still mapped: no completion can ever arrive
+            // for them (every registered op settles exactly once, so
+            // this is a lost-ticket invariant breach, not a transient
+            // race — mapped tickets were registered before their
+            // Submitted events were sent). Fail them as answers instead
+            // of spinning on an empty queue forever.
+            for (_, (request_id, version)) in in_flight.drain() {
+                let fault = WireFault::new(
+                    crate::error::FaultKind::ActorGone,
+                    "the serving runtime lost this request's ticket",
+                );
+                let body = versioned_to_vec::<K>(
+                    version,
+                    request_id,
+                    &WireMessage::Response(WireResponse::Error(fault)),
+                );
+                if writer.send(&body).is_err() {
+                    return Ok(ServerExit::Disconnected);
+                }
+            }
+            continue;
+        };
+        // The completion may precede its Submitted event; block on the
+        // channel until the mapping shows up (the reader sends it right
+        // after submitting).
+        let correlated = loop {
+            if let Some(found) = in_flight.remove(&completion.ticket) {
+                break Some(found);
+            }
+            match events.recv() {
+                Ok(event) => {
+                    if apply(event, &mut in_flight, &mut end, &mut writer).is_err() {
+                        return Ok(ServerExit::Disconnected);
+                    }
+                }
+                Err(_) => {
+                    end.get_or_insert(None);
+                    break None; // reader died pre-mapping; drop the orphan
+                }
+            }
+        };
+        let Some((request_id, version)) = correlated else { continue };
+        let response: WireResponse<K> = match completion.outcome {
+            Ok(apcache_runtime::Outcome::Read(result)) => WireResponse::Read(result),
+            Ok(apcache_runtime::Outcome::Write(outcome)) => WireResponse::Write(outcome),
+            Ok(apcache_runtime::Outcome::Aggregate(outcome)) => {
+                WireResponse::Aggregate { answer: outcome.answer, refreshed: outcome.refreshed }
+            }
+            Ok(apcache_runtime::Outcome::Metrics(metrics)) => {
+                WireResponse::Metrics(metrics.merged().clone())
+            }
+            Err(e) => WireResponse::Error(WireFault::from(e)),
+        };
+        let body = versioned_to_vec(version, request_id, &WireMessage::Response(response));
+        if writer.send(&body).is_err() {
+            return Ok(ServerExit::Disconnected);
         }
     }
 }
 
 /// Accept TCP connections on `listener` and serve each on its own thread
-/// with a clone of `handle`, until a connection ends with a client
-/// `Shutdown` — the cross-process face of the actor runtime.
+/// with a clone of `handle` — **pipelined**: every connection runs
+/// [`serve_pipelined`], so each client can keep a window of requests in
+/// flight and receives replies out of order as the shard actors finish.
+/// This is the cross-process face of the actor runtime.
 ///
 /// The first client-initiated `Shutdown` stops the accept loop (a
 /// connection thread wakes the blocked acceptor by dialing the
@@ -313,18 +609,20 @@ where
     type Worker = (thread::JoinHandle<Result<ServerExit, WireError>>, TcpStream);
     let mut workers: Vec<Worker> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
-        let mut transport = TcpTransport::accept(&listener)?;
+        let transport = TcpTransport::accept(&listener)?;
         if stop.load(Ordering::SeqCst) {
             // The wake-up connection from a finished shutdown; discard it.
             break;
         }
         let raw = transport.inner().try_clone()?;
+        // A handle clone is a fresh logical client: this connection's
+        // tickets and completions are its own.
         let connection_handle = handle.clone();
         let connection_stop = Arc::clone(&stop);
         let worker = thread::Builder::new()
             .name("apcache-wire-conn".into())
             .spawn(move || {
-                let exit = StoreServer::new(connection_handle).serve::<K, _>(&mut transport);
+                let exit = serve_pipelined(transport, connection_handle);
                 if matches!(exit, Ok(ServerExit::Shutdown)) {
                     connection_stop.store(true, Ordering::SeqCst);
                     // Unblock the acceptor so it can observe the flag.
@@ -352,6 +650,7 @@ mod tests {
     use super::*;
     use crate::client::RemoteStoreClient;
     use crate::error::FaultKind;
+    use crate::message::{decode_message, encode_to_vec};
     use crate::transport::loopback;
     use apcache_store::StoreBuilder;
 
@@ -412,6 +711,72 @@ mod tests {
         });
         drop(client_t);
         assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
+    }
+
+    fn small_fleet() -> apcache_runtime::Runtime<String> {
+        let store = apcache_shard::ShardedStoreBuilder::new()
+            .shards(2)
+            .initial_width(apcache_store::InitialWidth::Fixed(10.0))
+            .source("a".to_string(), 100.0)
+            .source("b".to_string(), 200.0)
+            .source("c".to_string(), 300.0)
+            .build()
+            .unwrap();
+        apcache_runtime::Runtime::launch(store).unwrap()
+    }
+
+    #[test]
+    fn pipelined_server_answers_a_window_out_of_order() {
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::with_window(client_t, 8);
+        // Submit a full window, then redeem newest-first: responses are
+        // reassembled by ticket whatever order they arrived in.
+        let keys = ["a", "b", "c"];
+        let writes: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| client.submit_write(&k.to_string(), 50.0 * i as f64, 100).unwrap())
+            .collect();
+        let reads: Vec<_> = keys
+            .iter()
+            .map(|k| client.submit_read(&k.to_string(), Constraint::Exact, 200).unwrap())
+            .collect();
+        assert_eq!(client.in_flight(), 6);
+        for (&ticket, (i, _)) in reads.iter().zip(keys.iter().enumerate()).rev() {
+            let r = client.wait_read(ticket).unwrap();
+            assert!(r.answer.contains(50.0 * i as f64), "key #{i}");
+        }
+        for &ticket in writes.iter().rev() {
+            client.wait_write(ticket).unwrap();
+        }
+        // Faults travel the pipelined path as answers, not disconnects.
+        let bad = client.submit_read(&"zzz".to_string(), Constraint::Exact, 300).unwrap();
+        let ok = client.submit_read(&"a".to_string(), Constraint::Exact, 300).unwrap();
+        assert_eq!(client.wait_read(bad).unwrap_err().fault_kind(), Some(FaultKind::UnknownKey));
+        assert!(client.wait_read(ok).is_ok());
+        client.shutdown().unwrap();
+        assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+        let store = runtime.into_store().unwrap();
+        assert_eq!(store.metrics().merged().totals().writes, 3);
+    }
+
+    #[test]
+    fn pipelined_disconnect_without_shutdown_is_clean() {
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::with_window(client_t, 4);
+        // In-flight work at hang-up time is still applied (the reader
+        // submitted it before seeing EOF).
+        client.submit_write(&"a".to_string(), 111.0, 50).unwrap();
+        drop(client);
+        assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
+        let store = runtime.into_store().unwrap();
+        assert_eq!(store.value(&"a".to_string()), Some(111.0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::WireError;
@@ -68,6 +69,24 @@ pub fn frame_bytes(body: &[u8]) -> Result<Vec<u8>, WireError> {
     Ok(out)
 }
 
+/// A byte stream whose two directions can be duplicated onto separate
+/// handles — one dedicated to reads, one to writes — so a pipelined
+/// endpoint can decode incoming frames and ship outgoing frames from
+/// different threads over the *same* connection.
+///
+/// The duplicate shares the underlying connection: closing either side
+/// (or dropping the last handle) tears the connection down for both.
+pub trait SplitStream: Read + Write + Send + Sized {
+    /// Duplicate the stream handle.
+    fn try_split(&self) -> io::Result<Self>;
+}
+
+impl SplitStream for TcpStream {
+    fn try_split(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+}
+
 /// [`Transport`] over any byte stream (`TcpStream`, a loopback pipe, …).
 #[derive(Debug)]
 pub struct StreamTransport<S> {
@@ -89,6 +108,16 @@ impl<S: Read + Write + Send> StreamTransport<S> {
     /// `TcpStream` so a supervisor can force-close the connection).
     pub fn inner(&self) -> &S {
         &self.stream
+    }
+
+    /// Duplicate the transport over the same connection (see
+    /// [`SplitStream`]): the pipelined server reads requests on one
+    /// handle while a drainer thread writes completions on the other.
+    pub fn try_split(&self) -> Result<Self, WireError>
+    where
+        S: SplitStream,
+    {
+        Ok(StreamTransport::new(self.stream.try_split()?))
     }
 
     /// Fill `buf` exactly. `eof_is_close` controls how an EOF on the very
@@ -198,12 +227,27 @@ impl ByteQueue {
 
 /// One endpoint of an in-process byte pipe pair — the test/bench
 /// transport: the full framing and codec stack runs, only the kernel
-/// socket is skipped. Dropping an endpoint closes both directions, so a
-/// peer blocked in `recv` wakes with [`WireError::Closed`].
+/// socket is skipped. Dropping an endpoint's **last handle** (endpoints
+/// duplicate via [`SplitStream::try_split`], like a `TcpStream`) closes
+/// both directions, so a peer blocked in `recv` wakes with
+/// [`WireError::Closed`].
 #[derive(Debug)]
 pub struct LoopbackStream {
     rx: Arc<ByteQueue>,
     tx: Arc<ByteQueue>,
+    /// Handles alive on this endpoint; the last drop closes the queues.
+    handles: Arc<AtomicUsize>,
+}
+
+impl SplitStream for LoopbackStream {
+    fn try_split(&self) -> io::Result<Self> {
+        self.handles.fetch_add(1, Ordering::SeqCst);
+        Ok(LoopbackStream {
+            rx: Arc::clone(&self.rx),
+            tx: Arc::clone(&self.tx),
+            handles: Arc::clone(&self.handles),
+        })
+    }
 }
 
 impl Read for LoopbackStream {
@@ -228,8 +272,10 @@ impl Write for LoopbackStream {
 
 impl Drop for LoopbackStream {
     fn drop(&mut self) {
-        self.tx.close();
-        self.rx.close();
+        if self.handles.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.tx.close();
+            self.rx.close();
+        }
     }
 }
 
@@ -242,8 +288,12 @@ pub type LoopbackTransport = StreamTransport<LoopbackStream>;
 pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
     let a_to_b = Arc::new(ByteQueue::default());
     let b_to_a = Arc::new(ByteQueue::default());
-    let a = LoopbackStream { rx: Arc::clone(&b_to_a), tx: Arc::clone(&a_to_b) };
-    let b = LoopbackStream { rx: a_to_b, tx: b_to_a };
+    let a = LoopbackStream {
+        rx: Arc::clone(&b_to_a),
+        tx: Arc::clone(&a_to_b),
+        handles: Arc::new(AtomicUsize::new(1)),
+    };
+    let b = LoopbackStream { rx: a_to_b, tx: b_to_a, handles: Arc::new(AtomicUsize::new(1)) };
     (StreamTransport::new(a), StreamTransport::new(b))
 }
 
@@ -307,6 +357,42 @@ mod tests {
         drop(a);
         assert_eq!(b.recv().unwrap(), b"parting gift");
         assert_eq!(b.recv(), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn split_endpoints_close_only_on_last_drop() {
+        let (a, mut b) = loopback();
+        let mut a_writer = a.try_split().unwrap();
+        drop(a); // the duplicate keeps the connection alive
+        a_writer.send(b"still open").unwrap();
+        assert_eq!(b.recv().unwrap(), b"still open");
+        drop(a_writer); // last handle: now the peer sees EOF
+        assert_eq!(b.recv(), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn split_halves_share_one_ordered_connection() {
+        // Reader and writer halves work concurrently from two threads —
+        // the shape serve_pipelined uses.
+        let (server, mut client) = loopback();
+        let mut server_writer = server.try_split().unwrap();
+        let mut server_reader = server;
+        let echo = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Ok(frame) = server_reader.recv() {
+                server_writer.send(&frame).unwrap();
+                n += 1;
+            }
+            n
+        });
+        for i in 0..10u8 {
+            client.send(&[i; 3]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(client.recv().unwrap(), vec![i; 3]);
+        }
+        drop(client);
+        assert_eq!(echo.join().unwrap(), 10);
     }
 
     #[test]

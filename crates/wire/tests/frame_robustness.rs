@@ -115,22 +115,31 @@ fn oversized_length_prefixes_are_rejected_before_allocation() {
     }
 }
 
+/// A v2 frame header: magic ∥ version ∥ tag ∥ request-id (0).
+fn header(tag: u8) -> Vec<u8> {
+    let mut body = vec![MAGIC, VERSION, tag];
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body
+}
+
 #[test]
 fn unknown_tags_identify_their_context() {
-    // Unknown message tag.
+    // Unknown message tag (rejected before the request-id field).
     let body = vec![MAGIC, VERSION, 0x7F];
     assert_eq!(
         decode_message::<String>(&body),
         Err(WireError::UnknownTag { context: "message", tag: 0x7F })
     );
     // Unknown verb inside a request frame.
-    let body = vec![MAGIC, VERSION, 3, 0x7F];
+    let mut body = header(3);
+    body.push(0x7F);
     assert_eq!(
         decode_message::<String>(&body),
         Err(WireError::UnknownTag { context: "request verb", tag: 0x7F })
     );
     // Unknown constraint tag inside a Read.
-    let mut body = vec![MAGIC, VERSION, 3, 1];
+    let mut body = header(3);
+    body.push(1); // Read
     body.extend_from_slice(&1u32.to_le_bytes());
     body.push(b'k');
     body.push(0x7F); // constraint tag
@@ -145,15 +154,21 @@ fn forged_sequence_counts_cannot_balloon_memory() {
     // An Aggregate frame claiming u32::MAX keys with a near-empty body:
     // the count check runs against remaining bytes before any Vec is
     // sized, so this must fail as Truncated (and return promptly).
-    let mut body = vec![MAGIC, VERSION, 3, 4, 0]; // request/aggregate/Sum
+    let mut body = header(3);
+    body.extend_from_slice(&[4, 0]); // aggregate / Sum
     body.extend_from_slice(&u32::MAX.to_le_bytes());
     assert!(matches!(decode_message::<String>(&body), Err(WireError::Truncated { .. })));
 }
 
 #[test]
 fn nan_and_inverted_intervals_cannot_cross_the_wire() {
-    let make = |lo: f64, hi: f64| {
-        let mut body = vec![MAGIC, VERSION, 1]; // Refresh
+    // Exercised at both decodable versions: the v1 layout (no request-id
+    // field) must stay rejected-or-accepted exactly like v2.
+    let make = |version: u8, lo: f64, hi: f64| {
+        let mut body = vec![MAGIC, version, 1]; // Refresh
+        if version >= 2 {
+            body.extend_from_slice(&0u64.to_le_bytes()); // request id
+        }
         body.extend_from_slice(&7u32.to_le_bytes()); // key
         body.push(0); // ApproxSpec::Constant
         body.extend_from_slice(&lo.to_bits().to_le_bytes());
@@ -161,13 +176,18 @@ fn nan_and_inverted_intervals_cannot_cross_the_wire() {
         body.extend_from_slice(&4.0f64.to_bits().to_le_bytes()); // width
         body
     };
-    assert!(matches!(
-        decode_message::<String>(&make(f64::NAN, 1.0)),
-        Err(WireError::InvalidPayload(_))
-    ));
-    assert!(matches!(decode_message::<String>(&make(2.0, 1.0)), Err(WireError::InvalidPayload(_))));
-    // ±∞ bounds are legal protocol values, not attacks.
-    assert!(decode_message::<String>(&make(f64::NEG_INFINITY, f64::INFINITY)).is_ok());
+    for version in [1u8, VERSION] {
+        assert!(matches!(
+            decode_message::<String>(&make(version, f64::NAN, 1.0)),
+            Err(WireError::InvalidPayload(_))
+        ));
+        assert!(matches!(
+            decode_message::<String>(&make(version, 2.0, 1.0)),
+            Err(WireError::InvalidPayload(_))
+        ));
+        // ±∞ bounds are legal protocol values, not attacks.
+        assert!(decode_message::<String>(&make(version, f64::NEG_INFINITY, f64::INFINITY)).is_ok());
+    }
 }
 
 #[test]

@@ -180,3 +180,91 @@ fn connecting_transport_surfaces_peer_loss_mid_frame() {
     server.join().unwrap();
     assert!(matches!(client.recv(), Err(WireError::Truncated { .. })));
 }
+
+#[test]
+fn tcp_pipelined_windows_overlap_on_real_sockets() {
+    // Two windowed clients drive the pipelined front door concurrently:
+    // each keeps 8 requests on the wire, harvests out of submission
+    // order, and every accepted write survives to the drained fleet.
+    let (listener, addr) = listener();
+    let mut builder = ShardedStoreBuilder::new().shards(2).initial_width(InitialWidth::Fixed(8.0));
+    for k in 0..32u64 {
+        builder = builder.source(k, k as f64);
+    }
+    let runtime = Runtime::launch(builder.build().unwrap()).unwrap();
+    let door_handle = runtime.handle();
+    let acceptor = thread::spawn(move || serve_connections(listener, door_handle));
+
+    let clients: Vec<_> = (0..2u64)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client: RemoteStoreClient<u64, _> =
+                    RemoteStoreClient::with_window(TcpTransport::connect(addr).unwrap(), 8);
+                let mine: Vec<u64> = (0..32).filter(|k| k % 2 == c).collect();
+                for t in 1..=20u64 {
+                    // Fill the window with writes, harvest newest-first —
+                    // the out-of-order path on a real socket.
+                    let tickets: Vec<_> = mine
+                        .iter()
+                        .map(|&k| client.submit_write(&k, (k + t) as f64, t * 1_000).unwrap())
+                        .collect();
+                    for &ticket in tickets.iter().rev() {
+                        client.wait_write(ticket).unwrap();
+                    }
+                    let read_tickets: Vec<_> = mine
+                        .iter()
+                        .map(|&k| {
+                            client.submit_read(&k, Constraint::Absolute(2.0), t * 1_000).unwrap()
+                        })
+                        .collect();
+                    for &ticket in read_tickets.iter().rev() {
+                        let r = client.wait_read(ticket).unwrap();
+                        assert!(r.answer.width() <= 2.0 + 1e-9);
+                    }
+                }
+                client
+            })
+        })
+        .collect();
+    let mut done: Vec<RemoteStoreClient<u64, _>> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+    // One client closes the door; the other just hangs up.
+    done.pop().unwrap().shutdown().unwrap();
+    drop(done);
+    acceptor.join().unwrap().unwrap();
+    let store = runtime.into_store().unwrap();
+    assert_eq!(store.metrics().merged().totals().writes, 2 * 20 * 16);
+    assert_eq!(store.metrics().merged().totals().reads, 2 * 20 * 16);
+    for k in 0..32u64 {
+        assert_eq!(store.value(&k), Some((k + 20) as f64));
+    }
+}
+
+#[test]
+fn failed_shutdown_still_closes_the_connection() {
+    // The shutdown-consumes-self regression: when the drain inside
+    // shutdown() fails (here: the peer answers with a request id that
+    // was never issued), the client must still tear the transport down
+    // on its error path — the peer observes EOF, which is what
+    // serve_connections' join-based teardown relies on.
+    use apcache_wire::{frame_to_vec, RemoteError, WireMessage, WireResponse};
+    let (listener, addr) = listener();
+    let server = thread::spawn(move || {
+        let mut transport = TcpTransport::accept(&listener).unwrap();
+        let _ = transport.recv().unwrap(); // the submitted read
+        let bogus: Vec<u8> =
+            frame_to_vec::<u64>(999, &WireMessage::Response(WireResponse::ShutdownAck));
+        transport.send(&bogus).unwrap();
+        // The failed shutdown must close the connection: EOF, not a hang.
+        assert_eq!(transport.recv(), Err(WireError::Closed));
+    });
+    let mut client: RemoteStoreClient<u64, _> =
+        RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+    client.submit_read(&0, Constraint::Exact, 0).unwrap();
+    let err = client.shutdown().unwrap_err();
+    assert!(
+        matches!(err, RemoteError::Wire(WireError::UnknownRequestId { id: 999 })),
+        "unexpected {err:?}"
+    );
+    server.join().unwrap();
+}
