@@ -1,0 +1,9 @@
+//! Regenerates the push fan-out measurement: loopback write→push
+//! latency by subscriber count (1 / 100 / 10k), through the full v3
+//! streaming stack.
+
+fn main() {
+    for table in apcache_bench::experiments::push::run() {
+        table.print();
+    }
+}

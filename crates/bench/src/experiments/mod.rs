@@ -17,6 +17,7 @@ pub mod fig14_15;
 pub mod hierarchy;
 pub mod max_queries;
 pub mod pipelined;
+pub mod push;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;

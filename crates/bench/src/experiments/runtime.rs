@@ -56,9 +56,11 @@ fn build_fleet(shards: usize) -> ShardedStore<u64> {
 /// Drive `clients` threads against a fresh `shards`-actor runtime;
 /// returns (elapsed seconds, total ops served).
 fn drive(shards: usize, clients: usize) -> (f64, u64) {
-    let runtime =
-        Runtime::launch_with(build_fleet(shards), RuntimeConfig { mailbox_capacity: 1_024 })
-            .expect("runtime launches");
+    let runtime = Runtime::launch_with(
+        build_fleet(shards),
+        RuntimeConfig { mailbox_capacity: 1_024, ..RuntimeConfig::default() },
+    )
+    .expect("runtime launches");
     let started = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..clients {

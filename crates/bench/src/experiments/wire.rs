@@ -14,13 +14,13 @@ use std::thread;
 use std::time::Instant;
 
 use apcache_core::policy::ApproxSpec;
-use apcache_core::{Interval, Key, Refresh, Rng};
+use apcache_core::{Interval, Rng};
 use apcache_queries::AggregateKind;
 use apcache_shard::{ShardedStore, ShardedStoreBuilder};
 use apcache_store::{Constraint, InitialWidth};
 use apcache_wire::{
     decode_message, encode_message, encode_to_vec, loopback, RemoteStoreClient, StoreServer,
-    WireMessage, WireRequest,
+    WireMessage, WireRefresh, WireRequest,
 };
 
 use crate::experiments::common::MASTER_SEED;
@@ -35,8 +35,8 @@ fn codec_cases() -> Vec<(&'static str, WireMessage<u64>)> {
     vec![
         (
             "Refresh (paper push)",
-            WireMessage::Refresh(Refresh {
-                key: Key(7),
+            WireMessage::Refresh(WireRefresh {
+                key: 7u64,
                 spec: ApproxSpec::Constant(Interval::new(95.0, 105.0).unwrap()),
                 internal_width: 10.0,
             }),

@@ -304,6 +304,34 @@ impl Cache {
         self.len += 1;
     }
 
+    /// Widen `key`'s cached interval to at least `width`, keeping it
+    /// centered where it is — the truth-preserving degradation a lapsed
+    /// TTL lease applies (the exact value provably lies inside the old
+    /// interval, hence inside any widening of it). Returns the new
+    /// interval, or `None` when the key is uncached or already at least
+    /// that wide (widening never fabricates precision). The entry's
+    /// internal width — the eviction ordering key — grows to match, so a
+    /// degraded approximation is also the first eviction candidate.
+    pub fn widen(&mut self, key: Key, width: f64, now: TimeMs) -> Option<Interval> {
+        debug_assert!(!width.is_nan() && width >= 0.0);
+        let entry = self.get(key)?;
+        let current = entry.spec.interval_at(now);
+        if current.width() >= width {
+            return None;
+        }
+        // current.width() < width ≤ ∞ means both bounds are finite.
+        let center = current.center().expect("finite-width interval has a center");
+        let widened = Interval::centered(center, width).unwrap_or_else(|_| Interval::unbounded());
+        let old_internal = entry.internal_width;
+        let new_internal = old_internal.max(width);
+        let entry = self.get_mut(key).expect("entry present above");
+        entry.spec = ApproxSpec::Constant(widened);
+        entry.internal_width = new_internal;
+        self.by_width.remove(&(OrdWidth(old_internal), key));
+        self.by_width.insert((OrdWidth(new_internal), key));
+        Some(widened)
+    }
+
     /// Remove an entry (used by eviction and by baseline protocols that
     /// drop replicas explicitly). Returns the removed entry.
     pub fn remove(&mut self, key: Key) -> Option<CacheEntry> {
@@ -504,6 +532,27 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
         assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn widen_degrades_in_place_and_reorders_eviction() {
+        let mut c = Cache::new(CacheId(0), 2).unwrap();
+        c.apply_refresh(refresh(1, 10.0, 2.0));
+        c.apply_refresh(refresh(2, 0.0, 5.0));
+        // Narrower or equal targets are no-ops.
+        assert!(c.widen(Key(1), 2.0, 0).is_none());
+        assert!(c.widen(Key(1), 1.0, 0).is_none());
+        assert!(c.widen(Key(9), 50.0, 0).is_none(), "uncached");
+        // Widening keeps the center and grows the eviction key.
+        let iv = c.widen(Key(1), 8.0, 0).unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (6.0, 14.0));
+        assert_eq!(c.widest(), Some((Key(1), 8.0)));
+        // Unbounded fallback: the interval claims nothing, and the entry
+        // is now the designated eviction victim.
+        let iv = c.widen(Key(1), f64::INFINITY, 0).unwrap();
+        assert!(iv.is_unbounded());
+        assert!(c.widen(Key(1), f64::INFINITY, 0).is_none(), "already unbounded");
+        assert_eq!(c.apply_refresh(refresh(3, 0.0, 4.0)), AdmitOutcome::InsertedEvicting(Key(1)));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Push events and subscription filters.
+//!
+//! In the paper's vocabulary a *refresh* is a source→cache message that
+//! re-bounds a cached approximate value. A [`PushEvent`] is the serving
+//! stack's cache→client continuation of the same flow: whenever the
+//! cached interval for a watched key changes (or a TTL lease lapses and
+//! widens it), subscribers whose [`PushFilter`] matches receive the new
+//! interval unasked.
+
+use apcache_core::{Interval, TimeMs};
+use apcache_store::Constraint;
+
+/// Why a push was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushReason {
+    /// The cached interval changed — a write recentered it, a refresh
+    /// (QR or VR) shrank or moved it.
+    Changed,
+    /// A TTL lease lapsed without renewal and the interval was widened
+    /// to its policy's fallback.
+    LeaseExpired,
+}
+
+/// One server-initiated notification about a watched key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushEvent<K> {
+    /// The watched key.
+    pub key: K,
+    /// The cached interval after the change.
+    pub interval: Interval,
+    /// What triggered the push.
+    pub reason: PushReason,
+    /// Logical time of the triggering operation.
+    pub now: TimeMs,
+}
+
+/// Which interval changes a subscriber wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PushFilter {
+    /// Every change to the cached interval.
+    Always,
+    /// Only changes where the new interval *violates* the constraint —
+    /// the "tell me when my precision demand is no longer met" mode a
+    /// dashboard uses to re-render only when its display would be wrong.
+    Violates(Constraint),
+}
+
+impl PushFilter {
+    /// Whether a change to `interval` should be delivered.
+    pub fn wants(&self, interval: &Interval) -> bool {
+        match self {
+            PushFilter::Always => true,
+            PushFilter::Violates(c) => !c.satisfied_by(interval),
+        }
+    }
+}
+
+/// A snapshot of push-side occupancy, merged across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PushReport {
+    /// Live subscriptions.
+    pub subscribers: usize,
+    /// Keys with at least one subscriber.
+    pub watched_keys: usize,
+    /// Keys holding an active (armed or lapsed-but-configured) lease.
+    pub leases: usize,
+    /// Leases that expired during the operation that produced this
+    /// report (zero for pure stat snapshots).
+    pub expired: usize,
+}
+
+impl PushReport {
+    /// Fold another shard's report into this one.
+    pub fn merge(&mut self, other: &PushReport) {
+        self.subscribers += other.subscribers;
+        self.watched_keys += other.watched_keys;
+        self.leases += other.leases;
+        self.expired += other.expired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_select_by_violation() {
+        let narrow = Interval::new(9.0, 11.0).unwrap();
+        let wide = Interval::new(0.0, 100.0).unwrap();
+        assert!(PushFilter::Always.wants(&narrow));
+        assert!(PushFilter::Always.wants(&wide));
+        let f = PushFilter::Violates(Constraint::Absolute(5.0));
+        assert!(!f.wants(&narrow), "satisfied constraint stays quiet");
+        assert!(f.wants(&wide), "violated constraint pushes");
+    }
+
+    #[test]
+    fn reports_merge_componentwise() {
+        let mut a = PushReport { subscribers: 2, watched_keys: 1, leases: 3, expired: 0 };
+        a.merge(&PushReport { subscribers: 1, watched_keys: 1, leases: 0, expired: 2 });
+        assert_eq!(a, PushReport { subscribers: 3, watched_keys: 2, leases: 3, expired: 2 });
+    }
+}

@@ -1,0 +1,238 @@
+//! TTL leases over cached intervals.
+//!
+//! A lease is a bounded-staleness contract: "this interval is only
+//! trustworthy if the source has been heard from within `ttl_ms`." Every
+//! refresh contact renews the lease; if it lapses, the interval is
+//! widened to the lease's [`FallbackWidth`] (widening is always
+//! truth-preserving — the exact value still lies inside) and exactly one
+//! [`LeaseExpired`](crate::PushReason::LeaseExpired) push tells
+//! subscribers their precision guarantee degraded.
+//!
+//! The table itself is pure bookkeeping over a [`TimerWheel`]: *who* does
+//! the widening (the shard actor, which owns the store) calls
+//! [`LeaseTable::advance`] and acts on the expirations it returns.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use apcache_core::TimeMs;
+
+use crate::timeq::{TimerId, TimerWheel};
+
+/// What width a leased interval falls back to when the lease lapses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FallbackWidth {
+    /// Widen to (-∞, ∞): the value is somewhere, nothing more is claimed.
+    Unbounded,
+    /// Widen to a fixed width (must be finite and ≥ 0; a fallback
+    /// *narrower* than the current interval is a no-op — widening never
+    /// fabricates precision).
+    Fixed(f64),
+    /// Widen to `factor ×` the interval's width at expiry (factor must be
+    /// finite and ≥ 1).
+    Factor(f64),
+}
+
+impl FallbackWidth {
+    /// Whether the policy's parameters are meaningful.
+    pub fn validate(&self) -> bool {
+        match *self {
+            FallbackWidth::Unbounded => true,
+            FallbackWidth::Fixed(w) => w.is_finite() && w >= 0.0,
+            FallbackWidth::Factor(f) => f.is_finite() && f >= 1.0,
+        }
+    }
+
+    /// The target width given the interval's width at expiry.
+    pub fn target_width(&self, current: f64) -> f64 {
+        match *self {
+            FallbackWidth::Unbounded => f64::INFINITY,
+            FallbackWidth::Fixed(w) => w,
+            FallbackWidth::Factor(f) => {
+                if current.is_finite() {
+                    current * f
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// One key's lease policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseConfig {
+    /// How long the interval stays trusted after the last source contact.
+    pub ttl_ms: u64,
+    /// What the interval widens to when the lease lapses.
+    pub fallback: FallbackWidth,
+}
+
+impl LeaseConfig {
+    /// Whether both the TTL and the fallback are meaningful.
+    pub fn validate(&self) -> bool {
+        self.ttl_ms > 0 && self.fallback.validate()
+    }
+}
+
+/// All leases held by one shard.
+pub struct LeaseTable<K> {
+    wheel: TimerWheel<K>,
+    armed: HashMap<K, TimerId>,
+    configs: HashMap<K, LeaseConfig>,
+}
+
+impl<K: Eq + Hash + Clone> LeaseTable<K> {
+    /// An empty table whose expiry wheel starts at `origin` with slots of
+    /// `resolution_ms`.
+    pub fn new(origin: TimeMs, resolution_ms: u64) -> Self {
+        LeaseTable {
+            wheel: TimerWheel::new(origin, resolution_ms),
+            armed: HashMap::new(),
+            configs: HashMap::new(),
+        }
+    }
+
+    /// Keys holding a lease (armed or lapsed-but-configured).
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether no leases exist.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Leases currently armed (will expire if not renewed).
+    pub fn armed(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Whether `key` holds a lease.
+    pub fn leased(&self, key: &K) -> bool {
+        self.configs.contains_key(key)
+    }
+
+    /// Grant (or re-grant) a lease on `key`, arming expiry at
+    /// `now + ttl_ms`. The config must already be validated.
+    pub fn grant(&mut self, key: K, cfg: LeaseConfig, now: TimeMs) {
+        debug_assert!(cfg.validate());
+        self.configs.insert(key.clone(), cfg);
+        self.arm(key, cfg.ttl_ms, now);
+    }
+
+    /// The source was heard from on `key` at `now`: re-arm its lease, if
+    /// it holds one. A lapsed lease re-arms here too — that is what makes
+    /// each lapse emit exactly one push (the config outlives the timer).
+    pub fn renew(&mut self, key: &K, now: TimeMs) {
+        if let Some(cfg) = self.configs.get(key) {
+            let ttl = cfg.ttl_ms;
+            self.arm(key.clone(), ttl, now);
+        }
+    }
+
+    /// Drop `key`'s lease entirely. Returns whether one existed.
+    pub fn release(&mut self, key: &K) -> bool {
+        if let Some(id) = self.armed.remove(key) {
+            self.wheel.cancel(id);
+        }
+        self.configs.remove(key).is_some()
+    }
+
+    /// Advance logical time, returning each key whose lease lapsed with
+    /// its fallback policy, in deterministic (deadline, grant) order. A
+    /// lapsed key stays configured but disarmed: it will not expire again
+    /// until the next [`renew`](Self::renew) re-arms it.
+    pub fn advance(&mut self, now: TimeMs) -> Vec<(K, FallbackWidth)> {
+        self.wheel
+            .advance(now)
+            .into_iter()
+            .map(|(_, key)| {
+                self.armed.remove(&key);
+                let fallback = self.configs.get(&key).expect("armed lease has a config").fallback;
+                (key, fallback)
+            })
+            .collect()
+    }
+
+    fn arm(&mut self, key: K, ttl_ms: u64, now: TimeMs) {
+        // Cancel before re-insert: the wheel never fires a stale timer.
+        if let Some(old) = self.armed.get(&key) {
+            self.wheel.cancel(*old);
+        }
+        let id = self.wheel.insert(now.saturating_add(ttl_ms), key.clone());
+        self.armed.insert(key, id);
+    }
+}
+
+impl<K> std::fmt::Debug for LeaseTable<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseTable")
+            .field("leases", &self.configs.len())
+            .field("armed", &self.armed.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: LeaseConfig = LeaseConfig { ttl_ms: 100, fallback: FallbackWidth::Unbounded };
+
+    #[test]
+    fn lapsed_leases_expire_exactly_once_until_renewed() {
+        let mut t = LeaseTable::new(0, 1);
+        t.grant("k", CFG, 0);
+        assert!(t.advance(99).is_empty());
+        let lapsed = t.advance(100);
+        assert_eq!(lapsed.len(), 1);
+        assert_eq!(lapsed[0].0, "k");
+        // Still configured, but disarmed: no second expiry.
+        assert!(t.leased(&"k"));
+        assert_eq!(t.armed(), 0);
+        assert!(t.advance(10_000).is_empty());
+        // A renewal re-arms; the lease can lapse again.
+        t.renew(&"k", 10_000);
+        assert_eq!(t.armed(), 1);
+        assert_eq!(t.advance(10_100).len(), 1);
+    }
+
+    #[test]
+    fn renewals_push_the_deadline_and_release_disarms() {
+        let mut t = LeaseTable::new(0, 1);
+        t.grant("k", CFG, 0);
+        t.renew(&"k", 50);
+        assert!(t.advance(100).is_empty(), "renewed at 50: alive until 150");
+        assert_eq!(t.advance(150).len(), 1);
+        t.renew(&"k", 200);
+        assert!(t.release(&"k"));
+        assert!(!t.release(&"k"));
+        assert!(t.advance(1_000).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn renew_without_a_lease_is_a_no_op() {
+        let mut t: LeaseTable<&str> = LeaseTable::new(0, 1);
+        t.renew(&"ghost", 5);
+        assert_eq!(t.armed(), 0);
+        assert!(t.advance(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn fallback_validation_and_targets() {
+        assert!(FallbackWidth::Unbounded.validate());
+        assert!(FallbackWidth::Fixed(0.0).validate());
+        assert!(!FallbackWidth::Fixed(-1.0).validate());
+        assert!(!FallbackWidth::Fixed(f64::NAN).validate());
+        assert!(!FallbackWidth::Fixed(f64::INFINITY).validate());
+        assert!(FallbackWidth::Factor(1.0).validate());
+        assert!(!FallbackWidth::Factor(0.5).validate());
+        assert_eq!(FallbackWidth::Unbounded.target_width(3.0), f64::INFINITY);
+        assert_eq!(FallbackWidth::Fixed(7.0).target_width(3.0), 7.0);
+        assert_eq!(FallbackWidth::Factor(2.0).target_width(3.0), 6.0);
+        assert_eq!(FallbackWidth::Factor(2.0).target_width(f64::INFINITY), f64::INFINITY);
+        assert!(!LeaseConfig { ttl_ms: 0, fallback: FallbackWidth::Unbounded }.validate());
+    }
+}

@@ -1,0 +1,35 @@
+//! Push-side primitives for the apcache serving stack.
+//!
+//! The paper's refresh protocol is push-at-heart: sources send `Refresh`
+//! messages to the cache whenever an interval must shrink or recenter.
+//! This crate supplies the machinery that continues the push one hop
+//! further, cache → client, so the serving runtime can *stream* interval
+//! changes instead of being polled:
+//!
+//! * [`SubscriberRegistry`] — per-key subscriptions with
+//!   constraint-filtered fan-out ([`PushFilter`]), consulted by shard
+//!   actors on every write/refresh; unchanged intervals are deduped by
+//!   bit comparison so deterministic (θ=1) runs stay deterministic.
+//! * [`timeq::TimerWheel`] — a std-only hierarchical timer wheel
+//!   (fine/coarse wheels plus overflow, O(1) insert and cancel, O(live)
+//!   memory) over the stack's logical `TimeMs`.
+//! * [`LeaseTable`] — TTL leases on cached intervals driven by the
+//!   wheel: a lease that lapses without a source contact widens the
+//!   interval to its [`FallbackWidth`] and emits exactly one
+//!   [`PushReason::LeaseExpired`] event, bounding staleness even for
+//!   silent sources.
+//!
+//! The crate is deliberately runtime-agnostic: it depends only on
+//! `apcache-core` and `apcache-store`, owns no threads, and reads no
+//! clocks. The runtime supplies delivery ([`PushSink`]) and time
+//! (calling [`LeaseTable::advance`]); the wire layer gives
+//! [`PushEvent`]s a frame.
+
+pub mod event;
+pub mod lease;
+pub mod registry;
+pub mod timeq;
+
+pub use event::{PushEvent, PushFilter, PushReason, PushReport};
+pub use lease::{FallbackWidth, LeaseConfig, LeaseTable};
+pub use registry::{PushSink, SubscriberRegistry};

@@ -1,0 +1,231 @@
+//! Per-key subscriber registry with constraint-filtered fan-out.
+//!
+//! One registry lives inside each shard actor. Every mutation that can
+//! change a cached interval calls [`SubscriberRegistry::notify`]; the
+//! registry dedups unchanged intervals (bit-compared, so θ=1 runs stay
+//! deterministic), then delivers a [`PushEvent`] to each subscriber whose
+//! [`PushFilter`] matches.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use apcache_core::{Interval, TimeMs};
+
+use crate::event::{PushEvent, PushFilter, PushReason};
+
+/// Where a matched push goes. The runtime implements this with its
+/// completion-queue sender; tests implement it with a shared `Vec`.
+pub trait PushSink<K> {
+    /// Deliver one event. Delivery must not block the shard actor.
+    fn deliver(&self, event: PushEvent<K>);
+}
+
+struct Subscriber<S> {
+    id: u64,
+    filter: PushFilter,
+    sink: S,
+}
+
+struct Watch<S> {
+    /// Bits of the last interval fanned out (or the snapshot at first
+    /// subscribe), for exact-change dedup.
+    last: (u64, u64),
+    subs: Vec<Subscriber<S>>,
+}
+
+/// All subscriptions held by one shard.
+pub struct SubscriberRegistry<K, S> {
+    watches: HashMap<K, Watch<S>>,
+    total: usize,
+}
+
+impl<K, S> Default for SubscriberRegistry<K, S> {
+    fn default() -> Self {
+        SubscriberRegistry { watches: HashMap::new(), total: 0 }
+    }
+}
+
+impl<K: Eq + Hash + Clone, S: PushSink<K>> SubscriberRegistry<K, S> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live subscriptions across all keys.
+    pub fn subscribers(&self) -> usize {
+        self.total
+    }
+
+    /// Keys with at least one subscriber.
+    pub fn watched_keys(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Whether no subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Register subscriber `id` on `key`. `snapshot` is the cached
+    /// interval at subscribe time: the first watch on a key seeds the
+    /// dedup state with it, so the subscriber is only notified of changes
+    /// *after* the snapshot it was acked with.
+    pub fn subscribe(&mut self, key: K, id: u64, snapshot: Interval, filter: PushFilter, sink: S) {
+        let watch = self
+            .watches
+            .entry(key)
+            .or_insert_with(|| Watch { last: snapshot.to_bits(), subs: Vec::new() });
+        watch.subs.push(Subscriber { id, filter, sink });
+        self.total += 1;
+    }
+
+    /// Remove subscriber `id`, returning its key and sink (the sink's
+    /// drop side effects — ending the client-visible stream — are the
+    /// caller's business). Linear scan: unsubscribes are rare next to
+    /// notifies, which stay O(subscribers-on-key).
+    pub fn unsubscribe(&mut self, id: u64) -> Option<(K, S)> {
+        let key = self.watches.iter().find(|(_, w)| w.subs.iter().any(|s| s.id == id))?.0.clone();
+        let watch = self.watches.get_mut(&key)?;
+        let pos = watch.subs.iter().position(|s| s.id == id)?;
+        let sub = watch.subs.remove(pos);
+        self.total -= 1;
+        if watch.subs.is_empty() {
+            self.watches.remove(&key);
+        }
+        Some((key, sub.sink))
+    }
+
+    /// The cached interval for `key` became `interval` at `now`; fan out
+    /// to matching subscribers. Returns how many events were delivered.
+    /// Unwatched keys and bit-identical intervals cost one hash lookup.
+    pub fn notify(
+        &mut self,
+        key: &K,
+        interval: Interval,
+        reason: PushReason,
+        now: TimeMs,
+    ) -> usize {
+        let Some(watch) = self.watches.get_mut(key) else {
+            return 0;
+        };
+        let bits = interval.to_bits();
+        if bits == watch.last {
+            return 0;
+        }
+        watch.last = bits;
+        let mut delivered = 0;
+        for sub in &watch.subs {
+            if sub.filter.wants(&interval) {
+                sub.sink.deliver(PushEvent { key: key.clone(), interval, reason, now });
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+impl<K, S> std::fmt::Debug for SubscriberRegistry<K, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriberRegistry")
+            .field("watched_keys", &self.watches.len())
+            .field("subscribers", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use apcache_store::Constraint;
+
+    use super::*;
+
+    type Log = Rc<RefCell<Vec<(u64, PushEvent<&'static str>)>>>;
+
+    struct TestSink {
+        id: u64,
+        log: Log,
+    }
+
+    impl PushSink<&'static str> for TestSink {
+        fn deliver(&self, event: PushEvent<&'static str>) {
+            self.log.borrow_mut().push((self.id, event));
+        }
+    }
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn fan_out_is_filtered_and_deduped() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut reg = SubscriberRegistry::new();
+        reg.subscribe(
+            "k",
+            1,
+            iv(0.0, 10.0),
+            PushFilter::Always,
+            TestSink { id: 1, log: log.clone() },
+        );
+        reg.subscribe(
+            "k",
+            2,
+            iv(0.0, 10.0),
+            PushFilter::Violates(Constraint::Absolute(5.0)),
+            TestSink { id: 2, log: log.clone() },
+        );
+        // Unchanged bits: nobody hears anything.
+        assert_eq!(reg.notify(&"k", iv(0.0, 10.0), PushReason::Changed, 1), 0);
+        // Narrow change: Always hears it, the δ=5 violation filter does not.
+        assert_eq!(reg.notify(&"k", iv(4.0, 6.0), PushReason::Changed, 2), 1);
+        // Wide change: both hear it.
+        assert_eq!(reg.notify(&"k", iv(0.0, 100.0), PushReason::Changed, 3), 2);
+        // Unwatched key: silent.
+        assert_eq!(reg.notify(&"other", iv(0.0, 1.0), PushReason::Changed, 4), 0);
+        let log = log.borrow();
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].0, log[0].1.now), (1, 2));
+        assert_eq!(log[1].1.reason, PushReason::Changed);
+        assert_eq!(log[2].0, 2);
+    }
+
+    #[test]
+    fn unsubscribe_removes_exactly_one_and_reaps_empty_watches() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut reg = SubscriberRegistry::new();
+        reg.subscribe(
+            "a",
+            1,
+            iv(0.0, 1.0),
+            PushFilter::Always,
+            TestSink { id: 1, log: log.clone() },
+        );
+        reg.subscribe(
+            "a",
+            2,
+            iv(0.0, 1.0),
+            PushFilter::Always,
+            TestSink { id: 2, log: log.clone() },
+        );
+        reg.subscribe(
+            "b",
+            3,
+            iv(0.0, 1.0),
+            PushFilter::Always,
+            TestSink { id: 3, log: log.clone() },
+        );
+        assert_eq!((reg.subscribers(), reg.watched_keys()), (3, 2));
+        let (key, _) = reg.unsubscribe(2).unwrap();
+        assert_eq!(key, "a");
+        assert_eq!((reg.subscribers(), reg.watched_keys()), (2, 2));
+        assert!(reg.unsubscribe(2).is_none(), "already gone");
+        let (key, _) = reg.unsubscribe(3).unwrap();
+        assert_eq!(key, "b");
+        assert_eq!(reg.watched_keys(), 1, "empty watch reaped");
+        reg.unsubscribe(1).unwrap();
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,498 @@
+//! A hierarchical timer wheel over logical milliseconds.
+//!
+//! Layout: a **fine** wheel of [`FINE_SLOTS`] slots, one tick of
+//! `resolution_ms` each, backed by a **coarse** wheel of [`COARSE_SLOTS`]
+//! slots each spanning one full fine rotation, backed by an unsorted
+//! **overflow** list for deadlines beyond the coarse horizon. Timers
+//! cascade inward as time passes: when the fine wheel wraps, the coarse
+//! slot covering the next rotation is re-dealt into fine slots, and when
+//! the coarse wheel wraps, the overflow list is re-examined — the classic
+//! hashed-and-hierarchical design (Varghese & Lauck), specialized to the
+//! serving runtime's needs:
+//!
+//! * **O(1) insert and cancel.** Every slot is an intrusive doubly-linked
+//!   list threaded through a slab, so cancellation unlinks in place —
+//!   no tombstones, which is what makes memory O(live timers) under
+//!   churn (see the `timeq_churn` integration test).
+//! * **Logical time.** The wheel advances only when [`advance`] is
+//!   called with a new `TimeMs`; nothing here reads a clock, so tests
+//!   and the deterministic simulations drive it exactly.
+//! * **Exact firing.** A timer fires on the first `advance(now)` whose
+//!   `now` reaches its deadline's tick (deadlines are rounded *down* to
+//!   the wheel resolution) — well inside the one-coarse-tick slack the
+//!   conformance property demands. Fired batches are delivered in
+//!   `(deadline, insertion order)` order, so delivery is deterministic.
+//!
+//! [`advance`]: TimerWheel::advance
+
+use apcache_core::TimeMs;
+
+/// Slots in the fine wheel (one tick each).
+pub const FINE_SLOTS: u64 = 256;
+/// Slots in the coarse wheel (one fine rotation each).
+pub const COARSE_SLOTS: u64 = 64;
+
+const COARSE_SPAN: u64 = FINE_SLOTS * COARSE_SLOTS;
+
+/// Intrusive-list ids: fine slots, then coarse slots, then the overflow
+/// and already-due lists.
+const LIST_OVERFLOW: u32 = (FINE_SLOTS + COARSE_SLOTS) as u32;
+const LIST_DUE: u32 = LIST_OVERFLOW + 1;
+const LIST_NONE: u32 = u32::MAX;
+const NIL: u32 = u32::MAX;
+
+/// Handle to one pending timer, returned by [`TimerWheel::insert`] and
+/// redeemed by [`TimerWheel::cancel`]. Slab index plus a generation
+/// counter, so a stale id held across the timer's firing (or an earlier
+/// cancellation) is rejected instead of cancelling an unrelated timer
+/// that reused the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    fn new(idx: u32, gen: u32) -> Self {
+        TimerId(((idx as u64) << 32) | gen as u64)
+    }
+
+    fn parts(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+struct Node<T> {
+    gen: u32,
+    seq: u64,
+    deadline: TimeMs,
+    payload: Option<T>,
+    prev: u32,
+    next: u32,
+    list: u32,
+}
+
+/// The hierarchical timer wheel. See the [module docs](self).
+pub struct TimerWheel<T> {
+    resolution: u64,
+    cur_tick: u64,
+    next_seq: u64,
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    fine: Vec<u32>,
+    coarse: Vec<u32>,
+    overflow: u32,
+    due: u32,
+    live: usize,
+    fine_live: usize,
+    coarse_live: usize,
+    overflow_live: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel whose notion of "now" starts at `origin`, with fine slots
+    /// of `resolution_ms` (clamped to ≥ 1) logical milliseconds each.
+    pub fn new(origin: TimeMs, resolution_ms: u64) -> Self {
+        let resolution = resolution_ms.max(1);
+        TimerWheel {
+            resolution,
+            cur_tick: origin / resolution,
+            next_seq: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            fine: vec![NIL; FINE_SLOTS as usize],
+            coarse: vec![NIL; COARSE_SLOTS as usize],
+            overflow: NIL,
+            due: NIL,
+            live: 0,
+            fine_live: 0,
+            coarse_live: 0,
+            overflow_live: 0,
+        }
+    }
+
+    /// Pending (inserted, not yet fired or cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Slab capacity actually allocated — bounded by the *peak* number of
+    /// concurrently live timers, never by insert/cancel churn (the churn
+    /// test's O(live) memory assertion reads this).
+    pub fn allocated(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The wheel's current logical time, rounded down to its resolution.
+    pub fn now(&self) -> TimeMs {
+        self.cur_tick * self.resolution
+    }
+
+    /// The fine-slot width in logical milliseconds.
+    pub fn resolution(&self) -> u64 {
+        self.resolution
+    }
+
+    /// Whether `id` is still pending.
+    pub fn contains(&self, id: TimerId) -> bool {
+        let (idx, gen) = id.parts();
+        self.nodes.get(idx as usize).is_some_and(|n| n.gen == gen && n.list != LIST_NONE)
+    }
+
+    /// The deadline `id` was inserted with, if still pending.
+    pub fn deadline(&self, id: TimerId) -> Option<TimeMs> {
+        let (idx, gen) = id.parts();
+        let node = self.nodes.get(idx as usize)?;
+        (node.gen == gen && node.list != LIST_NONE).then_some(node.deadline)
+    }
+
+    /// Schedule `payload` to fire at `deadline`. A deadline at or before
+    /// the wheel's current time is *already due*: it fires on the next
+    /// [`advance`](TimerWheel::advance), whatever its target. O(1).
+    pub fn insert(&mut self, deadline: TimeMs, payload: T) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let node = &mut self.nodes[idx as usize];
+                node.seq = seq;
+                node.deadline = deadline;
+                node.payload = Some(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.nodes.len()).expect("timer slab exceeds u32 indices");
+                self.nodes.push(Node {
+                    gen: 0,
+                    seq,
+                    deadline,
+                    payload: Some(payload),
+                    prev: NIL,
+                    next: NIL,
+                    list: LIST_NONE,
+                });
+                idx
+            }
+        };
+        let list = self.placement(deadline);
+        self.link(idx, list);
+        self.live += 1;
+        TimerId::new(idx, self.nodes[idx as usize].gen)
+    }
+
+    /// Cancel a pending timer, returning its payload. Stale ids (already
+    /// fired, already cancelled, or never issued by this wheel) return
+    /// `None`. O(1).
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        let (idx, gen) = id.parts();
+        let node = self.nodes.get(idx as usize)?;
+        if node.gen != gen || node.list == LIST_NONE {
+            return None;
+        }
+        self.unlink(idx);
+        self.live -= 1;
+        let node = &mut self.nodes[idx as usize];
+        node.gen = node.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.nodes[idx as usize].payload.take()
+    }
+
+    /// Advance logical time to `now`, collecting every timer whose
+    /// deadline tick has been reached, in `(deadline, insertion)` order.
+    /// Time never moves backwards: a `now` at or before the current time
+    /// only flushes timers that were inserted already due.
+    pub fn advance(&mut self, now: TimeMs) -> Vec<(TimerId, T)> {
+        let target = now / self.resolution;
+        let mut fired: Vec<(TimeMs, u64, TimerId, T)> = Vec::new();
+        self.expire_list(LIST_DUE, &mut fired);
+        while self.cur_tick < target {
+            if self.live == 0 {
+                self.cur_tick = target;
+                break;
+            }
+            if self.fine_live == 0 {
+                // Nothing can fire before the next cascade boundary (all
+                // pending timers sit in coarse/overflow, whose contents
+                // are beyond it by construction) — jump there directly
+                // instead of walking empty fine slots one by one.
+                let boundary = if self.coarse_live == 0 {
+                    (self.cur_tick / COARSE_SPAN + 1) * COARSE_SPAN
+                } else {
+                    (self.cur_tick / FINE_SLOTS + 1) * FINE_SLOTS
+                };
+                if boundary > target {
+                    self.cur_tick = target;
+                    break;
+                }
+                self.cur_tick = boundary;
+            } else {
+                self.cur_tick += 1;
+            }
+            if self.cur_tick % COARSE_SPAN == 0 {
+                self.cascade_overflow();
+            }
+            if self.cur_tick % FINE_SLOTS == 0 {
+                self.cascade_coarse();
+            }
+            self.expire_list((self.cur_tick % FINE_SLOTS) as u32, &mut fired);
+        }
+        // Cascading at a boundary routes timers whose tick *is* the
+        // boundary through the due list — flush them in the same call.
+        self.expire_list(LIST_DUE, &mut fired);
+        fired.sort_by_key(|f| (f.0, f.1));
+        fired.into_iter().map(|(_, _, id, payload)| (id, payload)).collect()
+    }
+
+    /// Which list a timer with `deadline` belongs in, given the current
+    /// tick: already-due, a fine slot this rotation, a coarse slot this
+    /// coarse rotation, or overflow.
+    fn placement(&self, deadline: TimeMs) -> u32 {
+        let tick = deadline / self.resolution;
+        if tick <= self.cur_tick {
+            return LIST_DUE;
+        }
+        let fine_boundary = (self.cur_tick / FINE_SLOTS + 1) * FINE_SLOTS;
+        if tick < fine_boundary {
+            return (tick % FINE_SLOTS) as u32;
+        }
+        let coarse_boundary = (self.cur_tick / COARSE_SPAN + 1) * COARSE_SPAN;
+        if tick < coarse_boundary {
+            return (FINE_SLOTS + (tick / FINE_SLOTS) % COARSE_SLOTS) as u32;
+        }
+        LIST_OVERFLOW
+    }
+
+    /// Re-deal the coarse slot covering the fine rotation that starts at
+    /// the current tick (called exactly when the fine wheel wraps).
+    fn cascade_coarse(&mut self) {
+        let slot = (FINE_SLOTS + (self.cur_tick / FINE_SLOTS) % COARSE_SLOTS) as u32;
+        let mut idx = *self.head(slot);
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            self.unlink(idx);
+            let list = self.placement(self.nodes[idx as usize].deadline);
+            self.link(idx, list);
+            idx = next;
+        }
+    }
+
+    /// Re-examine the overflow list (called exactly when the coarse wheel
+    /// wraps): timers now within the coarse horizon move inward.
+    fn cascade_overflow(&mut self) {
+        let horizon = (self.cur_tick + COARSE_SPAN) * self.resolution;
+        let mut idx = self.overflow;
+        while idx != NIL {
+            let node = &self.nodes[idx as usize];
+            let (next, deadline) = (node.next, node.deadline);
+            if deadline / self.resolution < horizon / self.resolution {
+                self.unlink(idx);
+                let list = self.placement(deadline);
+                self.link(idx, list);
+            }
+            idx = next;
+        }
+    }
+
+    /// Fire every timer in `list` (a fine slot holds exactly the timers
+    /// of the tick being passed; the due list holds already-due inserts).
+    fn expire_list(&mut self, list: u32, fired: &mut Vec<(TimeMs, u64, TimerId, T)>) {
+        let mut idx = *self.head(list);
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            self.unlink(idx);
+            self.live -= 1;
+            let node = &mut self.nodes[idx as usize];
+            let id = TimerId::new(idx, node.gen);
+            node.gen = node.gen.wrapping_add(1);
+            let payload = node.payload.take().expect("pending timer holds its payload");
+            fired.push((node.deadline, node.seq, id, payload));
+            self.free.push(idx);
+            idx = next;
+        }
+    }
+
+    fn head(&mut self, list: u32) -> &mut u32 {
+        let fine = FINE_SLOTS as u32;
+        let coarse_end = (FINE_SLOTS + COARSE_SLOTS) as u32;
+        match list {
+            l if l < fine => &mut self.fine[l as usize],
+            l if l < coarse_end => &mut self.coarse[(l - fine) as usize],
+            LIST_OVERFLOW => &mut self.overflow,
+            LIST_DUE => &mut self.due,
+            _ => unreachable!("linked node with no list"),
+        }
+    }
+
+    fn class_count(&mut self, list: u32) -> Option<&mut usize> {
+        let fine = FINE_SLOTS as u32;
+        let coarse_end = (FINE_SLOTS + COARSE_SLOTS) as u32;
+        match list {
+            l if l < fine => Some(&mut self.fine_live),
+            l if l < coarse_end => Some(&mut self.coarse_live),
+            LIST_OVERFLOW => Some(&mut self.overflow_live),
+            _ => None,
+        }
+    }
+
+    fn link(&mut self, idx: u32, list: u32) {
+        let head = *self.head(list);
+        {
+            let node = &mut self.nodes[idx as usize];
+            node.prev = NIL;
+            node.next = head;
+            node.list = list;
+        }
+        if head != NIL {
+            self.nodes[head as usize].prev = idx;
+        }
+        *self.head(list) = idx;
+        if let Some(count) = self.class_count(list) {
+            *count += 1;
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, list) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next, node.list)
+        };
+        debug_assert_ne!(list, LIST_NONE, "unlink of an unlinked node");
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            *self.head(list) = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.prev = NIL;
+        node.next = NIL;
+        node.list = LIST_NONE;
+        if let Some(count) = self.class_count(list) {
+            *count -= 1;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("resolution", &self.resolution)
+            .field("now", &self.now())
+            .field("live", &self.live)
+            .field("allocated", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_then_insertion_order() {
+        let mut wheel = TimerWheel::new(0, 1);
+        wheel.insert(30, "c");
+        wheel.insert(10, "a1");
+        wheel.insert(10, "a2");
+        wheel.insert(20, "b");
+        assert_eq!(wheel.len(), 4);
+        let fired: Vec<&str> = wheel.advance(25).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["a1", "a2", "b"]);
+        assert_eq!(wheel.len(), 1);
+        let fired: Vec<&str> = wheel.advance(30).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["c"]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn already_due_inserts_fire_on_the_next_advance() {
+        let mut wheel = TimerWheel::new(1_000, 10);
+        let id = wheel.insert(500, "past");
+        assert!(wheel.contains(id));
+        // Even an advance that does not move time flushes due timers.
+        let fired = wheel.advance(1_000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, id);
+        assert!(!wheel.contains(id));
+    }
+
+    #[test]
+    fn cancel_is_exact_and_stale_ids_are_rejected() {
+        let mut wheel = TimerWheel::new(0, 1);
+        let a = wheel.insert(100, 1);
+        let b = wheel.insert(100, 2);
+        assert_eq!(wheel.cancel(a), Some(1));
+        assert_eq!(wheel.cancel(a), None, "double cancel");
+        assert_eq!(wheel.deadline(b), Some(100));
+        let fired = wheel.advance(100);
+        assert_eq!(fired, vec![(b, 2)]);
+        assert_eq!(wheel.cancel(b), None, "cancel after firing");
+        // The slot is reused; the old id's generation no longer matches.
+        let c = wheel.insert(200, 3);
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(wheel.cancel(b), None);
+        assert_eq!(wheel.cancel(c), Some(3));
+    }
+
+    #[test]
+    fn timers_cascade_across_coarse_and_overflow_horizons() {
+        let res = 4;
+        let mut wheel = TimerWheel::new(0, res);
+        // One timer per regime: fine rotation, coarse rotation, overflow.
+        let fine = res * (FINE_SLOTS / 2);
+        let coarse = res * (FINE_SLOTS * 3 + 7);
+        let far = res * (COARSE_SPAN * 2 + 13);
+        wheel.insert(fine, "fine");
+        wheel.insert(coarse, "coarse");
+        wheel.insert(far, "far");
+        assert!(wheel.advance(fine - res).is_empty());
+        assert_eq!(wheel.advance(fine).len(), 1);
+        assert!(wheel.advance(coarse - res).is_empty());
+        assert_eq!(wheel.advance(coarse).len(), 1);
+        assert!(wheel.advance(far - res).is_empty());
+        let fired = wheel.advance(far);
+        assert_eq!(fired.len(), 1);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn deadlines_on_cascade_boundaries_fire_exactly_once() {
+        let mut wheel = TimerWheel::new(0, 1);
+        for k in 0..4u64 {
+            wheel.insert(FINE_SLOTS * (k + 1), k);
+        }
+        wheel.insert(COARSE_SPAN, 99);
+        let fired = wheel.advance(COARSE_SPAN);
+        assert_eq!(fired.len(), 5);
+        assert!(wheel.is_empty());
+        assert!(wheel.advance(COARSE_SPAN * 2).is_empty());
+    }
+
+    #[test]
+    fn advancing_an_empty_wheel_is_constant_time_and_far_jumps_land() {
+        let mut wheel: TimerWheel<()> = TimerWheel::new(0, 1);
+        wheel.advance(u64::MAX / 2);
+        assert_eq!(wheel.now(), u64::MAX / 2);
+        // A lone far-future timer: the advance jumps rotation to rotation
+        // instead of tick by tick, and still fires exactly on time.
+        let mut wheel = TimerWheel::new(0, 1);
+        let deadline = COARSE_SPAN * 500 + 3;
+        wheel.insert(deadline, "far");
+        assert!(wheel.advance(deadline - 1).is_empty());
+        assert_eq!(wheel.advance(deadline).len(), 1);
+    }
+
+    #[test]
+    fn resolution_rounds_deadlines_down() {
+        let mut wheel = TimerWheel::new(0, 100);
+        wheel.insert(250, "x");
+        // Tick 2 covers [200, 300): reached at now=200.
+        assert!(wheel.advance(199).is_empty());
+        assert_eq!(wheel.advance(200).len(), 1);
+    }
+}

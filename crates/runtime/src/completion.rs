@@ -28,6 +28,7 @@ use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
 
 use apcache_core::{Interval, TimeMs};
+use apcache_push::{PushEvent, PushReport, PushSink};
 use apcache_shard::plan::{AggregatePlan, RoundSpec};
 use apcache_store::{AggregateOutcome, ReadResult, StoreError, StoreMetrics, WriteOutcome};
 
@@ -60,6 +61,40 @@ pub enum Outcome<K> {
     Aggregate(AggregateOutcome<K>),
     /// Outcome of [`submit_metrics`](crate::RuntimeHandle::submit_metrics).
     Metrics(RuntimeMetrics<K>),
+    /// First completion of a
+    /// [`submit_subscribe`](crate::RuntimeHandle::submit_subscribe)
+    /// ticket: the subscription is live, `interval` is the cached
+    /// snapshot at subscribe time. Non-settling — the ticket stays
+    /// outstanding and streams [`Outcome::Push`] completions.
+    Subscribed {
+        /// The cached interval at subscribe time.
+        interval: Interval,
+    },
+    /// One streamed push on a live subscription ticket (non-settling).
+    Push(PushEvent<K>),
+    /// Terminal completion of a subscription ticket: the stream ended —
+    /// an unsubscribe landed, or the owning actor shut down. Redeeming
+    /// the ticket again afterwards errors with
+    /// [`RuntimeError::UnknownTicket`].
+    SubscriptionEnded,
+    /// Outcome of
+    /// [`submit_unsubscribe`](crate::RuntimeHandle::submit_unsubscribe).
+    Unsubscribed {
+        /// Whether a live subscription existed to close.
+        existed: bool,
+    },
+    /// Outcome of [`submit_lease`](crate::RuntimeHandle::submit_lease) /
+    /// [`submit_release_lease`](crate::RuntimeHandle::submit_release_lease).
+    Leased {
+        /// For a grant: `true` (the lease is armed). For a release:
+        /// whether a lease existed to drop.
+        active: bool,
+    },
+    /// Outcome of
+    /// [`submit_advance_time`](crate::RuntimeHandle::submit_advance_time)
+    /// or [`push_stats`](crate::RuntimeHandle::push_stats): the merged
+    /// push-side occupancy report.
+    TimeAdvanced(PushReport),
 }
 
 /// One harvested completion: the ticket it settles and what happened.
@@ -84,6 +119,13 @@ pub enum LegReply<K> {
     Aggregate(Result<AggregateOutcome<K>, StoreError>),
     /// Reply to a [`Request::Metrics`] leg.
     Metrics(StoreMetrics<K>),
+    /// Reply to a [`Request::Unsubscribe`] leg: whether a subscription
+    /// existed.
+    Unsubscribed(bool),
+    /// Reply to a [`Request::Lease`] leg.
+    Leased(Result<bool, StoreError>),
+    /// Reply to a [`Request::Tick`] leg: this shard's push report.
+    Tick(PushReport),
 }
 
 /// The fulfilling half of one leg, carried inside the queued [`Request`].
@@ -120,6 +162,50 @@ impl<K> fmt::Debug for LegSender<K> {
     }
 }
 
+/// The streaming half of a subscription ticket, carried inside
+/// [`Request::Subscribe`] and retained by the shard actor's subscriber
+/// registry for the subscription's lifetime. Unlike a [`LegSender`] it
+/// settles nothing when used: [`ack`](SubscriptionSender::ack) and
+/// [`deliver`](PushSink::deliver) push *non-settling* completions, so the
+/// ticket keeps streaming. Dropping it (unsubscribe, registry teardown,
+/// actor death) settles the ticket with [`Outcome::SubscriptionEnded`].
+pub struct SubscriptionSender<K> {
+    core: Arc<QueueCore<K>>,
+    ticket: u64,
+}
+
+impl<K> SubscriptionSender<K> {
+    /// The subscription's identity in the actor's registry — the ticket
+    /// id, which [`Request::Unsubscribe`] quotes to close the stream.
+    pub fn id(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Acknowledge the subscription with the cached snapshot at
+    /// subscribe time (the stream's first, non-settling completion).
+    pub fn ack(&self, interval: Interval) {
+        self.core.push_streaming(self.ticket, Outcome::Subscribed { interval });
+    }
+}
+
+impl<K> PushSink<K> for SubscriptionSender<K> {
+    fn deliver(&self, event: PushEvent<K>) {
+        self.core.push_streaming(self.ticket, Outcome::Push(event));
+    }
+}
+
+impl<K> Drop for SubscriptionSender<K> {
+    fn drop(&mut self) {
+        self.core.subscription_ended(self.ticket);
+    }
+}
+
+impl<K> fmt::Debug for SubscriptionSender<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubscriptionSender({})", Ticket(self.ticket))
+    }
+}
+
 /// A multi-shard aggregate in flight: the shared refinement state
 /// machine plus this round's partial answers.
 struct AggOp<K> {
@@ -147,6 +233,13 @@ enum OpState<K> {
     Metrics { slots: Vec<Option<StoreMetrics<K>>>, remaining: usize },
     /// Multi-shard aggregate refinement.
     Aggregate(Box<AggOp<K>>),
+    /// A live push subscription: the op stays outstanding (streaming
+    /// completions arrive via [`SubscriptionSender`], not legs) until the
+    /// actor drops the sender. `shard` lets unsubscribe route without a
+    /// second key→shard lookup.
+    Subscription { shard: usize },
+    /// Push-side tick/stats gather: one leg per shard, reports merged.
+    Tick { remaining: usize, report: PushReport },
 }
 
 struct QueueState<K> {
@@ -199,6 +292,35 @@ impl<K> QueueCore<K> {
             self.cv.notify_all();
         }
     }
+
+    /// Queue a *non-settling* completion on a live subscription ticket
+    /// (the subscribe ack or a push). The op stays outstanding so the
+    /// ticket keeps streaming; if the op is gone (queue-side teardown
+    /// raced the actor) the event is silently dropped — the subscriber no
+    /// longer exists to hear it.
+    fn push_streaming(&self, ticket: u64, outcome: Outcome<K>) {
+        let mut st = self.lock();
+        if !st.ops.contains_key(&ticket) {
+            return;
+        }
+        st.ready.push_back(Completion { ticket: Ticket(ticket), outcome: Ok(outcome) });
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The actor dropped a subscription's sender: settle its ticket with
+    /// [`Outcome::SubscriptionEnded`] (terminal).
+    fn subscription_ended(&self, ticket: u64) {
+        let mut st = self.lock();
+        if st.ops.remove(&ticket).is_some() {
+            st.ready.push_back(Completion {
+                ticket: Ticket(ticket),
+                outcome: Ok(Outcome::SubscriptionEnded),
+            });
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
 }
 
 impl<K: Ord + Clone> QueueCore<K> {
@@ -221,6 +343,11 @@ impl<K: Ord + Clone> QueueCore<K> {
                 LegReply::Write(r) => r.map(Outcome::Write).map_err(RuntimeError::Store),
                 LegReply::Aggregate(r) => r.map(Outcome::Aggregate).map_err(RuntimeError::Store),
                 LegReply::Metrics(m) => Ok(Outcome::Metrics(RuntimeMetrics::from_shards(vec![m]))),
+                LegReply::Unsubscribed(existed) => Ok(Outcome::Unsubscribed { existed }),
+                LegReply::Leased(r) => {
+                    r.map(|active| Outcome::Leased { active }).map_err(RuntimeError::Store)
+                }
+                LegReply::Tick(report) => Ok(Outcome::TimeAdvanced(report)),
             }),
             OpState::Batch { remaining, refreshes } => match reply {
                 LegReply::Write(Ok(outcome)) => {
@@ -255,6 +382,17 @@ impl<K: Ord + Clone> QueueCore<K> {
                     None
                 }
                 LegReply::Aggregate(Err(e)) => Some(Err(RuntimeError::Store(e))),
+                _ => Some(Err(RuntimeError::ActorGone)),
+            },
+            // Subscriptions never receive legs — their traffic flows
+            // through `push_streaming`/`subscription_ended`.
+            OpState::Subscription { .. } => Some(Err(RuntimeError::ActorGone)),
+            OpState::Tick { remaining, report } => match reply {
+                LegReply::Tick(r) => {
+                    report.merge(&r);
+                    *remaining -= 1;
+                    (*remaining == 0).then(|| Ok(Outcome::TimeAdvanced(*report)))
+                }
                 _ => Some(Err(RuntimeError::ActorGone)),
             },
         };
@@ -323,6 +461,51 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
             Ok(()) => Ok(Ticket(ticket)),
             Err(rejected) => self.abort_submit(ticket, rejected),
         }
+    }
+
+    /// Submit a push subscription to `shard`: registers a streaming op
+    /// and hands the actor the [`SubscriptionSender`] it will retain.
+    pub(crate) fn submit_subscription(
+        &self,
+        shard: usize,
+        build: impl FnOnce(SubscriptionSender<K>) -> Request<K>,
+    ) -> Result<Ticket, RuntimeError> {
+        let ticket = self.register(OpState::Subscription { shard });
+        let sub = SubscriptionSender { core: Arc::clone(&self.core), ticket };
+        match self.core.senders[shard].send(build(sub)) {
+            Ok(()) => Ok(Ticket(ticket)),
+            Err(rejected) => {
+                // Unregister before dropping the rejected request, so the
+                // sender's Drop finds no op and settles nothing.
+                self.core.lock().ops.remove(&ticket);
+                drop(rejected);
+                Err(RuntimeError::Closed)
+            }
+        }
+    }
+
+    /// The shard a live subscription ticket streams from, or `None` if
+    /// the ticket is not a live subscription on this queue.
+    pub(crate) fn subscription_shard(&self, ticket: Ticket) -> Option<usize> {
+        match self.core.lock().ops.get(&ticket.0) {
+            Some(OpState::Subscription { shard }) => Some(*shard),
+            _ => None,
+        }
+    }
+
+    /// Submit a push-side tick/stats gather: one [`Request::Tick`] leg
+    /// per shard, reports merged as they land.
+    pub(crate) fn submit_tick(&self, now: Option<TimeMs>) -> Result<Ticket, RuntimeError> {
+        let shards = self.core.senders.len();
+        let ticket =
+            self.register(OpState::Tick { remaining: shards, report: PushReport::default() });
+        for shard in 0..shards {
+            let reply = Some(self.leg(ticket, shard as u32));
+            if let Err(rejected) = self.core.senders[shard].send(Request::Tick { now, reply }) {
+                return self.abort_submit(ticket, rejected);
+            }
+        }
+        Ok(Ticket(ticket))
     }
 
     /// Submit a scattered batch write: one [`Request::WriteBatch`] leg

@@ -40,6 +40,19 @@
 //!   a long refinement interleaves with unrelated traffic instead of
 //!   holding a client thread. Actors never message each other, so the
 //!   runtime has no deadlock cycles by construction.
+//! * **Push subscriptions, leases, and the shard timer wheel.** A
+//!   [`RuntimeHandle::subscribe`] returns a long-lived streaming [`Ticket`]
+//!   whose completion queue receives one [`Outcome::Push`] per filtered
+//!   change of the watched key's cached interval — turning the poll-based
+//!   server into the paper's push-at-heart refresh stream. TTL **leases**
+//!   ([`RuntimeHandle::lease`]) ride each shard's hierarchical timer wheel
+//!   (`apcache_push::timeq`): a leased interval whose TTL lapses without a
+//!   source contact is widened, truth-preservingly, to the lease's
+//!   fallback and pushed exactly once. The push-side clock is the logical
+//!   time carried by served traffic plus explicit
+//!   [`advance_time`](RuntimeHandle::advance_time) calls (deterministic),
+//!   optionally backed by a wall-clock tick thread
+//!   ([`RuntimeConfig::tick_interval`]).
 //! * **Draining shutdown.** [`Runtime::shutdown`] acknowledges, per
 //!   shard, that every previously enqueued request has been served, then
 //!   closes the mailboxes and joins the actors — no accepted write is
@@ -101,6 +114,7 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+mod actor;
 pub mod completion;
 pub mod error;
 pub mod mailbox;
@@ -108,14 +122,16 @@ pub mod oneshot;
 pub mod request;
 pub mod runtime;
 
-pub use completion::{Completion, CompletionQueue, Outcome, Ticket};
+pub use completion::{Completion, CompletionQueue, Outcome, SubscriptionSender, Ticket};
 pub use error::RuntimeError;
 pub use request::Request;
 pub use runtime::{
-    Runtime, RuntimeConfig, RuntimeHandle, RuntimeMetrics, DEFAULT_MAILBOX_CAPACITY,
+    Runtime, RuntimeConfig, RuntimeHandle, RuntimeMetrics, DEFAULT_LEASE_RESOLUTION_MS,
+    DEFAULT_MAILBOX_CAPACITY,
 };
 
 // Re-export the serving vocabulary so runtime callers need one import root.
+pub use apcache_push::{FallbackWidth, LeaseConfig, PushEvent, PushFilter, PushReason, PushReport};
 pub use apcache_queries::AggregateKind;
 pub use apcache_shard::{ShardRouter, ShardedStore, ShardedStoreBuilder};
 pub use apcache_store::{
@@ -376,8 +392,8 @@ mod tests {
 
     #[test]
     fn tiny_mailboxes_exercise_backpressure_without_deadlock() {
-        let runtime =
-            Runtime::launch_with(fleet(2, 8), RuntimeConfig { mailbox_capacity: 1 }).unwrap();
+        let cfg = RuntimeConfig { mailbox_capacity: 1, ..RuntimeConfig::default() };
+        let runtime = Runtime::launch_with(fleet(2, 8), cfg).unwrap();
         let writers: Vec<_> = (0..4)
             .map(|w| {
                 let h = runtime.handle();
@@ -393,5 +409,185 @@ mod tests {
         }
         let store = runtime.into_store().unwrap();
         assert_eq!(store.metrics().merged().totals().writes, 4 * 500);
+    }
+
+    #[test]
+    fn subscriptions_stream_filtered_pushes_until_unsubscribed() {
+        let runtime = Runtime::launch(fleet(2, 8)).unwrap();
+        let h = runtime.handle();
+        let (sub, snapshot) = h.subscribe(&3, PushFilter::Always, 0).unwrap();
+        assert!(snapshot.contains(300.0)); // seeded cache: [295, 305]
+                                           // An in-bound write leaves the cached interval untouched (no
+                                           // refresh), and the registry dedups unchanged bits: no push.
+        let w = h.write(&3, 304.0, 500).unwrap();
+        assert!(!w.escaped());
+        assert!(h.poll().is_none(), "unchanged interval must not push");
+        // An escaping write triggers a value-initiated refresh, and the
+        // actor queues the push before acking the write — so it is
+        // already harvestable once the blocking write returns.
+        let w = h.write(&3, 600.0, 1_000).unwrap();
+        assert!(w.escaped());
+        let completion = h.poll().expect("push queued before write ack");
+        assert_eq!(completion.ticket, sub);
+        match completion.outcome.unwrap() {
+            Outcome::Push(event) => {
+                assert_eq!(event.key, 3);
+                assert_eq!(event.reason, PushReason::Changed);
+                assert!(event.interval.contains(600.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = h.push_stats().unwrap();
+        assert_eq!(stats.subscribers, 1);
+        assert_eq!(stats.watched_keys, 1);
+        // Close the stream: the ack says it existed, the subscription
+        // ticket settles with SubscriptionEnded, and a second
+        // unsubscribe of the dead ticket is rejected locally.
+        assert!(h.unsubscribe(sub).unwrap());
+        match h.wait_ticket(sub).unwrap() {
+            Outcome::SubscriptionEnded => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            matches!(h.submit_unsubscribe(sub), Err(RuntimeError::UnknownTicket(t)) if t == sub)
+        );
+        assert_eq!(h.push_stats().unwrap().subscribers, 0);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn violates_filter_only_pushes_constraint_escapes() {
+        let runtime = Runtime::launch(fleet(1, 4)).unwrap();
+        let h = runtime.handle();
+        // Only care when the interval gets wider than 12.
+        let (sub, _) =
+            h.subscribe(&2, PushFilter::Violates(Constraint::Absolute(12.0)), 0).unwrap();
+        let w = h.write(&2, 204.0, 100).unwrap(); // inside [195, 205]: QR shrinks
+        assert!(!w.escaped());
+        assert!(h.poll().is_none(), "narrowing stays within the constraint");
+        let w = h.write(&2, 500.0, 200).unwrap(); // escape: VR recenters + grows
+        assert!(w.escaped());
+        // Growth alone need not violate 12.0; force it wide via repeated escapes.
+        let mut pushed = h.poll().is_some();
+        let mut value = 500.0;
+        let mut now = 300;
+        while !pushed {
+            value = -value;
+            assert!(h.write(&2, value, now).unwrap().escaped());
+            pushed = h.poll().is_some();
+            now += 100;
+        }
+        h.unsubscribe(sub).unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lapsed_leases_widen_to_fallback_and_push_exactly_once() {
+        let runtime = Runtime::launch(fleet(2, 8)).unwrap();
+        let h = runtime.handle();
+        let (sub, snapshot) = h.subscribe(&5, PushFilter::Always, 0).unwrap();
+        assert!((snapshot.width() - 10.0).abs() < 1e-12);
+        let cfg = LeaseConfig { ttl_ms: 1_000, fallback: FallbackWidth::Fixed(40.0) };
+        h.lease(&5, cfg, 0).unwrap();
+        assert_eq!(h.push_stats().unwrap().leases, 1);
+        // Within TTL: nothing lapses.
+        let report = h.advance_time(900).unwrap();
+        assert_eq!(report.expired, 0);
+        assert!(h.poll().is_none());
+        // Past TTL: the interval widens to the fallback, one push.
+        let report = h.advance_time(2_000).unwrap();
+        assert_eq!(report.expired, 1);
+        let completion = h.poll().expect("lease lapse pushes");
+        assert_eq!(completion.ticket, sub);
+        match completion.outcome.unwrap() {
+            Outcome::Push(event) => {
+                assert_eq!(event.reason, PushReason::LeaseExpired);
+                assert!((event.interval.width() - 40.0).abs() < 1e-12);
+                assert!(event.interval.contains(500.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The lapse fired once; further advances push nothing new.
+        let report = h.advance_time(10_000).unwrap();
+        assert_eq!(report.expired, 0);
+        assert!(h.poll().is_none());
+        // A source contact that escapes the widened interval refreshes
+        // (recentring it) and pushes the post-write interval.
+        assert!(h.write(&5, 600.0, 11_000).unwrap().escaped());
+        assert!(h.poll().is_some());
+        // Release: the next lapse horizon never fires.
+        assert!(h.release_lease(&5, 11_000).unwrap());
+        assert_eq!(h.push_stats().unwrap().leases, 0);
+        assert_eq!(h.advance_time(100_000).unwrap().expired, 0);
+        h.unsubscribe(sub).unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn invalid_lease_configs_and_unknown_keys_rejected_before_enqueue() {
+        let runtime = Runtime::launch(fleet(1, 2)).unwrap();
+        let h = runtime.handle();
+        let bad = LeaseConfig { ttl_ms: 0, fallback: FallbackWidth::Unbounded };
+        assert!(matches!(
+            h.submit_lease(&0, bad, 0),
+            Err(RuntimeError::Store(StoreError::Config(_)))
+        ));
+        let cfg = LeaseConfig { ttl_ms: 100, fallback: FallbackWidth::Factor(2.0) };
+        assert!(matches!(
+            h.submit_lease(&99, cfg, 0),
+            Err(RuntimeError::Store(StoreError::UnknownKey))
+        ));
+        assert!(matches!(
+            h.submit_subscribe(&99, PushFilter::Always, 0),
+            Err(RuntimeError::Store(StoreError::UnknownKey))
+        ));
+        // Releasing a never-granted lease is a clean false.
+        assert!(!h.release_lease(&0, 0).unwrap());
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn runtime_shutdown_ends_live_subscriptions() {
+        let runtime = Runtime::launch(fleet(2, 4)).unwrap();
+        let h = runtime.handle();
+        let (sub, _) = h.subscribe(&1, PushFilter::Always, 0).unwrap();
+        runtime.shutdown().unwrap();
+        // The actor dropped its registry on drain; the streaming ticket
+        // settles with SubscriptionEnded instead of stranding a waiter.
+        match h.wait_ticket(sub).unwrap() {
+            Outcome::SubscriptionEnded => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(h.completions().outstanding(), 0);
+    }
+
+    #[test]
+    fn wall_clock_ticker_expires_leases_without_traffic() {
+        let cfg = RuntimeConfig {
+            tick_interval: Some(std::time::Duration::from_millis(5)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = Runtime::launch_with(fleet(1, 2), cfg).unwrap();
+        let h = runtime.handle();
+        let (sub, _) = h.subscribe(&0, PushFilter::Always, 0).unwrap();
+        let cfg = LeaseConfig { ttl_ms: 20, fallback: FallbackWidth::Fixed(99.0) };
+        h.lease(&0, cfg, 0).unwrap();
+        // No traffic at all: the tick thread's wall clock must lapse the
+        // lease and deliver the widening push.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let event = loop {
+            if let Some(completion) = h.poll() {
+                match completion.outcome.unwrap() {
+                    Outcome::Push(event) => break event,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "ticker never fired");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        assert_eq!(event.reason, PushReason::LeaseExpired);
+        assert!((event.interval.width() - 99.0).abs() < 1e-12);
+        h.unsubscribe(sub).unwrap();
+        runtime.shutdown().unwrap();
     }
 }

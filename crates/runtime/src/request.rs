@@ -2,10 +2,11 @@
 //! and the shard actors.
 
 use apcache_core::TimeMs;
+use apcache_push::{LeaseConfig, PushFilter};
 use apcache_queries::AggregateKind;
 use apcache_store::Constraint;
 
-use crate::completion::LegSender;
+use crate::completion::{LegSender, SubscriptionSender};
 use crate::oneshot::ReplySender;
 
 /// One message in a shard actor's mailbox.
@@ -74,6 +75,49 @@ pub enum Request<K> {
     Metrics {
         /// Where the snapshot goes.
         reply: LegSender<K>,
+    },
+    /// Open a push subscription on `key`: the actor acks with the current
+    /// cached interval, then streams a push completion through `sub`
+    /// every time the interval changes (or a lease lapse widens it) and
+    /// the filter matches.
+    Subscribe {
+        /// Key to watch (owned by this shard).
+        key: K,
+        /// Which interval changes the subscriber wants delivered.
+        filter: PushFilter,
+        /// Logical time of the subscribe (snapshot time).
+        now: TimeMs,
+        /// The streaming half of the subscription's ticket.
+        sub: SubscriptionSender<K>,
+    },
+    /// Close the subscription whose ticket id is `id` on this shard.
+    Unsubscribe {
+        /// The subscription's ticket id (as returned at subscribe time).
+        id: u64,
+        /// Where the `existed` acknowledgement goes.
+        reply: LegSender<K>,
+    },
+    /// Grant/renew (`cfg: Some`) or release (`cfg: None`) a TTL lease on
+    /// `key`'s cached interval.
+    Lease {
+        /// Key to lease (owned by this shard).
+        key: K,
+        /// The lease policy, or `None` to release.
+        cfg: Option<LeaseConfig>,
+        /// Logical time of the operation.
+        now: TimeMs,
+        /// Where the acknowledgement goes.
+        reply: LegSender<K>,
+    },
+    /// Advance the shard's push-side logical clock (`now: Some`) so
+    /// lapsed leases expire, and/or snapshot push-side occupancy.
+    /// `reply: None` is the fire-and-forget form the wall-clock tick
+    /// thread uses.
+    Tick {
+        /// New logical time, or `None` for a pure stats snapshot.
+        now: Option<TimeMs>,
+        /// Where the shard's push report goes, if anyone is asking.
+        reply: Option<LegSender<K>>,
     },
     /// Orderly shutdown marker: the actor acknowledges that every request
     /// enqueued before this one has been fully processed. (The actor

@@ -2,10 +2,13 @@
 
 use std::collections::HashSet;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
-use apcache_core::TimeMs;
+use apcache_core::{Interval, TimeMs};
+use apcache_push::{LeaseConfig, PushFilter, PushReport};
 use apcache_queries::AggregateKind;
 use apcache_shard::plan::{empty_aggregate, AggregatePlan};
 use apcache_shard::{ShardRouter, ShardedStore};
@@ -14,7 +17,8 @@ use apcache_store::{
     WriteOutcome,
 };
 
-use crate::completion::{Completion, CompletionQueue, LegReply, Outcome, Ticket};
+use crate::actor::ShardActor;
+use crate::completion::{Completion, CompletionQueue, Outcome, Ticket};
 use crate::error::RuntimeError;
 use crate::mailbox::{mailbox, MailboxSender};
 use crate::oneshot::reply_slot;
@@ -27,11 +31,25 @@ pub struct RuntimeConfig {
     /// before senders park (the backpressure bound). Values below 1 are
     /// treated as 1.
     pub mailbox_capacity: usize,
+    /// Tick width of each shard's TTL-lease timer wheel, in logical
+    /// milliseconds: lease lapses are detected on this grid.
+    pub lease_resolution_ms: u64,
+    /// When `Some`, the runtime spawns a wall-clock tick thread that
+    /// sends a fire-and-forget [`Request::Tick`] to every shard at this
+    /// interval, so leases lapse even on idle shards. `None` (the
+    /// default) leaves the push-side clock entirely to served traffic
+    /// and explicit [`advance_time`](RuntimeHandle::advance_time) calls —
+    /// the deterministic mode the conformance suites rely on.
+    pub tick_interval: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { mailbox_capacity: DEFAULT_MAILBOX_CAPACITY }
+        RuntimeConfig {
+            mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            lease_resolution_ms: DEFAULT_LEASE_RESOLUTION_MS,
+            tick_interval: None,
+        }
     }
 }
 
@@ -39,6 +57,11 @@ impl Default for RuntimeConfig {
 /// under bursts, shallow enough that a stalled shard pushes back on its
 /// producers within microseconds of work.
 pub const DEFAULT_MAILBOX_CAPACITY: usize = 1_024;
+
+/// Default lease timer-wheel resolution: fine enough that a lapsed lease
+/// is noticed within a frame's worth of logical time, coarse enough that
+/// the wheel's cascades stay cheap.
+pub const DEFAULT_LEASE_RESOLUTION_MS: u64 = 16;
 
 /// What the handle shares: the ring, one mailbox sender per shard, and
 /// the immutable key directory (the runtime serves a fixed key population
@@ -55,6 +78,14 @@ struct Shared<K> {
 pub struct Runtime<K> {
     shared: Arc<Shared<K>>,
     threads: Vec<thread::JoinHandle<PrecisionStore<K>>>,
+    ticker: Option<TickThread>,
+}
+
+/// The optional wall-clock tick thread (see
+/// [`RuntimeConfig::tick_interval`]).
+struct TickThread {
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<()>,
 }
 
 impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
@@ -72,14 +103,16 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
         let mut senders: Vec<MailboxSender<Request<K>>> = Vec::with_capacity(shards.len());
         let mut threads: Vec<thread::JoinHandle<PrecisionStore<K>>> =
             Vec::with_capacity(shards.len());
-        for (i, mut shard) in shards.into_iter().enumerate() {
+        for (i, shard) in shards.into_iter().enumerate() {
             let (tx, rx) = mailbox::<Request<K>>(cfg.mailbox_capacity);
+            let lease_resolution_ms = cfg.lease_resolution_ms;
             let spawned =
                 thread::Builder::new().name(format!("apcache-shard-{i}")).spawn(move || {
+                    let mut actor = ShardActor::new(shard, lease_resolution_ms);
                     while let Some(request) = rx.recv() {
-                        serve(&mut shard, request);
+                        actor.serve(request);
                     }
-                    shard
+                    actor.into_store()
                 });
             let thread = match spawned {
                 Ok(thread) => thread,
@@ -99,7 +132,23 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
             senders.push(tx);
             threads.push(thread);
         }
-        Ok(Runtime { shared: Arc::new(Shared { router, senders, keys }), threads })
+        let shared = Arc::new(Shared { router, senders, keys });
+        let ticker = match cfg.tick_interval {
+            None => None,
+            Some(interval) => match spawn_ticker(&shared, interval) {
+                Ok(ticker) => Some(ticker),
+                Err(e) => {
+                    for sender in &shared.senders {
+                        sender.close();
+                    }
+                    for thread in threads {
+                        let _ = thread.join();
+                    }
+                    return Err(e);
+                }
+            },
+        };
+        Ok(Runtime { shared, threads, ticker })
     }
 
     /// A serving handle with its own fresh completion queue (share a
@@ -131,9 +180,10 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
         ShardedStore::from_parts(self.shared.router.clone(), shards).map_err(RuntimeError::Store)
     }
 
-    /// Common shutdown path: mark the end of each mailbox, wait for the
-    /// drain acknowledgements, join the actors.
+    /// Common shutdown path: stop the tick thread, mark the end of each
+    /// mailbox, wait for the drain acknowledgements, join the actors.
     fn finish(&mut self) -> Result<Vec<PrecisionStore<K>>, RuntimeError> {
+        self.stop_ticker();
         let mut acks = Vec::with_capacity(self.shared.senders.len());
         for sender in &self.shared.senders {
             let (tx, rx) = reply_slot();
@@ -156,11 +206,25 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
     }
 }
 
+impl<K> Runtime<K> {
+    /// Stop and join the wall-clock tick thread, if one is running.
+    /// Idempotent; called before the mailboxes close so the ticker never
+    /// races a shutdown with doomed sends.
+    fn stop_ticker(&mut self) {
+        if let Some(ticker) = self.ticker.take() {
+            ticker.stop.store(true, Ordering::Release);
+            ticker.thread.thread().unpark();
+            let _ = ticker.thread.join();
+        }
+    }
+}
+
 impl<K> Drop for Runtime<K> {
     fn drop(&mut self) {
         // Explicit shutdown()/into_store() already drained `threads`; an
         // abandoned runtime still closes its mailboxes (draining them) and
         // joins, so actor threads never outlive the owner.
+        self.stop_ticker();
         for sender in &self.shared.senders {
             sender.close();
         }
@@ -170,34 +234,36 @@ impl<K> Drop for Runtime<K> {
     }
 }
 
-/// One shard actor's request dispatch (runs on the actor thread; the
-/// actor never blocks on anything but its own mailbox — leg replies are
-/// non-blocking pushes into the submitting handle's completion queue —
-/// so actors cannot deadlock each other).
-fn serve<K: Hash + Ord + Clone>(store: &mut PrecisionStore<K>, request: Request<K>) {
-    match request {
-        Request::Read { key, constraint, now, reply } => {
-            reply.send(LegReply::Read(store.read(&key, constraint, now)));
-        }
-        Request::Write { key, value, now, reply } => {
-            let outcome = store.write(&key, value, now);
-            if let Some(reply) = reply {
-                reply.send(LegReply::Write(outcome));
+/// Spawn the wall-clock tick thread: every `interval` it sends a
+/// fire-and-forget [`Request::Tick`] stamped with the milliseconds
+/// elapsed since launch to every shard, exiting when the runtime stops it
+/// (or the mailboxes close).
+fn spawn_ticker<K: Hash + Ord + Clone + Send + 'static>(
+    shared: &Arc<Shared<K>>,
+    interval: Duration,
+) -> Result<TickThread, RuntimeError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let senders = shared.senders.clone();
+    let thread = thread::Builder::new()
+        .name("apcache-push-tick".into())
+        .spawn(move || {
+            let origin = Instant::now();
+            loop {
+                thread::park_timeout(interval);
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                let now = origin.elapsed().as_millis() as TimeMs;
+                for sender in &senders {
+                    if sender.send(Request::Tick { now: Some(now), reply: None }).is_err() {
+                        return; // mailboxes closed: shutdown underway
+                    }
+                }
             }
-        }
-        Request::WriteBatch { items, now, reply } => {
-            reply.send(LegReply::Write(store.write_batch(&items, now)));
-        }
-        Request::Aggregate { kind, keys, constraint, now, reply } => {
-            reply.send(LegReply::Aggregate(store.aggregate(kind, &keys, constraint, now)));
-        }
-        Request::Metrics { reply } => {
-            reply.send(LegReply::Metrics(store.metrics().clone()));
-        }
-        Request::Shutdown { ack } => {
-            ack.send(());
-        }
-    }
+        })
+        .map_err(|e| RuntimeError::Spawn(e.to_string()))?;
+    Ok(TickThread { stop, thread })
 }
 
 /// Deployment metrics gathered from the actors: per-shard snapshots plus
@@ -427,6 +493,76 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         self.queue.submit_metrics()
     }
 
+    /// Open a push subscription on `key`: the returned ticket first
+    /// yields [`Outcome::Subscribed`] (with the cached snapshot), then
+    /// streams one [`Outcome::Push`] per filtered interval change —
+    /// without ever settling — until an unsubscribe or runtime shutdown
+    /// closes it with [`Outcome::SubscriptionEnded`].
+    pub fn submit_subscribe(
+        &self,
+        key: &K,
+        filter: PushFilter,
+        now: TimeMs,
+    ) -> Result<Ticket, RuntimeError> {
+        let shard = self.owning_shard(key)?;
+        let key = key.clone();
+        self.queue.submit_subscription(shard, move |sub| Request::Subscribe {
+            key,
+            filter,
+            now,
+            sub,
+        })
+    }
+
+    /// Submit an unsubscribe for a live subscription ticket; harvest an
+    /// [`Outcome::Unsubscribed`]. Fails with
+    /// [`RuntimeError::UnknownTicket`] if `sub` is not a live
+    /// subscription on this handle's queue.
+    pub fn submit_unsubscribe(&self, sub: Ticket) -> Result<Ticket, RuntimeError> {
+        let shard = self.queue.subscription_shard(sub).ok_or(RuntimeError::UnknownTicket(sub))?;
+        self.queue.submit_direct(shard, move |reply| Request::Unsubscribe { id: sub.0, reply })
+    }
+
+    /// Submit a TTL-lease grant/renewal on `key`; harvest an
+    /// [`Outcome::Leased`]. The config is validated before anything is
+    /// enqueued.
+    pub fn submit_lease(
+        &self,
+        key: &K,
+        cfg: LeaseConfig,
+        now: TimeMs,
+    ) -> Result<Ticket, RuntimeError> {
+        if !cfg.validate() {
+            return Err(RuntimeError::Store(StoreError::Config(format!(
+                "invalid lease config: ttl_ms={}, fallback={:?}",
+                cfg.ttl_ms, cfg.fallback
+            ))));
+        }
+        let shard = self.owning_shard(key)?;
+        let key = key.clone();
+        self.queue.submit_direct(shard, move |reply| Request::Lease {
+            key,
+            cfg: Some(cfg),
+            now,
+            reply,
+        })
+    }
+
+    /// Submit a lease release on `key`; harvest an [`Outcome::Leased`]
+    /// whose `active` says whether a lease existed.
+    pub fn submit_release_lease(&self, key: &K, now: TimeMs) -> Result<Ticket, RuntimeError> {
+        let shard = self.owning_shard(key)?;
+        let key = key.clone();
+        self.queue.submit_direct(shard, move |reply| Request::Lease { key, cfg: None, now, reply })
+    }
+
+    /// Submit a logical-time advance to every shard (lapsed leases expire
+    /// and push); harvest an [`Outcome::TimeAdvanced`] with the merged
+    /// push report.
+    pub fn submit_advance_time(&self, now: TimeMs) -> Result<Ticket, RuntimeError> {
+        self.queue.submit_tick(Some(now))
+    }
+
     // -----------------------------------------------------------------
     // Blocking surface: submit + wait_ticket, nothing else.
     // -----------------------------------------------------------------
@@ -524,6 +660,73 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         match self.wait_ticket(self.submit_metrics()?)? {
             Outcome::Metrics(metrics) => Ok(metrics),
             _ => unreachable!("metrics tickets settle as metrics outcomes"),
+        }
+    }
+
+    /// Open a push subscription and wait for its acknowledgement: the
+    /// live subscription ticket plus the cached snapshot at subscribe
+    /// time. Pushes are then harvested from the completion queue like any
+    /// other completion (`poll`/`wait`), tagged with the returned ticket.
+    pub fn subscribe(
+        &self,
+        key: &K,
+        filter: PushFilter,
+        now: TimeMs,
+    ) -> Result<(Ticket, Interval), RuntimeError> {
+        let ticket = self.submit_subscribe(key, filter, now)?;
+        match self.wait_ticket(ticket)? {
+            Outcome::Subscribed { interval } => Ok((ticket, interval)),
+            Outcome::SubscriptionEnded => Err(RuntimeError::ActorGone),
+            _ => unreachable!("subscription tickets stream subscription outcomes"),
+        }
+    }
+
+    /// Close a live subscription and wait for the acknowledgement:
+    /// whether the shard still had it registered. The subscription
+    /// ticket itself settles with [`Outcome::SubscriptionEnded`].
+    pub fn unsubscribe(&self, sub: Ticket) -> Result<bool, RuntimeError> {
+        match self.wait_ticket(self.submit_unsubscribe(sub)?)? {
+            Outcome::Unsubscribed { existed } => Ok(existed),
+            _ => unreachable!("unsubscribe tickets settle as unsubscribed outcomes"),
+        }
+    }
+
+    /// Grant or renew a TTL lease on `key` (blocking form of
+    /// [`submit_lease`](RuntimeHandle::submit_lease)).
+    pub fn lease(&self, key: &K, cfg: LeaseConfig, now: TimeMs) -> Result<(), RuntimeError> {
+        match self.wait_ticket(self.submit_lease(key, cfg, now)?)? {
+            Outcome::Leased { .. } => Ok(()),
+            _ => unreachable!("lease tickets settle as leased outcomes"),
+        }
+    }
+
+    /// Release the lease on `key`, returning whether one existed
+    /// (blocking form of
+    /// [`submit_release_lease`](RuntimeHandle::submit_release_lease)).
+    pub fn release_lease(&self, key: &K, now: TimeMs) -> Result<bool, RuntimeError> {
+        match self.wait_ticket(self.submit_release_lease(key, now)?)? {
+            Outcome::Leased { active } => Ok(active),
+            _ => unreachable!("lease tickets settle as leased outcomes"),
+        }
+    }
+
+    /// Advance the push-side logical clock on every shard — lapsed
+    /// leases widen their intervals and push — and return the merged
+    /// push report (blocking form of
+    /// [`submit_advance_time`](RuntimeHandle::submit_advance_time)).
+    pub fn advance_time(&self, now: TimeMs) -> Result<PushReport, RuntimeError> {
+        match self.wait_ticket(self.submit_advance_time(now)?)? {
+            Outcome::TimeAdvanced(report) => Ok(report),
+            _ => unreachable!("tick tickets settle as time-advanced outcomes"),
+        }
+    }
+
+    /// Snapshot push-side occupancy (subscribers, watched keys, leases)
+    /// without advancing any clock.
+    pub fn push_stats(&self) -> Result<PushReport, RuntimeError> {
+        match self.wait_ticket(self.queue.submit_tick(None)?)? {
+            Outcome::TimeAdvanced(report) => Ok(report),
+            _ => unreachable!("tick tickets settle as time-advanced outcomes"),
         }
     }
 }

@@ -67,9 +67,11 @@ impl ConcurrentAdaptiveSystem {
     ) -> Result<Self, SimError> {
         let store = cfg.base.build_store(initial_values, rng.fork())?;
         let cost = *store.cost_model();
-        let runtime =
-            Runtime::launch_with(store, RuntimeConfig { mailbox_capacity: cfg.mailbox_capacity })
-                .map_err(runtime_error)?;
+        let runtime = Runtime::launch_with(
+            store,
+            RuntimeConfig { mailbox_capacity: cfg.mailbox_capacity, ..RuntimeConfig::default() },
+        )
+        .map_err(runtime_error)?;
         let handle = runtime.handle();
         Ok(ConcurrentAdaptiveSystem { runtime, handle, cost })
     }

@@ -9,6 +9,7 @@
 mod adaptive;
 mod concurrent;
 mod pipelined;
+mod push;
 mod remote;
 mod sharded;
 
@@ -21,6 +22,7 @@ pub use concurrent::{
     ConcurrentLoad, ConcurrentRunTotals, ConcurrentSystemConfig,
 };
 pub use pipelined::{build_pipelined_simulation, PipelinedRemoteSystem, PipelinedSystemConfig};
+pub use push::{build_push_simulation, PushMirrorSystem};
 pub use remote::{build_remote_simulation, RemoteAdaptiveSystem};
 pub use sharded::{build_sharded_simulation, ShardedAdaptiveSystem, ShardedSystemConfig};
 

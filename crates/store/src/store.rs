@@ -469,6 +469,26 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         Ok(AggregateOutcome { answer: outcome.answer, refreshed })
     }
 
+    /// Widen `key`'s cached interval to at least `width`, keeping it
+    /// centered — the truth-preserving degradation applied when a TTL
+    /// lease on the key lapses without a source contact. Returns the new
+    /// interval, or `Ok(None)` when the key is uncached or already at
+    /// least that wide. The source's policy state is untouched: the next
+    /// QR or VR re-installs a policy-governed approximation, so the
+    /// degradation self-heals on contact.
+    pub fn widen_cached(
+        &mut self,
+        key: &K,
+        width: f64,
+        now: TimeMs,
+    ) -> Result<Option<Interval>, StoreError> {
+        if width.is_nan() || width < 0.0 {
+            return Err(StoreError::InvalidConstraint(width));
+        }
+        let id = self.id_of(key)?;
+        Ok(self.cache.widen(Key(id), width, now))
+    }
+
     /// Serving metrics: per-key and aggregate refresh/cost counters.
     pub fn metrics(&self) -> &StoreMetrics<K> {
         &self.metrics
@@ -717,6 +737,28 @@ mod tests {
         assert_eq!(s.value(&"a"), Some(100.0));
         // An empty batch is a no-op.
         assert_eq!(s.write_batch(&[], 0).unwrap().refreshes, 0);
+    }
+
+    #[test]
+    fn widen_cached_degrades_and_self_heals() {
+        let mut s = store();
+        assert_eq!(s.cached_interval(&"a", 0), Some(Interval::new(95.0, 105.0).unwrap()));
+        // Already-narrow targets and unknown keys behave predictably.
+        assert_eq!(s.widen_cached(&"a", 5.0, 0).unwrap(), None);
+        assert!(matches!(s.widen_cached(&"zzz", 50.0, 0), Err(StoreError::UnknownKey)));
+        assert!(s.widen_cached(&"a", f64::NAN, 0).is_err());
+        assert!(s.widen_cached(&"a", -1.0, 0).is_err());
+        // Widening degrades in place, truth preserved.
+        let iv = s.widen_cached(&"a", 30.0, 0).unwrap().unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (85.0, 115.0));
+        assert!(iv.contains(s.value(&"a").unwrap()));
+        assert_eq!(s.cached_interval(&"a", 0), Some(iv));
+        // The policy state was untouched: the next refresh self-heals to
+        // a policy-governed width.
+        let r = s.read(&"a", Constraint::Absolute(5.0), 1_000).unwrap();
+        assert!(r.refreshed);
+        assert_eq!(s.internal_width(&"a"), Some(5.0));
+        assert!(s.cached_interval(&"a", 1_000).unwrap().width() <= 5.0);
     }
 
     #[test]

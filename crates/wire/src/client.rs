@@ -15,12 +15,20 @@
 //! Responses may return **out of order** (a pipelined server fronting
 //! the actor runtime answers whichever shard finishes first); harvested
 //! responses for other tickets are parked until their `wait_*` call.
+//!
+//! v3 adds the **push channel**: [`subscribe`](RemoteStoreClient::subscribe)
+//! opens a long-lived subscription whose server-initiated
+//! [`PushEvent`] frames are queued as they are harvested (any `wait_*`
+//! call may park pushes as a side effect) and drained with
+//! [`poll_push`](RemoteStoreClient::poll_push) /
+//! [`next_push`](RemoteStoreClient::next_push).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::marker::PhantomData;
 
 use apcache_core::{Interval, TimeMs};
+use apcache_push::{PushEvent, PushFilter};
 use apcache_queries::AggregateKind;
 use apcache_store::{Constraint, ReadResult, StoreMetrics, WriteOutcome};
 
@@ -63,7 +71,25 @@ pub struct RemoteStoreClient<K, T> {
     in_flight: HashSet<u64>,
     /// Answered out of order, awaiting their `wait_*` call.
     parked: HashMap<u64, WireResponse<K>>,
+    /// Live subscriptions, keyed by the id their `Subscribe` shipped
+    /// under — the id every push for that subscription carries.
+    subscriptions: HashMap<u64, SubState>,
+    /// In-flight `Unsubscribe` ids → the subscription they cancel.
+    unsub_targets: HashMap<u64, u64>,
+    /// Harvested pushes awaiting [`poll_push`](Self::poll_push), oldest
+    /// first, each tagged with its subscription's ticket.
+    pushes: VecDeque<(Ticket, PushEvent<K>)>,
     _keys: PhantomData<fn() -> K>,
+}
+
+/// Lifecycle of one subscription on the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubState {
+    /// Streaming: harvested pushes are queued.
+    Active,
+    /// An `Unsubscribe` is in flight: pushes that raced the cancel are
+    /// dropped, not errors.
+    Closing,
 }
 
 impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
@@ -81,6 +107,9 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
             window: window.max(1),
             in_flight: HashSet::new(),
             parked: HashMap::new(),
+            subscriptions: HashMap::new(),
+            unsub_targets: HashMap::new(),
+            pushes: VecDeque::new(),
             _keys: PhantomData,
         }
     }
@@ -101,12 +130,28 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         self.parked.contains_key(&ticket.0)
     }
 
-    /// Receive one response frame and park it under its request id.
+    /// Receive one frame: park a response under its request id, or queue
+    /// a push under its subscription.
     fn harvest_one(&mut self) -> Result<(), RemoteError> {
         let body = self.transport.recv()?;
         let frame = decode_frame::<K>(&body)?;
-        let WireMessage::Response(response) = frame.msg else {
-            return Err(WireError::UnexpectedResponse("a response frame").into());
+        let response = match frame.msg {
+            WireMessage::Response(response) => response,
+            WireMessage::Push(event) => {
+                match self.subscriptions.get(&frame.request_id) {
+                    Some(SubState::Active) => {
+                        self.pushes.push_back((Ticket(frame.request_id), event));
+                    }
+                    // A push that raced our cancel: drop it, the stream
+                    // is closing.
+                    Some(SubState::Closing) => {}
+                    None => {
+                        return Err(WireError::UnknownRequestId { id: frame.request_id }.into());
+                    }
+                }
+                return Ok(());
+            }
+            _ => return Err(WireError::UnexpectedResponse("a response frame").into()),
         };
         if !self.in_flight.remove(&frame.request_id) {
             return Err(WireError::UnknownRequestId { id: frame.request_id }.into());
@@ -197,6 +242,41 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         self.submit(WireRequest::Metrics)
     }
 
+    /// Open a push subscription on `key`; redeem the starting snapshot
+    /// with [`wait_subscribed`](RemoteStoreClient::wait_subscribed). The
+    /// returned ticket *is* the subscription's identity: every push for
+    /// it is tagged with this ticket, and it is what
+    /// [`submit_unsubscribe`](RemoteStoreClient::submit_unsubscribe)
+    /// takes. The subscription is registered before the ack returns, so
+    /// pushes that overtake the ack are queued, not errors.
+    pub fn submit_subscribe(
+        &mut self,
+        key: &K,
+        filter: PushFilter,
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        let ticket = self.submit(WireRequest::Subscribe { key: key.clone(), filter, now })?;
+        self.subscriptions.insert(ticket.0, SubState::Active);
+        Ok(ticket)
+    }
+
+    /// Submit a cancel for the subscription `sub` (the ticket
+    /// [`submit_subscribe`](RemoteStoreClient::submit_subscribe)
+    /// returned); redeem with
+    /// [`wait_unsubscribed`](RemoteStoreClient::wait_unsubscribed).
+    /// Pushes still in flight when the cancel lands are dropped.
+    pub fn submit_unsubscribe(&mut self, sub: Ticket) -> Result<Ticket, RemoteError> {
+        match self.subscriptions.get_mut(&sub.0) {
+            Some(state @ SubState::Active) => *state = SubState::Closing,
+            Some(SubState::Closing) | None => {
+                return Err(WireError::UnknownRequestId { id: sub.0 }.into());
+            }
+        }
+        let ticket = self.submit(WireRequest::Unsubscribe { sub: sub.0 })?;
+        self.unsub_targets.insert(ticket.0, sub.0);
+        Ok(ticket)
+    }
+
     // -----------------------------------------------------------------
     // Harvest surface.
     // -----------------------------------------------------------------
@@ -240,6 +320,74 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
             WireResponse::Error(fault) => Err(fault.into()),
             _ => Err(WireError::UnexpectedResponse("Metrics").into()),
         }
+    }
+
+    /// Redeem a subscribe ticket: the subscribed key's cached interval
+    /// at subscription time. On a server fault (e.g. a pre-v3 server
+    /// refusing the vocabulary) the subscription is unregistered before
+    /// the error returns.
+    pub fn wait_subscribed(&mut self, ticket: Ticket) -> Result<Interval, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Subscribed { interval } => Ok(interval),
+            WireResponse::Error(fault) => {
+                self.forget_subscription(ticket.0);
+                Err(fault.into())
+            }
+            _ => Err(WireError::UnexpectedResponse("Subscribed").into()),
+        }
+    }
+
+    /// Redeem an unsubscribe ticket: whether the subscription was still
+    /// live server-side. The subscription and any of its still-queued
+    /// pushes are gone once this returns.
+    pub fn wait_unsubscribed(&mut self, ticket: Ticket) -> Result<bool, RemoteError> {
+        let result = self.wait_response(ticket);
+        if let Some(sub) = self.unsub_targets.remove(&ticket.0) {
+            self.forget_subscription(sub);
+        }
+        match result? {
+            WireResponse::Unsubscribed { existed } => Ok(existed),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Unsubscribed").into()),
+        }
+    }
+
+    fn forget_subscription(&mut self, sub: u64) {
+        self.subscriptions.remove(&sub);
+        self.pushes.retain(|(ticket, _)| ticket.0 != sub);
+    }
+
+    // -----------------------------------------------------------------
+    // The push channel.
+    // -----------------------------------------------------------------
+
+    /// Pop the oldest queued push, if any, without touching the
+    /// transport. Pushes are queued as a side effect of any harvest —
+    /// `wait_*` calls, window backpressure, `next_push`.
+    pub fn poll_push(&mut self) -> Option<(Ticket, PushEvent<K>)> {
+        self.pushes.pop_front()
+    }
+
+    /// Block until a push is available and pop it. Only call with at
+    /// least one active subscription — otherwise no push can ever
+    /// arrive and this blocks on the transport indefinitely.
+    pub fn next_push(&mut self) -> Result<(Ticket, PushEvent<K>), RemoteError> {
+        loop {
+            if let Some(push) = self.pushes.pop_front() {
+                return Ok(push);
+            }
+            self.harvest_one()?;
+        }
+    }
+
+    /// Queued pushes not yet popped.
+    pub fn pending_pushes(&self) -> usize {
+        self.pushes.len()
+    }
+
+    /// Subscriptions currently registered (active or closing).
+    pub fn subscriptions(&self) -> usize {
+        self.subscriptions.len()
     }
 
     // -----------------------------------------------------------------
@@ -291,8 +439,31 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         self.wait_metrics(ticket)
     }
 
-    /// End the session: drain every in-flight ticket (their outcomes are
-    /// discarded), send `Shutdown`, and await the acknowledgement.
+    /// Open a push subscription on `key` and wait for its starting
+    /// snapshot. Pushes stream in under the returned ticket until
+    /// [`unsubscribe`](RemoteStoreClient::unsubscribe).
+    pub fn subscribe(
+        &mut self,
+        key: &K,
+        filter: PushFilter,
+        now: TimeMs,
+    ) -> Result<(Ticket, Interval), RemoteError> {
+        let ticket = self.submit_subscribe(key, filter, now)?;
+        let interval = self.wait_subscribed(ticket)?;
+        Ok((ticket, interval))
+    }
+
+    /// Cancel subscription `sub` and wait for the ack; returns whether
+    /// it was still live server-side.
+    pub fn unsubscribe(&mut self, sub: Ticket) -> Result<bool, RemoteError> {
+        let ticket = self.submit_unsubscribe(sub)?;
+        self.wait_unsubscribed(ticket)
+    }
+
+    /// End the session: cancel every outstanding subscription (pushes
+    /// still in flight are drained and discarded along with the queue),
+    /// drain every in-flight ticket (their outcomes are discarded), send
+    /// `Shutdown`, and await the acknowledgement.
     ///
     /// The transport is torn down on **every** path — acknowledged, drain
     /// failure, or a dead peer — so a failed shutdown can never leak a
@@ -309,9 +480,23 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
     }
 
     fn try_shutdown(&mut self) -> Result<(), RemoteError> {
+        // Cancel subscriptions first: a `Shutdown` with live streams
+        // would leave the server multiplexing pushes at a peer that is
+        // done listening. Each cancel's round trip also drains (and
+        // discards, below) pushes that were already in flight.
+        let active: Vec<u64> = self
+            .subscriptions
+            .iter()
+            .filter(|(_, state)| **state == SubState::Active)
+            .map(|(id, _)| *id)
+            .collect();
+        for sub in active {
+            self.unsubscribe(Ticket(sub))?;
+        }
         while !self.in_flight.is_empty() {
             self.harvest_one()?;
         }
+        self.pushes.clear();
         let ticket = self.submit(WireRequest::Shutdown)?;
         match self.wait_response(ticket)? {
             WireResponse::ShutdownAck => Ok(()),

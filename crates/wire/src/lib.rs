@@ -12,10 +12,12 @@
 //! supplies the missing wire:
 //!
 //! * [`message`] — the protocol vocabulary as frames: the paper's
-//!   `Refresh` / `ExactResponse` messages, all three
+//!   `Refresh` / `ExactResponse` messages (generic over the key type as
+//!   [`WireRefresh`] / [`WireExact`]), all three
 //!   [`Constraint`](apcache_store::Constraint) forms, and the serving
 //!   verbs `Read` / `Write` / `WriteBatch` / `Aggregate` / `Metrics` /
-//!   `Shutdown` with their outcomes. Hand-rolled std-only codec:
+//!   `Subscribe` / `Unsubscribe` / `Shutdown` with their outcomes, plus
+//!   the server-initiated `Push` frame. Hand-rolled std-only codec:
 //!   fixed-width little-endian integers, `f64`s as raw IEEE-754 bits, so
 //!   `decode(encode(x)) == x` bit-for-bit and precision metadata travels
 //!   at near-zero cost;
@@ -36,8 +38,13 @@
 //!   [`StoreService`] trait (in-order dispatch), while
 //!   [`serve_pipelined`] / [`serve_connections`] front the runtime's
 //!   ticketed surface and reply **out of order** as the shard actors
-//!   finish. Version 1 frames still decode (as request id 0), and
-//!   servers answer v1 peers in v1.
+//!   finish — and, since v3, multiplex **server-initiated push frames**
+//!   onto the same connection: `subscribe` opens a stream of
+//!   [`PushEvent`](apcache_push::PushEvent)s for one key, delivered by
+//!   the drainer thread the moment the shard's cached interval changes
+//!   (or a TTL lease lapses). Version 1 and 2 frames still decode (v1 as
+//!   request id 0), servers answer old peers in their own version, and
+//!   pre-v3 peers asking to subscribe get a stable `Unsupported` fault.
 //!
 //! Decoding is **defensive**: arbitrary bytes produce a [`WireError`]
 //! (length caps, unknown-tag, truncation, trailing-garbage) — never a
@@ -85,8 +92,8 @@ pub use codec::WireKey;
 pub use error::{FaultKind, RemoteError, WireError, WireFault};
 pub use message::{
     decode_frame, decode_message, encode_frame, encode_frame_v1, encode_message, encode_to_vec,
-    encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireMessage, WireRequest,
-    WireResponse, MAGIC, VERSION, VERSION_V1,
+    encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireExact, WireMessage,
+    WireRefresh, WireRequest, WireResponse, MAGIC, VERSION, VERSION_V1, VERSION_V2,
 };
 pub use server::{serve_connections, serve_pipelined, ServerExit, StoreServer, StoreService};
 pub use transport::{

@@ -10,37 +10,47 @@
 //!   query-initiated refresh);
 //! * **[`WireMessage::Request`]** / **[`WireMessage::Response`]** — the
 //!   client ↔ store verbs (`Read`, `Write`, `WriteBatch`, `Aggregate`,
-//!   `Metrics`, `Shutdown`) with their outcomes.
+//!   `Metrics`, `Subscribe`, `Unsubscribe`, `Shutdown`) with their
+//!   outcomes;
+//! * **[`WireMessage::Push`]** — a **server-initiated** frame streaming
+//!   one subscribed key's new cached interval, tagged with the
+//!   subscription's request id (the v3 push channel).
 //!
-//! Every v2 frame body is `magic ∥ version ∥ tag ∥ request_id ∥ fields`;
+//! Every v2+ frame body is `magic ∥ version ∥ tag ∥ request_id ∥ fields`;
 //! the transport adds a `u32` length prefix. The **request id** is the
 //! pipelining header: clients stamp each request with a monotonically
 //! assigned id and servers echo it on the paired response, so one
 //! connection can carry a whole window of in-flight requests and answer
-//! them out of order. Version 1 frames (no id field — the strictly
-//! call-reply protocol of the previous release) still **decode**: a v1
-//! frame reads as request id 0, and [`decode_frame`] reports the version
-//! it saw so a server can answer a v1 peer in v1. Encoding is
-//! hand-rolled fixed-width little-endian (see [`codec`](crate::codec))
-//! so `decode(encode(x)) == x` bit-for-bit, and decoding is defensive:
+//! them out of order. Version 3 adds the push vocabulary (`Subscribe` /
+//! `Unsubscribe` / `Push`); v2 frames decode unchanged, and version 1
+//! frames (no id field — the strictly call-reply protocol of the first
+//! release) still **decode**: a v1 frame reads as request id 0, and
+//! [`decode_frame`] reports the version it saw so a server can answer a
+//! v1 or v2 peer in kind. Encoding is hand-rolled fixed-width
+//! little-endian (see [`codec`](crate::codec)) so
+//! `decode(encode(x)) == x` bit-for-bit, and decoding is defensive:
 //! arbitrary bytes produce a [`WireError`], never a panic.
 
 use apcache_core::policy::ApproxSpec;
 use apcache_core::{ExactResponse, Interval, Key, Refresh, TimeMs};
+use apcache_push::{PushEvent, PushFilter, PushReason};
 use apcache_queries::AggregateKind;
 use apcache_store::{Answer, Constraint, KeyMetrics, ReadResult, StoreMetrics, WriteOutcome};
 
-use crate::codec::{
-    put_bool, put_f64, put_seq, put_str, put_u32, put_u64, put_u8, Reader, WireKey,
-};
+use crate::codec::{put_bool, put_f64, put_seq, put_str, put_u64, put_u8, Reader, WireKey};
 use crate::error::{FaultKind, WireError, WireFault};
 
 /// First byte of every frame body.
 pub const MAGIC: u8 = 0xA7;
-/// Protocol version this codec emits: v2, whose header carries a `u64`
-/// request id after the message tag.
-pub const VERSION: u8 = 2;
-/// The previous protocol version (no request-id header). Still accepted
+/// Protocol version this codec emits: v3, which adds the push vocabulary
+/// (`Subscribe` / `Unsubscribe` / `Push`) on top of the v2 request-id
+/// header.
+pub const VERSION: u8 = 3;
+/// The pipelined-but-poll-only protocol version: request-id header, no
+/// push vocabulary. Still accepted by [`decode_frame`]; servers refuse
+/// v2 subscriptions with a stable [`FaultKind::Unsupported`] fault.
+pub const VERSION_V2: u8 = 2;
+/// The original protocol version (no request-id header). Still accepted
 /// by [`decode_frame`] — a v1 frame decodes as request id 0.
 pub const VERSION_V1: u8 = 1;
 
@@ -48,6 +58,7 @@ const MSG_REFRESH: u8 = 1;
 const MSG_EXACT: u8 = 2;
 const MSG_REQUEST: u8 = 3;
 const MSG_RESPONSE: u8 = 4;
+const MSG_PUSH: u8 = 5;
 
 const VERB_READ: u8 = 1;
 const VERB_WRITE: u8 = 2;
@@ -55,6 +66,8 @@ const VERB_WRITE_BATCH: u8 = 3;
 const VERB_AGGREGATE: u8 = 4;
 const VERB_METRICS: u8 = 5;
 const VERB_SHUTDOWN: u8 = 6;
+const VERB_SUBSCRIBE: u8 = 7;
+const VERB_UNSUBSCRIBE: u8 = 8;
 
 const RESP_READ: u8 = 1;
 const RESP_WRITE: u8 = 2;
@@ -62,6 +75,8 @@ const RESP_AGGREGATE: u8 = 3;
 const RESP_METRICS: u8 = 4;
 const RESP_SHUTDOWN_ACK: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_SUBSCRIBED: u8 = 7;
+const RESP_UNSUBSCRIBED: u8 = 8;
 
 /// A serving request, one frame per verb — the same vocabulary as the
 /// runtime's mailbox [`Request`](apcache_runtime::Request), minus the
@@ -106,6 +121,23 @@ pub enum WireRequest<K> {
     },
     /// Snapshot the server's serving metrics.
     Metrics,
+    /// Open a push subscription on `key` (v3+). The server answers with
+    /// [`WireResponse::Subscribed`] and then streams
+    /// [`WireMessage::Push`] frames under this request's id until the
+    /// subscription is cancelled.
+    Subscribe {
+        /// Key to watch.
+        key: K,
+        /// Which interval changes to stream (see [`PushFilter`]).
+        filter: PushFilter,
+        /// Logical time the subscription opens.
+        now: TimeMs,
+    },
+    /// Cancel the subscription opened under request id `sub` (v3+).
+    Unsubscribe {
+        /// The request id of the `Subscribe` frame to cancel.
+        sub: u64,
+    },
     /// Orderly connection shutdown: the server acknowledges and stops
     /// serving this connection.
     Shutdown,
@@ -129,8 +161,70 @@ pub enum WireResponse<K> {
     Metrics(StoreMetrics<K>),
     /// Acknowledges [`WireRequest::Shutdown`]; the connection is done.
     ShutdownAck,
+    /// Acknowledges [`WireRequest::Subscribe`] with the subscribed key's
+    /// current cached interval (the stream's starting snapshot).
+    Subscribed {
+        /// The cached interval at subscription time (unbounded if the
+        /// key has no cached approximation yet).
+        interval: Interval,
+    },
+    /// Acknowledges [`WireRequest::Unsubscribe`].
+    Unsubscribed {
+        /// Whether the subscription was still live when cancelled.
+        existed: bool,
+    },
     /// The server rejected the request.
     Error(WireFault),
+}
+
+/// The paper's value-initiated refresh on the wire, generic over the
+/// connection's key type — unlike the in-core
+/// [`apcache_core::Refresh`], which is pinned to [`apcache_core::Key`].
+/// For `K = Key` the encodings are byte-identical (see the `From`
+/// conversions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRefresh<K> {
+    /// Key whose approximation is replaced.
+    pub key: K,
+    /// The replacement approximation.
+    pub spec: ApproxSpec,
+    /// The source's internal adaptation width `W` (paper §3.2), carried
+    /// so a cache handoff preserves the adaptation state.
+    pub internal_width: f64,
+}
+
+/// The paper's query-initiated refresh answer on the wire: the exact
+/// value plus its replacement approximation, generic over the key type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireExact<K> {
+    /// The exact value at the source.
+    pub value: f64,
+    /// The replacement approximation installed alongside it.
+    pub refresh: WireRefresh<K>,
+}
+
+impl From<Refresh> for WireRefresh<Key> {
+    fn from(r: Refresh) -> Self {
+        WireRefresh { key: r.key, spec: r.spec, internal_width: r.internal_width }
+    }
+}
+
+impl From<WireRefresh<Key>> for Refresh {
+    fn from(r: WireRefresh<Key>) -> Self {
+        Refresh { key: r.key, spec: r.spec, internal_width: r.internal_width }
+    }
+}
+
+impl From<ExactResponse> for WireExact<Key> {
+    fn from(e: ExactResponse) -> Self {
+        WireExact { value: e.value, refresh: e.refresh.into() }
+    }
+}
+
+impl From<WireExact<Key>> for ExactResponse {
+    fn from(e: WireExact<Key>) -> Self {
+        ExactResponse { value: e.value, refresh: e.refresh.into() }
+    }
 }
 
 /// Any frame of the protocol.
@@ -138,14 +232,18 @@ pub enum WireResponse<K> {
 pub enum WireMessage<K> {
     /// Source → cache push: install a new approximation (paper Fig. 1,
     /// value-initiated refresh).
-    Refresh(Refresh),
+    Refresh(WireRefresh<K>),
     /// Source → cache reply: the exact value plus its replacement
     /// approximation (paper Fig. 1, query-initiated refresh).
-    Exact(ExactResponse),
+    Exact(WireExact<K>),
     /// Client → server verb.
     Request(WireRequest<K>),
     /// Server → client outcome.
     Response(WireResponse<K>),
+    /// Server → client push (v3+): a subscribed key's cached interval
+    /// changed (or its lease lapsed). Carries the subscription's request
+    /// id in the frame header so the client can route it.
+    Push(PushEvent<K>),
 }
 
 // ---------------------------------------------------------------------
@@ -209,14 +307,50 @@ fn read_spec(r: &mut Reader<'_>) -> Result<ApproxSpec, WireError> {
     }
 }
 
-fn put_refresh(buf: &mut Vec<u8>, refresh: &Refresh) {
-    put_u32(buf, refresh.key.0);
+fn put_refresh<K: WireKey>(buf: &mut Vec<u8>, refresh: &WireRefresh<K>) {
+    refresh.key.encode_key(buf);
     put_spec(buf, &refresh.spec);
     put_f64(buf, refresh.internal_width);
 }
 
-fn read_refresh(r: &mut Reader<'_>) -> Result<Refresh, WireError> {
-    Ok(Refresh { key: Key(r.u32()?), spec: read_spec(r)?, internal_width: r.f64()? })
+fn read_refresh<K: WireKey>(r: &mut Reader<'_>) -> Result<WireRefresh<K>, WireError> {
+    Ok(WireRefresh { key: K::decode_key(r)?, spec: read_spec(r)?, internal_width: r.f64()? })
+}
+
+fn put_filter(buf: &mut Vec<u8>, filter: &PushFilter) {
+    match filter {
+        PushFilter::Always => put_u8(buf, 0),
+        PushFilter::Violates(constraint) => {
+            put_u8(buf, 1);
+            put_constraint(buf, constraint);
+        }
+    }
+}
+
+fn read_filter(r: &mut Reader<'_>) -> Result<PushFilter, WireError> {
+    match r.u8()? {
+        0 => Ok(PushFilter::Always),
+        1 => Ok(PushFilter::Violates(read_constraint(r)?)),
+        tag => Err(WireError::UnknownTag { context: "push filter", tag }),
+    }
+}
+
+fn put_reason(buf: &mut Vec<u8>, reason: PushReason) {
+    put_u8(
+        buf,
+        match reason {
+            PushReason::Changed => 0,
+            PushReason::LeaseExpired => 1,
+        },
+    );
+}
+
+fn read_reason(r: &mut Reader<'_>) -> Result<PushReason, WireError> {
+    match r.u8()? {
+        0 => Ok(PushReason::Changed),
+        1 => Ok(PushReason::LeaseExpired),
+        tag => Err(WireError::UnknownTag { context: "push reason", tag }),
+    }
 }
 
 fn put_constraint(buf: &mut Vec<u8>, c: &Constraint) {
@@ -367,11 +501,11 @@ fn read_keys<K: WireKey>(r: &mut Reader<'_>) -> Result<Vec<K>, WireError> {
 // Frame codecs.
 // ---------------------------------------------------------------------
 
-/// Encode `msg` as one v2 frame body
+/// Encode `msg` as one current-version frame body
 /// (magic ∥ version ∥ tag ∥ request_id ∥ fields), appended to `buf`. The
 /// transport adds the length prefix. `request_id` correlates a response
-/// with its request across a pipelined connection; push frames and
-/// un-pipelined callers use 0.
+/// with its request across a pipelined connection — and routes a push
+/// frame to its subscription; un-pipelined callers use 0.
 pub fn encode_frame<K: WireKey + Ord + Clone>(
     request_id: u64,
     msg: &WireMessage<K>,
@@ -386,8 +520,8 @@ pub fn encode_frame_v1<K: WireKey + Ord + Clone>(msg: &WireMessage<K>, buf: &mut
     encode_with_version(VERSION_V1, 0, msg, buf);
 }
 
-/// Encode one frame at the requested `version`. The id is written only
-/// for v2 (v1 frames have no slot for it).
+/// Encode one frame at the requested `version`. The id is written for
+/// v2 and later (v1 frames have no slot for it).
 pub fn encode_versioned<K: WireKey + Ord + Clone>(
     version: u8,
     request_id: u64,
@@ -408,7 +542,7 @@ pub fn versioned_to_vec<K: WireKey + Ord + Clone>(
     buf
 }
 
-/// Convenience: encode a v2 frame into a fresh buffer.
+/// Convenience: encode a current-version frame into a fresh buffer.
 pub fn frame_to_vec<K: WireKey + Ord + Clone>(request_id: u64, msg: &WireMessage<K>) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     encode_frame(request_id, msg, &mut buf);
@@ -428,9 +562,10 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
         WireMessage::Exact(_) => MSG_EXACT,
         WireMessage::Request(_) => MSG_REQUEST,
         WireMessage::Response(_) => MSG_RESPONSE,
+        WireMessage::Push(_) => MSG_PUSH,
     };
     put_u8(buf, tag);
-    if version >= VERSION {
+    if version >= VERSION_V2 {
         // The pipelining header: v1 frames have no slot for it.
         put_u64(buf, request_id);
     }
@@ -472,6 +607,16 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_u64(buf, *now);
             }
             WireRequest::Metrics => put_u8(buf, VERB_METRICS),
+            WireRequest::Subscribe { key, filter, now } => {
+                put_u8(buf, VERB_SUBSCRIBE);
+                key.encode_key(buf);
+                put_filter(buf, filter);
+                put_u64(buf, *now);
+            }
+            WireRequest::Unsubscribe { sub } => {
+                put_u8(buf, VERB_UNSUBSCRIBE);
+                put_u64(buf, *sub);
+            }
             WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
         },
         WireMessage::Response(resp) => match resp {
@@ -494,11 +639,25 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_store_metrics(buf, metrics);
             }
             WireResponse::ShutdownAck => put_u8(buf, RESP_SHUTDOWN_ACK),
+            WireResponse::Subscribed { interval } => {
+                put_u8(buf, RESP_SUBSCRIBED);
+                put_interval(buf, interval);
+            }
+            WireResponse::Unsubscribed { existed } => {
+                put_u8(buf, RESP_UNSUBSCRIBED);
+                put_bool(buf, *existed);
+            }
             WireResponse::Error(fault) => {
                 put_u8(buf, RESP_ERROR);
                 put_fault(buf, fault);
             }
         },
+        WireMessage::Push(event) => {
+            event.key.encode_key(buf);
+            put_interval(buf, &event.interval);
+            put_reason(buf, event.reason);
+            put_u64(buf, event.now);
+        }
     }
 }
 
@@ -533,9 +692,9 @@ pub fn decode_message<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<WireMessa
     decode_frame(body).map(|frame| frame.msg)
 }
 
-/// Decode one frame body produced by [`encode_frame`] (v2) **or** by the
-/// previous release's v1 encoder — v1 frames carry no request id and
-/// decode as id 0. Strict: the whole input must be consumed
+/// Decode one frame body produced by [`encode_frame`] (v3), a v2 peer,
+/// **or** the original release's v1 encoder — v1 frames carry no
+/// request id and decode as id 0. Strict: the whole input must be consumed
 /// ([`WireError::TrailingBytes`] otherwise), and any malformed input
 /// returns a [`WireError`] — never a panic.
 pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFrame<K>, WireError> {
@@ -545,21 +704,21 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u8()?;
-    if version != VERSION && version != VERSION_V1 {
+    if version != VERSION && version != VERSION_V2 && version != VERSION_V1 {
         return Err(WireError::BadVersion(version));
     }
     let tag = r.u8()?;
-    if !(MSG_REFRESH..=MSG_RESPONSE).contains(&tag) {
+    if !(MSG_REFRESH..=MSG_PUSH).contains(&tag) {
         // Rejected before the request-id field: a bogus tag means the
         // stream is junk, and the header that follows it is too.
         return Err(WireError::UnknownTag { context: "message", tag });
     }
-    let request_id = if version >= VERSION { r.u64()? } else { 0 };
+    let request_id = if version >= VERSION_V2 { r.u64()? } else { 0 };
     let msg = match tag {
         MSG_REFRESH => WireMessage::Refresh(read_refresh(&mut r)?),
         MSG_EXACT => {
             let value = r.f64()?;
-            WireMessage::Exact(ExactResponse { value, refresh: read_refresh(&mut r)? })
+            WireMessage::Exact(WireExact { value, refresh: read_refresh(&mut r)? })
         }
         MSG_REQUEST => WireMessage::Request(match r.u8()? {
             VERB_READ => WireRequest::Read {
@@ -587,6 +746,12 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
             },
             VERB_METRICS => WireRequest::Metrics,
             VERB_SHUTDOWN => WireRequest::Shutdown,
+            VERB_SUBSCRIBE => WireRequest::Subscribe {
+                key: K::decode_key(&mut r)?,
+                filter: read_filter(&mut r)?,
+                now: r.u64()?,
+            },
+            VERB_UNSUBSCRIBE => WireRequest::Unsubscribe { sub: r.u64()? },
             tag => return Err(WireError::UnknownTag { context: "request verb", tag }),
         }),
         MSG_RESPONSE => WireMessage::Response(match r.u8()? {
@@ -605,8 +770,16 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
             },
             RESP_METRICS => WireResponse::Metrics(read_store_metrics(&mut r)?),
             RESP_SHUTDOWN_ACK => WireResponse::ShutdownAck,
+            RESP_SUBSCRIBED => WireResponse::Subscribed { interval: read_interval(&mut r)? },
+            RESP_UNSUBSCRIBED => WireResponse::Unsubscribed { existed: r.bool()? },
             RESP_ERROR => WireResponse::Error(read_fault(&mut r)?),
             tag => return Err(WireError::UnknownTag { context: "response kind", tag }),
+        }),
+        MSG_PUSH => WireMessage::Push(PushEvent {
+            key: K::decode_key(&mut r)?,
+            interval: read_interval(&mut r)?,
+            reason: read_reason(&mut r)?,
+            now: r.u64()?,
         }),
         tag => return Err(WireError::UnknownTag { context: "message", tag }),
     };
@@ -617,6 +790,7 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::put_u32;
     use apcache_core::policy::ApproxSpec;
 
     fn round_trip(msg: WireMessage<String>) {
@@ -629,15 +803,15 @@ mod tests {
 
     #[test]
     fn paper_vocabulary_round_trips() {
-        round_trip(WireMessage::Refresh(Refresh {
-            key: Key(7),
+        round_trip(WireMessage::Refresh(WireRefresh {
+            key: "stock/ibm".to_string(),
             spec: ApproxSpec::Constant(Interval::new(-3.5, 12.25).unwrap()),
             internal_width: 15.75,
         }));
-        round_trip(WireMessage::Exact(ExactResponse {
+        round_trip(WireMessage::Exact(WireExact {
             value: -0.0,
-            refresh: Refresh {
-                key: Key(0),
+            refresh: WireRefresh {
+                key: String::new(),
                 spec: ApproxSpec::Growing {
                     center: 1.0,
                     base_width: 2.0,
@@ -648,11 +822,38 @@ mod tests {
                 internal_width: 2.0,
             },
         }));
-        round_trip(WireMessage::Refresh(Refresh {
-            key: Key(u32::MAX),
+        round_trip(WireMessage::Refresh(WireRefresh {
+            key: "q".to_string(),
             spec: ApproxSpec::Drifting { lo0: -1.0, hi0: 4.0, rate_per_sec: -0.25, t0: 0 },
             internal_width: f64::INFINITY,
         }));
+    }
+
+    #[test]
+    fn key_refreshes_keep_the_u32_layout() {
+        // Satellite check: the generic WireRefresh<K> with K = Key must
+        // encode byte-identically to the old hardcoded `put_u32(key.0)`
+        // layout, so pre-v3 Refresh frames from Key-typed peers still
+        // mean the same bytes.
+        let refresh = Refresh {
+            key: Key(0xDEAD_BEEF),
+            spec: ApproxSpec::Constant(Interval::new(1.0, 2.0).unwrap()),
+            internal_width: 1.0,
+        };
+        let body = encode_to_vec(&WireMessage::<Key>::Refresh(refresh.clone().into()));
+        // Hand-build the legacy layout.
+        let mut legacy = vec![MAGIC, VERSION, MSG_REFRESH];
+        put_u64(&mut legacy, 0); // request id
+        put_u32(&mut legacy, 0xDEAD_BEEF); // key, old hardcoded form
+        put_spec(&mut legacy, &refresh.spec);
+        put_f64(&mut legacy, 1.0);
+        assert_eq!(body, legacy);
+        // And it converts back into the in-core type losslessly.
+        let frame = decode_frame::<Key>(&body).unwrap();
+        match frame.msg {
+            WireMessage::Refresh(wire) => assert_eq!(Refresh::from(wire), refresh),
+            other => panic!("expected a refresh frame, got {other:?}"),
+        }
     }
 
     #[test]
@@ -757,8 +958,8 @@ mod tests {
     fn nan_interval_bounds_are_rejected() {
         // Hand-build a Refresh frame whose interval smuggles a NaN bound.
         let mut body = vec![MAGIC, VERSION, MSG_REFRESH];
-        put_u64(&mut body, 0); // request id (v2 header)
-        put_u32(&mut body, 1); // key
+        put_u64(&mut body, 0); // request id (v2+ header)
+        put_str(&mut body, "k"); // key
         put_u8(&mut body, 0); // ApproxSpec::Constant
         put_u64(&mut body, f64::NAN.to_bits());
         put_u64(&mut body, 1.0f64.to_bits());
@@ -797,8 +998,8 @@ mod tests {
         // layout (no request-id header), decodes as request id 0 and
         // reports version 1 so a server can reply in kind.
         let messages: Vec<WireMessage<String>> = vec![
-            WireMessage::Refresh(Refresh {
-                key: Key(3),
+            WireMessage::Refresh(WireRefresh {
+                key: "a".to_string(),
                 spec: ApproxSpec::Constant(Interval::new(1.0, 2.0).unwrap()),
                 internal_width: 1.0,
             }),
@@ -821,7 +1022,7 @@ mod tests {
             assert_eq!(frame.msg, msg);
             // And the v1 re-encode is canonical too.
             assert_eq!(versioned_to_vec(VERSION_V1, 0, &frame.msg), v1);
-            // The v2 encoding of the same message is 8 bytes longer —
+            // The v2+ encoding of the same message is 8 bytes longer —
             // exactly the id field.
             assert_eq!(frame_to_vec(0, &frame.msg).len(), v1.len() + 8);
         }
@@ -830,9 +1031,74 @@ mod tests {
     #[test]
     fn unknown_versions_are_still_rejected() {
         let mut body = encode_to_vec::<String>(&WireMessage::Request(WireRequest::Metrics));
-        body[1] = 3; // a future version
-        assert_eq!(decode_frame::<String>(&body), Err(WireError::BadVersion(3)));
+        body[1] = 4; // a future version
+        assert_eq!(decode_frame::<String>(&body), Err(WireError::BadVersion(4)));
         body[1] = 0;
         assert_eq!(decode_frame::<String>(&body), Err(WireError::BadVersion(0)));
+    }
+
+    #[test]
+    fn push_vocabulary_round_trips() {
+        round_trip(WireMessage::Request(WireRequest::Subscribe {
+            key: "hot".into(),
+            filter: PushFilter::Always,
+            now: 12,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Subscribe {
+            key: "hot".into(),
+            filter: PushFilter::Violates(Constraint::Relative(0.01)),
+            now: 0,
+        }));
+        round_trip(WireMessage::Request(WireRequest::Unsubscribe { sub: u64::MAX }));
+        round_trip(WireMessage::Response(WireResponse::Subscribed {
+            interval: Interval::new(9.5, 10.5).unwrap(),
+        }));
+        round_trip(WireMessage::Response(WireResponse::Unsubscribed { existed: true }));
+        round_trip(WireMessage::Response(WireResponse::Unsubscribed { existed: false }));
+        for reason in [PushReason::Changed, PushReason::LeaseExpired] {
+            round_trip(WireMessage::Push(PushEvent {
+                key: "hot".to_string(),
+                interval: Interval::new(-1.0, f64::INFINITY).unwrap(),
+                reason,
+                now: 77,
+            }));
+        }
+    }
+
+    #[test]
+    fn push_frames_carry_their_subscription_id() {
+        let msg: WireMessage<String> = WireMessage::Push(PushEvent {
+            key: "k".to_string(),
+            interval: Interval::new(0.0, 1.0).unwrap(),
+            reason: PushReason::Changed,
+            now: 3,
+        });
+        let body = frame_to_vec(41, &msg);
+        let frame = decode_frame::<String>(&body).unwrap();
+        assert_eq!(frame.request_id, 41);
+        assert_eq!(frame.version, VERSION);
+        assert_eq!(frame.msg, msg);
+    }
+
+    #[test]
+    fn v2_frames_still_decode_and_reject_push_vocabulary() {
+        // A v2 peer's frames (request-id header, pre-push vocabulary)
+        // decode unchanged and report version 2.
+        let msg: WireMessage<String> = WireMessage::Request(WireRequest::Read {
+            key: "a".into(),
+            constraint: Constraint::Absolute(2.0),
+            now: 7,
+        });
+        let body = versioned_to_vec(VERSION_V2, 9, &msg);
+        assert_eq!(body[1], VERSION_V2);
+        let frame = decode_frame::<String>(&body).unwrap();
+        assert_eq!((frame.request_id, frame.version), (9, VERSION_V2));
+        assert_eq!(frame.msg, msg);
+        // v3 and v2 encodings differ only in the version byte — same
+        // header shape, same fields.
+        let v3 = frame_to_vec(9, &msg);
+        assert_eq!(v3.len(), body.len());
+        assert_ne!(v3[1], body[1]);
+        assert_eq!(v3[2..], body[2..]);
     }
 }

@@ -235,10 +235,13 @@ impl<S> StoreServer<S> {
             let request = match frame.msg {
                 WireMessage::Request(request) => request,
                 // A peer pushing paper-vocabulary frames (Refresh /
-                // ExactResponse) at a serving endpoint is answered with a
-                // fault rather than dropped: the vocabulary is shared, the
-                // roles are not.
-                WireMessage::Refresh(_) | WireMessage::Exact(_) | WireMessage::Response(_) => {
+                // ExactResponse) or server-initiated push frames at a
+                // serving endpoint is answered with a fault rather than
+                // dropped: the vocabulary is shared, the roles are not.
+                WireMessage::Refresh(_)
+                | WireMessage::Exact(_)
+                | WireMessage::Response(_)
+                | WireMessage::Push(_) => {
                     let fault = WireFault::new(
                         crate::error::FaultKind::Unsupported,
                         "this endpoint serves requests; push frames have no meaning here",
@@ -280,6 +283,16 @@ impl<S> StoreServer<S> {
                     Ok(metrics) => WireResponse::Metrics(metrics),
                     Err(fault) => WireResponse::Error(fault),
                 },
+                // The sequential call-reply loop has no writer thread to
+                // multiplex server-initiated frames onto, so it cannot
+                // host subscriptions — refuse them with the same stable
+                // fault a v2 peer would get from the pipelined server.
+                WireRequest::Subscribe { .. } | WireRequest::Unsubscribe { .. } => {
+                    WireResponse::Error(WireFault::new(
+                        crate::error::FaultKind::Unsupported,
+                        "push subscriptions need a pipelined (v3) connection",
+                    ))
+                }
                 WireRequest::Shutdown => {
                     transport.send(&versioned_to_vec::<K>(
                         version,
@@ -345,6 +358,10 @@ where
     };
 
     // The reader loop: decode, submit, hand the ticket to the drainer.
+    // Live subscriptions are correlated by the wire id their Subscribe
+    // arrived under — pushes go out tagged with that id, and the same id
+    // is how the client names the subscription in an Unsubscribe.
+    let mut subs: HashMap<u64, apcache_runtime::Ticket> = HashMap::new();
     let mut fatal: Option<WireError> = None;
     loop {
         let body = match reader.recv() {
@@ -370,7 +387,10 @@ where
         let (request_id, version) = (frame.request_id, frame.version);
         let request = match frame.msg {
             WireMessage::Request(request) => request,
-            WireMessage::Refresh(_) | WireMessage::Exact(_) | WireMessage::Response(_) => {
+            WireMessage::Refresh(_)
+            | WireMessage::Exact(_)
+            | WireMessage::Response(_)
+            | WireMessage::Push(_) => {
                 let fault = WireFault::new(
                     crate::error::FaultKind::Unsupported,
                     "this endpoint serves requests; push frames have no meaning here",
@@ -391,6 +411,39 @@ where
                 handle.submit_aggregate(kind, &keys, constraint, now)
             }
             WireRequest::Metrics => handle.submit_metrics(),
+            WireRequest::Subscribe { key, filter, now } => {
+                if version < crate::message::VERSION {
+                    // Pre-v3 peers have no Push frame in their
+                    // vocabulary, so a subscription could never be
+                    // served — refuse it with a stable fault instead of
+                    // streaming frames the peer cannot decode.
+                    let _ = evt_tx.send(ConnEvent::Immediate {
+                        request_id,
+                        version,
+                        response: WireResponse::Error(WireFault::new(
+                            crate::error::FaultKind::Unsupported,
+                            "push subscriptions require protocol v3",
+                        )),
+                    });
+                    continue;
+                }
+                let submitted = handle.submit_subscribe(&key, filter, now);
+                if let Ok(ticket) = &submitted {
+                    subs.insert(request_id, *ticket);
+                }
+                submitted
+            }
+            WireRequest::Unsubscribe { sub } => match subs.remove(&sub) {
+                Some(ticket) => handle.submit_unsubscribe(ticket),
+                None => {
+                    let _ = evt_tx.send(ConnEvent::Immediate {
+                        request_id,
+                        version,
+                        response: WireResponse::Unsubscribed { existed: false },
+                    });
+                    continue;
+                }
+            },
             WireRequest::Shutdown => {
                 let _ = evt_tx.send(ConnEvent::End { ack: Some((request_id, version)) });
                 break;
@@ -405,6 +458,16 @@ where
             },
         };
         let _ = evt_tx.send(event);
+    }
+    // Cancel subscriptions the client left open (disconnects, and
+    // shutdowns that skipped the unsubscribe): each cancel makes the
+    // actor drop the subscription's sink, whose SubscriptionEnded
+    // completion retires the drainer's mapping — without this the
+    // drainer would wait forever on tickets that stream but never
+    // settle. The cancel acks themselves are unmapped and are dropped
+    // by the drainer as orphans.
+    for (_, ticket) in subs.drain() {
+        let _ = handle.submit_unsubscribe(ticket);
     }
     drop(evt_tx);
     let drained = drainer.join().map_err(|_| WireError::Closed)?;
@@ -531,11 +594,23 @@ where
             }
             continue;
         };
+        // Subscription tickets stream: the Subscribed ack and every Push
+        // reuse the same mapping, which only SubscriptionEnded retires —
+        // everything else settles its ticket with exactly one frame.
+        let streaming = matches!(
+            completion.outcome,
+            Ok(apcache_runtime::Outcome::Subscribed { .. }) | Ok(apcache_runtime::Outcome::Push(_))
+        );
         // The completion may precede its Submitted event; block on the
         // channel until the mapping shows up (the reader sends it right
         // after submitting).
         let correlated = loop {
-            if let Some(found) = in_flight.remove(&completion.ticket) {
+            let found = if streaming {
+                in_flight.get(&completion.ticket).copied()
+            } else {
+                in_flight.remove(&completion.ticket)
+            };
+            if let Some(found) = found {
                 break Some(found);
             }
             match events.recv() {
@@ -551,18 +626,61 @@ where
             }
         };
         let Some((request_id, version)) = correlated else { continue };
-        let response: WireResponse<K> = match completion.outcome {
-            Ok(apcache_runtime::Outcome::Read(result)) => WireResponse::Read(result),
-            Ok(apcache_runtime::Outcome::Write(outcome)) => WireResponse::Write(outcome),
-            Ok(apcache_runtime::Outcome::Aggregate(outcome)) => {
-                WireResponse::Aggregate { answer: outcome.answer, refreshed: outcome.refreshed }
+        let body = match completion.outcome {
+            Ok(apcache_runtime::Outcome::Read(result)) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Read(result)),
+            ),
+            Ok(apcache_runtime::Outcome::Write(outcome)) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Write(outcome)),
+            ),
+            Ok(apcache_runtime::Outcome::Aggregate(outcome)) => versioned_to_vec(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Aggregate {
+                    answer: outcome.answer,
+                    refreshed: outcome.refreshed,
+                }),
+            ),
+            Ok(apcache_runtime::Outcome::Metrics(metrics)) => versioned_to_vec(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Metrics(metrics.merged().clone())),
+            ),
+            Ok(apcache_runtime::Outcome::Subscribed { interval }) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Subscribed { interval }),
+            ),
+            // The server-initiated frame: a subscribed key's interval
+            // changed, multiplexed onto the connection under the
+            // subscription's wire id.
+            Ok(apcache_runtime::Outcome::Push(event)) => {
+                versioned_to_vec(version, request_id, &WireMessage::Push(event))
             }
-            Ok(apcache_runtime::Outcome::Metrics(metrics)) => {
-                WireResponse::Metrics(metrics.merged().clone())
-            }
-            Err(e) => WireResponse::Error(WireFault::from(e)),
+            // The subscription's terminal completion: the mapping is
+            // already removed above; the unsubscribe ack (or connection
+            // teardown) speaks for itself, so no frame goes out.
+            Ok(apcache_runtime::Outcome::SubscriptionEnded) => continue,
+            Ok(apcache_runtime::Outcome::Unsubscribed { existed }) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Unsubscribed { existed }),
+            ),
+            // Leases and ticks have no wire verbs on this connection;
+            // nothing here ever submits them, so no mapped ticket can
+            // settle with these outcomes.
+            Ok(apcache_runtime::Outcome::Leased { .. })
+            | Ok(apcache_runtime::Outcome::TimeAdvanced(_)) => continue,
+            Err(e) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Error(WireFault::from(e))),
+            ),
         };
-        let body = versioned_to_vec(version, request_id, &WireMessage::Response(response));
         if writer.send(&body).is_err() {
             return Ok(ServerExit::Disconnected);
         }
@@ -780,15 +898,68 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_server_streams_pushes_for_subscriptions() {
+        use apcache_push::{PushFilter, PushReason};
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_t);
+        let (sub, snapshot) = client.subscribe(&"a".to_string(), PushFilter::Always, 0).unwrap();
+        assert!(snapshot.contains(100.0));
+        // An escaping write moves the cached interval → one push, which
+        // the server multiplexes ahead of the write's own response.
+        client.write(&"a".to_string(), 500.0, 100).unwrap();
+        let (from, event) = client.next_push().unwrap();
+        assert_eq!(from, sub);
+        assert_eq!(event.key, "a");
+        assert_eq!(event.reason, PushReason::Changed);
+        assert!(event.interval.contains(500.0));
+        assert!(client.unsubscribe(sub).unwrap());
+        // The stream is closed: further writes push nothing.
+        client.write(&"a".to_string(), 900.0, 200).unwrap();
+        assert_eq!(client.pending_pushes(), 0);
+        client.shutdown().unwrap();
+        assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+    }
+
+    #[test]
+    fn v2_peers_get_a_stable_fault_for_subscriptions() {
+        use crate::message::{decode_frame, versioned_to_vec, VERSION_V2};
+        use apcache_push::PushFilter;
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, mut client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        let sub: WireMessage<String> = WireMessage::Request(WireRequest::Subscribe {
+            key: "a".into(),
+            filter: PushFilter::Always,
+            now: 0,
+        });
+        client_t.send(&versioned_to_vec(VERSION_V2, 7, &sub)).unwrap();
+        let frame = decode_frame::<String>(&client_t.recv().unwrap()).unwrap();
+        assert_eq!((frame.request_id, frame.version), (7, VERSION_V2));
+        assert!(matches!(
+            frame.msg,
+            WireMessage::Response(WireResponse::Error(WireFault {
+                kind: FaultKind::Unsupported,
+                ..
+            }))
+        ));
+        drop(client_t);
+        assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
+    }
+
+    #[test]
     fn push_frames_at_a_serving_endpoint_are_faulted_not_fatal() {
+        use crate::message::WireRefresh;
         use apcache_core::policy::ApproxSpec;
-        use apcache_core::{Key, Refresh};
         let (mut server_t, mut client_t) = loopback();
         let server = thread::spawn(move || {
             StoreServer::new(small_store()).serve::<String, _>(&mut server_t).unwrap()
         });
-        let push: WireMessage<String> = WireMessage::Refresh(Refresh {
-            key: Key(1),
+        let push: WireMessage<String> = WireMessage::Refresh(WireRefresh {
+            key: "a".to_string(),
             spec: ApproxSpec::constant_centered(1.0, 2.0),
             internal_width: 2.0,
         });

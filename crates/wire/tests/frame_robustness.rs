@@ -6,19 +6,19 @@
 //! round-trip properties on a networked runner.
 
 use apcache_core::policy::ApproxSpec;
-use apcache_core::{Interval, Key, Refresh, Rng};
+use apcache_core::{Interval, Rng};
 use apcache_queries::AggregateKind;
 use apcache_store::Constraint;
 use apcache_wire::{
-    decode_message, encode_to_vec, frame_bytes, split_frame, WireError, WireMessage, WireRequest,
-    MAGIC, MAX_FRAME_LEN, VERSION,
+    decode_message, encode_to_vec, frame_bytes, split_frame, WireError, WireMessage, WireRefresh,
+    WireRequest, MAGIC, MAX_FRAME_LEN, VERSION,
 };
 
 /// A representative valid frame of every family, used as mutation seed.
 fn sample_frames() -> Vec<Vec<u8>> {
     let mut frames = vec![
-        encode_to_vec::<String>(&WireMessage::Refresh(Refresh {
-            key: Key(3),
+        encode_to_vec::<String>(&WireMessage::Refresh(WireRefresh {
+            key: "k".to_string(),
             spec: ApproxSpec::Constant(Interval::new(1.0, 9.0).unwrap()),
             internal_width: 8.0,
         })),
@@ -115,7 +115,7 @@ fn oversized_length_prefixes_are_rejected_before_allocation() {
     }
 }
 
-/// A v2 frame header: magic ∥ version ∥ tag ∥ request-id (0).
+/// A v2+ frame header: magic ∥ version ∥ tag ∥ request-id (0).
 fn header(tag: u8) -> Vec<u8> {
     let mut body = vec![MAGIC, VERSION, tag];
     body.extend_from_slice(&0u64.to_le_bytes());
@@ -162,21 +162,22 @@ fn forged_sequence_counts_cannot_balloon_memory() {
 
 #[test]
 fn nan_and_inverted_intervals_cannot_cross_the_wire() {
-    // Exercised at both decodable versions: the v1 layout (no request-id
-    // field) must stay rejected-or-accepted exactly like v2.
+    // Exercised at every decodable version: the v1 layout (no request-id
+    // field) must stay rejected-or-accepted exactly like v2/v3.
     let make = |version: u8, lo: f64, hi: f64| {
         let mut body = vec![MAGIC, version, 1]; // Refresh
         if version >= 2 {
             body.extend_from_slice(&0u64.to_le_bytes()); // request id
         }
-        body.extend_from_slice(&7u32.to_le_bytes()); // key
+        body.extend_from_slice(&1u32.to_le_bytes()); // key: "k"
+        body.push(b'k');
         body.push(0); // ApproxSpec::Constant
         body.extend_from_slice(&lo.to_bits().to_le_bytes());
         body.extend_from_slice(&hi.to_bits().to_le_bytes());
         body.extend_from_slice(&4.0f64.to_bits().to_le_bytes()); // width
         body
     };
-    for version in [1u8, VERSION] {
+    for version in [1u8, 2, VERSION] {
         assert!(matches!(
             decode_message::<String>(&make(version, f64::NAN, 1.0)),
             Err(WireError::InvalidPayload(_))

@@ -241,6 +241,54 @@ fn tcp_pipelined_windows_overlap_on_real_sockets() {
 }
 
 #[test]
+fn shutdown_cancels_subscriptions_and_drains_pending_pushes() {
+    // Satellite regression for the push channel: a client that shuts
+    // down with live subscriptions and a window of un-harvested writes
+    // (whose pushes are still in flight) must cancel every subscription
+    // and drain everything before closing the transport — and the
+    // server's per-key registries must come out empty.
+    use apcache_push::PushFilter;
+    let runtime = Runtime::launch(
+        ShardedStoreBuilder::new()
+            .shards(2)
+            .initial_width(InitialWidth::Fixed(4.0))
+            .source(0u64, 100.0)
+            .source(1u64, 200.0)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let handle = runtime.handle();
+    let stats_handle = runtime.handle();
+    let (listener, addr) = listener();
+    let acceptor = thread::spawn(move || serve_connections(listener, handle));
+
+    let mut client: RemoteStoreClient<u64, _> =
+        RemoteStoreClient::new(TcpTransport::connect(addr).unwrap());
+    let (_sub0, snap0) = client.subscribe(&0u64, PushFilter::Always, 0).unwrap();
+    let (_sub1, snap1) = client.subscribe(&1u64, PushFilter::Always, 0).unwrap();
+    assert!(snap0.contains(100.0));
+    assert!(snap1.contains(200.0));
+    // Escaping writes, left un-harvested: their responses AND the pushes
+    // they trigger are still on the wire when shutdown starts.
+    for t in 1..=5u64 {
+        client.submit_write(&0u64, 100.0 + 50.0 * t as f64, t * 1_000).unwrap();
+        client.submit_write(&1u64, 200.0 + 50.0 * t as f64, t * 1_000).unwrap();
+    }
+    client.shutdown().unwrap();
+
+    // The Shutdown verb closes the front door; the acceptor returning
+    // proves the connection (and its drainer) fully wound down.
+    acceptor.join().expect("acceptor thread").unwrap();
+
+    // No leaked registry entries server-side once the connection closed.
+    let stats = stats_handle.push_stats().unwrap();
+    assert_eq!(stats.subscribers, 0, "subscriber registry leaked entries");
+    assert_eq!(stats.watched_keys, 0, "watched-key registry leaked entries");
+    runtime.shutdown().unwrap();
+}
+
+#[test]
 fn failed_shutdown_still_closes_the_connection() {
     // The shutdown-consumes-self regression: when the drain inside
     // shutdown() fails (here: the peer answers with a request id that

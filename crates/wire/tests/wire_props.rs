@@ -9,11 +9,13 @@
 use proptest::prelude::*;
 
 use apcache_core::policy::ApproxSpec;
-use apcache_core::{ExactResponse, Interval, Key, Refresh};
+use apcache_core::Interval;
+use apcache_push::{PushEvent, PushFilter, PushReason};
 use apcache_queries::AggregateKind;
 use apcache_store::{Answer, Constraint, KeyMetrics, ReadResult, StoreMetrics, WriteOutcome};
 use apcache_wire::{
-    decode_message, encode_to_vec, FaultKind, WireFault, WireMessage, WireRequest, WireResponse,
+    decode_message, encode_to_vec, FaultKind, WireExact, WireFault, WireMessage, WireRefresh,
+    WireRequest, WireResponse,
 };
 
 /// Any f64 bound except NaN (interval constructors reject NaN).
@@ -67,9 +69,9 @@ fn spec() -> impl Strategy<Value = ApproxSpec> {
     ]
 }
 
-fn refresh() -> impl Strategy<Value = Refresh> {
-    (any::<u32>(), spec(), 0.0..1e12f64).prop_map(|(key, spec, internal_width)| Refresh {
-        key: Key(key),
+fn refresh() -> impl Strategy<Value = WireRefresh<String>> {
+    (wire_key(), spec(), 0.0..1e12f64).prop_map(|(key, spec, internal_width)| WireRefresh {
+        key,
         spec,
         internal_width,
     })
@@ -81,6 +83,14 @@ fn constraint() -> impl Strategy<Value = Constraint> {
         raw_value().prop_map(Constraint::Relative),
         Just(Constraint::Exact),
     ]
+}
+
+fn filter() -> impl Strategy<Value = PushFilter> {
+    prop_oneof![Just(PushFilter::Always), constraint().prop_map(PushFilter::Violates)]
+}
+
+fn reason() -> impl Strategy<Value = PushReason> {
+    prop_oneof![Just(PushReason::Changed), Just(PushReason::LeaseExpired)]
 }
 
 fn kind() -> impl Strategy<Value = AggregateKind> {
@@ -132,6 +142,9 @@ fn request() -> impl Strategy<Value = WireRequest<String>> {
             |(kind, keys, constraint, now)| WireRequest::Aggregate { kind, keys, constraint, now }
         ),
         Just(WireRequest::Metrics),
+        (wire_key(), filter(), any::<u64>())
+            .prop_map(|(key, filter, now)| WireRequest::Subscribe { key, filter, now }),
+        any::<u64>().prop_map(|sub| WireRequest::Unsubscribe { sub }),
         Just(WireRequest::Shutdown),
     ]
 }
@@ -169,17 +182,25 @@ fn response() -> impl Strategy<Value = WireResponse<String>> {
             .prop_map(|(answer, refreshed)| WireResponse::Aggregate { answer, refreshed }),
         store_metrics().prop_map(WireResponse::Metrics),
         Just(WireResponse::ShutdownAck),
+        interval().prop_map(|interval| WireResponse::Subscribed { interval }),
+        any::<bool>().prop_map(|existed| WireResponse::Unsubscribed { existed }),
         fault().prop_map(WireResponse::Error),
     ]
+}
+
+fn push() -> impl Strategy<Value = PushEvent<String>> {
+    (wire_key(), interval(), reason(), any::<u64>())
+        .prop_map(|(key, interval, reason, now)| PushEvent { key, interval, reason, now })
 }
 
 fn message() -> impl Strategy<Value = WireMessage<String>> {
     prop_oneof![
         refresh().prop_map(WireMessage::Refresh),
         (raw_value(), refresh())
-            .prop_map(|(value, refresh)| WireMessage::Exact(ExactResponse { value, refresh })),
+            .prop_map(|(value, refresh)| WireMessage::Exact(WireExact { value, refresh })),
         request().prop_map(WireMessage::Request),
         response().prop_map(WireMessage::Response),
+        push().prop_map(WireMessage::Push),
     ]
 }
 

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..16u32 {
         builder = builder.source(format!("sensor/{i:02}"), 100.0 + f64::from(i));
     }
-    let runtime = Runtime::launch_with(builder.build()?, RuntimeConfig { mailbox_capacity: 256 })?;
+    let runtime = Runtime::launch_with(
+        builder.build()?,
+        RuntimeConfig { mailbox_capacity: 256, ..RuntimeConfig::default() },
+    )?;
     println!("runtime: {} shard actors serving 16 keys", runtime.shard_count());
 
     const TICKS: u64 = 500;

@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Outcome::Aggregate(out) => {
                 println!("SUM of all sensors = {} (ticket {})", out.answer, completion.ticket.0)
             }
-            Outcome::Metrics(_) => {}
+            // No metrics/subscription tickets were submitted above.
+            other => println!("unexpected completion: {other:?}"),
         }
     }
     println!("harvested {reads} reads + {writes} writes, queue drained");

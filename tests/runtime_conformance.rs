@@ -236,8 +236,11 @@ fn concurrent_disjoint_clients_match_reference_replay() {
 /// counter equals the number of accepted sends exactly.
 #[test]
 fn shutdown_drains_all_accepted_writes() {
-    let runtime = Runtime::launch_with(fleet(4), RuntimeConfig { mailbox_capacity: 4 })
-        .expect("runtime launches");
+    let runtime = Runtime::launch_with(
+        fleet(4),
+        RuntimeConfig { mailbox_capacity: 4, ..RuntimeConfig::default() },
+    )
+    .expect("runtime launches");
     let accepted = Arc::new(AtomicU64::new(0));
     let stop_count = 600u64;
     let handles: Vec<_> = (0..4u32)
