@@ -19,7 +19,7 @@ use apcache_core::Rng;
 use apcache_runtime::Runtime;
 use apcache_shard::{ShardedStore, ShardedStoreBuilder};
 use apcache_store::{Constraint, InitialWidth};
-use apcache_wire::{loopback, serve_pipelined, RemoteStoreClient, Ticket};
+use apcache_wire::{loopback, serve_pipelined, ClientPool, RemoteStoreClient, Ticket};
 
 use crate::experiments::common::MASTER_SEED;
 use crate::table::{fmt_num, Table};
@@ -28,6 +28,14 @@ const KEYS: u64 = 512;
 const OPS: u64 = 40_000;
 const WINDOWS: [usize; 4] = [1, 4, 8, 32];
 const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// The pooled smoke cell: 8 logical clients over 2 member sockets vs a
+/// socket per client, same per-socket window.
+const POOL_LOGICAL: usize = 8;
+const POOL_SOCKETS: usize = 2;
+const POOL_WINDOW: usize = 8;
+const POOL_OPS_PER_CLIENT: u64 = 5_000;
+const POOL_SHARDS: usize = 2;
 
 fn build_fleet(shards: usize) -> ShardedStore<u64> {
     let mut b = ShardedStoreBuilder::new()
@@ -88,6 +96,149 @@ fn drive(shards: usize, window: usize) -> f64 {
     OPS as f64 / elapsed
 }
 
+/// The submit/harvest surface a worker drives, abstracted over pooled
+/// handles and dedicated clients.
+trait Connection {
+    fn submit_read(&mut self, key: &u64, now: u64) -> Ticket;
+    fn submit_write(&mut self, key: &u64, value: f64, now: u64) -> Ticket;
+    fn wait_read(&mut self, ticket: Ticket);
+    fn wait_write(&mut self, ticket: Ticket);
+}
+
+impl Connection for RemoteStoreClient<u64, apcache_wire::LoopbackTransport> {
+    fn submit_read(&mut self, key: &u64, now: u64) -> Ticket {
+        RemoteStoreClient::submit_read(self, key, Constraint::Absolute(25.0), now).expect("submit")
+    }
+    fn submit_write(&mut self, key: &u64, value: f64, now: u64) -> Ticket {
+        RemoteStoreClient::submit_write(self, key, value, now).expect("submit")
+    }
+    fn wait_read(&mut self, ticket: Ticket) {
+        RemoteStoreClient::wait_read(self, ticket).expect("known key");
+    }
+    fn wait_write(&mut self, ticket: Ticket) {
+        RemoteStoreClient::wait_write(self, ticket).expect("known key");
+    }
+}
+
+impl Connection for apcache_wire::PooledClient<u64, apcache_wire::LoopbackTransport> {
+    fn submit_read(&mut self, key: &u64, now: u64) -> Ticket {
+        apcache_wire::PooledClient::submit_read(self, key, Constraint::Absolute(25.0), now)
+            .expect("submit")
+    }
+    fn submit_write(&mut self, key: &u64, value: f64, now: u64) -> Ticket {
+        apcache_wire::PooledClient::submit_write(self, key, value, now).expect("submit")
+    }
+    fn wait_read(&mut self, ticket: Ticket) {
+        apcache_wire::PooledClient::wait_read(self, ticket).expect("known key");
+    }
+    fn wait_write(&mut self, ticket: Ticket) {
+        apcache_wire::PooledClient::wait_write(self, ticket).expect("known key");
+    }
+}
+
+/// One logical client's 50/50 mix over its own key range, keeping up to
+/// 4 tickets of its own in flight on whatever connection carries it.
+fn drive_worker(client_no: usize, conn: &mut dyn Connection) {
+    let span = KEYS / POOL_LOGICAL as u64;
+    let base = client_no as u64 * span;
+    let mut rng = Rng::seed_from_u64(MASTER_SEED ^ 0xB0_07 ^ client_no as u64);
+    let mut in_flight: std::collections::VecDeque<(Ticket, bool)> =
+        std::collections::VecDeque::with_capacity(4);
+    for i in 0..POOL_OPS_PER_CLIENT {
+        if in_flight.len() >= 4 {
+            let (ticket, was_read) = in_flight.pop_front().expect("non-empty");
+            if was_read {
+                conn.wait_read(ticket);
+            } else {
+                conn.wait_write(ticket);
+            }
+        }
+        let key = base + rng.below(span);
+        let is_read = rng.bernoulli(0.5);
+        let ticket = if is_read {
+            conn.submit_read(&key, i)
+        } else {
+            conn.submit_write(&key, rng.uniform(0.0, 1_000.0), i)
+        };
+        in_flight.push_back((ticket, is_read));
+    }
+    for (ticket, was_read) in in_flight.drain(..) {
+        if was_read {
+            conn.wait_read(ticket);
+        } else {
+            conn.wait_write(ticket);
+        }
+    }
+}
+
+/// Aggregate ops/s for 8 logical clients over a pool of 2 sockets.
+fn drive_pooled() -> f64 {
+    let runtime = Runtime::launch(build_fleet(POOL_SHARDS)).expect("runtime launches");
+    let mut transports = Vec::new();
+    let mut servers = Vec::new();
+    for _ in 0..POOL_SOCKETS {
+        let handle = runtime.handle();
+        let (server_end, client_end) = loopback();
+        servers.push(thread::spawn(move || serve_pipelined(server_end, handle).expect("serves")));
+        transports.push(client_end);
+    }
+    let mut pool: ClientPool<u64, _> = ClientPool::with_window(transports, POOL_WINDOW);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..POOL_LOGICAL)
+        .map(|c| {
+            let mut handle = pool.handle();
+            thread::spawn(move || drive_worker(c, &mut handle))
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("pooled worker");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    pool.shutdown().expect("pool drains");
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    drop(runtime);
+    (POOL_LOGICAL as u64 * POOL_OPS_PER_CLIENT) as f64 / elapsed
+}
+
+/// Aggregate ops/s for 8 logical clients with a dedicated socket each.
+fn drive_per_client_sockets() -> f64 {
+    let runtime = Runtime::launch(build_fleet(POOL_SHARDS)).expect("runtime launches");
+    let mut clients = Vec::new();
+    let mut servers = Vec::new();
+    for _ in 0..POOL_LOGICAL {
+        let handle = runtime.handle();
+        let (server_end, client_end) = loopback();
+        servers.push(thread::spawn(move || serve_pipelined(server_end, handle).expect("serves")));
+        clients.push(RemoteStoreClient::<u64, _>::with_window(client_end, POOL_WINDOW));
+    }
+    let started = Instant::now();
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(c, mut client)| {
+            thread::spawn(move || {
+                drive_worker(c, &mut client);
+                client
+            })
+        })
+        .collect();
+    let mut drained = Vec::new();
+    for w in workers {
+        drained.push(w.join().expect("dedicated worker"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    for client in drained {
+        client.shutdown().expect("clean shutdown");
+    }
+    for s in servers {
+        s.join().expect("server thread");
+    }
+    drop(runtime);
+    (POOL_LOGICAL as u64 * POOL_OPS_PER_CLIENT) as f64 / elapsed
+}
+
 /// Regenerate the pipelined-throughput table (window × shards sweep).
 pub fn run() -> Vec<Table> {
     let mut table = Table::new(
@@ -118,5 +269,32 @@ pub fn run() -> Vec<Table> {
         row.push(format!("{:.2}x", avg));
         table.push_row(row);
     }
-    vec![table]
+
+    // The pooled smoke cell: multiplexing 8 logical clients over 2
+    // pipelined sockets vs a window-8 socket per client. The acceptance
+    // bar is parity — sticky pinning must not cost throughput on the
+    // shared-socket deployment.
+    let mut pooled_table = Table::new(
+        "Pooled client smoke: 8 logical clients, Kops/s by deployment",
+        vec!["deployment".into(), "sockets".into(), "Kops/s".into(), "vs dedicated".into()],
+    );
+    pooled_table.note("Same 50/50 mix, disjoint per-client key ranges, 2 shards;");
+    pooled_table.note("each logical client keeps 4 of its own tickets in flight.");
+    pooled_table.note("acceptance bar: pooled >= dedicated (window-8) parity.");
+    let dedicated = drive_per_client_sockets();
+    let pooled = drive_pooled();
+    pooled_table.push_row(vec![
+        "socket per client".into(),
+        POOL_LOGICAL.to_string(),
+        fmt_num(dedicated / 1e3),
+        "1.00x".into(),
+    ]);
+    pooled_table.push_row(vec![
+        "pooled".into(),
+        POOL_SOCKETS.to_string(),
+        fmt_num(pooled / 1e3),
+        format!("{:.2}x", pooled / dedicated),
+    ]);
+
+    vec![table, pooled_table]
 }

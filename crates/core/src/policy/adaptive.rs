@@ -149,6 +149,20 @@ impl PrecisionPolicy for AdaptivePolicy {
     fn effective_width(&self) -> f64 {
         apply_thresholds(self.width, self.params.gamma0, self.params.gamma1)
     }
+
+    fn export_state(&self) -> Vec<f64> {
+        vec![self.width]
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        match words {
+            [w] if w.is_finite() && *w > 0.0 => {
+                self.width = clamp_internal(*w);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,39 @@ impl PrecisionPolicy for HistoryPolicy {
     fn effective_width(&self) -> f64 {
         apply_thresholds(self.width, self.params.gamma0(), self.params.gamma1())
     }
+
+    fn export_state(&self) -> Vec<f64> {
+        // `[width, votes...]`, oldest vote first; VR = 1.0, QR = 0.0.
+        let mut words = Vec::with_capacity(1 + self.window.len());
+        words.push(self.width);
+        words.extend(self.window.iter().map(|k| match k {
+            RefreshKind::ValueInitiated => 1.0,
+            RefreshKind::QueryInitiated => 0.0,
+        }));
+        words
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        let Some((&w, votes)) = words.split_first() else {
+            return false;
+        };
+        if !(w.is_finite() && w > 0.0) || votes.len() > self.r {
+            return false;
+        }
+        let mut window = VecDeque::with_capacity(self.r);
+        for &v in votes {
+            if v == 1.0 {
+                window.push_back(RefreshKind::ValueInitiated);
+            } else if v == 0.0 {
+                window.push_back(RefreshKind::QueryInitiated);
+            } else {
+                return false;
+            }
+        }
+        self.width = clamp_internal(w);
+        self.window = window;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,31 @@ pub trait PrecisionPolicy: std::fmt::Debug + Send {
         let _ = now;
         ApproxSpec::constant_centered(value, self.effective_width())
     }
+
+    /// Serialize the policy's evolving adaptation state as raw `f64` words.
+    ///
+    /// The words capture only what refreshes have *changed* — widths,
+    /// per-side widths, vote windows — never the configured parameters,
+    /// which the receiver reconstructs from the policy's spec. Feeding the
+    /// words into [`restore_state`] on a freshly built policy with the same
+    /// parameters must yield bit-identical future behaviour, which is what
+    /// shard migration relies on.
+    ///
+    /// Stateless policies (fixed width) export an empty vector.
+    ///
+    /// [`restore_state`]: PrecisionPolicy::restore_state
+    fn export_state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by [`export_state`] on a policy
+    /// built from the same spec. Returns `false` when the word shape does
+    /// not match this policy (a protocol error — the policy is unchanged).
+    ///
+    /// [`export_state`]: PrecisionPolicy::export_state
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        words.is_empty()
+    }
 }
 
 /// Internal width bounds shared by all adaptive policies.

@@ -68,6 +68,14 @@ impl PrecisionPolicy for MonotonicPolicy {
             Err(_) => ApproxSpec::Constant(Interval::unbounded()),
         }
     }
+
+    fn export_state(&self) -> Vec<f64> {
+        self.inner.export_state()
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        self.inner.restore_state(words)
+    }
 }
 
 #[cfg(test)]

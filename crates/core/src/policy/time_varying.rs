@@ -110,6 +110,14 @@ impl PrecisionPolicy for TimeVaryingPolicy {
             t0: now,
         }
     }
+
+    fn export_state(&self) -> Vec<f64> {
+        self.inner.export_state()
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        self.inner.restore_state(words)
+    }
 }
 
 /// Adaptive policy whose refreshed intervals drift linearly (for biased
@@ -172,6 +180,14 @@ impl PrecisionPolicy for DriftingPolicy {
             rate_per_sec: self.rate_per_sec,
             t0: now,
         }
+    }
+
+    fn export_state(&self) -> Vec<f64> {
+        self.inner.export_state()
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        self.inner.restore_state(words)
     }
 }
 

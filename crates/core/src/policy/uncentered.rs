@@ -72,6 +72,21 @@ impl PrecisionPolicy for UncenteredPolicy {
         apply_thresholds(self.internal_width(), self.params.gamma0(), self.params.gamma1())
     }
 
+    fn export_state(&self) -> Vec<f64> {
+        vec![self.below, self.above]
+    }
+
+    fn restore_state(&mut self, words: &[f64]) -> bool {
+        match words {
+            [b, a] if b.is_finite() && *b > 0.0 && a.is_finite() && *a > 0.0 => {
+                self.below = clamp_internal(*b);
+                self.above = clamp_internal(*a);
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn make_spec(&self, value: f64, _now: TimeMs) -> ApproxSpec {
         let eff = self.effective_width();
         if eff == 0.0 {

@@ -117,6 +117,41 @@ impl Source {
         self.regs.iter().find(|r| r.cache == cache).map(|r| r.policy.internal_width())
     }
 
+    /// The policy's adaptation-state words for `cache` (see
+    /// [`PrecisionPolicy::export_state`]). Used by shard migration to move
+    /// converged widths with the key.
+    pub fn policy_state_for(&self, cache: CacheId) -> Option<Vec<f64>> {
+        self.regs.iter().find(|r| r.cache == cache).map(|r| r.policy.export_state())
+    }
+
+    /// Relabel this source. Shard stores identify sources by dense internal
+    /// ids, which change when a key moves between stores; the protocol state
+    /// is otherwise untouched.
+    pub fn rekey(&mut self, key: Key) {
+        self.key = key;
+    }
+
+    /// Register a cache by installing an *existing* approximation and an
+    /// already-restored policy, without emitting a refresh.
+    ///
+    /// [`register`] recenters a fresh spec on the current value — correct
+    /// for a cold registration, wrong for migration, where the spec in
+    /// force at the source shard must survive the move bit-for-bit.
+    ///
+    /// [`register`]: Source::register
+    pub fn register_snapshot(
+        &mut self,
+        cache: CacheId,
+        policy: Box<dyn PrecisionPolicy>,
+        spec: ApproxSpec,
+    ) -> Result<(), ProtocolError> {
+        if self.regs.iter().any(|r| r.cache == cache) {
+            return Err(ProtocolError::AlreadyRegistered(cache));
+        }
+        self.regs.push(Registration { cache, policy, spec });
+        Ok(())
+    }
+
     /// Install a new exact value and run the validity test for every
     /// registered approximation (paper, Section 1.1). Returns one
     /// value-initiated refresh per approximation that became invalid.

@@ -155,6 +155,39 @@ impl<K: Eq + Hash + Clone> LeaseTable<K> {
             .collect()
     }
 
+    /// Detach `key`'s lease for migration: the config plus the armed
+    /// timer's *absolute* deadline (`None` when the lease already lapsed
+    /// and is waiting on a renewal). `None` overall when `key` holds no
+    /// lease.
+    pub fn export_lease(&mut self, key: &K) -> Option<(LeaseConfig, Option<TimeMs>)> {
+        let cfg = self.configs.remove(key)?;
+        let deadline = self.armed.remove(key).map(|id| {
+            let deadline = self.wheel.deadline(id).expect("armed timer is live");
+            self.wheel.cancel(id);
+            deadline
+        });
+        Some((cfg, deadline))
+    }
+
+    /// Install a lease detached elsewhere with [`export_lease`], keeping
+    /// its absolute deadline: the clock is shared across shards, so a
+    /// deadline in this table's past simply fires on the next
+    /// [`advance`](Self::advance) — a lease that lapsed mid-migration
+    /// still degrades exactly once.
+    ///
+    /// [`export_lease`]: Self::export_lease
+    pub fn install_lease(&mut self, key: K, cfg: LeaseConfig, deadline: Option<TimeMs>) {
+        debug_assert!(cfg.validate());
+        self.configs.insert(key.clone(), cfg);
+        if let Some(old) = self.armed.remove(&key) {
+            self.wheel.cancel(old);
+        }
+        if let Some(deadline) = deadline {
+            let id = self.wheel.insert(deadline, key.clone());
+            self.armed.insert(key, id);
+        }
+    }
+
     fn arm(&mut self, key: K, ttl_ms: u64, now: TimeMs) {
         // Cancel before re-insert: the wheel never fires a stale timer.
         if let Some(old) = self.armed.get(&key) {

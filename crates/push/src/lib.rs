@@ -32,4 +32,4 @@ pub mod timeq;
 
 pub use event::{PushEvent, PushFilter, PushReason, PushReport};
 pub use lease::{FallbackWidth, LeaseConfig, LeaseTable};
-pub use registry::{PushSink, SubscriberRegistry};
+pub use registry::{DetachedWatch, PushSink, SubscriberRegistry};

@@ -33,6 +33,10 @@ struct Watch<S> {
     subs: Vec<Subscriber<S>>,
 }
 
+/// A watch detached for migration: the dedup bits of the last fanned-out
+/// interval plus every `(id, filter, sink)` binding in subscription order.
+pub type DetachedWatch<S> = ((u64, u64), Vec<(u64, PushFilter, S)>);
+
 /// All subscriptions held by one shard.
 pub struct SubscriberRegistry<K, S> {
     watches: HashMap<K, Watch<S>>,
@@ -93,6 +97,34 @@ impl<K: Eq + Hash + Clone, S: PushSink<K>> SubscriberRegistry<K, S> {
             self.watches.remove(&key);
         }
         Some((key, sub.sink))
+    }
+
+    /// Detach `key`'s whole watch for migration: the dedup bits of the
+    /// last fanned-out interval plus every `(id, filter, sink)` binding,
+    /// in subscription order. `None` when nobody watches `key`.
+    ///
+    /// Keeping the dedup bits matters for determinism: re-seeding from a
+    /// fresh snapshot could re-deliver (or swallow) the interval in force
+    /// at migration time.
+    pub fn extract_key(&mut self, key: &K) -> Option<DetachedWatch<S>> {
+        let watch = self.watches.remove(key)?;
+        self.total -= watch.subs.len();
+        Some((watch.last, watch.subs.into_iter().map(|s| (s.id, s.filter, s.sink)).collect()))
+    }
+
+    /// Install a watch detached elsewhere with
+    /// [`extract_key`](Self::extract_key). Any subscribers already watching
+    /// `key` here keep their place ahead of the imported ones; the imported
+    /// dedup bits win (the source shard fanned out more recently).
+    pub fn install_key(&mut self, key: K, last: (u64, u64), subs: Vec<(u64, PushFilter, S)>) {
+        let watch = self.watches.entry(key).or_insert_with(|| Watch { last, subs: Vec::new() });
+        watch.last = last;
+        self.total += subs.len();
+        watch.subs.extend(subs.into_iter().map(|(id, filter, sink)| Subscriber {
+            id,
+            filter,
+            sink,
+        }));
     }
 
     /// The cached interval for `key` became `interval` at `now`; fan out

@@ -16,7 +16,7 @@ use apcache_push::{LeaseTable, PushReason, PushReport, SubscriberRegistry};
 use apcache_store::PrecisionStore;
 
 use crate::completion::{LegReply, SubscriptionSender};
-use crate::request::Request;
+use crate::request::{MigrationBundle, Request};
 
 /// One shard's serving state: the store plus push-side registries.
 pub(crate) struct ShardActor<K> {
@@ -131,7 +131,7 @@ impl<K: Hash + Ord + Clone> ShardActor<K> {
                 sub.ack(snapshot);
                 self.registry.subscribe(key, sub.id(), snapshot, filter, sub);
             }
-            Request::Unsubscribe { id, reply } => {
+            Request::Unsubscribe { id, key: _, reply } => {
                 let removed = self.registry.unsubscribe(id);
                 let existed = removed.is_some();
                 // Settle the subscription ticket (SubscriptionEnded, via
@@ -167,9 +167,57 @@ impl<K: Hash + Ord + Clone> ShardActor<K> {
                     }));
                 }
             }
+            Request::Export { keys, reply } => {
+                reply.send(self.export(keys));
+            }
+            Request::Install { bundle, ack } => {
+                ack.send(self.install(bundle));
+            }
             Request::Shutdown { ack } => {
                 ack.send(());
             }
         }
+    }
+
+    /// Detach `keys` with their full protocol state: store entry, TTL
+    /// lease (absolute deadline preserved), and subscription watch (dedup
+    /// bits + live sinks). The whole set is checked first so an unknown
+    /// key detaches nothing.
+    fn export(&mut self, keys: Vec<K>) -> Result<MigrationBundle<K>, apcache_store::StoreError> {
+        for key in &keys {
+            if !self.store.contains_key(key) {
+                return Err(apcache_store::StoreError::UnknownKey);
+            }
+        }
+        let mut bundle = MigrationBundle::default();
+        for key in keys {
+            let entry = self.store.export_key(&key)?;
+            if let Some((cfg, deadline)) = self.leases.export_lease(&key) {
+                bundle.leases.push((key.clone(), cfg, deadline));
+            }
+            if let Some((last, subs)) = self.registry.extract_key(&key) {
+                bundle.watches.push((key.clone(), last, subs));
+            }
+            bundle.entries.push(entry);
+        }
+        Ok(bundle)
+    }
+
+    /// Attach a bundle detached elsewhere. Leases keep their absolute
+    /// deadlines (the logical clock is deployment-wide, so a lease that
+    /// lapsed mid-migration fires on this shard's next time advance);
+    /// watches keep their dedup bits, so subscriber streams continue
+    /// without re-delivery or a swallowed change.
+    fn install(&mut self, bundle: MigrationBundle<K>) -> Result<(), apcache_store::StoreError> {
+        for entry in bundle.entries {
+            self.store.import_key(entry)?;
+        }
+        for (key, cfg, deadline) in bundle.leases {
+            self.leases.install_lease(key, cfg, deadline);
+        }
+        for (key, last, subs) in bundle.watches {
+            self.registry.install_key(key, last, subs);
+        }
+        Ok(())
     }
 }

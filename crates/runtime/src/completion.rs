@@ -29,13 +29,15 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use apcache_core::{Interval, TimeMs};
 use apcache_push::{PushEvent, PushReport, PushSink};
+use apcache_queries::AggregateKind;
 use apcache_shard::plan::{AggregatePlan, RoundSpec};
-use apcache_store::{AggregateOutcome, ReadResult, StoreError, StoreMetrics, WriteOutcome};
+use apcache_store::{
+    AggregateOutcome, Constraint, ReadResult, StoreError, StoreMetrics, WriteOutcome,
+};
 
 use crate::error::RuntimeError;
-use crate::mailbox::MailboxSender;
 use crate::request::Request;
-use crate::runtime::RuntimeMetrics;
+use crate::runtime::{RuntimeMetrics, Shared, Topology};
 
 /// A monotonically assigned request id, returned by the `submit_*` verbs
 /// and redeemed at the handle's [`CompletionQueue`]. Tickets are never
@@ -210,10 +212,13 @@ impl<K> fmt::Debug for SubscriptionSender<K> {
 /// machine plus this round's partial answers.
 struct AggOp<K> {
     plan: AggregatePlan<K>,
-    /// `(shard, keys)` parts, fixed for the query's lifetime; every round
-    /// fans one leg per part, and merges fold in part order — the same
-    /// order the synchronous façades use.
-    parts: Vec<(usize, Vec<K>)>,
+    /// `(ring id, keys)` parts, fixed for the query's lifetime; every
+    /// round fans one leg per part, and merges fold in part order — the
+    /// same order the synchronous façades use. Parts name *ring ids*, not
+    /// slots: slots shift when the topology reshards, ids never do. A
+    /// part whose shard retires mid-query settles the ticket with an
+    /// error (re-planning across a flip is a documented follow-on).
+    parts: Vec<(u32, Vec<K>)>,
     now: TimeMs,
     partials: Vec<Option<Interval>>,
     fetched: Vec<Vec<K>>,
@@ -235,9 +240,10 @@ enum OpState<K> {
     Aggregate(Box<AggOp<K>>),
     /// A live push subscription: the op stays outstanding (streaming
     /// completions arrive via [`SubscriptionSender`], not legs) until the
-    /// actor drops the sender. `shard` lets unsubscribe route without a
-    /// second key→shard lookup.
-    Subscription { shard: usize },
+    /// actor drops the sender. `key` is what unsubscribe routes by —
+    /// migration may have moved the watch off the shard it was opened on,
+    /// so the subscribe-time shard would be a stale address.
+    Subscription { key: K },
     /// Push-side tick/stats gather: one leg per shard, reports merged.
     Tick { remaining: usize, report: PushReport },
 }
@@ -254,7 +260,14 @@ struct QueueState<K> {
 struct QueueCore<K> {
     state: Mutex<QueueState<K>>,
     cv: Condvar,
-    senders: Vec<MailboxSender<Request<K>>>,
+    /// The runtime's shared state: the (elastic) topology and key
+    /// directory. Every submission routes under a topology *read* guard —
+    /// route resolution and mailbox admission are atomic with respect to
+    /// resharding, which holds the write half across export → install →
+    /// ring flip. A read that races a migration of its key simply blocks
+    /// on the guard and then routes to the key's new owner: block-or-
+    /// forward, never a torn read.
+    shared: Arc<Shared<K>>,
 }
 
 /// The harvest side of a handle's ticketed submissions: an out-of-order
@@ -412,8 +425,8 @@ impl<K: Ord + Clone> QueueCore<K> {
     }
 }
 
-impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
-    pub(crate) fn new(senders: Vec<MailboxSender<Request<K>>>) -> Self {
+impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
+    pub(crate) fn new(shared: Arc<Shared<K>>) -> Self {
         CompletionQueue {
             core: Arc::new(QueueCore {
                 state: Mutex::new(QueueState {
@@ -423,9 +436,15 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
                     runnable: Vec::new(),
                 }),
                 cv: Condvar::new(),
-                senders,
+                shared,
             }),
         }
+    }
+
+    /// The current topology, read-locked for the duration of one routed
+    /// submission.
+    fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology<K>> {
+        self.core.shared.topology.read().expect("topology lock poisoned")
     }
 
     /// Register a new op and hand back its ticket (still locked state).
@@ -450,29 +469,35 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
         Err(RuntimeError::Closed)
     }
 
-    /// Submit a single-leg op to `shard`.
-    pub(crate) fn submit_direct(
+    /// Submit a single-leg op routed to `key`'s owning shard (resolved
+    /// and enqueued under one topology guard, so the send cannot race a
+    /// resharding flip).
+    pub(crate) fn submit_keyed(
         &self,
-        shard: usize,
+        key: &K,
         build: impl FnOnce(LegSender<K>) -> Request<K>,
     ) -> Result<Ticket, RuntimeError> {
         let ticket = self.register(OpState::Direct);
-        match self.core.senders[shard].send(build(self.leg(ticket, 0))) {
+        let topo = self.topology();
+        let slot = topo.slot_for_key(key);
+        match topo.senders[slot].send(build(self.leg(ticket, 0))) {
             Ok(()) => Ok(Ticket(ticket)),
             Err(rejected) => self.abort_submit(ticket, rejected),
         }
     }
 
-    /// Submit a push subscription to `shard`: registers a streaming op
-    /// and hands the actor the [`SubscriptionSender`] it will retain.
+    /// Submit a push subscription on `key`: registers a streaming op and
+    /// hands the owning actor the [`SubscriptionSender`] it will retain.
     pub(crate) fn submit_subscription(
         &self,
-        shard: usize,
+        key: &K,
         build: impl FnOnce(SubscriptionSender<K>) -> Request<K>,
     ) -> Result<Ticket, RuntimeError> {
-        let ticket = self.register(OpState::Subscription { shard });
+        let ticket = self.register(OpState::Subscription { key: key.clone() });
         let sub = SubscriptionSender { core: Arc::clone(&self.core), ticket };
-        match self.core.senders[shard].send(build(sub)) {
+        let topo = self.topology();
+        let slot = topo.slot_for_key(key);
+        match topo.senders[slot].send(build(sub)) {
             Ok(()) => Ok(Ticket(ticket)),
             Err(rejected) => {
                 // Unregister before dropping the rejected request, so the
@@ -484,11 +509,12 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
         }
     }
 
-    /// The shard a live subscription ticket streams from, or `None` if
-    /// the ticket is not a live subscription on this queue.
-    pub(crate) fn subscription_shard(&self, ticket: Ticket) -> Option<usize> {
+    /// The key a live subscription ticket watches, or `None` if the
+    /// ticket is not a live subscription on this queue. Unsubscribes
+    /// route by this key — the watch follows the key across migrations.
+    pub(crate) fn subscription_key(&self, ticket: Ticket) -> Option<K> {
         match self.core.lock().ops.get(&ticket.0) {
-            Some(OpState::Subscription { shard }) => Some(*shard),
+            Some(OpState::Subscription { key }) => Some(key.clone()),
             _ => None,
         }
     }
@@ -496,30 +522,39 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
     /// Submit a push-side tick/stats gather: one [`Request::Tick`] leg
     /// per shard, reports merged as they land.
     pub(crate) fn submit_tick(&self, now: Option<TimeMs>) -> Result<Ticket, RuntimeError> {
-        let shards = self.core.senders.len();
+        let topo = self.topology();
+        let shards = topo.senders.len();
         let ticket =
             self.register(OpState::Tick { remaining: shards, report: PushReport::default() });
-        for shard in 0..shards {
-            let reply = Some(self.leg(ticket, shard as u32));
-            if let Err(rejected) = self.core.senders[shard].send(Request::Tick { now, reply }) {
+        for slot in 0..shards {
+            let reply = Some(self.leg(ticket, slot as u32));
+            if let Err(rejected) = topo.senders[slot].send(Request::Tick { now, reply }) {
                 return self.abort_submit(ticket, rejected);
             }
         }
         Ok(Ticket(ticket))
     }
 
-    /// Submit a scattered batch write: one [`Request::WriteBatch`] leg
-    /// per `(shard, items)` part.
+    /// Submit a scattered batch write: the (pre-validated) items are
+    /// partitioned by owning shard and enqueued under one topology guard,
+    /// so the whole batch lands on one consistent topology.
     pub(crate) fn submit_batch(
         &self,
-        parts: Vec<(usize, Vec<(K, f64)>)>,
+        items: &[(K, f64)],
         now: TimeMs,
     ) -> Result<Ticket, RuntimeError> {
+        let topo = self.topology();
+        let mut per_slot: Vec<Vec<(K, f64)>> = vec![Vec::new(); topo.senders.len()];
+        for (key, value) in items {
+            per_slot[topo.slot_for_key(key)].push((key.clone(), *value));
+        }
+        let parts: Vec<(usize, Vec<(K, f64)>)> =
+            per_slot.into_iter().enumerate().filter(|(_, items)| !items.is_empty()).collect();
         let ticket = self.register(OpState::Batch { remaining: parts.len(), refreshes: 0 });
-        for (leg, (shard, items)) in parts.into_iter().enumerate() {
+        for (leg, (slot, items)) in parts.into_iter().enumerate() {
             let reply = self.leg(ticket, leg as u32);
             if let Err(rejected) =
-                self.core.senders[shard].send(Request::WriteBatch { items, now, reply })
+                topo.senders[slot].send(Request::WriteBatch { items, now, reply })
             {
                 return self.abort_submit(ticket, rejected);
             }
@@ -529,27 +564,64 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
 
     /// Submit a metrics gather: one [`Request::Metrics`] leg per shard.
     pub(crate) fn submit_metrics(&self) -> Result<Ticket, RuntimeError> {
-        let shards = self.core.senders.len();
+        let topo = self.topology();
+        let shards = topo.senders.len();
         let ticket =
             self.register(OpState::Metrics { slots: vec![None; shards], remaining: shards });
-        for shard in 0..shards {
-            let reply = self.leg(ticket, shard as u32);
-            if let Err(rejected) = self.core.senders[shard].send(Request::Metrics { reply }) {
+        for slot in 0..shards {
+            let reply = self.leg(ticket, slot as u32);
+            if let Err(rejected) = topo.senders[slot].send(Request::Metrics { reply }) {
                 return self.abort_submit(ticket, rejected);
             }
         }
         Ok(Ticket(ticket))
     }
 
-    /// Submit a multi-shard aggregate: parks the [`AggregatePlan`] and
-    /// issues its first round.
+    /// Submit a deployment-wide aggregate over (pre-validated, non-empty)
+    /// `keys`: partitioned by owning shard under one topology guard.
+    /// Single-shard key sets delegate the original constraint untouched
+    /// (bit-identical to the unsharded store); multi-shard sets park an
+    /// [`AggregatePlan`] whose refinement rounds are issued by harvesting
+    /// threads.
     pub(crate) fn submit_aggregate(
         &self,
-        plan: AggregatePlan<K>,
-        round: RoundSpec,
-        parts: Vec<(usize, Vec<K>)>,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
         now: TimeMs,
     ) -> Result<Ticket, RuntimeError> {
+        let topo = self.topology();
+        // Partition by ring id (stable across reshards), preserving the
+        // caller's key order within each part.
+        let mut parts: Vec<(u32, Vec<K>)> = Vec::new();
+        for key in keys {
+            let id = topo.router.route(key);
+            match parts.iter_mut().find(|(part, _)| *part == id) {
+                Some((_, part_keys)) => part_keys.push(key.clone()),
+                None => parts.push((id, vec![key.clone()])),
+            }
+        }
+        // Order parts by slot index so partials/fetched concatenate in the
+        // same order as `ShardedStore`'s synchronous fan-out (bit-identical
+        // `refreshed` lists); the ids themselves stay stable across flips.
+        parts.sort_by_key(|(id, _)| topo.slot_of_id(*id));
+        if let [(id, part_keys)] = parts.as_slice() {
+            let ticket = self.register(OpState::Direct);
+            let slot = topo.slot_of_id(*id).expect("routed id is on the ring");
+            let request = Request::Aggregate {
+                kind,
+                keys: part_keys.clone(),
+                constraint,
+                now,
+                reply: self.leg(ticket, 0),
+            };
+            return match topo.senders[slot].send(request) {
+                Ok(()) => Ok(Ticket(ticket)),
+                Err(rejected) => self.abort_submit(ticket, rejected),
+            };
+        }
+        let (plan, round) =
+            AggregatePlan::start(kind, constraint, keys.len()).map_err(RuntimeError::Store)?;
         let n_parts = parts.len();
         let op = AggOp {
             plan,
@@ -561,34 +633,51 @@ impl<K: Hash + Ord + Clone + Send + 'static> CompletionQueue<K> {
             advancing: false,
         };
         let ticket = self.register(OpState::Aggregate(Box::new(op)));
-        self.issue_round(ticket, round).map(|()| Ticket(ticket))
+        self.issue_round_under(&topo, ticket, round).map(|()| Ticket(ticket))
     }
 
-    /// Send one aggregate round's legs (one per part), outside the lock.
-    /// On a closed mailbox the op is settled/aborted with `Closed`.
+    /// Send one aggregate round's legs (one per part). On a closed
+    /// mailbox — or a part whose shard retired mid-query — the op is
+    /// settled/aborted with `Closed`.
     fn issue_round(&self, ticket: u64, round: RoundSpec) -> Result<(), RuntimeError> {
-        // Snapshot the legs to send under the lock, then send unlocked —
-        // a full mailbox parks the sender, and parking while holding the
-        // queue lock would stop actors from delivering replies.
+        let topo = self.topology();
+        self.issue_round_under(&topo, ticket, round)
+    }
+
+    /// The round-issuing body, under an already-held topology guard.
+    fn issue_round_under(
+        &self,
+        topo: &Topology<K>,
+        ticket: u64,
+        round: RoundSpec,
+    ) -> Result<(), RuntimeError> {
+        // Snapshot the legs to send under the queue lock, then send
+        // unlocked — a full mailbox parks the sender, and parking while
+        // holding the queue lock would stop actors from delivering
+        // replies. (The topology guard stays held: actors never take it.)
         let (sends, now) = {
             let st = self.core.lock();
             let Some(OpState::Aggregate(agg)) = st.ops.get(&ticket) else {
                 return Ok(()); // settled concurrently (leg error)
             };
-            let sends: Vec<(usize, Vec<K>, apcache_store::Constraint)> = agg
+            let sends: Vec<(u32, Vec<K>, Constraint)> = agg
                 .parts
                 .iter()
-                .map(|(shard, keys)| {
-                    (*shard, keys.clone(), round.budget.constraint_for(keys.len()))
-                })
+                .map(|(id, keys)| (*id, keys.clone(), round.budget.constraint_for(keys.len())))
                 .collect();
             (sends, agg.now)
         };
-        for (leg, (shard, keys, constraint)) in sends.into_iter().enumerate() {
+        for (leg, (id, keys, constraint)) in sends.into_iter().enumerate() {
+            let Some(slot) = topo.slot_of_id(id) else {
+                // The shard retired between rounds; its keys now live
+                // elsewhere. Settle visibly rather than answer from a
+                // stale plan (re-planning across a flip is a follow-on).
+                return self.abort_submit(ticket, ()).map(|_| ());
+            };
             let reply = self.leg(ticket, leg as u32);
             let request =
                 Request::Aggregate { kind: round.local_kind, keys, constraint, now, reply };
-            if let Err(rejected) = self.core.senders[shard].send(request) {
+            if let Err(rejected) = topo.senders[slot].send(request) {
                 return self.abort_submit(ticket, rejected).map(|_| ());
             }
         }

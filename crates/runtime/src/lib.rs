@@ -9,7 +9,7 @@
 //! ## Design
 //!
 //! * **One OS-thread actor per shard.** Each actor exclusively owns one
-//!   [`PrecisionStore`](apcache_store::PrecisionStore), which therefore
+//!   [`PrecisionStore`], which therefore
 //!   stays exactly as single-threaded and lock-free as the paper's
 //!   per-cache protocol; all concurrency lives in the mailboxes. This is
 //!   the classical isolation of per-domain precision state: protocol
@@ -115,6 +115,7 @@
 #![warn(rust_2018_idioms)]
 
 mod actor;
+pub mod backend;
 pub mod completion;
 pub mod error;
 pub mod mailbox;
@@ -135,8 +136,8 @@ pub use apcache_push::{FallbackWidth, LeaseConfig, PushEvent, PushFilter, PushRe
 pub use apcache_queries::AggregateKind;
 pub use apcache_shard::{ShardRouter, ShardedStore, ShardedStoreBuilder};
 pub use apcache_store::{
-    AggregateOutcome, Answer, Constraint, InitialWidth, PolicySpec, ReadResult, StoreError,
-    StoreMetrics, WriteOutcome,
+    AggregateOutcome, Answer, Constraint, InitialWidth, PolicySpec, PrecisionStore, ReadResult,
+    StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
 };
 
 #[cfg(test)]
@@ -589,5 +590,197 @@ mod tests {
         assert!((event.interval.width() - 99.0).abs() < 1e-12);
         h.unsubscribe(sub).unwrap();
         runtime.shutdown().unwrap();
+    }
+
+    /// An empty store with the fleet's tuning, for elastic growth.
+    fn empty_store() -> PrecisionStore<u64> {
+        StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0)).build().unwrap()
+    }
+
+    #[test]
+    fn add_shard_live_migrates_keys_and_converged_widths() {
+        // Two identical fleets take identical traffic; one reshards
+        // mid-stream. Every key's final value AND adaptive width must be
+        // bit-identical — migration carries protocol state, not just data.
+        let reference = Runtime::launch(fleet(2, 32)).unwrap();
+        let mut elastic = Runtime::launch(fleet(2, 32)).unwrap();
+        let rh = reference.handle();
+        let eh = elastic.handle();
+        let drive = |h: &RuntimeHandle<u64>, t: u64| {
+            for k in 0..32u64 {
+                let v = 100.0 * k as f64 + if t % 3 == 0 { 400.0 } else { t as f64 };
+                h.write(&k, v, t * 1_000).unwrap();
+            }
+        };
+        for t in 1..=20u64 {
+            drive(&rh, t);
+            drive(&eh, t);
+        }
+        let new_id = elastic.add_shard(empty_store()).unwrap();
+        assert_eq!(elastic.shard_count(), 3);
+        assert_eq!(elastic.shard_ids(), vec![0, 1, new_id]);
+        for t in 21..=40u64 {
+            drive(&rh, t);
+            drive(&eh, t);
+        }
+        let ref_store = reference.into_store().unwrap();
+        let el_store = elastic.into_store().unwrap();
+        let mut moved = 0;
+        for k in 0..32u64 {
+            assert_eq!(el_store.value(&k), ref_store.value(&k), "key {k}");
+            assert_eq!(el_store.internal_width(&k), ref_store.internal_width(&k), "key {k}");
+            if el_store.shard_of(&k) == new_id as usize {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the new shard must have taken ownership of some keys");
+    }
+
+    #[test]
+    fn remove_shard_rehomes_residents_and_returns_drained_store() {
+        let mut runtime = Runtime::launch(fleet(3, 24)).unwrap();
+        let h = runtime.handle();
+        for k in 0..24u64 {
+            h.write(&k, 5.0 * k as f64, 1_000).unwrap();
+        }
+        let drained = runtime.remove_shard(1).unwrap();
+        assert!(drained.is_empty(), "every resident must have been rehomed");
+        assert_eq!(runtime.shard_count(), 2);
+        assert_eq!(runtime.shard_ids(), vec![0, 2]);
+        for k in 0..24u64 {
+            let r = h.read(&k, Constraint::Exact, 2_000).unwrap();
+            assert!(r.answer.contains(5.0 * k as f64), "key {k} lost its last write");
+        }
+        // Shrink to one shard; the last one is irremovable, as is an id
+        // that is not on the ring.
+        runtime.remove_shard(0).unwrap();
+        assert!(matches!(runtime.remove_shard(2), Err(RuntimeError::Store(StoreError::Config(_)))));
+        assert!(matches!(
+            runtime.remove_shard(99),
+            Err(RuntimeError::Store(StoreError::Config(_)))
+        ));
+        for k in 0..24u64 {
+            assert!(h.read(&k, Constraint::Exact, 3_000).is_ok());
+        }
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn add_shard_rejects_nonempty_store() {
+        let mut runtime = Runtime::launch(fleet(2, 8)).unwrap();
+        let populated = StoreBuilder::new().source(999u64, 1.0).build().unwrap();
+        assert!(matches!(
+            runtime.add_shard(populated),
+            Err(RuntimeError::Store(StoreError::Config(_)))
+        ));
+        assert_eq!(runtime.shard_count(), 2);
+    }
+
+    #[test]
+    fn subscriptions_and_leases_survive_migration() {
+        let mut runtime = Runtime::launch(fleet(1, 16)).unwrap();
+        let h = runtime.handle();
+        // Watch and lease every key, then grow the ring so some keys
+        // migrate off shard 0 mid-subscription.
+        let subs: Vec<(u64, Ticket)> =
+            (0..16u64).map(|k| (k, h.subscribe(&k, PushFilter::Always, 0).unwrap().0)).collect();
+        let cfg = LeaseConfig { ttl_ms: 5_000, fallback: FallbackWidth::Fixed(77.0) };
+        for k in 0..16u64 {
+            h.lease(&k, cfg, 0).unwrap();
+        }
+        let new_id = runtime.add_shard(empty_store()).unwrap();
+        let migrated: Vec<u64> = (0..16u64).filter(|k| h.shard_of(k) == new_id as usize).collect();
+        assert!(!migrated.is_empty(), "growth must remap some watched keys");
+        // Push-side occupancy moved with the keys, not dropped.
+        let stats = h.push_stats().unwrap();
+        assert_eq!(stats.subscribers, 16);
+        assert_eq!(stats.watched_keys, 16);
+        assert_eq!(stats.leases, 16);
+        // A migrated key's stream keeps flowing from its new shard.
+        let k = migrated[0];
+        let sub = subs.iter().find(|(key, _)| *key == k).unwrap().1;
+        assert!(h.write(&k, 100.0 * k as f64 + 600.0, 1_000).unwrap().escaped());
+        let completion = h.poll().expect("push queued before write ack");
+        assert_eq!(completion.ticket, sub);
+        match completion.outcome.unwrap() {
+            Outcome::Push(event) => {
+                assert_eq!(event.key, k);
+                assert_eq!(event.reason, PushReason::Changed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Its lease migrated with its absolute deadline: renewed by the
+        // write above at t=1000, it lapses past 6000 and pushes once.
+        let report = h.advance_time(10_000).unwrap();
+        assert_eq!(report.expired, 16);
+        let mut lease_pushes = 0;
+        while let Some(completion) = h.poll() {
+            match completion.outcome.unwrap() {
+                Outcome::Push(event) => {
+                    if event.reason == PushReason::LeaseExpired {
+                        lease_pushes += 1;
+                        if event.key == k {
+                            assert!((event.interval.width() - 77.0).abs() < 1e-12);
+                        }
+                    }
+                }
+                Outcome::TimeAdvanced(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(lease_pushes, 16, "every lease lapses exactly once, wherever its key lives");
+        // Unsubscribing a migrated stream routes by key and finds it.
+        assert!(h.unsubscribe(sub).unwrap());
+        match h.wait_ticket(sub).unwrap() {
+            Outcome::SubscriptionEnded => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(h.push_stats().unwrap().subscribers, 15);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reads_racing_reshards_block_or_forward_never_tear() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // Four reader threads hammer exact reads while the main thread
+        // grows and shrinks the ring. Every read must land on whichever
+        // shard owns the key when the topology guard admits it — never an
+        // UnknownKey from a half-flipped ring, never a stale value.
+        let mut runtime = Runtime::launch(fleet(2, 32)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = runtime.handle();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for k in 0..32u64 {
+                            let r = h.read(&k, Constraint::Exact, 1_000).unwrap();
+                            assert!(r.answer.contains(100.0 * k as f64));
+                            reads += 1;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+        let mut added = Vec::new();
+        for _ in 0..3 {
+            added.push(runtime.add_shard(empty_store()).unwrap());
+        }
+        runtime.remove_shard(0).unwrap();
+        runtime.remove_shard(added[0]).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().unwrap() > 0);
+        }
+        assert_eq!(runtime.shard_count(), 3);
+        // The fleet still answers for every key after the churn.
+        let store = runtime.into_store().unwrap();
+        for k in 0..32u64 {
+            assert_eq!(store.value(&k), Some(100.0 * k as f64));
+        }
     }
 }

@@ -4,10 +4,45 @@
 use apcache_core::TimeMs;
 use apcache_push::{LeaseConfig, PushFilter};
 use apcache_queries::AggregateKind;
-use apcache_store::Constraint;
+use apcache_store::{Constraint, KeyState, StoreError};
 
 use crate::completion::{LegSender, SubscriptionSender};
 use crate::oneshot::ReplySender;
+
+/// Everything a migrating key carries between shard actors: the store
+/// entry with full protocol state, plus the push-side bindings — the TTL
+/// lease (with its *absolute* deadline, so a lease that lapses
+/// mid-migration still degrades exactly once) and the live subscription
+/// watch (with its fan-out dedup bits, so the move neither re-delivers
+/// nor swallows the interval in force).
+pub struct MigrationBundle<K> {
+    /// Store entries: value, policy spec + adaptive state, source spec,
+    /// cached interval, per-key metrics.
+    pub entries: Vec<KeyState<K>>,
+    /// TTL leases: `(key, config, armed absolute deadline)`.
+    pub leases: Vec<(K, LeaseConfig, Option<TimeMs>)>,
+    /// Subscription watches: `(key, dedup bits, (id, filter, sink))` —
+    /// the sinks move intact, so subscriber streams survive the
+    /// migration without an end/resubscribe cycle.
+    #[allow(clippy::type_complexity)]
+    pub watches: Vec<(K, (u64, u64), Vec<(u64, PushFilter, SubscriptionSender<K>)>)>,
+}
+
+impl<K> Default for MigrationBundle<K> {
+    fn default() -> Self {
+        MigrationBundle { entries: Vec::new(), leases: Vec::new(), watches: Vec::new() }
+    }
+}
+
+impl<K> std::fmt::Debug for MigrationBundle<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigrationBundle")
+            .field("entries", &self.entries.len())
+            .field("leases", &self.leases.len())
+            .field("watches", &self.watches.len())
+            .finish()
+    }
+}
 
 /// One message in a shard actor's mailbox.
 ///
@@ -94,6 +129,10 @@ pub enum Request<K> {
     Unsubscribe {
         /// The subscription's ticket id (as returned at subscribe time).
         id: u64,
+        /// The watched key — routing only: migration may have moved the
+        /// watch to a different shard than the one it was opened on, so
+        /// unsubscribes follow the key, not the subscribe-time shard.
+        key: K,
         /// Where the `existed` acknowledgement goes.
         reply: LegSender<K>,
     },
@@ -118,6 +157,26 @@ pub enum Request<K> {
         now: Option<TimeMs>,
         /// Where the shard's push report goes, if anyone is asking.
         reply: Option<LegSender<K>>,
+    },
+    /// Detach `keys` — store entries, leases, watches — for migration to
+    /// another shard. Mailbox FIFO is the drain barrier: every request
+    /// enqueued before this one is fully served first, so the exported
+    /// state reflects all prior traffic. Fails atomically (an unknown key
+    /// exports nothing).
+    Export {
+        /// The keys to detach (all must be resident on this shard).
+        keys: Vec<K>,
+        /// Where the detached state goes.
+        reply: ReplySender<Result<MigrationBundle<K>, StoreError>>,
+    },
+    /// Attach a bundle detached from another shard via
+    /// [`Request::Export`]. Keys resume the paper's protocol exactly
+    /// where they left off.
+    Install {
+        /// The detached state to attach.
+        bundle: MigrationBundle<K>,
+        /// Acknowledged once every key is resident.
+        ack: ReplySender<Result<(), StoreError>>,
     },
     /// Orderly shutdown marker: the actor acknowledges that every request
     /// enqueued before this one has been fully processed. (The actor

@@ -3,14 +3,14 @@
 use std::collections::HashSet;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use apcache_core::{Interval, TimeMs};
 use apcache_push::{LeaseConfig, PushFilter, PushReport};
 use apcache_queries::AggregateKind;
-use apcache_shard::plan::{empty_aggregate, AggregatePlan};
+use apcache_shard::plan::empty_aggregate;
 use apcache_shard::{ShardRouter, ShardedStore};
 use apcache_store::{
     AggregateOutcome, Constraint, PrecisionStore, ReadResult, StoreError, StoreMetrics,
@@ -63,13 +63,44 @@ pub const DEFAULT_MAILBOX_CAPACITY: usize = 1_024;
 /// the wheel's cascades stay cheap.
 pub const DEFAULT_LEASE_RESOLUTION_MS: u64 = 16;
 
-/// What the handle shares: the ring, one mailbox sender per shard, and
-/// the immutable key directory (the runtime serves a fixed key population
-/// registered at build time; elastic key insertion is a follow-on).
-struct Shared<K> {
-    router: ShardRouter,
-    senders: Vec<MailboxSender<Request<K>>>,
-    keys: HashSet<K>,
+/// The deployment shape at one instant: the ring, the ring id of each
+/// mailbox slot, and the mailbox senders themselves.
+///
+/// Lives behind the [`Shared`] `RwLock`: every submission routes and
+/// enqueues under a *read* guard, while elastic resharding
+/// ([`Runtime::add_shard`] / [`Runtime::remove_shard`]) holds the *write*
+/// half across export → install → ring flip. Requests that race a
+/// migration therefore block on the guard and route against the new ring
+/// when it lifts — block-or-forward, never a torn read. The actors
+/// themselves never touch this lock, so a parked submitter (full
+/// mailbox, held read guard) cannot deadlock the drain.
+pub(crate) struct Topology<K> {
+    pub(crate) router: ShardRouter,
+    /// `ids[slot]` is the ring id served by `senders[slot]`. Dense at
+    /// launch; arbitrary after elastic add/remove (ids never recycle).
+    pub(crate) ids: Vec<u32>,
+    pub(crate) senders: Vec<MailboxSender<Request<K>>>,
+}
+
+impl<K: Hash + Ord + Clone> Topology<K> {
+    /// The mailbox slot serving ring id `id`, if it is on the ring.
+    pub(crate) fn slot_of_id(&self, id: u32) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// The mailbox slot owning `key` under the current ring.
+    pub(crate) fn slot_for_key(&self, key: &K) -> usize {
+        self.slot_of_id(self.router.route(key)).expect("routed id is on the ring")
+    }
+}
+
+/// What the handles share: the elastic topology and the key directory
+/// (mutated only by migration through the handle-level import/export
+/// surface; the runtime itself serves a fixed population registered at
+/// build time — elastic key *insertion* is a follow-on).
+pub(crate) struct Shared<K> {
+    pub(crate) topology: RwLock<Topology<K>>,
+    pub(crate) keys: RwLock<HashSet<K>>,
 }
 
 /// The owner of the shard actors: spawns them on launch, joins them on
@@ -77,8 +108,11 @@ struct Shared<K> {
 /// [`handle`](Runtime::handle)) do the actual serving from any thread.
 pub struct Runtime<K> {
     shared: Arc<Shared<K>>,
-    threads: Vec<thread::JoinHandle<PrecisionStore<K>>>,
+    /// `(ring id, join handle)` per live actor, so elastic removal can
+    /// join exactly the retired shard's thread.
+    threads: Vec<(u32, thread::JoinHandle<PrecisionStore<K>>)>,
     ticker: Option<TickThread>,
+    cfg: RuntimeConfig,
 }
 
 /// The optional wall-clock tick thread (see
@@ -88,7 +122,7 @@ struct TickThread {
     thread: thread::JoinHandle<()>,
 }
 
-impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
+impl<K: Hash + Ord + Clone + Send + Sync + 'static> Runtime<K> {
     /// Launch one actor thread per shard of `store`, with default tuning.
     pub fn launch(store: ShardedStore<K>) -> Result<Self, RuntimeError> {
         Runtime::launch_with(store, RuntimeConfig::default())
@@ -101,7 +135,7 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
         let keys: HashSet<K> = store.keys().cloned().collect();
         let (router, shards) = store.into_parts();
         let mut senders: Vec<MailboxSender<Request<K>>> = Vec::with_capacity(shards.len());
-        let mut threads: Vec<thread::JoinHandle<PrecisionStore<K>>> =
+        let mut threads: Vec<(u32, thread::JoinHandle<PrecisionStore<K>>)> =
             Vec::with_capacity(shards.len());
         for (i, shard) in shards.into_iter().enumerate() {
             let (tx, rx) = mailbox::<Request<K>>(cfg.mailbox_capacity);
@@ -123,45 +157,177 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
                     for sender in &senders {
                         sender.close();
                     }
-                    for thread in threads {
+                    for (_, thread) in threads {
                         let _ = thread.join();
                     }
                     return Err(RuntimeError::Spawn(e.to_string()));
                 }
             };
             senders.push(tx);
-            threads.push(thread);
+            threads.push((i as u32, thread));
         }
-        let shared = Arc::new(Shared { router, senders, keys });
+        let ids: Vec<u32> = (0..senders.len() as u32).collect();
+        let shared = Arc::new(Shared {
+            topology: RwLock::new(Topology { router, ids, senders }),
+            keys: RwLock::new(keys),
+        });
         let ticker = match cfg.tick_interval {
             None => None,
             Some(interval) => match spawn_ticker(&shared, interval) {
                 Ok(ticker) => Some(ticker),
                 Err(e) => {
-                    for sender in &shared.senders {
+                    for sender in &shared.topology.read().expect("topology lock poisoned").senders {
                         sender.close();
                     }
-                    for thread in threads {
+                    for (_, thread) in threads {
                         let _ = thread.join();
                     }
                     return Err(e);
                 }
             },
         };
-        Ok(Runtime { shared, threads, ticker })
+        Ok(Runtime { shared, threads, ticker, cfg })
     }
 
     /// A serving handle with its own fresh completion queue (share a
     /// handle's *clone* per client thread; each clone is an independent
     /// logical client).
     pub fn handle(&self) -> RuntimeHandle<K> {
-        let queue = CompletionQueue::new(self.shared.senders.clone());
+        let queue = CompletionQueue::new(Arc::clone(&self.shared));
         RuntimeHandle { shared: Arc::clone(&self.shared), queue }
     }
 
     /// Number of shard actors.
     pub fn shard_count(&self) -> usize {
-        self.shared.senders.len()
+        self.shared.topology.read().expect("topology lock poisoned").senders.len()
+    }
+
+    /// The ring ids of the live shards, in mailbox-slot order.
+    pub fn shard_ids(&self) -> Vec<u32> {
+        self.shared.topology.read().expect("topology lock poisoned").ids.clone()
+    }
+
+    /// Grow the deployment by one shard actor serving `store` (an empty
+    /// store built with the same tuning as the fleet), **live-migrating**
+    /// every resident key the new ring reassigns to it.
+    ///
+    /// The migration runs under the topology write lock: submissions
+    /// block, each source shard's mailbox drains up to the export point
+    /// (mailbox FIFO is the barrier), and the detached state — values,
+    /// adaptive widths, vote histories, cached intervals, per-key
+    /// metrics, TTL leases with absolute deadlines, and live subscription
+    /// watches with their dedup bits — is installed on the new actor
+    /// before the ring flips. A remapped key resumes the paper's protocol
+    /// on its new shard exactly where it left off, and its subscribers'
+    /// streams continue uninterrupted. Returns the new shard's ring id.
+    pub fn add_shard(&mut self, store: PrecisionStore<K>) -> Result<u32, RuntimeError> {
+        if !store.is_empty() {
+            return Err(RuntimeError::Store(StoreError::Config(
+                "add_shard requires an empty store: resident keys would not be on the ring".into(),
+            )));
+        }
+        let mut topo = self.shared.topology.write().expect("topology lock poisoned");
+        let mut router = topo.router.clone();
+        let new_id = router.add_shard();
+        let (tx, rx) = mailbox::<Request<K>>(self.cfg.mailbox_capacity);
+        let lease_resolution_ms = self.cfg.lease_resolution_ms;
+        let thread = thread::Builder::new()
+            .name(format!("apcache-shard-{new_id}"))
+            .spawn(move || {
+                let mut actor = ShardActor::new(store, lease_resolution_ms);
+                while let Some(request) = rx.recv() {
+                    actor.serve(request);
+                }
+                actor.into_store()
+            })
+            .map_err(|e| RuntimeError::Spawn(e.to_string()))?;
+        // Which resident keys does the new ring reassign? Group them by
+        // the slot that currently owns them, in sorted order so migration
+        // batches are deterministic.
+        let keys = self.shared.keys.read().expect("key directory lock poisoned");
+        let mut moving: Vec<&K> = keys.iter().filter(|k| router.route(k) == new_id).collect();
+        moving.sort();
+        let mut per_slot: Vec<Vec<K>> = vec![Vec::new(); topo.senders.len()];
+        for key in moving {
+            per_slot[topo.slot_for_key(key)].push(key.clone());
+        }
+        drop(keys);
+        for (slot, batch) in per_slot.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (reply, bundle) = reply_slot();
+            topo.senders[slot]
+                .send(Request::Export { keys: batch, reply })
+                .map_err(|_| RuntimeError::Closed)?;
+            let bundle =
+                bundle.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)?;
+            let (ack, done) = reply_slot();
+            tx.send(Request::Install { bundle, ack }).map_err(|_| RuntimeError::Closed)?;
+            done.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)?;
+        }
+        topo.router = router;
+        topo.ids.push(new_id);
+        topo.senders.push(tx);
+        drop(topo);
+        self.threads.push((new_id, thread));
+        Ok(new_id)
+    }
+
+    /// Shrink the deployment by retiring the shard with ring id `id`:
+    /// under the topology write lock, its mailbox drains (FIFO barrier),
+    /// every resident key is live-migrated — full protocol plus push-side
+    /// state, as in [`add_shard`](Runtime::add_shard) — to its new owner
+    /// under the post-removal ring, the ring flips, and the retired actor
+    /// is joined. Returns its (drained, empty) store. Errors if `id` is
+    /// not on the ring or is the last shard.
+    pub fn remove_shard(&mut self, id: u32) -> Result<PrecisionStore<K>, RuntimeError> {
+        let mut topo = self.shared.topology.write().expect("topology lock poisoned");
+        let slot = topo.slot_of_id(id).ok_or_else(|| {
+            RuntimeError::Store(StoreError::Config(format!("shard {id} is not on the ring")))
+        })?;
+        let mut router = topo.router.clone();
+        router.remove_shard(id).map_err(RuntimeError::Store)?;
+        // The retiring shard's residents, grouped by new owner (sorted
+        // for deterministic batches).
+        let keys = self.shared.keys.read().expect("key directory lock poisoned");
+        let mut resident: Vec<&K> = keys.iter().filter(|k| topo.router.route(k) == id).collect();
+        resident.sort();
+        let mut groups: Vec<(u32, Vec<K>)> = Vec::new();
+        for key in resident {
+            let owner = router.route(key);
+            match groups.iter_mut().find(|(o, _)| *o == owner) {
+                Some((_, batch)) => batch.push(key.clone()),
+                None => groups.push((owner, vec![key.clone()])),
+            }
+        }
+        drop(keys);
+        for (owner, batch) in groups {
+            let (reply, bundle) = reply_slot();
+            topo.senders[slot]
+                .send(Request::Export { keys: batch, reply })
+                .map_err(|_| RuntimeError::Closed)?;
+            let bundle =
+                bundle.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)?;
+            let target = topo.slot_of_id(owner).expect("owner is on the post-removal ring");
+            let (ack, done) = reply_slot();
+            topo.senders[target]
+                .send(Request::Install { bundle, ack })
+                .map_err(|_| RuntimeError::Closed)?;
+            done.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)?;
+        }
+        topo.router = router;
+        topo.ids.remove(slot);
+        let sender = topo.senders.remove(slot);
+        sender.close();
+        drop(topo);
+        let pos = self
+            .threads
+            .iter()
+            .position(|(tid, _)| *tid == id)
+            .expect("retired shard's actor thread is tracked");
+        let (_, thread) = self.threads.remove(pos);
+        thread.join().map_err(|_| RuntimeError::ActorGone)
     }
 
     /// Drain and stop the actors: every request enqueued before this call
@@ -174,33 +340,40 @@ impl<K: Hash + Ord + Clone + Send + 'static> Runtime<K> {
     /// Shut down (draining, as [`shutdown`](Runtime::shutdown)) and
     /// reassemble the synchronous [`ShardedStore`] from the actors'
     /// stores — the runtime's exact final state, e.g. for conformance
-    /// checks or for relaunching with a different topology.
+    /// checks or for relaunching with a different topology. After elastic
+    /// resharding the reassembly keeps the live ring (ids are preserved,
+    /// not renumbered), so routing stays bit-identical.
     pub fn into_store(mut self) -> Result<ShardedStore<K>, RuntimeError> {
-        let shards = self.finish()?;
-        ShardedStore::from_parts(self.shared.router.clone(), shards).map_err(RuntimeError::Store)
+        let parts = self.finish()?;
+        let router = self.shared.topology.read().expect("topology lock poisoned").router.clone();
+        ShardedStore::from_routed_parts(router, parts).map_err(RuntimeError::Store)
     }
 
     /// Common shutdown path: stop the tick thread, mark the end of each
     /// mailbox, wait for the drain acknowledgements, join the actors.
-    fn finish(&mut self) -> Result<Vec<PrecisionStore<K>>, RuntimeError> {
+    /// Returns `(ring id, store)` per shard.
+    fn finish(&mut self) -> Result<Vec<(u32, PrecisionStore<K>)>, RuntimeError> {
         self.stop_ticker();
-        let mut acks = Vec::with_capacity(self.shared.senders.len());
-        for sender in &self.shared.senders {
-            let (tx, rx) = reply_slot();
-            // A closed mailbox means this shard already finished.
-            if sender.send(Request::Shutdown { ack: tx }).is_ok() {
-                acks.push(rx);
+        {
+            let topo = self.shared.topology.read().expect("topology lock poisoned");
+            let mut acks = Vec::with_capacity(topo.senders.len());
+            for sender in &topo.senders {
+                let (tx, rx) = reply_slot();
+                // A closed mailbox means this shard already finished.
+                if sender.send(Request::Shutdown { ack: tx }).is_ok() {
+                    acks.push(rx);
+                }
+                sender.close();
             }
-            sender.close();
-        }
-        for ack in acks {
-            // ReplyDropped here means the actor died before draining; the
-            // join below surfaces it.
-            let _ = ack.recv();
+            for ack in acks {
+                // ReplyDropped here means the actor died before draining;
+                // the join below surfaces it.
+                let _ = ack.recv();
+            }
         }
         let mut shards = Vec::with_capacity(self.threads.len());
-        for thread in self.threads.drain(..) {
-            shards.push(thread.join().map_err(|_| RuntimeError::ActorGone)?);
+        for (id, thread) in self.threads.drain(..) {
+            shards.push((id, thread.join().map_err(|_| RuntimeError::ActorGone)?));
         }
         Ok(shards)
     }
@@ -225,10 +398,10 @@ impl<K> Drop for Runtime<K> {
         // abandoned runtime still closes its mailboxes (draining them) and
         // joins, so actor threads never outlive the owner.
         self.stop_ticker();
-        for sender in &self.shared.senders {
+        for sender in &self.shared.topology.read().expect("topology lock poisoned").senders {
             sender.close();
         }
-        for thread in self.threads.drain(..) {
+        for (_, thread) in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -238,13 +411,13 @@ impl<K> Drop for Runtime<K> {
 /// fire-and-forget [`Request::Tick`] stamped with the milliseconds
 /// elapsed since launch to every shard, exiting when the runtime stops it
 /// (or the mailboxes close).
-fn spawn_ticker<K: Hash + Ord + Clone + Send + 'static>(
+fn spawn_ticker<K: Hash + Ord + Clone + Send + Sync + 'static>(
     shared: &Arc<Shared<K>>,
     interval: Duration,
 ) -> Result<TickThread, RuntimeError> {
     let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
-    let senders = shared.senders.clone();
+    let shared = Arc::clone(shared);
     let thread = thread::Builder::new()
         .name("apcache-push-tick".into())
         .spawn(move || {
@@ -255,7 +428,10 @@ fn spawn_ticker<K: Hash + Ord + Clone + Send + 'static>(
                     return;
                 }
                 let now = origin.elapsed().as_millis() as TimeMs;
-                for sender in &senders {
+                // Fresh topology read per tick: shards added after launch
+                // get ticks too, and a tick never races a reshard.
+                let topo = shared.topology.read().expect("topology lock poisoned");
+                for sender in &topo.senders {
                     if sender.send(Request::Tick { now: Some(now), reply: None }).is_err() {
                         return; // mailboxes closed: shutdown underway
                     }
@@ -320,43 +496,47 @@ impl<K: Ord + Clone> RuntimeMetrics<K> {
 /// Cloning a handle creates an independent logical client with its own
 /// completion queue and ticket sequence (tickets are queue-scoped).
 pub struct RuntimeHandle<K> {
-    shared: Arc<Shared<K>>,
-    queue: CompletionQueue<K>,
+    pub(crate) shared: Arc<Shared<K>>,
+    pub(crate) queue: CompletionQueue<K>,
 }
 
-impl<K: Hash + Ord + Clone + Send + 'static> Clone for RuntimeHandle<K> {
+impl<K: Hash + Ord + Clone + Send + Sync + 'static> Clone for RuntimeHandle<K> {
     fn clone(&self) -> Self {
         RuntimeHandle {
             shared: Arc::clone(&self.shared),
-            queue: CompletionQueue::new(self.shared.senders.clone()),
+            queue: CompletionQueue::new(Arc::clone(&self.shared)),
         }
     }
 }
 
-impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
-    /// Number of shard actors.
+impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
+    /// Number of shard actors (at this instant — elastic resharding may
+    /// change it).
     pub fn shard_count(&self) -> usize {
-        self.shared.senders.len()
+        self.shared.topology.read().expect("topology lock poisoned").senders.len()
     }
 
-    /// The shard id that owns `key`.
+    /// The *ring id* of the shard that owns `key` under the current ring.
+    /// Advisory after elastic resharding: the owner may change on the
+    /// next flip (the submission paths route atomically; this accessor is
+    /// for observability).
     pub fn shard_of(&self, key: &K) -> usize {
-        self.shared.router.route(key) as usize
+        self.shared.topology.read().expect("topology lock poisoned").router.route(key) as usize
     }
 
-    /// Whether `key` was registered when the runtime launched.
+    /// Whether `key` is a registered source.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.shared.keys.contains(key)
+        self.shared.keys.read().expect("key directory lock poisoned").contains(key)
     }
 
     /// Number of registered sources.
     pub fn len(&self) -> usize {
-        self.shared.keys.len()
+        self.shared.keys.read().expect("key directory lock poisoned").len()
     }
 
     /// Whether the runtime serves no sources.
     pub fn is_empty(&self) -> bool {
-        self.shared.keys.is_empty()
+        self.shared.keys.read().expect("key directory lock poisoned").is_empty()
     }
 
     /// This handle's completion queue — clone it to hand the harvesting
@@ -383,14 +563,16 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         self.queue.wait_ticket(ticket)
     }
 
-    /// Resolve the owning shard, rejecting unregistered keys before any
-    /// message is sent (mirrors `ShardedStore`, which never charges a
-    /// shard for an unroutable request).
-    fn owning_shard(&self, key: &K) -> Result<usize, RuntimeError> {
-        if !self.shared.keys.contains(key) {
+    /// Reject unregistered keys before any message is sent (mirrors
+    /// `ShardedStore`, which never charges a shard for an unroutable
+    /// request). Routing itself happens later, inside the queue, under
+    /// the topology guard — never here, where a reshard could invalidate
+    /// it between resolution and enqueue.
+    fn ensure_key(&self, key: &K) -> Result<(), RuntimeError> {
+        if !self.shared.keys.read().expect("key directory lock poisoned").contains(key) {
             return Err(RuntimeError::Store(StoreError::UnknownKey));
         }
-        Ok(self.shard_of(key))
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -404,17 +586,22 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         constraint: Constraint,
         now: TimeMs,
     ) -> Result<Ticket, RuntimeError> {
-        let shard = self.owning_shard(key)?;
-        let key = key.clone();
-        self.queue.submit_direct(shard, move |reply| Request::Read { key, constraint, now, reply })
+        self.ensure_key(key)?;
+        let owned = key.clone();
+        self.queue.submit_keyed(key, move |reply| Request::Read {
+            key: owned,
+            constraint,
+            now,
+            reply,
+        })
     }
 
     /// Submit a write; harvest a [`Outcome::Write`].
     pub fn submit_write(&self, key: &K, value: f64, now: TimeMs) -> Result<Ticket, RuntimeError> {
-        let shard = self.owning_shard(key)?;
-        let key = key.clone();
-        self.queue.submit_direct(shard, move |reply| Request::Write {
-            key,
+        self.ensure_key(key)?;
+        let owned = key.clone();
+        self.queue.submit_keyed(key, move |reply| Request::Write {
+            key: owned,
             value,
             now,
             reply: Some(reply),
@@ -429,25 +616,21 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         items: &[(K, f64)],
         now: TimeMs,
     ) -> Result<Ticket, RuntimeError> {
-        let mut per_shard: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shard_count()];
         for (key, value) in items {
             if !value.is_finite() {
                 return Err(RuntimeError::Store(
                     apcache_core::error::ProtocolError::NonFiniteValue(*value).into(),
                 ));
             }
-            let shard = self.owning_shard(key)?;
-            per_shard[shard].push((key.clone(), *value));
+            self.ensure_key(key)?;
         }
-        let parts: Vec<(usize, Vec<(K, f64)>)> =
-            per_shard.into_iter().enumerate().filter(|(_, items)| !items.is_empty()).collect();
-        if parts.is_empty() {
+        if items.is_empty() {
             // An empty batch refreshes nothing; settle it locally.
             return Ok(self
                 .queue
                 .complete_immediately(Outcome::Write(WriteOutcome { refreshes: 0 })));
         }
-        self.queue.submit_batch(parts, now)
+        self.queue.submit_batch(items, now)
     }
 
     /// Submit a deployment-wide bounded aggregate; harvest a
@@ -455,10 +638,11 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
     ///
     /// Single-shard key sets delegate the whole constraint to the owning
     /// actor untouched (bit-identical to the unsharded store); multi-
-    /// shard sets park an [`AggregatePlan`] in the completion queue, so
-    /// the Relative probe → escalate rounds run as submitted tickets that
-    /// interleave with this handle's other traffic instead of holding the
-    /// client thread.
+    /// shard sets park an
+    /// [`AggregatePlan`](apcache_shard::plan::AggregatePlan) in the
+    /// completion queue, so the Relative probe → escalate rounds run as
+    /// submitted tickets that interleave with this handle's other traffic
+    /// instead of holding the client thread.
     pub fn submit_aggregate(
         &self,
         kind: AggregateKind,
@@ -471,20 +655,10 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
             let outcome = empty_aggregate(kind).map_err(RuntimeError::Store)?;
             return Ok(self.queue.complete_immediately(Outcome::Aggregate(outcome)));
         }
-        let parts = self.partition(keys)?;
-        if let [(shard, shard_keys)] = parts.as_slice() {
-            let (shard, keys) = (*shard, shard_keys.clone());
-            return self.queue.submit_direct(shard, move |reply| Request::Aggregate {
-                kind,
-                keys,
-                constraint,
-                now,
-                reply,
-            });
+        for key in keys {
+            self.ensure_key(key)?;
         }
-        let (plan, round) =
-            AggregatePlan::start(kind, constraint, keys.len()).map_err(RuntimeError::Store)?;
-        self.queue.submit_aggregate(plan, round, parts, now)
+        self.queue.submit_aggregate(kind, keys, constraint, now)
     }
 
     /// Submit a deployment-metrics gather (one leg per shard); harvest a
@@ -504,10 +678,10 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         filter: PushFilter,
         now: TimeMs,
     ) -> Result<Ticket, RuntimeError> {
-        let shard = self.owning_shard(key)?;
-        let key = key.clone();
-        self.queue.submit_subscription(shard, move |sub| Request::Subscribe {
-            key,
+        self.ensure_key(key)?;
+        let owned = key.clone();
+        self.queue.submit_subscription(key, move |sub| Request::Subscribe {
+            key: owned,
             filter,
             now,
             sub,
@@ -517,10 +691,16 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
     /// Submit an unsubscribe for a live subscription ticket; harvest an
     /// [`Outcome::Unsubscribed`]. Fails with
     /// [`RuntimeError::UnknownTicket`] if `sub` is not a live
-    /// subscription on this handle's queue.
+    /// subscription on this handle's queue. Routed by the watched *key*,
+    /// not the subscribe-time shard — migration may have moved the watch.
     pub fn submit_unsubscribe(&self, sub: Ticket) -> Result<Ticket, RuntimeError> {
-        let shard = self.queue.subscription_shard(sub).ok_or(RuntimeError::UnknownTicket(sub))?;
-        self.queue.submit_direct(shard, move |reply| Request::Unsubscribe { id: sub.0, reply })
+        let key = self.queue.subscription_key(sub).ok_or(RuntimeError::UnknownTicket(sub))?;
+        let owned = key.clone();
+        self.queue.submit_keyed(&key, move |reply| Request::Unsubscribe {
+            id: sub.0,
+            key: owned,
+            reply,
+        })
     }
 
     /// Submit a TTL-lease grant/renewal on `key`; harvest an
@@ -538,10 +718,10 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
                 cfg.ttl_ms, cfg.fallback
             ))));
         }
-        let shard = self.owning_shard(key)?;
-        let key = key.clone();
-        self.queue.submit_direct(shard, move |reply| Request::Lease {
-            key,
+        self.ensure_key(key)?;
+        let owned = key.clone();
+        self.queue.submit_keyed(key, move |reply| Request::Lease {
+            key: owned,
             cfg: Some(cfg),
             now,
             reply,
@@ -551,9 +731,14 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
     /// Submit a lease release on `key`; harvest an [`Outcome::Leased`]
     /// whose `active` says whether a lease existed.
     pub fn submit_release_lease(&self, key: &K, now: TimeMs) -> Result<Ticket, RuntimeError> {
-        let shard = self.owning_shard(key)?;
-        let key = key.clone();
-        self.queue.submit_direct(shard, move |reply| Request::Lease { key, cfg: None, now, reply })
+        self.ensure_key(key)?;
+        let owned = key.clone();
+        self.queue.submit_keyed(key, move |reply| Request::Lease {
+            key: owned,
+            cfg: None,
+            now,
+            reply,
+        })
     }
 
     /// Submit a logical-time advance to every shard (lapsed leases expire
@@ -600,8 +785,10 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
                 apcache_core::error::ProtocolError::NonFiniteValue(value).into(),
             ));
         }
-        let shard = self.owning_shard(key)?;
-        self.shared.senders[shard]
+        self.ensure_key(key)?;
+        let topo = self.shared.topology.read().expect("topology lock poisoned");
+        let slot = topo.slot_for_key(key);
+        topo.senders[slot]
             .send(Request::Write { key: key.clone(), value, now, reply: None })
             .map_err(|_| RuntimeError::Closed)
     }
@@ -624,22 +811,11 @@ impl<K: Hash + Ord + Clone + Send + 'static> RuntimeHandle<K> {
         }
     }
 
-    /// Partition `keys` by owning shard (slice order preserved within each
-    /// shard), validating every key up front.
-    fn partition(&self, keys: &[K]) -> Result<Vec<(usize, Vec<K>)>, RuntimeError> {
-        let mut per_shard: Vec<Vec<K>> = vec![Vec::new(); self.shard_count()];
-        for key in keys {
-            let shard = self.owning_shard(key)?;
-            per_shard[shard].push(key.clone());
-        }
-        Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
-    }
-
     /// Bounded aggregate over `keys` (blocking form of
     /// [`submit_aggregate`](RuntimeHandle::submit_aggregate)): the
     /// constraint dispatch — including the Relative probe →
     /// local-certificates → derived-budget refinement — is the shared
-    /// [`AggregatePlan`], literally the same state machine the
+    /// [`AggregatePlan`](apcache_shard::plan::AggregatePlan), literally the same state machine the
     /// synchronous façade folds with, so the two cannot drift.
     pub fn aggregate(
         &self,

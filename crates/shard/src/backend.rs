@@ -1,0 +1,214 @@
+//! Pluggable shard backends: where a shard's verbs actually execute.
+//!
+//! The ring decides *which* shard owns a key; a [`ShardBackend`] decides
+//! *how* that shard serves it. The local backend is a
+//! [`PrecisionStore`] owned in-process (implemented here). The runtime
+//! crate implements the trait for its actor handle, and the wire crate
+//! for its pipelined remote client — so one
+//! [`ShardedStore`](crate::ShardedStore) can mix in-process and remote
+//! shards behind the same ring, and elastic resharding
+//! ([`ShardedStore::add_shard_backend`](crate::ShardedStore::add_shard_backend) /
+//! [`ShardedStore::remove_shard`](crate::ShardedStore::remove_shard))
+//! moves resident keys between them with full protocol state.
+//!
+//! Every method takes `&mut self` and returns `Result` even where the
+//! local store could answer infallibly from `&self`: a remote backend
+//! performs I/O for each verb, and the trait is shaped for the most
+//! constrained implementor.
+
+use std::hash::Hash;
+
+use apcache_core::TimeMs;
+use apcache_queries::AggregateKind;
+use apcache_store::{
+    AggregateOutcome, Constraint, KeyState, PolicySpec, PrecisionStore, ReadResult, StoreError,
+    StoreMetrics, WriteOutcome,
+};
+
+/// One shard's executor: the four serving verbs plus the population and
+/// migration surface elastic resharding needs.
+pub trait ShardBackend<K> {
+    /// Read `key` to the given precision.
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, StoreError>;
+
+    /// Push a new exact value for `key`.
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError>;
+
+    /// Apply a batch of writes in slice order (all-or-nothing validation).
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, StoreError>;
+
+    /// Bounded aggregate over keys this shard owns.
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError>;
+
+    /// A snapshot of the shard's serving metrics.
+    fn metrics_snapshot(&mut self) -> Result<StoreMetrics<K>, StoreError>;
+
+    /// Register a new source (with an optional per-key policy override).
+    fn insert(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: Option<PolicySpec>,
+        now: TimeMs,
+    ) -> Result<(), StoreError>;
+
+    /// Whether `key` has a registered source on this shard.
+    fn contains_key(&mut self, key: &K) -> Result<bool, StoreError>;
+
+    /// Every key registered on this shard, in registration order.
+    fn key_list(&mut self) -> Result<Vec<K>, StoreError>;
+
+    /// Detach the given keys with their complete protocol state (the
+    /// export half of migration). Fails atomically: either every key is
+    /// exported or none is.
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, StoreError>;
+
+    /// Attach keys previously detached from another shard (the import
+    /// half of migration).
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), StoreError>;
+}
+
+/// Boxed backends are backends, so one ring can mix heterogeneous shards
+/// — `ShardedStore<K, Box<dyn ShardBackend<K> + Send>>` routes some
+/// slots to in-process stores, some to runtime deployments, some to
+/// remote servers, and elastic resharding migrates keys between them.
+impl<K> ShardBackend<K> for Box<dyn ShardBackend<K> + Send> {
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, StoreError> {
+        (**self).read(key, constraint, now)
+    }
+
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        (**self).write(key, value, now)
+    }
+
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        (**self).write_batch(items, now)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError> {
+        (**self).aggregate(kind, keys, constraint, now)
+    }
+
+    fn metrics_snapshot(&mut self) -> Result<StoreMetrics<K>, StoreError> {
+        (**self).metrics_snapshot()
+    }
+
+    fn insert(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: Option<PolicySpec>,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        (**self).insert(key, value, spec, now)
+    }
+
+    fn contains_key(&mut self, key: &K) -> Result<bool, StoreError> {
+        (**self).contains_key(key)
+    }
+
+    fn key_list(&mut self) -> Result<Vec<K>, StoreError> {
+        (**self).key_list()
+    }
+
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, StoreError> {
+        (**self).export_keys(keys)
+    }
+
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), StoreError> {
+        (**self).import_keys(states)
+    }
+}
+
+impl<K: Hash + Ord + Clone> ShardBackend<K> for PrecisionStore<K> {
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, StoreError> {
+        PrecisionStore::read(self, key, constraint, now)
+    }
+
+    fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        PrecisionStore::write(self, key, value, now)
+    }
+
+    fn write_batch(&mut self, items: &[(K, f64)], now: TimeMs) -> Result<WriteOutcome, StoreError> {
+        PrecisionStore::write_batch(self, items, now)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<AggregateOutcome<K>, StoreError> {
+        PrecisionStore::aggregate(self, kind, keys, constraint, now)
+    }
+
+    fn metrics_snapshot(&mut self) -> Result<StoreMetrics<K>, StoreError> {
+        Ok(PrecisionStore::metrics(self).clone())
+    }
+
+    fn insert(
+        &mut self,
+        key: K,
+        value: f64,
+        spec: Option<PolicySpec>,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        match spec {
+            Some(spec) => PrecisionStore::insert_with_policy(self, key, value, spec, now),
+            None => PrecisionStore::insert(self, key, value, now),
+        }
+    }
+
+    fn contains_key(&mut self, key: &K) -> Result<bool, StoreError> {
+        Ok(PrecisionStore::contains_key(self, key))
+    }
+
+    fn key_list(&mut self) -> Result<Vec<K>, StoreError> {
+        Ok(PrecisionStore::keys(self).cloned().collect())
+    }
+
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, StoreError> {
+        // Check the whole set first so a miss exports nothing.
+        for key in keys {
+            if !PrecisionStore::contains_key(self, key) {
+                return Err(StoreError::UnknownKey);
+            }
+        }
+        keys.iter().map(|key| self.export_key(key)).collect()
+    }
+
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), StoreError> {
+        for state in states {
+            self.import_key(state)?;
+        }
+        Ok(())
+    }
+}

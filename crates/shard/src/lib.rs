@@ -64,17 +64,19 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod hash;
 pub mod plan;
 pub mod router;
 pub mod store;
 
+pub use backend::ShardBackend;
 pub use router::ShardRouter;
 pub use store::{ShardedMetrics, ShardedStore, ShardedStoreBuilder, DEFAULT_VNODES};
 
 // Re-export the façade vocabulary so sharded callers need one import root.
 pub use apcache_queries::AggregateKind;
 pub use apcache_store::{
-    AggregateOutcome, Answer, Constraint, InitialWidth, PolicySpec, ReadResult, StoreError,
-    StoreMetrics, WriteOutcome,
+    AggregateOutcome, Answer, Constraint, InitialWidth, KeyState, PolicySpec, ReadResult,
+    StoreError, StoreMetrics, WriteOutcome,
 };

@@ -1,15 +1,17 @@
-//! The sharded serving façade: N `PrecisionStore` shards behind one ring.
+//! The sharded serving façade: N shard backends behind one ring.
 
 use std::hash::Hash;
+use std::marker::PhantomData;
 
 use apcache_core::cost::CostModel;
 use apcache_core::{Interval, Rng, TimeMs};
 use apcache_queries::AggregateKind;
 use apcache_store::{
-    AggregateOutcome, Constraint, InitialWidth, PolicySpec, PrecisionStore, ReadResult,
+    AggregateOutcome, Constraint, InitialWidth, KeyState, PolicySpec, PrecisionStore, ReadResult,
     StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
 };
 
+use crate::backend::ShardBackend;
 use crate::plan::{empty_aggregate, evaluate_constraint};
 use crate::router::ShardRouter;
 
@@ -149,7 +151,8 @@ impl<K: Hash + Ord + Clone> ShardedStoreBuilder<K> {
         }
         let shards =
             builders.into_iter().map(StoreBuilder::build).collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedStore { router, shards })
+        let ids = router.shard_ids().to_vec();
+        Ok(ShardedStore { router, ids, shards, _key: PhantomData })
     }
 }
 
@@ -208,21 +211,40 @@ impl<'a, K: Ord + Clone> ShardedMetrics<'a, K> {
 /// When every requested key lives on one shard the query is delegated
 /// with the original constraint unchanged, so single-shard deployments
 /// (and colliding key sets) behave bit-for-bit like an unsharded store.
+///
+/// The backend type `B` is pluggable (see [`ShardBackend`]): the default
+/// is an in-process [`PrecisionStore`] per shard, but any mix of local
+/// stores, runtime handles, and remote clients can sit behind one ring —
+/// and [`add_shard_backend`](ShardedStore::add_shard_backend) /
+/// [`remove_shard`](ShardedStore::remove_shard) reshard elastically,
+/// migrating resident keys (values, adaptive widths, counters) to their
+/// new owners instead of stranding them.
 #[derive(Debug)]
-pub struct ShardedStore<K> {
+pub struct ShardedStore<K, B = PrecisionStore<K>> {
     router: ShardRouter,
-    shards: Vec<PrecisionStore<K>>,
+    /// `ids[slot]` is the ring id of `shards[slot]`. Dense (`0..n`) when
+    /// built by [`ShardedStoreBuilder`]; arbitrary after elastic
+    /// add/remove, since the ring never recycles ids.
+    ids: Vec<u32>,
+    shards: Vec<B>,
+    _key: PhantomData<fn() -> K>,
 }
 
-impl<K: Hash + Ord + Clone> ShardedStore<K> {
-    /// Entry point: a builder with the paper's recommended tuning.
-    pub fn builder() -> ShardedStoreBuilder<K> {
-        ShardedStoreBuilder::new()
-    }
-
-    /// The shard id that owns `key`.
+impl<K: Hash + Ord + Clone, B: ShardBackend<K>> ShardedStore<K, B> {
+    /// The ring id that owns `key` (as `usize` for convenience; equal to
+    /// the shard's slot index on builder-dense fleets).
     pub fn shard_of(&self, key: &K) -> usize {
         self.router.route(key) as usize
+    }
+
+    /// The slot index of ring id `id`.
+    fn slot_of_id(&self, id: u32) -> usize {
+        self.ids.iter().position(|&x| x == id).expect("routed id is on the ring")
+    }
+
+    /// The slot index of the backend owning `key`.
+    fn slot_of(&self, key: &K) -> usize {
+        self.slot_of_id(self.router.route(key))
     }
 
     /// Read `key` to the given precision on its owning shard.
@@ -232,14 +254,14 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         constraint: Constraint,
         now: TimeMs,
     ) -> Result<ReadResult, StoreError> {
-        let shard = self.shard_of(key);
-        self.shards[shard].read(key, constraint, now)
+        let slot = self.slot_of(key);
+        self.shards[slot].read(key, constraint, now)
     }
 
     /// Push a new exact value for `key` to its owning shard.
     pub fn write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<WriteOutcome, StoreError> {
-        let shard = self.shard_of(key);
-        self.shards[shard].write(key, value, now)
+        let slot = self.slot_of(key);
+        self.shards[slot].write(key, value, now)
     }
 
     /// Apply a batch of writes with one routing pass: items are grouped by
@@ -256,21 +278,21 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         items: &[(K, f64)],
         now: TimeMs,
     ) -> Result<WriteOutcome, StoreError> {
-        let mut per_shard: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shards.len()];
+        let mut per_slot: Vec<Vec<(K, f64)>> = vec![Vec::new(); self.shards.len()];
         for (key, value) in items {
             if !value.is_finite() {
                 return Err(apcache_core::error::ProtocolError::NonFiniteValue(*value).into());
             }
-            let shard = self.shard_of(key);
-            if !self.shards[shard].contains_key(key) {
+            let slot = self.slot_of(key);
+            if !self.shards[slot].contains_key(key)? {
                 return Err(StoreError::UnknownKey);
             }
-            per_shard[shard].push((key.clone(), *value));
+            per_slot[slot].push((key.clone(), *value));
         }
         let mut refreshes = 0;
-        for (shard, batch) in per_shard.into_iter().enumerate() {
+        for (slot, batch) in per_slot.into_iter().enumerate() {
             if !batch.is_empty() {
-                refreshes += self.shards[shard].write_batch(&batch, now)?.refreshes;
+                refreshes += self.shards[slot].write_batch(&batch, now)?.refreshes;
             }
         }
         Ok(WriteOutcome { refreshes })
@@ -278,8 +300,8 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
 
     /// Register a new source after construction, with the default policy.
     pub fn insert(&mut self, key: K, value: f64, now: TimeMs) -> Result<(), StoreError> {
-        let shard = self.shard_of(&key);
-        self.shards[shard].insert(key, value, now)
+        let slot = self.slot_of(&key);
+        self.shards[slot].insert(key, value, None, now)
     }
 
     /// Register a new source after construction, with a per-key policy.
@@ -290,23 +312,23 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         spec: PolicySpec,
         now: TimeMs,
     ) -> Result<(), StoreError> {
-        let shard = self.shard_of(&key);
-        self.shards[shard].insert_with_policy(key, value, spec, now)
+        let slot = self.slot_of(&key);
+        self.shards[slot].insert(key, value, Some(spec), now)
     }
 
-    /// Partition `keys` by owning shard, preserving the order within each
+    /// Partition `keys` by owning slot, preserving the order within each
     /// shard. Errors if any key is unknown — checked up front so a failed
     /// aggregate never charges any shard.
-    fn partition(&self, keys: &[K]) -> Result<Vec<(usize, Vec<K>)>, StoreError> {
-        let mut per_shard: Vec<Vec<K>> = vec![Vec::new(); self.shards.len()];
+    fn partition(&mut self, keys: &[K]) -> Result<Vec<(usize, Vec<K>)>, StoreError> {
+        let mut per_slot: Vec<Vec<K>> = vec![Vec::new(); self.shards.len()];
         for key in keys {
-            let shard = self.shard_of(key);
-            if !self.shards[shard].contains_key(key) {
+            let slot = self.slot_of(key);
+            if !self.shards[slot].contains_key(key)? {
                 return Err(StoreError::UnknownKey);
             }
-            per_shard[shard].push(key.clone());
+            per_slot[slot].push(key.clone());
         }
-        Ok(per_shard.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
+        Ok(per_slot.into_iter().enumerate().filter(|(_, keys)| !keys.is_empty()).collect())
     }
 
     /// Fan an aggregate out with a per-shard constraint chosen by `split`
@@ -357,6 +379,146 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         })
     }
 
+    /// Deployment-wide metrics rollup, assembled by snapshotting every
+    /// backend (a remote backend performs one METRICS round trip each).
+    /// Local-only fleets can use the borrow-based
+    /// [`metrics`](ShardedStore::metrics) instead.
+    pub fn metrics_snapshot(&mut self) -> Result<StoreMetrics<K>, StoreError> {
+        let mut merged = StoreMetrics::new();
+        for shard in &mut self.shards {
+            merged.merge(&shard.metrics_snapshot()?);
+        }
+        Ok(merged)
+    }
+
+    /// The routing ring.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ring ids of the fleet, in slot order.
+    pub fn shard_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Assemble a fleet from a ring and one backend per ring id. The
+    /// supplied ids must match the ring's member set exactly (any order,
+    /// no duplicates) — this is the entry point for mixed deployments
+    /// (local stores, runtime handles, remote clients behind one ring).
+    pub fn from_routed_parts(
+        router: ShardRouter,
+        parts: Vec<(u32, B)>,
+    ) -> Result<Self, StoreError> {
+        let mut ring: Vec<u32> = router.shard_ids().to_vec();
+        let mut supplied: Vec<u32> = parts.iter().map(|(id, _)| *id).collect();
+        ring.sort_unstable();
+        supplied.sort_unstable();
+        let unique = supplied.windows(2).all(|w| w[0] != w[1]);
+        if ring != supplied || !unique {
+            return Err(StoreError::Config(format!(
+                "ring addresses shards {:?} but backends were supplied for {:?}",
+                router.shard_ids(),
+                parts.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+            )));
+        }
+        let (ids, shards) = parts.into_iter().unzip();
+        Ok(ShardedStore { router, ids, shards, _key: PhantomData })
+    }
+
+    /// Decompose the fleet into its ring and `(ring id, backend)` pairs,
+    /// inverse of [`from_routed_parts`](ShardedStore::from_routed_parts).
+    pub fn into_routed_parts(self) -> (ShardRouter, Vec<(u32, B)>) {
+        (self.router, self.ids.into_iter().zip(self.shards).collect())
+    }
+
+    /// Grow the fleet by one shard, **migrating** every key the ring
+    /// reassigns to it — values, adaptive widths, vote histories, cached
+    /// intervals, and per-key metrics all move, so a remapped key resumes
+    /// the paper's protocol on the new shard exactly where it left off
+    /// (instead of reading as cold, the pre-migration bug this fixes).
+    ///
+    /// Returns the new shard's ring id. On a failed export/import the
+    /// ring is rolled back and the fleet is unchanged (keys already moved
+    /// into `backend` are lost with it, but no resident key is ever
+    /// half-moved: exports are atomic per shard).
+    pub fn add_shard_backend(&mut self, mut backend: B) -> Result<u32, StoreError> {
+        let new_id = self.router.add_shard();
+        for slot in 0..self.shards.len() {
+            let keys = match self.shards[slot].key_list() {
+                Ok(keys) => keys,
+                Err(e) => {
+                    self.router.remove_shard(new_id).expect("fresh id is on the ring");
+                    return Err(e);
+                }
+            };
+            let moving: Vec<K> =
+                keys.into_iter().filter(|k| self.router.route(k) == new_id).collect();
+            if moving.is_empty() {
+                continue;
+            }
+            let moved = self.shards[slot]
+                .export_keys(&moving)
+                .and_then(|states| backend.import_keys(states));
+            if let Err(e) = moved {
+                self.router.remove_shard(new_id).expect("fresh id is on the ring");
+                return Err(e);
+            }
+        }
+        self.ids.push(new_id);
+        self.shards.push(backend);
+        Ok(new_id)
+    }
+
+    /// Shrink the fleet by retiring the shard with ring id `id`, first
+    /// migrating every resident key (with full protocol state) to its new
+    /// owner under the post-removal ring. Returns the drained backend.
+    /// Errors if `id` is unknown or the last shard.
+    pub fn remove_shard(&mut self, id: u32) -> Result<B, StoreError> {
+        let slot = self
+            .ids
+            .iter()
+            .position(|&x| x == id)
+            .ok_or_else(|| StoreError::Config(format!("shard {id} is not on the ring")))?;
+        self.router.remove_shard(id)?;
+        let drained = (|| {
+            let keys = self.shards[slot].key_list()?;
+            let states = self.shards[slot].export_keys(&keys)?;
+            // Group by new owner so each target gets one import batch.
+            let mut per_owner: Vec<(u32, Vec<KeyState<K>>)> = Vec::new();
+            for state in states {
+                let owner = self.router.route(&state.key);
+                match per_owner.iter_mut().find(|(o, _)| *o == owner) {
+                    Some((_, batch)) => batch.push(state),
+                    None => per_owner.push((owner, vec![state])),
+                }
+            }
+            for (owner, batch) in per_owner {
+                let target = self.slot_of_id(owner);
+                self.shards[target].import_keys(batch)?;
+            }
+            Ok(())
+        })();
+        match drained {
+            Ok(()) => {
+                self.ids.remove(slot);
+                Ok(self.shards.remove(slot))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<K: Hash + Ord + Clone> ShardedStore<K, PrecisionStore<K>> {
+    /// Entry point: a builder with the paper's recommended tuning.
+    pub fn builder() -> ShardedStoreBuilder<K> {
+        ShardedStoreBuilder::new()
+    }
+
     /// Deployment metrics: per-shard [`StoreMetrics`] (borrowed, free) and
     /// their merged rollup (built here — O(keys touched), so monitoring
     /// loops that only need one shard should use
@@ -375,11 +537,6 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
         self.shards[0].cost_model()
     }
 
-    /// The routing ring.
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
-    }
-
     /// Decompose the façade into its routing ring and shard stores — the
     /// entry point for deployments that give each shard its own executor
     /// (the actor runtime moves every store onto its own thread and keeps
@@ -391,7 +548,9 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
     /// Reassemble a façade from parts produced by
     /// [`into_parts`](ShardedStore::into_parts). The ring must address
     /// exactly `shards.len()` shards (ids `0..n`, as built by
-    /// [`ShardedStoreBuilder`]) or routing would index out of bounds.
+    /// [`ShardedStoreBuilder`]) or routing would index out of bounds. For
+    /// sparse rings (after elastic add/remove) use
+    /// [`from_routed_parts`](ShardedStore::from_routed_parts).
     pub fn from_parts(
         router: ShardRouter,
         shards: Vec<PrecisionStore<K>>,
@@ -404,16 +563,12 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
                 shards.len()
             )));
         }
-        Ok(ShardedStore { router, shards })
+        let ids = router.shard_ids().to_vec();
+        Ok(ShardedStore { router, ids, shards, _key: PhantomData })
     }
 
-    /// Number of shards in the fleet.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Direct (read-only) access to one shard, e.g. for tests and
-    /// inspection tooling.
+    /// Direct (read-only) access to one shard by slot index, e.g. for
+    /// tests and inspection tooling.
     pub fn shard(&self, shard: usize) -> Option<&PrecisionStore<K>> {
         self.shards.get(shard)
     }
@@ -430,7 +585,7 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
 
     /// Whether `key` has a registered source (on its owning shard).
     pub fn contains_key(&self, key: &K) -> bool {
-        self.shards[self.shard_of(key)].contains_key(key)
+        self.shards[self.slot_of(key)].contains_key(key)
     }
 
     /// Iterate over every registered key, shard by shard (registration
@@ -446,17 +601,17 @@ impl<K: Hash + Ord + Clone> ShardedStore<K> {
 
     /// The interval the owning shard's cache currently holds for `key`.
     pub fn cached_interval(&self, key: &K, now: TimeMs) -> Option<Interval> {
-        self.shards[self.shard_of(key)].cached_interval(key, now)
+        self.shards[self.slot_of(key)].cached_interval(key, now)
     }
 
     /// The policy's internal width for `key` on its owning shard.
     pub fn internal_width(&self, key: &K) -> Option<f64> {
-        self.shards[self.shard_of(key)].internal_width(key)
+        self.shards[self.slot_of(key)].internal_width(key)
     }
 
     /// The source-side exact value for `key` on its owning shard.
     pub fn value(&self, key: &K) -> Option<f64> {
-        self.shards[self.shard_of(key)].value(key)
+        self.shards[self.slot_of(key)].value(key)
     }
 }
 
@@ -672,6 +827,125 @@ mod tests {
         let (router, mut shards) = s.into_parts();
         shards.pop();
         assert!(matches!(ShardedStore::from_parts(router, shards), Err(StoreError::Config(_))));
+    }
+
+    /// One shard with the same tuning as [`fleet`], for use as an elastic
+    /// add target.
+    fn lone_store() -> PrecisionStore<u64> {
+        apcache_store::StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0)).build().unwrap()
+    }
+
+    /// Drive identical traffic into a store and return per-key probes.
+    fn probe(
+        s: &ShardedStore<u64>,
+        keys: impl Iterator<Item = u64>,
+    ) -> Vec<(Option<f64>, Option<f64>, Option<Interval>)> {
+        keys.map(|k| (s.value(&k), s.internal_width(&k), s.cached_interval(&k, 0))).collect()
+    }
+
+    #[test]
+    fn add_shard_migrates_remapped_keys_with_protocol_state() {
+        let mut grown = fleet(2, 48);
+        let reference = fleet(2, 48);
+        // Converge some adaptive widths away from their initial values
+        // before resharding, on both stores identically.
+        let mut grown_ref = fleet(2, 48);
+        for (s, _) in [(&mut grown, 0), (&mut grown_ref, 1)] {
+            for k in 0..48u64 {
+                s.write(&k, 100.0 * k as f64 + 500.0, 10).unwrap(); // escape → VR
+                s.read(&k, Constraint::Absolute(50.0), 20).unwrap();
+            }
+        }
+        let before = probe(&grown, 0..48);
+        assert_eq!(before, probe(&grown_ref, 0..48), "identical traffic, identical state");
+        drop(reference);
+
+        let new_id = grown.add_shard_backend(lone_store()).unwrap();
+        assert_eq!(grown.shard_count(), 3);
+        assert_eq!(grown.shard_ids(), &[0, 1, new_id]);
+        // The new shard actually owns keys (48 keys, ~1/3 remap).
+        let moved: Vec<u64> = (0..48u64).filter(|k| grown.shard_of(k) == new_id as usize).collect();
+        assert!(!moved.is_empty(), "no key remapped to the new shard");
+        assert_eq!(grown.len(), 48, "no key lost or duplicated");
+        // Every key — moved or not — kept its value, converged width, and
+        // cached interval bit-for-bit. This is the stranded-keys bugfix:
+        // before migration existed, a remapped key read as cold.
+        assert_eq!(probe(&grown, 0..48), before);
+        // Per-key metrics moved with the keys.
+        let merged = grown.metrics_snapshot().unwrap();
+        assert_eq!(merged.totals(), grown_ref.metrics().merged().totals());
+        for k in moved {
+            assert_eq!(merged.for_key(&k), grown_ref.metrics().merged().for_key(&k), "key {k}");
+        }
+        // The protocol continues seamlessly: same post-migration traffic
+        // gives the same answers as the never-resharded reference.
+        for k in 0..48u64 {
+            let a = grown.read(&k, Constraint::Absolute(30.0), 30).unwrap();
+            let b = grown_ref.read(&k, Constraint::Absolute(30.0), 30).unwrap();
+            assert_eq!((a.answer, a.refreshed), (b.answer, b.refreshed), "key {k}");
+        }
+    }
+
+    #[test]
+    fn remove_shard_rehomes_every_resident_key() {
+        let mut s = fleet(3, 36);
+        for k in 0..36u64 {
+            s.write(&k, k as f64 * 7.0 + 1_000.0, 5).unwrap();
+        }
+        let before = probe(&s, 0..36);
+        let drained = s.remove_shard(1).unwrap();
+        assert!(drained.is_empty(), "drained shard kept {} key(s)", drained.len());
+        assert_eq!(s.shard_count(), 2);
+        assert_eq!(s.shard_ids(), &[0, 2]);
+        assert_eq!(s.len(), 36);
+        assert_eq!(probe(&s, 0..36), before, "state changed during drain");
+        // Removing the last shards errors; unknown ids error.
+        assert!(matches!(s.remove_shard(7), Err(StoreError::Config(_))));
+        s.remove_shard(0).unwrap();
+        assert!(matches!(s.remove_shard(2), Err(StoreError::Config(_))), "last shard must stay");
+        assert_eq!(s.len(), 36, "all keys on the survivor");
+    }
+
+    #[test]
+    fn grow_then_shrink_roundtrips_to_reference_behavior() {
+        let mut elastic = fleet(2, 24);
+        let mut reference = fleet(2, 24);
+        for k in 0..24u64 {
+            elastic.write(&k, 3.0 * k as f64, 1).unwrap();
+            reference.write(&k, 3.0 * k as f64, 1).unwrap();
+        }
+        let id = elastic.add_shard_backend(lone_store()).unwrap();
+        elastic.remove_shard(id).unwrap();
+        // Ring membership differs from the original (ids never recycle),
+        // but with {0, 1} back in force routing is identical — and so is
+        // every key's protocol state.
+        assert_eq!(elastic.shard_ids(), &[0, 1]);
+        for k in 0..24u64 {
+            let a = elastic.read(&k, Constraint::Absolute(4.0), 10).unwrap();
+            let b = reference.read(&k, Constraint::Absolute(4.0), 10).unwrap();
+            assert_eq!((a.answer, a.refreshed), (b.answer, b.refreshed), "key {k}");
+        }
+        assert_eq!(elastic.metrics().merged().totals(), reference.metrics().merged().totals());
+    }
+
+    #[test]
+    fn routed_parts_roundtrip_and_validation() {
+        let mut s = fleet(3, 12);
+        let id = s.add_shard_backend(lone_store()).unwrap();
+        s.remove_shard(0).unwrap();
+        let n = s.len();
+        let (router, parts) = s.into_routed_parts();
+        let ids: Vec<u32> = parts.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2, id]);
+        let s = ShardedStore::from_routed_parts(router, parts).unwrap();
+        assert_eq!(s.len(), n);
+        // Mismatched id sets are rejected.
+        let (router, mut parts) = s.into_routed_parts();
+        parts[0].0 = 99;
+        assert!(matches!(
+            ShardedStore::from_routed_parts(router, parts),
+            Err(StoreError::Config(_))
+        ));
     }
 
     #[test]

@@ -20,7 +20,8 @@ use apcache_runtime::Runtime;
 use apcache_shard::ShardedStore;
 use apcache_store::Constraint;
 use apcache_wire::{
-    loopback, serve_pipelined, LoopbackTransport, RemoteError, RemoteStoreClient, ServerExit,
+    loopback, serve_pipelined, ClientPool, LoopbackTransport, PooledClient, RemoteError,
+    RemoteStoreClient, ServerExit,
 };
 use apcache_workload::query::GeneratedQuery;
 
@@ -39,21 +40,44 @@ pub struct PipelinedSystemConfig {
     pub base: ShardedSystemConfig,
     /// The client's in-flight window (1 = strict call-reply).
     pub window: usize,
+    /// `0` (the default): one dedicated pipelined socket. `n > 0`: a
+    /// [`ClientPool`] of `n` member sockets, with each key pinned to one
+    /// logical client (`key % n·POOL_FANOUT`) — the many-logical-clients
+    /// / few-sockets deployment shape. Per-key FIFO is preserved by the
+    /// sticky pinning, so θ = 1 runs stay bit-identical to the
+    /// single-socket and local deployments.
+    pub pool_sockets: usize,
 }
 
 impl Default for PipelinedSystemConfig {
     fn default() -> Self {
-        PipelinedSystemConfig { base: ShardedSystemConfig::default(), window: 8 }
+        PipelinedSystemConfig { base: ShardedSystemConfig::default(), window: 8, pool_sockets: 0 }
     }
+}
+
+/// Logical clients per pool socket (eight logical clients over two
+/// sockets at `pool_sockets = 2`, the acceptance-criteria shape).
+const POOL_FANOUT: usize = 4;
+
+/// The client side of the deployment: one dedicated socket, or a pool
+/// of a few sockets multiplexing many logical clients.
+enum ClientSide {
+    Direct(Box<RemoteStoreClient<Key, LoopbackTransport>>),
+    Pooled {
+        pool: ClientPool<Key, LoopbackTransport>,
+        /// Pre-pinned logical handles; a key's traffic always rides
+        /// handle `key % handles.len()` (and so one member socket).
+        handles: Vec<PooledClient<Key, LoopbackTransport>>,
+    },
 }
 
 /// The paper's system behind a pipelined wire: runtime actors served
 /// out of order, driven through a windowed client, under the simulator's
 /// cost accounting.
 pub struct PipelinedRemoteSystem {
-    client: Option<RemoteStoreClient<Key, LoopbackTransport>>,
+    client: Option<ClientSide>,
     runtime: Option<Runtime<Key>>,
-    server: Option<thread::JoinHandle<Result<ServerExit, SimError>>>,
+    servers: Vec<thread::JoinHandle<Result<ServerExit, SimError>>>,
     cost: CostModel,
 }
 
@@ -63,8 +87,9 @@ fn remote_error(e: RemoteError) -> SimError {
 }
 
 impl PipelinedRemoteSystem {
-    /// Build the fleet, launch the actor runtime, put the pipelined
-    /// server in front of it, and connect the windowed loopback client.
+    /// Build the fleet, launch the actor runtime, put one pipelined
+    /// server per socket in front of it, and connect the client side —
+    /// a dedicated windowed client, or a pool of member sockets.
     pub fn new(
         cfg: &PipelinedSystemConfig,
         initial_values: &[f64],
@@ -74,36 +99,52 @@ impl PipelinedRemoteSystem {
         let cost = *store.cost_model();
         let runtime = Runtime::launch(store)
             .map_err(|e| SimError::Config(format!("runtime launch failed: {e}")))?;
-        let handle = runtime.handle();
-        let (server_end, client_end) = loopback();
-        let server = thread::Builder::new()
-            .name("apcache-wire-pipelined-sim".into())
-            .spawn(move || {
-                serve_pipelined(server_end, handle)
-                    .map_err(|e| SimError::Config(format!("pipelined serving failed: {e}")))
-            })
-            .map_err(|e| SimError::Config(format!("failed to spawn server thread: {e}")))?;
-        Ok(PipelinedRemoteSystem {
-            client: Some(RemoteStoreClient::with_window(client_end, cfg.window)),
-            runtime: Some(runtime),
-            server: Some(server),
-            cost,
-        })
+        let sockets = cfg.pool_sockets.max(1);
+        let mut servers = Vec::with_capacity(sockets);
+        let mut transports = Vec::with_capacity(sockets);
+        for i in 0..sockets {
+            let handle = runtime.handle();
+            let (server_end, client_end) = loopback();
+            let server = thread::Builder::new()
+                .name(format!("apcache-wire-pipelined-sim-{i}"))
+                .spawn(move || {
+                    serve_pipelined(server_end, handle)
+                        .map_err(|e| SimError::Config(format!("pipelined serving failed: {e}")))
+                })
+                .map_err(|e| SimError::Config(format!("failed to spawn server thread: {e}")))?;
+            servers.push(server);
+            transports.push(client_end);
+        }
+        let client = if cfg.pool_sockets == 0 {
+            let transport = transports.pop().expect("one dedicated transport");
+            ClientSide::Direct(Box::new(RemoteStoreClient::with_window(transport, cfg.window)))
+        } else {
+            let mut pool = ClientPool::with_window(transports, cfg.window);
+            let handles = (0..cfg.pool_sockets * POOL_FANOUT).map(|_| pool.handle()).collect();
+            ClientSide::Pooled { pool, handles }
+        };
+        Ok(PipelinedRemoteSystem { client: Some(client), runtime: Some(runtime), servers, cost })
     }
 
-    fn client(&mut self) -> &mut RemoteStoreClient<Key, LoopbackTransport> {
+    fn client(&mut self) -> &mut ClientSide {
         self.client.as_mut().expect("client lives until shutdown()")
     }
 
     /// End the session and take the drained fleet back — its final
     /// protocol state (widths, intervals, counters) for inspection.
     pub fn shutdown(mut self) -> Result<ShardedStore<Key>, SimError> {
-        let client = self.client.take().expect("shutdown runs once");
-        client.shutdown().map_err(remote_error)?;
-        let server = self.server.take().expect("server thread present");
-        let exit =
-            server.join().map_err(|_| SimError::Config("server thread panicked".into()))??;
-        debug_assert_eq!(exit, ServerExit::Shutdown);
+        match self.client.take().expect("shutdown runs once") {
+            ClientSide::Direct(client) => client.shutdown().map_err(remote_error)?,
+            ClientSide::Pooled { pool, handles } => {
+                drop(handles);
+                pool.shutdown().map_err(remote_error)?;
+            }
+        }
+        for server in self.servers.drain(..) {
+            let exit =
+                server.join().map_err(|_| SimError::Config("server thread panicked".into()))??;
+            debug_assert_eq!(exit, ServerExit::Shutdown);
+        }
         let runtime = self.runtime.take().expect("runtime present");
         runtime.into_store().map_err(|e| SimError::Config(format!("runtime drain failed: {e}")))
     }
@@ -111,14 +152,80 @@ impl PipelinedRemoteSystem {
 
 impl Drop for PipelinedRemoteSystem {
     fn drop(&mut self) {
-        // An abandoned system still hangs up: dropping the client closes
-        // the loopback, the pipelined reader sees a clean disconnect, the
-        // drainer follows, and the runtime joins its actors.
+        // An abandoned system still hangs up: dropping the client side
+        // closes every loopback, each pipelined reader sees a clean
+        // disconnect, the drainers follow, and the runtime joins its
+        // actors.
         drop(self.client.take());
-        if let Some(server) = self.server.take() {
+        for server in self.servers.drain(..) {
             let _ = server.join();
         }
         drop(self.runtime.take());
+    }
+}
+
+impl ClientSide {
+    /// The logical client `key` is pinned to (pooled mode).
+    fn handle_of(handles: &[PooledClient<Key, LoopbackTransport>], key: Key) -> usize {
+        key.0 as usize % handles.len()
+    }
+
+    fn write(
+        &mut self,
+        key: &Key,
+        value: f64,
+        now: TimeMs,
+    ) -> Result<apcache_store::WriteOutcome, RemoteError> {
+        match self {
+            ClientSide::Direct(client) => client.write(key, value, now),
+            ClientSide::Pooled { handles, .. } => {
+                handles[Self::handle_of(handles, *key)].write(key, value, now)
+            }
+        }
+    }
+
+    /// Submit every update of a tick (filling the in-flight windows),
+    /// then harvest all outcomes. Per-key order is fixed — by the single
+    /// connection (direct) or by sticky member pinning (pooled) — so the
+    /// result is bit-identical to the sequential path either way.
+    fn write_wave(
+        &mut self,
+        updates: &[(Key, f64)],
+        now: TimeMs,
+    ) -> Result<Vec<apcache_store::WriteOutcome>, RemoteError> {
+        match self {
+            ClientSide::Direct(client) => {
+                let mut tickets = Vec::with_capacity(updates.len());
+                for (key, value) in updates {
+                    tickets.push(client.submit_write(key, *value, now)?);
+                }
+                tickets.into_iter().map(|t| client.wait_write(t)).collect()
+            }
+            ClientSide::Pooled { handles, .. } => {
+                let mut tickets = Vec::with_capacity(updates.len());
+                for (key, value) in updates {
+                    let h = Self::handle_of(handles, *key);
+                    tickets.push((h, handles[h].submit_write(key, *value, now)?));
+                }
+                tickets.into_iter().map(|(h, t)| handles[h].wait_write(t)).collect()
+            }
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: apcache_queries::AggregateKind,
+        keys: &[Key],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<apcache_wire::RemoteAggregateOutcome<Key>, RemoteError> {
+        match self {
+            ClientSide::Direct(client) => client.aggregate(kind, keys, constraint, now),
+            // Aggregates ride the first logical client: ticks are fully
+            // harvested before the simulator queries, so every member
+            // socket is quiescent and the choice cannot reorder traffic.
+            ClientSide::Pooled { handles, .. } => handles[0].aggregate(kind, keys, constraint, now),
+        }
     }
 }
 
@@ -149,13 +256,7 @@ impl CacheSystem for PipelinedRemoteSystem {
         // Submission order fixes each shard's mailbox order, so the
         // result is bit-identical to the batched sequential path.
         let c_vr = self.cost.c_vr();
-        let client = self.client();
-        let mut tickets = Vec::with_capacity(updates.len());
-        for (key, value) in updates {
-            tickets.push(client.submit_write(key, *value, now).map_err(remote_error)?);
-        }
-        for ticket in tickets {
-            let outcome = client.wait_write(ticket).map_err(remote_error)?;
+        for outcome in self.client().write_wave(updates, now).map_err(remote_error)? {
             for _ in 0..outcome.refreshes {
                 stats.record_vr(c_vr);
             }
@@ -252,7 +353,7 @@ mod tests {
             .unwrap();
             let pipelined = build_pipelined_simulation(
                 &quick_sim_cfg(31),
-                &PipelinedSystemConfig { base: sharded_cfg, window },
+                &PipelinedSystemConfig { base: sharded_cfg, window, pool_sockets: 0 },
                 WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
                 quick_queries(1.0, 4, 20.0),
             )
@@ -267,10 +368,45 @@ mod tests {
     }
 
     #[test]
+    fn pooled_simulation_matches_sharded_store_exactly() {
+        // The acceptance shape: eight logical clients over two member
+        // sockets (pool_sockets = 2 × POOL_FANOUT = 4). Sticky per-key
+        // pinning keeps per-key FIFO, so the pooled deployment must
+        // replay bit-identically to the local sharded store.
+        let sharded_cfg = ShardedSystemConfig {
+            shards: 2,
+            base: AdaptiveSystemConfig::default(),
+            ..ShardedSystemConfig::default()
+        };
+        let local = build_sharded_simulation(
+            &quick_sim_cfg(47),
+            &sharded_cfg,
+            WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+            quick_queries(1.0, 4, 20.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let pooled = build_pipelined_simulation(
+            &quick_sim_cfg(47),
+            &PipelinedSystemConfig { base: sharded_cfg, window: 8, pool_sockets: 2 },
+            WorkloadSpec::random_walks(8, WalkConfig::paper_default()),
+            quick_queries(1.0, 4, 20.0),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(local.stats.vr_count(), pooled.stats.vr_count());
+        assert_eq!(local.stats.qr_count(), pooled.stats.qr_count());
+        assert_eq!(local.stats.total_cost(), pooled.stats.total_cost());
+    }
+
+    #[test]
     fn shutdown_returns_the_drained_fleet_with_its_state() {
         let cfg = PipelinedSystemConfig {
             base: ShardedSystemConfig { shards: 2, ..ShardedSystemConfig::default() },
             window: 4,
+            pool_sockets: 0,
         };
         let mut system =
             PipelinedRemoteSystem::new(&cfg, &[1.0, 2.0, 3.0], Rng::seed_from_u64(5)).unwrap();

@@ -267,6 +267,7 @@ mod tests {
         let cfg = PipelinedSystemConfig {
             base: ShardedSystemConfig { shards: 2, ..ShardedSystemConfig::default() },
             window: 4,
+            pool_sockets: 0,
         };
         let mut system =
             PushMirrorSystem::new(&cfg, &[10.0, 20.0, 30.0], Rng::seed_from_u64(7)).unwrap();

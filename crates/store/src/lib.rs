@@ -54,11 +54,13 @@
 pub mod constraint;
 pub mod error;
 pub mod metrics;
+pub mod migrate;
 pub mod policy;
 pub mod store;
 
 pub use constraint::Constraint;
 pub use error::StoreError;
 pub use metrics::{KeyMetrics, StoreMetrics};
+pub use migrate::KeyState;
 pub use policy::{InitialWidth, PolicySpec};
 pub use store::{AggregateOutcome, Answer, PrecisionStore, ReadResult, StoreBuilder, WriteOutcome};

@@ -58,6 +58,19 @@ impl KeyMetrics {
         self.qr_cost += other.qr_cost;
     }
 
+    /// Subtract `other`'s counters from `self` (the inverse of
+    /// [`merge`](KeyMetrics::merge), used when a key's counters move to
+    /// another store during shard migration).
+    pub fn subtract(&mut self, other: &KeyMetrics) {
+        self.reads -= other.reads;
+        self.cache_hits -= other.cache_hits;
+        self.writes -= other.writes;
+        self.vr_count -= other.vr_count;
+        self.qr_count -= other.qr_count;
+        self.vr_cost -= other.vr_cost;
+        self.qr_cost -= other.qr_cost;
+    }
+
     fn merge_read(&mut self, hit: bool) {
         self.reads += 1;
         if hit {
@@ -156,6 +169,24 @@ impl<K: Ord + Clone> StoreMetrics<K> {
     /// Total message cost across all keys.
     pub fn total_cost(&self) -> f64 {
         self.totals.total_cost()
+    }
+
+    /// Remove `key`'s counters, subtracting them from the totals — the
+    /// export half of moving a key to another store. The per-key entry is
+    /// moved verbatim, so a later [`install_key`](StoreMetrics::install_key)
+    /// on the receiving store preserves the entry bit-for-bit.
+    pub fn extract_key(&mut self, key: &K) -> Option<KeyMetrics> {
+        let m = self.per_key.remove(key)?;
+        self.totals.subtract(&m);
+        Some(m)
+    }
+
+    /// Install counters for `key`, adding them into the totals — the
+    /// import half of moving a key from another store. Merges field-wise
+    /// if the key already has an entry here.
+    pub fn install_key(&mut self, key: K, m: KeyMetrics) {
+        self.totals.merge(&m);
+        self.per_key.entry(key).or_default().merge(&m);
     }
 
     pub(crate) fn record_read(&mut self, key: &K, hit: bool) {

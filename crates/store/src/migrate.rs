@@ -1,0 +1,46 @@
+//! Portable per-key protocol state for shard migration.
+//!
+//! Elastic resharding moves keys between stores. A key is more than its
+//! exact value: the refresh protocol has spent the whole run *converging*
+//! the key's adaptive width (the paper's algorithm needs O(log) refreshes
+//! to re-find a width it already had), and the cache holds the
+//! approximation currently promised to readers. [`KeyState`] captures all
+//! of it so [`PrecisionStore::export_key`] →
+//! [`PrecisionStore::import_key`] is bit-for-bit equivalent to the key
+//! never having moved.
+//!
+//! [`PrecisionStore::export_key`]: crate::PrecisionStore::export_key
+//! [`PrecisionStore::import_key`]: crate::PrecisionStore::import_key
+
+use apcache_core::policy::ApproxSpec;
+
+use crate::metrics::KeyMetrics;
+use crate::policy::PolicySpec;
+
+/// Everything the refresh protocol knows about one key, detached from any
+/// store: the exact value, the policy recipe and its adaptation-state
+/// words, the approximation registered at the source, the cache residency
+/// (if any), and the serving counters.
+///
+/// `source_spec` and `cached` are carried separately: a lapsed TTL lease
+/// widens the *cached* interval without telling the source, so the two
+/// can legitimately disagree and both sides must survive the move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyState<K> {
+    /// The application key.
+    pub key: K,
+    /// Exact value at the source.
+    pub value: f64,
+    /// The policy recipe the key was registered with.
+    pub spec: PolicySpec,
+    /// The policy's adaptation-state words
+    /// (`PrecisionPolicy::export_state`).
+    pub policy_state: Vec<f64>,
+    /// The approximation the source currently has registered.
+    pub source_spec: ApproxSpec,
+    /// Cache residency: the cached approximation and its internal
+    /// (eviction-ordering) width, or `None` when evicted/uncached.
+    pub cached: Option<(ApproxSpec, f64)>,
+    /// Per-key serving counters, moved verbatim.
+    pub metrics: Option<KeyMetrics>,
+}

@@ -6,13 +6,14 @@ use std::hash::Hash;
 use apcache_core::cache::Cache;
 use apcache_core::cost::CostModel;
 use apcache_core::error::ProtocolError;
-use apcache_core::source::Source;
+use apcache_core::source::{Refresh, Source};
 use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
 use apcache_queries::{evaluate, evaluate_relative, AggregateKind, ItemBound, PrecisionConstraint};
 
 use crate::constraint::Constraint;
 use crate::error::StoreError;
 use crate::metrics::StoreMetrics;
+use crate::migrate::KeyState;
 use crate::policy::{InitialWidth, PolicySpec};
 
 /// The store's single logical cache in the refresh protocol.
@@ -234,6 +235,7 @@ impl<K: Hash + Ord + Clone> StoreBuilder<K> {
             keys: Vec::new(),
             index: HashMap::new(),
             sources: Vec::new(),
+            specs: Vec::new(),
             cache,
             rng: self.rng,
             metrics: StoreMetrics::new(),
@@ -267,6 +269,9 @@ pub struct PrecisionStore<K> {
     index: HashMap<K, u32>,
     /// One protocol source per key, indexed by interned id.
     sources: Vec<Source>,
+    /// The policy recipe each key was registered with, indexed by interned
+    /// id — kept so migration can rebuild the same policy elsewhere.
+    specs: Vec<PolicySpec>,
     cache: Cache,
     rng: Rng,
     metrics: StoreMetrics<K>,
@@ -306,6 +311,7 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         let refresh = source.register(STORE_CACHE, policy, now)?;
         self.cache.apply_refresh(refresh);
         self.sources.push(source);
+        self.specs.push(spec);
         self.index.insert(key.clone(), id);
         self.keys.push(key);
         Ok(())
@@ -549,6 +555,92 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         let id = self.id_of(key).ok()?;
         Some(self.sources[id as usize].value())
     }
+
+    /// Detach `key` from this store, returning its complete protocol
+    /// state — value, policy recipe and adaptation words, the registered
+    /// approximation, cache residency, and serving counters.
+    ///
+    /// Importing the result into another store ([`import_key`]) continues
+    /// the key's protocol history bit-for-bit; this is the store half of
+    /// live shard migration. Interned ids stay dense: the last-registered
+    /// key slides into the vacated slot (its id changes, which is
+    /// invisible outside the store).
+    ///
+    /// [`import_key`]: PrecisionStore::import_key
+    pub fn export_key(&mut self, key: &K) -> Result<KeyState<K>, StoreError> {
+        let id = self.id_of(key)?;
+        let idx = id as usize;
+        let source = &self.sources[idx];
+        let source_spec = *source.spec_for(STORE_CACHE).ok_or(StoreError::UnknownKey)?;
+        let policy_state = source.policy_state_for(STORE_CACHE).ok_or(StoreError::UnknownKey)?;
+        let value = source.value();
+        let cached = self.cache.remove(Key(id)).map(|e| (e.spec, e.internal_width));
+        let metrics = self.metrics.extract_key(key);
+        self.index.remove(key);
+        let key = self.keys.swap_remove(idx);
+        self.sources.swap_remove(idx);
+        let spec = self.specs.swap_remove(idx);
+        if idx < self.keys.len() {
+            // The former last key now lives in the vacated slot: repoint
+            // its index entry, its source's protocol key, and its cache
+            // entry (removing one entry made room, so re-admission under
+            // the new id never evicts).
+            let moved_id = self.keys.len() as u32;
+            *self.index.get_mut(&self.keys[idx]).expect("moved key is indexed") = id;
+            self.sources[idx].rekey(Key(id));
+            if let Some(entry) = self.cache.remove(Key(moved_id)) {
+                self.cache.apply_refresh(Refresh {
+                    key: Key(id),
+                    spec: entry.spec,
+                    internal_width: entry.internal_width,
+                });
+            }
+        }
+        Ok(KeyState { key, value, spec, policy_state, source_spec, cached, metrics })
+    }
+
+    /// Attach a key previously detached with [`export_key`] (possibly from
+    /// another store with the same cost/α/γ configuration), restoring its
+    /// policy state, registered approximation, cache residency, and
+    /// counters.
+    ///
+    /// The cached entry is re-admitted through the normal capacity rules,
+    /// so on a κ-bounded store it may evict a wider resident — exactly as
+    /// if the key had refreshed here.
+    ///
+    /// [`export_key`]: PrecisionStore::export_key
+    pub fn import_key(&mut self, state: KeyState<K>) -> Result<(), StoreError> {
+        if self.index.contains_key(&state.key) {
+            return Err(StoreError::DuplicateKey);
+        }
+        let id = u32::try_from(self.keys.len())
+            .map_err(|_| StoreError::Config("store key space exhausted (u32 ids)".into()))?;
+        let mut policy = state.spec.build(
+            &self.cost,
+            self.alpha,
+            self.gamma0,
+            self.gamma1,
+            self.initial_width.for_value(state.value),
+        )?;
+        if !policy.restore_state(&state.policy_state) {
+            return Err(StoreError::Config(
+                "imported policy state does not match the key's policy spec".into(),
+            ));
+        }
+        let mut source = Source::new(Key(id), state.value)?;
+        source.register_snapshot(STORE_CACHE, policy, state.source_spec)?;
+        if let Some((spec, internal_width)) = state.cached {
+            self.cache.apply_refresh(Refresh { key: Key(id), spec, internal_width });
+        }
+        self.sources.push(source);
+        self.specs.push(state.spec);
+        self.index.insert(state.key.clone(), id);
+        self.keys.push(state.key.clone());
+        if let Some(m) = state.metrics {
+            self.metrics.install_key(state.key, m);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -776,6 +868,67 @@ mod tests {
         assert_send_sync::<StoreMetrics<String>>();
         assert_send_sync::<StoreError>();
         assert_send::<PrecisionStore<String>>();
+    }
+
+    #[test]
+    fn export_import_continues_protocol_bit_for_bit() {
+        // Reference store: never resharded.
+        let mut reference = store();
+        // Subject: "a" is exported mid-run and imported into a second
+        // store, which then serves the same traffic.
+        let mut src = store();
+        let mut dst: PrecisionStore<&'static str> =
+            StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0)).build().unwrap();
+
+        // Converge some state first: widths, counters, cached interval.
+        for s in [&mut reference, &mut src] {
+            s.write(&"a", 110.0, 1_000).unwrap(); // escape → VR, width 20
+            s.read(&"a", Constraint::Absolute(5.0), 2_000).unwrap(); // QR, width 10
+        }
+
+        let state = src.export_key(&"a").unwrap();
+        assert!(!src.contains_key(&"a"));
+        assert!(src.contains_key(&"b"), "swap-remove keeps the other key");
+        assert!(src.read(&"b", Constraint::Absolute(10.0), 2_000).is_ok());
+        assert!(src.metrics().for_key(&"a").is_none());
+        dst.import_key(state).unwrap();
+
+        // Identical traffic after the move ⇒ identical protocol behavior.
+        for (s, label) in [(&mut reference, "reference"), (&mut dst, "migrated")] {
+            let r = s.read(&"a", Constraint::Absolute(3.0), 3_000).unwrap();
+            assert!(r.refreshed, "{label}");
+            let w = s.write(&"a", 140.0, 4_000).unwrap();
+            assert!(w.escaped(), "{label}");
+        }
+        assert_eq!(reference.internal_width(&"a"), dst.internal_width(&"a"));
+        assert_eq!(reference.cached_interval(&"a", 4_000), dst.cached_interval(&"a", 4_000));
+        assert_eq!(reference.value(&"a"), dst.value(&"a"));
+        assert_eq!(reference.metrics().for_key(&"a"), dst.metrics().for_key(&"a"));
+
+        // Re-import under the same key is rejected.
+        let dup = dst.export_key(&"a").unwrap();
+        dst.import_key(dup.clone()).unwrap();
+        assert!(matches!(dst.import_key(dup), Err(StoreError::DuplicateKey)));
+        // Exporting an unknown key errors.
+        assert!(matches!(src.export_key(&"zzz"), Err(StoreError::UnknownKey)));
+    }
+
+    #[test]
+    fn export_import_preserves_divergent_cache_entry() {
+        // A lapsed lease widens the cache without telling the source; both
+        // sides of the divergence must survive the move.
+        let mut s = store();
+        s.widen_cached(&"a", 30.0, 0).unwrap().unwrap();
+        let state = s.export_key(&"a").unwrap();
+        assert_eq!(state.cached.as_ref().unwrap().1, 30.0, "widened eviction key");
+        let mut dst: PrecisionStore<&'static str> =
+            StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0)).build().unwrap();
+        dst.import_key(state).unwrap();
+        let iv = dst.cached_interval(&"a", 0).unwrap();
+        assert_eq!((iv.lo(), iv.hi()), (85.0, 115.0));
+        // Source-side width is still the policy's 10 → next QR shrinks to 5.
+        dst.read(&"a", Constraint::Absolute(5.0), 1_000).unwrap();
+        assert_eq!(dst.internal_width(&"a"), Some(5.0));
     }
 
     #[test]

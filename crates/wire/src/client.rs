@@ -28,9 +28,9 @@ use std::fmt;
 use std::marker::PhantomData;
 
 use apcache_core::{Interval, TimeMs};
-use apcache_push::{PushEvent, PushFilter};
+use apcache_push::{LeaseConfig, PushEvent, PushFilter, PushReport};
 use apcache_queries::AggregateKind;
-use apcache_store::{Constraint, ReadResult, StoreMetrics, WriteOutcome};
+use apcache_store::{Constraint, KeyState, ReadResult, StoreMetrics, WriteOutcome};
 
 use crate::codec::WireKey;
 use crate::error::{RemoteError, WireError};
@@ -277,6 +277,49 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         Ok(ticket)
     }
 
+    /// Submit a TTL lease grant/refresh on `key`; redeem with
+    /// [`wait_leased`](RemoteStoreClient::wait_leased).
+    pub fn submit_lease(
+        &mut self,
+        key: &K,
+        cfg: LeaseConfig,
+        now: TimeMs,
+    ) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Lease { key: key.clone(), cfg, now })
+    }
+
+    /// Submit a lease release on `key`; redeem with
+    /// [`wait_leased`](RemoteStoreClient::wait_leased) (whether one
+    /// existed).
+    pub fn submit_release_lease(&mut self, key: &K, now: TimeMs) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::ReleaseLease { key: key.clone(), now })
+    }
+
+    /// Submit a push-side logical-time advance; redeem with
+    /// [`wait_time_advanced`](RemoteStoreClient::wait_time_advanced).
+    pub fn submit_advance_time(&mut self, now: TimeMs) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::AdvanceTime { now })
+    }
+
+    /// Submit a key enumeration; redeem with
+    /// [`wait_keys`](RemoteStoreClient::wait_keys).
+    pub fn submit_key_list(&mut self) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::KeyList)
+    }
+
+    /// Submit the export half of a migration (detach `keys` with full
+    /// protocol state, atomically); redeem with
+    /// [`wait_exported`](RemoteStoreClient::wait_exported).
+    pub fn submit_export_keys(&mut self, keys: &[K]) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::ExportKeys { keys: keys.to_vec() })
+    }
+
+    /// Submit the import half of a migration; redeem with
+    /// [`wait_imported`](RemoteStoreClient::wait_imported).
+    pub fn submit_import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::ImportKeys { states })
+    }
+
     // -----------------------------------------------------------------
     // Harvest surface.
     // -----------------------------------------------------------------
@@ -349,6 +392,53 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
             WireResponse::Unsubscribed { existed } => Ok(existed),
             WireResponse::Error(fault) => Err(fault.into()),
             _ => Err(WireError::UnexpectedResponse("Unsubscribed").into()),
+        }
+    }
+
+    /// Redeem a lease or release ticket: whether a lease is (was)
+    /// active.
+    pub fn wait_leased(&mut self, ticket: Ticket) -> Result<bool, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Leased { active } => Ok(active),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Leased").into()),
+        }
+    }
+
+    /// Redeem a time-advance ticket: the server's merged push report.
+    pub fn wait_time_advanced(&mut self, ticket: Ticket) -> Result<PushReport, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::TimeAdvanced(report) => Ok(report),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("TimeAdvanced").into()),
+        }
+    }
+
+    /// Redeem a key-list ticket.
+    pub fn wait_keys(&mut self, ticket: Ticket) -> Result<Vec<K>, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Keys(keys) => Ok(keys),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Keys").into()),
+        }
+    }
+
+    /// Redeem an export ticket: the detached key states, in request
+    /// order.
+    pub fn wait_exported(&mut self, ticket: Ticket) -> Result<Vec<KeyState<K>>, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Exported(states) => Ok(states),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Exported").into()),
+        }
+    }
+
+    /// Redeem an import ticket.
+    pub fn wait_imported(&mut self, ticket: Ticket) -> Result<(), RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Imported => Ok(()),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Imported").into()),
         }
     }
 
@@ -460,6 +550,43 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         self.wait_unsubscribed(ticket)
     }
 
+    /// Grant (or refresh) a TTL lease on the remote key.
+    pub fn lease(&mut self, key: &K, cfg: LeaseConfig, now: TimeMs) -> Result<bool, RemoteError> {
+        let ticket = self.submit_lease(key, cfg, now)?;
+        self.wait_leased(ticket)
+    }
+
+    /// Release the remote lease on `key`; returns whether one existed.
+    pub fn release_lease(&mut self, key: &K, now: TimeMs) -> Result<bool, RemoteError> {
+        let ticket = self.submit_release_lease(key, now)?;
+        self.wait_leased(ticket)
+    }
+
+    /// Advance the remote push-side clock and collect the push report.
+    pub fn advance_time(&mut self, now: TimeMs) -> Result<PushReport, RemoteError> {
+        let ticket = self.submit_advance_time(now)?;
+        self.wait_time_advanced(ticket)
+    }
+
+    /// Enumerate the remote store's keys (deterministic server order).
+    pub fn key_list(&mut self) -> Result<Vec<K>, RemoteError> {
+        let ticket = self.submit_key_list()?;
+        self.wait_keys(ticket)
+    }
+
+    /// Detach `keys` from the remote store with full protocol state
+    /// (atomic: a miss exports nothing).
+    pub fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, RemoteError> {
+        let ticket = self.submit_export_keys(keys)?;
+        self.wait_exported(ticket)
+    }
+
+    /// Attach keys previously detached elsewhere to the remote store.
+    pub fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), RemoteError> {
+        let ticket = self.submit_import_keys(states)?;
+        self.wait_imported(ticket)
+    }
+
     /// End the session: cancel every outstanding subscription (pushes
     /// still in flight are drained and discarded along with the queue),
     /// drain every in-flight ticket (their outcomes are discarded), send
@@ -515,4 +642,107 @@ pub struct RemoteAggregateOutcome<K> {
     pub answer: Interval,
     /// Keys fetched exactly, in fetch order.
     pub refreshed: Vec<K>,
+}
+
+/// Fold a remote failure into the store-error surface the backend trait
+/// speaks: server faults project back onto [`StoreError`] (unknown and
+/// duplicate keys exactly — export atomicity survives the round trip);
+/// wire-level failures surface as configuration errors naming the cause,
+/// like any other unavailable backend.
+fn remote_store_err(e: RemoteError) -> apcache_store::StoreError {
+    match e {
+        RemoteError::Remote(fault) => fault.to_store_error(),
+        RemoteError::Wire(e) => {
+            apcache_store::StoreError::Config(format!("remote shard unreachable: {e}"))
+        }
+    }
+}
+
+/// A remote server as one shard of an outer
+/// [`ShardedStore`](apcache_shard::ShardedStore) ring — the top rung of
+/// the mixed-backend ladder: the same ring can route some shards to
+/// in-process stores, some to runtime deployments, and some across the
+/// network through this impl, with elastic resharding migrating resident
+/// keys between all of them via the v3 export/import frames.
+impl<K, T> apcache_shard::ShardBackend<K> for RemoteStoreClient<K, T>
+where
+    K: WireKey + Ord + Clone,
+    T: Transport,
+{
+    fn read(
+        &mut self,
+        key: &K,
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<ReadResult, apcache_store::StoreError> {
+        RemoteStoreClient::read(self, key, constraint, now).map_err(remote_store_err)
+    }
+
+    fn write(
+        &mut self,
+        key: &K,
+        value: f64,
+        now: TimeMs,
+    ) -> Result<WriteOutcome, apcache_store::StoreError> {
+        RemoteStoreClient::write(self, key, value, now).map_err(remote_store_err)
+    }
+
+    fn write_batch(
+        &mut self,
+        items: &[(K, f64)],
+        now: TimeMs,
+    ) -> Result<WriteOutcome, apcache_store::StoreError> {
+        RemoteStoreClient::write_batch(self, items, now).map_err(remote_store_err)
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggregateKind,
+        keys: &[K],
+        constraint: Constraint,
+        now: TimeMs,
+    ) -> Result<apcache_store::AggregateOutcome<K>, apcache_store::StoreError> {
+        RemoteStoreClient::aggregate(self, kind, keys, constraint, now)
+            .map(|out| apcache_store::AggregateOutcome {
+                answer: out.answer,
+                refreshed: out.refreshed,
+            })
+            .map_err(remote_store_err)
+    }
+
+    fn metrics_snapshot(&mut self) -> Result<StoreMetrics<K>, apcache_store::StoreError> {
+        RemoteStoreClient::metrics(self).map_err(remote_store_err)
+    }
+
+    fn insert(
+        &mut self,
+        _key: K,
+        _value: f64,
+        _spec: Option<apcache_store::PolicySpec>,
+        _now: TimeMs,
+    ) -> Result<(), apcache_store::StoreError> {
+        Err(apcache_store::StoreError::Config(
+            "a remote shard serves a fixed key population: register sources on the server, \
+             or migrate them in via import_keys (elastic insertion is a follow-on)"
+                .into(),
+        ))
+    }
+
+    fn contains_key(&mut self, key: &K) -> Result<bool, apcache_store::StoreError> {
+        // No membership verb on the wire: migration planning needs the
+        // full enumeration anyway, so membership rides KeyList.
+        Ok(RemoteStoreClient::key_list(self).map_err(remote_store_err)?.contains(key))
+    }
+
+    fn key_list(&mut self) -> Result<Vec<K>, apcache_store::StoreError> {
+        RemoteStoreClient::key_list(self).map_err(remote_store_err)
+    }
+
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, apcache_store::StoreError> {
+        RemoteStoreClient::export_keys(self, keys).map_err(remote_store_err)
+    }
+
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), apcache_store::StoreError> {
+        RemoteStoreClient::import_keys(self, states).map_err(remote_store_err)
+    }
 }

@@ -186,6 +186,20 @@ impl WireFault {
     pub fn new(kind: FaultKind, detail: impl Into<String>) -> Self {
         WireFault { kind, detail: detail.into() }
     }
+
+    /// Project the fault back onto the store-error surface — the inverse
+    /// of the `From<StoreError>` conversion, used where a remote shard
+    /// stands in for a local one (the wire `ShardBackend`). Structured
+    /// variants that lost their payload crossing the wire
+    /// (`InvalidConstraint`'s offending value, `Param`'s source) come
+    /// back as [`StoreError::Config`] carrying the rendered detail.
+    pub fn to_store_error(&self) -> StoreError {
+        match self.kind {
+            FaultKind::UnknownKey => StoreError::UnknownKey,
+            FaultKind::DuplicateKey => StoreError::DuplicateKey,
+            _ => StoreError::Config(format!("remote fault ({:?}): {}", self.kind, self.detail)),
+        }
+    }
 }
 
 impl fmt::Display for WireFault {

@@ -42,9 +42,19 @@
 //!   onto the same connection: `subscribe` opens a stream of
 //!   [`PushEvent`](apcache_push::PushEvent)s for one key, delivered by
 //!   the drainer thread the moment the shard's cached interval changes
-//!   (or a TTL lease lapses). Version 1 and 2 frames still decode (v1 as
-//!   request id 0), servers answer old peers in their own version, and
-//!   pre-v3 peers asking to subscribe get a stable `Unsupported` fault.
+//!   (or a TTL lease lapses). v3 also carries the **lease verbs**
+//!   (`Lease` / `ReleaseLease` / `AdvanceTime`) and the **migration
+//!   surface** (`KeyList` / `ExportKeys` / `ImportKeys`): a remote
+//!   server is a full [`ShardBackend`](apcache_shard::ShardBackend), so
+//!   an outer sharded ring can route some shards across the network and
+//!   elastic resharding moves resident keys — adaptive widths, policy
+//!   state, counters — over the wire with bit-for-bit fidelity. Version
+//!   1 and 2 frames still decode (v1 as request id 0), servers answer
+//!   old peers in their own version, and pre-v3 peers asking for any of
+//!   the v3 vocabulary get a stable `Unsupported` fault;
+//! * [`pool`] — [`ClientPool`]: many logical clients multiplexed over a
+//!   few pipelined sockets with sticky member pinning, plus a pool-wide
+//!   shutdown that drains every socket even when some peer is dead.
 //!
 //! Decoding is **defensive**: arbitrary bytes produce a [`WireError`]
 //! (length caps, unknown-tag, truncation, trailing-garbage) — never a
@@ -84,6 +94,7 @@ pub mod client;
 pub mod codec;
 pub mod error;
 pub mod message;
+pub mod pool;
 pub mod server;
 pub mod transport;
 
@@ -95,6 +106,7 @@ pub use message::{
     encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireExact, WireMessage,
     WireRefresh, WireRequest, WireResponse, MAGIC, VERSION, VERSION_V1, VERSION_V2,
 };
+pub use pool::{ClientPool, PooledClient};
 pub use server::{serve_connections, serve_pipelined, ServerExit, StoreServer, StoreService};
 pub use transport::{
     frame_bytes, loopback, split_frame, LoopbackTransport, SplitStream, StreamTransport,

@@ -10,8 +10,11 @@
 //!   query-initiated refresh);
 //! * **[`WireMessage::Request`]** / **[`WireMessage::Response`]** — the
 //!   client ↔ store verbs (`Read`, `Write`, `WriteBatch`, `Aggregate`,
-//!   `Metrics`, `Subscribe`, `Unsubscribe`, `Shutdown`) with their
-//!   outcomes;
+//!   `Metrics`, `Subscribe`, `Unsubscribe`, `Shutdown`), the v3 lease
+//!   verbs (`Lease`, `ReleaseLease`, `AdvanceTime`), and the v3
+//!   migration surface (`KeyList`, `ExportKeys`, `ImportKeys` — a
+//!   [`KeyState`] per migrating key, so adaptive widths, counters, and
+//!   cache residency cross the wire intact) with their outcomes;
 //! * **[`WireMessage::Push`]** — a **server-initiated** frame streaming
 //!   one subscribed key's new cached interval, tagged with the
 //!   subscription's request id (the v3 push channel).
@@ -31,11 +34,13 @@
 //! `decode(encode(x)) == x` bit-for-bit, and decoding is defensive:
 //! arbitrary bytes produce a [`WireError`], never a panic.
 
-use apcache_core::policy::ApproxSpec;
+use apcache_core::policy::{ApproxSpec, GrowthLaw, Weighting};
 use apcache_core::{ExactResponse, Interval, Key, Refresh, TimeMs};
-use apcache_push::{PushEvent, PushFilter, PushReason};
+use apcache_push::{FallbackWidth, LeaseConfig, PushEvent, PushFilter, PushReason, PushReport};
 use apcache_queries::AggregateKind;
-use apcache_store::{Answer, Constraint, KeyMetrics, ReadResult, StoreMetrics, WriteOutcome};
+use apcache_store::{
+    Answer, Constraint, KeyMetrics, KeyState, PolicySpec, ReadResult, StoreMetrics, WriteOutcome,
+};
 
 use crate::codec::{put_bool, put_f64, put_seq, put_str, put_u64, put_u8, Reader, WireKey};
 use crate::error::{FaultKind, WireError, WireFault};
@@ -68,6 +73,12 @@ const VERB_METRICS: u8 = 5;
 const VERB_SHUTDOWN: u8 = 6;
 const VERB_SUBSCRIBE: u8 = 7;
 const VERB_UNSUBSCRIBE: u8 = 8;
+const VERB_LEASE: u8 = 9;
+const VERB_RELEASE_LEASE: u8 = 10;
+const VERB_ADVANCE_TIME: u8 = 11;
+const VERB_KEY_LIST: u8 = 12;
+const VERB_EXPORT_KEYS: u8 = 13;
+const VERB_IMPORT_KEYS: u8 = 14;
 
 const RESP_READ: u8 = 1;
 const RESP_WRITE: u8 = 2;
@@ -77,6 +88,11 @@ const RESP_SHUTDOWN_ACK: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_SUBSCRIBED: u8 = 7;
 const RESP_UNSUBSCRIBED: u8 = 8;
+const RESP_LEASED: u8 = 9;
+const RESP_TIME_ADVANCED: u8 = 10;
+const RESP_KEYS: u8 = 11;
+const RESP_EXPORTED: u8 = 12;
+const RESP_IMPORTED: u8 = 13;
 
 /// A serving request, one frame per verb — the same vocabulary as the
 /// runtime's mailbox [`Request`](apcache_runtime::Request), minus the
@@ -138,6 +154,46 @@ pub enum WireRequest<K> {
         /// The request id of the `Subscribe` frame to cancel.
         sub: u64,
     },
+    /// Grant (or renew) a TTL lease on `key` (v3+): the cached interval
+    /// stays trusted for `cfg.ttl_ms` after the last source contact, then
+    /// widens to the configured fallback.
+    Lease {
+        /// Key to lease.
+        key: K,
+        /// TTL and fallback-widening policy (validated on decode).
+        cfg: LeaseConfig,
+        /// Logical time of the grant.
+        now: TimeMs,
+    },
+    /// Release the lease on `key` (v3+).
+    ReleaseLease {
+        /// Key whose lease is dropped.
+        key: K,
+        /// Logical time of the release.
+        now: TimeMs,
+    },
+    /// Advance the server's push-side logical clock (v3+): lapsed leases
+    /// widen their intervals and push.
+    AdvanceTime {
+        /// The new logical time.
+        now: TimeMs,
+    },
+    /// List every key registered on the server, in deterministic (sorted)
+    /// order (v3+) — the discovery half of the migration surface.
+    KeyList,
+    /// Detach `keys` with their complete per-key protocol state (v3+):
+    /// the export half of live migration. Atomic server-side — a single
+    /// unknown key exports nothing.
+    ExportKeys {
+        /// Keys to detach.
+        keys: Vec<K>,
+    },
+    /// Attach keys previously detached from another shard (v3+): the
+    /// import half of live migration.
+    ImportKeys {
+        /// The migrating keys' full protocol state.
+        states: Vec<KeyState<K>>,
+    },
     /// Orderly connection shutdown: the server acknowledges and stops
     /// serving this connection.
     Shutdown,
@@ -173,6 +229,22 @@ pub enum WireResponse<K> {
         /// Whether the subscription was still live when cancelled.
         existed: bool,
     },
+    /// Answer to [`WireRequest::Lease`] / [`WireRequest::ReleaseLease`].
+    Leased {
+        /// For a grant: `true` (the lease is armed). For a release:
+        /// whether a lease existed to drop.
+        active: bool,
+    },
+    /// Answer to [`WireRequest::AdvanceTime`]: the merged push-side
+    /// occupancy report.
+    TimeAdvanced(PushReport),
+    /// Answer to [`WireRequest::KeyList`]: every registered key, sorted.
+    Keys(Vec<K>),
+    /// Answer to [`WireRequest::ExportKeys`]: the detached per-key state,
+    /// in the request's key order.
+    Exported(Vec<KeyState<K>>),
+    /// Acknowledges [`WireRequest::ImportKeys`].
+    Imported,
     /// The server rejected the request.
     Error(WireFault),
 }
@@ -497,6 +569,194 @@ fn read_keys<K: WireKey>(r: &mut Reader<'_>) -> Result<Vec<K>, WireError> {
     Ok(keys)
 }
 
+fn put_lease_cfg(buf: &mut Vec<u8>, cfg: &LeaseConfig) {
+    put_u64(buf, cfg.ttl_ms);
+    match cfg.fallback {
+        FallbackWidth::Unbounded => put_u8(buf, 0),
+        FallbackWidth::Fixed(w) => {
+            put_u8(buf, 1);
+            put_f64(buf, w);
+        }
+        FallbackWidth::Factor(f) => {
+            put_u8(buf, 2);
+            put_f64(buf, f);
+        }
+    }
+}
+
+fn read_lease_cfg(r: &mut Reader<'_>) -> Result<LeaseConfig, WireError> {
+    let ttl_ms = r.u64()?;
+    let fallback = match r.u8()? {
+        0 => FallbackWidth::Unbounded,
+        1 => FallbackWidth::Fixed(r.f64()?),
+        2 => FallbackWidth::Factor(r.f64()?),
+        tag => return Err(WireError::UnknownTag { context: "lease fallback", tag }),
+    };
+    let cfg = LeaseConfig { ttl_ms, fallback };
+    if !cfg.validate() {
+        return Err(WireError::InvalidPayload("lease config (zero ttl or invalid fallback)"));
+    }
+    Ok(cfg)
+}
+
+fn put_push_report(buf: &mut Vec<u8>, report: &PushReport) {
+    put_u64(buf, report.subscribers as u64);
+    put_u64(buf, report.watched_keys as u64);
+    put_u64(buf, report.leases as u64);
+    put_u64(buf, report.expired as u64);
+}
+
+fn read_push_report(r: &mut Reader<'_>) -> Result<PushReport, WireError> {
+    let mut field = || {
+        usize::try_from(r.u64()?)
+            .map_err(|_| WireError::InvalidPayload("push report count overflows usize"))
+    };
+    Ok(PushReport {
+        subscribers: field()?,
+        watched_keys: field()?,
+        leases: field()?,
+        expired: field()?,
+    })
+}
+
+fn put_policy_spec(buf: &mut Vec<u8>, spec: &PolicySpec) {
+    match *spec {
+        PolicySpec::Adaptive => put_u8(buf, 0),
+        PolicySpec::Uncentered => put_u8(buf, 1),
+        PolicySpec::TimeVarying(law) => {
+            put_u8(buf, 2);
+            put_f64(buf, law.coeff());
+            put_f64(buf, law.exponent());
+        }
+        PolicySpec::Drifting { rate_per_sec } => {
+            put_u8(buf, 3);
+            put_f64(buf, rate_per_sec);
+        }
+        PolicySpec::History { r, weighting } => {
+            put_u8(buf, 4);
+            put_u64(buf, r as u64);
+            match weighting {
+                Weighting::Uniform => put_u8(buf, 0),
+                Weighting::Exponential { decay } => {
+                    put_u8(buf, 1);
+                    put_f64(buf, decay);
+                }
+            }
+        }
+        PolicySpec::Fixed { width } => {
+            put_u8(buf, 5);
+            put_f64(buf, width);
+        }
+        PolicySpec::StaleCounter => put_u8(buf, 6),
+    }
+}
+
+fn read_policy_spec(r: &mut Reader<'_>) -> Result<PolicySpec, WireError> {
+    Ok(match r.u8()? {
+        0 => PolicySpec::Adaptive,
+        1 => PolicySpec::Uncentered,
+        2 => {
+            let (coeff, exponent) = (r.f64()?, r.f64()?);
+            PolicySpec::TimeVarying(
+                GrowthLaw::new(coeff, exponent)
+                    .map_err(|_| WireError::InvalidPayload("growth law constants"))?,
+            )
+        }
+        3 => PolicySpec::Drifting { rate_per_sec: r.f64()? },
+        4 => {
+            let window = usize::try_from(r.u64()?)
+                .map_err(|_| WireError::InvalidPayload("history window overflows usize"))?;
+            let weighting = match r.u8()? {
+                0 => Weighting::Uniform,
+                1 => {
+                    let decay = r.f64()?;
+                    if !(decay.is_finite() && 0.0 < decay && decay < 1.0) {
+                        return Err(WireError::InvalidPayload("history decay outside (0, 1)"));
+                    }
+                    Weighting::Exponential { decay }
+                }
+                tag => return Err(WireError::UnknownTag { context: "history weighting", tag }),
+            };
+            PolicySpec::History { r: window, weighting }
+        }
+        5 => PolicySpec::Fixed { width: r.f64()? },
+        6 => PolicySpec::StaleCounter,
+        tag => return Err(WireError::UnknownTag { context: "policy spec", tag }),
+    })
+}
+
+fn put_key_state<K: WireKey>(buf: &mut Vec<u8>, state: &KeyState<K>) {
+    state.key.encode_key(buf);
+    put_f64(buf, state.value);
+    put_policy_spec(buf, &state.spec);
+    put_seq(buf, state.policy_state.len());
+    for word in &state.policy_state {
+        put_f64(buf, *word);
+    }
+    put_spec(buf, &state.source_spec);
+    match &state.cached {
+        None => put_u8(buf, 0),
+        Some((spec, internal_width)) => {
+            put_u8(buf, 1);
+            put_spec(buf, spec);
+            put_f64(buf, *internal_width);
+        }
+    }
+    match &state.metrics {
+        None => put_u8(buf, 0),
+        Some(metrics) => {
+            put_u8(buf, 1);
+            put_key_metrics(buf, metrics);
+        }
+    }
+}
+
+fn read_key_state<K: WireKey>(r: &mut Reader<'_>) -> Result<KeyState<K>, WireError> {
+    let key = K::decode_key(r)?;
+    let value = r.f64()?;
+    let spec = read_policy_spec(r)?;
+    let n = r.seq(8)?;
+    let mut policy_state = Vec::with_capacity(n);
+    for _ in 0..n {
+        policy_state.push(r.f64()?);
+    }
+    let source_spec = read_spec(r)?;
+    let cached = match r.u8()? {
+        0 => None,
+        1 => Some((read_spec(r)?, r.f64()?)),
+        tag => return Err(WireError::UnknownTag { context: "cache residency", tag }),
+    };
+    let metrics = match r.u8()? {
+        0 => None,
+        1 => Some(read_key_metrics(r)?),
+        tag => return Err(WireError::UnknownTag { context: "key metrics option", tag }),
+    };
+    Ok(KeyState { key, value, spec, policy_state, source_spec, cached, metrics })
+}
+
+/// Smallest possible [`KeyState`] on the wire, for sequence-count
+/// validation: key + value + spec tag + empty state seq + smallest
+/// source spec (Constant = tag + interval) + two `None` option tags.
+const fn min_key_state_bytes(min_key: usize) -> usize {
+    min_key + 8 + 1 + 4 + (1 + 16) + 1 + 1
+}
+
+fn put_key_states<K: WireKey>(buf: &mut Vec<u8>, states: &[KeyState<K>]) {
+    put_seq(buf, states.len());
+    for state in states {
+        put_key_state(buf, state);
+    }
+}
+
+fn read_key_states<K: WireKey>(r: &mut Reader<'_>) -> Result<Vec<KeyState<K>>, WireError> {
+    let n = r.seq(min_key_state_bytes(K::MIN_ENCODED_BYTES))?;
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        states.push(read_key_state(r)?);
+    }
+    Ok(states)
+}
+
 // ---------------------------------------------------------------------
 // Frame codecs.
 // ---------------------------------------------------------------------
@@ -617,6 +877,30 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_u8(buf, VERB_UNSUBSCRIBE);
                 put_u64(buf, *sub);
             }
+            WireRequest::Lease { key, cfg, now } => {
+                put_u8(buf, VERB_LEASE);
+                key.encode_key(buf);
+                put_lease_cfg(buf, cfg);
+                put_u64(buf, *now);
+            }
+            WireRequest::ReleaseLease { key, now } => {
+                put_u8(buf, VERB_RELEASE_LEASE);
+                key.encode_key(buf);
+                put_u64(buf, *now);
+            }
+            WireRequest::AdvanceTime { now } => {
+                put_u8(buf, VERB_ADVANCE_TIME);
+                put_u64(buf, *now);
+            }
+            WireRequest::KeyList => put_u8(buf, VERB_KEY_LIST),
+            WireRequest::ExportKeys { keys } => {
+                put_u8(buf, VERB_EXPORT_KEYS);
+                put_keys(buf, keys);
+            }
+            WireRequest::ImportKeys { states } => {
+                put_u8(buf, VERB_IMPORT_KEYS);
+                put_key_states(buf, states);
+            }
             WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
         },
         WireMessage::Response(resp) => match resp {
@@ -647,6 +931,23 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_u8(buf, RESP_UNSUBSCRIBED);
                 put_bool(buf, *existed);
             }
+            WireResponse::Leased { active } => {
+                put_u8(buf, RESP_LEASED);
+                put_bool(buf, *active);
+            }
+            WireResponse::TimeAdvanced(report) => {
+                put_u8(buf, RESP_TIME_ADVANCED);
+                put_push_report(buf, report);
+            }
+            WireResponse::Keys(keys) => {
+                put_u8(buf, RESP_KEYS);
+                put_keys(buf, keys);
+            }
+            WireResponse::Exported(states) => {
+                put_u8(buf, RESP_EXPORTED);
+                put_key_states(buf, states);
+            }
+            WireResponse::Imported => put_u8(buf, RESP_IMPORTED),
             WireResponse::Error(fault) => {
                 put_u8(buf, RESP_ERROR);
                 put_fault(buf, fault);
@@ -752,6 +1053,18 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
                 now: r.u64()?,
             },
             VERB_UNSUBSCRIBE => WireRequest::Unsubscribe { sub: r.u64()? },
+            VERB_LEASE => WireRequest::Lease {
+                key: K::decode_key(&mut r)?,
+                cfg: read_lease_cfg(&mut r)?,
+                now: r.u64()?,
+            },
+            VERB_RELEASE_LEASE => {
+                WireRequest::ReleaseLease { key: K::decode_key(&mut r)?, now: r.u64()? }
+            }
+            VERB_ADVANCE_TIME => WireRequest::AdvanceTime { now: r.u64()? },
+            VERB_KEY_LIST => WireRequest::KeyList,
+            VERB_EXPORT_KEYS => WireRequest::ExportKeys { keys: read_keys(&mut r)? },
+            VERB_IMPORT_KEYS => WireRequest::ImportKeys { states: read_key_states(&mut r)? },
             tag => return Err(WireError::UnknownTag { context: "request verb", tag }),
         }),
         MSG_RESPONSE => WireMessage::Response(match r.u8()? {
@@ -772,6 +1085,11 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
             RESP_SHUTDOWN_ACK => WireResponse::ShutdownAck,
             RESP_SUBSCRIBED => WireResponse::Subscribed { interval: read_interval(&mut r)? },
             RESP_UNSUBSCRIBED => WireResponse::Unsubscribed { existed: r.bool()? },
+            RESP_LEASED => WireResponse::Leased { active: r.bool()? },
+            RESP_TIME_ADVANCED => WireResponse::TimeAdvanced(read_push_report(&mut r)?),
+            RESP_KEYS => WireResponse::Keys(read_keys(&mut r)?),
+            RESP_EXPORTED => WireResponse::Exported(read_key_states(&mut r)?),
+            RESP_IMPORTED => WireResponse::Imported,
             RESP_ERROR => WireResponse::Error(read_fault(&mut r)?),
             tag => return Err(WireError::UnknownTag { context: "response kind", tag }),
         }),
@@ -1063,6 +1381,143 @@ mod tests {
                 now: 77,
             }));
         }
+    }
+
+    #[test]
+    fn lease_vocabulary_round_trips() {
+        use apcache_push::{FallbackWidth, LeaseConfig, PushReport};
+        for fallback in
+            [FallbackWidth::Unbounded, FallbackWidth::Fixed(12.5), FallbackWidth::Factor(2.0)]
+        {
+            round_trip(WireMessage::Request(WireRequest::Lease {
+                key: "leased".into(),
+                cfg: LeaseConfig { ttl_ms: 5_000, fallback },
+                now: 17,
+            }));
+        }
+        round_trip(WireMessage::Request(WireRequest::ReleaseLease {
+            key: "leased".into(),
+            now: 9,
+        }));
+        round_trip(WireMessage::Request(WireRequest::AdvanceTime { now: u64::MAX }));
+        round_trip(WireMessage::Response(WireResponse::Leased { active: true }));
+        round_trip(WireMessage::Response(WireResponse::Leased { active: false }));
+        round_trip(WireMessage::Response(WireResponse::TimeAdvanced(PushReport {
+            subscribers: 3,
+            watched_keys: 2,
+            leases: 5,
+            expired: 1,
+        })));
+    }
+
+    #[test]
+    fn invalid_lease_configs_are_rejected_on_decode() {
+        use apcache_push::{FallbackWidth, LeaseConfig};
+        // Zero TTL and a sub-unit factor are both meaningless; hand-build
+        // the frames since the typed constructors would be valid.
+        for (ttl, fb_tag, fb_value) in [(0u64, 0u8, 0.0), (100, 2, 0.5), (100, 1, -1.0)] {
+            let mut body = vec![MAGIC, VERSION, MSG_REQUEST];
+            put_u64(&mut body, 1); // request id
+            put_u8(&mut body, 9); // VERB_LEASE
+            put_str(&mut body, "k");
+            put_u64(&mut body, ttl);
+            put_u8(&mut body, fb_tag);
+            if fb_tag != 0 {
+                put_f64(&mut body, fb_value);
+            }
+            put_u64(&mut body, 0); // now
+            assert!(
+                matches!(decode_message::<String>(&body), Err(WireError::InvalidPayload(_))),
+                "ttl={ttl} fb_tag={fb_tag} fb_value={fb_value}"
+            );
+        }
+        // And the valid form still decodes (guards the hand-built layout).
+        let msg: WireMessage<String> = WireMessage::Request(WireRequest::Lease {
+            key: "k".into(),
+            cfg: LeaseConfig { ttl_ms: 100, fallback: FallbackWidth::Factor(1.5) },
+            now: 0,
+        });
+        assert_eq!(decode_message::<String>(&encode_to_vec(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn migration_vocabulary_round_trips() {
+        use apcache_core::policy::{GrowthLaw, Weighting};
+        round_trip(WireMessage::Request(WireRequest::KeyList));
+        round_trip(WireMessage::Request(WireRequest::ExportKeys {
+            keys: vec!["a".into(), "b".into()],
+        }));
+        round_trip(WireMessage::Response(WireResponse::Keys(vec!["a".into(), "b".into()])));
+        round_trip(WireMessage::Response(WireResponse::Imported));
+        // One state per policy family, exercising every optional field.
+        let states: Vec<KeyState<String>> = vec![
+            KeyState {
+                key: "adaptive".into(),
+                value: 41.5,
+                spec: PolicySpec::Adaptive,
+                policy_state: vec![10.0],
+                source_spec: ApproxSpec::Constant(Interval::new(36.5, 46.5).unwrap()),
+                cached: Some((ApproxSpec::Constant(Interval::new(36.5, 46.5).unwrap()), 10.0)),
+                metrics: Some(KeyMetrics {
+                    reads: 7,
+                    cache_hits: 5,
+                    writes: 3,
+                    vr_count: 2,
+                    qr_count: 1,
+                    vr_cost: 2.0,
+                    qr_cost: 1.5,
+                }),
+            },
+            KeyState {
+                key: "uncentered".into(),
+                value: -0.0,
+                spec: PolicySpec::Uncentered,
+                policy_state: vec![4.0, 6.0],
+                source_spec: ApproxSpec::Constant(Interval::new(-4.0, 6.0).unwrap()),
+                cached: None,
+                metrics: None,
+            },
+            KeyState {
+                key: "growing".into(),
+                value: 1e9,
+                spec: PolicySpec::TimeVarying(GrowthLaw::sqrt(2.0).unwrap()),
+                policy_state: vec![],
+                source_spec: ApproxSpec::Growing {
+                    center: 1e9,
+                    base_width: 5.0,
+                    coeff: 2.0,
+                    exponent: 0.5,
+                    t0: 1_000,
+                },
+                cached: None,
+                metrics: None,
+            },
+            KeyState {
+                key: "history".into(),
+                value: 2.25,
+                spec: PolicySpec::History {
+                    r: 5,
+                    weighting: Weighting::Exponential { decay: 0.5 },
+                },
+                policy_state: vec![8.0, 1.0, 0.0, 1.0],
+                source_spec: ApproxSpec::Drifting { lo0: 0.0, hi0: 4.0, rate_per_sec: 0.25, t0: 7 },
+                cached: Some((ApproxSpec::Constant(Interval::new(0.0, 4.5).unwrap()), 4.5)),
+                metrics: None,
+            },
+        ];
+        round_trip(WireMessage::Request(WireRequest::ImportKeys { states: states.clone() }));
+        round_trip(WireMessage::Response(WireResponse::Exported(states)));
+    }
+
+    #[test]
+    fn hostile_key_state_counts_do_not_allocate() {
+        // An ImportKeys frame claiming u32::MAX states with a near-empty
+        // body must fail on the length check, not attempt the allocation.
+        let mut body = vec![MAGIC, VERSION, MSG_REQUEST];
+        put_u64(&mut body, 1); // request id
+        put_u8(&mut body, 14); // VERB_IMPORT_KEYS
+        put_u32(&mut body, u32::MAX);
+        assert!(matches!(decode_message::<String>(&body), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -8,10 +8,11 @@ use std::net::TcpListener;
 use std::thread;
 
 use apcache_core::{Interval, TimeMs};
+use apcache_push::{LeaseConfig, PushReport};
 use apcache_queries::AggregateKind;
 use apcache_runtime::RuntimeHandle;
 use apcache_shard::ShardedStore;
-use apcache_store::{Constraint, PrecisionStore, ReadResult, StoreMetrics, WriteOutcome};
+use apcache_store::{Constraint, KeyState, PrecisionStore, ReadResult, StoreMetrics, WriteOutcome};
 
 use crate::codec::WireKey;
 use crate::error::{WireError, WireFault};
@@ -53,6 +54,84 @@ pub trait StoreService<K> {
     /// Snapshot the serving metrics (a deployment-wide rollup for
     /// multi-shard services).
     fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault>;
+
+    // -----------------------------------------------------------------
+    // v3 vocabulary, defaulted: a service that has no lease table or
+    // migration surface answers with a stable Unsupported fault instead
+    // of failing to compile. Overriders: the runtime handle (all six),
+    // the plain store (the migration trio).
+    // -----------------------------------------------------------------
+
+    /// Grant (or refresh) a TTL lease on `key`; `true` means active.
+    fn lease(&mut self, key: &K, cfg: LeaseConfig, now: TimeMs) -> Result<bool, WireFault> {
+        let _ = (key, cfg, now);
+        Err(unsupported("TTL leases"))
+    }
+
+    /// Release the lease on `key`, returning whether one existed.
+    fn release_lease(&mut self, key: &K, now: TimeMs) -> Result<bool, WireFault> {
+        let _ = (key, now);
+        Err(unsupported("TTL leases"))
+    }
+
+    /// Advance the push-side logical clock and report occupancy.
+    fn advance_time(&mut self, now: TimeMs) -> Result<PushReport, WireFault> {
+        let _ = now;
+        Err(unsupported("push-side time advance"))
+    }
+
+    /// Every key this service serves, in a deterministic order.
+    fn key_list(&mut self) -> Result<Vec<K>, WireFault> {
+        Err(unsupported("key enumeration"))
+    }
+
+    /// Detach `keys` with full protocol state (atomic: a miss exports
+    /// nothing) — the export half of cross-node migration.
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, WireFault> {
+        let _ = keys;
+        Err(unsupported("key migration"))
+    }
+
+    /// Attach keys previously detached elsewhere — the import half of
+    /// cross-node migration.
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), WireFault> {
+        let _ = states;
+        Err(unsupported("key migration"))
+    }
+}
+
+/// The stable fault for a verb this service does not implement.
+fn unsupported(what: &str) -> WireFault {
+    WireFault::new(
+        crate::error::FaultKind::Unsupported,
+        format!("this endpoint does not serve {what}"),
+    )
+}
+
+/// Whether a request verb entered the vocabulary at protocol v3 — the
+/// lease and migration surface. The codec is version-agnostic on frame
+/// bodies, so the *server* gates: pre-v3 peers get the same stable
+/// `Unsupported` fault subscriptions already get, never a response frame
+/// their decoder lacks. (`Subscribe` is gated separately: its refusal
+/// message names the pipelined requirement.)
+fn requires_v3<K>(request: &WireRequest<K>) -> bool {
+    matches!(
+        request,
+        WireRequest::Lease { .. }
+            | WireRequest::ReleaseLease { .. }
+            | WireRequest::AdvanceTime { .. }
+            | WireRequest::KeyList
+            | WireRequest::ExportKeys { .. }
+            | WireRequest::ImportKeys { .. }
+    )
+}
+
+/// The stable fault pre-v3 peers get for v3-only verbs.
+fn v3_fault() -> WireFault {
+    WireFault::new(
+        crate::error::FaultKind::Unsupported,
+        "lease and migration verbs require protocol v3",
+    )
 }
 
 impl<K: Hash + Ord + Clone> StoreService<K> for PrecisionStore<K> {
@@ -87,6 +166,31 @@ impl<K: Hash + Ord + Clone> StoreService<K> for PrecisionStore<K> {
 
     fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
         Ok(PrecisionStore::metrics(self).clone())
+    }
+
+    fn key_list(&mut self) -> Result<Vec<K>, WireFault> {
+        Ok(PrecisionStore::keys(self).cloned().collect())
+    }
+
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, WireFault> {
+        // Whole-set pre-check so a miss exports nothing (the atomicity
+        // contract the migration protocol leans on).
+        for key in keys {
+            if !PrecisionStore::contains_key(self, key) {
+                return Err(apcache_store::StoreError::UnknownKey.into());
+            }
+        }
+        keys.iter()
+            .map(|key| self.export_key(key))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(Into::into)
+    }
+
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), WireFault> {
+        for state in states {
+            self.import_key(state)?;
+        }
+        Ok(())
     }
 }
 
@@ -125,7 +229,7 @@ impl<K: Hash + Ord + Clone> StoreService<K> for ShardedStore<K> {
     }
 }
 
-impl<K: Hash + Ord + Clone + Send + 'static> StoreService<K> for RuntimeHandle<K> {
+impl<K: Hash + Ord + Clone + Send + Sync + 'static> StoreService<K> for RuntimeHandle<K> {
     fn read(
         &mut self,
         key: &K,
@@ -157,6 +261,31 @@ impl<K: Hash + Ord + Clone + Send + 'static> StoreService<K> for RuntimeHandle<K
 
     fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
         RuntimeHandle::metrics(self).map(|m| m.merged().clone()).map_err(Into::into)
+    }
+
+    fn lease(&mut self, key: &K, cfg: LeaseConfig, now: TimeMs) -> Result<bool, WireFault> {
+        // A granted (or refreshed) lease is active by definition.
+        RuntimeHandle::lease(self, key, cfg, now).map(|()| true).map_err(Into::into)
+    }
+
+    fn release_lease(&mut self, key: &K, now: TimeMs) -> Result<bool, WireFault> {
+        RuntimeHandle::release_lease(self, key, now).map_err(Into::into)
+    }
+
+    fn advance_time(&mut self, now: TimeMs) -> Result<PushReport, WireFault> {
+        RuntimeHandle::advance_time(self, now).map_err(Into::into)
+    }
+
+    fn key_list(&mut self) -> Result<Vec<K>, WireFault> {
+        Ok(self.sorted_keys())
+    }
+
+    fn export_keys(&mut self, keys: &[K]) -> Result<Vec<KeyState<K>>, WireFault> {
+        self.export_key_states(keys).map_err(Into::into)
+    }
+
+    fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), WireFault> {
+        self.import_key_states(states).map_err(Into::into)
     }
 }
 
@@ -254,6 +383,14 @@ impl<S> StoreServer<S> {
                     continue;
                 }
             };
+            if requires_v3(&request) && version < crate::message::VERSION {
+                transport.send(&versioned_to_vec::<K>(
+                    version,
+                    id,
+                    &WireMessage::Response(WireResponse::Error(v3_fault())),
+                ))?;
+                continue;
+            }
             let response = match request {
                 WireRequest::Read { key, constraint, now } => {
                     match self.service.read(&key, constraint, now) {
@@ -293,6 +430,32 @@ impl<S> StoreServer<S> {
                         "push subscriptions need a pipelined (v3) connection",
                     ))
                 }
+                WireRequest::Lease { key, cfg, now } => match self.service.lease(&key, cfg, now) {
+                    Ok(active) => WireResponse::Leased { active },
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                WireRequest::ReleaseLease { key, now } => {
+                    match self.service.release_lease(&key, now) {
+                        Ok(active) => WireResponse::Leased { active },
+                        Err(fault) => WireResponse::Error(fault),
+                    }
+                }
+                WireRequest::AdvanceTime { now } => match self.service.advance_time(now) {
+                    Ok(report) => WireResponse::TimeAdvanced(report),
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                WireRequest::KeyList => match self.service.key_list() {
+                    Ok(keys) => WireResponse::Keys(keys),
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                WireRequest::ExportKeys { keys } => match self.service.export_keys(&keys) {
+                    Ok(states) => WireResponse::Exported(states),
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                WireRequest::ImportKeys { states } => match self.service.import_keys(states) {
+                    Ok(()) => WireResponse::Imported,
+                    Err(fault) => WireResponse::Error(fault),
+                },
                 WireRequest::Shutdown => {
                     transport.send(&versioned_to_vec::<K>(
                         version,
@@ -403,6 +566,14 @@ where
                 continue;
             }
         };
+        if requires_v3(&request) && version < crate::message::VERSION {
+            let _ = evt_tx.send(ConnEvent::Immediate {
+                request_id,
+                version,
+                response: WireResponse::Error(v3_fault()),
+            });
+            continue;
+        }
         let submitted = match request {
             WireRequest::Read { key, constraint, now } => handle.submit_read(&key, constraint, now),
             WireRequest::Write { key, value, now } => handle.submit_write(&key, value, now),
@@ -444,6 +615,40 @@ where
                     continue;
                 }
             },
+            WireRequest::Lease { key, cfg, now } => handle.submit_lease(&key, cfg, now),
+            WireRequest::ReleaseLease { key, now } => handle.submit_release_lease(&key, now),
+            WireRequest::AdvanceTime { now } => handle.submit_advance_time(now),
+            // Migration verbs are control-plane and run inline on the
+            // reader, not through the ticketed surface: pausing intake
+            // while a batch detaches means no later frame on this
+            // connection can race the export, and the per-shard export
+            // request still queues *behind* everything already in that
+            // shard's mailbox — earlier submitted writes land before the
+            // state leaves (the drain-then-flip ordering migration needs).
+            WireRequest::KeyList => {
+                let _ = evt_tx.send(ConnEvent::Immediate {
+                    request_id,
+                    version,
+                    response: WireResponse::Keys(handle.sorted_keys()),
+                });
+                continue;
+            }
+            WireRequest::ExportKeys { keys } => {
+                let response = match handle.export_key_states(&keys) {
+                    Ok(states) => WireResponse::Exported(states),
+                    Err(e) => WireResponse::Error(WireFault::from(e)),
+                };
+                let _ = evt_tx.send(ConnEvent::Immediate { request_id, version, response });
+                continue;
+            }
+            WireRequest::ImportKeys { states } => {
+                let response = match handle.import_key_states(states) {
+                    Ok(()) => WireResponse::Imported,
+                    Err(e) => WireResponse::Error(WireFault::from(e)),
+                };
+                let _ = evt_tx.send(ConnEvent::Immediate { request_id, version, response });
+                continue;
+            }
             WireRequest::Shutdown => {
                 let _ = evt_tx.send(ConnEvent::End { ack: Some((request_id, version)) });
                 break;
@@ -670,11 +875,16 @@ where
                 request_id,
                 &WireMessage::Response(WireResponse::Unsubscribed { existed }),
             ),
-            // Leases and ticks have no wire verbs on this connection;
-            // nothing here ever submits them, so no mapped ticket can
-            // settle with these outcomes.
-            Ok(apcache_runtime::Outcome::Leased { .. })
-            | Ok(apcache_runtime::Outcome::TimeAdvanced(_)) => continue,
+            Ok(apcache_runtime::Outcome::Leased { active }) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Leased { active }),
+            ),
+            Ok(apcache_runtime::Outcome::TimeAdvanced(report)) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::TimeAdvanced(report)),
+            ),
             Err(e) => versioned_to_vec::<K>(
                 version,
                 request_id,

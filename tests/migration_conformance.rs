@@ -1,0 +1,337 @@
+//! Migration conformance: elastic resharding must be invisible to
+//! callers. A fleet that grows and shrinks mid-trace — live-migrating
+//! resident keys with their full protocol state — is driven op-for-op
+//! against a never-resharded reference store, under θ = 1 where width
+//! adaptation is deterministic:
+//!
+//! * every read answer and write escape is bit-identical to the
+//!   reference, before and after each ring flip;
+//! * final per-key state (adaptive widths, values, cached intervals)
+//!   and merged metric totals are identical — migration moves the
+//!   converged width instead of discarding it (the stranded-key bug
+//!   this suite pins down);
+//! * the same holds for the actor runtime's live `add_shard` /
+//!   `remove_shard`, whose migrations drain mailboxes and flip the
+//!   ring under traffic;
+//! * concurrent writers riding across random ring flips lose nothing:
+//!   every acknowledged write is readable afterwards and the write
+//!   counters balance exactly.
+
+use std::thread;
+
+use apcache::core::cost::CostModel;
+use apcache::core::{Rng, MS_PER_SEC};
+use apcache::runtime::Runtime;
+use apcache::shard::ShardedStoreBuilder;
+use apcache::store::{Constraint, InitialWidth, PrecisionStore, StoreBuilder};
+
+const START_SHARDS: [usize; 3] = [1, 2, 4];
+const MAX_SHARDS: usize = 6;
+const VNODES: usize = 64;
+const N_KEYS: u32 = 32;
+const TICKS: u64 = 160;
+const SEED: u64 = 0x01_5701;
+
+fn key(i: u32) -> String {
+    format!("sensor/{i:03}")
+}
+
+/// One operation of the shared trace. Reshard events carry a pre-drawn
+/// pick so every system under test retires the same ring id; the
+/// reference store simply ignores them.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: String, value: f64, now: u64 },
+    Read { key: String, constraint: Constraint, now: u64 },
+    Grow,
+    Shrink { pick: u64 },
+}
+
+/// A deterministic mixed trace with reshard events sprinkled between
+/// ticks: every key follows its own random walk, reads rotate through
+/// the three constraint forms, and roughly every fourth tick the ring
+/// grows or shrinks.
+fn trace(seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * i as f64).collect();
+    let mut ops = Vec::new();
+    for t in 1..=TICKS {
+        let now = t * MS_PER_SEC;
+        for i in 0..N_KEYS {
+            values[i as usize] += rng.normal_with(0.0, 4.0);
+            ops.push(Op::Write { key: key(i), value: values[i as usize], now });
+        }
+        for _ in 0..3 {
+            let i = rng.below(u64::from(N_KEYS)) as u32;
+            let constraint = match rng.below(3) {
+                0 => Constraint::Absolute(rng.uniform(1.0, 20.0)),
+                1 => Constraint::Relative(0.05),
+                _ => Constraint::Exact,
+            };
+            ops.push(Op::Read { key: key(i), constraint, now });
+        }
+        if rng.below(4) == 0 {
+            ops.push(match rng.below(2) {
+                0 => Op::Grow,
+                _ => Op::Shrink { pick: rng.below(u64::from(u32::MAX)) },
+            });
+        }
+    }
+    ops
+}
+
+/// The never-resharded reference everything is compared against.
+fn reference() -> PrecisionStore<String> {
+    let mut b = StoreBuilder::new()
+        .cost(CostModel::multiversion())
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 1))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b.build().expect("reference store config valid")
+}
+
+fn fleet_builder(shards: usize) -> ShardedStoreBuilder<String> {
+    let mut b = ShardedStoreBuilder::new()
+        .shards(shards)
+        .vnodes(VNODES)
+        .cost(CostModel::multiversion())
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 2))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..N_KEYS {
+        b = b.source(key(i), 10.0 * i as f64);
+    }
+    b
+}
+
+/// An empty shard with the fleet's tuning, ready to receive migrated
+/// keys (the RNG seed is irrelevant at θ = 1: adaptation is
+/// deterministic).
+fn empty_shard(salt: u64) -> PrecisionStore<String> {
+    StoreBuilder::new()
+        .cost(CostModel::multiversion())
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ salt))
+        .initial_width(InitialWidth::Fixed(8.0))
+        .build()
+        .expect("empty shard config valid")
+}
+
+/// Synchronous fleet: a randomized add/remove schedule interleaved with
+/// the trace must replay bit-identically to the unresharded reference —
+/// every answer, every escape, every final width and counter.
+#[test]
+fn randomized_reshard_schedule_is_bit_identical_to_reference() {
+    for &n in &START_SHARDS {
+        let ops = trace(SEED ^ n as u64);
+        let mut single = reference();
+        let mut fleet = fleet_builder(n).build().expect("fleet config valid");
+        let (mut grows, mut shrinks) = (0u32, 0u32);
+        for (op_no, op) in ops.iter().enumerate() {
+            match op {
+                Op::Write { key, value, now } => {
+                    let a = single.write(key, *value, *now).expect("known key");
+                    let b = fleet.write(key, *value, *now).expect("known key");
+                    assert_eq!(a, b, "start={n} op={op_no}: write escape mismatch on {key}");
+                }
+                Op::Read { key, constraint, now } => {
+                    let a = single.read(key, *constraint, *now).expect("known key");
+                    let b = fleet.read(key, *constraint, *now).expect("known key");
+                    assert_eq!(a, b, "start={n} op={op_no}: read mismatch on {key}");
+                }
+                Op::Grow => {
+                    if fleet.shard_count() < MAX_SHARDS {
+                        fleet
+                            .add_shard_backend(empty_shard(3 + u64::from(grows)))
+                            .expect("grow migrates cleanly");
+                        grows += 1;
+                    }
+                }
+                Op::Shrink { pick } => {
+                    if fleet.shard_count() > 1 {
+                        let ids = fleet.shard_ids().to_vec();
+                        let id = ids[(*pick as usize) % ids.len()];
+                        fleet.remove_shard(id).expect("shrink migrates cleanly");
+                        shrinks += 1;
+                    }
+                }
+            }
+        }
+        assert!(grows > 0 && shrinks > 0, "start={n}: schedule never resharded");
+        // Post-migration per-key protocol state is bit-identical: the
+        // converged adaptive width travelled with every remapped key.
+        for i in 0..N_KEYS {
+            let k = key(i);
+            assert_eq!(
+                single.internal_width(&k),
+                fleet.internal_width(&k),
+                "start={n}: width diverged on {k} after {grows} grows / {shrinks} shrinks"
+            );
+            assert_eq!(single.value(&k), fleet.value(&k), "start={n}: value diverged on {k}");
+            assert_eq!(
+                single.cached_interval(&k, TICKS * MS_PER_SEC),
+                fleet.cached_interval(&k, TICKS * MS_PER_SEC),
+                "start={n}: cached interval diverged on {k}"
+            );
+        }
+        // Per-key metrics migrated too: the rollup balances exactly.
+        assert_eq!(
+            single.metrics().totals(),
+            fleet.metrics().merged().totals(),
+            "start={n}: merged totals diverged"
+        );
+    }
+}
+
+/// The actor runtime's live migration (mailbox drain → state transfer →
+/// ring flip) replays the same schedule bit-identically, and the drained
+/// final stores carry the same per-key state as the reference.
+#[test]
+fn live_runtime_resharding_is_bit_identical_to_reference() {
+    for &n in &START_SHARDS {
+        let ops = trace(SEED ^ (0x99 + n as u64));
+        let mut single = reference();
+        let mut runtime = Runtime::launch(fleet_builder(n).build().expect("fleet config valid"))
+            .expect("runtime launches");
+        let handle = runtime.handle();
+        let (mut grows, mut shrinks) = (0u32, 0u32);
+        for (op_no, op) in ops.iter().enumerate() {
+            match op {
+                Op::Write { key, value, now } => {
+                    let a = single.write(key, *value, *now).expect("known key");
+                    let b = handle.write(key, *value, *now).expect("known key");
+                    assert_eq!(a, b, "start={n} op={op_no}: write escape mismatch on {key}");
+                }
+                Op::Read { key, constraint, now } => {
+                    let a = single.read(key, *constraint, *now).expect("known key");
+                    let b = handle.read(key, *constraint, *now).expect("known key");
+                    assert_eq!(a, b, "start={n} op={op_no}: read mismatch on {key}");
+                }
+                Op::Grow => {
+                    if runtime.shard_count() < MAX_SHARDS {
+                        runtime
+                            .add_shard(empty_shard(7 + u64::from(grows)))
+                            .expect("live grow migrates cleanly");
+                        grows += 1;
+                    }
+                }
+                Op::Shrink { pick } => {
+                    if runtime.shard_count() > 1 {
+                        let ids = runtime.shard_ids();
+                        let id = ids[(*pick as usize) % ids.len()];
+                        let drained = runtime.remove_shard(id).expect("live shrink migrates");
+                        assert!(drained.is_empty(), "start={n}: retired shard kept keys");
+                        shrinks += 1;
+                    }
+                }
+            }
+        }
+        assert!(grows > 0 && shrinks > 0, "start={n}: schedule never resharded");
+        let settled = runtime.into_store().expect("runtime drains");
+        for i in 0..N_KEYS {
+            let k = key(i);
+            assert_eq!(
+                single.internal_width(&k),
+                settled.internal_width(&k),
+                "start={n}: width diverged on {k} after {grows} grows / {shrinks} shrinks"
+            );
+            assert_eq!(single.value(&k), settled.value(&k), "start={n}: value diverged on {k}");
+            assert_eq!(
+                single.cached_interval(&k, TICKS * MS_PER_SEC),
+                settled.cached_interval(&k, TICKS * MS_PER_SEC),
+                "start={n}: cached interval diverged on {k}"
+            );
+        }
+        assert_eq!(
+            single.metrics().totals(),
+            settled.metrics().merged().totals(),
+            "start={n}: merged totals diverged"
+        );
+    }
+}
+
+/// Writers hammering disjoint key ranges from their own logical handles
+/// while the main thread flips the ring at random: zero lost writes.
+/// Every acknowledged write is readable after the dust settles (each
+/// key's final exact answer is its last written value) and the write
+/// counters balance — migrated counters included.
+#[test]
+fn concurrent_writes_survive_live_resharding_with_zero_lost_writes() {
+    const WRITERS: u32 = 4;
+    const KEYS_PER_WRITER: u32 = 8;
+    const WRITES_PER_KEY: u64 = 50;
+
+    let mut b = ShardedStoreBuilder::new()
+        .shards(2)
+        .vnodes(VNODES)
+        .cost(CostModel::multiversion())
+        .alpha(1.0)
+        .rng(Rng::seed_from_u64(SEED ^ 0xC0))
+        .initial_width(InitialWidth::Fixed(8.0));
+    for i in 0..WRITERS * KEYS_PER_WRITER {
+        b = b.source(key(i), 0.0);
+    }
+    let mut runtime =
+        Runtime::launch(b.build().expect("fleet config valid")).expect("runtime launches");
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let handle = runtime.handle();
+            thread::spawn(move || {
+                for seq in 1..=WRITES_PER_KEY {
+                    for i in 0..KEYS_PER_WRITER {
+                        let k = key(w * KEYS_PER_WRITER + i);
+                        let value = f64::from(w + 1) * 1_000_000.0 + seq as f64;
+                        handle.write(&k, value, seq * MS_PER_SEC).expect("write acknowledged");
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Flip the ring under the writers' feet: grow, shrink, repeat.
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xC1);
+    for flip in 0..8u64 {
+        thread::sleep(std::time::Duration::from_millis(3));
+        if runtime.shard_count() < MAX_SHARDS && (flip % 2 == 0 || runtime.shard_count() == 1) {
+            runtime.add_shard(empty_shard(0xD0 + flip)).expect("live grow under traffic");
+        } else {
+            let ids = runtime.shard_ids();
+            let id = ids[rng.below(ids.len() as u64) as usize];
+            let drained = runtime.remove_shard(id).expect("live shrink under traffic");
+            assert!(drained.is_empty(), "retired shard kept keys mid-traffic");
+        }
+    }
+    for writer in writers {
+        writer.join().expect("writer thread survived resharding");
+    }
+
+    // Zero lost writes: the final exact answer on every key is the last
+    // value its writer acknowledged.
+    let handle = runtime.handle();
+    let settle = (WRITES_PER_KEY + 1) * MS_PER_SEC;
+    for w in 0..WRITERS {
+        let last = f64::from(w + 1) * 1_000_000.0 + WRITES_PER_KEY as f64;
+        for i in 0..KEYS_PER_WRITER {
+            let k = key(w * KEYS_PER_WRITER + i);
+            let r = handle.read(&k, Constraint::Exact, settle).expect("key survived flips");
+            assert!(
+                r.answer.contains(last) && r.answer.width() == 0.0,
+                "lost write on {k}: exact answer {} != last acknowledged {last}",
+                r.answer
+            );
+        }
+    }
+    // The write counters moved with their keys and balance exactly.
+    let metrics = handle.metrics().expect("metrics gather");
+    assert_eq!(
+        metrics.merged().totals().writes,
+        u64::from(WRITERS * KEYS_PER_WRITER) * WRITES_PER_KEY,
+        "write counters lost in migration"
+    );
+    drop(handle);
+    runtime.shutdown().expect("clean shutdown");
+}

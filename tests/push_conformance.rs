@@ -48,6 +48,7 @@ fn push_mirror_is_bit_identical_to_polling() {
                 ..ShardedSystemConfig::default()
             },
             window: 8,
+            pool_sockets: 0,
         };
         let initial: Vec<f64> = (0..N_KEYS).map(|i| 10.0 * (i as f64 + 1.0)).collect();
         let mut system =
