@@ -1,0 +1,13 @@
+//! Guards the telemetry layer's zero-cost-hot-path claim and writes the
+//! machine-readable perf record (`BENCH_telemetry.json` at the workspace
+//! root). Run with `cargo bench -p apcache-bench --bench telemetry_overhead`.
+
+fn main() {
+    let (table, json) = apcache_bench::experiments::telemetry::run();
+    table.print();
+    // Anchor to the workspace root so the record lands in the same place
+    // no matter which directory cargo invokes the bench from.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(path, &json).expect("write BENCH_telemetry.json");
+    println!("wrote {path}");
+}

@@ -21,4 +21,5 @@ pub mod push;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;
+pub mod telemetry;
 pub mod wire;

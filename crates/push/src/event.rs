@@ -77,6 +77,25 @@ impl PushReport {
         self.leases += other.leases;
         self.expired += other.expired;
     }
+
+    /// Render the push-side occupancy as Prometheus-style gauge families
+    /// (occupancy, not counters: subscriptions close and leases release).
+    /// `expired` is deliberately omitted — it is per-operation, not
+    /// cumulative; the runtime exports the cumulative
+    /// `apcache_lease_expirations_total` counter instead.
+    pub fn render_into(&self, out: &mut apcache_telemetry::Exposition) {
+        use apcache_telemetry::MetricKind;
+        out.family("apcache_push_subscribers", MetricKind::Gauge, "Live push subscriptions.");
+        out.sample("apcache_push_subscribers", &[], self.subscribers as f64);
+        out.family(
+            "apcache_push_watched_keys",
+            MetricKind::Gauge,
+            "Keys with at least one push subscriber.",
+        );
+        out.sample("apcache_push_watched_keys", &[], self.watched_keys as f64);
+        out.family("apcache_push_leases", MetricKind::Gauge, "Keys holding an active TTL lease.");
+        out.sample("apcache_push_leases", &[], self.leases as f64);
+    }
 }
 
 #[cfg(test)]

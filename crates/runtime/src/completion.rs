@@ -26,6 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use apcache_core::{Interval, TimeMs};
 use apcache_push::{PushEvent, PushReport, PushSink};
@@ -34,6 +35,7 @@ use apcache_shard::plan::{AggregatePlan, RoundSpec};
 use apcache_store::{
     AggregateOutcome, Constraint, ReadResult, StoreError, StoreMetrics, WriteOutcome,
 };
+use apcache_telemetry::TraceKind;
 
 use crate::error::RuntimeError;
 use crate::request::Request;
@@ -97,6 +99,11 @@ pub enum Outcome<K> {
     /// or [`push_stats`](crate::RuntimeHandle::push_stats): the merged
     /// push-side occupancy report.
     TimeAdvanced(PushReport),
+    /// Outcome of
+    /// [`submit_exposition`](crate::RuntimeHandle::submit_exposition):
+    /// the deployment's full Prometheus text exposition, rendered at
+    /// submit time and settled immediately.
+    Exposition(String),
 }
 
 /// One harvested completion: the ticket it settles and what happened.
@@ -226,6 +233,8 @@ struct AggOp<K> {
     /// A harvesting thread is currently issuing the next round's legs
     /// (outside the lock); it re-checks completion when it finishes.
     advancing: bool,
+    /// Scatter rounds issued so far (for the trace ring).
+    rounds: u32,
 }
 
 /// What the queue tracks per outstanding ticket.
@@ -255,6 +264,9 @@ struct QueueState<K> {
     /// Aggregates whose current round has fully landed and whose plan
     /// must be advanced (fed + next round issued) by a harvester.
     runnable: Vec<u64>,
+    /// Submit-time verb + clock per outstanding ticket, consumed when
+    /// the op settles to feed the per-verb latency histograms.
+    inflight: HashMap<u64, (&'static str, Instant)>,
 }
 
 struct QueueCore<K> {
@@ -289,6 +301,17 @@ impl<K> QueueCore<K> {
         self.state.lock().expect("completion queue lock poisoned")
     }
 
+    /// Latency + trace bookkeeping for a ticket that just settled.
+    /// `timing` is the entry removed from `inflight` under the lock; this
+    /// runs after the lock is dropped.
+    fn finish_op(&self, ticket: u64, timing: Option<(&'static str, Instant)>) {
+        if let Some((verb, started)) = timing {
+            let telemetry = &self.shared.telemetry;
+            telemetry.observe_verb(verb, started.elapsed());
+            telemetry.record(TraceKind::Completion, ticket, verb, None);
+        }
+    }
+
     /// A leg's sender was dropped unfulfilled: the owning actor exited or
     /// was torn down with the request still queued. Whatever the op, its
     /// caller can no longer get a complete answer — settle as
@@ -297,11 +320,13 @@ impl<K> QueueCore<K> {
     fn leg_dropped(&self, ticket: u64, _leg: u32) {
         let mut st = self.lock();
         if st.ops.remove(&ticket).is_some() {
+            let timing = st.inflight.remove(&ticket);
             st.ready.push_back(Completion {
                 ticket: Ticket(ticket),
                 outcome: Err(RuntimeError::ActorGone),
             });
             drop(st);
+            self.finish_op(ticket, timing);
             self.cv.notify_all();
         }
     }
@@ -312,12 +337,23 @@ impl<K> QueueCore<K> {
     /// raced the actor) the event is silently dropped — the subscriber no
     /// longer exists to hear it.
     fn push_streaming(&self, ticket: u64, outcome: Outcome<K>) {
+        let is_ack = matches!(outcome, Outcome::Subscribed { .. });
+        let is_push = matches!(outcome, Outcome::Push(_));
         let mut st = self.lock();
         if !st.ops.contains_key(&ticket) {
             return;
         }
+        // The subscribe ack stops the submit clock (the ticket itself
+        // stays outstanding and streams); pushes bump the fan-out counter.
+        let timing = if is_ack { st.inflight.remove(&ticket) } else { None };
         st.ready.push_back(Completion { ticket: Ticket(ticket), outcome: Ok(outcome) });
         drop(st);
+        if let Some((verb, started)) = timing {
+            self.shared.telemetry.observe_verb(verb, started.elapsed());
+        }
+        if is_push {
+            self.shared.telemetry.push_delivered();
+        }
         self.cv.notify_all();
     }
 
@@ -326,11 +362,18 @@ impl<K> QueueCore<K> {
     fn subscription_ended(&self, ticket: u64) {
         let mut st = self.lock();
         if st.ops.remove(&ticket).is_some() {
+            let timing = st.inflight.remove(&ticket);
             st.ready.push_back(Completion {
                 ticket: Ticket(ticket),
                 outcome: Ok(Outcome::SubscriptionEnded),
             });
             drop(st);
+            // The ack usually consumed the timing already; either way the
+            // stream's end is the ticket's terminal trace event.
+            if let Some((verb, started)) = timing {
+                self.shared.telemetry.observe_verb(verb, started.elapsed());
+            }
+            self.shared.telemetry.record(TraceKind::Completion, ticket, "subscribe", None);
             self.cv.notify_all();
         }
     }
@@ -345,6 +388,7 @@ impl<K: Ord + Clone> QueueCore<K> {
             return; // op already settled (earlier leg error); straggler
         };
         let mut round_complete = false;
+        let mut lease_expired = 0usize;
         // A reply kind that does not match the op kind cannot be
         // constructed by the actors (each Request variant maps onto
         // exactly one LegReply variant); the mismatch arms settle
@@ -402,6 +446,7 @@ impl<K: Ord + Clone> QueueCore<K> {
             OpState::Subscription { .. } => Some(Err(RuntimeError::ActorGone)),
             OpState::Tick { remaining, report } => match reply {
                 LegReply::Tick(r) => {
+                    lease_expired = r.expired;
                     report.merge(&r);
                     *remaining -= 1;
                     (*remaining == 0).then(|| Ok(Outcome::TimeAdvanced(*report)))
@@ -410,8 +455,10 @@ impl<K: Ord + Clone> QueueCore<K> {
             },
         };
         let mut wake = false;
+        let mut timing = None;
         if let Some(outcome) = settled {
             st.ops.remove(&ticket);
+            timing = st.inflight.remove(&ticket);
             st.ready.push_back(Completion { ticket: Ticket(ticket), outcome });
             wake = true;
         } else if round_complete {
@@ -419,6 +466,8 @@ impl<K: Ord + Clone> QueueCore<K> {
             wake = true;
         }
         drop(st);
+        self.shared.telemetry.leases_expired(lease_expired);
+        self.finish_op(ticket, timing);
         if wake {
             self.cv.notify_all();
         }
@@ -434,6 +483,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                     ops: HashMap::new(),
                     ready: VecDeque::new(),
                     runnable: Vec::new(),
+                    inflight: HashMap::new(),
                 }),
                 cv: Condvar::new(),
                 shared,
@@ -448,11 +498,15 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
     }
 
     /// Register a new op and hand back its ticket (still locked state).
-    fn register(&self, op: OpState<K>) -> u64 {
+    /// Starts the submit clock and records the submit trace event.
+    fn register(&self, op: OpState<K>, verb: &'static str) -> u64 {
         let mut st = self.core.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.ops.insert(ticket, op);
+        st.inflight.insert(ticket, (verb, Instant::now()));
+        drop(st);
+        self.core.shared.telemetry.record(TraceKind::Submit, ticket, verb, None);
         ticket
     }
 
@@ -464,7 +518,10 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
     /// mailbox): unregister first so the rejected request's dropped
     /// [`LegSender`] does not settle the ticket, then surface `Closed`.
     fn abort_submit<T>(&self, ticket: u64, rejected: T) -> Result<Ticket, RuntimeError> {
-        self.core.lock().ops.remove(&ticket);
+        let mut st = self.core.lock();
+        st.ops.remove(&ticket);
+        st.inflight.remove(&ticket);
+        drop(st);
         drop(rejected);
         Err(RuntimeError::Closed)
     }
@@ -475,13 +532,22 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
     pub(crate) fn submit_keyed(
         &self,
         key: &K,
+        verb: &'static str,
         build: impl FnOnce(LegSender<K>) -> Request<K>,
     ) -> Result<Ticket, RuntimeError> {
-        let ticket = self.register(OpState::Direct);
+        let ticket = self.register(OpState::Direct, verb);
         let topo = self.topology();
         let slot = topo.slot_for_key(key);
         match topo.senders[slot].send(build(self.leg(ticket, 0))) {
-            Ok(()) => Ok(Ticket(ticket)),
+            Ok(()) => {
+                self.core.shared.telemetry.record(
+                    TraceKind::Dispatch,
+                    ticket,
+                    verb,
+                    Some(topo.ids[slot]),
+                );
+                Ok(Ticket(ticket))
+            }
             Err(rejected) => self.abort_submit(ticket, rejected),
         }
     }
@@ -493,16 +559,27 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
         key: &K,
         build: impl FnOnce(SubscriptionSender<K>) -> Request<K>,
     ) -> Result<Ticket, RuntimeError> {
-        let ticket = self.register(OpState::Subscription { key: key.clone() });
+        let ticket = self.register(OpState::Subscription { key: key.clone() }, "subscribe");
         let sub = SubscriptionSender { core: Arc::clone(&self.core), ticket };
         let topo = self.topology();
         let slot = topo.slot_for_key(key);
         match topo.senders[slot].send(build(sub)) {
-            Ok(()) => Ok(Ticket(ticket)),
+            Ok(()) => {
+                self.core.shared.telemetry.record(
+                    TraceKind::Dispatch,
+                    ticket,
+                    "subscribe",
+                    Some(topo.ids[slot]),
+                );
+                Ok(Ticket(ticket))
+            }
             Err(rejected) => {
                 // Unregister before dropping the rejected request, so the
                 // sender's Drop finds no op and settles nothing.
-                self.core.lock().ops.remove(&ticket);
+                let mut st = self.core.lock();
+                st.ops.remove(&ticket);
+                st.inflight.remove(&ticket);
+                drop(st);
                 drop(rejected);
                 Err(RuntimeError::Closed)
             }
@@ -524,13 +601,19 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
     pub(crate) fn submit_tick(&self, now: Option<TimeMs>) -> Result<Ticket, RuntimeError> {
         let topo = self.topology();
         let shards = topo.senders.len();
-        let ticket =
-            self.register(OpState::Tick { remaining: shards, report: PushReport::default() });
+        let ticket = self
+            .register(OpState::Tick { remaining: shards, report: PushReport::default() }, "tick");
         for slot in 0..shards {
             let reply = Some(self.leg(ticket, slot as u32));
             if let Err(rejected) = topo.senders[slot].send(Request::Tick { now, reply }) {
                 return self.abort_submit(ticket, rejected);
             }
+            self.core.shared.telemetry.record(
+                TraceKind::Dispatch,
+                ticket,
+                "tick",
+                Some(topo.ids[slot]),
+            );
         }
         Ok(Ticket(ticket))
     }
@@ -550,7 +633,8 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
         }
         let parts: Vec<(usize, Vec<(K, f64)>)> =
             per_slot.into_iter().enumerate().filter(|(_, items)| !items.is_empty()).collect();
-        let ticket = self.register(OpState::Batch { remaining: parts.len(), refreshes: 0 });
+        let ticket =
+            self.register(OpState::Batch { remaining: parts.len(), refreshes: 0 }, "write_batch");
         for (leg, (slot, items)) in parts.into_iter().enumerate() {
             let reply = self.leg(ticket, leg as u32);
             if let Err(rejected) =
@@ -558,6 +642,12 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
             {
                 return self.abort_submit(ticket, rejected);
             }
+            self.core.shared.telemetry.record(
+                TraceKind::Dispatch,
+                ticket,
+                "write_batch",
+                Some(topo.ids[slot]),
+            );
         }
         Ok(Ticket(ticket))
     }
@@ -566,13 +656,19 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
     pub(crate) fn submit_metrics(&self) -> Result<Ticket, RuntimeError> {
         let topo = self.topology();
         let shards = topo.senders.len();
-        let ticket =
-            self.register(OpState::Metrics { slots: vec![None; shards], remaining: shards });
+        let ticket = self
+            .register(OpState::Metrics { slots: vec![None; shards], remaining: shards }, "metrics");
         for slot in 0..shards {
             let reply = self.leg(ticket, slot as u32);
             if let Err(rejected) = topo.senders[slot].send(Request::Metrics { reply }) {
                 return self.abort_submit(ticket, rejected);
             }
+            self.core.shared.telemetry.record(
+                TraceKind::Dispatch,
+                ticket,
+                "metrics",
+                Some(topo.ids[slot]),
+            );
         }
         Ok(Ticket(ticket))
     }
@@ -606,7 +702,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
         // `refreshed` lists); the ids themselves stay stable across flips.
         parts.sort_by_key(|(id, _)| topo.slot_of_id(*id));
         if let [(id, part_keys)] = parts.as_slice() {
-            let ticket = self.register(OpState::Direct);
+            let ticket = self.register(OpState::Direct, "aggregate");
             let slot = topo.slot_of_id(*id).expect("routed id is on the ring");
             let request = Request::Aggregate {
                 kind,
@@ -616,7 +712,15 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                 reply: self.leg(ticket, 0),
             };
             return match topo.senders[slot].send(request) {
-                Ok(()) => Ok(Ticket(ticket)),
+                Ok(()) => {
+                    self.core.shared.telemetry.record(
+                        TraceKind::Dispatch,
+                        ticket,
+                        "aggregate",
+                        Some(topo.ids[slot]),
+                    );
+                    Ok(Ticket(ticket))
+                }
                 Err(rejected) => self.abort_submit(ticket, rejected),
             };
         }
@@ -631,8 +735,9 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
             fetched: vec![Vec::new(); n_parts],
             remaining: n_parts,
             advancing: false,
+            rounds: 0,
         };
-        let ticket = self.register(OpState::Aggregate(Box::new(op)));
+        let ticket = self.register(OpState::Aggregate(Box::new(op)), "aggregate");
         self.issue_round_under(&topo, ticket, round).map(|()| Ticket(ticket))
     }
 
@@ -655,9 +760,9 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
         // unlocked — a full mailbox parks the sender, and parking while
         // holding the queue lock would stop actors from delivering
         // replies. (The topology guard stays held: actors never take it.)
-        let (sends, now) = {
-            let st = self.core.lock();
-            let Some(OpState::Aggregate(agg)) = st.ops.get(&ticket) else {
+        let (sends, now, round_idx) = {
+            let mut st = self.core.lock();
+            let Some(OpState::Aggregate(agg)) = st.ops.get_mut(&ticket) else {
                 return Ok(()); // settled concurrently (leg error)
             };
             let sends: Vec<(u32, Vec<K>, Constraint)> = agg
@@ -665,8 +770,16 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                 .iter()
                 .map(|(id, keys)| (*id, keys.clone(), round.budget.constraint_for(keys.len())))
                 .collect();
-            (sends, agg.now)
+            let round_idx = agg.rounds;
+            agg.rounds += 1;
+            (sends, agg.now, round_idx)
         };
+        self.core.shared.telemetry.record(
+            TraceKind::AggregateRound,
+            ticket,
+            "aggregate",
+            Some(round_idx),
+        );
         for (leg, (id, keys, constraint)) in sends.into_iter().enumerate() {
             let Some(slot) = topo.slot_of_id(id) else {
                 // The shard retired between rounds; its keys now live
@@ -680,18 +793,28 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
             if let Err(rejected) = topo.senders[slot].send(request) {
                 return self.abort_submit(ticket, rejected).map(|_| ());
             }
+            self.core.shared.telemetry.record(
+                TraceKind::Dispatch,
+                ticket,
+                "aggregate",
+                Some(topo.ids[slot]),
+            );
         }
         Ok(())
     }
 
     /// Complete a ticket immediately (no legs — e.g. the empty-SUM
     /// aggregate, answered locally like the synchronous façades).
-    pub(crate) fn complete_immediately(&self, outcome: Outcome<K>) -> Ticket {
+    pub(crate) fn complete_immediately(&self, outcome: Outcome<K>, verb: &'static str) -> Ticket {
         let mut st = self.core.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.ready.push_back(Completion { ticket: Ticket(ticket), outcome: Ok(outcome) });
         drop(st);
+        let telemetry = &self.core.shared.telemetry;
+        telemetry.record(TraceKind::Submit, ticket, verb, None);
+        telemetry.observe_verb(verb, std::time::Duration::ZERO);
+        telemetry.record(TraceKind::Completion, ticket, verb, None);
         self.core.cv.notify_all();
         Ticket(ticket)
     }
@@ -713,21 +836,25 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
             match agg.plan.feed(&partials, fetched) {
                 Err(e) => {
                     st.ops.remove(&ticket);
+                    let timing = st.inflight.remove(&ticket);
                     st.ready.push_back(Completion {
                         ticket: Ticket(ticket),
                         outcome: Err(RuntimeError::Store(e)),
                     });
                     drop(st);
+                    self.core.finish_op(ticket, timing);
                     self.core.cv.notify_all();
                 }
                 Ok(None) => {
                     let Some(OpState::Aggregate(agg)) = st.ops.remove(&ticket) else {
                         unreachable!("op verified above")
                     };
+                    let timing = st.inflight.remove(&ticket);
                     let outcome =
                         agg.plan.finish().map(Outcome::Aggregate).map_err(RuntimeError::Store);
                     st.ready.push_back(Completion { ticket: Ticket(ticket), outcome });
                     drop(st);
+                    self.core.finish_op(ticket, timing);
                     self.core.cv.notify_all();
                 }
                 Ok(Some(round)) => {
@@ -744,12 +871,20 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                         // submitter — this ticket is already out in the
                         // wild, so it MUST settle: deliver Closed as its
                         // completion instead of losing it silently.
+                        // (abort_submit already cleared the inflight
+                        // timing, so no latency is observed here.)
                         let mut st = self.core.lock();
                         st.ready.push_back(Completion {
                             ticket: Ticket(ticket),
                             outcome: Err(RuntimeError::Closed),
                         });
                         drop(st);
+                        self.core.shared.telemetry.record(
+                            TraceKind::Completion,
+                            ticket,
+                            "aggregate",
+                            None,
+                        );
                         self.core.cv.notify_all();
                         continue;
                     }

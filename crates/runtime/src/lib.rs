@@ -122,6 +122,7 @@ pub mod mailbox;
 pub mod oneshot;
 pub mod request;
 pub mod runtime;
+pub mod telemetry;
 
 pub use completion::{Completion, CompletionQueue, Outcome, SubscriptionSender, Ticket};
 pub use error::RuntimeError;
@@ -130,6 +131,11 @@ pub use runtime::{
     Runtime, RuntimeConfig, RuntimeHandle, RuntimeMetrics, DEFAULT_LEASE_RESOLUTION_MS,
     DEFAULT_MAILBOX_CAPACITY,
 };
+pub use telemetry::{RuntimeTelemetry, DEFAULT_TRACE_CAPACITY, VERBS};
+
+// Observability vocabulary, re-exported so wire-layer and operator code
+// need one import root.
+pub use apcache_telemetry::{Exposition, MetricKind, Registry, TraceEvent, TraceKind, TraceRing};
 
 // Re-export the serving vocabulary so runtime callers need one import root.
 pub use apcache_push::{FallbackWidth, LeaseConfig, PushEvent, PushFilter, PushReason, PushReport};

@@ -17,12 +17,15 @@ use apcache_store::{
     WriteOutcome,
 };
 
+use apcache_telemetry::{Exposition, TraceEvent};
+
 use crate::actor::ShardActor;
 use crate::completion::{Completion, CompletionQueue, Outcome, Ticket};
 use crate::error::RuntimeError;
 use crate::mailbox::{mailbox, MailboxSender};
 use crate::oneshot::reply_slot;
 use crate::request::Request;
+use crate::telemetry::RuntimeTelemetry;
 
 /// Tuning for [`Runtime::launch_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +104,9 @@ impl<K: Hash + Ord + Clone> Topology<K> {
 pub(crate) struct Shared<K> {
     pub(crate) topology: RwLock<Topology<K>>,
     pub(crate) keys: RwLock<HashSet<K>>,
+    /// The deployment's metrics registry + trace ring, shared by every
+    /// handle (and, through them, the wire layer above).
+    pub(crate) telemetry: Arc<RuntimeTelemetry>,
 }
 
 /// The owner of the shard actors: spawns them on launch, joins them on
@@ -170,6 +176,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> Runtime<K> {
         let shared = Arc::new(Shared {
             topology: RwLock::new(Topology { router, ids, senders }),
             keys: RwLock::new(keys),
+            telemetry: Arc::new(RuntimeTelemetry::new()),
         });
         let ticker = match cfg.tick_interval {
             None => None,
@@ -588,7 +595,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
     ) -> Result<Ticket, RuntimeError> {
         self.ensure_key(key)?;
         let owned = key.clone();
-        self.queue.submit_keyed(key, move |reply| Request::Read {
+        self.queue.submit_keyed(key, "read", move |reply| Request::Read {
             key: owned,
             constraint,
             now,
@@ -600,7 +607,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
     pub fn submit_write(&self, key: &K, value: f64, now: TimeMs) -> Result<Ticket, RuntimeError> {
         self.ensure_key(key)?;
         let owned = key.clone();
-        self.queue.submit_keyed(key, move |reply| Request::Write {
+        self.queue.submit_keyed(key, "write", move |reply| Request::Write {
             key: owned,
             value,
             now,
@@ -626,9 +633,10 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         }
         if items.is_empty() {
             // An empty batch refreshes nothing; settle it locally.
-            return Ok(self
-                .queue
-                .complete_immediately(Outcome::Write(WriteOutcome { refreshes: 0 })));
+            return Ok(self.queue.complete_immediately(
+                Outcome::Write(WriteOutcome { refreshes: 0 }),
+                "write_batch",
+            ));
         }
         self.queue.submit_batch(items, now)
     }
@@ -653,7 +661,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         constraint.validate().map_err(RuntimeError::Store)?;
         if keys.is_empty() {
             let outcome = empty_aggregate(kind).map_err(RuntimeError::Store)?;
-            return Ok(self.queue.complete_immediately(Outcome::Aggregate(outcome)));
+            return Ok(self.queue.complete_immediately(Outcome::Aggregate(outcome), "aggregate"));
         }
         for key in keys {
             self.ensure_key(key)?;
@@ -696,7 +704,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
     pub fn submit_unsubscribe(&self, sub: Ticket) -> Result<Ticket, RuntimeError> {
         let key = self.queue.subscription_key(sub).ok_or(RuntimeError::UnknownTicket(sub))?;
         let owned = key.clone();
-        self.queue.submit_keyed(&key, move |reply| Request::Unsubscribe {
+        self.queue.submit_keyed(&key, "unsubscribe", move |reply| Request::Unsubscribe {
             id: sub.0,
             key: owned,
             reply,
@@ -720,7 +728,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         }
         self.ensure_key(key)?;
         let owned = key.clone();
-        self.queue.submit_keyed(key, move |reply| Request::Lease {
+        self.queue.submit_keyed(key, "lease", move |reply| Request::Lease {
             key: owned,
             cfg: Some(cfg),
             now,
@@ -733,7 +741,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
     pub fn submit_release_lease(&self, key: &K, now: TimeMs) -> Result<Ticket, RuntimeError> {
         self.ensure_key(key)?;
         let owned = key.clone();
-        self.queue.submit_keyed(key, move |reply| Request::Lease {
+        self.queue.submit_keyed(key, "lease", move |reply| Request::Lease {
             key: owned,
             cfg: None,
             now,
@@ -897,12 +905,113 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         }
     }
 
+    /// Submit a push-side occupancy snapshot (subscribers, watched keys,
+    /// leases) without advancing any clock; harvest an
+    /// [`Outcome::TimeAdvanced`] carrying the merged report. The
+    /// non-blocking form behind [`push_stats`](RuntimeHandle::push_stats),
+    /// public so pipelined servers can multiplex it like any other verb.
+    pub fn submit_push_stats(&self) -> Result<Ticket, RuntimeError> {
+        self.queue.submit_tick(None)
+    }
+
     /// Snapshot push-side occupancy (subscribers, watched keys, leases)
     /// without advancing any clock.
     pub fn push_stats(&self) -> Result<PushReport, RuntimeError> {
-        match self.wait_ticket(self.queue.submit_tick(None)?)? {
+        match self.wait_ticket(self.submit_push_stats()?)? {
             Outcome::TimeAdvanced(report) => Ok(report),
             _ => unreachable!("tick tickets settle as time-advanced outcomes"),
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Observability surface.
+    // -----------------------------------------------------------------
+
+    /// The deployment's telemetry: the metric registry (register layer-
+    /// specific series here — the wire server does) and the trace ring.
+    /// One instance per runtime, shared by every handle.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.shared.telemetry
+    }
+
+    /// Copy out the runtime's request-lifecycle trace ring, oldest event
+    /// first (see [`apcache_telemetry::TraceRing`]).
+    pub fn trace_dump(&self) -> Vec<TraceEvent> {
+        self.shared.telemetry.trace().dump()
+    }
+
+    /// Render the full Prometheus-style text exposition for this
+    /// deployment: the store counter families (from a fresh
+    /// [`metrics`](RuntimeHandle::metrics) gather, so they agree exactly
+    /// with the `StoreMetrics` rollup — including after shard
+    /// migrations, whose counters travel with the keys), the push-side
+    /// occupancy gauges (from [`push_stats`](RuntimeHandle::push_stats)),
+    /// and every series registered in the
+    /// [`telemetry`](RuntimeHandle::telemetry) registry (verb latency
+    /// histograms, wire-layer counters, mailbox-depth gauges sampled
+    /// here at scrape time).
+    pub fn render_exposition(&self) -> Result<String, RuntimeError> {
+        let metrics = self.metrics()?;
+        let report = self.push_stats()?;
+        Ok(self.render_with(metrics, report))
+    }
+
+    /// Ticketed form of [`render_exposition`](RuntimeHandle::render_exposition):
+    /// renders now (on the submitting thread) and settles the returned
+    /// ticket immediately with [`Outcome::Exposition`]. The internal
+    /// metrics/push-stats gathers run on a scratch handle clone so their
+    /// waits never race whichever thread harvests *this* handle's queue —
+    /// pipelined servers split exactly that way (reader submits, a
+    /// drainer harvests), and a scrape must not steal the drainer's
+    /// completions.
+    pub fn submit_exposition(&self) -> Result<Ticket, RuntimeError> {
+        let scratch = self.clone();
+        let metrics = scratch.metrics()?;
+        let report = scratch.push_stats()?;
+        let text = self.render_with(metrics, report);
+        Ok(self.queue.complete_immediately(Outcome::Exposition(text), "exposition"))
+    }
+
+    /// The rendering body shared by the blocking and ticketed scrape
+    /// forms. Queue-occupancy gauges sample *this* handle's queue — for
+    /// the ticketed form that is the serving queue, which is the one an
+    /// operator cares about.
+    fn render_with(&self, metrics: RuntimeMetrics<K>, report: PushReport) -> String {
+        let registry = self.shared.telemetry.registry();
+        // Sample occupancy into registry gauges at scrape time: mailbox
+        // depth per shard (racy snapshots, for monitoring) and this
+        // handle's completion-queue occupancy.
+        {
+            let topo = self.shared.topology.read().expect("topology lock poisoned");
+            for (slot, sender) in topo.senders.iter().enumerate() {
+                let id = topo.ids[slot].to_string();
+                registry
+                    .gauge(
+                        "apcache_mailbox_depth",
+                        "Requests queued in a shard actor's mailbox (snapshot at scrape).",
+                        &[("shard", &id)],
+                    )
+                    .set(sender.len() as i64);
+            }
+        }
+        registry
+            .gauge(
+                "apcache_completion_outstanding",
+                "Tickets submitted on the scraping handle's queue and not yet settled.",
+                &[],
+            )
+            .set(self.queue.outstanding() as i64);
+        registry
+            .gauge(
+                "apcache_completion_ready",
+                "Settled completions on the scraping handle's queue not yet harvested.",
+                &[],
+            )
+            .set(self.queue.ready_len() as i64);
+        let mut out = Exposition::new();
+        metrics.merged().render_into(&mut out);
+        report.render_into(&mut out);
+        registry.render(&mut out);
+        out.finish()
     }
 }

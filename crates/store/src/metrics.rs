@@ -7,6 +7,8 @@
 
 use std::collections::BTreeMap;
 
+use apcache_telemetry::{Exposition, MetricKind};
+
 /// Refresh and cost counters for one key (or, in
 /// [`StoreMetrics::totals`], the whole store).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -34,8 +36,17 @@ impl KeyMetrics {
         self.vr_cost + self.qr_cost
     }
 
-    /// Fraction of point reads served without any message, in `[0, 1]`
-    /// (`1.0` when no reads have happened yet).
+    /// Fraction of point reads served without any message, in `[0, 1]`.
+    ///
+    /// **Zero-reads convention:** with `reads == 0` this returns `1.0`,
+    /// not `NaN` — an untouched key has never cost a message, so it is
+    /// treated as "all hits". Consumers that need the raw edge (e.g. to
+    /// distinguish "perfect" from "idle") should look at `reads`
+    /// directly. The Prometheus exposition deliberately does **not**
+    /// export this ratio: it renders the two raw counters
+    /// (`apcache_reads_total`, `apcache_cache_hits_total`) so scrapers
+    /// can `rate()` them over any window instead of averaging a
+    /// precomputed — and, on idle keys, conventionally `1.0` — ratio.
     pub fn hit_rate(&self) -> f64 {
         if self.reads == 0 {
             1.0
@@ -187,6 +198,51 @@ impl<K: Ord + Clone> StoreMetrics<K> {
     pub fn install_key(&mut self, key: K, m: KeyMetrics) {
         self.totals.merge(&m);
         self.per_key.entry(key).or_default().merge(&m);
+    }
+
+    /// Render the store's counter totals as Prometheus-style exposition
+    /// families. This is the single source of the store-level series —
+    /// the runtime's scrape endpoint and the in-process store façades
+    /// call the same code, so wherever the counters are read they agree
+    /// bit-for-bit with this `StoreMetrics` view (the cost totals are
+    /// `f64` accumulators rendered with round-trip formatting).
+    ///
+    /// Series ↔ paper vocabulary: `apcache_refresh_cost_total` is the
+    /// accumulated message cost whose per-unit-time rate is the paper's
+    /// objective Ω; `apcache_refreshes_total{kind="vr"|"qr"}` splits
+    /// value-initiated from query-initiated refreshes. Hit rate is
+    /// exported as the two raw counters (see
+    /// [`KeyMetrics::hit_rate`] for the ratio's zero-reads convention).
+    pub fn render_into(&self, out: &mut Exposition) {
+        let t = &self.totals;
+        out.family(
+            "apcache_reads_total",
+            MetricKind::Counter,
+            "Point reads served (cache hits + refreshing reads).",
+        );
+        out.sample("apcache_reads_total", &[], t.reads as f64);
+        out.family(
+            "apcache_cache_hits_total",
+            MetricKind::Counter,
+            "Reads answered from the cached interval alone (no message cost).",
+        );
+        out.sample("apcache_cache_hits_total", &[], t.cache_hits as f64);
+        out.family("apcache_writes_total", MetricKind::Counter, "Writes applied at the sources.");
+        out.sample("apcache_writes_total", &[], t.writes as f64);
+        out.family(
+            "apcache_refreshes_total",
+            MetricKind::Counter,
+            "Cache refreshes by kind: value-initiated (vr) or query-initiated (qr).",
+        );
+        out.sample("apcache_refreshes_total", &[("kind", "qr")], t.qr_count as f64);
+        out.sample("apcache_refreshes_total", &[("kind", "vr")], t.vr_count as f64);
+        out.family(
+            "apcache_refresh_cost_total",
+            MetricKind::Counter,
+            "Accumulated refresh message cost by kind (the paper's objective rate Omega).",
+        );
+        out.sample("apcache_refresh_cost_total", &[("kind", "qr")], t.qr_cost);
+        out.sample("apcache_refresh_cost_total", &[("kind", "vr")], t.vr_cost);
     }
 
     pub(crate) fn record_read(&mut self, key: &K, hit: bool) {

@@ -1,0 +1,188 @@
+//! Prometheus text-exposition rendering (format version 0.0.4).
+//!
+//! Deterministic by construction: callers emit families in a fixed
+//! order and [`crate::Registry::render`] walks `BTreeMap`s, so two
+//! scrapes of the same state produce byte-identical text (modulo the
+//! counter values themselves).
+
+use crate::registry::HistogramSnapshot;
+
+/// Exposition metric type, written on the `# TYPE` line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Format a sample value the way the conformance tests expect: Rust's
+/// shortest round-trip `Display`, so `text.parse::<f64>()` recovers the
+/// exact bits that were rendered. `+Inf`/`-Inf`/`NaN` use the exposition
+/// format's spellings.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Incremental builder for one scrape's worth of exposition text.
+#[derive(Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a metric family: `# HELP` then `# TYPE`.
+    pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.as_str());
+        self.out.push('\n');
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_label_value(v));
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// Emit one sample line. Labels are written in the order given —
+    /// callers pass them pre-sorted (the registry interns them sorted).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.write_labels(labels);
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Emit the cumulative `_bucket`/`_sum`/`_count` series for one
+    /// histogram, with the implicit `+Inf` bucket last.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, count) in snap.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match snap.bounds.get(i) {
+                Some(b) => format_value(*b),
+                None => "+Inf".to_string(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        self.sample(&format!("{name}_sum"), labels, snap.sum);
+        self.sample(&format!("{name}_count"), labels, cumulative as f64);
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let reg = Registry::new();
+        reg.counter("apcache_frames_total", "Frames moved.", &[("dir", "in")]).add(7);
+        reg.counter("apcache_frames_total", "Frames moved.", &[("dir", "out")]).add(9);
+        let mut exp = Exposition::new();
+        reg.render(&mut exp);
+        let text = exp.finish();
+        assert!(text.contains("# HELP apcache_frames_total Frames moved.\n"));
+        assert!(text.contains("# TYPE apcache_frames_total counter\n"));
+        assert!(text.contains("apcache_frames_total{dir=\"in\"} 7\n"));
+        assert!(text.contains("apcache_frames_total{dir=\"out\"} 9\n"));
+        // Deterministic ordering: "in" sorts before "out".
+        assert!(
+            text.find("dir=\"in\"").unwrap() < text.find("dir=\"out\"").unwrap(),
+            "series must render in sorted label order"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("apcache_lat_seconds", "Latency.", &[0.001, 0.01], &[]);
+        h.observe(0.0001);
+        h.observe(0.005);
+        h.observe(42.0);
+        let mut exp = Exposition::new();
+        reg.render(&mut exp);
+        let text = exp.finish();
+        assert!(text.contains("apcache_lat_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("apcache_lat_seconds_bucket{le=\"0.01\"} 2\n"));
+        assert!(text.contains("apcache_lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("apcache_lat_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn value_formatting_round_trips() {
+        for v in [0.0, 1.0, 0.1, 1e-6, 123456.789, f64::MAX] {
+            let parsed: f64 = format_value(v).parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits());
+        }
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut exp = Exposition::new();
+        exp.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(exp.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

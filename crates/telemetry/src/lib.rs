@@ -1,0 +1,35 @@
+//! Observability primitives for the apcache serving stack.
+//!
+//! The paper's argument is quantitative — the refresh cost rate Ω, the
+//! value-initiated vs. query-initiated refresh split, and interval-width
+//! convergence are the observables that show adaptive precision working —
+//! so the serving layers need a way to surface those numbers to an
+//! operator without stopping the world. This crate provides the three
+//! pieces the rest of the workspace threads through its layers:
+//!
+//! * [`Registry`] — a lock-cheap registry of monotone [`Counter`]s,
+//!   [`FloatCounter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s.
+//!   Label sets are interned once at registration; after that every
+//!   observation is a handful of atomic operations with no allocation
+//!   and no lock.
+//! * [`Exposition`] — a Prometheus-style text renderer (`# HELP` /
+//!   `# TYPE` comment lines, deterministic label ordering) that the wire
+//!   layer serves both as a wire-v3 `Exposition` verb and as plain-HTTP
+//!   `GET /metrics` on the same listening door.
+//! * [`TraceRing`] — a bounded ring buffer of structured
+//!   [`TraceEvent`]s (submit, shard dispatch, aggregate round,
+//!   completion, …) so a request's path through the runtime can be
+//!   reconstructed after the fact.
+//!
+//! Everything here is `std`-only: atomics, `Mutex` at registration /
+//! scrape time, and `String` rendering. No external crates.
+
+mod expose;
+mod registry;
+mod trace;
+
+pub use expose::{format_value, Exposition, MetricKind};
+pub use registry::{
+    Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, Registry, LATENCY_BUCKETS_SECONDS,
+};
+pub use trace::{TraceEvent, TraceKind, TraceRing};

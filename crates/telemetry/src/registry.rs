@@ -1,0 +1,339 @@
+//! Metric registry: interned label sets, atomic observation paths.
+//!
+//! Registration takes a `Mutex` and allocates; observation touches only
+//! `Arc`-shared atomics. Re-registering the same `(name, labels)` pair
+//! returns a handle to the same underlying cell, so independent layers
+//! (runtime, wire server, benches) can look up a series without
+//! coordinating ownership.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::expose::{Exposition, MetricKind};
+
+/// Default latency buckets (seconds) for submit→completion histograms:
+/// 1 µs … 1 s in a 1/2.5/5 decade pattern, plus the implicit `+Inf`.
+pub const LATENCY_BUCKETS_SECONDS: [f64; 19] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0,
+];
+
+/// Monotone integer counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotone floating-point counter (cost totals are `f64` in the paper's
+/// Ω accounting, so integer counters would lose the fractional part).
+/// Stored as `f64` bits in an `AtomicU64`, updated by compare-exchange.
+#[derive(Clone)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Overwrite the accumulated value. Used when a counter mirrors an
+    /// authoritative external total (e.g. a `StoreMetrics` rollup) and
+    /// must agree with it bit-for-bit rather than re-accumulate.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Instantaneous signed gauge (mailbox depths, in-flight windows, …).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCell {
+    /// Upper bounds, strictly increasing; `counts` has one extra slot
+    /// for the implicit `+Inf` bucket.
+    bounds: Box<[f64]>,
+    counts: Box<[AtomicU64]>,
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram. `observe` is a linear probe over the bound
+/// array plus two atomic adds — no allocation, no lock.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    pub fn observe(&self, v: f64) {
+        let cell = &self.0;
+        let idx = cell.bounds.iter().position(|&b| v <= b).unwrap_or(cell.bounds.len());
+        cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // The sum shares the float-counter CAS loop; histograms are off
+        // the read hot path so contention here is negligible.
+        let mut cur = cell.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &self.0;
+        HistogramSnapshot {
+            bounds: cell.bounds.to_vec(),
+            counts: cell.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(cell.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's buckets (non-cumulative counts).
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    /// Keyed by the interned, sorted label set so exposition order is
+    /// deterministic without a sort at scrape time.
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// The process-wide (or runtime-wide) metric registry.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+fn intern_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<F>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: F,
+    ) -> Series
+    where
+        F: FnOnce() -> Series,
+    {
+        let mut families = self.families.lock().unwrap();
+        let family =
+            families.entry(name).or_insert_with(|| Family { help, kind, series: BTreeMap::new() });
+        assert!(family.kind == kind, "metric {name} re-registered with a different type");
+        let cell = family.series.entry(intern_labels(labels)).or_insert_with(make);
+        match cell {
+            Series::Counter(c) => Series::Counter(c.clone()),
+            Series::FloatCounter(c) => Series::FloatCounter(c.clone()),
+            Series::Gauge(g) => Series::Gauge(g.clone()),
+            Series::Histogram(h) => Series::Histogram(h.clone()),
+        }
+    }
+
+    /// Register (or look up) a monotone integer counter.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.register(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Series::Counter(c) => c,
+            _ => panic!("metric {name} registered with a different cell type"),
+        }
+    }
+
+    /// Register (or look up) a monotone floating-point counter.
+    pub fn float_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> FloatCounter {
+        match self.register(name, help, MetricKind::Counter, labels, || {
+            Series::FloatCounter(FloatCounter(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Series::FloatCounter(c) => c,
+            _ => panic!("metric {name} registered with a different cell type"),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Gauge(Arc::new(AtomicI64::new(0))))
+        }) {
+            Series::Gauge(g) => g,
+            _ => panic!("metric {name} registered with a different cell type"),
+        }
+    }
+
+    /// Register (or look up) a fixed-bucket histogram. The bound slice is
+    /// copied once at registration.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, help, MetricKind::Histogram, labels, || {
+            let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Series::Histogram(Histogram(Arc::new(HistogramCell {
+                bounds: bounds.to_vec().into_boxed_slice(),
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            })))
+        }) {
+            Series::Histogram(h) => h,
+            _ => panic!("metric {name} registered with a different cell type"),
+        }
+    }
+
+    /// Render every registered family into `out`, families in name order
+    /// and series in sorted-label order.
+    pub fn render(&self, out: &mut Exposition) {
+        let families = self.families.lock().unwrap();
+        for (name, family) in families.iter() {
+            out.family(name, family.kind, family.help);
+            for (labels, series) in family.series.iter() {
+                let labels: Vec<(&str, &str)> =
+                    labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                match series {
+                    Series::Counter(c) => out.sample(name, &labels, c.get() as f64),
+                    Series::FloatCounter(c) => out.sample(name, &labels, c.get()),
+                    Series::Gauge(g) => out.sample(name, &labels, g.get() as f64),
+                    Series::Histogram(h) => out.histogram(name, &labels, &h.snapshot()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "x", &[("dir", "in")]);
+        let b = reg.counter("x_total", "x", &[("dir", "in")]);
+        let c = reg.counter("x_total", "x", &[("dir", "out")]);
+        a.add(3);
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn float_counter_accumulates_exactly() {
+        let reg = Registry::new();
+        let c = reg.float_counter("cost_total", "cost", &[]);
+        let mut expect = 0.0f64;
+        for i in 0..100 {
+            let v = 0.1 * i as f64;
+            c.add(v);
+            expect += v;
+        }
+        assert_eq!(c.get().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "latency", &[0.001, 0.01, 0.1], &[]);
+        for v in [0.0005, 0.005, 0.005, 0.05, 5.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.total(), 5);
+        assert!((snap.sum - 5.0605).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("y_total", "y", &[]);
+        let _ = reg.gauge("y_total", "y", &[]);
+    }
+}

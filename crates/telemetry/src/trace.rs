@@ -1,0 +1,141 @@
+//! Bounded structured trace ring.
+//!
+//! Every runtime owns one ring; the runtime and wire layers push
+//! lifecycle events into it and `trace_dump` hands back a point-in-time
+//! copy. The ring is deliberately tiny machinery: a `Mutex<VecDeque>`
+//! with a hard capacity, because trace events are off the hot path
+//! (submission/completion, not per-key reads) and a lock keeps the
+//! ordering guarantee simple — events dump in the order they were
+//! recorded, with a monotone sequence number that survives eviction.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What happened. Shard/round/verb context rides in [`TraceEvent`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// An operation was submitted and assigned a ticket.
+    Submit,
+    /// A leg of an operation was dispatched to a shard mailbox.
+    Dispatch,
+    /// A multi-round aggregate started another scatter round.
+    AggregateRound,
+    /// The operation's completion was settled.
+    Completion,
+    /// A connection frame failed to decode.
+    DecodeFault,
+    /// An idle connection was force-closed at listener teardown.
+    ForcedClose,
+}
+
+impl TraceKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Submit => "submit",
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::AggregateRound => "aggregate_round",
+            TraceKind::Completion => "completion",
+            TraceKind::DecodeFault => "decode_fault",
+            TraceKind::ForcedClose => "forced_close",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Monotone per-ring sequence number (not reset by eviction).
+    pub seq: u64,
+    pub kind: TraceKind,
+    /// Ticket id the event belongs to; `0` for connection-level events.
+    pub ticket: u64,
+    /// Verb name (`"read"`, `"aggregate"`, …) or `""` when not tied to a verb.
+    pub verb: &'static str,
+    /// Shard id for dispatch events, aggregate round index for
+    /// `AggregateRound`, `None` otherwise.
+    pub shard: Option<u32>,
+}
+
+struct Inner {
+    next_seq: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+/// Bounded ring of [`TraceEvent`]s; oldest events are evicted first.
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { next_seq: 0, buf: VecDeque::new() }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record an event, evicting the oldest if the ring is full.
+    /// Returns the sequence number assigned.
+    pub fn record(
+        &self,
+        kind: TraceKind,
+        ticket: u64,
+        verb: &'static str,
+        shard: Option<u32>,
+    ) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(TraceEvent { seq, kind, ticket, verb, shard });
+        seq
+    }
+
+    /// Copy out the current contents, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().buf.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record(TraceKind::Submit, i, "read", None);
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(ring.recorded(), 5);
+    }
+
+    #[test]
+    fn dump_preserves_order_and_fields() {
+        let ring = TraceRing::new(8);
+        ring.record(TraceKind::Submit, 7, "aggregate", None);
+        ring.record(TraceKind::Dispatch, 7, "aggregate", Some(2));
+        ring.record(TraceKind::AggregateRound, 7, "aggregate", Some(1));
+        ring.record(TraceKind::Completion, 7, "aggregate", None);
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 4);
+        assert_eq!(dump[1].shard, Some(2));
+        assert_eq!(dump[3].kind, TraceKind::Completion);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

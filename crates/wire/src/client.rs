@@ -320,6 +320,18 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
         self.submit(WireRequest::ImportKeys { states })
     }
 
+    /// Submit a Prometheus-exposition scrape; redeem with
+    /// [`wait_exposition`](RemoteStoreClient::wait_exposition).
+    pub fn submit_exposition(&mut self) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::Exposition)
+    }
+
+    /// Submit a push-occupancy snapshot (no clock side effect); redeem
+    /// with [`wait_push_stats`](RemoteStoreClient::wait_push_stats).
+    pub fn submit_push_stats(&mut self) -> Result<Ticket, RemoteError> {
+        self.submit(WireRequest::PushStats)
+    }
+
     // -----------------------------------------------------------------
     // Harvest surface.
     // -----------------------------------------------------------------
@@ -440,6 +452,23 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
             WireResponse::Error(fault) => Err(fault.into()),
             _ => Err(WireError::UnexpectedResponse("Imported").into()),
         }
+    }
+
+    /// Redeem an exposition ticket: the server's full Prometheus text
+    /// exposition as one document.
+    pub fn wait_exposition(&mut self, ticket: Ticket) -> Result<String, RemoteError> {
+        match self.wait_response(ticket)? {
+            WireResponse::Exposition(text) => Ok(text),
+            WireResponse::Error(fault) => Err(fault.into()),
+            _ => Err(WireError::UnexpectedResponse("Exposition").into()),
+        }
+    }
+
+    /// Redeem a push-stats ticket: the merged occupancy report. The
+    /// server answers with the same `TimeAdvanced` frame a clock advance
+    /// uses (identical payload, no side effect).
+    pub fn wait_push_stats(&mut self, ticket: Ticket) -> Result<PushReport, RemoteError> {
+        self.wait_time_advanced(ticket)
     }
 
     fn forget_subscription(&mut self, sub: u64) {
@@ -585,6 +614,19 @@ impl<K: WireKey + Ord + Clone, T: Transport> RemoteStoreClient<K, T> {
     pub fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), RemoteError> {
         let ticket = self.submit_import_keys(states)?;
         self.wait_imported(ticket)
+    }
+
+    /// Scrape the remote server's full Prometheus text exposition.
+    pub fn exposition(&mut self) -> Result<String, RemoteError> {
+        let ticket = self.submit_exposition()?;
+        self.wait_exposition(ticket)
+    }
+
+    /// Snapshot the remote push-side occupancy (subscribers, watched
+    /// keys, leases) without advancing its logical clock.
+    pub fn push_stats(&mut self) -> Result<PushReport, RemoteError> {
+        let ticket = self.submit_push_stats()?;
+        self.wait_push_stats(ticket)
     }
 
     /// End the session: cancel every outstanding subscription (pushes

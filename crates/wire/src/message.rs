@@ -79,6 +79,8 @@ const VERB_ADVANCE_TIME: u8 = 11;
 const VERB_KEY_LIST: u8 = 12;
 const VERB_EXPORT_KEYS: u8 = 13;
 const VERB_IMPORT_KEYS: u8 = 14;
+const VERB_EXPOSITION: u8 = 15;
+const VERB_PUSH_STATS: u8 = 16;
 
 const RESP_READ: u8 = 1;
 const RESP_WRITE: u8 = 2;
@@ -93,6 +95,7 @@ const RESP_TIME_ADVANCED: u8 = 10;
 const RESP_KEYS: u8 = 11;
 const RESP_EXPORTED: u8 = 12;
 const RESP_IMPORTED: u8 = 13;
+const RESP_EXPOSITION: u8 = 14;
 
 /// A serving request, one frame per verb — the same vocabulary as the
 /// runtime's mailbox [`Request`](apcache_runtime::Request), minus the
@@ -194,6 +197,14 @@ pub enum WireRequest<K> {
         /// The migrating keys' full protocol state.
         states: Vec<KeyState<K>>,
     },
+    /// Scrape the server's full Prometheus-style text exposition (v3+):
+    /// store rollups, push occupancy, and every runtime/wire series in
+    /// one deterministic document.
+    Exposition,
+    /// Snapshot push-side occupancy (subscribers, watched keys, leases)
+    /// *without* advancing the logical clock (v3+) — the read-only twin
+    /// of [`WireRequest::AdvanceTime`].
+    PushStats,
     /// Orderly connection shutdown: the server acknowledges and stops
     /// serving this connection.
     Shutdown,
@@ -245,6 +256,12 @@ pub enum WireResponse<K> {
     Exported(Vec<KeyState<K>>),
     /// Acknowledges [`WireRequest::ImportKeys`].
     Imported,
+    /// Answer to [`WireRequest::Exposition`]: the Prometheus text
+    /// exposition (format 0.0.4) as one UTF-8 document.
+    /// ([`WireRequest::PushStats`] is answered with
+    /// [`WireResponse::TimeAdvanced`] — same payload, no clock side
+    /// effect — so it needs no frame of its own.)
+    Exposition(String),
     /// The server rejected the request.
     Error(WireFault),
 }
@@ -901,6 +918,8 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_u8(buf, VERB_IMPORT_KEYS);
                 put_key_states(buf, states);
             }
+            WireRequest::Exposition => put_u8(buf, VERB_EXPOSITION),
+            WireRequest::PushStats => put_u8(buf, VERB_PUSH_STATS),
             WireRequest::Shutdown => put_u8(buf, VERB_SHUTDOWN),
         },
         WireMessage::Response(resp) => match resp {
@@ -948,6 +967,10 @@ fn encode_with_version<K: WireKey + Ord + Clone>(
                 put_key_states(buf, states);
             }
             WireResponse::Imported => put_u8(buf, RESP_IMPORTED),
+            WireResponse::Exposition(text) => {
+                put_u8(buf, RESP_EXPOSITION);
+                put_str(buf, text);
+            }
             WireResponse::Error(fault) => {
                 put_u8(buf, RESP_ERROR);
                 put_fault(buf, fault);
@@ -1065,6 +1088,8 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
             VERB_KEY_LIST => WireRequest::KeyList,
             VERB_EXPORT_KEYS => WireRequest::ExportKeys { keys: read_keys(&mut r)? },
             VERB_IMPORT_KEYS => WireRequest::ImportKeys { states: read_key_states(&mut r)? },
+            VERB_EXPOSITION => WireRequest::Exposition,
+            VERB_PUSH_STATS => WireRequest::PushStats,
             tag => return Err(WireError::UnknownTag { context: "request verb", tag }),
         }),
         MSG_RESPONSE => WireMessage::Response(match r.u8()? {
@@ -1090,6 +1115,7 @@ pub fn decode_frame<K: WireKey + Ord + Clone>(body: &[u8]) -> Result<DecodedFram
             RESP_KEYS => WireResponse::Keys(read_keys(&mut r)?),
             RESP_EXPORTED => WireResponse::Exported(read_key_states(&mut r)?),
             RESP_IMPORTED => WireResponse::Imported,
+            RESP_EXPOSITION => WireResponse::Exposition(r.str()?),
             RESP_ERROR => WireResponse::Error(read_fault(&mut r)?),
             tag => return Err(WireError::UnknownTag { context: "response kind", tag }),
         }),
@@ -1408,6 +1434,19 @@ mod tests {
             leases: 5,
             expired: 1,
         })));
+    }
+
+    #[test]
+    fn telemetry_vocabulary_round_trips() {
+        round_trip(WireMessage::Request(WireRequest::Exposition));
+        round_trip(WireMessage::Request(WireRequest::PushStats));
+        round_trip(WireMessage::Response(WireResponse::Exposition(String::new())));
+        round_trip(WireMessage::Response(WireResponse::Exposition(
+            "# HELP apcache_reads_total Point reads served.\n\
+             # TYPE apcache_reads_total counter\n\
+             apcache_reads_total 42\n"
+                .to_string(),
+        )));
     }
 
     #[test]

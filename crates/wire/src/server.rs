@@ -13,6 +13,7 @@ use apcache_queries::AggregateKind;
 use apcache_runtime::RuntimeHandle;
 use apcache_shard::ShardedStore;
 use apcache_store::{Constraint, KeyState, PrecisionStore, ReadResult, StoreMetrics, WriteOutcome};
+use apcache_telemetry::{Counter, Gauge, Registry, TraceKind};
 
 use crate::codec::WireKey;
 use crate::error::{WireError, WireFault};
@@ -98,6 +99,19 @@ pub trait StoreService<K> {
         let _ = states;
         Err(unsupported("key migration"))
     }
+
+    /// Render the service's full Prometheus-style text exposition. Plain
+    /// stores render their [`StoreMetrics`] rollup; the runtime handle
+    /// adds push occupancy, per-verb latency histograms, and every wire
+    /// series registered on its shared registry.
+    fn exposition(&mut self) -> Result<String, WireFault> {
+        Err(unsupported("metrics exposition"))
+    }
+
+    /// Snapshot push-side occupancy without advancing the logical clock.
+    fn push_stats(&mut self) -> Result<PushReport, WireFault> {
+        Err(unsupported("push-side statistics"))
+    }
 }
 
 /// The stable fault for a verb this service does not implement.
@@ -123,6 +137,8 @@ fn requires_v3<K>(request: &WireRequest<K>) -> bool {
             | WireRequest::KeyList
             | WireRequest::ExportKeys { .. }
             | WireRequest::ImportKeys { .. }
+            | WireRequest::Exposition
+            | WireRequest::PushStats
     )
 }
 
@@ -130,7 +146,7 @@ fn requires_v3<K>(request: &WireRequest<K>) -> bool {
 fn v3_fault() -> WireFault {
     WireFault::new(
         crate::error::FaultKind::Unsupported,
-        "lease and migration verbs require protocol v3",
+        "lease, migration, and telemetry verbs require protocol v3",
     )
 }
 
@@ -192,6 +208,12 @@ impl<K: Hash + Ord + Clone> StoreService<K> for PrecisionStore<K> {
         }
         Ok(())
     }
+
+    fn exposition(&mut self) -> Result<String, WireFault> {
+        let mut out = apcache_telemetry::Exposition::new();
+        PrecisionStore::metrics(self).render_into(&mut out);
+        Ok(out.finish())
+    }
 }
 
 impl<K: Hash + Ord + Clone> StoreService<K> for ShardedStore<K> {
@@ -226,6 +248,12 @@ impl<K: Hash + Ord + Clone> StoreService<K> for ShardedStore<K> {
 
     fn metrics(&mut self) -> Result<StoreMetrics<K>, WireFault> {
         Ok(ShardedStore::metrics(self).merged().clone())
+    }
+
+    fn exposition(&mut self) -> Result<String, WireFault> {
+        let mut out = apcache_telemetry::Exposition::new();
+        ShardedStore::metrics(self).merged().render_into(&mut out);
+        Ok(out.finish())
     }
 }
 
@@ -286,6 +314,14 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> StoreService<K> for RuntimeH
 
     fn import_keys(&mut self, states: Vec<KeyState<K>>) -> Result<(), WireFault> {
         self.import_key_states(states).map_err(Into::into)
+    }
+
+    fn exposition(&mut self) -> Result<String, WireFault> {
+        self.render_exposition().map_err(Into::into)
+    }
+
+    fn push_stats(&mut self) -> Result<PushReport, WireFault> {
+        RuntimeHandle::push_stats(self).map_err(Into::into)
     }
 }
 
@@ -456,6 +492,16 @@ impl<S> StoreServer<S> {
                     Ok(()) => WireResponse::Imported,
                     Err(fault) => WireResponse::Error(fault),
                 },
+                WireRequest::Exposition => match self.service.exposition() {
+                    Ok(text) => WireResponse::Exposition(text),
+                    Err(fault) => WireResponse::Error(fault),
+                },
+                // PushStats answers with the TimeAdvanced frame: same
+                // payload, no clock side effect.
+                WireRequest::PushStats => match self.service.push_stats() {
+                    Ok(report) => WireResponse::TimeAdvanced(report),
+                    Err(fault) => WireResponse::Error(fault),
+                },
                 WireRequest::Shutdown => {
                     transport.send(&versioned_to_vec::<K>(
                         version,
@@ -468,6 +514,74 @@ impl<S> StoreServer<S> {
             transport.send(&versioned_to_vec(version, id, &WireMessage::Response(response)))?;
         }
     }
+}
+
+/// Process-wide connection id source: the label that keys a pipelined
+/// connection's byte counters and in-flight gauge in the registry.
+static CONN_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The wire-layer series one pipelined connection maintains on the
+/// runtime's shared registry. Frame/byte counters split by direction;
+/// bytes and the in-flight window are additionally labeled with the
+/// connection id (ids are never reused, so a long-lived process accretes
+/// one retired series per closed connection — the scrape stays
+/// deterministic, just longer).
+#[derive(Clone)]
+struct ConnStats {
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    /// Requests submitted to the runtime but not yet answered on the
+    /// wire — the server-side view of the client's in-flight window.
+    window: Gauge,
+    decode_faults: Counter,
+}
+
+impl ConnStats {
+    fn register(registry: &Registry, conn: u64) -> Self {
+        let conn = conn.to_string();
+        let frames = "Frames decoded from (dir=in) and shipped to (dir=out) pipelined peers.";
+        let bytes = "Framed bytes (length prefix included) per pipelined connection.";
+        ConnStats {
+            frames_in: registry.counter("apcache_wire_frames_total", frames, &[("dir", "in")]),
+            frames_out: registry.counter("apcache_wire_frames_total", frames, &[("dir", "out")]),
+            bytes_in: registry.counter(
+                "apcache_wire_connection_bytes_total",
+                bytes,
+                &[("conn", &conn), ("dir", "in")],
+            ),
+            bytes_out: registry.counter(
+                "apcache_wire_connection_bytes_total",
+                bytes,
+                &[("conn", &conn), ("dir", "out")],
+            ),
+            window: registry.gauge(
+                "apcache_wire_inflight",
+                "In-flight window occupancy per pipelined connection.",
+                &[("conn", &conn)],
+            ),
+            decode_faults: registry.counter(
+                "apcache_wire_decode_faults_total",
+                "Frames that failed to decode (fatal to their connection).",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Count one outbound frame and ship it.
+fn ship<S: SplitStream>(
+    writer: &mut StreamTransport<S>,
+    stats: &ConnStats,
+    body: &[u8],
+) -> Result<(), WireError> {
+    let sent = writer.send(body);
+    if sent.is_ok() {
+        stats.frames_out.inc();
+        stats.bytes_out.add(body.len() as u64 + 4);
+    }
+    sent
 }
 
 /// What the pipelined reader tells the drainer about each decoded frame.
@@ -511,12 +625,17 @@ where
     let writer = transport.try_split()?;
     let mut reader = transport;
     let handle = std::sync::Arc::new(handle);
+    let stats = ConnStats::register(
+        handle.telemetry().registry(),
+        CONN_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    );
     let (evt_tx, evt_rx) = mpsc::channel::<ConnEvent<K>>();
     let drainer = {
         let handle = std::sync::Arc::clone(&handle);
+        let stats = stats.clone();
         thread::Builder::new()
             .name("apcache-wire-drain".into())
-            .spawn(move || drain_completions(writer, &handle, &evt_rx))
+            .spawn(move || drain_completions(writer, &handle, &evt_rx, &stats))
             .map_err(|e| WireError::Io(e.to_string()))?
     };
 
@@ -539,9 +658,13 @@ where
                 break;
             }
         };
+        stats.frames_in.inc();
+        stats.bytes_in.add(body.len() as u64 + 4);
         let frame = match decode_frame::<K>(&body) {
             Ok(frame) => frame,
             Err(e) => {
+                stats.decode_faults.inc();
+                handle.telemetry().trace().record(TraceKind::DecodeFault, 0, "", None);
                 fatal = Some(e);
                 let _ = evt_tx.send(ConnEvent::End { ack: None });
                 break;
@@ -649,6 +772,17 @@ where
                 let _ = evt_tx.send(ConnEvent::Immediate { request_id, version, response });
                 continue;
             }
+            // Exposition is control-plane like the migration verbs, but
+            // rendering gathers metrics/push-stats on a scratch handle
+            // inside the runtime, then settles the ticket immediately —
+            // so the scrape wakes the drainer like any other completion
+            // (an Immediate event could not: while a subscription
+            // streams, the drainer blocks on the completion queue, not
+            // the event channel).
+            WireRequest::Exposition => handle.submit_exposition(),
+            // PushStats rides the ticketed surface; its completion is a
+            // TimeAdvanced outcome the drainer already ships.
+            WireRequest::PushStats => handle.submit_push_stats(),
             WireRequest::Shutdown => {
                 let _ = evt_tx.send(ConnEvent::End { ack: Some((request_id, version)) });
                 break;
@@ -690,12 +824,22 @@ fn drain_completions<K, S>(
     mut writer: StreamTransport<S>,
     handle: &RuntimeHandle<K>,
     events: &std::sync::mpsc::Receiver<ConnEvent<K>>,
+    stats: &ConnStats,
 ) -> Result<ServerExit, WireError>
 where
     K: WireKey + Hash + Ord + Clone + Send + Sync + 'static,
     S: SplitStream,
 {
     use std::sync::mpsc::TryRecvError;
+
+    /// Zero the connection's in-flight gauge on every exit path.
+    struct WindowReset(Gauge);
+    impl Drop for WindowReset {
+        fn drop(&mut self) {
+            self.0.set(0);
+        }
+    }
+    let _window_reset = WindowReset(stats.window.clone());
 
     // Runtime ticket → (request id, version) of the frame that caused it.
     let mut in_flight: HashMap<apcache_runtime::Ticket, (u64, u8)> = HashMap::new();
@@ -715,11 +859,11 @@ where
                 in_flight.insert(ticket, (request_id, version));
             }
             ConnEvent::Immediate { request_id, version, response } => {
-                writer.send(&versioned_to_vec(
-                    version,
-                    request_id,
-                    &WireMessage::Response(response),
-                ))?;
+                ship(
+                    writer,
+                    stats,
+                    &versioned_to_vec(version, request_id, &WireMessage::Response(response)),
+                )?;
             }
             ConnEvent::End { ack } => {
                 end.get_or_insert(ack);
@@ -728,6 +872,7 @@ where
         Ok(())
     };
     loop {
+        stats.window.set(in_flight.len() as i64);
         // Absorb whatever the reader has queued, without blocking.
         loop {
             match events.try_recv() {
@@ -751,7 +896,7 @@ where
                         request_id,
                         &WireMessage::Response(WireResponse::ShutdownAck),
                     );
-                    return Ok(if writer.send(&ack).is_ok() {
+                    return Ok(if ship(&mut writer, stats, &ack).is_ok() {
                         ServerExit::Shutdown
                     } else {
                         ServerExit::Disconnected
@@ -793,7 +938,7 @@ where
                     request_id,
                     &WireMessage::Response(WireResponse::Error(fault)),
                 );
-                if writer.send(&body).is_err() {
+                if ship(&mut writer, stats, &body).is_err() {
                     return Ok(ServerExit::Disconnected);
                 }
             }
@@ -885,16 +1030,106 @@ where
                 request_id,
                 &WireMessage::Response(WireResponse::TimeAdvanced(report)),
             ),
+            Ok(apcache_runtime::Outcome::Exposition(text)) => versioned_to_vec::<K>(
+                version,
+                request_id,
+                &WireMessage::Response(WireResponse::Exposition(text)),
+            ),
             Err(e) => versioned_to_vec::<K>(
                 version,
                 request_id,
                 &WireMessage::Response(WireResponse::Error(WireFault::from(e))),
             ),
         };
-        if writer.send(&body).is_err() {
+        if ship(&mut writer, stats, &body).is_err() {
             return Ok(ServerExit::Disconnected);
         }
     }
+}
+
+/// Sniff the first four bytes of a fresh connection without consuming
+/// them. The frame protocol's first byte is the `u32` length prefix,
+/// whose little-endian value for the ASCII `"GET "` (0x20544547) is far
+/// beyond [`MAX_FRAME_LEN`](crate::transport::MAX_FRAME_LEN) — so the
+/// two vocabularies cannot collide and a plain-HTTP scraper can share
+/// the serving port. Returns `None` on EOF or error (the frame loop
+/// will re-surface it as a clean close).
+fn sniff_http(stream: &std::net::TcpStream) -> Option<bool> {
+    let mut first = [0u8; 4];
+    loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return None,
+            // A partial first segment: extremely rare (both protocols
+            // open with >= 4 bytes in one write), so a short nap beats
+            // a busy spin while the rest of the bytes arrive.
+            Ok(n) if n < 4 => thread::sleep(std::time::Duration::from_millis(1)),
+            Ok(_) => return Some(&first == b"GET "),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Answer one plain-HTTP request on a connection whose first bytes were
+/// `"GET "`: `GET /metrics` gets the full Prometheus text exposition
+/// (format 0.0.4), anything else a 404. One request, then close —
+/// scrapers reconnect per scrape.
+fn serve_http_scrape<K>(
+    stream: &std::net::TcpStream,
+    handle: &RuntimeHandle<K>,
+) -> Result<ServerExit, WireError>
+where
+    K: WireKey + Hash + Ord + Clone + Send + Sync + 'static,
+{
+    use std::io::{Read, Write};
+
+    let mut stream = stream;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(ServerExit::Disconnected);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.len() > 8_192 {
+            break; // hostile header flood: answer what we have
+        }
+    }
+    let request_line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let path = std::str::from_utf8(request_line)
+        .ok()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        handle
+            .telemetry()
+            .registry()
+            .counter("apcache_http_scrapes_total", "Plain-HTTP GET /metrics scrapes served.", &[])
+            .inc();
+        match handle.render_exposition() {
+            Ok(text) => ("200 OK", text),
+            Err(e) => ("500 Internal Server Error", format!("exposition failed: {e}\n")),
+        }
+    } else {
+        ("404 Not Found", "only /metrics is served over HTTP here\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    // `Connection: close` must be made true actively: the acceptor holds
+    // a cloned fd for teardown, so merely dropping this handler's stream
+    // would not send FIN and a scraper reading to EOF would wait on the
+    // listener's whole lifetime.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(ServerExit::Disconnected)
 }
 
 /// Accept TCP connections on `listener` and serve each on its own thread
@@ -903,11 +1138,18 @@ where
 /// flight and receives replies out of order as the shard actors finish.
 /// This is the cross-process face of the actor runtime.
 ///
+/// A connection whose first bytes are `"GET "` instead of a frame length
+/// prefix is answered as plain HTTP: `GET /metrics` returns the full
+/// Prometheus text exposition, so an off-the-shelf scraper can point at
+/// the serving port with no frame codec.
+///
 /// The first client-initiated `Shutdown` stops the accept loop (a
 /// connection thread wakes the blocked acceptor by dialing the
 /// listener's port on loopback). Connections still open at that point —
-/// idle peers included — are force-closed, and every connection thread
-/// is joined before returning, so no request is in flight afterwards.
+/// idle peers included — are force-closed (and counted in
+/// `apcache_wire_forced_closes_total` with a `forced_close` trace
+/// event), and every connection thread is joined before returning, so no
+/// request is in flight afterwards.
 pub fn serve_connections<K>(
     listener: TcpListener,
     handle: RuntimeHandle<K>,
@@ -950,7 +1192,14 @@ where
         let worker = thread::Builder::new()
             .name("apcache-wire-conn".into())
             .spawn(move || {
-                let exit = serve_pipelined(transport, connection_handle);
+                // HTTP peers are sniffed (peeked, not consumed) before
+                // the frame loop ever reads, so the two protocols share
+                // the port without a wrapper stream.
+                let exit = if sniff_http(transport.inner()) == Some(true) {
+                    serve_http_scrape(transport.inner(), &connection_handle)
+                } else {
+                    serve_pipelined(transport, connection_handle)
+                };
                 if matches!(exit, Ok(ServerExit::Shutdown)) {
                     connection_stop.store(true, Ordering::SeqCst);
                     // Unblock the acceptor so it can observe the flag.
@@ -963,8 +1212,18 @@ where
     }
     // Shutdown means stop serving: force-close lingering connections so
     // a worker parked in recv() on an idle peer wakes with EOF instead
-    // of blocking the join below forever.
-    for (_, raw) in &workers {
+    // of blocking the join below forever. Workers still running at this
+    // point are the idle/slow peers being cut off — count each.
+    let forced = handle.telemetry().registry().counter(
+        "apcache_wire_forced_closes_total",
+        "Idle or lingering connections force-closed at listener teardown.",
+        &[],
+    );
+    for (worker, raw) in &workers {
+        if !worker.is_finished() {
+            forced.inc();
+            handle.telemetry().trace().record(TraceKind::ForcedClose, 0, "", None);
+        }
         let _ = raw.shutdown(std::net::Shutdown::Both);
     }
     for (worker, _) in workers {
@@ -1131,6 +1390,76 @@ mod tests {
         assert_eq!(client.pending_pushes(), 0);
         client.shutdown().unwrap();
         assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+    }
+
+    #[test]
+    fn pipelined_server_serves_exposition_and_push_stats() {
+        use apcache_push::PushFilter;
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_t);
+        client.read(&"a".to_string(), Constraint::Exact, 0).unwrap();
+        client.write(&"b".to_string(), 42.0, 10).unwrap();
+        let (sub, _) = client.subscribe(&"c".to_string(), PushFilter::Always, 20).unwrap();
+        // PushStats sees the live subscription without advancing time.
+        let report = client.push_stats().unwrap();
+        assert_eq!(report.subscribers, 1);
+        assert_eq!(report.watched_keys, 1);
+        // The exposition carries the store rollup and the wire series.
+        let text = client.exposition().unwrap();
+        assert!(text.contains("# TYPE apcache_reads_total counter"), "{text}");
+        assert!(text.contains("apcache_reads_total 1"), "{text}");
+        assert!(text.contains("apcache_writes_total 1"), "{text}");
+        assert!(text.contains("apcache_push_subscribers 1"), "{text}");
+        assert!(text.contains("apcache_verb_latency_seconds_bucket"), "{text}");
+        assert!(text.contains("apcache_wire_frames_total{dir=\"in\"}"), "{text}");
+        assert!(client.unsubscribe(sub).unwrap());
+        client.shutdown().unwrap();
+        assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+    }
+
+    #[test]
+    fn sequential_server_serves_store_exposition() {
+        let (mut server_t, client_t) = loopback();
+        let server = thread::spawn(move || {
+            let mut server = StoreServer::new(small_store());
+            server.serve::<String, _>(&mut server_t).unwrap()
+        });
+        let mut client: RemoteStoreClient<String, _> = RemoteStoreClient::new(client_t);
+        client.read(&"a".to_string(), Constraint::Exact, 0).unwrap();
+        let text = client.exposition().unwrap();
+        assert!(text.contains("apcache_reads_total 1"), "{text}");
+        // A plain store has no push side: the verb faults, stably.
+        let err = client.push_stats().unwrap_err();
+        assert_eq!(err.fault_kind(), Some(FaultKind::Unsupported));
+        client.shutdown().unwrap();
+        assert_eq!(server.join().unwrap(), ServerExit::Shutdown);
+    }
+
+    #[test]
+    fn v2_peers_get_a_stable_fault_for_telemetry_verbs() {
+        use crate::message::{decode_frame, versioned_to_vec, VERSION_V2};
+        let runtime = small_fleet();
+        let handle = runtime.handle();
+        let (server_t, mut client_t) = loopback();
+        let server = thread::spawn(move || serve_pipelined(server_t, handle).unwrap());
+        for (id, request) in [(11u64, WireRequest::Exposition), (12, WireRequest::PushStats)] {
+            let msg: WireMessage<String> = WireMessage::Request(request);
+            client_t.send(&versioned_to_vec(VERSION_V2, id, &msg)).unwrap();
+            let frame = decode_frame::<String>(&client_t.recv().unwrap()).unwrap();
+            assert_eq!((frame.request_id, frame.version), (id, VERSION_V2));
+            assert!(matches!(
+                frame.msg,
+                WireMessage::Response(WireResponse::Error(WireFault {
+                    kind: FaultKind::Unsupported,
+                    ..
+                }))
+            ));
+        }
+        drop(client_t);
+        assert_eq!(server.join().unwrap(), ServerExit::Disconnected);
     }
 
     #[test]

@@ -82,5 +82,6 @@ pub use apcache_runtime as runtime;
 pub use apcache_shard as shard;
 pub use apcache_sim as sim;
 pub use apcache_store as store;
+pub use apcache_telemetry as telemetry;
 pub use apcache_wire as wire;
 pub use apcache_workload as workload;
