@@ -1,0 +1,15 @@
+//! What durability costs: write-path throughput with the spool attached
+//! (in-memory and real-fs, across fsync policies) plus warm-restart
+//! replay speed, with a recovery bit-identity smoke baked in. Writes the
+//! machine-readable perf record (`BENCH_spool.json` at the workspace
+//! root). Run with `cargo bench -p apcache-bench --bench spool_throughput`.
+
+fn main() {
+    let (table, json) = apcache_bench::experiments::spool::run();
+    table.print();
+    // Anchor to the workspace root so the record lands in the same place
+    // no matter which directory cargo invokes the bench from.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spool.json");
+    std::fs::write(path, &json).expect("write BENCH_spool.json");
+    println!("wrote {path}");
+}

@@ -21,5 +21,6 @@ pub mod push;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;
+pub mod spool;
 pub mod telemetry;
 pub mod wire;

@@ -1,0 +1,222 @@
+//! Spool throughput: what durability costs on the write path, and how
+//! fast a warm restart replays.
+//!
+//! Not a paper figure — this harness guards the PR that added the
+//! write-ahead spool. Four write-loop variants over the same key set:
+//!
+//! * **baseline** — the bare store, no spool attached;
+//! * **mem/always** — an in-memory [`MemIo`] spool with fsync-per-append
+//!   accounting on, isolating the *logging* cost (record encode + CRC
+//!   framing + segment bookkeeping) from any real disk;
+//! * **fs/never** and **fs/rotate** — a real [`apcache_store::StdFsIo`]
+//!   spool on a temp
+//!   directory with the two buffered fsync policies (`Always` on a real
+//!   disk is dominated by device fsync latency, so it runs a much
+//!   shorter loop and is reported, not compared).
+//!
+//! The harness then crashes the `mem/always` subject, recovers it, and
+//! checks a sample of keys bit-identical against the live store — the
+//! bench doubles as a correctness smoke for the recovery path — while
+//! timing the replay (records/s). Results land in `BENCH_spool.json`.
+
+use std::time::Instant;
+
+use apcache_store::{
+    Constraint, FsyncPolicy, InitialWidth, MemIo, PrecisionStore, SpoolConfig, SpoolIo,
+    StoreBuilder,
+};
+
+use crate::table::Table;
+
+const KEYS: u64 = 1_024;
+/// Write ops per buffered variant (baseline, mem, fs/never, fs/rotate).
+const OPS: u64 = 200_000;
+/// Write ops for the fsync-per-append-on-disk cell (each op is a real
+/// device fsync, so the loop is short; the cell is informational).
+const FS_ALWAYS_OPS: u64 = 2_000;
+const ROUNDS: usize = 3;
+
+fn build_store() -> PrecisionStore<u64> {
+    let mut b = StoreBuilder::new().initial_width(InitialWidth::Fixed(10.0));
+    for k in 0..KEYS {
+        b = b.source(k, k as f64);
+    }
+    b.build().expect("store config valid")
+}
+
+/// One timing window: `ops` writes walking every key; returns ns/op.
+/// Values alternate inside/outside the cached interval, so the loop
+/// exercises both the free write and the escape/refresh path.
+fn window(store: &mut PrecisionStore<u64>, ops: u64) -> f64 {
+    let started = Instant::now();
+    for i in 0..ops {
+        let k = i % KEYS;
+        let v = k as f64 + if i % 3 == 0 { 100.0 } else { 0.1 };
+        store.write(&k, v, i + 1).expect("write");
+    }
+    started.elapsed().as_secs_f64() / ops as f64 * 1e9
+}
+
+fn min_over_rounds(store: &mut PrecisionStore<u64>, ops: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        best = best.min(window(store, ops));
+    }
+    best
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir =
+        std::env::temp_dir().join(format!("apcache-bench-spool-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+/// All measured cells.
+pub struct Cells {
+    /// Bare store write loop, no spool attached (ns/op).
+    pub baseline_ns: f64,
+    /// In-memory spool, fsync accounting per append (ns/op).
+    pub mem_always_ns: f64,
+    /// Real fs spool, `FsyncPolicy::Never` (ns/op).
+    pub fs_never_ns: f64,
+    /// Real fs spool, `FsyncPolicy::OnRotate` (ns/op).
+    pub fs_rotate_ns: f64,
+    /// Real fs spool, `FsyncPolicy::Always` — device-fsync bound, short
+    /// loop, informational (ns/op).
+    pub fs_always_ns: f64,
+    /// Log records replayed by the timed recovery.
+    pub replay_records: u64,
+    /// Replay speed of the timed recovery.
+    pub replay_records_per_sec: f64,
+}
+
+/// Time every cell and the warm-restart replay.
+pub fn measure() -> Cells {
+    let cfg = SpoolConfig::default();
+
+    let mut baseline = build_store();
+    let baseline_ns = min_over_rounds(&mut baseline, OPS);
+
+    // Logging cost in isolation: MemIo, fsync accounting on.
+    let mut mem_subject = build_store();
+    mem_subject.attach_spool_io(Box::new(MemIo::new()), "spool", cfg).expect("attach");
+    let mem_always_ns = min_over_rounds(&mut mem_subject, OPS);
+
+    // Real filesystem, buffered policies.
+    let fs_cell = |tag: &str, fsync: FsyncPolicy, ops: u64| -> f64 {
+        let dir = temp_dir(tag);
+        let mut s = build_store();
+        let builder_cfg = SpoolConfig { fsync, ..cfg };
+        s.attach_spool_io(Box::new(apcache_store::StdFsIo::new()), &dir, builder_cfg)
+            .expect("attach fs spool");
+        let ns = min_over_rounds(&mut s, ops);
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+        ns
+    };
+    let fs_never_ns = fs_cell("never", FsyncPolicy::Never, OPS);
+    let fs_rotate_ns = fs_cell("rotate", FsyncPolicy::OnRotate, OPS);
+    let fs_always_ns = fs_cell("always", FsyncPolicy::Always, FS_ALWAYS_OPS);
+
+    // Crash the MemIo subject and time the replay — and use the bench as
+    // a recovery-correctness smoke while we are here.
+    let replay_records = ROUNDS as u64 * OPS;
+    let mut io = mem_subject.detach_spool().expect("subject has a spool");
+    io.as_any_mut().downcast_mut::<MemIo>().expect("MemIo subject").crash(0);
+    let started = Instant::now();
+    let recovered =
+        PrecisionStore::<u64>::recover_with_io(io, "spool", cfg).expect("recovery succeeds");
+    let replay_secs = started.elapsed().as_secs_f64();
+    for k in (0..KEYS).step_by(97) {
+        assert_eq!(mem_subject.value(&k), recovered.value(&k), "value of {k} diverged");
+        assert_eq!(
+            mem_subject.internal_width(&k),
+            recovered.internal_width(&k),
+            "width of {k} diverged"
+        );
+        assert_eq!(
+            mem_subject.cached_interval(&k, ROUNDS as u64 * OPS + 1),
+            recovered.cached_interval(&k, ROUNDS as u64 * OPS + 1),
+            "interval of {k} diverged"
+        );
+    }
+    // The recovered store still answers: one tight read per decile.
+    let mut recovered = recovered;
+    for k in (0..KEYS).step_by(128) {
+        recovered
+            .read(&k, Constraint::Exact, ROUNDS as u64 * OPS + 2)
+            .expect("recovered store serves");
+    }
+
+    Cells {
+        baseline_ns,
+        mem_always_ns,
+        fs_never_ns,
+        fs_rotate_ns,
+        fs_always_ns,
+        replay_records,
+        replay_records_per_sec: replay_records as f64 / replay_secs,
+    }
+}
+
+/// Machine-readable record for the perf-trajectory trail.
+pub fn to_json(c: &Cells) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"spool_throughput\",\n",
+            "  \"keys\": {},\n",
+            "  \"ops_per_window\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"baseline_ns_per_op\": {},\n",
+            "  \"mem_always_ns_per_op\": {},\n",
+            "  \"fs_never_ns_per_op\": {},\n",
+            "  \"fs_rotate_ns_per_op\": {},\n",
+            "  \"fs_always_ns_per_op\": {},\n",
+            "  \"fs_always_ops\": {},\n",
+            "  \"replay_records\": {},\n",
+            "  \"replay_records_per_sec\": {}\n",
+            "}}\n"
+        ),
+        KEYS,
+        OPS,
+        ROUNDS,
+        c.baseline_ns,
+        c.mem_always_ns,
+        c.fs_never_ns,
+        c.fs_rotate_ns,
+        c.fs_always_ns,
+        FS_ALWAYS_OPS,
+        c.replay_records,
+        c.replay_records_per_sec,
+    )
+}
+
+/// Run the cells, verify recovery bit-identity, and return the printable
+/// table plus the JSON record.
+pub fn run() -> (Table, String) {
+    let cells = measure();
+    let mut table = Table::new(
+        "spool_throughput — write path with the durability spool attached",
+        vec!["variant".into(), "ns/op".into(), "Mops/s".into()],
+    );
+    table.note(format!(
+        "{KEYS} keys, {OPS} writes x {ROUNDS} rounds per variant (min kept); \
+         fs/always runs {FS_ALWAYS_OPS} ops (device-fsync bound, informational)"
+    ));
+    table.note(format!(
+        "recovery replayed {} records at {:.0} records/s, sampled keys bit-identical",
+        cells.replay_records, cells.replay_records_per_sec
+    ));
+    for (name, ns) in [
+        ("baseline (no spool)", cells.baseline_ns),
+        ("mem/always", cells.mem_always_ns),
+        ("fs/never", cells.fs_never_ns),
+        ("fs/rotate", cells.fs_rotate_ns),
+        ("fs/always", cells.fs_always_ns),
+    ] {
+        table.push_row(vec![name.into(), format!("{ns:.1}"), format!("{:.2}", 1e3 / ns)]);
+    }
+    (table, to_json(&cells))
+}

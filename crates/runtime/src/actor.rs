@@ -173,6 +173,9 @@ impl<K: Hash + Ord + Clone> ShardActor<K> {
             Request::Install { bundle, ack } => {
                 ack.send(self.install(bundle));
             }
+            Request::Checkpoint { ack } => {
+                ack.send(self.store.checkpoint());
+            }
             Request::Shutdown { ack } => {
                 ack.send(());
             }

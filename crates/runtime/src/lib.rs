@@ -233,6 +233,44 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_fans_out_and_recovery_resumes_the_fleet() {
+        let dir =
+            std::env::temp_dir().join(format!("apcache-runtime-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_str().unwrap().to_string();
+        let mut b = ShardedStoreBuilder::new()
+            .shards(2)
+            .rng(Rng::seed_from_u64(7))
+            .initial_width(InitialWidth::Fixed(10.0))
+            .with_spool(dir.clone());
+        for k in 0..8u64 {
+            b = b.source(k, 100.0 * k as f64);
+        }
+        let runtime = Runtime::launch(b.build().unwrap()).unwrap();
+        let h = runtime.handle();
+        for k in 0..8u64 {
+            h.write(&k, 100.0 * k as f64 + 500.0, 10).unwrap(); // escape → VR
+            h.read(&k, Constraint::Absolute(50.0), 20).unwrap(); // QR
+        }
+        // Fan the checkpoint out to every actor; each snapshot is a
+        // consistent cut of its shard's mailbox history.
+        h.checkpoint().unwrap();
+        let reference = runtime.into_store().unwrap();
+        let recovered = ShardedStore::<u64>::recover(&dir).unwrap();
+        assert_eq!(recovered.shard_count(), 2);
+        for k in 0..8u64 {
+            assert_eq!(recovered.value(&k), reference.value(&k), "key {k}");
+            assert_eq!(recovered.internal_width(&k), reference.internal_width(&k), "key {k}");
+            assert_eq!(
+                recovered.cached_interval(&k, 20),
+                reference.cached_interval(&k, 20),
+                "key {k}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn handles_error_after_shutdown() {
         let runtime = Runtime::launch(fleet(2, 4)).unwrap();
         let h = runtime.handle();

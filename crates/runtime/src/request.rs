@@ -178,6 +178,14 @@ pub enum Request<K> {
         /// Acknowledged once every key is resident.
         ack: ReplySender<Result<(), StoreError>>,
     },
+    /// Snapshot this shard's store into its durable spool and compact
+    /// the log (a no-op `Ok` when the store has no spool). Mailbox FIFO
+    /// makes the snapshot a consistent cut: it reflects every request
+    /// enqueued before this one and none after.
+    Checkpoint {
+        /// Acknowledged once the snapshot is durable (or skipped).
+        ack: ReplySender<Result<(), StoreError>>,
+    },
     /// Orderly shutdown marker: the actor acknowledges that every request
     /// enqueued before this one has been fully processed. (The actor
     /// keeps draining afterwards until its mailbox is closed and empty.)

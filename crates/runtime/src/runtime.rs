@@ -756,6 +756,29 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         self.queue.submit_tick(Some(now))
     }
 
+    /// Checkpoint every shard's store into its durable spool (blocking):
+    /// each actor snapshots its full state and compacts its log, a no-op
+    /// for shards without a spool. The sends go out under one topology
+    /// read guard, so the fan-out addresses a consistent fleet; per
+    /// shard, mailbox FIFO makes the snapshot a consistent cut of that
+    /// shard's history. Returns once every shard's snapshot is durable.
+    pub fn checkpoint(&self) -> Result<(), RuntimeError> {
+        let acks = {
+            let topo = self.shared.topology.read().expect("topology lock poisoned");
+            let mut acks = Vec::with_capacity(topo.senders.len());
+            for sender in &topo.senders {
+                let (tx, rx) = reply_slot();
+                sender.send(Request::Checkpoint { ack: tx }).map_err(|_| RuntimeError::Closed)?;
+                acks.push(rx);
+            }
+            acks
+        };
+        for ack in acks {
+            ack.recv().map_err(|_| RuntimeError::ActorGone)?.map_err(RuntimeError::Store)?;
+        }
+        Ok(())
+    }
+
     // -----------------------------------------------------------------
     // Blocking surface: submit + wait_ticket, nothing else.
     // -----------------------------------------------------------------

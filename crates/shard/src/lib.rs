@@ -66,6 +66,7 @@
 
 pub mod backend;
 pub mod hash;
+pub mod manifest;
 pub mod plan;
 pub mod router;
 pub mod store;

@@ -1,0 +1,134 @@
+//! The fleet manifest: the one file that makes a *sharded* spool
+//! directory self-describing.
+//!
+//! Per-shard spools (see [`ShardedStoreBuilder::with_spool`]) live in
+//! `dir/shard-<ring id>/`; the manifest at `dir/fleet.manifest` records
+//! the ring membership and vnode count, so
+//! [`ShardedStore::recover`] can rebuild the exact same
+//! consistent-hash ring — key placement depends only on `(ids, vnodes)`
+//! — and re-open each shard's spool without guessing from directory
+//! names.
+//!
+//! The format is deliberately human-auditable text:
+//!
+//! ```text
+//! apcache-fleet v1
+//! vnodes 64
+//! shards 0 1 2 3
+//! ```
+//!
+//! Writes go through a `.tmp` + rename so a crash mid-write leaves
+//! either the old manifest or the new one, never a torn file.
+//!
+//! [`ShardedStoreBuilder::with_spool`]: crate::ShardedStoreBuilder::with_spool
+//! [`ShardedStore::recover`]: crate::ShardedStore::recover
+
+use std::io::Write as _;
+use std::path::Path;
+
+use apcache_store::StoreError;
+
+const HEADER: &str = "apcache-fleet v1";
+
+/// Name of the manifest file inside a fleet spool directory.
+pub const MANIFEST_FILE: &str = "fleet.manifest";
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Spool(format!("{op} {}: {e}", path.display()))
+}
+
+/// Write (atomically: tmp + rename) the manifest for a fleet with the
+/// given ring membership into `dir`, creating the directory if needed.
+pub fn write_manifest(dir: &str, vnodes: usize, ids: &[u32]) -> Result<(), StoreError> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create", dir, e))?;
+    let mut body = format!("{HEADER}\nvnodes {vnodes}\nshards");
+    for id in ids {
+        body.push(' ');
+        body.push_str(&id.to_string());
+    }
+    body.push('\n');
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let target = dir.join(MANIFEST_FILE);
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    f.write_all(body.as_bytes()).map_err(|e| io_err("write", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+    std::fs::rename(&tmp, &target).map_err(|e| io_err("rename", &tmp, e))
+}
+
+/// Read a fleet manifest back: `(vnodes, shard ids)` in recorded order.
+pub fn read_manifest(dir: &str) -> Result<(usize, Vec<u32>), StoreError> {
+    let path = Path::new(dir).join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| io_err("read", &path, e))?;
+    let corrupt = |what: &str| StoreError::Spool(format!("manifest {}: {what}", path.display()));
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(corrupt("bad header"));
+    }
+    let vnodes = lines
+        .next()
+        .and_then(|l| l.strip_prefix("vnodes "))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| corrupt("bad vnodes line"))?;
+    let ids: Vec<u32> = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards"))
+        .map(|rest| rest.split_whitespace().map(str::parse).collect::<Result<_, _>>())
+        .ok_or_else(|| corrupt("bad shards line"))?
+        .map_err(|_| corrupt("bad shard id"))?;
+    if ids.is_empty() {
+        return Err(corrupt("empty shard list"));
+    }
+    Ok((vnodes, ids))
+}
+
+/// The per-shard spool directory under a fleet spool root.
+pub fn shard_dir(dir: &str, id: u32) -> String {
+    format!("{dir}/shard-{id}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("apcache-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn round_trips_and_overwrites() {
+        let dir = tmp_dir("rt");
+        write_manifest(&dir, 64, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), (64, vec![0, 1, 2, 3]));
+        // Sparse post-elastic membership overwrites in place.
+        write_manifest(&dir, 64, &[0, 2, 4]).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), (64, vec![0, 2, 4]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_manifests_error() {
+        let dir = tmp_dir("bad");
+        assert!(read_manifest(&dir).is_err(), "missing dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).is_err(), "missing file");
+        for junk in [
+            "",
+            "wrong v9\nvnodes 1\nshards 0\n",
+            "apcache-fleet v1\nvnodes x\nshards 0\n",
+            "apcache-fleet v1\nvnodes 8\nshards\n",
+        ] {
+            std::fs::write(std::path::Path::new(&dir).join(MANIFEST_FILE), junk).unwrap();
+            assert!(read_manifest(&dir).is_err(), "junk {junk:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_dirs_are_id_scoped() {
+        assert_eq!(shard_dir("/var/spool/fleet", 7), "/var/spool/fleet/shard-7");
+    }
+}

@@ -50,6 +50,31 @@ impl ShardRouter {
         Ok(router)
     }
 
+    /// A ring over an explicit id set — the recovery path, where a spool
+    /// manifest names the (possibly sparse, after elastic add/remove)
+    /// shard ids a previous process was running. Routing depends only on
+    /// `(id, vnodes)`, so rebuilding the ring from the same members
+    /// reproduces the same key placement.
+    pub fn with_shards(ids: &[u32], vnodes: usize) -> Result<Self, StoreError> {
+        if ids.is_empty() {
+            return Err(StoreError::Config("a shard ring needs at least one shard".into()));
+        }
+        if vnodes == 0 {
+            return Err(StoreError::Config("each shard needs at least one virtual node".into()));
+        }
+        let v = u32::try_from(vnodes)
+            .map_err(|_| StoreError::Config("vnode count exceeds u32".into()))?;
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(StoreError::Config(format!("duplicate shard id in ring: {ids:?}")));
+        }
+        let next_id = sorted.last().expect("non-empty") + 1;
+        let mut router = ShardRouter { shards: ids.to_vec(), next_id, vnodes: v, ring: Vec::new() };
+        router.rebuild_ring();
+        Ok(router)
+    }
+
     fn rebuild_ring(&mut self) {
         self.ring.clear();
         self.ring.reserve(self.shards.len() * self.vnodes as usize);
@@ -213,6 +238,27 @@ mod tests {
         let id = r.add_shard();
         r.remove_shard(id).unwrap();
         assert_eq!(before, routes(&r, 5_000));
+    }
+
+    #[test]
+    fn with_shards_reproduces_routing_and_keeps_ids_fresh() {
+        // Dense ids: identical to the ordinary constructor.
+        let dense = ShardRouter::with_shards(&[0, 1, 2, 3], 32).unwrap();
+        assert_eq!(routes(&dense, 5_000), routes(&ShardRouter::new(4, 32).unwrap(), 5_000));
+        // Sparse ids (post-elastic fleet): routing matches the fleet that
+        // grew into the same membership.
+        let mut grown = ShardRouter::new(3, 32).unwrap();
+        grown.remove_shard(1).unwrap();
+        let id = grown.add_shard();
+        let rebuilt = ShardRouter::with_shards(&[0, 2, id], 32).unwrap();
+        assert_eq!(routes(&rebuilt, 5_000), routes(&grown, 5_000));
+        // Fresh ids never collide with recovered members.
+        let mut r = ShardRouter::with_shards(&[7, 3], 8).unwrap();
+        assert_eq!(r.add_shard(), 8);
+        // Degenerate inputs are rejected.
+        assert!(ShardRouter::with_shards(&[], 8).is_err());
+        assert!(ShardRouter::with_shards(&[1, 1], 8).is_err());
+        assert!(ShardRouter::with_shards(&[0], 0).is_err());
     }
 
     #[test]

@@ -8,10 +8,11 @@ use apcache_core::{Interval, Rng, TimeMs};
 use apcache_queries::AggregateKind;
 use apcache_store::{
     AggregateOutcome, Constraint, InitialWidth, KeyState, PolicySpec, PrecisionStore, ReadResult,
-    StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
+    SpoolConfig, SpoolKey, StoreBuilder, StoreError, StoreMetrics, WriteOutcome,
 };
 
 use crate::backend::ShardBackend;
+use crate::manifest;
 use crate::plan::{empty_aggregate, evaluate_constraint};
 use crate::router::ShardRouter;
 
@@ -38,6 +39,18 @@ pub struct ShardedStoreBuilder<K> {
     vnodes: usize,
     rng: Rng,
     sources: Vec<(K, f64, Option<PolicySpec>)>,
+    spool: Option<FleetSpool<K>>,
+}
+
+/// A pending fleet-wide spool: the root directory plus the attach hook
+/// captured while the `K: SpoolKey` bound was in scope (the same fn-
+/// pointer erasure trick [`StoreBuilder`] itself uses), so the rest of
+/// the builder needs no spool bounds.
+#[derive(Debug, Clone)]
+struct FleetSpool<K> {
+    dir: String,
+    cfg: SpoolConfig,
+    attach: fn(StoreBuilder<K>, String, SpoolConfig) -> StoreBuilder<K>,
 }
 
 impl<K> Default for ShardedStoreBuilder<K> {
@@ -48,6 +61,7 @@ impl<K> Default for ShardedStoreBuilder<K> {
             vnodes: DEFAULT_VNODES,
             rng: Rng::seed_from_u64(0),
             sources: Vec::new(),
+            spool: None,
         }
     }
 }
@@ -118,6 +132,31 @@ impl<K: Hash + Ord + Clone> ShardedStoreBuilder<K> {
         self
     }
 
+    /// Give every shard a durable write-ahead spool under `dir`: shard
+    /// `i` logs to `dir/shard-<ring id>/`, and `dir/fleet.manifest`
+    /// records the ring shape so [`ShardedStore::recover`] can rebuild
+    /// the identical fleet after a crash or restart.
+    pub fn with_spool(self, dir: impl Into<String>) -> Self
+    where
+        K: SpoolKey,
+    {
+        self.with_spool_config(dir, SpoolConfig::default())
+    }
+
+    /// [`with_spool`](ShardedStoreBuilder::with_spool) with explicit
+    /// segment-size and fsync tuning applied to every shard's spool.
+    pub fn with_spool_config(mut self, dir: impl Into<String>, cfg: SpoolConfig) -> Self
+    where
+        K: SpoolKey,
+    {
+        self.spool = Some(FleetSpool {
+            dir: dir.into(),
+            cfg,
+            attach: |b, dir, cfg| b.with_spool_config(dir, cfg),
+        });
+        self
+    }
+
     /// Register a source with the default policy (routed at build time).
     pub fn source(mut self, key: K, initial_value: f64) -> Self {
         self.sources.push((key, initial_value, None));
@@ -148,6 +187,14 @@ impl<K: Hash + Ord + Clone> ShardedStoreBuilder<K> {
                 Some(spec) => b.source_with_policy(key, value, spec),
                 None => b.source(key, value),
             };
+        }
+        if let Some(plan) = &self.spool {
+            manifest::write_manifest(&plan.dir, self.vnodes, router.shard_ids())?;
+            for (slot, b) in builders.iter_mut().enumerate() {
+                let id = router.shard_ids()[slot];
+                let taken = std::mem::take(b);
+                *b = (plan.attach)(taken, manifest::shard_dir(&plan.dir, id), plan.cfg);
+            }
         }
         let shards =
             builders.into_iter().map(StoreBuilder::build).collect::<Result<Vec<_>, _>>()?;
@@ -573,6 +620,16 @@ impl<K: Hash + Ord + Clone> ShardedStore<K, PrecisionStore<K>> {
         self.shards.get(shard)
     }
 
+    /// Snapshot every shard's full state into its spool and compact the
+    /// logs (see [`PrecisionStore::checkpoint`]). Shards without a spool
+    /// are no-ops, so this is safe to call on any fleet.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        for shard in &mut self.shards {
+            shard.checkpoint()?;
+        }
+        Ok(())
+    }
+
     /// Total number of registered sources across shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(PrecisionStore::len).sum()
@@ -612,6 +669,32 @@ impl<K: Hash + Ord + Clone> ShardedStore<K, PrecisionStore<K>> {
     /// The source-side exact value for `key` on its owning shard.
     pub fn value(&self, key: &K) -> Option<f64> {
         self.shards[self.slot_of(key)].value(key)
+    }
+}
+
+impl<K: SpoolKey + Hash + Ord + Clone> ShardedStore<K, PrecisionStore<K>> {
+    /// Rebuild a fleet from the spool directory a previous process left
+    /// behind (written by
+    /// [`with_spool`](ShardedStoreBuilder::with_spool)): read the fleet
+    /// manifest, rebuild the identical consistent-hash ring, and recover
+    /// each shard's store from `dir/shard-<id>/`. Every shard resumes
+    /// with its converged widths and keeps logging to the same spool.
+    pub fn recover(dir: &str) -> Result<Self, StoreError> {
+        Self::recover_with_config(dir, SpoolConfig::default())
+    }
+
+    /// [`recover`](ShardedStore::recover) with explicit spool tuning.
+    pub fn recover_with_config(dir: &str, cfg: SpoolConfig) -> Result<Self, StoreError> {
+        let (vnodes, ids) = manifest::read_manifest(dir)?;
+        let router = ShardRouter::with_shards(&ids, vnodes)?;
+        let parts = ids
+            .iter()
+            .map(|&id| {
+                PrecisionStore::recover_with_config(&manifest::shard_dir(dir, id), cfg)
+                    .map(|store| (id, store))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_routed_parts(router, parts)
     }
 }
 
@@ -946,6 +1029,68 @@ mod tests {
             ShardedStore::from_routed_parts(router, parts),
             Err(StoreError::Config(_))
         ));
+    }
+
+    #[test]
+    fn fleet_spool_recovers_routing_and_state_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("apcache-fleet-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_str().unwrap().to_string();
+
+        let build = |spool: bool| {
+            let mut b = ShardedStoreBuilder::new()
+                .shards(4)
+                .vnodes(32)
+                .initial_width(InitialWidth::Fixed(10.0));
+            if spool {
+                b = b.with_spool(dir.clone());
+            }
+            for k in 0..24u64 {
+                b = b.source(k, 100.0 * k as f64);
+            }
+            b.build().unwrap()
+        };
+        let mut reference = build(false);
+        let mut subject = build(true);
+        for s in [&mut reference, &mut subject] {
+            for k in 0..24u64 {
+                s.write(&k, 100.0 * k as f64 + 500.0, 10).unwrap(); // escape → VR
+                s.read(&k, Constraint::Absolute(50.0), 20).unwrap(); // QR
+            }
+        }
+        // "Kill" the fleet: drop it; only the spooled state survives.
+        drop(subject);
+        let mut recovered = ShardedStore::<u64>::recover(&dir).unwrap();
+        assert_eq!(recovered.shard_count(), 4);
+        for k in 0..24u64 {
+            assert_eq!(recovered.shard_of(&k), reference.shard_of(&k), "key {k} rerouted");
+            assert_eq!(recovered.value(&k), reference.value(&k), "key {k}");
+            assert_eq!(recovered.internal_width(&k), reference.internal_width(&k), "key {k}");
+            assert_eq!(
+                recovered.cached_interval(&k, 20),
+                reference.cached_interval(&k, 20),
+                "key {k}"
+            );
+        }
+        // The recovered fleet keeps serving — and logging — identically.
+        for s in [&mut reference, &mut recovered] {
+            for k in 0..24u64 {
+                s.write(&k, 40.0 * k as f64, 30).unwrap();
+            }
+        }
+        for k in 0..24u64 {
+            let a = recovered.read(&k, Constraint::Absolute(25.0), 40).unwrap();
+            let b = reference.read(&k, Constraint::Absolute(25.0), 40).unwrap();
+            assert_eq!((a.answer, a.refreshed), (b.answer, b.refreshed), "key {k}");
+        }
+        // Checkpoint compacts every shard's log; recovery still works.
+        recovered.checkpoint().unwrap();
+        drop(recovered);
+        let again = ShardedStore::<u64>::recover(&dir).unwrap();
+        for k in 0..24u64 {
+            assert_eq!(again.internal_width(&k), reference.internal_width(&k), "key {k}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Filesystem abstraction: the [`SpoolIo`] trait, the real
+//! [`StdFsIo`] implementation, and the fault-injecting in-memory
+//! [`MemIo`] the durability conformance suite crashes deterministically.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+
+use crate::SpoolError;
+
+/// Everything the spool needs from a filesystem.
+///
+/// Paths are plain strings (the spool joins its directory and file names
+/// with `/`). Implementations must honor two contracts the recovery
+/// story leans on:
+///
+/// * [`append`](SpoolIo::append) may write **fewer** bytes than asked
+///   (a short write) — the spool retries the remainder; and
+/// * bytes are only guaranteed durable after [`sync`](SpoolIo::sync)
+///   returns `Ok` — a crash may keep any prefix of the unsynced suffix
+///   (the torn tail replay truncates).
+pub trait SpoolIo: Send + std::fmt::Debug {
+    /// Create `dir` (and parents) if missing.
+    fn create_dir_all(&mut self, dir: &str) -> Result<(), SpoolError>;
+    /// File names (not paths) directly inside `dir`, in no particular order.
+    fn list(&self, dir: &str) -> Result<Vec<String>, SpoolError>;
+    /// Read a whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, SpoolError>;
+    /// Create an empty file, truncating any existing content.
+    fn create(&mut self, path: &str) -> Result<(), SpoolError>;
+    /// Append bytes; returns how many were written (possibly short, never 0
+    /// for a non-empty `data` unless an error is returned).
+    fn append(&mut self, path: &str, data: &[u8]) -> Result<usize, SpoolError>;
+    /// Truncate the file to `len` bytes.
+    fn truncate(&mut self, path: &str, len: u64) -> Result<(), SpoolError>;
+    /// Make the file's current content durable.
+    fn sync(&mut self, path: &str) -> Result<(), SpoolError>;
+    /// Atomically rename `from` to `to` (the snapshot install step).
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), SpoolError>;
+    /// Delete a file.
+    fn remove(&mut self, path: &str) -> Result<(), SpoolError>;
+    /// Downcast support, so crash harnesses can recover their concrete
+    /// I/O (e.g. [`MemIo`], to call `crash`) from a `Box<dyn SpoolIo>`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl SpoolIo for Box<dyn SpoolIo> {
+    fn create_dir_all(&mut self, dir: &str) -> Result<(), SpoolError> {
+        (**self).create_dir_all(dir)
+    }
+    fn list(&self, dir: &str) -> Result<Vec<String>, SpoolError> {
+        (**self).list(dir)
+    }
+    fn read(&self, path: &str) -> Result<Vec<u8>, SpoolError> {
+        (**self).read(path)
+    }
+    fn create(&mut self, path: &str) -> Result<(), SpoolError> {
+        (**self).create(path)
+    }
+    fn append(&mut self, path: &str, data: &[u8]) -> Result<usize, SpoolError> {
+        (**self).append(path, data)
+    }
+    fn truncate(&mut self, path: &str, len: u64) -> Result<(), SpoolError> {
+        (**self).truncate(path, len)
+    }
+    fn sync(&mut self, path: &str) -> Result<(), SpoolError> {
+        (**self).sync(path)
+    }
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), SpoolError> {
+        (**self).rename(from, to)
+    }
+    fn remove(&mut self, path: &str) -> Result<(), SpoolError> {
+        (**self).remove(path)
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        (**self).as_any_mut()
+    }
+}
+
+fn io_err(op: &str, path: &str, e: std::io::Error) -> SpoolError {
+    SpoolError::Io(format!("{op} {path}: {e}"))
+}
+
+/// The real filesystem. Append handles are kept open per path so a hot
+/// append path does not re-open its segment on every record; handles are
+/// dropped on rename/remove/truncate.
+#[derive(Debug, Default)]
+pub struct StdFsIo {
+    handles: HashMap<String, File>,
+}
+
+impl StdFsIo {
+    /// A fresh instance with no cached handles.
+    pub fn new() -> Self {
+        StdFsIo::default()
+    }
+
+    fn handle(&mut self, path: &str) -> Result<&mut File, SpoolError> {
+        if !self.handles.contains_key(path) {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| io_err("open", path, e))?;
+            self.handles.insert(path.to_string(), file);
+        }
+        Ok(self.handles.get_mut(path).expect("just inserted"))
+    }
+}
+
+impl SpoolIo for StdFsIo {
+    fn create_dir_all(&mut self, dir: &str) -> Result<(), SpoolError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create_dir_all", dir, e))
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>, SpoolError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| io_err("read_dir", dir, e))? {
+            let entry = entry.map_err(|e| io_err("read_dir", dir, e))?;
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, SpoolError> {
+        let mut buf = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut buf))
+            .map_err(|e| io_err("read", path, e))?;
+        Ok(buf)
+    }
+
+    fn create(&mut self, path: &str) -> Result<(), SpoolError> {
+        self.handles.remove(path);
+        File::create(path).map(drop).map_err(|e| io_err("create", path, e))
+    }
+
+    fn append(&mut self, path: &str, data: &[u8]) -> Result<usize, SpoolError> {
+        let file = self.handle(path)?;
+        let n = file.write(data).map_err(|e| io_err("append", path, e))?;
+        if n == 0 && !data.is_empty() {
+            return Err(SpoolError::Io(format!("append {path}: wrote 0 bytes")));
+        }
+        Ok(n)
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> Result<(), SpoolError> {
+        self.handles.remove(path);
+        OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_len(len))
+            .map_err(|e| io_err("truncate", path, e))
+    }
+
+    fn sync(&mut self, path: &str) -> Result<(), SpoolError> {
+        match self.handles.get(path) {
+            Some(file) => file.sync_all().map_err(|e| io_err("sync", path, e)),
+            None => {
+                File::open(path).and_then(|f| f.sync_all()).map_err(|e| io_err("sync", path, e))
+            }
+        }
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), SpoolError> {
+        self.handles.remove(from);
+        self.handles.remove(to);
+        std::fs::rename(from, to).map_err(|e| io_err("rename", from, e))
+    }
+
+    fn remove(&mut self, path: &str) -> Result<(), SpoolError> {
+        self.handles.remove(path);
+        std::fs::remove_file(path).map_err(|e| io_err("remove", path, e))
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One in-memory file: what a crash would keep (`synced`) vs what it may
+/// lose (`pending`, written but not yet fsynced).
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    synced: Vec<u8>,
+    pending: Vec<u8>,
+}
+
+/// Deterministic in-memory filesystem with fault injection, for the
+/// crash-matrix and fs-fault tests.
+///
+/// * [`fail_after_ops`](MemIo::fail_after_ops) — the N-th subsequent
+///   *mutating* operation (create/append/truncate/sync/rename/remove)
+///   and everything after it fails with an injected [`SpoolError::Io`],
+///   pinning a kill point anywhere in a write schedule;
+/// * [`short_writes`](MemIo::short_writes) — appends accept at most N
+///   bytes per call, exercising the retry loop;
+/// * [`fail_syncs`](MemIo::fail_syncs) — fsync reports failure while the
+///   bytes stay pending (the classic lying-disk scenario);
+/// * [`crash`](MemIo::crash) — discard unsynced bytes everywhere, keeping
+///   a caller-chosen prefix of the pending tail (the torn record), and
+///   clear all injected faults so the reopened spool serves normally.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: std::collections::BTreeMap<String, MemFile>,
+    ops_until_fail: Option<u64>,
+    max_append: Option<usize>,
+    fail_syncs: bool,
+    mutations: u64,
+}
+
+impl MemIo {
+    /// An empty in-memory filesystem with no faults armed.
+    pub fn new() -> Self {
+        MemIo::default()
+    }
+
+    /// Arm a kill point: the `n`-th mutating operation from now (1-based)
+    /// and every one after it fail.
+    pub fn fail_after_ops(&mut self, n: u64) {
+        self.ops_until_fail = Some(n);
+    }
+
+    /// Limit every append to at most `n` bytes per call.
+    pub fn short_writes(&mut self, n: usize) {
+        self.max_append = Some(n.max(1));
+    }
+
+    /// Make every fsync fail (bytes stay pending — a crash loses them).
+    pub fn fail_syncs(&mut self, fail: bool) {
+        self.fail_syncs = fail;
+    }
+
+    /// Mutating operations served so far (fault-armed or not).
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Simulate a crash: every file keeps its synced bytes plus at most
+    /// `keep_pending` bytes of its unsynced suffix (the torn tail), and
+    /// all armed faults are cleared.
+    pub fn crash(&mut self, keep_pending: usize) {
+        for file in self.files.values_mut() {
+            let keep = keep_pending.min(file.pending.len());
+            let tail: Vec<u8> = file.pending[..keep].to_vec();
+            file.synced.extend_from_slice(&tail);
+            file.pending.clear();
+        }
+        self.ops_until_fail = None;
+        self.max_append = None;
+        self.fail_syncs = false;
+    }
+
+    /// Durable + pending content of `path`, if it exists (test inspection).
+    pub fn contents(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.get(path).map(|f| {
+            let mut all = f.synced.clone();
+            all.extend_from_slice(&f.pending);
+            all
+        })
+    }
+
+    /// Overwrite a file's content as already-durable bytes (test setup for
+    /// corruption scenarios).
+    pub fn install(&mut self, path: &str, bytes: Vec<u8>) {
+        self.files.insert(path.to_string(), MemFile { synced: bytes, pending: Vec::new() });
+    }
+
+    /// Remove a file without going through the fault machinery (test setup).
+    pub fn delete(&mut self, path: &str) {
+        self.files.remove(path);
+    }
+
+    fn mutate(&mut self, op: &str) -> Result<(), SpoolError> {
+        self.mutations += 1;
+        if let Some(left) = &mut self.ops_until_fail {
+            if *left <= 1 {
+                return Err(SpoolError::Io(format!("injected fault at {op}")));
+            }
+            *left -= 1;
+        }
+        Ok(())
+    }
+}
+
+impl SpoolIo for MemIo {
+    fn create_dir_all(&mut self, _dir: &str) -> Result<(), SpoolError> {
+        Ok(())
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>, SpoolError> {
+        let prefix = format!("{dir}/");
+        Ok(self
+            .files
+            .keys()
+            .filter_map(|p| p.strip_prefix(&prefix))
+            .filter(|rest| !rest.contains('/'))
+            .map(String::from)
+            .collect())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, SpoolError> {
+        self.contents(path).ok_or_else(|| SpoolError::Io(format!("read {path}: not found")))
+    }
+
+    fn create(&mut self, path: &str) -> Result<(), SpoolError> {
+        self.mutate("create")?;
+        self.files.insert(path.to_string(), MemFile::default());
+        Ok(())
+    }
+
+    fn append(&mut self, path: &str, data: &[u8]) -> Result<usize, SpoolError> {
+        self.mutate("append")?;
+        let cap = self.max_append.unwrap_or(usize::MAX);
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| SpoolError::Io(format!("append {path}: not found")))?;
+        let n = data.len().min(cap);
+        file.pending.extend_from_slice(&data[..n]);
+        Ok(n)
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> Result<(), SpoolError> {
+        self.mutate("truncate")?;
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| SpoolError::Io(format!("truncate {path}: not found")))?;
+        let mut all = std::mem::take(&mut file.synced);
+        all.extend_from_slice(&file.pending);
+        file.pending.clear();
+        all.truncate(len as usize);
+        file.synced = all;
+        Ok(())
+    }
+
+    fn sync(&mut self, path: &str) -> Result<(), SpoolError> {
+        self.mutate("sync")?;
+        if self.fail_syncs {
+            return Err(SpoolError::Io(format!("injected fsync failure on {path}")));
+        }
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| SpoolError::Io(format!("sync {path}: not found")))?;
+        let pending = std::mem::take(&mut file.pending);
+        file.synced.extend_from_slice(&pending);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), SpoolError> {
+        self.mutate("rename")?;
+        let file = self
+            .files
+            .remove(from)
+            .ok_or_else(|| SpoolError::Io(format!("rename {from}: not found")))?;
+        self.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &str) -> Result<(), SpoolError> {
+        self.mutate("remove")?;
+        self.files
+            .remove(path)
+            .map(drop)
+            .ok_or_else(|| SpoolError::Io(format!("remove {path}: not found")))
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memio_crash_discards_unsynced_bytes() {
+        let mut io = MemIo::new();
+        io.create("d/f").unwrap();
+        io.append("d/f", b"durable").unwrap();
+        io.sync("d/f").unwrap();
+        io.append("d/f", b"lost").unwrap();
+        io.crash(0);
+        assert_eq!(io.read("d/f").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn memio_crash_keeps_a_torn_prefix() {
+        let mut io = MemIo::new();
+        io.create("d/f").unwrap();
+        io.append("d/f", b"ok").unwrap();
+        io.sync("d/f").unwrap();
+        io.append("d/f", b"abcdef").unwrap();
+        io.crash(3);
+        assert_eq!(io.read("d/f").unwrap(), b"okabc");
+    }
+
+    #[test]
+    fn memio_short_writes_cap_each_append() {
+        let mut io = MemIo::new();
+        io.create("d/f").unwrap();
+        io.short_writes(2);
+        assert_eq!(io.append("d/f", b"abcdef").unwrap(), 2);
+        assert_eq!(io.contents("d/f").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn memio_kill_point_counts_mutations() {
+        let mut io = MemIo::new();
+        io.create("d/f").unwrap();
+        io.fail_after_ops(2);
+        assert!(io.append("d/f", b"x").is_ok());
+        assert!(io.append("d/f", b"y").is_err());
+        assert!(io.sync("d/f").is_err(), "every later mutation keeps failing");
+    }
+
+    #[test]
+    fn memio_failed_sync_leaves_bytes_pending() {
+        let mut io = MemIo::new();
+        io.create("d/f").unwrap();
+        io.append("d/f", b"data").unwrap();
+        io.fail_syncs(true);
+        assert!(io.sync("d/f").is_err());
+        io.crash(0);
+        assert_eq!(io.read("d/f").unwrap(), b"");
+    }
+
+    #[test]
+    fn memio_list_is_dir_scoped() {
+        let mut io = MemIo::new();
+        io.create("a/one").unwrap();
+        io.create("a/two").unwrap();
+        io.create("a/sub/three").unwrap();
+        io.create("b/four").unwrap();
+        let mut names = io.list("a").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn stdfs_round_trip_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("apcache-spool-io-{}", std::process::id()));
+        let dir = dir.to_string_lossy().into_owned();
+        let mut io = StdFsIo::new();
+        io.create_dir_all(&dir).unwrap();
+        let path = format!("{dir}/seg.log");
+        io.create(&path).unwrap();
+        let mut written = 0;
+        while written < 5 {
+            written += io.append(&path, &b"hello"[written..]).unwrap();
+        }
+        io.sync(&path).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+        io.truncate(&path, 2).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"he");
+        let renamed = format!("{dir}/seg2.log");
+        io.rename(&path, &renamed).unwrap();
+        assert!(io.list(&dir).unwrap().contains(&"seg2.log".to_string()));
+        io.remove(&renamed).unwrap();
+        assert!(io.list(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

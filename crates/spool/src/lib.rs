@@ -1,0 +1,79 @@
+//! Append-only write-ahead spool for warm restarts.
+//!
+//! Everything above this crate is in-memory: a process restart discards
+//! the converged per-key interval widths the paper's adaptive algorithm
+//! spends its whole run learning. This crate is the durability floor that
+//! makes restarts warm — a **segmented log** of opaque records plus
+//! periodic **snapshots**, std-only, with the layout conventions of
+//! production spool directories (one file per segment, monotonically
+//! increasing hex sequence numbers, snapshot files installed by
+//! write-temp → fsync → rename):
+//!
+//! ```text
+//! <dir>/seg-0000000000000003.log    append-only record segments
+//! <dir>/seg-0000000000000004.log
+//! <dir>/snap-0000000000000004.snap  state as of the START of segment 4
+//! ```
+//!
+//! * **Records** are CRC-framed (`[len][crc32][kind][payload]`, little
+//!   endian); a torn tail — a partial append from a crash — is detected
+//!   and truncated on replay instead of poisoning the log. Corruption
+//!   anywhere *other* than the final segment's tail is a hard
+//!   [`SpoolError::Corrupt`].
+//! * **Segments** rotate at a configured size so replay cost and disk
+//!   usage stay bounded.
+//! * **Snapshots** compact the log: `snap-S` holds the caller's full
+//!   state as of the start of segment `S`, so every segment `< S` (and
+//!   every older snapshot) is deleted once `snap-S` is durably renamed
+//!   into place. Recovery = newest valid snapshot ⊕ the records of the
+//!   segments `≥ S`, replayed in order.
+//!
+//! The crate knows nothing about keys, intervals, or policies — payloads
+//! are opaque bytes with a caller-defined `kind` tag. `apcache-store`
+//! layers the actual `KeyState` codec on top.
+//!
+//! All filesystem access goes through the [`SpoolIo`] trait: [`StdFsIo`]
+//! is the real `std::fs` implementation, and [`MemIo`] is a deterministic
+//! in-memory fake whose fault injection (short writes, failed fsyncs,
+//! fail-after-N-operations, crash-discarding-unsynced-bytes) drives the
+//! durability conformance suite's crash matrix.
+
+mod io;
+mod record;
+mod spool;
+
+pub use io::{MemIo, SpoolIo, StdFsIo};
+pub use record::{parse_records, ParseEnd, Record, MAX_RECORD_BYTES};
+pub use spool::{FsyncPolicy, Recovery, Spool, SpoolConfig};
+
+use std::fmt;
+
+/// Errors raised by the spool layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpoolError {
+    /// An I/O operation failed (or a fault was injected).
+    Io(String),
+    /// A record failed validation somewhere replay cannot repair (only
+    /// the final segment's tail may legally be torn).
+    Corrupt {
+        /// File the bad frame was found in.
+        file: String,
+        /// Byte offset of the bad frame within the file.
+        offset: u64,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SpoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpoolError::Io(m) => write!(f, "spool i/o error: {m}"),
+            SpoolError::Corrupt { file, offset, what } => {
+                write!(f, "corrupt spool record in {file} at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpoolError {}

@@ -1,0 +1,247 @@
+//! CRC-framed record encoding.
+//!
+//! One record on disk is
+//!
+//! ```text
+//! [len: u32 LE][crc: u32 LE][kind: u8][payload: len-1 bytes]
+//! ```
+//!
+//! where `len` counts the kind byte plus the payload and `crc` is the
+//! CRC-32 (IEEE) of the kind byte plus the payload. The frame is
+//! self-delimiting, so a reader walks a segment front to back; the first
+//! frame that is incomplete or fails its checksum marks the **torn tail**
+//! — everything before it is intact, everything from it on is discarded
+//! by replay (legal only in the final segment of a spool).
+
+use crate::SpoolError;
+
+/// Hard ceiling on a single record's framed `len`, so a corrupt length
+/// word cannot ask replay to allocate gigabytes. Snapshots of very large
+/// stores are the biggest records we write; 256 MiB is orders of
+/// magnitude above any realistic per-record size.
+pub const MAX_RECORD_BYTES: u32 = 256 << 20;
+
+/// Framing overhead per record: length word + checksum word.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// One decoded record: the caller-defined kind tag and the opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Caller-defined record type tag.
+    pub kind: u8,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// How a segment parse ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseEnd {
+    /// Every byte belonged to a valid frame.
+    Clean,
+    /// Parsing stopped at `offset`: the bytes from there on are an
+    /// incomplete or checksum-failing frame (a torn tail if this is the
+    /// final segment, corruption otherwise).
+    Torn {
+        /// Byte offset of the first bad frame.
+        offset: u64,
+        /// Why the frame was rejected.
+        what: &'static str,
+    },
+}
+
+/// Append one framed record to `buf`.
+pub(crate) fn encode_record(kind: u8, payload: &[u8], buf: &mut Vec<u8>) {
+    let len = 1 + payload.len();
+    debug_assert!(len <= MAX_RECORD_BYTES as usize, "record exceeds MAX_RECORD_BYTES");
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(payload);
+    buf.extend_from_slice(&crc.finish().to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+}
+
+/// Encoded size of a record with the given payload length.
+pub(crate) fn encoded_len(payload_len: usize) -> usize {
+    FRAME_HEADER + 1 + payload_len
+}
+
+/// Walk `bytes` front to back, decoding every intact frame. Returns the
+/// records plus where (and why) parsing stopped.
+pub fn parse_records(bytes: &[u8]) -> (Vec<Record>, ParseEnd) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < FRAME_HEADER {
+            return (records, ParseEnd::Torn { offset: at as u64, what: "partial frame header" });
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_RECORD_BYTES as usize {
+            return (records, ParseEnd::Torn { offset: at as u64, what: "invalid record length" });
+        }
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if rest.len() < FRAME_HEADER + len {
+            return (records, ParseEnd::Torn { offset: at as u64, what: "partial record body" });
+        }
+        let body = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let mut check = Crc32::new();
+        check.update(body);
+        if check.finish() != crc {
+            return (records, ParseEnd::Torn { offset: at as u64, what: "checksum mismatch" });
+        }
+        records.push(Record { kind: body[0], payload: body[1..].to_vec() });
+        at += FRAME_HEADER + len;
+    }
+    (records, ParseEnd::Clean)
+}
+
+/// Parse a snapshot file: exactly one intact frame, nothing after it.
+pub(crate) fn parse_single_record(bytes: &[u8], file: &str) -> Result<Record, SpoolError> {
+    let (mut records, end) = parse_records(bytes);
+    match (records.len(), end) {
+        (1, ParseEnd::Clean) => Ok(records.pop().expect("one record")),
+        (_, ParseEnd::Torn { offset, what }) => {
+            Err(SpoolError::Corrupt { file: file.to_string(), offset, what })
+        }
+        (n, ParseEnd::Clean) => Err(SpoolError::Corrupt {
+            file: file.to_string(),
+            offset: 0,
+            what: if n == 0 { "empty snapshot" } else { "trailing data after snapshot record" },
+        }),
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and zip frames use, implemented table-driven and
+/// std-only.
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ CRC_TABLE[idx];
+        }
+    }
+
+    fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// The byte-indexed CRC-32 lookup table, computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_multiple_records() {
+        let mut buf = Vec::new();
+        encode_record(1, b"hello", &mut buf);
+        encode_record(2, b"", &mut buf);
+        encode_record(255, &[0u8; 1000], &mut buf);
+        let (records, end) = parse_records(&buf);
+        assert_eq!(end, ParseEnd::Clean);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], Record { kind: 1, payload: b"hello".to_vec() });
+        assert_eq!(records[1], Record { kind: 2, payload: Vec::new() });
+        assert_eq!(records[2].payload.len(), 1000);
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let mut buf = Vec::new();
+        encode_record(1, b"abc", &mut buf);
+        encode_record(2, b"defg", &mut buf);
+        let first_len = encoded_len(3);
+        for cut in 0..buf.len() {
+            let (records, end) = parse_records(&buf[..cut]);
+            if cut < first_len {
+                assert!(records.is_empty(), "cut={cut}");
+                if cut > 0 {
+                    assert!(matches!(end, ParseEnd::Torn { offset: 0, .. }), "cut={cut}");
+                }
+            } else {
+                assert_eq!(records.len(), 1, "cut={cut}");
+                if cut == first_len {
+                    assert_eq!(end, ParseEnd::Clean, "cut={cut}");
+                } else {
+                    assert!(
+                        matches!(end, ParseEnd::Torn { offset, .. } if offset == first_len as u64),
+                        "cut={cut}"
+                    );
+                }
+            }
+        }
+        let (records, end) = parse_records(&buf);
+        assert_eq!(records.len(), 2);
+        assert_eq!(end, ParseEnd::Clean);
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let mut buf = Vec::new();
+        encode_record(7, b"payload-bytes", &mut buf);
+        for i in FRAME_HEADER..buf.len() {
+            let mut copy = buf.clone();
+            copy[i] ^= 0x40;
+            let (records, end) = parse_records(&copy);
+            assert!(records.is_empty(), "flip at {i} went undetected");
+            assert!(matches!(end, ParseEnd::Torn { what: "checksum mismatch", .. }), "at {i}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_word_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 100]);
+        let (records, end) = parse_records(&buf);
+        assert!(records.is_empty());
+        assert!(matches!(end, ParseEnd::Torn { what: "invalid record length", .. }));
+    }
+
+    #[test]
+    fn single_record_parser_rejects_trailing_and_torn() {
+        let mut good = Vec::new();
+        encode_record(9, b"snapshot", &mut good);
+        assert_eq!(parse_single_record(&good, "snap").unwrap().kind, 9);
+        let mut trailing = good.clone();
+        encode_record(9, b"extra", &mut trailing);
+        assert!(parse_single_record(&trailing, "snap").is_err());
+        assert!(parse_single_record(&good[..good.len() - 1], "snap").is_err());
+        assert!(parse_single_record(&[], "snap").is_err());
+    }
+}

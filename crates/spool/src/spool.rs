@@ -1,0 +1,513 @@
+//! The spool proper: segment rotation, snapshot compaction, replay.
+
+use crate::io::SpoolIo;
+use crate::record::{encode_record, encoded_len, parse_records, parse_single_record, ParseEnd};
+use crate::{Record, SpoolError};
+
+/// Record kind reserved for the single record inside a snapshot file.
+/// Callers' log-record kinds must not use it.
+pub(crate) const SNAPSHOT_KIND: u8 = 0;
+
+/// When appends are made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append — nothing acknowledged is ever lost.
+    Always,
+    /// fsync only at segment rotation and snapshots — a crash may lose
+    /// the unsynced tail of the current segment (replay truncates it).
+    OnRotate,
+    /// Never fsync segments (snapshots still sync their temp file before
+    /// the rename) — fastest, weakest.
+    Never,
+}
+
+/// Spool tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SpoolConfig {
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes (checked before each append; a single record may overshoot).
+    pub segment_bytes: u64,
+    /// Durability policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for SpoolConfig {
+    fn default() -> Self {
+        SpoolConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::Always }
+    }
+}
+
+/// What [`Spool::open`] found on disk: the latest durable state.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Payload of the newest valid snapshot, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Every intact record logged after that snapshot, oldest first.
+    pub records: Vec<Record>,
+    /// Bytes cut from the final segment's torn tail (0 on a clean log).
+    pub truncated_bytes: u64,
+    /// Corrupt snapshot files that were skipped in favor of an older one.
+    pub skipped_snapshots: usize,
+}
+
+/// An open spool directory. All mutation goes through [`append`]
+/// (log one record) and [`snapshot`] (compact the log under a full-state
+/// record); [`open`] replays whatever a previous process left behind.
+///
+/// [`append`]: Spool::append
+/// [`snapshot`]: Spool::snapshot
+/// [`open`]: Spool::open
+#[derive(Debug)]
+pub struct Spool<I: SpoolIo> {
+    io: I,
+    dir: String,
+    cfg: SpoolConfig,
+    /// Sequence number of the segment currently being appended to.
+    seq: u64,
+    /// Bytes already in the current segment.
+    seg_len: u64,
+    buf: Vec<u8>,
+}
+
+fn seg_name(seq: u64) -> String {
+    format!("seg-{seq:016x}.log")
+}
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.snap")
+}
+
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+impl<I: SpoolIo> Spool<I> {
+    /// Open (or initialise) the spool in `dir`, replaying existing state.
+    ///
+    /// Stray `.tmp` files (snapshots that never got renamed into place)
+    /// are deleted. The newest snapshot that parses cleanly wins; corrupt
+    /// newer ones are skipped and counted. Segments older than the chosen
+    /// snapshot are deleted. A torn tail is legal only in the final
+    /// segment — it is truncated away; corruption anywhere else is a hard
+    /// [`SpoolError::Corrupt`].
+    pub fn open(io: I, dir: &str, cfg: SpoolConfig) -> Result<(Self, Recovery), SpoolError> {
+        let mut io = io;
+        io.create_dir_all(dir)?;
+
+        let mut segments: Vec<u64> = Vec::new();
+        let mut snapshots: Vec<u64> = Vec::new();
+        for name in io.list(dir)? {
+            if name.ends_with(".tmp") {
+                io.remove(&format!("{dir}/{name}"))?;
+            } else if let Some(seq) = parse_name(&name, "seg-", ".log") {
+                segments.push(seq);
+            } else if let Some(seq) = parse_name(&name, "snap-", ".snap") {
+                snapshots.push(seq);
+            }
+        }
+        segments.sort_unstable();
+        snapshots.sort_unstable();
+
+        // Newest snapshot that parses cleanly wins; fall back through
+        // corrupt ones (a half-written snapshot can only exist if the
+        // rename protocol was subverted, but recovery stays graceful).
+        let mut snapshot = None;
+        let mut snap_seq = 0u64;
+        let mut skipped_snapshots = 0usize;
+        for &seq in snapshots.iter().rev() {
+            let path = format!("{dir}/{}", snap_name(seq));
+            let bytes = io.read(&path)?;
+            match parse_single_record(&bytes, &path) {
+                Ok(rec) if rec.kind == SNAPSHOT_KIND => {
+                    snapshot = Some(rec.payload);
+                    snap_seq = seq;
+                    break;
+                }
+                _ => skipped_snapshots += 1,
+            }
+        }
+
+        // Everything older than the chosen snapshot is garbage.
+        for &seq in &segments {
+            if snapshot.is_some() && seq < snap_seq {
+                io.remove(&format!("{dir}/{}", seg_name(seq)))?;
+            }
+        }
+        for &seq in &snapshots {
+            if seq < snap_seq {
+                io.remove(&format!("{dir}/{}", snap_name(seq)))?;
+            }
+        }
+        segments.retain(|&seq| snapshot.is_none() || seq >= snap_seq);
+
+        // Replay the live segments oldest-first. Only the final one may
+        // legally end in a torn record.
+        let mut records = Vec::new();
+        let mut truncated_bytes = 0u64;
+        let mut seg_len = 0u64;
+        let last = segments.last().copied();
+        for &seq in &segments {
+            let path = format!("{dir}/{}", seg_name(seq));
+            let bytes = io.read(&path)?;
+            let (mut recs, end) = parse_records(&bytes);
+            match end {
+                ParseEnd::Clean => {}
+                ParseEnd::Torn { offset, what } if Some(seq) == last => {
+                    truncated_bytes = bytes.len() as u64 - offset;
+                    io.truncate(&path, offset)?;
+                    let _ = what;
+                }
+                ParseEnd::Torn { offset, what } => {
+                    return Err(SpoolError::Corrupt { file: path, offset, what });
+                }
+            }
+            if Some(seq) == last {
+                seg_len = bytes.len() as u64 - truncated_bytes;
+            }
+            records.append(&mut recs);
+        }
+
+        // Resume appending into the last segment — or start a fresh one
+        // when the directory is empty or the snapshot outlives every
+        // segment (its seg-S was lost or never created).
+        let seq = match last {
+            Some(seq) => seq,
+            None => {
+                io.create(&format!("{dir}/{}", seg_name(snap_seq)))?;
+                snap_seq
+            }
+        };
+
+        let spool = Spool { io, dir: dir.to_string(), cfg, seq, seg_len, buf: Vec::new() };
+        Ok((spool, Recovery { snapshot, records, truncated_bytes, skipped_snapshots }))
+    }
+
+    /// Append one record to the log, rotating segments and fsyncing per
+    /// the configured policy.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), SpoolError> {
+        debug_assert_ne!(kind, SNAPSHOT_KIND, "kind 0 is reserved for snapshots");
+        let framed = encoded_len(payload.len()) as u64;
+        if self.seg_len > 0 && self.seg_len + framed > self.cfg.segment_bytes {
+            self.rotate()?;
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        encode_record(kind, payload, &mut buf);
+        let path = self.seg_path();
+        let result = self.write_all(&path, &buf);
+        self.buf = buf;
+        result?;
+        self.seg_len += framed;
+        if self.cfg.fsync == FsyncPolicy::Always {
+            self.io.sync(&path)?;
+        }
+        Ok(())
+    }
+
+    /// Compact the log: record the caller's full state as a snapshot and
+    /// delete every segment it supersedes. On return the spool is
+    /// appending into a fresh segment and recovery needs only the
+    /// snapshot plus records logged after this call.
+    pub fn snapshot(&mut self, payload: &[u8]) -> Result<(), SpoolError> {
+        let old_seq = self.seq;
+        let new_seq = self.seq + 1;
+
+        // Open the new segment first: if we crash between here and the
+        // snapshot rename, recovery simply replays the old snapshot plus
+        // all segments, including this empty one.
+        self.io.create(&format!("{}/{}", self.dir, seg_name(new_seq)))?;
+
+        // write-temp → fsync → rename, so a crash never leaves a
+        // half-written file under the snapshot name.
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        encode_record(SNAPSHOT_KIND, payload, &mut buf);
+        let tmp = format!("{}/{}.tmp", self.dir, snap_name(new_seq));
+        let finished = format!("{}/{}", self.dir, snap_name(new_seq));
+        self.io.create(&tmp)?;
+        let write = self.write_all(&tmp, &buf);
+        self.buf = buf;
+        write?;
+        self.io.sync(&tmp)?;
+        self.io.rename(&tmp, &finished)?;
+
+        // The snapshot is durable; everything it supersedes can go.
+        for name in self.io.list(&self.dir)? {
+            let stale = parse_name(&name, "seg-", ".log").is_some_and(|s| s < new_seq)
+                || parse_name(&name, "snap-", ".snap").is_some_and(|s| s < new_seq);
+            if stale {
+                self.io.remove(&format!("{}/{}", self.dir, name))?;
+            }
+        }
+
+        debug_assert!(old_seq < new_seq);
+        self.seq = new_seq;
+        self.seg_len = 0;
+        Ok(())
+    }
+
+    /// Close the current segment (fsync unless policy is `Never`) and
+    /// start appending into the next one.
+    fn rotate(&mut self) -> Result<(), SpoolError> {
+        if self.cfg.fsync != FsyncPolicy::Never {
+            let path = self.seg_path();
+            self.io.sync(&path)?;
+        }
+        self.seq += 1;
+        self.seg_len = 0;
+        self.io.create(&self.seg_path())?;
+        Ok(())
+    }
+
+    /// Append `data` fully, riding out short writes.
+    fn write_all(&mut self, path: &str, data: &[u8]) -> Result<(), SpoolError> {
+        let mut at = 0;
+        while at < data.len() {
+            at += self.io.append(path, &data[at..])?;
+        }
+        Ok(())
+    }
+
+    fn seg_path(&self) -> String {
+        format!("{}/{}", self.dir, seg_name(self.seq))
+    }
+
+    /// Make the current segment durable regardless of the append policy.
+    pub fn sync(&mut self) -> Result<(), SpoolError> {
+        let path = self.seg_path();
+        self.io.sync(&path)
+    }
+
+    /// Sequence number of the segment currently receiving appends.
+    pub fn segment_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SpoolConfig {
+        &self.cfg
+    }
+
+    /// The spool directory.
+    pub fn dir(&self) -> &str {
+        &self.dir
+    }
+
+    /// Borrow the underlying I/O (test inspection).
+    pub fn io(&self) -> &I {
+        &self.io
+    }
+
+    /// Mutably borrow the underlying I/O (fault arming in tests).
+    pub fn io_mut(&mut self) -> &mut I {
+        &mut self.io
+    }
+
+    /// Tear down the spool, returning the I/O (crash simulation in tests:
+    /// take the `MemIo` back, call `crash`, reopen).
+    pub fn into_io(self) -> I {
+        self.io
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+
+    fn open_mem(io: MemIo, cfg: SpoolConfig) -> (Spool<MemIo>, Recovery) {
+        Spool::open(io, "spool", cfg).expect("open")
+    }
+
+    #[test]
+    fn empty_dir_initialises_segment_zero() {
+        let (spool, rec) = open_mem(MemIo::new(), SpoolConfig::default());
+        assert_eq!(spool.segment_seq(), 0);
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(spool.io().contents("spool/seg-0000000000000000.log").is_some());
+    }
+
+    #[test]
+    fn appends_replay_after_reopen() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.append(1, b"alpha").unwrap();
+        spool.append(2, b"beta").unwrap();
+        let (_, rec) = open_mem(spool.into_io(), SpoolConfig::default());
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0], Record { kind: 1, payload: b"alpha".to_vec() });
+        assert_eq!(rec.records[1], Record { kind: 2, payload: b"beta".to_vec() });
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_replay() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.append(1, b"durable-record").unwrap();
+        // Second record reaches the OS but the crash keeps only 5 bytes.
+        let mut io = spool.into_io();
+        io.fail_syncs(true);
+        let (mut spool, _) = open_mem(io, SpoolConfig::default());
+        let before = spool.io().contents("spool/seg-0000000000000000.log").unwrap().len();
+        let _ = spool.append(3, b"torn-record");
+        let mut io = spool.into_io();
+        io.crash(5);
+        let (spool, rec) = open_mem(io, SpoolConfig::default());
+        assert_eq!(rec.records.len(), 1, "torn record dropped");
+        assert_eq!(rec.truncated_bytes, 5);
+        let after = spool.io().contents("spool/seg-0000000000000000.log").unwrap().len();
+        assert_eq!(after, before, "file physically truncated back to the last good frame");
+    }
+
+    #[test]
+    fn rotation_splits_records_across_segments_and_replays_in_order() {
+        let cfg = SpoolConfig { segment_bytes: 64, fsync: FsyncPolicy::Always };
+        let (mut spool, _) = open_mem(MemIo::new(), cfg);
+        for i in 0..10u8 {
+            spool.append(1, &[i; 24]).unwrap();
+        }
+        assert!(spool.segment_seq() > 0, "rotation happened");
+        let (_, rec) = open_mem(spool.into_io(), cfg);
+        assert_eq!(rec.records.len(), 10);
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.payload, vec![i as u8; 24], "order preserved across segments");
+        }
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_is_snapshot_plus_suffix() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.append(1, b"before-1").unwrap();
+        spool.append(1, b"before-2").unwrap();
+        spool.snapshot(b"full-state").unwrap();
+        spool.append(1, b"after").unwrap();
+        let files = spool.io().list("spool").unwrap();
+        assert!(
+            !files.contains(&"seg-0000000000000000.log".to_string()),
+            "pre-snapshot segment deleted, files: {files:?}"
+        );
+        let (_, rec) = open_mem(spool.into_io(), SpoolConfig::default());
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"full-state"[..]));
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].payload, b"after");
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_one() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.snapshot(b"old-state").unwrap();
+        spool.append(1, b"x").unwrap();
+        spool.snapshot(b"new-state").unwrap();
+        let mut io = spool.into_io();
+        // Flip a byte inside the newest snapshot; keep an older copy around.
+        let newest = "spool/snap-0000000000000002.snap";
+        let mut bytes = io.read(newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        io.install(newest, bytes);
+        let mut old = Vec::new();
+        crate::record::encode_record(SNAPSHOT_KIND, b"old-state", &mut old);
+        io.install("spool/snap-0000000000000001.snap", old);
+        io.install("spool/seg-0000000000000001.log", Vec::new());
+        let (_, rec) = open_mem(io, SpoolConfig::default());
+        assert_eq!(rec.skipped_snapshots, 1);
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"old-state"[..]));
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_a_hard_error() {
+        let cfg = SpoolConfig { segment_bytes: 32, fsync: FsyncPolicy::Always };
+        let (mut spool, _) = open_mem(MemIo::new(), cfg);
+        spool.append(1, &[7u8; 24]).unwrap();
+        spool.append(1, &[8u8; 24]).unwrap();
+        assert!(spool.segment_seq() >= 1, "two segments exist");
+        let mut io = spool.into_io();
+        let first = "spool/seg-0000000000000000.log";
+        let mut bytes = io.read(first).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        io.install(first, bytes);
+        let err = Spool::open(io, "spool", cfg).unwrap_err();
+        assert!(
+            matches!(err, SpoolError::Corrupt { ref file, .. } if file.contains("seg-0000000000000000")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_newer_than_last_segment_recovers_and_recreates_segment() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.append(1, b"pre").unwrap();
+        spool.snapshot(b"state-at-snap").unwrap();
+        let mut io = spool.into_io();
+        io.delete("spool/seg-0000000000000001.log");
+        let (spool, rec) = open_mem(io, SpoolConfig::default());
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"state-at-snap"[..]));
+        assert!(rec.records.is_empty());
+        assert_eq!(spool.segment_seq(), 1);
+        assert!(spool.io().contents("spool/seg-0000000000000001.log").is_some());
+    }
+
+    #[test]
+    fn stray_tmp_files_are_swept_on_open() {
+        let mut io = MemIo::new();
+        io.install("spool/snap-0000000000000005.snap.tmp", b"half-written".to_vec());
+        let (spool, rec) = open_mem(io, SpoolConfig::default());
+        assert!(rec.snapshot.is_none());
+        assert!(spool.io().contents("spool/snap-0000000000000005.snap.tmp").is_none());
+    }
+
+    #[test]
+    fn short_writes_are_retried_to_completion() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.io_mut().short_writes(3);
+        spool.append(1, b"a-payload-much-longer-than-three-bytes").unwrap();
+        let (_, rec) = open_mem(spool.into_io(), SpoolConfig::default());
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].payload, b"a-payload-much-longer-than-three-bytes");
+    }
+
+    #[test]
+    fn fsync_failure_surfaces_as_error_under_always_policy() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.io_mut().fail_syncs(true);
+        assert!(spool.append(1, b"x").is_err());
+    }
+
+    #[test]
+    fn on_rotate_policy_loses_only_the_unsynced_tail() {
+        let cfg = SpoolConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::OnRotate };
+        let (mut spool, _) = open_mem(MemIo::new(), cfg);
+        spool.append(1, b"unsynced").unwrap();
+        let mut io = spool.into_io();
+        io.crash(0);
+        let (_, rec) = open_mem(io, cfg);
+        assert!(rec.records.is_empty(), "OnRotate append was not durable yet");
+
+        let (mut spool, _) = open_mem(MemIo::new(), cfg);
+        spool.append(1, b"synced-explicitly").unwrap();
+        spool.sync().unwrap();
+        let mut io = spool.into_io();
+        io.crash(0);
+        let (_, rec) = open_mem(io, cfg);
+        assert_eq!(rec.records.len(), 1);
+    }
+
+    #[test]
+    fn crash_mid_snapshot_keeps_previous_state() {
+        let (mut spool, _) = open_mem(MemIo::new(), SpoolConfig::default());
+        spool.append(1, b"logged").unwrap();
+        // Fail on the snapshot's tmp-file sync: the rename never happens.
+        spool.io_mut().fail_syncs(true);
+        assert!(spool.snapshot(b"state").is_err());
+        let mut io = spool.into_io();
+        io.crash(0);
+        let (_, rec) = open_mem(io, SpoolConfig::default());
+        assert!(rec.snapshot.is_none(), "half-finished snapshot never installed");
+        assert_eq!(rec.records.len(), 1, "log intact");
+    }
+}

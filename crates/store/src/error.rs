@@ -25,6 +25,9 @@ pub enum StoreError {
     Protocol(ProtocolError),
     /// Aggregate query engine failure.
     Query(QueryError),
+    /// Durable spool failure: an I/O error, a corrupt log, or a malformed
+    /// record/snapshot during recovery.
+    Spool(String),
 }
 
 impl fmt::Display for StoreError {
@@ -39,6 +42,7 @@ impl fmt::Display for StoreError {
             StoreError::Param(e) => write!(f, "parameter error: {e}"),
             StoreError::Protocol(e) => write!(f, "protocol error: {e}"),
             StoreError::Query(e) => write!(f, "query error: {e}"),
+            StoreError::Spool(m) => write!(f, "spool error: {m}"),
         }
     }
 }
@@ -85,6 +89,7 @@ mod tests {
         assert!(e.source().is_some());
         let e: StoreError = QueryError::EmptyInput.into();
         assert!(e.to_string().contains("query"));
+        assert!(StoreError::Spool("torn".into()).to_string().contains("torn"));
         assert!(StoreError::Config("bad".into()).to_string().contains("bad"));
     }
 }

@@ -56,6 +56,7 @@ pub mod error;
 pub mod metrics;
 pub mod migrate;
 pub mod policy;
+pub mod spool;
 pub mod store;
 
 pub use constraint::Constraint;
@@ -63,4 +64,8 @@ pub use error::StoreError;
 pub use metrics::{KeyMetrics, StoreMetrics};
 pub use migrate::KeyState;
 pub use policy::{InitialWidth, PolicySpec};
+pub use spool::{SpoolKey, SpoolReader};
+// The spool vocabulary that appears in this crate's public durability
+// API, re-exported so downstream layers need no direct spool dependency.
+pub use apcache_spool::{FsyncPolicy, MemIo, SpoolConfig, SpoolError, SpoolIo, StdFsIo};
 pub use store::{AggregateOutcome, Answer, PrecisionStore, ReadResult, StoreBuilder, WriteOutcome};

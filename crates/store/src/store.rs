@@ -9,12 +9,14 @@ use apcache_core::error::ProtocolError;
 use apcache_core::source::{Refresh, Source};
 use apcache_core::{CacheId, Interval, Key, Rng, TimeMs};
 use apcache_queries::{evaluate, evaluate_relative, AggregateKind, ItemBound, PrecisionConstraint};
+use apcache_spool::{SpoolConfig, SpoolIo, StdFsIo};
 
 use crate::constraint::Constraint;
 use crate::error::StoreError;
 use crate::metrics::StoreMetrics;
 use crate::migrate::KeyState;
 use crate::policy::{InitialWidth, PolicySpec};
+use crate::spool::{self as spool_codec, Mutation, SnapshotImage, SpoolKey, StoreSpool};
 
 /// The store's single logical cache in the refresh protocol.
 const STORE_CACHE: CacheId = CacheId(0);
@@ -136,6 +138,19 @@ pub struct StoreBuilder<K> {
     default_policy: PolicySpec,
     rng: Rng,
     sources: Vec<(K, f64, Option<PolicySpec>)>,
+    spool: Option<SpoolSetup<K>>,
+}
+
+/// Spool attachment captured at `with_spool` time: the directory, tuning,
+/// and the key/snapshot encoders as plain `fn` pointers so the builder
+/// (and store) stay `Debug + Clone + Send` without a `SpoolKey` bound on
+/// every impl.
+#[derive(Debug, Clone)]
+struct SpoolSetup<K> {
+    dir: String,
+    cfg: SpoolConfig,
+    encode: fn(&K, &mut Vec<u8>),
+    encode_snapshot: fn(&SnapshotImage<K>, &mut Vec<u8>),
 }
 
 impl<K> Default for StoreBuilder<K> {
@@ -150,6 +165,7 @@ impl<K> Default for StoreBuilder<K> {
             default_policy: PolicySpec::Adaptive,
             rng: Rng::seed_from_u64(0),
             sources: Vec::new(),
+            spool: None,
         }
     }
 }
@@ -218,6 +234,35 @@ impl<K: Hash + Ord + Clone> StoreBuilder<K> {
         self
     }
 
+    /// Persist the store in a durable spool directory (created if
+    /// missing), with default tuning: 1 MiB segments, fsync on every
+    /// append. The directory is claimed for a **new** generation — an
+    /// initial snapshot of the freshly built store supersedes any state a
+    /// previous process left there. Use
+    /// [`PrecisionStore::recover`] to resume a previous generation
+    /// instead.
+    pub fn with_spool(self, dir: impl Into<String>) -> Self
+    where
+        K: SpoolKey,
+    {
+        self.with_spool_config(dir, SpoolConfig::default())
+    }
+
+    /// [`with_spool`](StoreBuilder::with_spool) with explicit segment
+    /// size / fsync tuning.
+    pub fn with_spool_config(mut self, dir: impl Into<String>, cfg: SpoolConfig) -> Self
+    where
+        K: SpoolKey,
+    {
+        self.spool = Some(SpoolSetup {
+            dir: dir.into(),
+            cfg,
+            encode: K::encode_key,
+            encode_snapshot: spool_codec::encode_snapshot::<K>,
+        });
+        self
+    }
+
     /// Assemble the store, installing every registered source's initial
     /// approximation at time 0.
     pub fn build(self) -> Result<PrecisionStore<K>, StoreError> {
@@ -239,9 +284,19 @@ impl<K: Hash + Ord + Clone> StoreBuilder<K> {
             cache,
             rng: self.rng,
             metrics: StoreMetrics::new(),
+            spool: None,
         };
         for (key, value, spec) in self.sources {
             store.insert_inner(key, value, spec, 0)?;
+        }
+        if let Some(setup) = self.spool {
+            store.attach_spool_parts(
+                Box::new(StdFsIo::new()),
+                &setup.dir,
+                setup.cfg,
+                setup.encode,
+                setup.encode_snapshot,
+            )?;
         }
         Ok(store)
     }
@@ -275,6 +330,9 @@ pub struct PrecisionStore<K> {
     cache: Cache,
     rng: Rng,
     metrics: StoreMetrics<K>,
+    /// Durable write-ahead spool, when attached. Mutations are logged
+    /// *after* they apply; reads never touch it.
+    spool: Option<StoreSpool<K>>,
 }
 
 impl<K: Hash + Ord + Clone> PrecisionStore<K> {
@@ -314,6 +372,10 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         self.specs.push(spec);
         self.index.insert(key.clone(), id);
         self.keys.push(key);
+        if self.spool.is_some() {
+            let key = self.keys[id as usize].clone();
+            self.log_insert(&key, value, spec, now)?;
+        }
         Ok(())
     }
 
@@ -360,6 +422,9 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
         self.cache.apply_refresh(response.refresh);
         self.metrics.record_read(key, false);
         self.metrics.record_qr(key, self.cost.c_qr());
+        // A refresh shrinks the policy width — durable state. Hits are
+        // pure observations and are not logged.
+        self.log_refresh(key, true, now)?;
         Ok(ReadResult { answer: Answer::Exact(response.value), refreshed: true })
     }
 
@@ -377,6 +442,7 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
             self.metrics.record_vr(key, self.cost.c_vr());
             self.cache.apply_refresh(refresh);
         }
+        self.log_write(key, value, now)?;
         Ok(WriteOutcome { refreshes: n })
     }
 
@@ -411,6 +477,7 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
                 self.metrics.record_vr(key, self.cost.c_vr());
                 self.cache.apply_refresh(refresh);
             }
+            self.log_write(key, *value, now)?;
         }
         Ok(WriteOutcome { refreshes: total })
     }
@@ -470,8 +537,13 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
             return Err(e.into());
         }
         let outcome = outcome?;
-        let refreshed =
+        let refreshed: Vec<K> =
             outcome.refreshed.into_iter().map(|k| self.keys[k.0 as usize].clone()).collect();
+        // Each planner-selected fetch shrank that key's policy width; log
+        // them in fetch order so replay re-runs the same refreshes.
+        for key in &refreshed {
+            self.log_refresh(key, false, now)?;
+        }
         Ok(AggregateOutcome { answer: outcome.answer, refreshed })
     }
 
@@ -492,7 +564,11 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
             return Err(StoreError::InvalidConstraint(width));
         }
         let id = self.id_of(key)?;
-        Ok(self.cache.widen(Key(id), width, now))
+        let widened = self.cache.widen(Key(id), width, now);
+        if widened.is_some() {
+            self.log_widen(key, width, now)?;
+        }
+        Ok(widened)
     }
 
     /// Serving metrics: per-key and aggregate refresh/cost counters.
@@ -640,6 +716,263 @@ impl<K: Hash + Ord + Clone> PrecisionStore<K> {
             self.metrics.install_key(state.key, m);
         }
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Durability (write-ahead spool).
+    // -----------------------------------------------------------------
+
+    fn log_write(&mut self, key: &K, value: f64, now: TimeMs) -> Result<(), StoreError> {
+        match &mut self.spool {
+            Some(spool) => spool.log_write(key, value, now),
+            None => Ok(()),
+        }
+    }
+
+    fn log_insert(
+        &mut self,
+        key: &K,
+        value: f64,
+        spec: PolicySpec,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        match &mut self.spool {
+            Some(spool) => spool.log_insert(key, value, Some(&spec), now),
+            None => Ok(()),
+        }
+    }
+
+    fn log_widen(&mut self, key: &K, width: f64, now: TimeMs) -> Result<(), StoreError> {
+        match &mut self.spool {
+            Some(spool) => spool.log_widen(key, width, now),
+            None => Ok(()),
+        }
+    }
+
+    fn log_refresh(
+        &mut self,
+        key: &K,
+        counted_as_read: bool,
+        now: TimeMs,
+    ) -> Result<(), StoreError> {
+        match &mut self.spool {
+            Some(spool) => spool.log_refresh(key, counted_as_read, now),
+            None => Ok(()),
+        }
+    }
+
+    fn attach_spool_parts(
+        &mut self,
+        io: Box<dyn SpoolIo>,
+        dir: &str,
+        cfg: SpoolConfig,
+        encode: fn(&K, &mut Vec<u8>),
+        encode_snapshot: fn(&SnapshotImage<K>, &mut Vec<u8>),
+    ) -> Result<(), StoreError> {
+        let (spool, _previous_generation) =
+            StoreSpool::open(io, dir, cfg, encode, encode_snapshot)?;
+        self.spool = Some(spool);
+        // Claim the directory for this generation: a snapshot of the
+        // current state supersedes (and deletes) whatever was there.
+        self.checkpoint()
+    }
+
+    /// Whether a durable spool is attached.
+    pub fn has_spool(&self) -> bool {
+        self.spool.is_some()
+    }
+
+    /// The attached spool directory, if any.
+    pub fn spool_dir(&self) -> Option<&str> {
+        self.spool.as_ref().map(|s| s.dir())
+    }
+
+    /// Detach the spool (stop logging) and return its I/O handle. Test
+    /// harnesses use this to take a fault-injecting `MemIo` back, crash
+    /// it deterministically, and recover from the wreckage.
+    pub fn detach_spool(&mut self) -> Option<Box<dyn SpoolIo>> {
+        self.spool.take().map(|s| s.into_io())
+    }
+
+    /// Write a full-state snapshot to the spool and compact away every
+    /// log segment it supersedes. A no-op `Ok` when no spool is attached.
+    ///
+    /// Recovery cost is proportional to the records logged since the last
+    /// checkpoint, so long-running deployments should checkpoint
+    /// periodically (the runtime exposes this as a fleet-wide verb).
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        if self.spool.is_none() {
+            return Ok(());
+        }
+        let image = self.snapshot_image();
+        self.spool.as_mut().expect("checked above").write_snapshot_image(&image)
+    }
+
+    /// Non-destructive full-state image: every builder parameter, the RNG
+    /// stream position, and each key's protocol state in interned-id
+    /// order (so recovery reassigns identical dense ids).
+    fn snapshot_image(&self) -> SnapshotImage<K> {
+        let capacity = match self.cache.capacity() {
+            usize::MAX => None,
+            k => Some(k),
+        };
+        let keys = (0..self.keys.len()).map(|idx| self.key_state_of(idx)).collect();
+        SnapshotImage {
+            cost: self.cost,
+            alpha: self.alpha,
+            gamma0: self.gamma0,
+            gamma1: self.gamma1,
+            capacity,
+            initial_width: self.initial_width,
+            default_policy: self.default_policy,
+            rng_words: self.rng.state_words(),
+            keys,
+        }
+    }
+
+    /// [`KeyState`] of the key interned at `idx`, without detaching it
+    /// (the non-destructive sibling of [`export_key`]).
+    ///
+    /// [`export_key`]: PrecisionStore::export_key
+    fn key_state_of(&self, idx: usize) -> KeyState<K> {
+        let source = &self.sources[idx];
+        let source_spec = *source.spec_for(STORE_CACHE).expect("every interned key is registered");
+        let policy_state =
+            source.policy_state_for(STORE_CACHE).expect("every interned key is registered");
+        let cached = self.cache.get(Key(idx as u32)).map(|e| (e.spec, e.internal_width));
+        let metrics = self.metrics.for_key(&self.keys[idx]).copied();
+        KeyState {
+            key: self.keys[idx].clone(),
+            value: source.value(),
+            spec: self.specs[idx],
+            policy_state,
+            source_spec,
+            cached,
+            metrics,
+        }
+    }
+
+    /// Re-apply one replayed log record through the normal verbs. The
+    /// spool is detached during replay, so nothing is re-logged.
+    fn replay(&mut self, mutation: Mutation<K>) -> Result<(), StoreError> {
+        debug_assert!(self.spool.is_none(), "replay must run with the spool detached");
+        match mutation {
+            Mutation::Write { key, value, now } => {
+                self.write(&key, value, now)?;
+            }
+            Mutation::Insert { key, value, spec, now } => {
+                self.insert_inner(key, value, spec, now)?;
+            }
+            Mutation::Widen { key, width, now } => {
+                self.widen_cached(&key, width, now)?;
+            }
+            Mutation::Refresh { key, counted_as_read, now } => {
+                // Re-run the exact-fetch against the replayed source: the
+                // value is whatever the preceding replayed writes left
+                // there, so the recovered interval re-centers identically
+                // and the policy applies the same width shrink.
+                let id = self.id_of(&key)?;
+                let response =
+                    self.sources[id as usize].serve_exact(STORE_CACHE, now, &mut self.rng)?;
+                self.cache.apply_refresh(response.refresh);
+                if counted_as_read {
+                    self.metrics.record_read(&key, false);
+                }
+                self.metrics.record_qr(&key, self.cost.c_qr());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: SpoolKey + Hash + Ord + Clone> PrecisionStore<K> {
+    /// Attach a spool through a caller-supplied [`SpoolIo`] (the
+    /// fault-injecting `MemIo` in tests; [`StdFsIo`] via
+    /// [`StoreBuilder::with_spool`] in production). Claims `dir` for a
+    /// new generation by writing an initial snapshot of the current
+    /// state.
+    pub fn attach_spool_io(
+        &mut self,
+        io: Box<dyn SpoolIo>,
+        dir: &str,
+        cfg: SpoolConfig,
+    ) -> Result<(), StoreError> {
+        self.attach_spool_parts(io, dir, cfg, K::encode_key, spool_codec::encode_snapshot::<K>)
+    }
+
+    /// Rebuild a store from the spool directory a previous process left
+    /// behind: the newest durable snapshot plus every intact record
+    /// logged after it. The recovered store resumes serving with its
+    /// converged per-key widths — and keeps logging to the same spool.
+    ///
+    /// The recovered store is bit-identical — answers, escapes, widths —
+    /// to the original at its last durable point: every state-changing
+    /// step (writes, inserts, widens, refreshing reads and aggregate
+    /// fetches) is logged and replayed in order, and the snapshot carries
+    /// the RNG stream position, so even probabilistic width adaptation
+    /// (`θ ≠ 1`) resumes where it left off. Only read *hit* counters can
+    /// undercount, since pure hits are not logged.
+    pub fn recover(dir: &str) -> Result<Self, StoreError> {
+        Self::recover_with_config(dir, SpoolConfig::default())
+    }
+
+    /// [`recover`](PrecisionStore::recover) with explicit spool tuning.
+    pub fn recover_with_config(dir: &str, cfg: SpoolConfig) -> Result<Self, StoreError> {
+        Self::recover_with_io(Box::new(StdFsIo::new()), dir, cfg)
+    }
+
+    /// [`recover`](PrecisionStore::recover) through a caller-supplied
+    /// [`SpoolIo`] (crash-simulation harnesses).
+    pub fn recover_with_io(
+        io: Box<dyn SpoolIo>,
+        dir: &str,
+        cfg: SpoolConfig,
+    ) -> Result<Self, StoreError> {
+        let (spool, recovery) =
+            StoreSpool::open(io, dir, cfg, K::encode_key, spool_codec::encode_snapshot::<K>)?;
+        let snapshot = recovery.snapshot.ok_or_else(|| {
+            StoreError::Spool(format!("no snapshot in spool directory {dir}: nothing to recover"))
+        })?;
+        let image = spool_codec::decode_snapshot::<K>(&snapshot)?;
+        let mut store = Self::from_image(image)?;
+        for record in &recovery.records {
+            store.replay(spool_codec::decode_mutation::<K>(record)?)?;
+        }
+        store.spool = Some(spool);
+        Ok(store)
+    }
+
+    /// Materialize a store from a decoded snapshot image (no spool
+    /// attached yet; replay follows).
+    fn from_image(image: SnapshotImage<K>) -> Result<Self, StoreError> {
+        let cache = match image.capacity {
+            Some(k) => Cache::new(STORE_CACHE, k)?,
+            None => Cache::unbounded(STORE_CACHE),
+        };
+        let rng = Rng::from_state(image.rng_words)
+            .ok_or_else(|| StoreError::Spool("invalid RNG state in snapshot".into()))?;
+        let mut store = PrecisionStore {
+            cost: image.cost,
+            alpha: image.alpha,
+            gamma0: image.gamma0,
+            gamma1: image.gamma1,
+            initial_width: image.initial_width,
+            default_policy: image.default_policy,
+            keys: Vec::new(),
+            index: HashMap::new(),
+            sources: Vec::new(),
+            specs: Vec::new(),
+            cache,
+            rng,
+            metrics: StoreMetrics::new(),
+            spool: None,
+        };
+        // Import in image order: ids are reassigned densely, so the
+        // recovered store interns every key under its original id.
+        for state in image.keys {
+            store.import_key(state)?;
+        }
+        Ok(store)
     }
 }
 
@@ -937,6 +1270,79 @@ mod tests {
             StoreBuilder::new().source("temp/室内".to_string(), 21.5).build().unwrap();
         let r = s.read(&"temp/室内".to_string(), Constraint::Exact, 0).unwrap();
         assert_eq!(r.answer, Answer::Exact(21.5));
+    }
+
+    #[test]
+    fn spool_crash_recovery_is_bit_identical() {
+        use apcache_spool::{MemIo, SpoolConfig};
+
+        let build = || -> PrecisionStore<String> {
+            StoreBuilder::new()
+                .initial_width(InitialWidth::Fixed(10.0))
+                .source("a".to_string(), 100.0)
+                .source("b".to_string(), 200.0)
+                .build()
+                .unwrap()
+        };
+        let mut reference = build();
+        let mut subject = build();
+        subject.attach_spool_io(Box::new(MemIo::new()), "spool", SpoolConfig::default()).unwrap();
+
+        // Identical mixed traffic on both; the subject logs as it goes.
+        let a = "a".to_string();
+        let b = "b".to_string();
+        for s in [&mut reference, &mut subject] {
+            for t in 1..60u64 {
+                let v = 100.0 + (t as f64).sin() * 40.0;
+                s.write(&a, v, t * 100).unwrap();
+                s.write(&b, 300.0 - v, t * 100).unwrap();
+                if t % 5 == 0 {
+                    s.read(&a, Constraint::Absolute(2.0), t * 100).unwrap();
+                }
+                if t % 7 == 0 {
+                    s.aggregate(
+                        AggregateKind::Sum,
+                        &[a.clone(), b.clone()],
+                        Constraint::Absolute(10.0),
+                        t * 100,
+                    )
+                    .unwrap();
+                }
+                if t == 30 {
+                    s.insert("late".to_string(), v, t * 100).unwrap();
+                }
+                if t == 40 {
+                    s.widen_cached(&b, 500.0, t * 100).unwrap();
+                }
+            }
+        }
+
+        // Crash: drop the live store, keeping only what was made durable
+        // (FsyncPolicy::Always ⇒ every applied mutation).
+        let mut io = subject.detach_spool().unwrap();
+        io.as_any_mut().downcast_mut::<MemIo>().unwrap().crash(0);
+        let mut recovered =
+            PrecisionStore::<String>::recover_with_io(io, "spool", SpoolConfig::default()).unwrap();
+        assert!(recovered.has_spool());
+
+        for k in [&a, &b, &"late".to_string()] {
+            assert_eq!(reference.value(k), recovered.value(k), "{k}");
+            assert_eq!(reference.internal_width(k), recovered.internal_width(k), "{k}");
+            assert_eq!(
+                reference.cached_interval(k, 6_000),
+                recovered.cached_interval(k, 6_000),
+                "{k}"
+            );
+            assert_eq!(reference.metrics().for_key(k), recovered.metrics().for_key(k), "{k}");
+        }
+
+        // And it keeps serving — and logging — identically afterwards.
+        for s in [&mut reference, &mut recovered] {
+            s.write(&a, 180.0, 7_000).unwrap();
+            s.read(&a, Constraint::Absolute(1.0), 8_000).unwrap();
+        }
+        assert_eq!(reference.internal_width(&a), recovered.internal_width(&a));
+        assert_eq!(reference.cached_interval(&a, 8_000), recovered.cached_interval(&a, 8_000));
     }
 
     #[test]

@@ -220,6 +220,9 @@ impl From<&StoreError> for WireFault {
             StoreError::Param(_) => FaultKind::Param,
             StoreError::Protocol(_) => FaultKind::Protocol,
             StoreError::Query(_) => FaultKind::Query,
+            // Durability-layer failures are server-side environment
+            // problems; clients see them as a config-class fault.
+            StoreError::Spool(_) => FaultKind::Config,
         };
         WireFault::new(kind, e.to_string())
     }

@@ -1145,8 +1145,12 @@ where
 ///
 /// The first client-initiated `Shutdown` stops the accept loop (a
 /// connection thread wakes the blocked acceptor by dialing the
-/// listener's port on loopback). Connections still open at that point —
-/// idle peers included — are force-closed (and counted in
+/// listener's port on loopback). Sibling connections then get a short
+/// drain grace to finish their own shutdown handshakes — a
+/// [`ClientPool`](crate::ClientPool) drains its members sequentially
+/// through this one listener, so the first member's `Shutdown` must not
+/// cut the others off mid-drain. Connections still open after the grace
+/// — idle peers included — are force-closed (and counted in
 /// `apcache_wire_forced_closes_total` with a `forced_close` trace
 /// event), and every connection thread is joined before returning, so no
 /// request is in flight afterwards.
@@ -1210,10 +1214,24 @@ where
             .map_err(|e| WireError::Io(e.to_string()))?;
         workers.push((worker, raw));
     }
-    // Shutdown means stop serving: force-close lingering connections so
-    // a worker parked in recv() on an idle peer wakes with EOF instead
-    // of blocking the join below forever. Workers still running at this
-    // point are the idle/slow peers being cut off — count each.
+    // Shutdown means stop *accepting* — but sibling connections may be
+    // mid-drain themselves. A `ClientPool` shuts its members down
+    // sequentially over this one listener: the first member's `Shutdown`
+    // lands here and stops the accept loop while members 2..n still have
+    // their own unsubscribe/harvest/`Shutdown` handshakes in flight.
+    // Force-closing immediately would cut those drains short (the
+    // scoping bug this grace fixes), so give running workers a bounded
+    // window to finish on their own.
+    let drain_deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while workers.iter().any(|(worker, _)| !worker.is_finished())
+        && std::time::Instant::now() < drain_deadline
+    {
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // Force-close whatever remains so a worker parked in recv() on an
+    // idle peer wakes with EOF instead of blocking the join below
+    // forever. Workers still running at this point are the idle/slow
+    // peers being cut off — count each.
     let forced = handle.telemetry().registry().counter(
         "apcache_wire_forced_closes_total",
         "Idle or lingering connections force-closed at listener teardown.",

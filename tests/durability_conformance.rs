@@ -1,0 +1,627 @@
+//! Durability conformance: a store killed mid-burst and recovered from
+//! its spool must be **bit-identical** — answers, escapes, widths — to
+//! an uninterrupted reference from the last durable point, under θ = 1
+//! and shard counts {1, 2, 4}.
+//!
+//! The matrix this file pins down:
+//!
+//! * warm restart of a sharded fleet (manifest + per-shard spools) with
+//!   continued traffic compared op-by-op against the reference;
+//! * a crash sweep over **every** op boundary with tiny segments, so
+//!   kill points land mid-segment, at segment boundaries, and right
+//!   before/after rotation — each one must recover to exactly the
+//!   durable prefix;
+//! * a crash **mid-snapshot** (fault injected inside the checkpoint's
+//!   temp-file dance) falling back to the previous snapshot + full log;
+//! * fs faults through the [`MemIo`] harness: short writes, lying
+//!   fsyncs, hard append failures — errors surface as
+//!   `StoreError::Spool` and the wreckage still recovers;
+//! * recovery edge cases: empty spool dir, torn final record,
+//!   snapshot newer than the last segment;
+//! * what is *documented not persisted*: TTL leases and subscription
+//!   watches are in-memory serving state and come back empty.
+
+use apcache::core::Rng;
+use apcache::push::{FallbackWidth, LeaseConfig, PushFilter};
+use apcache::queries::AggregateKind;
+use apcache::runtime::Runtime;
+use apcache::shard::{ShardedStore, ShardedStoreBuilder};
+use apcache::store::{
+    Constraint, FsyncPolicy, InitialWidth, MemIo, PrecisionStore, ReadResult, SpoolConfig, SpoolIo,
+    StoreBuilder, StoreError, WriteOutcome,
+};
+
+const SEED: u64 = 0xD0_2001;
+const KEYS: usize = 12;
+
+fn key(i: usize) -> String {
+    format!("sensor/{i:03}")
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("apcache-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+/// One step of a burst. Times are implicit: op `i` runs at
+/// `(i + 1) * 100` ms, so both deployments see identical clocks.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: usize, value: f64 },
+    Read { key: usize, constraint: Constraint },
+    Aggregate { kind: AggregateKind },
+}
+
+/// What came back, comparable bit-for-bit across deployments.
+#[derive(Debug, PartialEq)]
+enum OpResult {
+    Wrote(WriteOutcome),
+    Answered(ReadResult),
+    Aggregated { answer: apcache::core::Interval, refreshed: Vec<String> },
+}
+
+/// A deterministic mixed burst: random-walk writes, reads across the
+/// constraint spectrum (tight ones force refreshes, which consume RNG
+/// and must replay in order), and periodic bounded aggregates.
+fn burst(keys: usize, ops: usize, seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..keys).map(|i| 100.0 * i as f64).collect();
+    let mut out = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let k = rng.below(keys as u64) as usize;
+        match rng.below(5) {
+            0..=2 => {
+                values[k] += rng.normal_with(0.0, 6.0);
+                out.push(Op::Write { key: k, value: values[k] });
+            }
+            3 => {
+                let constraint = match rng.below(3) {
+                    0 => Constraint::Absolute(rng.uniform(0.5, 12.0)),
+                    1 => Constraint::Relative(0.01),
+                    _ => Constraint::Exact,
+                };
+                out.push(Op::Read { key: k, constraint });
+            }
+            _ => {
+                let kind = match i % 3 {
+                    0 => AggregateKind::Sum,
+                    1 => AggregateKind::Min,
+                    _ => AggregateKind::Max,
+                };
+                out.push(Op::Aggregate { kind });
+            }
+        }
+    }
+    out
+}
+
+fn now_of(op_index: usize) -> u64 {
+    (op_index as u64 + 1) * 100
+}
+
+fn apply_store(s: &mut PrecisionStore<String>, op: &Op, now: u64) -> OpResult {
+    match op {
+        Op::Write { key: k, value } => OpResult::Wrote(s.write(&key(*k), *value, now).unwrap()),
+        Op::Read { key: k, constraint } => {
+            OpResult::Answered(s.read(&key(*k), *constraint, now).unwrap())
+        }
+        Op::Aggregate { kind } => {
+            let keys: Vec<String> = (0..KEYS).map(key).collect();
+            let out = s.aggregate(*kind, &keys, Constraint::Absolute(20.0), now).unwrap();
+            OpResult::Aggregated { answer: out.answer, refreshed: out.refreshed }
+        }
+    }
+}
+
+fn apply_sharded(s: &mut ShardedStore<String>, op: &Op, now: u64) -> OpResult {
+    match op {
+        Op::Write { key: k, value } => OpResult::Wrote(s.write(&key(*k), *value, now).unwrap()),
+        Op::Read { key: k, constraint } => {
+            OpResult::Answered(s.read(&key(*k), *constraint, now).unwrap())
+        }
+        Op::Aggregate { kind } => {
+            let keys: Vec<String> = (0..KEYS).map(key).collect();
+            let out = s.aggregate(*kind, &keys, Constraint::Absolute(20.0), now).unwrap();
+            OpResult::Aggregated { answer: out.answer, refreshed: out.refreshed }
+        }
+    }
+}
+
+/// Per-key serving state — value, converged width, cached interval —
+/// must agree exactly. (Metric *hit* counters are deliberately not
+/// compared here: pure cache hits are not logged, so a recovered store
+/// may undercount them; everything that affects answers is.)
+fn assert_same_serving_state(
+    reference: &PrecisionStore<String>,
+    recovered: &PrecisionStore<String>,
+    now: u64,
+    ctx: &str,
+) {
+    for i in 0..KEYS {
+        let k = key(i);
+        if !reference.contains_key(&k) {
+            continue;
+        }
+        assert_eq!(reference.value(&k), recovered.value(&k), "{ctx}: value of {k}");
+        assert_eq!(
+            reference.internal_width(&k),
+            recovered.internal_width(&k),
+            "{ctx}: width of {k}"
+        );
+        assert_eq!(
+            reference.cached_interval(&k, now),
+            recovered.cached_interval(&k, now),
+            "{ctx}: interval of {k}"
+        );
+    }
+}
+
+fn store_with_mem_spool(cfg: SpoolConfig) -> PrecisionStore<String> {
+    let mut s = plain_store();
+    s.attach_spool_io(Box::new(MemIo::new()), "spool", cfg).unwrap();
+    s
+}
+
+fn plain_store() -> PrecisionStore<String> {
+    let mut b = StoreBuilder::new()
+        .rng(Rng::seed_from_u64(SEED ^ 0xA5))
+        .initial_width(InitialWidth::Fixed(16.0));
+    for i in 0..KEYS {
+        b = b.source(key(i), 100.0 * i as f64);
+    }
+    b.build().unwrap()
+}
+
+/// Take the `MemIo` back out of a killed store and crash it, keeping
+/// `keep_pending` bytes of every unsynced tail.
+fn crash_io(store: &mut PrecisionStore<String>, keep_pending: usize) -> Box<dyn SpoolIo> {
+    let mut io = store.detach_spool().expect("subject has a spool");
+    io.as_any_mut().downcast_mut::<MemIo>().expect("MemIo subject").crash(keep_pending);
+    io
+}
+
+// ---------------------------------------------------------------------
+// The conformance bar: sharded warm restart, θ = 1, shards {1, 2, 4}.
+// ---------------------------------------------------------------------
+
+/// Kill a sharded fleet mid-burst, recover it from its per-shard spools
+/// and manifest, and drive the remaining burst through both
+/// deployments: every answer, escape, and width must match the
+/// uninterrupted reference bit for bit.
+#[test]
+fn sharded_warm_restart_is_bit_identical_for_1_2_4_shards() {
+    let ops = burst(KEYS, 160, SEED);
+    let kill_at = 96; // mid-burst, mid-segment
+
+    for shards in [1usize, 2, 4] {
+        let dir = temp_dir(&format!("fleet-{shards}"));
+        let build = || {
+            let mut b = ShardedStoreBuilder::new()
+                .shards(shards)
+                .vnodes(32)
+                .rng(Rng::seed_from_u64(SEED ^ shards as u64))
+                .initial_width(InitialWidth::Fixed(16.0));
+            for i in 0..KEYS {
+                b = b.source(key(i), 100.0 * i as f64);
+            }
+            b
+        };
+        let mut reference = build().build().unwrap();
+        let mut subject = build().with_spool(dir.as_str()).build().unwrap();
+
+        for (i, op) in ops[..kill_at].iter().enumerate() {
+            let a = apply_sharded(&mut reference, op, now_of(i));
+            let b = apply_sharded(&mut subject, op, now_of(i));
+            assert_eq!(a, b, "shards={shards}: pre-kill op {i} diverged");
+        }
+
+        // Kill: the process dies mid-burst. Everything not in the spool
+        // is gone; fsync-per-append means every applied op is durable.
+        drop(subject);
+        let mut recovered = ShardedStore::<String>::recover(&dir).unwrap();
+
+        assert_eq!(recovered.shard_count(), shards, "shards={shards}: shard count");
+        for i in 0..KEYS {
+            let k = key(i);
+            assert_eq!(
+                reference.shard_of(&k),
+                recovered.shard_of(&k),
+                "shards={shards}: routing of {k}"
+            );
+        }
+        for s in 0..shards {
+            assert_same_serving_state(
+                reference.shard(s).unwrap(),
+                recovered.shard(s).unwrap(),
+                now_of(kill_at),
+                &format!("shards={shards} shard {s}"),
+            );
+        }
+
+        // The rest of the burst: op-by-op bit-identity, both still live.
+        for (i, op) in ops[kill_at..].iter().enumerate() {
+            let now = now_of(kill_at + i);
+            let a = apply_sharded(&mut reference, op, now);
+            let b = apply_sharded(&mut recovered, op, now);
+            assert_eq!(a, b, "shards={shards}: post-recovery op {} diverged", kill_at + i);
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash matrix: kill points swept across every op boundary.
+// ---------------------------------------------------------------------
+
+/// With 256-byte segments a 48-op burst rotates many times, so sweeping
+/// the kill point over **every** op boundary exercises mid-segment,
+/// at-boundary, pre-rotate, and post-rotate crashes. Each recovery must
+/// equal the reference at exactly that durable prefix, then keep
+/// serving identically.
+#[test]
+fn crash_sweep_recovers_every_op_boundary_exactly() {
+    let cfg = SpoolConfig { segment_bytes: 256, fsync: FsyncPolicy::Always };
+    let ops = burst(KEYS, 48, SEED ^ 0x11);
+
+    for kill_at in 1..=ops.len() {
+        let mut reference = plain_store();
+        let mut subject = store_with_mem_spool(cfg);
+        for (i, op) in ops[..kill_at].iter().enumerate() {
+            apply_store(&mut reference, op, now_of(i));
+            apply_store(&mut subject, op, now_of(i));
+        }
+        let io = crash_io(&mut subject, 0);
+        let mut recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+        assert_same_serving_state(
+            &reference,
+            &recovered,
+            now_of(kill_at),
+            &format!("kill at op {kill_at}"),
+        );
+
+        // A few continued ops — the recovered store serves (and logs)
+        // from where the reference is.
+        for (i, op) in ops.iter().take(6).enumerate() {
+            let now = now_of(kill_at + 1 + i);
+            let a = apply_store(&mut reference, op, now);
+            let b = apply_store(&mut recovered, op, now);
+            assert_eq!(a, b, "kill at op {kill_at}: continued op {i} diverged");
+        }
+    }
+}
+
+/// Crash **mid-snapshot**: a fault lands inside the final checkpoint's
+/// temp-write/sync/rename dance. Whatever step it hits, the previous
+/// snapshot + the (uncompacted) log still reconstruct the full state,
+/// and a stale `.tmp` left behind never breaks reopening.
+#[test]
+fn crash_mid_snapshot_falls_back_to_the_previous_durable_state() {
+    let cfg = SpoolConfig { segment_bytes: 512, fsync: FsyncPolicy::Always };
+    let ops = burst(KEYS, 40, SEED ^ 0x22);
+    let run = |mut subject: PrecisionStore<String>| -> PrecisionStore<String> {
+        for (i, op) in ops[..20].iter().enumerate() {
+            apply_store(&mut subject, op, now_of(i));
+        }
+        subject.checkpoint().unwrap(); // a good snapshot to fall back to
+        for (i, op) in ops[20..].iter().enumerate() {
+            apply_store(&mut subject, op, now_of(20 + i));
+        }
+        subject
+    };
+
+    // Probe pass: count the io mutations the scenario consumes before
+    // the final checkpoint, so the fault can be pinned *inside* it.
+    let mutations_before_final = {
+        let mut probe = store_with_mem_spool(cfg);
+        probe = run(probe);
+        let mut io = probe.detach_spool().unwrap();
+        io.as_any_mut().downcast_mut::<MemIo>().unwrap().mutations()
+    };
+
+    // `arm` pins the kill to the n-th mutating io op of the final
+    // checkpoint: temp create, temp append, temp sync, rename — none of
+    // which may install a half-written snapshot.
+    for arm in 1..=4u64 {
+        let mut reference = plain_store();
+        for (i, op) in ops.iter().enumerate() {
+            apply_store(&mut reference, op, now_of(i));
+        }
+
+        let mut io = MemIo::new();
+        io.fail_after_ops(mutations_before_final + arm);
+        let mut subject = plain_store();
+        subject.attach_spool_io(Box::new(io), "spool", cfg).unwrap();
+        let mut subject = run(subject);
+        let err = subject.checkpoint().expect_err("checkpoint dies mid-snapshot");
+        assert!(matches!(err, StoreError::Spool(_)), "arm={arm}: {err:?}");
+
+        let io = crash_io(&mut subject, 0);
+        let recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+        assert_same_serving_state(
+            &reference,
+            &recovered,
+            now_of(ops.len()),
+            &format!("mid-snapshot arm={arm}"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filesystem faults through the injection harness.
+// ---------------------------------------------------------------------
+
+/// Short writes: the io layer accepts at most 3 bytes per append call,
+/// so every record append goes through the retry loop. Serving is
+/// unaffected and a crash + recovery still lands on the full state.
+#[test]
+fn short_writes_retry_and_recover_cleanly() {
+    let cfg = SpoolConfig::default();
+    let ops = burst(KEYS, 30, SEED ^ 0x33);
+
+    let mut reference = plain_store();
+    let mut io = MemIo::new();
+    io.short_writes(3);
+    let mut subject = plain_store();
+    subject.attach_spool_io(Box::new(io), "spool", cfg).unwrap();
+
+    for (i, op) in ops.iter().enumerate() {
+        let a = apply_store(&mut reference, op, now_of(i));
+        let b = apply_store(&mut subject, op, now_of(i));
+        assert_eq!(a, b, "op {i} diverged under short writes");
+    }
+    let io = crash_io(&mut subject, 0);
+    let recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    assert_same_serving_state(&reference, &recovered, now_of(ops.len()), "short writes");
+}
+
+/// A lying disk: fsync reports failure while the bytes stay pending.
+/// With fsync-per-append the write surfaces a `StoreError::Spool`, and
+/// the un-synced record is gone after the crash — recovery lands on the
+/// state *before* the failed op, never on a half-acknowledged one.
+#[test]
+fn failed_fsync_surfaces_and_loses_only_the_unacknowledged_op() {
+    let cfg = SpoolConfig::default();
+    let ops = burst(KEYS, 24, SEED ^ 0x44);
+
+    let mut reference = plain_store();
+    let mut subject = store_with_mem_spool(cfg);
+    for (i, op) in ops.iter().enumerate() {
+        apply_store(&mut reference, op, now_of(i));
+        apply_store(&mut subject, op, now_of(i));
+    }
+
+    // Arm the lying disk, then try one more write: it must error.
+    {
+        let mut io = subject.detach_spool().unwrap();
+        io.as_any_mut().downcast_mut::<MemIo>().unwrap().fail_syncs(true);
+        // Re-wire by recovering through the same io: the spool reopens
+        // on the intact durable image…
+        subject =
+            PrecisionStore::<String>::recover_with_io(io, "spool", cfg).expect("reopen is clean");
+    }
+    let now = now_of(ops.len() + 1);
+    let err = subject.write(&key(0), 1.0e6, now).expect_err("sync failure must surface");
+    assert!(matches!(err, StoreError::Spool(_)), "{err:?}");
+
+    // …and after the crash the failed op's bytes are gone.
+    let io = crash_io(&mut subject, 0);
+    let recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    assert_same_serving_state(&reference, &recovered, now, "failed fsync");
+    assert_ne!(recovered.value(&key(0)), Some(1.0e6), "unacknowledged write resurfaced");
+}
+
+/// Hard append failure mid-burst: the op surfaces the error, and the
+/// crash recovers exactly the ops that were acknowledged before it.
+#[test]
+fn append_failure_surfaces_and_recovery_keeps_the_acknowledged_prefix() {
+    let cfg = SpoolConfig { segment_bytes: 256, fsync: FsyncPolicy::Always };
+    let prefix = 18usize;
+
+    let mut reference = plain_store();
+    let mut subject = store_with_mem_spool(cfg);
+    let ops = burst(KEYS, prefix, SEED ^ 0x55);
+    for (i, op) in ops.iter().enumerate() {
+        apply_store(&mut reference, op, now_of(i));
+        apply_store(&mut subject, op, now_of(i));
+    }
+
+    {
+        let mut io = subject.detach_spool().unwrap();
+        io.as_any_mut().downcast_mut::<MemIo>().unwrap().fail_after_ops(1);
+        subject =
+            PrecisionStore::<String>::recover_with_io(io, "spool", cfg).expect("reopen is clean");
+    }
+    let err =
+        subject.write(&key(1), 42.0, now_of(prefix + 1)).expect_err("append failure surfaces");
+    assert!(matches!(err, StoreError::Spool(_)), "{err:?}");
+
+    let io = crash_io(&mut subject, 0);
+    let recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    assert_same_serving_state(&reference, &recovered, now_of(prefix + 1), "append failure");
+}
+
+// ---------------------------------------------------------------------
+// Recovery edge cases.
+// ---------------------------------------------------------------------
+
+/// An empty (or missing) spool directory has nothing to recover: the
+/// error says so instead of conjuring an empty store.
+#[test]
+fn empty_spool_dir_has_nothing_to_recover() {
+    let err = PrecisionStore::<String>::recover_with_io(
+        Box::new(MemIo::new()),
+        "spool",
+        SpoolConfig::default(),
+    )
+    .expect_err("nothing durable, nothing to recover");
+    match err {
+        StoreError::Spool(msg) => {
+            assert!(msg.contains("nothing to recover"), "unhelpful message: {msg}")
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+
+    // Same through the real filesystem on a fresh directory.
+    let dir = temp_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = PrecisionStore::<String>::recover(&dir).expect_err("empty fs dir");
+    assert!(matches!(err, StoreError::Spool(_)), "{err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn final record (the classic half-written tail after power loss)
+/// is truncated away; everything before it replays.
+#[test]
+fn truncated_tail_drops_only_the_torn_record() {
+    let cfg = SpoolConfig::default();
+    // Writes only: exactly one log record per op, so "last record torn"
+    // maps to "last op lost".
+    let writes = 20usize;
+
+    let mut reference = plain_store();
+    let mut subject = store_with_mem_spool(cfg);
+    for i in 0..writes {
+        let reference_op = Op::Write { key: i % KEYS, value: 7.0 * i as f64 };
+        if i + 1 < writes {
+            apply_store(&mut reference, &reference_op, now_of(i));
+        }
+        apply_store(&mut subject, &reference_op, now_of(i));
+    }
+
+    let mut io = crash_io(&mut subject, 0);
+    // Tear the final record: chop 3 bytes off the one live segment.
+    let seg = {
+        let names = io.list("spool").unwrap();
+        let mut segs: Vec<&String> =
+            names.iter().filter(|n| n.starts_with("seg-") && n.ends_with(".log")).collect();
+        segs.sort();
+        format!("spool/{}", segs.last().expect("a live segment"))
+    };
+    let mem = io.as_any_mut().downcast_mut::<MemIo>().unwrap();
+    let bytes = mem.contents(&seg).unwrap();
+    mem.install(&seg, bytes[..bytes.len() - 3].to_vec());
+
+    let recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    // The reference skipped the final write; the torn tail must land on
+    // exactly that state.
+    assert_same_serving_state(&reference, &recovered, now_of(writes), "torn tail");
+}
+
+/// A snapshot with no segment after it (the crash hit between the
+/// snapshot rename and the fresh segment's creation): recovery serves
+/// the snapshot and recreates the missing segment.
+#[test]
+fn snapshot_newer_than_last_segment_recovers_and_resumes_logging() {
+    let cfg = SpoolConfig::default();
+    let ops = burst(KEYS, 30, SEED ^ 0x66);
+
+    let mut reference = plain_store();
+    let mut subject = store_with_mem_spool(cfg);
+    for (i, op) in ops.iter().enumerate() {
+        apply_store(&mut reference, op, now_of(i));
+        apply_store(&mut subject, op, now_of(i));
+    }
+    subject.checkpoint().unwrap();
+
+    let mut io = crash_io(&mut subject, 0);
+    // Delete every segment at or after the snapshot's sequence — the
+    // snapshot alone must carry the state.
+    let segs: Vec<String> = io
+        .list("spool")
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("seg-") && n.ends_with(".log"))
+        .collect();
+    let snaps: Vec<String> = io
+        .list("spool")
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("snap-") && n.ends_with(".snap"))
+        .collect();
+    assert!(!snaps.is_empty(), "checkpoint left a snapshot");
+    let mem = io.as_any_mut().downcast_mut::<MemIo>().unwrap();
+    for seg in &segs {
+        mem.delete(&format!("spool/{seg}"));
+    }
+
+    let mut recovered = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    assert_same_serving_state(&reference, &recovered, now_of(ops.len()), "snapshot-only");
+
+    // Logging resumed into a recreated segment: another crash + recovery
+    // keeps the post-recovery traffic too.
+    for (i, op) in ops.iter().take(8).enumerate() {
+        let now = now_of(ops.len() + 1 + i);
+        let a = apply_store(&mut reference, op, now);
+        let b = apply_store(&mut recovered, op, now);
+        assert_eq!(a, b, "continued op {i} diverged");
+    }
+    let io = crash_io(&mut recovered, 0);
+    let recovered_again = PrecisionStore::<String>::recover_with_io(io, "spool", cfg).unwrap();
+    assert_same_serving_state(
+        &reference,
+        &recovered_again,
+        now_of(ops.len() + 9),
+        "second generation",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Documented not-persisted: push-side serving state.
+// ---------------------------------------------------------------------
+
+/// TTL leases and subscription watches are in-memory serving state, not
+/// durable state: a warm restart recovers every key's value and width,
+/// but subscribers must resubscribe and leases must be re-granted.
+#[test]
+fn leases_and_watches_are_documented_not_persisted() {
+    let dir = temp_dir("push");
+    let mut b = ShardedStoreBuilder::new()
+        .shards(2)
+        .vnodes(32)
+        .rng(Rng::seed_from_u64(SEED ^ 0x77))
+        .initial_width(InitialWidth::Fixed(16.0))
+        .with_spool(dir.as_str());
+    for i in 0..4 {
+        b = b.source(key(i), 100.0 * i as f64);
+    }
+    let runtime = Runtime::launch(b.build().unwrap()).unwrap();
+    let handle = runtime.handle();
+
+    for t in 1..=10u64 {
+        for i in 0..4 {
+            handle.write(&key(i), 100.0 * i as f64 + t as f64, t * 100).unwrap();
+        }
+    }
+    let (_sub, _snapshot) = handle.subscribe(&key(0), PushFilter::Always, 1_100).unwrap();
+    handle
+        .lease(&key(1), LeaseConfig { ttl_ms: 60_000, fallback: FallbackWidth::Unbounded }, 1_100)
+        .unwrap();
+    let live = handle.push_stats().unwrap();
+    assert_eq!(live.subscribers, 1);
+    assert_eq!(live.watched_keys, 1);
+    assert_eq!(live.leases, 1);
+
+    // Make the fleet durable, then kill it without farewell.
+    handle.checkpoint().unwrap();
+    drop(handle);
+    runtime.shutdown().unwrap();
+
+    let recovered = ShardedStore::<String>::recover(&dir).unwrap();
+    let runtime = Runtime::launch(recovered).unwrap();
+    let handle = runtime.handle();
+
+    // Data survived…
+    let r = handle.read(&key(0), Constraint::Exact, 2_000).unwrap();
+    assert_eq!(r.answer.estimate(), Some(10.0), "key 0's last written value survives");
+    // …push-side serving state did not (and is documented not to).
+    let cold = handle.push_stats().unwrap();
+    assert_eq!(cold.subscribers, 0, "subscriptions are not persisted");
+    assert_eq!(cold.watched_keys, 0, "watches are not persisted");
+    assert_eq!(cold.leases, 0, "leases are not persisted");
+
+    drop(handle);
+    runtime.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

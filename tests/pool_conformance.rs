@@ -19,7 +19,8 @@ use apcache::runtime::Runtime;
 use apcache::shard::ShardedStoreBuilder;
 use apcache::store::{Constraint, InitialWidth, ReadResult, WriteOutcome};
 use apcache::wire::{
-    serve_pipelined, ClientPool, PooledClient, RemoteStoreClient, ServerExit, TcpTransport,
+    serve_connections, serve_pipelined, ClientPool, PooledClient, RemoteStoreClient, ServerExit,
+    TcpTransport,
 };
 
 const LOGICAL_CLIENTS: usize = 8;
@@ -263,4 +264,52 @@ fn eight_logical_clients_over_two_sockets_match_per_client_sockets_bit_for_bit()
     }
     runtime_a.shutdown().expect("runtime A drains");
     runtime_b.shutdown().expect("runtime B drains");
+}
+
+/// Regression: a pool draining through **one** `serve_connections`
+/// listener. `ClientPool::shutdown` walks its members sequentially, so
+/// the first member's `Shutdown` stops the accept loop while members
+/// 2..n still have their own handshakes in flight. The listener must
+/// give those sibling connections a drain grace instead of force-closing
+/// them the instant the acceptor stops — previously the pool's own
+/// orderly shutdown tripped the force-close path it was racing.
+#[test]
+fn pool_drains_cleanly_through_one_listener() {
+    let runtime = launch_fleet();
+    let stats_handle = runtime.handle();
+    let serve_handle = runtime.handle();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = thread::spawn(move || serve_connections(listener, serve_handle));
+
+    // Three member sockets into the same listener, eight logical
+    // clients multiplexed over them — the shape ClientPool deploys
+    // against a single serving port.
+    let transports: Vec<TcpTransport> =
+        (0..3).map(|_| TcpTransport::connect(addr).expect("connect member")).collect();
+    let mut pool: ClientPool<String, _> = ClientPool::new(transports);
+    let workers: Vec<_> = (0..LOGICAL_CLIENTS)
+        .map(|c| {
+            let mut handle = pool.handle();
+            thread::spawn(move || run_trace(c, &mut handle))
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("pooled worker");
+    }
+
+    // The sequential member drain must complete on every socket: the
+    // first member's Shutdown stops the acceptor, and members 2 and 3
+    // still get to finish their own Shutdown handshakes.
+    pool.shutdown().expect("pool drains all members through one listener");
+    acceptor.join().expect("acceptor thread").expect("serve_connections exits cleanly");
+
+    // Nothing was force-closed: every connection ended by handshake.
+    let forced = stats_handle.telemetry().registry().counter(
+        "apcache_wire_forced_closes_total",
+        "Idle or lingering connections force-closed at listener teardown.",
+        &[],
+    );
+    assert_eq!(forced.get(), 0, "pool members were force-closed mid-drain");
+    runtime.shutdown().expect("runtime drains");
 }
