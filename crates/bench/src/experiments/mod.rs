@@ -18,6 +18,7 @@ pub mod hierarchy;
 pub mod max_queries;
 pub mod pipelined;
 pub mod push;
+pub mod reactor;
 pub mod runtime;
 pub mod sensitivity;
 pub mod sharded;

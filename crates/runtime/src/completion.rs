@@ -272,6 +272,11 @@ struct QueueState<K> {
 struct QueueCore<K> {
     state: Mutex<QueueState<K>>,
     cv: Condvar,
+    /// An optional external readiness hook (see
+    /// [`CompletionQueue::set_waker`]): invoked — outside every queue
+    /// lock — whenever completions become ready, so an event loop parked
+    /// in a poller (not on this queue's condvar) still learns instantly.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
     /// The runtime's shared state: the (elastic) topology and key
     /// directory. Every submission routes under a topology *read* guard —
     /// route resolution and mailbox admission are atomic with respect to
@@ -301,6 +306,18 @@ impl<K> QueueCore<K> {
         self.state.lock().expect("completion queue lock poisoned")
     }
 
+    /// Wake every harvester: threads parked on the condvar, and — when a
+    /// waker is installed — an event loop parked in its own poller. Must
+    /// be called with the state lock *released*: the waker may take
+    /// foreign locks (an eventfd write, a poller mailbox).
+    fn notify(&self) {
+        self.cv.notify_all();
+        let waker = self.waker.lock().expect("waker lock poisoned").clone();
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+
     /// Latency + trace bookkeeping for a ticket that just settled.
     /// `timing` is the entry removed from `inflight` under the lock; this
     /// runs after the lock is dropped.
@@ -327,7 +344,7 @@ impl<K> QueueCore<K> {
             });
             drop(st);
             self.finish_op(ticket, timing);
-            self.cv.notify_all();
+            self.notify();
         }
     }
 
@@ -354,7 +371,7 @@ impl<K> QueueCore<K> {
         if is_push {
             self.shared.telemetry.push_delivered();
         }
-        self.cv.notify_all();
+        self.notify();
     }
 
     /// The actor dropped a subscription's sender: settle its ticket with
@@ -374,7 +391,7 @@ impl<K> QueueCore<K> {
                 self.shared.telemetry.observe_verb(verb, started.elapsed());
             }
             self.shared.telemetry.record(TraceKind::Completion, ticket, "subscribe", None);
-            self.cv.notify_all();
+            self.notify();
         }
     }
 }
@@ -469,7 +486,7 @@ impl<K: Ord + Clone> QueueCore<K> {
         self.shared.telemetry.leases_expired(lease_expired);
         self.finish_op(ticket, timing);
         if wake {
-            self.cv.notify_all();
+            self.notify();
         }
     }
 }
@@ -486,6 +503,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                     inflight: HashMap::new(),
                 }),
                 cv: Condvar::new(),
+                waker: Mutex::new(None),
                 shared,
             }),
         }
@@ -815,7 +833,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
         telemetry.record(TraceKind::Submit, ticket, verb, None);
         telemetry.observe_verb(verb, std::time::Duration::ZERO);
         telemetry.record(TraceKind::Completion, ticket, verb, None);
-        self.core.cv.notify_all();
+        self.core.notify();
         Ticket(ticket)
     }
 
@@ -843,7 +861,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                     });
                     drop(st);
                     self.core.finish_op(ticket, timing);
-                    self.core.cv.notify_all();
+                    self.core.notify();
                 }
                 Ok(None) => {
                     let Some(OpState::Aggregate(agg)) = st.ops.remove(&ticket) else {
@@ -855,7 +873,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                     st.ready.push_back(Completion { ticket: Ticket(ticket), outcome });
                     drop(st);
                     self.core.finish_op(ticket, timing);
-                    self.core.cv.notify_all();
+                    self.core.notify();
                 }
                 Ok(Some(round)) => {
                     let n_parts = agg.parts.len();
@@ -885,7 +903,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                             "aggregate",
                             None,
                         );
-                        self.core.cv.notify_all();
+                        self.core.notify();
                         continue;
                     }
                     let mut st = self.core.lock();
@@ -894,7 +912,7 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                         if agg.remaining == 0 {
                             st.runnable.push(ticket);
                             drop(st);
-                            self.core.cv.notify_all();
+                            self.core.notify();
                         }
                     }
                 }
@@ -952,6 +970,75 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> CompletionQueue<K> {
                     break; // advance() outside the lock
                 }
                 st = self.core.cv.wait(st).expect("completion queue lock poisoned");
+            }
+        }
+    }
+
+    /// Install (or clear) a readiness waker: a hook invoked — with no
+    /// queue lock held — every time completions become ready to harvest.
+    /// An event-driven server parks in a *poller* (epoll, a readiness
+    /// mailbox), not on this queue's condvar; the waker bridges the two,
+    /// so completions interrupt the poll instead of waiting out its
+    /// timeout. One waker per queue: installing replaces the previous.
+    pub fn set_waker(&self, waker: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.core.waker.lock().expect("waker lock poisoned") = waker;
+    }
+
+    /// Harvest every ready completion (up to `max`) into `out` without
+    /// ever parking — the batch surface for an event loop that must get
+    /// back to its sockets. Advances pending aggregate rounds first,
+    /// exactly like [`poll`](Self::poll). Returns the number harvested.
+    pub fn drain_ready_into(&self, out: &mut Vec<Completion<K>>, max: usize) -> usize {
+        self.advance();
+        let mut st = self.core.lock();
+        let mut n = 0;
+        while n < max {
+            match st.ready.pop_front() {
+                Some(completion) => {
+                    out.push(completion);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Convenience form of [`drain_ready_into`](Self::drain_ready_into)
+    /// returning a fresh `Vec`.
+    pub fn drain_ready(&self, max: usize) -> Vec<Completion<K>> {
+        let mut out = Vec::new();
+        self.drain_ready_into(&mut out, max);
+        out
+    }
+
+    /// Block until the next completion is ready or `timeout` elapses.
+    /// Unlike [`wait`](Self::wait) this never parks unbounded and does
+    /// *not* return early when nothing is outstanding — a bounded park is
+    /// safe, and work submitted concurrently (another clone of this
+    /// queue) still wakes it. `None` means the timeout ran out.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Completion<K>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.advance();
+            let mut st = self.core.lock();
+            loop {
+                if let Some(completion) = st.ready.pop_front() {
+                    return Some(completion);
+                }
+                if !st.runnable.is_empty() {
+                    break; // advance() outside the lock
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return None;
+                }
+                let (guard, _timed_out) = self
+                    .core
+                    .cv
+                    .wait_timeout(st, remaining)
+                    .expect("completion queue lock poisoned");
+                st = guard;
             }
         }
     }

@@ -436,6 +436,53 @@ mod tests {
     }
 
     #[test]
+    fn drain_ready_and_wait_timeout_serve_an_event_loop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let runtime = Runtime::launch(fleet(2, 8)).unwrap();
+        let h = runtime.handle();
+        // An empty queue: drain_ready never parks, wait_timeout expires.
+        assert!(h.completions().drain_ready(16).is_empty());
+        let started = std::time::Instant::now();
+        assert!(h.completions().wait_timeout(std::time::Duration::from_millis(5)).is_none());
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        // The waker fires (outside the queue locks) when completions land.
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&wakes);
+        h.completions().set_waker(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })));
+        let tickets: Vec<Ticket> =
+            (0..8).map(|k| h.submit_write(&k, 7.0 * k as f64, 100).unwrap()).collect();
+        // Harvest in bounded batches without ever blocking; a poller
+        // woken by the hook would interleave exactly like this spin.
+        let mut batch = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while batch.len() < tickets.len() {
+            let n = h.completions().drain_ready_into(&mut batch, 3);
+            assert!(n <= 3);
+            assert!(std::time::Instant::now() < deadline, "completions never surfaced");
+            std::thread::yield_now();
+        }
+        assert!(wakes.load(Ordering::SeqCst) >= 1, "waker must fire on readiness");
+        let mut settled: Vec<u64> = batch.iter().map(|c| c.ticket.0).collect();
+        settled.sort_unstable();
+        let mut expected: Vec<u64> = tickets.iter().map(|t| t.0).collect();
+        expected.sort_unstable();
+        assert_eq!(settled, expected);
+        // wait_timeout returns a completion promptly when one is pending,
+        // even with nothing outstanding at call time on another clone.
+        let t = h.submit_read(&0, Constraint::Absolute(5.0), 200).unwrap();
+        let completion = h
+            .completions()
+            .wait_timeout(std::time::Duration::from_secs(10))
+            .expect("pending ticket settles within the timeout");
+        assert_eq!(completion.ticket, t);
+        h.completions().set_waker(None);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
     fn tiny_mailboxes_exercise_backpressure_without_deadlock() {
         let cfg = RuntimeConfig { mailbox_capacity: 1, ..RuntimeConfig::default() };
         let runtime = Runtime::launch_with(fleet(2, 8), cfg).unwrap();

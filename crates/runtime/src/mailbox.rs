@@ -86,6 +86,11 @@ impl<T> MailboxSender<T> {
         self.core.state.lock().expect("mailbox lock poisoned").queue.len()
     }
 
+    /// The bound this mailbox parks producers at.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity
+    }
+
     /// Whether the queue is currently empty (racy snapshot).
     pub fn is_empty(&self) -> bool {
         self.len() == 0

@@ -523,6 +523,22 @@ impl<K: Hash + Ord + Clone + Send + Sync + 'static> RuntimeHandle<K> {
         self.shared.topology.read().expect("topology lock poisoned").senders.len()
     }
 
+    /// The per-shard mailbox bound this runtime was launched with — the
+    /// depth at which producers park. Serving doors size their own
+    /// submit budgets below it so a saturated socket backpressures into
+    /// its read buffer instead of blocking the submitting thread.
+    pub fn mailbox_capacity(&self) -> usize {
+        self.shared
+            .topology
+            .read()
+            .expect("topology lock poisoned")
+            .senders
+            .iter()
+            .map(MailboxSender::capacity)
+            .min()
+            .unwrap_or(DEFAULT_MAILBOX_CAPACITY)
+    }
+
     /// The *ring id* of the shard that owns `key` under the current ring.
     /// Advisory after elastic resharding: the owner may change on the
     /// next flip (the submission paths route atomically; this accessor is

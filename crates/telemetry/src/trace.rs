@@ -26,6 +26,10 @@ pub enum TraceKind {
     DecodeFault,
     /// An idle connection was force-closed at listener teardown.
     ForcedClose,
+    /// A connection was accepted and registered with a serving door.
+    ConnOpen,
+    /// A connection closed (peer hangup, drain, or fatal fault).
+    ConnClose,
 }
 
 impl TraceKind {
@@ -37,6 +41,8 @@ impl TraceKind {
             TraceKind::Completion => "completion",
             TraceKind::DecodeFault => "decode_fault",
             TraceKind::ForcedClose => "forced_close",
+            TraceKind::ConnOpen => "conn_open",
+            TraceKind::ConnClose => "conn_close",
         }
     }
 }

@@ -102,13 +102,16 @@ pub use client::{RemoteAggregateOutcome, RemoteStoreClient, Ticket, DEFAULT_WIND
 pub use codec::WireKey;
 pub use error::{FaultKind, RemoteError, WireError, WireFault};
 pub use message::{
-    decode_frame, decode_message, encode_frame, encode_frame_v1, encode_message, encode_to_vec,
-    encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireExact, WireMessage,
-    WireRefresh, WireRequest, WireResponse, MAGIC, VERSION, VERSION_V1, VERSION_V2,
+    decode_frame, decode_message, encode_frame, encode_frame_v1, encode_framed, encode_message,
+    encode_to_vec, encode_versioned, frame_to_vec, versioned_to_vec, DecodedFrame, WireExact,
+    WireMessage, WireRefresh, WireRequest, WireResponse, MAGIC, VERSION, VERSION_V1, VERSION_V2,
 };
 pub use pool::{ClientPool, PooledClient};
-pub use server::{serve_connections, serve_pipelined, ServerExit, StoreServer, StoreService};
+pub use server::{
+    next_conn_id, requires_v3, serve_connections, serve_pipelined, v3_fault, ConnStats, ServerExit,
+    StoreServer, StoreService,
+};
 pub use transport::{
-    frame_bytes, loopback, split_frame, LoopbackTransport, SplitStream, StreamTransport,
-    TcpTransport, Transport, MAX_FRAME_LEN,
+    frame_bytes, loopback, loopback_streams, split_frame, LoopbackStream, LoopbackTransport,
+    SplitStream, StreamTransport, TcpTransport, Transport, MAX_FRAME_LEN,
 };

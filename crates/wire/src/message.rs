@@ -826,6 +826,28 @@ pub fn frame_to_vec<K: WireKey + Ord + Clone>(request_id: u64, msg: &WireMessage
     buf
 }
 
+/// Encode one *length-prefixed* frame at `version` directly into a
+/// caller-owned buffer: `u32-LE length ∥ body`, appended to `out`. This
+/// is the zero-copy entry point for event-driven servers that coalesce
+/// many frames into one socket write — the length slot is reserved
+/// first and backfilled after the body lands, so encoding is a single
+/// pass with no intermediate `Vec` per frame. Returns the number of
+/// bytes appended (prefix + body).
+pub fn encode_framed<K: WireKey + Ord + Clone>(
+    version: u8,
+    request_id: u64,
+    msg: &WireMessage<K>,
+    out: &mut Vec<u8>,
+) -> usize {
+    let prefix_at = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length slot, backfilled below
+    encode_with_version(version, request_id, msg, out);
+    let body_len = out.len() - prefix_at - 4;
+    let len = u32::try_from(body_len).expect("frame body exceeds u32 length prefix");
+    out[prefix_at..prefix_at + 4].copy_from_slice(&len.to_le_bytes());
+    body_len + 4
+}
+
 fn encode_with_version<K: WireKey + Ord + Clone>(
     version: u8,
     request_id: u64,

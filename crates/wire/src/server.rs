@@ -127,8 +127,9 @@ fn unsupported(what: &str) -> WireFault {
 /// bodies, so the *server* gates: pre-v3 peers get the same stable
 /// `Unsupported` fault subscriptions already get, never a response frame
 /// their decoder lacks. (`Subscribe` is gated separately: its refusal
-/// message names the pipelined requirement.)
-fn requires_v3<K>(request: &WireRequest<K>) -> bool {
+/// message names the pipelined requirement.) Public so every server door
+/// — threaded or reactor — applies the identical gate.
+pub fn requires_v3<K>(request: &WireRequest<K>) -> bool {
     matches!(
         request,
         WireRequest::Lease { .. }
@@ -143,7 +144,7 @@ fn requires_v3<K>(request: &WireRequest<K>) -> bool {
 }
 
 /// The stable fault pre-v3 peers get for v3-only verbs.
-fn v3_fault() -> WireFault {
+pub fn v3_fault() -> WireFault {
     WireFault::new(
         crate::error::FaultKind::Unsupported,
         "lease, migration, and telemetry verbs require protocol v3",
@@ -520,26 +521,41 @@ impl<S> StoreServer<S> {
 /// connection's byte counters and in-flight gauge in the registry.
 static CONN_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Claim the next process-wide connection id. Every serving door —
+/// threaded or reactor — draws from the same sequence, so connection
+/// labels stay unique on a shared registry whichever doors a process
+/// runs.
+pub fn next_conn_id() -> u64 {
+    CONN_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The wire-layer series one pipelined connection maintains on the
 /// runtime's shared registry. Frame/byte counters split by direction;
 /// bytes and the in-flight window are additionally labeled with the
 /// connection id (ids are never reused, so a long-lived process accretes
 /// one retired series per closed connection — the scrape stays
-/// deterministic, just longer).
+/// deterministic, just longer). Public so the event-driven reactor door
+/// maintains the identical series.
 #[derive(Clone)]
-struct ConnStats {
-    frames_in: Counter,
-    frames_out: Counter,
-    bytes_in: Counter,
-    bytes_out: Counter,
+pub struct ConnStats {
+    /// Frames decoded off this connection.
+    pub frames_in: Counter,
+    /// Frames shipped to this connection's peer.
+    pub frames_out: Counter,
+    /// Framed bytes received (length prefix included).
+    pub bytes_in: Counter,
+    /// Framed bytes sent (length prefix included).
+    pub bytes_out: Counter,
     /// Requests submitted to the runtime but not yet answered on the
     /// wire — the server-side view of the client's in-flight window.
-    window: Gauge,
-    decode_faults: Counter,
+    pub window: Gauge,
+    /// Frames that failed to decode (fatal to their connection).
+    pub decode_faults: Counter,
 }
 
 impl ConnStats {
-    fn register(registry: &Registry, conn: u64) -> Self {
+    /// Register the connection's series under the `conn` id label.
+    pub fn register(registry: &Registry, conn: u64) -> Self {
         let conn = conn.to_string();
         let frames = "Frames decoded from (dir=in) and shipped to (dir=out) pipelined peers.";
         let bytes = "Framed bytes (length prefix included) per pipelined connection.";
@@ -625,10 +641,7 @@ where
     let writer = transport.try_split()?;
     let mut reader = transport;
     let handle = std::sync::Arc::new(handle);
-    let stats = ConnStats::register(
-        handle.telemetry().registry(),
-        CONN_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-    );
+    let stats = ConnStats::register(handle.telemetry().registry(), next_conn_id());
     let (evt_tx, evt_rx) = mpsc::channel::<ConnEvent<K>>();
     let drainer = {
         let handle = std::sync::Arc::clone(&handle);

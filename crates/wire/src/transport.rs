@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::WireError;
@@ -173,10 +173,24 @@ impl<S: Read + Write + Send> Transport for StreamTransport<S> {
 
 /// One direction of a loopback link: a bounded-unnecessary, closable byte
 /// queue (writers append, readers block until bytes or close).
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct ByteQueue {
     state: Mutex<QueueState>,
     readable: Condvar,
+    /// Readiness hook (see [`LoopbackStream::set_ready_hook`]): invoked —
+    /// outside the queue lock — after every push and on close, so an
+    /// event loop parked in its poller learns this direction has news.
+    ready_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for ByteQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("loopback lock poisoned");
+        f.debug_struct("ByteQueue")
+            .field("len", &state.bytes.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -185,14 +199,30 @@ struct QueueState {
     closed: bool,
 }
 
+/// Bulk-copy from the deque's (up to) two contiguous runs — this queue
+/// is the substrate the round-trip bench times, so a per-byte loop
+/// would tax the published numbers.
+fn copy_out(state: &mut QueueState, buf: &mut [u8]) -> usize {
+    let n = buf.len().min(state.bytes.len());
+    let (front, back) = state.bytes.as_slices();
+    let from_front = n.min(front.len());
+    buf[..from_front].copy_from_slice(&front[..from_front]);
+    buf[from_front..n].copy_from_slice(&back[..n - from_front]);
+    state.bytes.drain(..n);
+    n
+}
+
 impl ByteQueue {
     fn push(&self, data: &[u8]) -> io::Result<()> {
-        let mut state = self.state.lock().expect("loopback lock poisoned");
-        if state.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer closed"));
+        {
+            let mut state = self.state.lock().expect("loopback lock poisoned");
+            if state.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer closed"));
+            }
+            state.bytes.extend(data);
+            self.readable.notify_all();
         }
-        state.bytes.extend(data);
-        self.readable.notify_all();
+        self.fire_ready();
         Ok(())
     }
 
@@ -200,16 +230,7 @@ impl ByteQueue {
         let mut state = self.state.lock().expect("loopback lock poisoned");
         loop {
             if !state.bytes.is_empty() {
-                // Bulk-copy from the deque's (up to) two contiguous runs —
-                // this queue is the substrate the round-trip bench times,
-                // so a per-byte loop would tax the published numbers.
-                let n = buf.len().min(state.bytes.len());
-                let (front, back) = state.bytes.as_slices();
-                let from_front = n.min(front.len());
-                buf[..from_front].copy_from_slice(&front[..from_front]);
-                buf[from_front..n].copy_from_slice(&back[..n - from_front]);
-                state.bytes.drain(..n);
-                return n;
+                return copy_out(&mut state, buf);
             }
             if state.closed {
                 return 0; // clean EOF
@@ -218,10 +239,38 @@ impl ByteQueue {
         }
     }
 
-    fn close(&self) {
+    /// Nonblocking pop: `Some(n)` for bytes, `Some(0)` for EOF after a
+    /// close, `None` when the queue is empty but still open (the
+    /// would-block case).
+    fn try_pop(&self, buf: &mut [u8]) -> Option<usize> {
         let mut state = self.state.lock().expect("loopback lock poisoned");
-        state.closed = true;
-        self.readable.notify_all();
+        if !state.bytes.is_empty() {
+            Some(copy_out(&mut state, buf))
+        } else if state.closed {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    fn close(&self) {
+        {
+            let mut state = self.state.lock().expect("loopback lock poisoned");
+            state.closed = true;
+            self.readable.notify_all();
+        }
+        self.fire_ready();
+    }
+
+    fn set_ready_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.ready_hook.lock().expect("loopback hook poisoned") = hook;
+    }
+
+    fn fire_ready(&self) {
+        let hook = self.ready_hook.lock().expect("loopback hook poisoned").clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 }
 
@@ -237,6 +286,29 @@ pub struct LoopbackStream {
     tx: Arc<ByteQueue>,
     /// Handles alive on this endpoint; the last drop closes the queues.
     handles: Arc<AtomicUsize>,
+    /// Shared across split handles, mirroring `TcpStream::set_nonblocking`
+    /// semantics (the flag is per-connection, not per-handle).
+    nonblocking: Arc<AtomicBool>,
+}
+
+impl LoopbackStream {
+    /// Switch this endpoint (and every handle split from it) between
+    /// blocking reads and readiness mode: when nonblocking, a read on an
+    /// empty-but-open queue returns [`io::ErrorKind::WouldBlock`] instead
+    /// of parking — the contract an event loop expects from a socket.
+    /// Writes never block either way (the queue is unbounded).
+    pub fn set_nonblocking(&self, nonblocking: bool) {
+        self.nonblocking.store(nonblocking, Ordering::SeqCst);
+    }
+
+    /// Install (or clear) a readiness hook on the *receive* direction:
+    /// invoked — with no queue lock held — whenever the peer pushes bytes
+    /// toward this endpoint or closes the link. This is the loopback's
+    /// stand-in for epoll registration: a poller marks the connection
+    /// ready from the hook instead of speculatively scanning streams.
+    pub fn set_ready_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        self.rx.set_ready_hook(hook);
+    }
 }
 
 impl SplitStream for LoopbackStream {
@@ -246,6 +318,7 @@ impl SplitStream for LoopbackStream {
             rx: Arc::clone(&self.rx),
             tx: Arc::clone(&self.tx),
             handles: Arc::clone(&self.handles),
+            nonblocking: Arc::clone(&self.nonblocking),
         })
     }
 }
@@ -254,6 +327,12 @@ impl Read for LoopbackStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if buf.is_empty() {
             return Ok(0);
+        }
+        if self.nonblocking.load(Ordering::SeqCst) {
+            return match self.rx.try_pop(buf) {
+                Some(n) => Ok(n),
+                None => Err(io::ErrorKind::WouldBlock.into()),
+            };
         }
         Ok(self.rx.pop(buf))
     }
@@ -286,15 +365,29 @@ pub type LoopbackTransport = StreamTransport<LoopbackStream>;
 /// endpoint are received by the other, in order, through the same length-
 /// prefixed framing a socket would use.
 pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
+    let (a, b) = loopback_streams();
+    (StreamTransport::new(a), StreamTransport::new(b))
+}
+
+/// Create a connected pair of raw in-process byte streams (no transport
+/// framing wrapper) — the constructor for code that drives the streams
+/// directly, like the event-driven reactor and its benches.
+pub fn loopback_streams() -> (LoopbackStream, LoopbackStream) {
     let a_to_b = Arc::new(ByteQueue::default());
     let b_to_a = Arc::new(ByteQueue::default());
     let a = LoopbackStream {
         rx: Arc::clone(&b_to_a),
         tx: Arc::clone(&a_to_b),
         handles: Arc::new(AtomicUsize::new(1)),
+        nonblocking: Arc::new(AtomicBool::new(false)),
     };
-    let b = LoopbackStream { rx: a_to_b, tx: b_to_a, handles: Arc::new(AtomicUsize::new(1)) };
-    (StreamTransport::new(a), StreamTransport::new(b))
+    let b = LoopbackStream {
+        rx: a_to_b,
+        tx: b_to_a,
+        handles: Arc::new(AtomicUsize::new(1)),
+        nonblocking: Arc::new(AtomicBool::new(false)),
+    };
+    (a, b)
 }
 
 // ---------------------------------------------------------------------
@@ -393,6 +486,40 @@ mod tests {
         }
         drop(client);
         assert_eq!(echo.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn nonblocking_reads_would_block_and_ready_hook_fires() {
+        use std::sync::atomic::AtomicUsize;
+        let (server, mut client) = loopback_streams();
+        server.set_nonblocking(true);
+        let readies = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&readies);
+        server.set_ready_hook(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })));
+        // Empty but open: WouldBlock, not a park and not an EOF.
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(readies.load(Ordering::SeqCst), 0);
+        // Peer bytes fire the hook and become readable without blocking.
+        client.write_all(b"ping").unwrap();
+        assert_eq!(readies.load(Ordering::SeqCst), 1);
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        // Split handles share the flag: the duplicate would-block too.
+        let mut dup = server.try_split().unwrap();
+        let err = dup.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Peer close fires the hook once more and reads as clean EOF.
+        drop(client);
+        assert!(readies.load(Ordering::SeqCst) >= 2);
+        assert_eq!(server.read(&mut buf).unwrap(), 0);
+        // Back to blocking mode: EOF still reads 0 (no hang).
+        server.set_nonblocking(false);
+        assert_eq!(dup.read(&mut buf).unwrap(), 0);
     }
 
     #[test]

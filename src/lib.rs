@@ -10,6 +10,7 @@
 //! | [`shard`] | `apcache-shard` | **the scale-out layer**: `ShardedStore` — consistent-hash routing over `PrecisionStore` shards, same four verbs, merged metrics |
 //! | [`runtime`] | `apcache-runtime` | **the concurrent serving layer**: `Runtime` — one actor thread per shard, bounded mailboxes with backpressure, scatter/gather aggregates |
 //! | [`wire`] | `apcache-wire` | **the cross-process layer**: a compact binary frame protocol with loopback/TCP transports, `RemoteStoreClient` ↔ `StoreServer` |
+//! | [`reactor`] | `apcache-reactor` | **the event-driven serving core**: `serve_reactor` — a poll/epoll readiness loop driving 10k+ pipelined connections from a fixed worker pool, frame-coalescing push fan-out |
 //! | [`push`] | `apcache-push` | **the streaming layer's primitives**: per-key subscriber registry, hierarchical timer wheel, TTL leases |
 //! | [`core`] | `apcache-core` | interval algebra, the adaptive precision policy and its variants, source/cache protocol, analytic model, deterministic RNG |
 //! | [`queries`] | `apcache-queries` | bounded aggregate queries (SUM/MAX/MIN/AVG) with refresh-set selection |
@@ -78,6 +79,7 @@ pub use apcache_core as core;
 pub use apcache_hier as hier;
 pub use apcache_push as push;
 pub use apcache_queries as queries;
+pub use apcache_reactor as reactor;
 pub use apcache_runtime as runtime;
 pub use apcache_shard as shard;
 pub use apcache_sim as sim;
